@@ -1,0 +1,145 @@
+// Fig. 8 — Serial vs asynchronous-signature vs asynchronous-pipeline
+// workload generation time.
+//
+// Paper: async signing + pipelined preparation/execution reaches ~6.88x
+// over naive serial generation. The speedup has two sources: signatures
+// parallelize across client cores, and preparation overlaps the
+// execution phase's waiting.
+//
+// Host note: this box has ONE core, so genuine multi-core signing speedup
+// cannot materialize locally. Per DESIGN.md's substitution rule the
+// signing stage models the paper's 8-vCPU client: each signature costs its
+// real Schnorr CPU plus a slept remainder up to kSignWallUs — concurrency
+// across the pool then behaves like a multi-core client without burning
+// the shared core. Execution models dispatch to the SUT at its ingestion
+// rate (waiting, as over a real network).
+#include <atomic>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/signing.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace hammer;
+
+namespace {
+
+constexpr std::int64_t kSignWallUs = 400;   // client-side cost per signature
+constexpr std::int64_t kExecWallUs = 60;    // SUT ingestion pacing per tx
+constexpr std::size_t kSignerThreads = 8;   // modeled client vCPUs
+
+void model_sign(chain::Transaction& tx, core::KeyCache& keys, util::Clock& clock) {
+  util::Stopwatch watch(util::SteadyClock::shared());
+  tx.sign_with(keys.get(tx.sender));
+  std::int64_t remaining = kSignWallUs - watch.elapsed_us();
+  if (remaining > 0) clock.sleep_for(std::chrono::microseconds(remaining));
+}
+
+void model_execute_one(util::Clock& clock) {
+  clock.sleep_for(std::chrono::microseconds(kExecWallUs));
+}
+
+double run_serial(std::vector<chain::Transaction> txs, core::KeyCache& keys) {
+  auto clock = util::SteadyClock::shared();
+  util::Stopwatch watch(clock);
+  for (chain::Transaction& tx : txs) model_sign(tx, keys, *clock);  // Fig. 4a
+  for (std::size_t i = 0; i < txs.size(); ++i) model_execute_one(*clock);
+  return watch.elapsed_seconds();
+}
+
+double run_async(std::vector<chain::Transaction> txs, core::KeyCache& keys) {
+  auto clock = util::SteadyClock::shared();
+  util::Stopwatch watch(clock);
+  {
+    // Fig. 4b: signatures fan out, but execution still waits for them all.
+    util::ThreadPool pool(kSignerThreads);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < kSignerThreads; ++t) {
+      pool.submit([&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= txs.size()) return;
+          model_sign(txs[i], keys, *clock);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < txs.size(); ++i) model_execute_one(*clock);
+  return watch.elapsed_seconds();
+}
+
+double run_async_pipeline(std::vector<chain::Transaction> txs, core::KeyCache& keys) {
+  auto clock = util::SteadyClock::shared();
+  util::Stopwatch watch(clock);
+  util::MpmcQueue<chain::Transaction> ready(1024);
+  // Fig. 4c: signing streams into the executor; phases overlap.
+  std::thread feeder([&] {
+    util::ThreadPool pool(kSignerThreads);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < kSignerThreads; ++t) {
+      pool.submit([&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= txs.size()) return;
+          model_sign(txs[i], keys, *clock);
+          ready.push(txs[i]);
+        }
+      });
+    }
+    pool.wait_idle();
+    ready.close();
+  });
+  std::size_t executed = 0;
+  while (ready.pop()) {
+    model_execute_one(*clock);
+    ++executed;
+  }
+  feeder.join();
+  return watch.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 8: workload generation time by signing strategy ===\n");
+  std::size_t count = bench::full_scale() ? 20000 : 6000;
+  std::printf("transactions=%zu  sign=%lldus/tx x%zu signers  execute=%lldus/tx\n", count,
+              static_cast<long long>(kSignWallUs), kSignerThreads,
+              static_cast<long long>(kExecWallUs));
+
+  workload::WorkloadProfile profile;
+  std::vector<std::string> accounts;
+  for (int i = 0; i < 100; ++i) accounts.push_back("acct" + std::to_string(i));
+  workload::WorkloadFile wf = workload::generate_workload(profile, accounts, count);
+  core::KeyCache keys;
+  keys.warm(accounts);
+
+  double serial = run_serial(wf.transactions, keys);
+  double async = run_async(wf.transactions, keys);
+  double pipeline = run_async_pipeline(wf.transactions, keys);
+
+  std::printf("Serial             %7.2f s\n", serial);
+  std::printf("Async signature    %7.2f s  (%.2fx)\n", async, serial / async);
+  std::printf("Async pipeline     %7.2f s  (%.2fx)\n", pipeline, serial / pipeline);
+  std::printf("%s", report::bar_chart("load generation time (s)",
+                                      {{"Serial", serial},
+                                       {"Async", async},
+                                       {"AsyncPipeline", pipeline}})
+                        .c_str());
+
+  report::CsvWriter csv({"strategy", "seconds", "speedup_vs_serial"});
+  csv.add_row({"serial", report::format_double(serial, 3), "1.00"});
+  csv.add_row({"async", report::format_double(async, 3),
+               report::format_double(serial / async)});
+  csv.add_row({"async_pipeline", report::format_double(pipeline, 3),
+               report::format_double(serial / pipeline)});
+  bench::save_csv(csv, "fig8_pipeline.csv");
+
+  std::printf("\npaper shape: AsyncPipeline ~6.88x over Serial\n");
+  std::printf("measured   : %.2fx -> %s\n", serial / pipeline,
+              serial / pipeline > 3.0 ? "MATCH (same order)" : "MISMATCH");
+  return 0;
+}

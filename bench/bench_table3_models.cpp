@@ -1,0 +1,68 @@
+// Table III — MAE / MSE / RMSE / R^2 of Linear, RNN, TCN, Transformer and
+// Hammer's TCN+BiGRU+attention model on the DeFi / Sandbox / NFTs traces.
+//
+// Paper shape: learned nonlinear models beat Linear; "Ours" is the best
+// (or tied-best) row per dataset; DeFi is the weakest dataset for every
+// model ("limited amount of data"). Note (EXPERIMENTS.md): our baselines
+// share the full training protocol, so the paper's dramatic baseline
+// collapses (negative R^2) do not reproduce — the ordering does.
+#include "bench_util.hpp"
+#include "forecast/train.hpp"
+
+using namespace hammer;
+using namespace hammer::forecast;
+
+int main() {
+  std::printf("=== Table III: forecasting model comparison ===\n");
+  bool full = bench::full_scale();
+
+  struct Dataset {
+    TraceKind kind;
+    std::size_t hours;
+  };
+  // DeFi deliberately gets a short (paper-length) trace; the others get
+  // longer histories, mirroring the dataset-size imbalance.
+  std::vector<Dataset> datasets = {{TraceKind::kDeFi, 300},
+                                   {TraceKind::kSandbox, full ? 900u : 700u},
+                                   {TraceKind::kNfts, full ? 900u : 700u}};
+
+  ModelConfig config;
+  config.window = 48;
+  config.channels = 16;
+
+  report::CsvWriter csv({"dataset", "method", "mae", "mse", "rmse", "r2"});
+  for (const Dataset& dataset : datasets) {
+    std::vector<double> series = generate_trace(dataset.kind, dataset.hours, 7);
+    std::printf("-- %s (%zu hourly points) --\n", trace_name(dataset.kind), dataset.hours);
+    double best_mae = 1e300;
+    std::string best_model;
+    double ours_mae = 0;
+    for (auto& model : make_all_models(config)) {
+      TrainOptions options;
+      options.epochs = full ? 60 : 40;
+      options.lr = model->name() == "Ours" ? 2e-3 : 3e-3;  // big model: gentler steps
+      SeriesEvaluation eval = train_and_evaluate(*model, series, config.window, 0.8, options);
+      std::printf("  %-12s MAE=%9.3f  MSE=%12.3f  RMSE=%9.3f  R2=%8.4f\n",
+                  model->name().c_str(), eval.metrics.mae, eval.metrics.mse, eval.metrics.rmse,
+                  eval.metrics.r2);
+      csv.add_row({trace_name(dataset.kind), model->name(),
+                   report::format_double(eval.metrics.mae, 3),
+                   report::format_double(eval.metrics.mse, 3),
+                   report::format_double(eval.metrics.rmse, 3),
+                   report::format_double(eval.metrics.r2, 4)});
+      if (eval.metrics.mae < best_mae) {
+        best_mae = eval.metrics.mae;
+        best_model = model->name();
+      }
+      if (model->name() == "Ours") ours_mae = eval.metrics.mae;
+    }
+    std::printf("  best MAE: %s; Ours within %.0f%% of best -> %s\n", best_model.c_str(),
+                best_mae > 0 ? (ours_mae / best_mae - 1.0) * 100.0 : 0.0,
+                ours_mae <= best_mae * 1.15 ? "MATCH" : "MISMATCH");
+  }
+  bench::save_csv(csv, "table3_models.csv");
+
+  std::printf("\npaper shape: Ours best on all datasets/metrics; Transformer weakest;"
+              " nonlinear >> Linear\n");
+  return 0;
+}

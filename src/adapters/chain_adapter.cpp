@@ -1,0 +1,73 @@
+#include "adapters/chain_adapter.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::adapters {
+
+ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel)
+    : channel_(std::move(channel)) {
+  HAMMER_CHECK(channel_ != nullptr);
+  json::Value v = call("chain.info", json::Value());
+  info_.name = v.at("name").as_string();
+  info_.kind = v.at("kind").as_string();
+  info_.shards = static_cast<std::uint32_t>(v.get_int("shards", 1));
+}
+
+json::Value ChainAdapter::call(const std::string& method, json::Value params) {
+  try {
+    return channel_->call(method, std::move(params));
+  } catch (const rpc::RpcError& e) {
+    // Application-level rejections keep their own type so drivers can count
+    // overload separately from transport failures.
+    if (e.code() == rpc::kServerError) throw RejectedError(e.what());
+    throw;
+  }
+}
+
+std::string ChainAdapter::submit(const chain::Transaction& tx) {
+  json::Object params;
+  params["tx"] = tx.to_json();
+  return call("chain.submit", json::Value(std::move(params))).at("tx_id").as_string();
+}
+
+std::uint64_t ChainAdapter::height(std::uint32_t shard) {
+  return static_cast<std::uint64_t>(
+      call("chain.height", json::object({{"shard", static_cast<std::int64_t>(shard)}}))
+          .at("height")
+          .as_int());
+}
+
+chain::Block ChainAdapter::block(std::uint32_t shard, std::uint64_t height) {
+  return chain::Block::from_json(
+      call("chain.block", json::object({{"shard", static_cast<std::int64_t>(shard)},
+                                        {"height", height}})));
+}
+
+json::Value ChainAdapter::query(std::uint32_t shard, const std::string& contract,
+                                const std::string& op, json::Value args) {
+  json::Object params;
+  params["shard"] = static_cast<std::int64_t>(shard);
+  params["contract"] = contract;
+  params["op"] = op;
+  params["args"] = std::move(args);
+  return call("chain.query", json::Value(std::move(params)));
+}
+
+json::Value ChainAdapter::stats() { return call("chain.stats", json::Value()); }
+
+std::optional<ChainAdapter::ReceiptInfo> ChainAdapter::tx_receipt(const std::string& tx_id) {
+  json::Value v = call("chain.tx_receipt", json::object({{"tx_id", tx_id}}));
+  if (!v.get_bool("found", false)) return std::nullopt;
+  ReceiptInfo info;
+  info.height = static_cast<std::uint64_t>(v.at("height").as_int());
+  info.status = static_cast<chain::TxStatus>(v.at("status").as_int());
+  return info;
+}
+
+std::string ChainAdapter::state_digest(std::uint32_t shard) {
+  return call("chain.state_digest", json::object({{"shard", static_cast<std::int64_t>(shard)}}))
+      .at("digest")
+      .as_string();
+}
+
+}  // namespace hammer::adapters

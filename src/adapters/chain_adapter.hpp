@@ -1,0 +1,61 @@
+// Client-side view of a System Under Test.
+//
+// ChainAdapter is the only interface Hammer's drivers use, so supporting a
+// new blockchain means implementing the seven-method RPC surface
+// (chain.info/submit/height/block/query/stats/state_digest) — regardless
+// of the SUT's architecture (sharded or not) or implementation language.
+// This is the paper's "set of generic remote procedure call interfaces".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/types.hpp"
+#include "rpc/jsonrpc.hpp"
+
+namespace hammer::adapters {
+
+struct ChainInfo {
+  std::string name;
+  std::string kind;
+  std::uint32_t shards = 1;
+};
+
+class ChainAdapter {
+ public:
+  explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel);
+
+  // Fetched once and cached; sharded SUTs report their shard count here so
+  // the driver can poll every shard's chain.
+  const ChainInfo& info() const { return info_; }
+
+  // Submits a signed transaction; returns its id. Overload and signature
+  // failures surface as RejectedError (mapped from JSON-RPC server errors);
+  // transport problems as TransportError.
+  std::string submit(const chain::Transaction& tx);
+
+  std::uint64_t height(std::uint32_t shard = 0);
+  chain::Block block(std::uint32_t shard, std::uint64_t height);
+  json::Value query(std::uint32_t shard, const std::string& contract, const std::string& op,
+                    json::Value args);
+  json::Value stats();
+  std::string state_digest(std::uint32_t shard = 0);
+
+  // Per-transaction status poll (interactive-testing style). nullopt while
+  // the transaction has not yet appeared in a block.
+  struct ReceiptInfo {
+    std::uint64_t height = 0;
+    chain::TxStatus status = chain::TxStatus::kCommitted;
+  };
+  std::optional<ReceiptInfo> tx_receipt(const std::string& tx_id);
+
+ private:
+  json::Value call(const std::string& method, json::Value params);
+
+  std::shared_ptr<rpc::Channel> channel_;
+  ChainInfo info_;
+};
+
+}  // namespace hammer::adapters

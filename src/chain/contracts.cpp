@@ -1,0 +1,204 @@
+#include "chain/contracts.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+
+using hammer::NotFoundError;
+using hammer::ParseError;
+
+namespace {
+std::string require_string(const json::Value& args, const char* key) {
+  if (!args.contains(key)) throw ParseError(std::string("missing argument ") + key);
+  return args.at(key).as_string();
+}
+
+std::int64_t require_int(const json::Value& args, const char* key) {
+  if (!args.contains(key)) throw ParseError(std::string("missing argument ") + key);
+  return args.at(key).as_int();
+}
+
+ExecResult fail(std::string why) {
+  ExecResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  return r;
+}
+}  // namespace
+
+// ------------------------------------------------------------- SmallBank
+
+ExecResult SmallBankContract::execute(const std::string& op, const json::Value& args,
+                                      TxContext& ctx) const {
+  auto checking_key = [](const std::string& c) { return "sb:c:" + c; };
+  auto savings_key = [](const std::string& c) { return "sb:s:" + c; };
+
+  if (op == "create_account") {
+    std::string customer = require_string(args, "customer");
+    ctx.put_int(checking_key(customer), require_int(args, "checking"));
+    ctx.put_int(savings_key(customer), require_int(args, "savings"));
+    return {};
+  }
+  if (op == "deposit_checking") {  // paper's "deposit"
+    std::string customer = require_string(args, "customer");
+    std::int64_t amount = require_int(args, "amount");
+    if (amount < 0) return fail("negative deposit");
+    auto balance = ctx.get_int(checking_key(customer));
+    if (!balance) return fail("unknown customer " + customer);
+    ctx.put_int(checking_key(customer), *balance + amount);
+    return {};
+  }
+  if (op == "transact_savings") {  // paper's "withdraw" (negative amounts)
+    std::string customer = require_string(args, "customer");
+    std::int64_t amount = require_int(args, "amount");
+    auto balance = ctx.get_int(savings_key(customer));
+    if (!balance) return fail("unknown customer " + customer);
+    if (*balance + amount < 0) return fail("insufficient savings");
+    ctx.put_int(savings_key(customer), *balance + amount);
+    return {};
+  }
+  if (op == "send_payment") {  // paper's "transfer"
+    std::string from = require_string(args, "from");
+    std::string to = require_string(args, "to");
+    std::int64_t amount = require_int(args, "amount");
+    if (amount < 0) return fail("negative payment");
+    auto from_balance = ctx.get_int(checking_key(from));
+    if (!from_balance) return fail("unknown customer " + from);
+    auto to_balance = ctx.get_int(checking_key(to));
+    if (!to_balance) return fail("unknown customer " + to);
+    if (*from_balance < amount) return fail("insufficient checking");
+    ctx.put_int(checking_key(from), *from_balance - amount);
+    ctx.put_int(checking_key(to), *to_balance + amount);
+    return {};
+  }
+  if (op == "write_check") {
+    std::string customer = require_string(args, "customer");
+    std::int64_t amount = require_int(args, "amount");
+    auto checking = ctx.get_int(checking_key(customer));
+    auto savings = ctx.get_int(savings_key(customer));
+    if (!checking || !savings) return fail("unknown customer " + customer);
+    // OLTP-Bench semantics: overdraft allowed, with a 1-unit penalty.
+    std::int64_t penalty = (*checking + *savings < amount) ? 1 : 0;
+    ctx.put_int(checking_key(customer), *checking - amount - penalty);
+    return {};
+  }
+  if (op == "amalgamate") {
+    std::string from = require_string(args, "from");
+    std::string to = require_string(args, "to");
+    auto savings = ctx.get_int(savings_key(from));
+    auto checking = ctx.get_int(checking_key(from));
+    if (!savings || !checking) return fail("unknown customer " + from);
+    auto dest = ctx.get_int(checking_key(to));
+    if (!dest) return fail("unknown customer " + to);
+    ctx.put_int(savings_key(from), 0);
+    ctx.put_int(checking_key(from), 0);
+    ctx.put_int(checking_key(to), *dest + *savings + *checking);
+    return {};
+  }
+  if (op == "query") {
+    std::string customer = require_string(args, "customer");
+    auto checking = ctx.get_int(checking_key(customer));
+    auto savings = ctx.get_int(savings_key(customer));
+    if (!checking || !savings) return fail("unknown customer " + customer);
+    ExecResult r;
+    r.return_value = json::object({{"checking", *checking}, {"savings", *savings}});
+    return r;
+  }
+  return fail("unknown smallbank op " + op);
+}
+
+// -------------------------------------------------------------------- KV
+
+ExecResult KvContract::execute(const std::string& op, const json::Value& args,
+                               TxContext& ctx) const {
+  if (op == "put") {
+    ctx.put("kv:" + require_string(args, "key"), require_string(args, "value"));
+    return {};
+  }
+  if (op == "get") {
+    auto v = ctx.get("kv:" + require_string(args, "key"));
+    ExecResult r;
+    r.return_value = v ? json::Value(*v) : json::Value();
+    return r;
+  }
+  if (op == "read_modify_write") {
+    std::string key = "kv:" + require_string(args, "key");
+    auto v = ctx.get(key);
+    if (!v) return fail("missing key");
+    ctx.put(key, *v + require_string(args, "suffix"));
+    return {};
+  }
+  return fail("unknown kv op " + op);
+}
+
+// ----------------------------------------------------------------- Token
+
+ExecResult TokenContract::execute(const std::string& op, const json::Value& args,
+                                  TxContext& ctx) const {
+  auto balance_key = [](const std::string& sym, const std::string& holder) {
+    return "tok:" + sym + ":" + holder;
+  };
+  if (op == "mint") {
+    std::string symbol = require_string(args, "symbol");
+    std::string to = require_string(args, "to");
+    std::int64_t amount = require_int(args, "amount");
+    if (amount <= 0) return fail("mint amount must be positive");
+    std::string supply_key = "tok:" + symbol + ":supply";
+    std::int64_t supply = ctx.get_int(supply_key).value_or(0);
+    std::int64_t balance = ctx.get_int(balance_key(symbol, to)).value_or(0);
+    ctx.put_int(supply_key, supply + amount);
+    ctx.put_int(balance_key(symbol, to), balance + amount);
+    return {};
+  }
+  if (op == "transfer") {
+    std::string symbol = require_string(args, "symbol");
+    std::string from = require_string(args, "from");
+    std::string to = require_string(args, "to");
+    std::int64_t amount = require_int(args, "amount");
+    if (amount <= 0) return fail("transfer amount must be positive");
+    auto from_balance = ctx.get_int(balance_key(symbol, from));
+    if (!from_balance || *from_balance < amount) return fail("insufficient balance");
+    std::int64_t to_balance = ctx.get_int(balance_key(symbol, to)).value_or(0);
+    ctx.put_int(balance_key(symbol, from), *from_balance - amount);
+    ctx.put_int(balance_key(symbol, to), to_balance + amount);
+    return {};
+  }
+  if (op == "balance") {
+    std::string symbol = require_string(args, "symbol");
+    std::string holder = require_string(args, "holder");
+    ExecResult r;
+    r.return_value = json::Value(ctx.get_int(balance_key(symbol, holder)).value_or(0));
+    return r;
+  }
+  return fail("unknown token op " + op);
+}
+
+// -------------------------------------------------------------- registry
+
+std::shared_ptr<const ContractRegistry> ContractRegistry::standard() {
+  auto registry = std::make_shared<ContractRegistry>();
+  registry->add(std::make_unique<SmallBankContract>());
+  registry->add(std::make_unique<KvContract>());
+  registry->add(std::make_unique<TokenContract>());
+  return registry;
+}
+
+void ContractRegistry::add(std::unique_ptr<Contract> contract) {
+  contracts_.push_back(std::move(contract));
+}
+
+const Contract& ContractRegistry::get(const std::string& name) const {
+  for (const auto& c : contracts_) {
+    if (c->name() == name) return *c;
+  }
+  throw NotFoundError("contract " + name);
+}
+
+bool ContractRegistry::has(const std::string& name) const {
+  for (const auto& c : contracts_) {
+    if (c->name() == name) return true;
+  }
+  return false;
+}
+
+}  // namespace hammer::chain

@@ -1,0 +1,74 @@
+// Smart contracts installed on every chain simulator.
+//
+//  - smallbank: the paper's evaluation workload (§V Workload). Checking and
+//    savings balances per customer; the canonical six OLTP-Bench operations.
+//  - kv: YCSB-style put/get/readmodifywrite over opaque values.
+//  - token: Blockbench-v3-style token exchange (mint/transfer/balance),
+//    used by the workload module's token-exchange generator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/state.hpp"
+#include "chain/types.hpp"
+
+namespace hammer::chain {
+
+struct ExecResult {
+  bool ok = true;
+  std::string error;           // reason when !ok
+  json::Value return_value;    // query results
+};
+
+class Contract {
+ public:
+  virtual ~Contract() = default;
+  virtual std::string name() const = 0;
+  // Executes op/args against ctx. Application failures (unknown account,
+  // insufficient funds) come back as !ok; malformed args throw ParseError.
+  virtual ExecResult execute(const std::string& op, const json::Value& args,
+                             TxContext& ctx) const = 0;
+};
+
+// SmallBank state layout: "sb:c:<customer>" checking, "sb:s:<customer>"
+// savings, both integer cents.
+class SmallBankContract final : public Contract {
+ public:
+  std::string name() const override { return "smallbank"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
+class KvContract final : public Contract {
+ public:
+  std::string name() const override { return "kv"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
+// Token state layout: "tok:<symbol>:<holder>" integer balance and
+// "tok:<symbol>:supply" total supply.
+class TokenContract final : public Contract {
+ public:
+  std::string name() const override { return "token"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
+// Immutable registry shared by chain nodes.
+class ContractRegistry {
+ public:
+  // Registers the three built-in contracts.
+  static std::shared_ptr<const ContractRegistry> standard();
+
+  void add(std::unique_ptr<Contract> contract);
+  const Contract& get(const std::string& name) const;  // throws NotFoundError
+  bool has(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<Contract>> contracts_;
+};
+
+}  // namespace hammer::chain

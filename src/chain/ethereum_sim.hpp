@@ -1,0 +1,39 @@
+// Ethereum-like PoW chain simulator.
+//
+// One miner solves a real hash puzzle (SHA-256 instead of Ethash) whose
+// difficulty retargets toward the configured block interval; hash rate is
+// throttled so mining models a remote cluster instead of monopolizing the
+// local core. Order-execute semantics: transactions are executed when the
+// block is assembled, before sealing.
+#pragma once
+
+#include <thread>
+
+#include "chain/blockchain.hpp"
+
+namespace hammer::chain {
+
+class EthereumSim final : public Blockchain {
+ public:
+  EthereumSim(ChainConfig config, std::shared_ptr<util::Clock> clock);
+  ~EthereumSim() override;
+
+  std::string kind() const override { return "ethereum"; }
+  void start() override;
+  void stop() override;
+
+  // Test/genesis hook: mutate a shard's state before (or between) blocks.
+  void with_state(const std::function<void(StateStore&)>& fn);
+
+  std::uint64_t current_difficulty() const { return difficulty_.load(); }
+
+ private:
+  void mine_loop();
+  // Returns the winning nonce, or nullopt if the chain stopped mid-mine.
+  std::optional<std::uint64_t> mine(const BlockHeader& header);
+
+  std::atomic<std::uint64_t> difficulty_{1};
+  std::thread miner_;
+};
+
+}  // namespace hammer::chain

@@ -1,0 +1,55 @@
+#include "chain/factory.hpp"
+
+#include "chain/ethereum_sim.hpp"
+#include "chain/fabric_sim.hpp"
+#include "chain/meepo_sim.hpp"
+#include "chain/neuchain_sim.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+
+std::shared_ptr<Blockchain> make_chain(const json::Value& config,
+                                       std::shared_ptr<util::Clock> clock) {
+  std::string kind = config.get_string("kind", "");
+  ChainConfig cc = ChainConfig::from_json(config);
+  if (kind == "ethereum") return std::make_shared<EthereumSim>(std::move(cc), std::move(clock));
+  if (kind == "fabric") return std::make_shared<FabricSim>(std::move(cc), std::move(clock));
+  if (kind == "neuchain") return std::make_shared<NeuchainSim>(std::move(cc), std::move(clock));
+  if (kind == "meepo") return std::make_shared<MeepoSim>(std::move(cc), std::move(clock));
+  throw ParseError("unknown chain kind '" + kind + "'");
+}
+
+std::vector<std::string> genesis_smallbank_accounts(Blockchain& chain, std::size_t per_shard,
+                                                    std::int64_t initial_checking,
+                                                    std::int64_t initial_savings) {
+  // Generate names until every shard holds per_shard accounts; the name ->
+  // shard mapping is the same hash the chain uses for routing.
+  std::vector<std::string> accounts;
+  std::vector<std::size_t> filled(chain.num_shards(), 0);
+  std::size_t want_total = per_shard * chain.num_shards();
+  std::uint64_t counter = 0;
+  while (accounts.size() < want_total) {
+    std::string name = "acct" + std::to_string(counter++);
+    std::uint32_t shard = chain.shard_for_sender(name);
+    if (filled[shard] >= per_shard) continue;
+    ++filled[shard];
+    accounts.push_back(name);
+    // Write directly into the shard's state (genesis allocation).
+    auto* eth = dynamic_cast<EthereumSim*>(&chain);
+    auto* fab = dynamic_cast<FabricSim*>(&chain);
+    auto* neu = dynamic_cast<NeuchainSim*>(&chain);
+    auto* meepo = dynamic_cast<MeepoSim*>(&chain);
+    auto init = [&](StateStore& state) {
+      state.put("sb:c:" + name, std::to_string(initial_checking));
+      state.put("sb:s:" + name, std::to_string(initial_savings));
+    };
+    if (eth) eth->with_state(init);
+    else if (fab) fab->with_state(init);
+    else if (neu) neu->with_state(init);
+    else if (meepo) meepo->with_state(shard, init);
+    else throw LogicError("genesis_smallbank_accounts: unknown chain type");
+  }
+  return accounts;
+}
+
+}  // namespace hammer::chain

@@ -1,0 +1,23 @@
+// Constructs a chain simulator from a JSON deployment description, e.g.
+//   {"kind": "fabric", "name": "fabric-1", "block_interval_ms": 100, ...}
+#pragma once
+
+#include <memory>
+
+#include "chain/blockchain.hpp"
+
+namespace hammer::chain {
+
+// Known kinds: "ethereum", "fabric", "neuchain", "meepo".
+// Throws ParseError on unknown kind.
+std::shared_ptr<Blockchain> make_chain(const json::Value& config,
+                                       std::shared_ptr<util::Clock> clock);
+
+// Pre-populates SmallBank accounts into the correct shards (genesis-style,
+// bypassing transactions) and returns the account names. Equivalent to the
+// paper's setup of "5,000 accounts in each shard".
+std::vector<std::string> genesis_smallbank_accounts(Blockchain& chain, std::size_t per_shard,
+                                                    std::int64_t initial_checking,
+                                                    std::int64_t initial_savings);
+
+}  // namespace hammer::chain

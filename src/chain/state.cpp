@@ -1,0 +1,102 @@
+#include "chain/state.hpp"
+
+#include <charconv>
+
+#include "crypto/sha256.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+
+std::optional<VersionedValue> StateStore::get(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StateStore::put(const std::string& key, std::string value) {
+  std::scoped_lock lock(mu_);
+  VersionedValue& vv = map_[key];
+  vv.value = std::move(value);
+  ++vv.version;
+}
+
+bool StateStore::validate_and_apply(const ReadWriteSet& rw_set, std::string* conflict_key) {
+  std::scoped_lock lock(mu_);
+  for (const ReadEntry& read : rw_set.reads) {
+    auto it = map_.find(read.key);
+    std::uint64_t current = it == map_.end() ? 0 : it->second.version;
+    if (current != read.version) {
+      if (conflict_key) *conflict_key = read.key;
+      return false;
+    }
+  }
+  for (const WriteEntry& write : rw_set.writes) {
+    VersionedValue& vv = map_[write.key];
+    vv.value = write.value;
+    ++vv.version;
+  }
+  return true;
+}
+
+void StateStore::apply(const ReadWriteSet& rw_set) {
+  std::scoped_lock lock(mu_);
+  for (const WriteEntry& write : rw_set.writes) {
+    VersionedValue& vv = map_[write.key];
+    vv.value = write.value;
+    ++vv.version;
+  }
+}
+
+std::size_t StateStore::key_count() const {
+  std::scoped_lock lock(mu_);
+  return map_.size();
+}
+
+std::string StateStore::state_digest() const {
+  std::scoped_lock lock(mu_);
+  crypto::Sha256 h;
+  for (const auto& [key, vv] : map_) {  // std::map: deterministic order
+    h.update(key).update("=").update(vv.value).update(";");
+  }
+  return crypto::digest_hex(h.finish());
+}
+
+std::optional<std::string> TxContext::get(const std::string& key) {
+  auto local = local_writes_.find(key);
+  if (local != local_writes_.end()) return local->second;
+  auto vv = store_.get(key);
+  rw_set_.reads.push_back(ReadEntry{key, vv ? vv->version : 0});
+  if (!vv) return std::nullopt;
+  return vv->value;
+}
+
+void TxContext::put(const std::string& key, std::string value) {
+  local_writes_[key] = value;
+  // Later writes to the same key overwrite the earlier entry so the write
+  // set stays minimal.
+  for (WriteEntry& w : rw_set_.writes) {
+    if (w.key == key) {
+      w.value = std::move(value);
+      return;
+    }
+  }
+  rw_set_.writes.push_back(WriteEntry{key, std::move(value)});
+}
+
+std::optional<std::int64_t> TxContext::get_int(const std::string& key) {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw hammer::LogicError("state key " + key + " holds non-integer '" + *v + "'");
+  }
+  return out;
+}
+
+void TxContext::put_int(const std::string& key, std::int64_t value) {
+  put(key, std::to_string(value));
+}
+
+}  // namespace hammer::chain

@@ -1,0 +1,87 @@
+// Versioned world state and read/write-set execution.
+//
+// All chains share the same execution substrate: a contract runs against a
+// TxContext that records which keys it read (and at which version) and
+// which it wants to write. Order-execute chains (Ethereum/Neuchain/Meepo
+// sims) apply the write set immediately; Fabric's execute-order-validate
+// pipeline stores the read/write set at endorsement time and revalidates
+// versions at commit (MVCC) — stale reads fail the transaction, which is
+// how real Fabric produces the failures the usability experiment observes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hammer::chain {
+
+struct VersionedValue {
+  std::string value;
+  std::uint64_t version = 0;  // bumped on every write
+};
+
+struct ReadEntry {
+  std::string key;
+  std::uint64_t version = 0;  // 0 = key absent at read time
+};
+
+struct WriteEntry {
+  std::string key;
+  std::string value;
+};
+
+struct ReadWriteSet {
+  std::vector<ReadEntry> reads;
+  std::vector<WriteEntry> writes;
+};
+
+class StateStore {
+ public:
+  std::optional<VersionedValue> get(const std::string& key) const;
+
+  void put(const std::string& key, std::string value);
+
+  // MVCC commit: succeeds (applies all writes atomically) iff every read
+  // version still matches. On failure returns the first conflicting key.
+  // Used by FabricSim validation.
+  bool validate_and_apply(const ReadWriteSet& rw_set, std::string* conflict_key = nullptr);
+
+  // Unconditional apply (order-execute chains already hold execution order).
+  void apply(const ReadWriteSet& rw_set);
+
+  std::size_t key_count() const;
+
+  // Deterministic digest over the full state; used by the correctness
+  // experiment to compare ledgers rebuilt through independent paths.
+  std::string state_digest() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, VersionedValue> map_;
+};
+
+// Execution-time view handed to contracts. Reads go through the store
+// (recording versions) with read-your-own-writes semantics.
+class TxContext {
+ public:
+  explicit TxContext(const StateStore& store) : store_(store) {}
+
+  std::optional<std::string> get(const std::string& key);
+  void put(const std::string& key, std::string value);
+
+  // Integer convenience wrappers (SmallBank balances).
+  std::optional<std::int64_t> get_int(const std::string& key);
+  void put_int(const std::string& key, std::int64_t value);
+
+  ReadWriteSet take_rw_set() { return std::move(rw_set_); }
+
+ private:
+  const StateStore& store_;
+  ReadWriteSet rw_set_;
+  std::map<std::string, std::string> local_writes_;  // read-your-own-writes
+};
+
+}  // namespace hammer::chain

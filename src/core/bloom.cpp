@@ -1,0 +1,68 @@
+#include "core/bloom.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+namespace {
+// Two independent 64-bit FNV-1a streams with distinct offset bases.
+std::pair<std::uint64_t, std::uint64_t> hash_pair(std::string_view key) {
+  std::uint64_t h1 = 14695981039346656037ULL;
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ULL;
+  for (unsigned char c : key) {
+    h1 = (h1 ^ c) * 1099511628211ULL;
+    h2 = (h2 ^ (c + 0x7f)) * 0x100000001b3ULL;
+  }
+  // Finalization mix (splitmix-style) to decorrelate low bits.
+  auto mix = [](std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  return {mix(h1), mix(h2) | 1};  // h2 odd so probes cover all positions
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double fp_rate) {
+  HAMMER_CHECK(expected_items > 0);
+  HAMMER_CHECK(fp_rate > 0.0 && fp_rate < 1.0);
+  double ln2 = std::log(2.0);
+  auto bits = static_cast<std::size_t>(
+      std::ceil(-static_cast<double>(expected_items) * std::log(fp_rate) / (ln2 * ln2)));
+  bit_count_ = std::max<std::size_t>(bits, 64);
+  num_hashes_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(
+             static_cast<double>(bit_count_) / static_cast<double>(expected_items) * ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::insert(std::string_view key) {
+  auto [h1, h2] = hash_pair(key);
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    std::uint64_t pos = (h1 + i * h2) % bit_count_;
+    bits_[pos / 64] |= 1ULL << (pos % 64);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(std::string_view key) const {
+  auto [h1, h2] = hash_pair(key);
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    std::uint64_t pos = (h1 + i * h2) % bit_count_;
+    if ((bits_[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::estimated_fp_rate() const {
+  double k = static_cast<double>(num_hashes_);
+  double n = static_cast<double>(inserted_);
+  double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace hammer::core

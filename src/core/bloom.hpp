@@ -1,0 +1,38 @@
+// Bloom filter used by the task-processing algorithm (paper Alg. 1 lines
+// 14-17): transaction ids parsed from a block are first screened against
+// the filter; ids Hammer never submitted (other clients' traffic in a
+// shared SUT, relay artifacts, ...) are rejected without touching the hash
+// index. Double hashing (Kirsch-Mitzenmatcher) derives the k probe
+// positions from two 64-bit FNV-1a variants.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hammer::core {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_items` at `fp_rate` false positives (m = -n ln p /
+  // ln^2 2, k = m/n ln 2).
+  BloomFilter(std::size_t expected_items, double fp_rate);
+
+  void insert(std::string_view key);
+  bool may_contain(std::string_view key) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+  std::size_t hash_count() const { return num_hashes_; }
+  std::size_t inserted() const { return inserted_; }
+
+  // Expected false-positive rate at the current fill level.
+  double estimated_fp_rate() const;
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t bit_count_;
+  std::size_t num_hashes_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace hammer::core

@@ -1,0 +1,83 @@
+#include "core/deployment.hpp"
+
+#include "chain/factory.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace hammer::core {
+
+std::shared_ptr<rpc::Channel> DeployedChain::connect() const {
+  if (tcp_server) {
+    return std::make_shared<rpc::TcpChannel>("127.0.0.1", tcp_server->port());
+  }
+  return std::make_shared<rpc::InProcChannel>(dispatcher);
+}
+
+std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
+    std::size_t count) const {
+  std::vector<std::shared_ptr<adapters::ChainAdapter>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(std::make_shared<adapters::ChainAdapter>(connect()));
+  }
+  return out;
+}
+
+Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clock> clock) {
+  HAMMER_CHECK(clock != nullptr);
+  Deployment deployment;
+  for (const json::Value& spec : plan.at("chains").as_array()) {
+    auto deployed = std::make_unique<DeployedChain>();
+    deployed->chain = chain::make_chain(spec, clock);
+    deployed->dispatcher = std::make_shared<rpc::Dispatcher>();
+    chain::bind_chain_rpc(deployed->chain, *deployed->dispatcher);
+
+    auto per_shard = static_cast<std::size_t>(spec.get_int("smallbank_accounts_per_shard", 0));
+    if (per_shard > 0) {
+      deployed->smallbank_accounts = chain::genesis_smallbank_accounts(
+          *deployed->chain, per_shard, spec.get_int("initial_checking", 1000000),
+          spec.get_int("initial_savings", 1000000));
+    }
+
+    std::string transport = spec.get_string("transport", "inproc");
+    if (transport == "tcp") {
+      deployed->tcp_server = std::make_unique<rpc::TcpServer>(deployed->dispatcher, 0);
+    } else if (transport != "inproc") {
+      throw ParseError("unknown transport '" + transport + "'");
+    }
+
+    deployed->chain->start();
+    std::string name = deployed->chain->config().name;
+    HLOG_INFO("deploy") << "started " << deployed->chain->kind() << " '" << name << "' ("
+                        << deployed->chain->num_shards() << " shard(s), "
+                        << deployed->smallbank_accounts.size() << " accounts)";
+    auto [it, inserted] = deployment.chains_.emplace(name, std::move(deployed));
+    (void)it;
+    HAMMER_CHECK_MSG(inserted, "duplicate chain name " + name);
+  }
+  return deployment;
+}
+
+Deployment::~Deployment() {
+  for (auto& [name, deployed] : chains_) {
+    if (deployed && deployed->chain) deployed->chain->stop();
+  }
+}
+
+DeployedChain& Deployment::at(const std::string& name) {
+  auto it = chains_.find(name);
+  if (it == chains_.end()) throw NotFoundError("deployed chain " + name);
+  return *it->second;
+}
+
+std::vector<std::string> Deployment::names() const {
+  std::vector<std::string> out;
+  out.reserve(chains_.size());
+  for (const auto& [name, deployed] : chains_) {
+    (void)deployed;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hammer::core

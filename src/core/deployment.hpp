@@ -1,0 +1,60 @@
+// Declarative SUT deployment — the stand-in for the paper's Ansible
+// playbooks ("automated deployment scripts ... to replace the manual
+// deployment process"). A JSON plan names the chains to launch, their
+// parameters, transport and genesis accounts; deploy() builds, populates
+// and starts them, and hands back RPC-ready endpoints.
+//
+// Plan shape:
+// {
+//   "chains": [
+//     {"kind": "fabric", "name": "fabric-1", "block_interval_ms": 100,
+//      "transport": "inproc",            // or "tcp"
+//      "smallbank_accounts_per_shard": 1000,
+//      "initial_checking": 10000, "initial_savings": 10000, ...}
+//   ]
+// }
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/chain_adapter.hpp"
+#include "chain/blockchain.hpp"
+#include "rpc/tcp.hpp"
+#include "util/clock.hpp"
+
+namespace hammer::core {
+
+struct DeployedChain {
+  std::shared_ptr<chain::Blockchain> chain;
+  std::shared_ptr<rpc::Dispatcher> dispatcher;
+  std::unique_ptr<rpc::TcpServer> tcp_server;  // null for in-process transport
+  std::vector<std::string> smallbank_accounts;
+
+  // Creates a fresh client channel (in-proc, or a new TCP connection).
+  std::shared_ptr<rpc::Channel> connect() const;
+
+  // Convenience: `count` independent adapters (one per driver thread).
+  std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(std::size_t count) const;
+};
+
+class Deployment {
+ public:
+  // Builds and STARTS every chain in the plan. Chains stop on destruction.
+  static Deployment deploy(const json::Value& plan, std::shared_ptr<util::Clock> clock);
+
+  ~Deployment();
+  Deployment(Deployment&&) = default;
+  Deployment& operator=(Deployment&&) = default;
+
+  DeployedChain& at(const std::string& name);
+  std::vector<std::string> names() const;
+
+ private:
+  Deployment() = default;
+  std::map<std::string, std::unique_ptr<DeployedChain>> chains_;
+};
+
+}  // namespace hammer::core

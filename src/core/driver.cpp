@@ -1,0 +1,329 @@
+#include "core/driver.hpp"
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace hammer::core {
+
+HammerDriver::HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
+                           std::shared_ptr<adapters::ChainAdapter> poll_adapter,
+                           std::shared_ptr<util::Clock> clock, DriverOptions options)
+    : worker_adapters_(std::move(worker_adapters)),
+      poll_adapter_(std::move(poll_adapter)),
+      clock_(std::move(clock)),
+      options_(std::move(options)) {
+  HAMMER_CHECK(!worker_adapters_.empty());
+  HAMMER_CHECK(worker_adapters_.size() >= options_.worker_threads);
+  HAMMER_CHECK(poll_adapter_ != nullptr);
+  HAMMER_CHECK(clock_ != nullptr);
+  HAMMER_CHECK(options_.worker_threads >= 1);
+  if (options_.client_vcpus > 0) {
+    HAMMER_CHECK(options_.client_vcpus <= 64);
+    client_cores_ = std::make_unique<std::counting_semaphore<64>>(options_.client_vcpus);
+  }
+}
+
+void HammerDriver::charge_client_cpu() {
+  if (!client_cores_ || options_.per_tx_client_us <= 0) return;
+  // Serialize per-tx client work over the modeled cores.
+  client_cores_->acquire();
+  std::int64_t work = options_.per_tx_client_us;
+  // Oversubscription overhead: every thread beyond the core count adds
+  // context-switch cost to each transaction's client-side work.
+  if (options_.worker_threads > options_.client_vcpus) {
+    work += options_.switch_penalty_us *
+            static_cast<std::int64_t>(options_.worker_threads - options_.client_vcpus);
+  }
+  clock_->sleep_for(std::chrono::microseconds(work));
+  client_cores_->release();
+}
+
+void HammerDriver::worker_loop(std::size_t worker_index,
+                               util::MpmcQueue<chain::Transaction>& queue,
+                               workload::RateController* rate) {
+  adapters::ChainAdapter& adapter = *worker_adapters_[worker_index];
+  const std::string& chainname = adapter.info().name;
+  while (auto tx = queue.pop()) {
+    if (rate) {
+      auto deadline = rate->next_send_time();
+      if (deadline) clock_->sleep_until(*deadline);
+      // An exhausted rate plan still sends the remaining queue immediately
+      // (plan totals and workload size are matched by callers).
+    }
+    charge_client_cpu();
+
+    std::string tx_id = tx->compute_id();
+    std::int64_t start_us = clock_->now_us();
+
+    switch (options_.mode) {
+      case TrackingMode::kHammer: {
+        // Register BEFORE submitting so the poller can never observe the
+        // block before the index knows the id.
+        std::size_t position = task_processor_->register_tx(
+            tx_id, start_us, tx->client_id, tx->server_id, chainname, tx->contract);
+        try {
+          adapter.submit(*tx);
+        } catch (const RejectedError&) {
+          rejections_.fetch_add(1);
+          task_processor_->mark_rejected(position, clock_->now_us());
+        }
+        break;
+      }
+      case TrackingMode::kBatchQueue: {
+        batch_processor_->register_tx(tx_id, start_us);
+        try {
+          adapter.submit(*tx);
+        } catch (const RejectedError&) {
+          rejections_.fetch_add(1);
+          // The baseline has no O(1) lookup; rejected ids simply rot in the
+          // queue (a real Blockbench driver behaves the same way).
+        }
+        break;
+      }
+      case TrackingMode::kInteractive: {
+        try {
+          adapter.submit(*tx);
+        } catch (const RejectedError&) {
+          rejections_.fetch_add(1);
+          CompletedTx done;
+          done.tx_id = tx_id;
+          done.start_us = start_us;
+          done.end_us = clock_->now_us();
+          done.status = chain::TxStatus::kInvalid;
+          std::scoped_lock lock(interactive_mu_);
+          interactive_completed_.push_back(std::move(done));
+          break;
+        }
+        // Hand the transaction to the per-tx listener (Caliper-style
+        // response monitoring); sending continues without waiting.
+        std::scoped_lock lock(interactive_mu_);
+        interactive_pending_.push_back(InteractivePending{tx_id, start_us});
+        break;
+      }
+    }
+  }
+}
+
+void HammerDriver::listener_loop() {
+  // Interactive testing (paper §II-C2): every transaction is monitored
+  // individually — one status RPC per pending transaction per round. This
+  // is the "significant resource wastage" the paper attributes to
+  // Caliper-style frameworks: the listener burns CPU and RPC capacity that
+  // the submitting workers would otherwise use.
+  while (!stop_polling_.load()) {
+    std::vector<InteractivePending> snapshot;
+    {
+      std::scoped_lock lock(interactive_mu_);
+      snapshot.assign(interactive_pending_.begin(), interactive_pending_.end());
+    }
+    if (snapshot.empty()) {
+      clock_->sleep_for(options_.interactive_poll);
+      continue;
+    }
+    std::vector<std::pair<std::string, CompletedTx>> done;
+    for (const InteractivePending& pending : snapshot) {
+      try {
+        auto receipt = poll_adapter_->tx_receipt(pending.tx_id);
+        if (receipt) {
+          CompletedTx completed;
+          completed.tx_id = pending.tx_id;
+          completed.start_us = pending.start_us;
+          completed.end_us = clock_->now_us();
+          completed.status = receipt->status;
+          done.emplace_back(pending.tx_id, std::move(completed));
+        }
+      } catch (const Error& e) {
+        HLOG_WARN("driver") << "receipt poll failed: " << e.what();
+      }
+    }
+    if (!done.empty()) {
+      std::scoped_lock lock(interactive_mu_);
+      for (auto& [id, completed] : done) {
+        for (auto it = interactive_pending_.begin(); it != interactive_pending_.end(); ++it) {
+          if (it->tx_id == id) {
+            interactive_pending_.erase(it);
+            break;
+          }
+        }
+        interactive_completed_.push_back(std::move(completed));
+      }
+    }
+    clock_->sleep_for(options_.interactive_poll);
+  }
+}
+
+void HammerDriver::poll_loop() {
+  std::uint32_t shards = poll_adapter_->info().shards;
+  std::vector<std::uint64_t> scanned(shards, 0);
+  while (!stop_polling_.load()) {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      std::uint64_t h;
+      try {
+        h = poll_adapter_->height(s);
+      } catch (const Error& e) {
+        HLOG_WARN("driver") << "height poll failed: " << e.what();
+        continue;
+      }
+      for (std::uint64_t b = scanned[s] + 1; b <= h; ++b) {
+        // Algorithm 1 line 11: the observation time IS the commit time,
+        // recorded before the fetch so block transfer does not inflate
+        // measured latency.
+        std::int64_t block_time_us = clock_->now_us();
+        chain::Block block;
+        try {
+          block = poll_adapter_->block(s, b);
+        } catch (const Error& e) {
+          HLOG_WARN("driver") << "block fetch failed: " << e.what();
+          break;
+        }
+        if (options_.mode == TrackingMode::kHammer) {
+          task_processor_->on_block(block_time_us, block.receipts);
+        } else {
+          batch_processor_->on_block(block_time_us, block.receipts);
+        }
+      }
+      scanned[s] = h;
+    }
+    clock_->sleep_for(options_.poll_interval);
+  }
+}
+
+RunResult HammerDriver::run(const workload::WorkloadFile& workload,
+                            const workload::ControlSequence* rate) {
+  const std::size_t total = workload.transactions.size();
+  if (options_.mode == TrackingMode::kHammer) {
+    TaskProcessor::Options tp = options_.task_processor;
+    tp.expected_txs = std::max(tp.expected_txs, total);
+    task_processor_ = std::make_unique<TaskProcessor>(tp);
+  } else {
+    batch_processor_ = std::make_unique<BatchQueueProcessor>();
+  }
+  interactive_completed_.clear();
+  interactive_pending_.clear();
+  rejections_.store(0);
+  stop_polling_.store(false);
+
+  // --- preparation: signing (serial up-front or pipelined) ---
+  util::MpmcQueue<chain::Transaction> send_queue(options_.sign_queue_capacity);
+  std::thread feeder;
+  if (options_.pipelined_signing) {
+    feeder = std::thread([this, &send_queue, &workload] {
+      for (chain::Transaction tx : workload.transactions) {
+        // The sending server stamps its id before signing (Alg. 1 line 3's
+        // s_id is part of the signed payload).
+        tx.server_id = options_.server_id;
+        tx.sign_with(keys_->get(tx.sender));
+        if (!send_queue.push(std::move(tx))) return;
+      }
+      send_queue.close();
+    });
+  } else {
+    std::vector<chain::Transaction> txs = workload.transactions;
+    for (chain::Transaction& tx : txs) tx.server_id = options_.server_id;
+    sign_serial(txs, *keys_);
+    feeder = std::thread([&send_queue, txs = std::move(txs)]() mutable {
+      for (chain::Transaction& tx : txs) {
+        if (!send_queue.push(std::move(tx))) return;
+      }
+      send_queue.close();
+    });
+  }
+
+  // --- execution ---
+  std::unique_ptr<workload::RateController> controller;
+  if (rate) controller = std::make_unique<workload::RateController>(*rate, clock_);
+
+  std::thread poller;
+  if (options_.mode == TrackingMode::kInteractive) {
+    poller = std::thread([this] { listener_loop(); });
+  } else {
+    poller = std::thread([this] { poll_loop(); });
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(options_.worker_threads);
+  for (std::size_t w = 0; w < options_.worker_threads; ++w) {
+    workers.emplace_back(
+        [this, w, &send_queue, &controller] { worker_loop(w, send_queue, controller.get()); });
+  }
+  for (auto& t : workers) t.join();
+  feeder.join();
+
+  // --- drain: wait for in-flight transactions to land in blocks ---
+  {
+    util::TimePoint drain_deadline = clock_->now() + options_.drain_timeout;
+    auto pending = [this]() -> std::size_t {
+      switch (options_.mode) {
+        case TrackingMode::kHammer: return task_processor_->pending_count();
+        case TrackingMode::kBatchQueue: return batch_processor_->pending_count();
+        case TrackingMode::kInteractive: {
+          std::scoped_lock lock(interactive_mu_);
+          return interactive_pending_.size();
+        }
+      }
+      return 0;
+    };
+    while (pending() > 0 && clock_->now() < drain_deadline) {
+      clock_->sleep_for(options_.poll_interval);
+    }
+    stop_polling_.store(true);
+    poller.join();
+  }
+
+  // --- summarize ---
+  RunResult result;
+  if (options_.mode == TrackingMode::kHammer) {
+    std::vector<TxRecord> records = task_processor_->snapshot();
+    result = summarize(records);
+    if (options_.metrics) {
+      options_.metrics->push_records(records);
+      options_.metrics->commit_to_sql();
+    }
+  } else {
+    // Build records from the baseline's completion lists.
+    std::vector<TxRecord> records;
+    records.reserve(total);
+    auto add_completed = [&records](const CompletedTx& done) {
+      TxRecord r;
+      r.tx_id = done.tx_id;
+      r.start_us = done.start_us;
+      r.end_us = done.end_us;
+      r.status = done.status;
+      r.completed = true;
+      records.push_back(std::move(r));
+    };
+    if (options_.mode == TrackingMode::kBatchQueue) {
+      for (const CompletedTx& done : batch_processor_->completed()) add_completed(done);
+      for (const CompletedTx& waiting : batch_processor_->pending_snapshot()) {
+        TxRecord r;
+        r.tx_id = waiting.tx_id;
+        r.start_us = waiting.start_us;
+        r.completed = false;
+        records.push_back(std::move(r));
+      }
+    } else {
+      std::scoped_lock lock(interactive_mu_);
+      for (const CompletedTx& done : interactive_completed_) add_completed(done);
+      for (const InteractivePending& lost : interactive_pending_) {
+        TxRecord r;
+        r.tx_id = lost.tx_id;
+        r.start_us = lost.start_us;
+        r.completed = false;
+        records.push_back(std::move(r));
+      }
+    }
+    result = summarize(records);
+  }
+  result.rejected = rejections_.load();
+  return result;
+}
+
+RunResult run_peak_probe(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
+                         std::shared_ptr<adapters::ChainAdapter> poll_adapter,
+                         std::shared_ptr<util::Clock> clock, DriverOptions options,
+                         const workload::WorkloadFile& workload) {
+  HammerDriver driver(std::move(worker_adapters), std::move(poll_adapter), std::move(clock),
+                      std::move(options));
+  return driver.run(workload, nullptr);  // closed loop = saturation probe
+}
+
+}  // namespace hammer::core

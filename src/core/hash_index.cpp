@@ -1,0 +1,86 @@
+#include "core/hash_index.hpp"
+
+#include <bit>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+HashIndex::HashIndex(std::size_t initial_capacity, bool growable, double max_load_factor)
+    : growable_(growable), max_load_factor_(max_load_factor) {
+  HAMMER_CHECK(initial_capacity >= 2);
+  HAMMER_CHECK(max_load_factor > 0.0 && max_load_factor < 1.0);
+  entries_.resize(std::bit_ceil(initial_capacity));
+}
+
+std::uint64_t HashIndex::hash_key(std::string_view key) {
+  // FNV-1a with splitmix finalizer; power-of-two table sizes need the
+  // finalizer so low bits carry entropy.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : key) h = (h ^ c) * 1099511628211ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+std::size_t HashIndex::probe(std::string_view key, bool& found) const {
+  std::size_t mask = entries_.size() - 1;
+  std::size_t pos = static_cast<std::size_t>(hash_key(key)) & mask;
+  for (;;) {
+    const Entry& entry = entries_[pos];
+    if (entry.key.empty()) {
+      found = false;
+      return pos;
+    }
+    if (entry.key == key) {
+      found = true;
+      return pos;
+    }
+    ++probe_steps_;
+    pos = (pos + 1) & mask;
+  }
+}
+
+void HashIndex::grow() {
+  std::vector<Entry> old;
+  old.swap(entries_);
+  entries_.resize(old.size() * 2);
+  ++expansions_;
+  size_ = 0;
+  for (Entry& entry : old) {
+    if (!entry.key.empty()) {
+      bool found = false;
+      std::size_t pos = probe(entry.key, found);
+      entries_[pos] = std::move(entry);
+      ++size_;
+    }
+  }
+}
+
+void HashIndex::insert(std::string_view key, std::uint64_t value) {
+  HAMMER_CHECK_MSG(!key.empty(), "empty keys are reserved for vacant slots");
+  if (static_cast<double>(size_ + 1) >
+      max_load_factor_ * static_cast<double>(entries_.size())) {
+    if (growable_) {
+      grow();
+    } else if (size_ + 1 >= entries_.size()) {
+      throw LogicError("fixed-size HashIndex is full");
+    }
+  }
+  bool found = false;
+  std::size_t pos = probe(key, found);
+  HAMMER_CHECK_MSG(!found, "duplicate key in HashIndex");
+  entries_[pos].key.assign(key.data(), key.size());
+  entries_[pos].value = value;
+  ++size_;
+}
+
+std::optional<std::uint64_t> HashIndex::find(std::string_view key) const {
+  bool found = false;
+  std::size_t pos = probe(key, found);
+  if (!found) return std::nullopt;
+  return entries_[pos].value;
+}
+
+}  // namespace hammer::core

@@ -1,0 +1,130 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+// Table II. STATUS is '1' for committed transactions; timestamps are
+// microseconds, so TIMESTAMPDIFF(SECOND, ...) <= 1 keeps sub-second (and
+// exactly-one-second) commits, as in the paper's definition.
+const char* const kTpsSql =
+    "SELECT COUNT(*) AS TPS FROM Performance WHERE STATUS = '1' AND "
+    "TIMESTAMPDIFF(SECOND, start_time, end_time) <= 1";
+
+const char* const kLatencySql =
+    "SELECT tx_id, start_time, end_time, "
+    "TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance";
+
+MetricsPipeline::MetricsPipeline(std::shared_ptr<kvstore::KvStore> cache,
+                                 std::shared_ptr<minisql::Database> db)
+    : cache_(std::move(cache)), db_(std::move(db)) {
+  HAMMER_CHECK(cache_ != nullptr);
+  HAMMER_CHECK(db_ != nullptr);
+  if (!db_->has_table("Performance")) {
+    db_->create_table("Performance", {{"tx_id", minisql::ColumnType::kText},
+                                      {"status", minisql::ColumnType::kText},
+                                      {"start_time", minisql::ColumnType::kInt},
+                                      {"end_time", minisql::ColumnType::kInt},
+                                      {"client_id", minisql::ColumnType::kText},
+                                      {"server_id", minisql::ColumnType::kText},
+                                      {"chainname", minisql::ColumnType::kText},
+                                      {"contractname", minisql::ColumnType::kText}});
+  }
+}
+
+void MetricsPipeline::push_records(std::span<const TxRecord> records) {
+  for (const TxRecord& record : records) {
+    std::string key = "perf:" + record.tx_id;
+    cache_->hset(key, "status",
+                 record.completed && record.status == chain::TxStatus::kCommitted ? "1" : "0");
+    cache_->hset(key, "start_time", std::to_string(record.start_us));
+    if (record.completed) cache_->hset(key, "end_time", std::to_string(record.end_us));
+    cache_->hset(key, "client_id", record.client_id);
+    cache_->hset(key, "server_id", record.server_id);
+    cache_->hset(key, "chainname", record.chainname);
+    cache_->hset(key, "contractname", record.contractname);
+  }
+}
+
+std::size_t MetricsPipeline::commit_to_sql() {
+  // Collect completed records first (the scan holds shard locks), then
+  // insert + delete.
+  std::vector<std::pair<std::string, kvstore::Hash>> done;
+  cache_->scan_hashes([&](const std::string& key, const kvstore::Hash& value) {
+    if (key.rfind("perf:", 0) == 0 && value.count("end_time") > 0) {
+      done.emplace_back(key, value);
+    }
+  });
+  for (const auto& [key, fields] : done) {
+    auto field = [&fields](const char* name) -> std::string {
+      auto it = fields.find(name);
+      return it == fields.end() ? std::string() : it->second;
+    };
+    db_->insert("Performance",
+                {key.substr(5), field("status"), std::stoll(field("start_time")),
+                 std::stoll(field("end_time")), field("client_id"), field("server_id"),
+                 field("chainname"), field("contractname")});
+    cache_->del(key);
+  }
+  return done.size();
+}
+
+std::int64_t MetricsPipeline::query_tps() const {
+  minisql::ResultSet rs = db_->query(kTpsSql);
+  HAMMER_CHECK(rs.rows.size() == 1);
+  return std::get<std::int64_t>(rs.rows[0][0]);
+}
+
+minisql::ResultSet MetricsPipeline::query_latencies() const { return db_->query(kLatencySql); }
+
+json::Value RunResult::to_json() const {
+  return json::object({{"submitted", submitted},
+                       {"committed", committed},
+                       {"failed", failed},
+                       {"rejected", rejected},
+                       {"unmatched", unmatched},
+                       {"duration_s", duration_s},
+                       {"tps", tps},
+                       {"latency_mean_ms", latency.mean() / 1000.0},
+                       {"latency_p50_ms", static_cast<double>(latency.percentile(50)) / 1000.0},
+                       {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
+}
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " committed=" << committed << " failed=" << failed
+     << " rejected=" << rejected << " unmatched=" << unmatched << " tps=" << tps
+     << " latency{" << latency.summary() << "}";
+  return os.str();
+}
+
+RunResult summarize(std::span<const TxRecord> records) {
+  RunResult result;
+  std::int64_t first_start = INT64_MAX;
+  std::int64_t last_end = INT64_MIN;
+  for (const TxRecord& record : records) {
+    ++result.submitted;
+    first_start = std::min(first_start, record.start_us);
+    if (!record.completed) {
+      ++result.unmatched;
+      continue;
+    }
+    last_end = std::max(last_end, record.end_us);
+    if (record.status == chain::TxStatus::kCommitted) {
+      ++result.committed;
+      result.latency.record(record.end_us - record.start_us);
+    } else {
+      ++result.failed;
+    }
+  }
+  if (result.committed > 0 && last_end > first_start) {
+    result.duration_s = static_cast<double>(last_end - first_start) / 1e6;
+    result.tps = static_cast<double>(result.committed) / result.duration_s;
+  }
+  return result;
+}
+
+}  // namespace hammer::core

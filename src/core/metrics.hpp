@@ -1,0 +1,67 @@
+// Metrics pipeline (paper Fig. 2 right half): the driver's vector-list
+// state is pushed into the Redis-like cache as hashes ("the server pushes
+// the initialized vector list to the Redis cluster ... the driver will
+// regularly update the vector list"), and a committer periodically drains
+// the cache into the MySQL-like Performance table that the visualization
+// layer queries with the Table II SQL.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task_processor.hpp"
+#include "kvstore/kvstore.hpp"
+#include "minisql/database.hpp"
+#include "util/histogram.hpp"
+
+namespace hammer::core {
+
+// Table II statements, verbatim modulo dialect (see minisql/parser.hpp).
+extern const char* const kTpsSql;
+extern const char* const kLatencySql;
+
+class MetricsPipeline {
+ public:
+  MetricsPipeline(std::shared_ptr<kvstore::KvStore> cache,
+                  std::shared_ptr<minisql::Database> db);
+
+  // Driver -> cache: writes/updates one hash per record ("perf:<tx_id>").
+  // Only completed records carry an end_time.
+  void push_records(std::span<const TxRecord> records);
+
+  // Cache -> SQL: drains completed records into the Performance table and
+  // removes them from the cache. Returns the number of rows committed.
+  std::size_t commit_to_sql();
+
+  // Table II queries against the committed table.
+  std::int64_t query_tps() const;
+  minisql::ResultSet query_latencies() const;
+
+  const std::shared_ptr<minisql::Database>& database() const { return db_; }
+
+ private:
+  std::shared_ptr<kvstore::KvStore> cache_;
+  std::shared_ptr<minisql::Database> db_;
+};
+
+// Run-level summary computed from the vector list.
+struct RunResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;       // invalid/conflict receipts
+  std::uint64_t rejected = 0;     // refused at submission (overload)
+  std::uint64_t unmatched = 0;    // never appeared in a block before drain
+  double duration_s = 0.0;        // first send -> last commit
+  double tps = 0.0;               // committed / duration
+  util::Histogram latency;        // committed transactions only
+
+  json::Value to_json() const;
+  std::string summary() const;
+};
+
+RunResult summarize(std::span<const TxRecord> records);
+
+}  // namespace hammer::core

@@ -1,0 +1,106 @@
+#include "core/task_processor.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+TaskProcessor::TaskProcessor(Options options)
+    : options_(options),
+      index_(options.initial_index_capacity, options.growable_index),
+      bloom_(options.expected_txs, options.bloom_fp_rate) {
+  records_.reserve(options.expected_txs);
+}
+
+std::size_t TaskProcessor::register_tx(std::string tx_id, std::int64_t start_us,
+                                       const std::string& client_id,
+                                       const std::string& server_id,
+                                       const std::string& chainname,
+                                       const std::string& contractname) {
+  std::scoped_lock lock(mu_);
+  std::size_t position = records_.size();
+  TxRecord record;
+  record.tx_id = std::move(tx_id);
+  record.start_us = start_us;
+  record.client_id = client_id;
+  record.server_id = server_id;
+  record.chainname = chainname;
+  record.contractname = contractname;
+  index_.insert(record.tx_id, position);
+  bloom_.insert(record.tx_id);
+  records_.push_back(std::move(record));
+  return position;
+}
+
+TaskProcessor::BlockOutcome TaskProcessor::on_block(
+    std::int64_t block_time_us, std::span<const chain::TxReceipt> receipts) {
+  std::scoped_lock lock(mu_);
+  BlockOutcome outcome;
+  for (const chain::TxReceipt& receipt : receipts) {
+    // Line 15: rapid exclusion of transactions not in the index.
+    if (!bloom_.may_contain(receipt.tx_id)) {
+      ++outcome.bloom_rejected;
+      continue;
+    }
+    // Line 18: locate via the hash index (false positives land here).
+    std::optional<std::uint64_t> position = index_.find(receipt.tx_id);
+    if (!position) {
+      ++outcome.unknown;
+      continue;
+    }
+    TxRecord& record = records_[*position];
+    if (record.completed) {
+      ++outcome.duplicates;
+      continue;
+    }
+    // Line 19: update status and end time.
+    record.end_us = block_time_us;
+    record.status = receipt.status;
+    record.completed = true;
+    ++completed_;
+    ++outcome.matched;
+  }
+  return outcome;
+}
+
+void TaskProcessor::mark_rejected(std::size_t position, std::int64_t end_us) {
+  std::scoped_lock lock(mu_);
+  HAMMER_CHECK(position < records_.size());
+  TxRecord& record = records_[position];
+  if (record.completed) return;
+  record.end_us = end_us;
+  record.status = chain::TxStatus::kInvalid;
+  record.completed = true;
+  ++completed_;
+}
+
+std::size_t TaskProcessor::total_registered() const {
+  std::scoped_lock lock(mu_);
+  return records_.size();
+}
+
+std::size_t TaskProcessor::pending_count() const {
+  std::scoped_lock lock(mu_);
+  return records_.size() - completed_;
+}
+
+std::vector<TxRecord> TaskProcessor::snapshot() const {
+  std::scoped_lock lock(mu_);
+  return records_;
+}
+
+std::uint64_t TaskProcessor::index_probe_steps() const {
+  std::scoped_lock lock(mu_);
+  return index_.probe_steps();
+}
+
+std::uint64_t TaskProcessor::index_expansions() const {
+  std::scoped_lock lock(mu_);
+  return index_.expansions();
+}
+
+double TaskProcessor::bloom_fill() const {
+  std::scoped_lock lock(mu_);
+  return bloom_.estimated_fp_rate();
+}
+
+}  // namespace hammer::core

@@ -1,0 +1,56 @@
+#include "crypto/merkle.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::crypto {
+
+namespace {
+Digest hash_pair(const Digest& left, const Digest& right) {
+  return Sha256().update(left).update(right).finish();
+}
+}  // namespace
+
+Digest merkle_root(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return sha256(std::string_view{});
+  std::vector<Digest> level = leaves;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    std::vector<Digest> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(hash_pair(level[i], level[i + 1]));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_proof(const std::vector<Digest>& leaves, std::size_t index) {
+  HAMMER_CHECK(index < leaves.size());
+  MerkleProof proof;
+  std::vector<Digest> level = leaves;
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    std::size_t sibling = pos ^ 1;
+    proof.push_back(MerkleStep{level[sibling], sibling < pos});
+    std::vector<Digest> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(hash_pair(level[i], level[i + 1]));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Digest& leaf, const MerkleProof& proof, const Digest& root) {
+  Digest acc = leaf;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_on_left ? hash_pair(step.sibling, acc) : hash_pair(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace hammer::crypto

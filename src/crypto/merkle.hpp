@@ -1,0 +1,28 @@
+// Binary Merkle tree over transaction digests (Bitcoin-style: odd levels
+// duplicate the last node). Block headers carry the root; proofs let light
+// verification confirm a transaction's inclusion.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace hammer::crypto {
+
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_on_left;  // true when the sibling hashes in from the left
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+// Root of an empty list is the hash of the empty string.
+Digest merkle_root(const std::vector<Digest>& leaves);
+
+// Proof for leaves[index]; throws LogicError when index is out of range.
+MerkleProof merkle_proof(const std::vector<Digest>& leaves, std::size_t index);
+
+bool merkle_verify(const Digest& leaf, const MerkleProof& proof, const Digest& root);
+
+}  // namespace hammer::crypto

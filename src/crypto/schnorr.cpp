@@ -1,0 +1,121 @@
+#include "crypto/schnorr.hpp"
+
+#include <array>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace hammer::crypto {
+
+namespace {
+constexpr std::uint64_t kGenerator = 7;
+
+// Fixed-base window table for g: table[w][d] = g^(d * 16^w) for the 64
+// base-16 digit positions of a 256-bit exponent. Signing then needs at most
+// 63 modular multiplications instead of ~380 for square-and-multiply.
+class FixedBaseTable {
+ public:
+  FixedBaseTable() {
+    const PseudoMersenne& f = group_field();
+    U256 base = U256::from_u64(kGenerator);
+    for (int w = 0; w < 64; ++w) {
+      table_[w][0] = U256::from_u64(1);
+      for (int d = 1; d < 16; ++d) table_[w][d] = f.mul_mod(table_[w][d - 1], base);
+      // Advance base to g^(16^(w+1)) = (current base)^16.
+      U256 b16 = f.mul_mod(base, base);       // ^2
+      b16 = f.mul_mod(b16, b16);              // ^4
+      b16 = f.mul_mod(b16, b16);              // ^8
+      base = f.mul_mod(b16, b16);             // ^16
+    }
+  }
+
+  U256 pow(const U256& exp) const {
+    const PseudoMersenne& f = group_field();
+    U256 result = U256::from_u64(1);
+    for (int w = 0; w < 64; ++w) {
+      unsigned digit = static_cast<unsigned>((exp.limb[w / 16] >> (4 * (w % 16))) & 0xf);
+      if (digit != 0) result = f.mul_mod(result, table_[w][digit]);
+    }
+    return result;
+  }
+
+ private:
+  std::array<std::array<U256, 16>, 64> table_;
+};
+
+const FixedBaseTable& fixed_base_table() {
+  static const FixedBaseTable table;
+  return table;
+}
+
+U256 hash_to_scalar(std::initializer_list<std::span<const std::uint8_t>> parts) {
+  Sha256 h;
+  for (auto part : parts) h.update(part);
+  U256 v = U256::from_digest(h.finish());
+  return scalar_ring().reduce256(v);
+}
+
+std::span<const std::uint8_t> bytes_of(const std::array<std::uint8_t, 32>& a) {
+  return std::span<const std::uint8_t>(a.data(), a.size());
+}
+}  // namespace
+
+std::string Signature::to_hex() const { return e.to_hex() + s.to_hex(); }
+
+Signature Signature::from_hex(const std::string& hex) {
+  if (hex.size() != 128) throw ParseError("signature hex must be 128 chars");
+  return Signature{U256::from_hex(hex.substr(0, 64)), U256::from_hex(hex.substr(64))};
+}
+
+U256 fixed_base_pow(const U256& exp) { return fixed_base_table().pow(exp); }
+
+KeyPair derive_keypair(std::string_view seed) {
+  Digest d = Sha256().update("hammer-key:").update(seed).finish();
+  U256 x = scalar_ring().reduce256(U256::from_digest(d));
+  if (x.is_zero()) x = U256::from_u64(1);
+  U256 y = fixed_base_pow(x);
+  return KeyPair{PrivateKey{x}, PublicKey{y}};
+}
+
+Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message) {
+  const PseudoMersenne& ring = scalar_ring();
+  auto x_bytes = key.x.to_bytes();
+  // Deterministic nonce (RFC-6979 style): k = H("nonce" || x || m).
+  Sha256 kh;
+  kh.update("hammer-nonce:").update(bytes_of(x_bytes)).update(message);
+  U256 k = ring.reduce256(U256::from_digest(kh.finish()));
+  if (k.is_zero()) k = U256::from_u64(1);
+
+  U256 r = fixed_base_pow(k);
+  auto r_bytes = r.to_bytes();
+  U256 e = hash_to_scalar({bytes_of(r_bytes), message});
+  // s = k - x*e mod (p-1)
+  U256 xe = ring.mul_mod(key.x, e);
+  U256 s = ring.sub_mod(k, xe);
+  return Signature{e, s};
+}
+
+Signature sign(const PrivateKey& key, std::string_view message) {
+  return sign(key, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
+}
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message, const Signature& sig) {
+  const PseudoMersenne& f = group_field();
+  // r' = g^s * y^e
+  U256 gs = fixed_base_pow(sig.s);
+  U256 ye = f.pow_mod(key.y, sig.e);
+  U256 r = f.mul_mod(gs, ye);
+  auto r_bytes = r.to_bytes();
+  U256 e = hash_to_scalar({bytes_of(r_bytes), message});
+  return e == sig.e;
+}
+
+bool verify(const PublicKey& key, std::string_view message, const Signature& sig) {
+  return verify(key,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(message.data()), message.size()),
+                sig);
+}
+
+}  // namespace hammer::crypto

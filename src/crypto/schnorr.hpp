@@ -1,0 +1,67 @@
+// Schnorr-style signatures over the multiplicative group of Z_p,
+// p = 2^256 - 189.
+//
+// SIMULATION NOTE (see DESIGN.md): the paper signs transactions with the
+// SUT's production ECDSA/EdDSA; this scheme reproduces the *structure*
+// (keypair, per-message nonce, hash challenge, two-exponentiation verify)
+// and the microsecond-scale CPU cost that the asynchronous-signature
+// experiment (Fig. 8) measures, but Z_p^* at 256 bits is NOT
+// cryptographically secure. Do not reuse outside this benchmark.
+//
+// Scheme (e,s variant):
+//   keygen:  x <- random scalar,  y = g^x mod p
+//   sign(m): k <- H(x || m) as scalar (deterministic nonce), r = g^k,
+//            e = H(r || m),  s = k - x*e mod (p-1)
+//   verify:  r' = g^s * y^e mod p,  accept iff H(r' || m) == e
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "crypto/u256.hpp"
+
+namespace hammer::crypto {
+
+struct PrivateKey {
+  U256 x;
+};
+
+struct PublicKey {
+  U256 y;
+
+  bool operator==(const PublicKey&) const = default;
+};
+
+struct Signature {
+  U256 e;
+  U256 s;
+
+  bool operator==(const Signature&) const = default;
+
+  // 128 hex characters: e || s.
+  std::string to_hex() const;
+  static Signature from_hex(const std::string& hex);
+};
+
+struct KeyPair {
+  PrivateKey priv;
+  PublicKey pub;
+};
+
+// Deterministic keypair derived from a seed (accounts in the simulators use
+// their account id as seed so every component can re-derive keys).
+KeyPair derive_keypair(std::string_view seed);
+
+Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message);
+Signature sign(const PrivateKey& key, std::string_view message);
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message, const Signature& sig);
+bool verify(const PublicKey& key, std::string_view message, const Signature& sig);
+
+// Exposed for benchmarking: one fixed-base exponentiation g^e mod p using
+// the precomputed window table (the dominant cost of sign()).
+U256 fixed_base_pow(const U256& exp);
+
+}  // namespace hammer::crypto

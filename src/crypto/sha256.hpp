@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Digests are the basis for transaction ids, block hashes, Merkle roots and
+// the Schnorr challenge hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hammer::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+
+  // Finalizes and returns the digest; the object must not be reused after.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+Digest sha256(std::span<const std::uint8_t> data);
+Digest sha256(std::string_view data);
+
+// HMAC-SHA256 (RFC 2104).
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
+
+std::string digest_hex(const Digest& d);
+
+}  // namespace hammer::crypto

@@ -1,0 +1,190 @@
+#include "crypto/u256.hpp"
+
+#include "util/errors.hpp"
+#include "util/hex.hpp"
+
+namespace hammer::crypto {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_bytes(std::span<const std::uint8_t> be_bytes) {
+  HAMMER_CHECK(be_bytes.size() <= 32);
+  U256 out;
+  // Walk from the least significant (last) byte.
+  std::size_t n = be_bytes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t byte = be_bytes[n - 1 - i];
+    out.limb[i / 8] |= static_cast<std::uint64_t>(byte) << (8 * (i % 8));
+  }
+  return out;
+}
+
+U256 U256::from_hex(const std::string& hex) {
+  auto bytes = util::from_hex(hex);
+  return from_bytes(bytes);
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[31 - i] = static_cast<std::uint8_t>(limb[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  auto bytes = to_bytes();
+  return util::to_hex(bytes);
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+U256 add(const U256& a, const U256& b, std::uint64_t* carry_out) {
+  U256 r;
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 sum = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    r.limb[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  if (carry_out) *carry_out = static_cast<std::uint64_t>(carry);
+  return r;
+}
+
+U256 sub(const U256& a, const U256& b, std::uint64_t* borrow_out) {
+  U256 r;
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 diff = static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
+    r.limb[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;  // 1 when the subtraction wrapped
+  }
+  if (borrow_out) *borrow_out = static_cast<std::uint64_t>(borrow);
+  return r;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limb[i]) * b.limb[j] + r.limb[i + j] + carry;
+      r.limb[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    r.limb[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return r;
+}
+
+namespace {
+// result = a * k, where k is 64-bit; returns the overflow limb.
+std::uint64_t mul_by_u64(const U256& a, std::uint64_t k, U256& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 cur = static_cast<u128>(a.limb[i]) * k + carry;
+    out.limb[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+}  // namespace
+
+PseudoMersenne::PseudoMersenne(std::uint32_t c) : c_(c) {
+  HAMMER_CHECK(c > 0);
+  // modulus = 2^256 - c, i.e. all-ones minus (c - 1).
+  U256 all_ones{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  modulus_ = sub(all_ones, U256::from_u64(c - 1));
+}
+
+U256 PseudoMersenne::reduce256(const U256& x) const {
+  if (cmp(x, modulus_) >= 0) return sub(x, modulus_);
+  return x;
+}
+
+U256 PseudoMersenne::reduce(const U512& x) const {
+  // Split x = hi * 2^256 + lo; since 2^256 ≡ c (mod m), fold hi*c into lo.
+  U256 lo{{x.limb[0], x.limb[1], x.limb[2], x.limb[3]}};
+  U256 hi{{x.limb[4], x.limb[5], x.limb[6], x.limb[7]}};
+
+  // lo + hi * c can overflow 2^256 by a small amount; track the overflow
+  // and fold it again (overflow < c + 1, so one extra fold suffices).
+  U256 hi_c;
+  std::uint64_t over1 = mul_by_u64(hi, c_, hi_c);  // hi*c = over1*2^256 + hi_c
+  std::uint64_t carry = 0;
+  U256 r = add(lo, hi_c, &carry);
+  std::uint64_t extra = over1 + carry;  // total = r + extra*2^256
+
+  while (extra != 0) {
+    // extra*2^256 ≡ extra*c (mod m); extra*c fits in 128 bits.
+    u128 add_val = static_cast<u128>(extra) * c_;
+    U256 addend{{static_cast<std::uint64_t>(add_val), static_cast<std::uint64_t>(add_val >> 64),
+                 0, 0}};
+    r = add(r, addend, &carry);
+    extra = carry;
+  }
+  while (cmp(r, modulus_) >= 0) r = sub(r, modulus_);
+  return r;
+}
+
+U256 PseudoMersenne::add_mod(const U256& a, const U256& b) const {
+  std::uint64_t carry = 0;
+  U256 r = add(a, b, &carry);
+  if (carry) {
+    // r + 2^256 ≡ r + c (mod m).
+    std::uint64_t carry2 = 0;
+    r = add(r, U256::from_u64(c_), &carry2);
+    // carry2 can only occur if r was within c of 2^256; fold once more.
+    if (carry2) r = add(r, U256::from_u64(c_), nullptr);
+  }
+  while (cmp(r, modulus_) >= 0) r = sub(r, modulus_);
+  return r;
+}
+
+U256 PseudoMersenne::sub_mod(const U256& a, const U256& b) const {
+  std::uint64_t borrow = 0;
+  U256 r = sub(a, b, &borrow);
+  if (borrow) r = add(r, modulus_, nullptr);
+  return r;
+}
+
+U256 PseudoMersenne::mul_mod(const U256& a, const U256& b) const {
+  return reduce(mul_wide(a, b));
+}
+
+U256 PseudoMersenne::pow_mod(const U256& base, const U256& exp) const {
+  U256 result = U256::from_u64(1);
+  U256 acc = reduce256(base);
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t bits = exp.limb[limb];
+    for (int i = 0; i < 64; ++i) {
+      if (bits & 1) result = mul_mod(result, acc);
+      bits >>= 1;
+      // Skip the last squaring when no higher bits remain.
+      if (bits == 0 && limb == 3) break;
+      bool higher_bits = bits != 0;
+      for (int l = limb + 1; l < 4 && !higher_bits; ++l) higher_bits = exp.limb[l] != 0;
+      if (!higher_bits) break;
+      acc = mul_mod(acc, acc);
+    }
+  }
+  return result;
+}
+
+const PseudoMersenne& group_field() {
+  static const PseudoMersenne field(189);  // p = 2^256 - 189, prime
+  return field;
+}
+
+const PseudoMersenne& scalar_ring() {
+  static const PseudoMersenne ring(190);  // p - 1
+  return ring;
+}
+
+}  // namespace hammer::crypto

@@ -1,0 +1,74 @@
+// Fixed-width 256-bit unsigned arithmetic with fast reduction modulo
+// pseudo-Mersenne moduli of the form 2^256 - c (c < 2^32).
+//
+// This is the numeric substrate for the Schnorr-style signature scheme in
+// schnorr.hpp. The group modulus is p = 2^256 - 189 (prime); scalar
+// arithmetic runs modulo p - 1 = 2^256 - 190 using the same reduction code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace hammer::crypto {
+
+struct U256 {
+  // Little-endian limbs: value = sum limb[i] * 2^(64 i).
+  std::array<std::uint64_t, 4> limb{0, 0, 0, 0};
+
+  static U256 from_u64(std::uint64_t v) { return U256{{v, 0, 0, 0}}; }
+  static U256 from_bytes(std::span<const std::uint8_t> be_bytes);  // big-endian, <= 32 bytes
+  static U256 from_digest(const Digest& d) { return from_bytes(d); }
+  static U256 from_hex(const std::string& hex);
+
+  std::array<std::uint8_t, 32> to_bytes() const;  // big-endian
+  std::string to_hex() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+
+  bool operator==(const U256&) const = default;
+};
+
+// Returns -1/0/+1 for a<b / a==b / a>b.
+int cmp(const U256& a, const U256& b);
+
+// a + b; carry-out returned through `carry` if non-null.
+U256 add(const U256& a, const U256& b, std::uint64_t* carry = nullptr);
+// a - b; borrow-out returned through `borrow` if non-null (wraps mod 2^256).
+U256 sub(const U256& a, const U256& b, std::uint64_t* borrow = nullptr);
+
+struct U512 {
+  std::array<std::uint64_t, 8> limb{};
+};
+
+// Full 256x256 -> 512-bit product.
+U512 mul_wide(const U256& a, const U256& b);
+
+// Arithmetic modulo m = 2^256 - c. All operands must already be < m.
+class PseudoMersenne {
+ public:
+  explicit PseudoMersenne(std::uint32_t c);
+
+  const U256& modulus() const { return modulus_; }
+
+  U256 reduce(const U512& x) const;   // full reduction of a 512-bit value
+  U256 reduce256(const U256& x) const;  // reduce a value in [0, 2^256)
+  U256 add_mod(const U256& a, const U256& b) const;
+  U256 sub_mod(const U256& a, const U256& b) const;
+  U256 mul_mod(const U256& a, const U256& b) const;
+  U256 pow_mod(const U256& base, const U256& exp) const;
+
+ private:
+  std::uint32_t c_;
+  U256 modulus_;
+};
+
+// The fixed group used by the signature scheme.
+// p = 2^256 - 189 (prime); the scalar ring is Z_{p-1}.
+const PseudoMersenne& group_field();    // modulo p
+const PseudoMersenne& scalar_ring();    // modulo p - 1
+
+}  // namespace hammer::crypto

@@ -1,0 +1,59 @@
+// Workload trace datasets and forecasting metrics.
+//
+// SUBSTITUTION (DESIGN.md §1): the paper scrapes 300 hours of real DeFi /
+// Sandbox-game / NFT transactions; offline we generate synthetic hourly
+// traces calibrated to the paper's description of each application:
+//   DeFi    — low volume (≈6 tx/h from 1,791 txs / 300 h), the most stable
+//             of the three, mild daily periodicity.
+//   Sandbox — moderate volume (≈75 tx/h) with rapid variations and heavy
+//             bursts (the paper calls gaming the least stable).
+//   NFTs    — high volume (≈777 tx/h), strong daily + weekly periodicity,
+//             occasional mint-event bursts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hammer::forecast {
+
+enum class TraceKind { kDeFi, kSandbox, kNfts };
+
+const char* trace_name(TraceKind kind);
+
+// Hourly transaction counts; deterministic per (kind, seed).
+std::vector<double> generate_trace(TraceKind kind, std::size_t hours, std::uint64_t seed = 7);
+
+// z-score normalization fitted on a training prefix.
+struct Normalizer {
+  double mean = 0.0;
+  double std = 1.0;
+
+  static Normalizer fit(const std::vector<double>& values, std::size_t count);
+  double normalize(double v) const { return (v - mean) / std; }
+  double denormalize(double v) const { return v * std + mean; }
+};
+
+// Sliding windows: input = values[i .. i+window), target = values[i+window]
+// (prediction horizon 1, as in §IV-A with h = 1).
+struct WindowDataset {
+  std::size_t window = 0;
+  std::vector<std::vector<double>> inputs;  // normalized
+  std::vector<double> targets;              // normalized
+
+  static WindowDataset build(const std::vector<double>& series, std::size_t window,
+                             const Normalizer& normalizer, std::size_t begin, std::size_t end);
+};
+
+// Table III metrics.
+struct EvalMetrics {
+  double mae = 0.0;
+  double mse = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+};
+
+EvalMetrics compute_metrics(const std::vector<double>& predictions,
+                            const std::vector<double>& actuals);
+
+}  // namespace hammer::forecast

@@ -1,0 +1,181 @@
+#include "forecast/layers.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Pcg32& rng)
+    : weight_(Tensor::param(in_features, out_features, rng)),
+      bias_(Tensor::zeros(1, out_features, /*requires_grad=*/true)) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return add_row_broadcast(matmul(x, weight_), bias_);
+}
+
+CausalConv1d::CausalConv1d(std::size_t in_channels, std::size_t out_channels,
+                           std::size_t kernel_size, std::size_t dilation, util::Pcg32& rng)
+    : kernel_size_(kernel_size),
+      dilation_(dilation),
+      bias_(Tensor::zeros(1, out_channels, /*requires_grad=*/true)) {
+  HAMMER_CHECK(kernel_size >= 1);
+  HAMMER_CHECK(dilation >= 1);
+  for (std::size_t k = 0; k < kernel_size; ++k) {
+    kernels_.push_back(Tensor::param(in_channels, out_channels, rng));
+  }
+}
+
+std::vector<Tensor> CausalConv1d::parameters() const {
+  std::vector<Tensor> params = kernels_;
+  params.push_back(bias_);
+  return params;
+}
+
+Tensor CausalConv1d::forward(const Tensor& x) const {
+  std::size_t T = x.rows();
+  Tensor out;  // accumulate sum over kernel taps
+  for (std::size_t k = 0; k < kernel_size_; ++k) {
+    // Tap k looks back (K-1-k)*d steps: shift the sequence down by that
+    // amount with zero padding at the top (the causal boundary).
+    std::size_t shift = (kernel_size_ - 1 - k) * dilation_;
+    Tensor shifted;
+    if (shift == 0) {
+      shifted = x;
+    } else if (shift >= T) {
+      shifted = Tensor::zeros(T, x.cols());
+    } else {
+      Tensor pad = Tensor::zeros(shift, x.cols());
+      shifted = concat_rows(pad, slice_rows(x, 0, T - shift));
+    }
+    Tensor term = matmul(shifted, kernels_[k]);
+    out = out.defined() ? add(out, term) : term;
+  }
+  return add_row_broadcast(out, bias_);
+}
+
+GruLayer::GruLayer(std::size_t input_size, std::size_t hidden_size, util::Pcg32& rng)
+    : hidden_size_(hidden_size),
+      wz_(Tensor::param(input_size, hidden_size, rng)),
+      uz_(Tensor::param(hidden_size, hidden_size, rng)),
+      bz_(Tensor::zeros(1, hidden_size, true)),
+      wr_(Tensor::param(input_size, hidden_size, rng)),
+      ur_(Tensor::param(hidden_size, hidden_size, rng)),
+      br_(Tensor::zeros(1, hidden_size, true)),
+      wh_(Tensor::param(input_size, hidden_size, rng)),
+      uh_(Tensor::param(hidden_size, hidden_size, rng)),
+      bh_(Tensor::zeros(1, hidden_size, true)) {}
+
+std::vector<Tensor> GruLayer::parameters() const {
+  return {wz_, uz_, bz_, wr_, ur_, br_, wh_, uh_, bh_};
+}
+
+Tensor GruLayer::step(const Tensor& x_t, const Tensor& h_prev) const {
+  // Paper Eq. 4.
+  Tensor z = sigmoid(add_row_broadcast(add(matmul(x_t, wz_), matmul(h_prev, uz_)), bz_));
+  Tensor r = sigmoid(add_row_broadcast(add(matmul(x_t, wr_), matmul(h_prev, ur_)), br_));
+  Tensor h_cand =
+      tanh_t(add_row_broadcast(add(matmul(x_t, wh_), matmul(mul(r, h_prev), uh_)), bh_));
+  // h = (1-z)*h_prev + z*h_cand
+  Tensor one = Tensor::from_values(1, hidden_size_, std::vector<double>(hidden_size_, 1.0));
+  Tensor keep = mul(sub(one, z), h_prev);
+  return add(keep, mul(z, h_cand));
+}
+
+Tensor GruLayer::forward(const Tensor& x) const {
+  Tensor h = Tensor::zeros(1, hidden_size_);
+  Tensor outputs;
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    h = step(slice_rows(x, t, 1), h);
+    outputs = outputs.defined() ? concat_rows(outputs, h) : h;
+  }
+  return outputs;
+}
+
+BiGruLayer::BiGruLayer(std::size_t input_size, std::size_t hidden_size, util::Pcg32& rng)
+    : forward_gru_(input_size, hidden_size, rng), backward_gru_(input_size, hidden_size, rng) {}
+
+std::vector<Tensor> BiGruLayer::parameters() const {
+  std::vector<Tensor> params = forward_gru_.parameters();
+  for (const Tensor& p : backward_gru_.parameters()) params.push_back(p);
+  return params;
+}
+
+Tensor BiGruLayer::forward(const Tensor& x) const {
+  Tensor fwd = forward_gru_.forward(x);
+  Tensor bwd = reverse_rows(backward_gru_.forward(reverse_rows(x)));
+  return concat_cols(fwd, bwd);  // paper Eq. 5's (+) combination
+}
+
+MultiHeadAttention::MultiHeadAttention(std::size_t model_dim, std::size_t num_heads,
+                                       util::Pcg32& rng)
+    : num_heads_(num_heads), head_dim_(model_dim / num_heads) {
+  HAMMER_CHECK_MSG(model_dim % num_heads == 0, "model_dim must divide by num_heads");
+  wq_ = Tensor::param(model_dim, model_dim, rng);
+  wk_ = Tensor::param(model_dim, model_dim, rng);
+  wv_ = Tensor::param(model_dim, model_dim, rng);
+  wo_ = Tensor::param(model_dim, model_dim, rng);
+}
+
+std::vector<Tensor> MultiHeadAttention::parameters() const { return {wq_, wk_, wv_, wo_}; }
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  Tensor q = matmul(x, wq_);
+  Tensor k = matmul(x, wk_);
+  Tensor v = matmul(x, wv_);
+  Tensor heads;
+  double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  for (std::size_t h = 0; h < num_heads_; ++h) {
+    Tensor qh = slice_cols(q, h * head_dim_, head_dim_);
+    Tensor kh = slice_cols(k, h * head_dim_, head_dim_);
+    Tensor vh = slice_cols(v, h * head_dim_, head_dim_);
+    // Attention(Q,K,V) = softmax(QK^T / sqrt(dk)) V (paper Eq. 6).
+    Tensor scores = scale(matmul(qh, transpose(kh)), inv_sqrt_dk);
+    Tensor head = matmul(softmax_rows(scores), vh);
+    heads = heads.defined() ? concat_cols(heads, head) : head;
+  }
+  return matmul(heads, wo_);  // Concat(head_1..head_h) W^O (paper Eq. 7)
+}
+
+VanillaRnnLayer::VanillaRnnLayer(std::size_t input_size, std::size_t hidden_size,
+                                 util::Pcg32& rng)
+    : hidden_size_(hidden_size),
+      w_(Tensor::param(input_size, hidden_size, rng)),
+      u_(Tensor::param(hidden_size, hidden_size, rng)),
+      b_(Tensor::zeros(1, hidden_size, true)) {}
+
+Tensor VanillaRnnLayer::forward(const Tensor& x) const {
+  Tensor h = Tensor::zeros(1, hidden_size_);
+  Tensor outputs;
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    Tensor x_t = slice_rows(x, t, 1);
+    h = tanh_t(add_row_broadcast(add(matmul(x_t, w_), matmul(h, u_)), b_));
+    outputs = outputs.defined() ? concat_rows(outputs, h) : h;
+  }
+  return outputs;
+}
+
+LayerNorm::LayerNorm(std::size_t features)
+    : gain_(Tensor::from_values(1, features, std::vector<double>(features, 1.0),
+                                /*requires_grad=*/true)),
+      bias_(Tensor::zeros(1, features, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layer_norm_rows(x, gain_, bias_);
+}
+
+Tensor add_positional_encoding(const Tensor& x) {
+  std::size_t T = x.rows();
+  std::size_t D = x.cols();
+  std::vector<double> pe(T * D);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t d = 0; d < D; ++d) {
+      double angle = static_cast<double>(t) /
+                     std::pow(10000.0, 2.0 * static_cast<double>(d / 2) / static_cast<double>(D));
+      pe[t * D + d] = (d % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return add(x, Tensor::from_values(T, D, std::move(pe)));
+}
+
+}  // namespace hammer::forecast

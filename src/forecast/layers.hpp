@@ -1,0 +1,132 @@
+// Trainable layers composing the paper's model architecture (Fig. 5):
+// dilated causal Conv1d stacks (TCN), GRU / BiGRU, multi-head attention,
+// plus the Linear / vanilla-RNN pieces the Table III baselines need.
+#pragma once
+
+#include <vector>
+
+#include "forecast/tensor.hpp"
+
+namespace hammer::forecast {
+
+// Base class: every layer exposes its trainable parameters to the
+// optimizer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::vector<Tensor> parameters() const = 0;
+};
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Pcg32& rng);
+
+  // x: [T, in] -> [T, out]
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override { return {weight_, bias_}; }
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [1, out]
+};
+
+// Causal dilated 1-D convolution over a time-major sequence (paper Eq. 3):
+// out[t] = b + sum_k W_k · x[t - (K-1-k)·d], with zero left-padding, so the
+// model "can only use past information for prediction".
+class CausalConv1d final : public Layer {
+ public:
+  CausalConv1d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
+               std::size_t dilation, util::Pcg32& rng);
+
+  // x: [T, in_channels] -> [T, out_channels]
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+  std::size_t receptive_field() const { return (kernel_size_ - 1) * dilation_ + 1; }
+
+ private:
+  std::size_t kernel_size_;
+  std::size_t dilation_;
+  std::vector<Tensor> kernels_;  // K weights, each [in, out]
+  Tensor bias_;                  // [1, out]
+};
+
+// GRU (paper Eq. 4) processing a sequence step by step.
+class GruLayer final : public Layer {
+ public:
+  GruLayer(std::size_t input_size, std::size_t hidden_size, util::Pcg32& rng);
+
+  // x: [T, input] -> hidden states [T, hidden]
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+  std::size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  Tensor step(const Tensor& x_t, const Tensor& h_prev) const;
+
+  std::size_t hidden_size_;
+  Tensor wz_, uz_, bz_;
+  Tensor wr_, ur_, br_;
+  Tensor wh_, uh_, bh_;
+};
+
+// BiGRU (paper Eq. 5): forward + backward GRU, outputs concatenated.
+class BiGruLayer final : public Layer {
+ public:
+  BiGruLayer(std::size_t input_size, std::size_t hidden_size, util::Pcg32& rng);
+
+  // x: [T, input] -> [T, 2*hidden]
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+ private:
+  GruLayer forward_gru_;
+  GruLayer backward_gru_;
+};
+
+// Multi-head self-attention (paper Eqs. 6-7).
+class MultiHeadAttention final : public Layer {
+ public:
+  MultiHeadAttention(std::size_t model_dim, std::size_t num_heads, util::Pcg32& rng);
+
+  // x: [T, model_dim] -> [T, model_dim]
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+ private:
+  std::size_t num_heads_;
+  std::size_t head_dim_;
+  Tensor wq_, wk_, wv_, wo_;  // each [model_dim, model_dim]
+};
+
+// Elman RNN cell stack (Table III "RNN" baseline).
+class VanillaRnnLayer final : public Layer {
+ public:
+  VanillaRnnLayer(std::size_t input_size, std::size_t hidden_size, util::Pcg32& rng);
+
+  Tensor forward(const Tensor& x) const;  // [T, input] -> [T, hidden]
+  std::vector<Tensor> parameters() const override { return {w_, u_, b_}; }
+
+ private:
+  std::size_t hidden_size_;
+  Tensor w_, u_, b_;
+};
+
+// Row-wise LayerNorm with learned gain/bias (Transformer baseline).
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features);
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override { return {gain_, bias_}; }
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+};
+
+// Sinusoidal positional encoding added to a [T, D] sequence (not trained).
+Tensor add_positional_encoding(const Tensor& x);
+
+}  // namespace hammer::forecast

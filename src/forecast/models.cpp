@@ -1,0 +1,219 @@
+#include "forecast/models.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+
+namespace {
+
+class LinearModel final : public ForecastModel {
+ public:
+  explicit LinearModel(const ModelConfig& config)
+      : rng_(config.seed), head_(config.window, 1, rng_) {}
+
+  std::string name() const override { return "Linear"; }
+
+  Tensor predict(const Tensor& window) const override {
+    return head_.forward(transpose(window));  // [1, L] -> [1, 1]
+  }
+
+  std::vector<Tensor> parameters() const override { return head_.parameters(); }
+
+ private:
+  util::Pcg32 rng_;
+  Linear head_;
+};
+
+class RnnModel final : public ForecastModel {
+ public:
+  explicit RnnModel(const ModelConfig& config)
+      : rng_(config.seed), rnn_(1, config.channels, rng_), head_(config.channels, 1, rng_) {}
+
+  std::string name() const override { return "RNN"; }
+
+  Tensor predict(const Tensor& window) const override {
+    Tensor states = rnn_.forward(window);
+    return head_.forward(slice_rows(states, states.rows() - 1, 1));
+  }
+
+  std::vector<Tensor> parameters() const override {
+    std::vector<Tensor> params = rnn_.parameters();
+    for (const Tensor& p : head_.parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  util::Pcg32 rng_;
+  VanillaRnnLayer rnn_;
+  Linear head_;
+};
+
+// Shared TCN stack: four dilated levels (d = 1, 2, 4, 8) of kernel-2
+// causal convolutions, ReLU between levels. Receptive field = 16 steps —
+// wide enough to cover the chaotic delay and most of a daily cycle, which
+// is the whole point of dilation (paper: "larger dilations expand the
+// convolutional network's receptive field").
+class TcnStack {
+ public:
+  TcnStack(std::size_t in_channels, std::size_t channels, util::Pcg32& rng) {
+    convs_.emplace_back(in_channels, channels, 2, 1, rng);
+    convs_.emplace_back(channels, channels, 2, 2, rng);
+    convs_.emplace_back(channels, channels, 2, 4, rng);
+    convs_.emplace_back(channels, channels, 2, 8, rng);
+  }
+
+  Tensor forward(const Tensor& x) const {
+    Tensor h = x;
+    for (const CausalConv1d& conv : convs_) h = relu(conv.forward(h));
+    return h;
+  }
+
+  std::vector<Tensor> parameters() const {
+    std::vector<Tensor> params;
+    for (const CausalConv1d& conv : convs_) {
+      for (const Tensor& p : conv.parameters()) params.push_back(p);
+    }
+    return params;
+  }
+
+ private:
+  std::vector<CausalConv1d> convs_;
+};
+
+class TcnModel final : public ForecastModel {
+ public:
+  explicit TcnModel(const ModelConfig& config)
+      : rng_(config.seed), tcn_(1, config.channels, rng_), head_(config.channels, 1, rng_) {}
+
+  std::string name() const override { return "TCN"; }
+
+  Tensor predict(const Tensor& window) const override {
+    Tensor features = tcn_.forward(window);
+    return head_.forward(slice_rows(features, features.rows() - 1, 1));
+  }
+
+  std::vector<Tensor> parameters() const override {
+    std::vector<Tensor> params = tcn_.parameters();
+    for (const Tensor& p : head_.parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  util::Pcg32 rng_;
+  TcnStack tcn_;
+  Linear head_;
+};
+
+class TransformerModel final : public ForecastModel {
+ public:
+  explicit TransformerModel(const ModelConfig& config)
+      : rng_(config.seed),
+        input_proj_(1, config.channels, rng_),
+        attention_(config.channels, config.heads, rng_),
+        norm1_(config.channels),
+        ffn1_(config.channels, config.channels * 2, rng_),
+        ffn2_(config.channels * 2, config.channels, rng_),
+        norm2_(config.channels),
+        head_(config.channels, 1, rng_) {}
+
+  std::string name() const override { return "Transformer"; }
+
+  Tensor predict(const Tensor& window) const override {
+    Tensor h = add_positional_encoding(input_proj_.forward(window));
+    h = norm1_.forward(add(h, attention_.forward(h)));      // residual + LN
+    Tensor ffn = ffn2_.forward(relu(ffn1_.forward(h)));
+    h = norm2_.forward(add(h, ffn));
+    return head_.forward(slice_rows(h, h.rows() - 1, 1));
+  }
+
+  std::vector<Tensor> parameters() const override {
+    std::vector<Tensor> params;
+    for (const Layer* layer : std::initializer_list<const Layer*>{
+             &input_proj_, &attention_, &norm1_, &ffn1_, &ffn2_, &norm2_, &head_}) {
+      for (const Tensor& p : layer->parameters()) params.push_back(p);
+    }
+    return params;
+  }
+
+ private:
+  util::Pcg32 rng_;
+  Linear input_proj_;
+  MultiHeadAttention attention_;
+  LayerNorm norm1_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNorm norm2_;
+  Linear head_;
+};
+
+// Paper Fig. 5: TCN captures long-range structure, BiGRU short-range
+// structure in both directions, and multi-head attention picks out bursts.
+class HammerModel final : public ForecastModel {
+ public:
+  explicit HammerModel(const ModelConfig& config)
+      : rng_(config.seed),
+        tcn_(1, config.channels, rng_),
+        bigru_(config.channels, config.channels / 2, rng_),
+        attention_(config.channels, config.heads, rng_),
+        head_(config.channels * 2, 1, rng_) {
+    HAMMER_CHECK(config.channels % 2 == 0);
+  }
+
+  std::string name() const override { return "Ours"; }
+
+  Tensor predict(const Tensor& window) const override {
+    Tensor tcn_out = tcn_.forward(window);            // [T, C]
+    Tensor h = bigru_.forward(tcn_out);               // [T, C] (C/2 per dir)
+    h = add(h, attention_.forward(h));                // burst-attention, residual
+    // Skip connection from the TCN output: the recurrent/attention path
+    // refines rather than replaces the convolutional features.
+    Tensor last = concat_cols(slice_rows(h, h.rows() - 1, 1),
+                              slice_rows(tcn_out, tcn_out.rows() - 1, 1));
+    return head_.forward(last);
+  }
+
+  std::vector<Tensor> parameters() const override {
+    std::vector<Tensor> params = tcn_.parameters();
+    for (const Tensor& p : bigru_.parameters()) params.push_back(p);
+    for (const Tensor& p : attention_.parameters()) params.push_back(p);
+    for (const Tensor& p : head_.parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  util::Pcg32 rng_;
+  TcnStack tcn_;
+  BiGruLayer bigru_;
+  MultiHeadAttention attention_;
+  Linear head_;
+};
+
+}  // namespace
+
+std::unique_ptr<ForecastModel> make_linear_model(const ModelConfig& config) {
+  return std::make_unique<LinearModel>(config);
+}
+std::unique_ptr<ForecastModel> make_rnn_model(const ModelConfig& config) {
+  return std::make_unique<RnnModel>(config);
+}
+std::unique_ptr<ForecastModel> make_tcn_model(const ModelConfig& config) {
+  return std::make_unique<TcnModel>(config);
+}
+std::unique_ptr<ForecastModel> make_transformer_model(const ModelConfig& config) {
+  return std::make_unique<TransformerModel>(config);
+}
+std::unique_ptr<ForecastModel> make_hammer_model(const ModelConfig& config) {
+  return std::make_unique<HammerModel>(config);
+}
+
+std::vector<std::unique_ptr<ForecastModel>> make_all_models(const ModelConfig& config) {
+  std::vector<std::unique_ptr<ForecastModel>> models;
+  models.push_back(make_linear_model(config));
+  models.push_back(make_rnn_model(config));
+  models.push_back(make_tcn_model(config));
+  models.push_back(make_transformer_model(config));
+  models.push_back(make_hammer_model(config));
+  return models;
+}
+
+}  // namespace hammer::forecast

@@ -1,0 +1,45 @@
+// The five model families of Table III, behind one interface.
+//
+//   Linear       — flat linear regression over the window
+//   RNN          — vanilla Elman RNN
+//   TCN          — dilated causal convolution stack (paper's long-range
+//                  dependency module, Eq. 3)
+//   Transformer  — single-block encoder with positional encoding
+//   Hammer(Ours) — TCN -> BiGRU -> multi-head attention (paper Fig. 5)
+//
+// All models consume a normalized window [L, 1] (the last L hourly counts)
+// and emit a [1, 1] prediction of the next value (horizon h = 1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "forecast/layers.hpp"
+
+namespace hammer::forecast {
+
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+  virtual std::string name() const = 0;
+  virtual Tensor predict(const Tensor& window) const = 0;
+  virtual std::vector<Tensor> parameters() const = 0;
+};
+
+struct ModelConfig {
+  std::size_t window = 48;
+  std::size_t channels = 16;     // TCN channels / RNN & GRU hidden / d_model
+  std::size_t heads = 2;
+  std::uint64_t seed = 1234;
+};
+
+std::unique_ptr<ForecastModel> make_linear_model(const ModelConfig& config);
+std::unique_ptr<ForecastModel> make_rnn_model(const ModelConfig& config);
+std::unique_ptr<ForecastModel> make_tcn_model(const ModelConfig& config);
+std::unique_ptr<ForecastModel> make_transformer_model(const ModelConfig& config);
+std::unique_ptr<ForecastModel> make_hammer_model(const ModelConfig& config);
+
+// All five, in Table III row order.
+std::vector<std::unique_ptr<ForecastModel>> make_all_models(const ModelConfig& config);
+
+}  // namespace hammer::forecast

@@ -1,0 +1,44 @@
+#include "forecast/optim.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+
+Adam::Adam(std::vector<Tensor> parameters, double lr, double beta1, double beta2, double eps)
+    : parameters_(std::move(parameters)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (const Tensor& p : parameters_) {
+    HAMMER_CHECK_MSG(p->requires_grad, "Adam given a non-trainable tensor");
+    m_.emplace_back(p->size(), 0.0);
+    v_.emplace_back(p->size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  double scale = 1.0;
+  if (clip_norm_ > 0.0) {
+    double norm_sq = 0.0;
+    for (const Tensor& p : parameters_) {
+      for (double g : p->grad) norm_sq += g * g;
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm > clip_norm_) scale = clip_norm_ / norm;
+  }
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    TensorImpl& p = parameters_[i].ref();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      double g = p.grad[j] * scale;
+      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * g * g;
+      double m_hat = m_[i][j] / bias1;
+      double v_hat = v_[i][j] / bias2;
+      p.value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace hammer::forecast

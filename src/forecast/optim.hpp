@@ -1,0 +1,36 @@
+// Adam optimizer (Kingma & Ba) over a flat parameter list.
+#pragma once
+
+#include <vector>
+
+#include "forecast/tensor.hpp"
+
+namespace hammer::forecast {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> parameters, double lr = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  // Applies one update from the gradients currently stored on the
+  // parameters (backward() freshly computes them each call).
+  void step();
+
+  // Gradient-norm clipping applied inside step() when > 0.
+  void set_clip_norm(double clip) { clip_norm_ = clip; }
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double clip_norm_ = 0.0;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace hammer::forecast

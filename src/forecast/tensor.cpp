@@ -1,0 +1,477 @@
+#include "forecast/tensor.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+
+TensorImpl::TensorImpl(std::size_t r, std::size_t c, bool rg)
+    : rows(r), cols(c), value(r * c, 0.0), requires_grad(rg) {
+  if (requires_grad) grad.assign(rows * cols, 0.0);
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requires_grad) {
+  return Tensor(std::make_shared<TensorImpl>(rows, cols, requires_grad));
+}
+
+Tensor Tensor::from_values(std::size_t rows, std::size_t cols, std::vector<double> values,
+                           bool requires_grad) {
+  HAMMER_CHECK(values.size() == rows * cols);
+  auto impl = std::make_shared<TensorImpl>(rows, cols, requires_grad);
+  impl->value = std::move(values);
+  return Tensor(impl);
+}
+
+Tensor Tensor::scalar(double v) { return from_values(1, 1, {v}); }
+
+Tensor Tensor::param(std::size_t rows, std::size_t cols, util::Pcg32& rng) {
+  auto impl = std::make_shared<TensorImpl>(rows, cols, /*requires_grad=*/true);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : impl->value) v = (rng.uniform01() * 2.0 - 1.0) * limit;
+  return Tensor(impl);
+}
+
+double Tensor::item() const {
+  HAMMER_CHECK(impl_ && impl_->size() == 1);
+  return impl_->value[0];
+}
+
+namespace {
+
+// Builds the result node; grads propagate only to parents that require
+// them. A node in the graph requires grad iff any parent does.
+Tensor make_node(std::size_t rows, std::size_t cols, std::vector<TensorPtr> parents,
+                 std::function<void(const TensorImpl&)> backward_fn) {
+  bool requires_grad = false;
+  for (const TensorPtr& p : parents) requires_grad |= p->requires_grad;
+  auto impl = std::make_shared<TensorImpl>(rows, cols, requires_grad);
+  if (requires_grad) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(impl);
+}
+
+void topo_sort(const TensorPtr& node, std::unordered_set<TensorImpl*>& seen,
+               std::vector<TensorPtr>& order) {
+  if (!node->requires_grad || seen.count(node.get())) return;
+  seen.insert(node.get());
+  for (const TensorPtr& parent : node->parents) topo_sort(parent, seen, order);
+  order.push_back(node);
+}
+
+}  // namespace
+
+void Tensor::backward() const {
+  HAMMER_CHECK(impl_ && impl_->size() == 1);
+  HAMMER_CHECK_MSG(impl_->requires_grad, "backward() on a graph with no parameters");
+  std::unordered_set<TensorImpl*> seen;
+  std::vector<TensorPtr> order;
+  topo_sort(impl_, seen, order);
+  for (const TensorPtr& node : order) {
+    std::fill(node->grad.begin(), node->grad.end(), 0.0);
+  }
+  impl_->grad[0] = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(**it);
+  }
+}
+
+// ------------------------------------------------------------------- ops
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  HAMMER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto out = make_node(a.rows(), a.cols(), {a.ptr(), b.ptr()}, nullptr);
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    out->value[i] = a->value[i] + b->value[i];
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr bp = b.ptr();
+    out->backward_fn = [ap, bp](const TensorImpl& o) {
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (ap->requires_grad) ap->grad[i] += o.grad[i];
+        if (bp->requires_grad) bp->grad[i] += o.grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& row) {
+  HAMMER_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  auto out = make_node(a.rows(), a.cols(), {a.ptr(), row.ptr()}, nullptr);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out->at(r, c) = a->at(r, c) + row->value[c];
+    }
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr rp = row.ptr();
+    out->backward_fn = [ap, rp](const TensorImpl& o) {
+      for (std::size_t r = 0; r < o.rows; ++r) {
+        for (std::size_t c = 0; c < o.cols; ++c) {
+          double g = o.grad[r * o.cols + c];
+          if (ap->requires_grad) ap->grad[r * o.cols + c] += g;
+          if (rp->requires_grad) rp->grad[c] += g;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) { return add(a, scale(b, -1.0)); }
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  HAMMER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto out = make_node(a.rows(), a.cols(), {a.ptr(), b.ptr()}, nullptr);
+  for (std::size_t i = 0; i < out->size(); ++i) out->value[i] = a->value[i] * b->value[i];
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr bp = b.ptr();
+    out->backward_fn = [ap, bp](const TensorImpl& o) {
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (ap->requires_grad) ap->grad[i] += o.grad[i] * bp->value[i];
+        if (bp->requires_grad) bp->grad[i] += o.grad[i] * ap->value[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, double k) {
+  auto out = make_node(a.rows(), a.cols(), {a.ptr()}, nullptr);
+  for (std::size_t i = 0; i < out->size(); ++i) out->value[i] = a->value[i] * k;
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap, k](const TensorImpl& o) {
+      for (std::size_t i = 0; i < o.size(); ++i) ap->grad[i] += o.grad[i] * k;
+    };
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HAMMER_CHECK(a.cols() == b.rows());
+  std::size_t R = a.rows();
+  std::size_t K = a.cols();
+  std::size_t C = b.cols();
+  auto out = make_node(R, C, {a.ptr(), b.ptr()}, nullptr);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t k = 0; k < K; ++k) {
+      double av = a->at(r, k);
+      if (av == 0.0) continue;
+      for (std::size_t c = 0; c < C; ++c) out->at(r, c) += av * b->at(k, c);
+    }
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr bp = b.ptr();
+    out->backward_fn = [ap, bp, R, K, C](const TensorImpl& o) {
+      // dA = dOut * B^T ; dB = A^T * dOut
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t c = 0; c < C; ++c) {
+          double g = o.grad[r * C + c];
+          if (g == 0.0) continue;
+          for (std::size_t k = 0; k < K; ++k) {
+            if (ap->requires_grad) ap->grad[r * K + k] += g * bp->value[k * C + c];
+            if (bp->requires_grad) bp->grad[k * C + c] += g * ap->value[r * K + k];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  auto out = make_node(a.cols(), a.rows(), {a.ptr()}, nullptr);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out->at(c, r) = a->at(r, c);
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap](const TensorImpl& o) {
+      for (std::size_t r = 0; r < ap->rows; ++r) {
+        for (std::size_t c = 0; c < ap->cols; ++c) {
+          ap->grad[r * ap->cols + c] += o.grad[c * o.cols + r];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+template <typename Fwd, typename Bwd>
+Tensor unary_op(const Tensor& a, Fwd fwd, Bwd bwd_from_out) {
+  auto out = make_node(a.rows(), a.cols(), {a.ptr()}, nullptr);
+  for (std::size_t i = 0; i < out->size(); ++i) out->value[i] = fwd(a->value[i]);
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap, bwd_from_out](const TensorImpl& o) {
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        ap->grad[i] += o.grad[i] * bwd_from_out(ap->value[i], o.value[i]);
+      }
+    };
+  }
+  return out;
+}
+}  // namespace
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_op(
+      a, [](double x) { return std::tanh(x); }, [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, [](double x) { return x > 0 ? x : 0.0; },
+      [](double x, double) { return x > 0 ? 1.0 : 0.0; });
+}
+
+Tensor abs_t(const Tensor& a) {
+  return unary_op(
+      a, [](double x) { return std::abs(x); },
+      [](double x, double) { return x >= 0 ? 1.0 : -1.0; });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      a, [](double x) { return x * x; }, [](double x, double) { return 2.0 * x; });
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  auto out = make_node(a.rows(), a.cols(), {a.ptr()}, nullptr);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double max = a->at(r, 0);
+    for (std::size_t c = 1; c < a.cols(); ++c) max = std::max(max, a->at(r, c));
+    double sum = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      double e = std::exp(a->at(r, c) - max);
+      out->at(r, c) = e;
+      sum += e;
+    }
+    for (std::size_t c = 0; c < a.cols(); ++c) out->at(r, c) /= sum;
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap](const TensorImpl& o) {
+      // dx_i = y_i * (dy_i - sum_j dy_j y_j), per row.
+      for (std::size_t r = 0; r < o.rows; ++r) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < o.cols; ++c) {
+          dot += o.grad[r * o.cols + c] * o.value[r * o.cols + c];
+        }
+        for (std::size_t c = 0; c < o.cols; ++c) {
+          std::size_t i = r * o.cols + c;
+          ap->grad[i] += o.value[i] * (o.grad[i] - dot);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  HAMMER_CHECK(a.rows() == b.rows());
+  std::size_t C1 = a.cols();
+  std::size_t C2 = b.cols();
+  auto out = make_node(a.rows(), C1 + C2, {a.ptr(), b.ptr()}, nullptr);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < C1; ++c) out->at(r, c) = a->at(r, c);
+    for (std::size_t c = 0; c < C2; ++c) out->at(r, C1 + c) = b->at(r, c);
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr bp = b.ptr();
+    out->backward_fn = [ap, bp, C1, C2](const TensorImpl& o) {
+      for (std::size_t r = 0; r < o.rows; ++r) {
+        for (std::size_t c = 0; c < C1; ++c) {
+          if (ap->requires_grad) ap->grad[r * C1 + c] += o.grad[r * (C1 + C2) + c];
+        }
+        for (std::size_t c = 0; c < C2; ++c) {
+          if (bp->requires_grad) bp->grad[r * C2 + c] += o.grad[r * (C1 + C2) + C1 + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  HAMMER_CHECK(a.cols() == b.cols());
+  std::size_t R1 = a.rows();
+  std::size_t C = a.cols();
+  auto out = make_node(R1 + b.rows(), C, {a.ptr(), b.ptr()}, nullptr);
+  std::copy(a->value.begin(), a->value.end(), out->value.begin());
+  std::copy(b->value.begin(), b->value.end(), out->value.begin() + static_cast<long>(R1 * C));
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr bp = b.ptr();
+    out->backward_fn = [ap, bp, R1, C](const TensorImpl& o) {
+      for (std::size_t i = 0; i < R1 * C; ++i) {
+        if (ap->requires_grad) ap->grad[i] += o.grad[i];
+      }
+      for (std::size_t i = 0; i < bp->value.size(); ++i) {
+        if (bp->requires_grad) bp->grad[i] += o.grad[R1 * C + i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t count) {
+  HAMMER_CHECK(begin + count <= a.rows());
+  std::size_t C = a.cols();
+  auto out = make_node(count, C, {a.ptr()}, nullptr);
+  std::copy(a->value.begin() + static_cast<long>(begin * C),
+            a->value.begin() + static_cast<long>((begin + count) * C), out->value.begin());
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap, begin, C](const TensorImpl& o) {
+      for (std::size_t i = 0; i < o.value.size(); ++i) {
+        ap->grad[begin * C + i] += o.grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::size_t begin, std::size_t count) {
+  HAMMER_CHECK(begin + count <= a.cols());
+  std::size_t C = a.cols();
+  auto out = make_node(a.rows(), count, {a.ptr()}, nullptr);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < count; ++c) out->at(r, c) = a->at(r, begin + c);
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap, begin, C](const TensorImpl& o) {
+      for (std::size_t r = 0; r < o.rows; ++r) {
+        for (std::size_t c = 0; c < o.cols; ++c) {
+          ap->grad[r * C + begin + c] += o.grad[r * o.cols + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor reverse_rows(const Tensor& a) {
+  std::size_t R = a.rows();
+  std::size_t C = a.cols();
+  auto out = make_node(R, C, {a.ptr()}, nullptr);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) out->at(r, c) = a->at(R - 1 - r, c);
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap, R, C](const TensorImpl& o) {
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t c = 0; c < C; ++c) {
+          ap->grad[(R - 1 - r) * C + c] += o.grad[r * C + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  auto out = make_node(1, 1, {a.ptr()}, nullptr);
+  double sum = 0.0;
+  for (double v : a->value) sum += v;
+  out->value[0] = sum;
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    out->backward_fn = [ap](const TensorImpl& o) {
+      for (double& g : ap->grad) g += o.grad[0];
+    };
+  }
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0 / static_cast<double>(a->size()));
+}
+
+Tensor layer_norm_rows(const Tensor& a, const Tensor& gain, const Tensor& bias, double eps) {
+  HAMMER_CHECK(gain.rows() == 1 && gain.cols() == a.cols());
+  HAMMER_CHECK(bias.rows() == 1 && bias.cols() == a.cols());
+  std::size_t R = a.rows();
+  std::size_t C = a.cols();
+  auto out = make_node(R, C, {a.ptr(), gain.ptr(), bias.ptr()}, nullptr);
+  // Cache per-row mean / inv-std for backward.
+  auto stats = std::make_shared<std::vector<double>>(2 * R);
+  for (std::size_t r = 0; r < R; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < C; ++c) mean += a->at(r, c);
+    mean /= static_cast<double>(C);
+    double var = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      double d = a->at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(C);
+    double inv_std = 1.0 / std::sqrt(var + eps);
+    (*stats)[2 * r] = mean;
+    (*stats)[2 * r + 1] = inv_std;
+    for (std::size_t c = 0; c < C; ++c) {
+      out->at(r, c) = (a->at(r, c) - mean) * inv_std * gain->value[c] + bias->value[c];
+    }
+  }
+  if (out->requires_grad) {
+    TensorPtr ap = a.ptr();
+    TensorPtr gp = gain.ptr();
+    TensorPtr bp = bias.ptr();
+    out->backward_fn = [ap, gp, bp, stats, R, C](const TensorImpl& o) {
+      for (std::size_t r = 0; r < R; ++r) {
+        double mean = (*stats)[2 * r];
+        double inv_std = (*stats)[2 * r + 1];
+        // dxhat accumulated terms.
+        double sum_dxhat = 0.0;
+        double sum_dxhat_xhat = 0.0;
+        for (std::size_t c = 0; c < C; ++c) {
+          double xhat = (ap->value[r * C + c] - mean) * inv_std;
+          double dy = o.grad[r * C + c];
+          double dxhat = dy * gp->value[c];
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xhat;
+          if (gp->requires_grad) gp->grad[c] += dy * xhat;
+          if (bp->requires_grad) bp->grad[c] += dy;
+        }
+        if (ap->requires_grad) {
+          double n = static_cast<double>(C);
+          for (std::size_t c = 0; c < C; ++c) {
+            double xhat = (ap->value[r * C + c] - mean) * inv_std;
+            double dxhat = o.grad[r * C + c] * gp->value[c];
+            ap->grad[r * C + c] +=
+                inv_std / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor mae_loss(const Tensor& prediction, const Tensor& target) {
+  return mean_all(abs_t(sub(prediction, target)));
+}
+
+Tensor mse_loss(const Tensor& prediction, const Tensor& target) {
+  return mean_all(square(sub(prediction, target)));
+}
+
+}  // namespace hammer::forecast

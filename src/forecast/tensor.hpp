@@ -1,0 +1,104 @@
+// Minimal reverse-mode autodiff over 2-D tensors.
+//
+// The learning-based control-sequence model (paper §IV) needs trainable
+// TCN, BiGRU and multi-head-attention blocks plus the Linear/RNN/
+// Transformer baselines of Table III. This tensor core supports exactly
+// what those models require: dynamic computation graphs over row-major
+// [rows, cols] matrices, with backward() running a topological sweep.
+//
+// Sequences are [T, D] matrices (time-major); scalars are [1, 1].
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hammer::forecast {
+
+class TensorImpl;
+using TensorPtr = std::shared_ptr<TensorImpl>;
+
+class TensorImpl {
+ public:
+  TensorImpl(std::size_t rows, std::size_t cols, bool requires_grad);
+
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> value;
+  std::vector<double> grad;   // same size as value when requires_grad
+  bool requires_grad = false;
+
+  // Graph wiring (empty for leaves). backward_fn receives *this* node as
+  // its argument — capturing the owning shared_ptr inside the closure
+  // would create a reference cycle and leak the whole graph.
+  std::vector<TensorPtr> parents;
+  std::function<void(const TensorImpl&)> backward_fn;
+
+  double& at(std::size_t r, std::size_t c) { return value[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return value[r * cols + c]; }
+  double& grad_at(std::size_t r, std::size_t c) { return grad[r * cols + c]; }
+
+  std::size_t size() const { return value.size(); }
+};
+
+// Value-semantics handle over a graph node.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorPtr impl) : impl_(std::move(impl)) {}
+
+  // Leaf constructors.
+  static Tensor zeros(std::size_t rows, std::size_t cols, bool requires_grad = false);
+  static Tensor from_values(std::size_t rows, std::size_t cols, std::vector<double> values,
+                            bool requires_grad = false);
+  static Tensor scalar(double v);
+  // Xavier/Glorot-uniform initialized parameter.
+  static Tensor param(std::size_t rows, std::size_t cols, util::Pcg32& rng);
+
+  TensorImpl* operator->() const { return impl_.get(); }
+  TensorImpl& ref() const { return *impl_; }
+  const TensorPtr& ptr() const { return impl_; }
+  bool defined() const { return impl_ != nullptr; }
+
+  std::size_t rows() const { return impl_->rows; }
+  std::size_t cols() const { return impl_->cols; }
+  double item() const;  // requires 1x1
+
+  // Runs backpropagation from this (scalar) tensor.
+  void backward() const;
+
+ private:
+  TensorPtr impl_;
+};
+
+// ---- differentiable ops (all return new graph nodes) ----
+Tensor add(const Tensor& a, const Tensor& b);           // same shape
+Tensor add_row_broadcast(const Tensor& a, const Tensor& row);  // a:[R,C] + row:[1,C]
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);           // elementwise
+Tensor scale(const Tensor& a, double k);
+Tensor matmul(const Tensor& a, const Tensor& b);        // [R,K]x[K,C]
+Tensor transpose(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor softmax_rows(const Tensor& a);
+Tensor concat_cols(const Tensor& a, const Tensor& b);   // [R,C1]+[R,C2] -> [R,C1+C2]
+Tensor concat_rows(const Tensor& a, const Tensor& b);   // [R1,C]+[R2,C] -> [R1+R2,C]
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t count);
+Tensor slice_cols(const Tensor& a, std::size_t begin, std::size_t count);
+Tensor reverse_rows(const Tensor& a);
+Tensor mean_all(const Tensor& a);                       // -> [1,1]
+Tensor sum_all(const Tensor& a);                        // -> [1,1]
+Tensor abs_t(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor layer_norm_rows(const Tensor& a, const Tensor& gain, const Tensor& bias, double eps = 1e-5);
+
+// Losses (scalar outputs).
+Tensor mae_loss(const Tensor& prediction, const Tensor& target);
+Tensor mse_loss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace hammer::forecast

@@ -1,0 +1,165 @@
+#include "forecast/train.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "forecast/optim.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+
+namespace {
+Tensor window_tensor(const std::vector<double>& values) {
+  return Tensor::from_values(values.size(), 1, values);
+}
+}  // namespace
+
+namespace {
+std::vector<std::vector<double>> snapshot_parameters(const ForecastModel& model) {
+  std::vector<std::vector<double>> snapshot;
+  for (const Tensor& p : model.parameters()) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void restore_parameters(ForecastModel& model, const std::vector<std::vector<double>>& snapshot) {
+  std::vector<Tensor> params = model.parameters();
+  HAMMER_CHECK(params.size() == snapshot.size());
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+double validation_loss(const ForecastModel& model, const WindowDataset& data,
+                       std::size_t begin) {
+  double loss = 0.0;
+  for (std::size_t i = begin; i < data.inputs.size(); ++i) {
+    loss += std::abs(model.predict(window_tensor(data.inputs[i])).item() - data.targets[i]);
+  }
+  return loss / static_cast<double>(data.inputs.size() - begin);
+}
+}  // namespace
+
+double train_model(ForecastModel& model, const WindowDataset& train,
+                   const TrainOptions& options) {
+  HAMMER_CHECK(!train.inputs.empty());
+  Adam optimizer(model.parameters(), options.lr);
+  optimizer.set_clip_norm(options.clip_norm);
+  util::Pcg32 rng(options.shuffle_seed);
+
+  bool early_stopping = options.patience > 0 && options.val_fraction > 0.0;
+  std::size_t train_count = train.inputs.size();
+  if (early_stopping) {
+    auto held_out = static_cast<std::size_t>(static_cast<double>(train.inputs.size()) *
+                                             options.val_fraction);
+    if (held_out >= 1 && held_out < train.inputs.size()) train_count -= held_out;
+  }
+
+  std::vector<std::size_t> order(train_count);
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best_params;
+  std::size_t epochs_without_improvement = 0;
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size(); begin += options.batch_size) {
+      std::size_t end = std::min(begin + options.batch_size, order.size());
+      // Batch loss assembled in one graph so a single backward() covers the
+      // whole minibatch.
+      Tensor batch_loss;
+      for (std::size_t i = begin; i < end; ++i) {
+        std::size_t idx = order[i];
+        Tensor prediction = model.predict(window_tensor(train.inputs[idx]));
+        Tensor target = Tensor::scalar(train.targets[idx]);
+        Tensor loss = mae_loss(prediction, target);  // paper Eq. 8
+        batch_loss = batch_loss.defined() ? add(batch_loss, loss) : loss;
+      }
+      batch_loss = scale(batch_loss, 1.0 / static_cast<double>(end - begin));
+      batch_loss.backward();
+      optimizer.step();
+      epoch_loss += batch_loss.item();
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+    if (options.on_epoch) options.on_epoch(epoch, last_epoch_loss);
+
+    if (early_stopping) {
+      double val = validation_loss(model, train, train_count);
+      if (val < best_val - 1e-6) {
+        best_val = val;
+        best_params = snapshot_parameters(model);
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= options.patience) {
+        break;  // converged
+      }
+    }
+  }
+  if (early_stopping && !best_params.empty()) restore_parameters(model, best_params);
+  return last_epoch_loss;
+}
+
+std::vector<double> predict_all(const ForecastModel& model, const WindowDataset& dataset,
+                                const Normalizer& normalizer) {
+  std::vector<double> predictions;
+  predictions.reserve(dataset.inputs.size());
+  for (const auto& input : dataset.inputs) {
+    predictions.push_back(normalizer.denormalize(model.predict(window_tensor(input)).item()));
+  }
+  return predictions;
+}
+
+SeriesEvaluation train_and_evaluate(ForecastModel& model, const std::vector<double>& series,
+                                    std::size_t window, double train_fraction,
+                                    const TrainOptions& options) {
+  HAMMER_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  auto split = static_cast<std::size_t>(static_cast<double>(series.size()) * train_fraction);
+  HAMMER_CHECK(split > window + 1);
+  HAMMER_CHECK(series.size() - split > window + 1);
+
+  Normalizer normalizer = Normalizer::fit(series, split);
+  WindowDataset train = WindowDataset::build(series, window, normalizer, 0, split);
+  // Test windows may look back into the train region (standard rolling
+  // evaluation); targets all land in the test region.
+  WindowDataset test = WindowDataset::build(series, window, normalizer, split - window,
+                                            series.size());
+
+  train_model(model, train, options);
+
+  SeriesEvaluation eval;
+  eval.test_predictions = predict_all(model, test, normalizer);
+  eval.test_actuals.reserve(test.targets.size());
+  for (double t : test.targets) eval.test_actuals.push_back(normalizer.denormalize(t));
+  eval.metrics = compute_metrics(eval.test_predictions, eval.test_actuals);
+  return eval;
+}
+
+std::vector<double> extend_series(const ForecastModel& model, const std::vector<double>& series,
+                                  std::size_t window, const Normalizer& normalizer,
+                                  std::size_t steps) {
+  HAMMER_CHECK(series.size() >= window);
+  std::vector<double> context(series.end() - static_cast<long>(window), series.end());
+  std::vector<double> extension;
+  extension.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::vector<double> normalized(window);
+    for (std::size_t i = 0; i < window; ++i) normalized[i] = normalizer.normalize(context[i]);
+    double next =
+        std::max(normalizer.denormalize(model.predict(window_tensor(normalized)).item()), 0.0);
+    extension.push_back(next);
+    context.erase(context.begin());
+    context.push_back(next);
+  }
+  return extension;
+}
+
+workload::ControlSequence to_control_sequence(const std::vector<double>& hourly_counts,
+                                              util::Duration slice) {
+  std::vector<double> counts = hourly_counts;
+  for (double& c : counts) c = std::max(c, 0.0);
+  return workload::ControlSequence(std::move(counts), slice);
+}
+
+}  // namespace hammer::forecast

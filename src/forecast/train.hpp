@@ -1,0 +1,64 @@
+// Training / evaluation harness for the Table III comparison and the
+// Fig. 11 sequence generation, plus the bridge from a trained model to a
+// workload ControlSequence (the whole point of §IV: extending limited real
+// control sequences for large-scale testing).
+#pragma once
+
+#include <functional>
+
+#include "forecast/dataset.hpp"
+#include "forecast/models.hpp"
+#include "workload/control_sequence.hpp"
+
+namespace hammer::forecast {
+
+struct TrainOptions {
+  std::size_t epochs = 30;   // hard cap
+  std::size_t batch_size = 8;
+  double lr = 3e-3;
+  double clip_norm = 1.0;
+  std::uint64_t shuffle_seed = 99;
+  // Convergence-based stopping (paper: "the training process concludes
+  // when the model's loss converges"): hold out the tail `val_fraction` of
+  // the training windows and stop after `patience` epochs without
+  // validation improvement. patience = 0 disables early stopping.
+  double val_fraction = 0.0;
+  std::size_t patience = 0;
+  // Loss per the paper (Eq. 8) is MAE.
+  std::function<void(std::size_t epoch, double loss)> on_epoch;  // optional
+};
+
+// Trains in place; returns the final epoch's mean training loss. With
+// early stopping enabled, parameters are restored to the best-validation
+// snapshot before returning.
+double train_model(ForecastModel& model, const WindowDataset& train, const TrainOptions& options);
+
+// One-step-ahead predictions over a dataset, denormalized.
+std::vector<double> predict_all(const ForecastModel& model, const WindowDataset& dataset,
+                                const Normalizer& normalizer);
+
+// Full Table III cell: train on the first `train_fraction` of the series,
+// evaluate one-step-ahead on the remainder, return denormalized metrics.
+struct SeriesEvaluation {
+  EvalMetrics metrics;
+  std::vector<double> test_actuals;      // denormalized
+  std::vector<double> test_predictions;  // denormalized (Fig. 11 overlay)
+};
+
+SeriesEvaluation train_and_evaluate(ForecastModel& model, const std::vector<double>& series,
+                                    std::size_t window, double train_fraction,
+                                    const TrainOptions& options);
+
+// Autoregressive rollout: seeds with the series' last `window` points and
+// feeds predictions back to extend the sequence by `steps` (how Hammer
+// manufactures arbitrarily long control sequences from a short real trace).
+std::vector<double> extend_series(const ForecastModel& model, const std::vector<double>& series,
+                                  std::size_t window, const Normalizer& normalizer,
+                                  std::size_t steps);
+
+// Wraps an extended (or predicted) hourly series as a workload control
+// sequence with the given slice duration.
+workload::ControlSequence to_control_sequence(const std::vector<double>& hourly_counts,
+                                              util::Duration slice);
+
+}  // namespace hammer::forecast

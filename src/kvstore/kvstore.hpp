@@ -1,0 +1,108 @@
+// In-memory key-value store standing in for the Redis cluster of the
+// paper's architecture (Fig. 2): the driver caches transaction vector-list
+// state here, and a committer periodically drains it into the minisql table
+// store ("MySQL") for the visualization layer.
+//
+// Supports the Redis subset Hammer needs: strings (GET/SET/INCR), hashes
+// (HSET/HGET/HGETALL), lists (RPUSH/LRANGE), key expiry, pipelined batches
+// and a full scan for the periodic flush. Keys are sharded across
+// independently locked partitions so driver threads and the committer do
+// not serialize on one mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace hammer::kvstore {
+
+using Hash = std::map<std::string, std::string>;
+using List = std::vector<std::string>;
+
+class KvStore {
+ public:
+  explicit KvStore(std::shared_ptr<util::Clock> clock, std::size_t num_shards = 16);
+
+  // --- string ops ---
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  // Returns the post-increment value; key created at `delta` when absent.
+  // Throws RejectedError if the value is not an integer string.
+  std::int64_t incr_by(const std::string& key, std::int64_t delta);
+
+  // --- hash ops ---
+  // Returns true when the field was newly created.
+  bool hset(const std::string& key, const std::string& field, std::string value);
+  std::optional<std::string> hget(const std::string& key, const std::string& field) const;
+  Hash hgetall(const std::string& key) const;
+  std::size_t hlen(const std::string& key) const;
+
+  // --- list ops ---
+  std::size_t rpush(const std::string& key, std::string value);
+  // Inclusive range; negative indices count from the tail (Redis semantics).
+  List lrange(const std::string& key, std::int64_t start, std::int64_t stop) const;
+  std::size_t llen(const std::string& key) const;
+
+  // --- generic ---
+  bool del(const std::string& key);
+  bool exists(const std::string& key) const;
+  bool expire(const std::string& key, util::Duration ttl);
+  std::size_t size() const;  // live (non-expired) key count
+
+  // --- pipelining ---
+  // One round trip applying many commands (paper: "processes ... through a
+  // pipeline"). Commands run in order; each reply slot holds the op result
+  // or an error message.
+  struct Command {
+    enum class Op { kSet, kGet, kDel, kHset, kHget, kIncrBy, kRpush } op;
+    std::string key;
+    std::string field;  // HSET/HGET field
+    std::string value;  // SET/HSET/RPUSH payload
+    std::int64_t delta = 0;
+  };
+  struct Reply {
+    bool ok = true;
+    std::string value;       // GET/HGET result (empty if missing)
+    std::int64_t integer = 0;  // INCRBY/RPUSH/DEL result
+    std::string error;
+  };
+  std::vector<Reply> pipeline(const std::vector<Command>& commands);
+
+  // --- scan ---
+  // Invokes fn for every live key (hash keys expose their fields). Used by
+  // the Redis→MySQL committer. Shards are visited one at a time so writers
+  // on other shards make progress during a scan.
+  void scan_hashes(const std::function<void(const std::string& key, const Hash& value)>& fn) const;
+  std::vector<std::string> keys() const;
+
+ private:
+  struct Entry {
+    std::variant<std::string, Hash, List> value;
+    std::optional<util::TimePoint> expires_at;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+  bool expired(const Entry& entry) const;
+
+  // Returns nullptr when absent or expired (erases lazily).
+  Entry* find_live(Shard& shard, const std::string& key) const;
+
+  std::shared_ptr<util::Clock> clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hammer::kvstore

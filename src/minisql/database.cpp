@@ -1,0 +1,124 @@
+#include "minisql/database.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace hammer::minisql {
+
+using hammer::LogicError;
+using hammer::NotFoundError;
+
+std::string cell_to_string(const Cell& cell) {
+  if (std::holds_alternative<std::monostate>(cell)) return "NULL";
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&cell)) {
+    std::ostringstream os;
+    os << *d;
+    return os.str();
+  }
+  return std::get<std::string>(cell);
+}
+
+bool cell_is_null(const Cell& cell) { return std::holds_alternative<std::monostate>(cell); }
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  HAMMER_CHECK(!columns_.empty());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] = index_by_name_.emplace(util::to_upper(columns_[i].name), i);
+    (void)it;
+    HAMMER_CHECK_MSG(inserted, "duplicate column " + columns_[i].name);
+  }
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  auto it = index_by_name_.find(util::to_upper(name));
+  if (it == index_by_name_.end()) {
+    throw NotFoundError("column '" + name + "' in table " + name_);
+  }
+  return it->second;
+}
+
+void Table::insert(std::vector<Cell> row) {
+  HAMMER_CHECK_MSG(row.size() == columns_.size(),
+                   "row arity " + std::to_string(row.size()) + " != schema arity " +
+                       std::to_string(columns_.size()));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    Cell& cell = row[i];
+    if (cell_is_null(cell)) continue;
+    switch (columns_[i].type) {
+      case ColumnType::kInt:
+        if (!std::holds_alternative<std::int64_t>(cell)) {
+          throw LogicError("column " + columns_[i].name + " expects INT");
+        }
+        break;
+      case ColumnType::kDouble:
+        if (const auto* iv = std::get_if<std::int64_t>(&cell)) {
+          cell = static_cast<double>(*iv);
+        } else if (!std::holds_alternative<double>(cell)) {
+          throw LogicError("column " + columns_[i].name + " expects DOUBLE");
+        }
+        break;
+      case ColumnType::kText:
+        if (!std::holds_alternative<std::string>(cell)) {
+          throw LogicError("column " + columns_[i].name + " expects TEXT");
+        }
+        break;
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::size_t Table::row_count() const { return rows_.size(); }
+
+void Table::truncate() { rows_.clear(); }
+
+std::string ResultSet::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < column_names.size(); ++i) {
+    if (i) os << ',';
+    os << column_names[i];
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << cell_to_string(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Table& Database::create_table(const std::string& name, std::vector<Column> columns) {
+  std::scoped_lock lock(mu_);
+  std::string key = util::to_upper(name);
+  auto [it, inserted] =
+      tables_.emplace(key, std::make_unique<Table>(name, std::move(columns)));
+  HAMMER_CHECK_MSG(inserted, "table " + name + " already exists");
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(util::to_upper(name));
+  if (it == tables_.end()) throw NotFoundError("table " + name);
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(util::to_upper(name));
+  if (it == tables_.end()) throw NotFoundError("table " + name);
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.count(util::to_upper(name)) > 0;
+}
+
+void Database::insert(const std::string& table_name, std::vector<Cell> row) {
+  std::scoped_lock lock(mu_);
+  table(table_name).insert(std::move(row));
+}
+
+}  // namespace hammer::minisql

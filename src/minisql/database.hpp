@@ -1,0 +1,91 @@
+// Embedded typed-column table store standing in for the MySQL layer of the
+// paper's architecture. The visualization phase defines its metrics as SQL
+// (Table II); this module stores the Performance table and executes the
+// SQL subset those metrics need.
+//
+// Timestamps are stored as INT columns holding microseconds since the run
+// epoch; TIMESTAMPDIFF(unit, a, b) operates on them like MySQL's does on
+// DATETIME columns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace hammer::minisql {
+
+enum class ColumnType { kInt, kDouble, kText };
+
+// Monostate represents SQL NULL.
+using Cell = std::variant<std::monostate, std::int64_t, double, std::string>;
+
+std::string cell_to_string(const Cell& cell);
+bool cell_is_null(const Cell& cell);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Throws NotFoundError for unknown column names.
+  std::size_t column_index(const std::string& name) const;
+
+  // Throws LogicError on arity mismatch; validates cell types against the
+  // schema (ints are accepted into double columns).
+  void insert(std::vector<Cell> row);
+
+  std::size_t row_count() const;
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+  void truncate();
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::map<std::string, std::size_t> index_by_name_;  // lower-cased name
+  std::vector<std::vector<Cell>> rows_;
+};
+
+// A named collection of tables with a query entry point. Thread-safety:
+// the committer inserts while report code queries, so the database holds a
+// coarse mutex (query volume is tiny compared to inserts).
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Cell>> rows;
+
+  std::string to_csv() const;
+};
+
+class Database {
+ public:
+  Table& create_table(const std::string& name, std::vector<Column> columns);
+  Table& table(const std::string& name);          // throws NotFoundError
+  const Table& table(const std::string& name) const;
+  bool has_table(const std::string& name) const;
+
+  void insert(const std::string& table_name, std::vector<Cell> row);
+
+  // Executes one SELECT statement (see parser.hpp for the grammar).
+  ResultSet query(const std::string& sql) const;
+
+  // Serializes inserts/queries from multiple threads.
+  std::mutex& mutex() const { return mu_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-cased name
+};
+
+}  // namespace hammer::minisql

@@ -1,0 +1,345 @@
+// SELECT executor for the minisql subset.
+//
+// Semantics follow MySQL where it matters for Table II:
+//   - '/' always yields double; other int×int arithmetic stays integral
+//   - NULL propagates through expressions; WHERE treats NULL as false
+//   - mixed string/number comparisons coerce the string to a number when it
+//     parses (so STATUS = '1' works on either column type)
+//   - with aggregates and no GROUP BY, the whole filtered set is one group
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "minisql/database.hpp"
+#include "minisql/parser.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::minisql {
+
+using hammer::LogicError;
+using hammer::ParseError;
+
+namespace {
+
+std::optional<double> cell_numeric(const Cell& cell) {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&cell)) return *d;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    double v = 0.0;
+    const char* begin = s->data();
+    const char* end = s->data() + s->size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec == std::errc{} && ptr == end && !s->empty()) return v;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Three-valued comparison result; nullopt = SQL NULL (incomparable).
+std::optional<int> compare_cells(const Cell& lhs, const Cell& rhs) {
+  if (cell_is_null(lhs) || cell_is_null(rhs)) return std::nullopt;
+  const auto* ls = std::get_if<std::string>(&lhs);
+  const auto* rs = std::get_if<std::string>(&rhs);
+  if (ls && rs) return ls->compare(*rs) < 0 ? -1 : (*ls == *rs ? 0 : 1);
+  auto ln = cell_numeric(lhs);
+  auto rn = cell_numeric(rhs);
+  if (!ln || !rn) return std::nullopt;  // non-numeric string vs number
+  if (*ln < *rn) return -1;
+  if (*ln > *rn) return 1;
+  return 0;
+}
+
+Cell arith(BinaryOp op, const Cell& lhs, const Cell& rhs) {
+  if (cell_is_null(lhs) || cell_is_null(rhs)) return Cell{};
+  auto ln = cell_numeric(lhs);
+  auto rn = cell_numeric(rhs);
+  if (!ln || !rn) return Cell{};
+  bool both_int = std::holds_alternative<std::int64_t>(lhs) &&
+                  std::holds_alternative<std::int64_t>(rhs);
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (both_int) return std::get<std::int64_t>(lhs) + std::get<std::int64_t>(rhs);
+      return *ln + *rn;
+    case BinaryOp::kSub:
+      if (both_int) return std::get<std::int64_t>(lhs) - std::get<std::int64_t>(rhs);
+      return *ln - *rn;
+    case BinaryOp::kMul:
+      if (both_int) return std::get<std::int64_t>(lhs) * std::get<std::int64_t>(rhs);
+      return *ln * *rn;
+    case BinaryOp::kDiv:
+      if (*rn == 0.0) return Cell{};  // division by zero -> NULL (MySQL)
+      return *ln / *rn;
+    default:
+      throw LogicError("arith called with non-arithmetic op");
+  }
+}
+
+bool truthy(const Cell& cell) {
+  if (cell_is_null(cell)) return false;
+  auto n = cell_numeric(cell);
+  return n.has_value() && *n != 0.0;
+}
+
+class RowEvaluator {
+ public:
+  RowEvaluator(const Table& table, const std::vector<Cell>& row) : table_(table), row_(row) {}
+
+  Cell eval(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral: return e.int_value;
+      case ExprKind::kDoubleLiteral: return e.double_value;
+      case ExprKind::kStringLiteral: return e.text;
+      case ExprKind::kColumnRef: return row_[table_.column_index(e.text)];
+      case ExprKind::kUnaryMinus: {
+        Cell v = eval(*e.children[0]);
+        if (cell_is_null(v)) return v;
+        if (const auto* i = std::get_if<std::int64_t>(&v)) return -*i;
+        if (const auto* d = std::get_if<double>(&v)) return -*d;
+        return Cell{};
+      }
+      case ExprKind::kTimestampDiff: {
+        Cell a = eval(*e.children[0]);
+        Cell b = eval(*e.children[1]);
+        if (cell_is_null(a) || cell_is_null(b)) return Cell{};
+        auto an = cell_numeric(a);
+        auto bn = cell_numeric(b);
+        if (!an || !bn) return Cell{};
+        // Timestamps are microseconds; TIMESTAMPDIFF(unit, a, b) = b - a
+        // truncated toward zero in the requested unit (MySQL semantics).
+        auto diff_us = static_cast<std::int64_t>(*bn - *an);
+        switch (e.unit) {
+          case TimeUnit::kSecond: return diff_us / 1000000;
+          case TimeUnit::kMillisecond: return diff_us / 1000;
+          case TimeUnit::kMicrosecond: return diff_us;
+        }
+        return Cell{};
+      }
+      case ExprKind::kBinary: {
+        if (e.op == BinaryOp::kAnd) {
+          return static_cast<std::int64_t>(truthy(eval(*e.children[0])) &&
+                                           truthy(eval(*e.children[1])));
+        }
+        if (e.op == BinaryOp::kOr) {
+          return static_cast<std::int64_t>(truthy(eval(*e.children[0])) ||
+                                           truthy(eval(*e.children[1])));
+        }
+        Cell lhs = eval(*e.children[0]);
+        Cell rhs = eval(*e.children[1]);
+        switch (e.op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+            return arith(e.op, lhs, rhs);
+          default: {
+            auto c = compare_cells(lhs, rhs);
+            if (!c) return Cell{};
+            bool result = false;
+            switch (e.op) {
+              case BinaryOp::kEq: result = *c == 0; break;
+              case BinaryOp::kNe: result = *c != 0; break;
+              case BinaryOp::kLt: result = *c < 0; break;
+              case BinaryOp::kLe: result = *c <= 0; break;
+              case BinaryOp::kGt: result = *c > 0; break;
+              case BinaryOp::kGe: result = *c >= 0; break;
+              default: throw LogicError("unexpected comparison op");
+            }
+            return static_cast<std::int64_t>(result);
+          }
+        }
+      }
+      case ExprKind::kCountStar:
+      case ExprKind::kAggregate:
+        throw ParseError("aggregate used where a row value is required");
+    }
+    throw LogicError("unhandled expression kind");
+  }
+
+ private:
+  const Table& table_;
+  const std::vector<Cell>& row_;
+};
+
+// Evaluates a (possibly aggregate-bearing) expression over a group of rows.
+class GroupEvaluator {
+ public:
+  GroupEvaluator(const Table& table, const std::vector<const std::vector<Cell>*>& rows)
+      : table_(table), rows_(rows) {}
+
+  Cell eval(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kCountStar:
+        return static_cast<std::int64_t>(rows_.size());
+      case ExprKind::kAggregate: {
+        double sum = 0.0;
+        std::size_t n = 0;
+        std::optional<double> best;
+        for (const auto* row : rows_) {
+          Cell v = RowEvaluator(table_, *row).eval(*e.children[0]);
+          auto num = cell_numeric(v);
+          if (!num) continue;  // NULLs are skipped by SQL aggregates
+          ++n;
+          sum += *num;
+          if (!best) {
+            best = *num;
+          } else {
+            best = e.agg == AggFunc::kMin ? std::min(*best, *num) : std::max(*best, *num);
+          }
+        }
+        if (n == 0) return Cell{};
+        switch (e.agg) {
+          case AggFunc::kAvg: return sum / static_cast<double>(n);
+          case AggFunc::kSum: return sum;
+          case AggFunc::kMin:
+          case AggFunc::kMax: return *best;
+        }
+        return Cell{};
+      }
+      default: {
+        if (e.kind == ExprKind::kBinary && e.contains_aggregate()) {
+          // e.g. COUNT(*) / 10 or SUM(x) - SUM(y).
+          Cell lhs = eval(*e.children[0]);
+          Cell rhs = eval(*e.children[1]);
+          switch (e.op) {
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+            case BinaryOp::kMul:
+            case BinaryOp::kDiv:
+              return arith(e.op, lhs, rhs);
+            default:
+              break;
+          }
+        }
+        // Non-aggregate expression in an aggregate query: evaluate on the
+        // group's first row (MySQL's permissive ONLY_FULL_GROUP_BY-off mode).
+        if (rows_.empty()) return Cell{};
+        return RowEvaluator(table_, *rows_[0]).eval(e);
+      }
+    }
+  }
+
+ private:
+  const Table& table_;
+  const std::vector<const std::vector<Cell>*>& rows_;
+};
+
+std::string item_output_name(const SelectItem& item, std::size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ExprKind::kColumnRef) return item.expr->text;
+  if (item.expr && item.expr->kind == ExprKind::kCountStar) return "COUNT(*)";
+  return "EXPR" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+ResultSet Database::query(const std::string& sql) const {
+  SelectStatement stmt = parse_select(sql);
+  std::scoped_lock lock(mu_);
+  const Table& tbl = table(stmt.table);
+
+  ResultSet result;
+
+  // Expand the select list (star -> all columns).
+  std::vector<const Expr*> exprs;
+  std::vector<std::unique_ptr<Expr>> owned;
+  for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.star) {
+      for (const Column& col : tbl.columns()) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kColumnRef;
+        e->text = col.name;
+        result.column_names.push_back(col.name);
+        exprs.push_back(e.get());
+        owned.push_back(std::move(e));
+      }
+    } else {
+      // Unaliased column refs display with the schema's declared case.
+      if (item.alias.empty() && item.expr->kind == ExprKind::kColumnRef) {
+        result.column_names.push_back(tbl.columns()[tbl.column_index(item.expr->text)].name);
+      } else {
+        result.column_names.push_back(item_output_name(item, i));
+      }
+      exprs.push_back(item.expr.get());
+    }
+  }
+
+  // Filter.
+  std::vector<const std::vector<Cell>*> filtered;
+  filtered.reserve(tbl.rows().size());
+  for (const auto& row : tbl.rows()) {
+    if (!stmt.where || truthy(RowEvaluator(tbl, row).eval(*stmt.where))) {
+      filtered.push_back(&row);
+    }
+  }
+
+  bool aggregate_mode = stmt.group_by != nullptr;
+  for (const Expr* e : exprs) {
+    if (e->contains_aggregate()) aggregate_mode = true;
+  }
+
+  if (aggregate_mode) {
+    // Group rows by the (stringified) GROUP BY key; a missing GROUP BY
+    // makes a single group.
+    std::map<std::string, std::vector<const std::vector<Cell>*>> groups;
+    if (stmt.group_by) {
+      for (const auto* row : filtered) {
+        Cell key = RowEvaluator(tbl, *row).eval(*stmt.group_by);
+        groups[cell_to_string(key)].push_back(row);
+      }
+    } else {
+      groups[""] = filtered;
+    }
+    for (const auto& [key, rows] : groups) {
+      (void)key;
+      GroupEvaluator ge(tbl, rows);
+      std::vector<Cell> out;
+      out.reserve(exprs.size());
+      for (const Expr* e : exprs) out.push_back(ge.eval(*e));
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    for (const auto* row : filtered) {
+      RowEvaluator re(tbl, *row);
+      std::vector<Cell> out;
+      out.reserve(exprs.size());
+      for (const Expr* e : exprs) out.push_back(re.eval(*e));
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  if (stmt.order_by) {
+    if (stmt.order_by->kind != ExprKind::kColumnRef) {
+      throw ParseError("ORDER BY must reference an output column");
+    }
+    const std::string& target = stmt.order_by->text;
+    std::size_t idx = result.column_names.size();
+    for (std::size_t i = 0; i < result.column_names.size(); ++i) {
+      std::string upper = result.column_names[i];
+      for (auto& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (upper == target) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == result.column_names.size()) {
+      throw ParseError("ORDER BY column '" + target + "' not in select list");
+    }
+    bool desc = stmt.order_desc;
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [idx, desc](const std::vector<Cell>& a, const std::vector<Cell>& b) {
+                       auto c = compare_cells(a[idx], b[idx]);
+                       int v = c.value_or(0);
+                       return desc ? v > 0 : v < 0;
+                     });
+  }
+
+  if (stmt.limit >= 0 && result.rows.size() > static_cast<std::size_t>(stmt.limit)) {
+    result.rows.resize(static_cast<std::size_t>(stmt.limit));
+  }
+  return result;
+}
+
+}  // namespace hammer::minisql

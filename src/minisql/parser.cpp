@@ -1,0 +1,360 @@
+#include "minisql/parser.hpp"
+
+#include <cctype>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace hammer::minisql {
+
+using hammer::ParseError;
+
+bool Expr::contains_aggregate() const {
+  if (kind == ExprKind::kCountStar || kind == ExprKind::kAggregate) return true;
+  for (const auto& child : children) {
+    if (child->contains_aggregate()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+enum class TokKind { kIdent, kInt, kDouble, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;        // identifier (upper-cased), symbol, or string body
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("SQL: " + why + " at offset " + std::to_string(current_.offset) + " in '" +
+                     sql_ + "'");
+  }
+
+ private:
+  void advance() {
+    while (pos_ < sql_.size() && std::isspace(static_cast<unsigned char>(sql_[pos_]))) ++pos_;
+    current_.offset = pos_;
+    if (pos_ >= sql_.size()) {
+      current_ = Token{TokKind::kEnd, "", 0, 0.0, pos_};
+      return;
+    }
+    char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < sql_.size() && (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+                                    sql_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kIdent, util::to_upper(sql_.substr(start, pos_ - start)), 0, 0.0,
+                       start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      bool is_double = false;
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) || sql_[pos_] == '.')) {
+        if (sql_[pos_] == '.') is_double = true;
+        ++pos_;
+      }
+      std::string tok = sql_.substr(start, pos_ - start);
+      if (is_double) {
+        current_ = Token{TokKind::kDouble, tok, 0, std::stod(tok), start};
+      } else {
+        current_ = Token{TokKind::kInt, tok, std::stoll(tok), 0.0, start};
+      }
+      return;
+    }
+    if (c == '\'') {
+      std::size_t start = pos_++;
+      std::string body;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') body.push_back(sql_[pos_++]);
+      if (pos_ >= sql_.size()) {
+        current_.offset = start;
+        throw ParseError("SQL: unterminated string literal in '" + sql_ + "'");
+      }
+      ++pos_;  // closing quote
+      current_ = Token{TokKind::kString, body, 0, 0.0, start};
+      return;
+    }
+    // Multi-char comparison symbols.
+    std::size_t start = pos_;
+    if (c == '<' || c == '>' || c == '!') {
+      ++pos_;
+      if (pos_ < sql_.size() && (sql_[pos_] == '=' || (c == '<' && sql_[pos_] == '>'))) ++pos_;
+      current_ = Token{TokKind::kSymbol, sql_.substr(start, pos_ - start), 0, 0.0, start};
+      return;
+    }
+    ++pos_;
+    current_ = Token{TokKind::kSymbol, std::string(1, c), 0, 0.0, start};
+  }
+
+  const std::string& sql_;
+  std::size_t pos_ = 0;
+  Token current_{TokKind::kEnd, "", 0, 0.0, 0};
+};
+
+class SelectParser {
+ public:
+  explicit SelectParser(const std::string& sql) : lexer_(sql) {}
+
+  SelectStatement parse() {
+    expect_keyword("SELECT");
+    SelectStatement stmt;
+    for (;;) {
+      stmt.items.push_back(parse_item());
+      if (!try_symbol(",")) break;
+    }
+    expect_keyword("FROM");
+    stmt.table = expect_ident();
+    if (try_keyword("WHERE")) stmt.where = parse_expr();
+    if (try_keyword("GROUP")) {
+      expect_keyword("BY");
+      stmt.group_by = parse_expr();
+    }
+    if (try_keyword("ORDER")) {
+      expect_keyword("BY");
+      stmt.order_by = parse_expr();
+      if (try_keyword("DESC")) {
+        stmt.order_desc = true;
+      } else {
+        try_keyword("ASC");
+      }
+    }
+    if (try_keyword("LIMIT")) {
+      Token t = lexer_.take();
+      if (t.kind != TokKind::kInt) lexer_.fail("expected integer after LIMIT");
+      stmt.limit = t.int_value;
+    }
+    if (lexer_.peek().kind == TokKind::kSymbol && lexer_.peek().text == ";") lexer_.take();
+    if (lexer_.peek().kind != TokKind::kEnd) lexer_.fail("unexpected trailing tokens");
+    return stmt;
+  }
+
+ private:
+  SelectItem parse_item() {
+    SelectItem item;
+    if (lexer_.peek().kind == TokKind::kSymbol && lexer_.peek().text == "*") {
+      lexer_.take();
+      item.star = true;
+      return item;
+    }
+    item.expr = parse_expr();
+    if (try_keyword("AS")) item.alias = expect_ident();
+    return item;
+  }
+
+  std::unique_ptr<Expr> parse_expr() { return parse_or(); }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto lhs = parse_and();
+    while (try_keyword("OR")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = BinaryOp::kOr;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_and());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto lhs = parse_cmp();
+    while (try_keyword("AND")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = BinaryOp::kAnd;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_cmp());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_cmp() {
+    auto lhs = parse_sum();
+    const Token& t = lexer_.peek();
+    if (t.kind == TokKind::kSymbol) {
+      BinaryOp op;
+      if (t.text == "=") op = BinaryOp::kEq;
+      else if (t.text == "!=" || t.text == "<>") op = BinaryOp::kNe;
+      else if (t.text == "<") op = BinaryOp::kLt;
+      else if (t.text == "<=") op = BinaryOp::kLe;
+      else if (t.text == ">") op = BinaryOp::kGt;
+      else if (t.text == ">=") op = BinaryOp::kGe;
+      else return lhs;
+      lexer_.take();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_sum());
+      return node;
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_sum() {
+    auto lhs = parse_term();
+    for (;;) {
+      const Token& t = lexer_.peek();
+      if (t.kind != TokKind::kSymbol || (t.text != "+" && t.text != "-")) return lhs;
+      BinaryOp op = t.text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      lexer_.take();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_term());
+      lhs = std::move(node);
+    }
+  }
+
+  std::unique_ptr<Expr> parse_term() {
+    auto lhs = parse_factor();
+    for (;;) {
+      const Token& t = lexer_.peek();
+      if (t.kind != TokKind::kSymbol || (t.text != "*" && t.text != "/")) return lhs;
+      BinaryOp op = t.text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+      lexer_.take();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_factor());
+      lhs = std::move(node);
+    }
+  }
+
+  std::unique_ptr<Expr> parse_factor() {
+    Token t = lexer_.take();
+    auto node = std::make_unique<Expr>();
+    switch (t.kind) {
+      case TokKind::kInt:
+        node->kind = ExprKind::kIntLiteral;
+        node->int_value = t.int_value;
+        return node;
+      case TokKind::kDouble:
+        node->kind = ExprKind::kDoubleLiteral;
+        node->double_value = t.double_value;
+        return node;
+      case TokKind::kString:
+        node->kind = ExprKind::kStringLiteral;
+        node->text = t.text;
+        return node;
+      case TokKind::kSymbol:
+        if (t.text == "(") {
+          auto inner = parse_expr();
+          expect_symbol(")");
+          return inner;
+        }
+        if (t.text == "-") {
+          node->kind = ExprKind::kUnaryMinus;
+          node->children.push_back(parse_factor());
+          return node;
+        }
+        lexer_.fail("unexpected symbol '" + t.text + "'");
+      case TokKind::kIdent:
+        return parse_ident_factor(std::move(t));
+      case TokKind::kEnd:
+        lexer_.fail("unexpected end of statement");
+    }
+    lexer_.fail("unexpected token");
+  }
+
+  std::unique_ptr<Expr> parse_ident_factor(Token ident) {
+    auto node = std::make_unique<Expr>();
+    const std::string& name = ident.text;  // already upper-cased
+    if (name == "COUNT") {
+      expect_symbol("(");
+      expect_symbol("*");
+      expect_symbol(")");
+      node->kind = ExprKind::kCountStar;
+      return node;
+    }
+    if (name == "AVG" || name == "SUM" || name == "MIN" || name == "MAX") {
+      expect_symbol("(");
+      node->kind = ExprKind::kAggregate;
+      node->agg = name == "AVG"   ? AggFunc::kAvg
+                  : name == "SUM" ? AggFunc::kSum
+                  : name == "MIN" ? AggFunc::kMin
+                                  : AggFunc::kMax;
+      node->children.push_back(parse_expr());
+      expect_symbol(")");
+      return node;
+    }
+    if (name == "TIMESTAMPDIFF") {
+      expect_symbol("(");
+      std::string unit = expect_ident();
+      node->kind = ExprKind::kTimestampDiff;
+      if (unit == "SECOND") node->unit = TimeUnit::kSecond;
+      else if (unit == "MILLISECOND") node->unit = TimeUnit::kMillisecond;
+      else if (unit == "MICROSECOND") node->unit = TimeUnit::kMicrosecond;
+      else lexer_.fail("unsupported TIMESTAMPDIFF unit " + unit);
+      expect_symbol(",");
+      node->children.push_back(parse_expr());
+      expect_symbol(",");
+      node->children.push_back(parse_expr());
+      expect_symbol(")");
+      return node;
+    }
+    node->kind = ExprKind::kColumnRef;
+    node->text = name;
+    return node;
+  }
+
+  bool try_keyword(const std::string& kw) {
+    if (lexer_.peek().kind == TokKind::kIdent && lexer_.peek().text == kw) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    if (!try_keyword(kw)) lexer_.fail("expected keyword " + kw);
+  }
+
+  bool try_symbol(const std::string& sym) {
+    if (lexer_.peek().kind == TokKind::kSymbol && lexer_.peek().text == sym) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(const std::string& sym) {
+    if (!try_symbol(sym)) lexer_.fail("expected '" + sym + "'");
+  }
+
+  std::string expect_ident() {
+    Token t = lexer_.take();
+    if (t.kind != TokKind::kIdent) lexer_.fail("expected identifier");
+    return t.text;
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+SelectStatement parse_select(const std::string& sql) { return SelectParser(sql).parse(); }
+
+}  // namespace hammer::minisql

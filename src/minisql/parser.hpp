@@ -1,0 +1,77 @@
+// SQL subset parser.
+//
+// Grammar (case-insensitive keywords):
+//   select   := SELECT item (',' item)* FROM ident [WHERE expr]
+//               [GROUP BY expr] [ORDER BY expr [ASC|DESC]] [LIMIT int]
+//   item     := expr [AS ident] | '*'
+//   expr     := or_expr
+//   or_expr  := and_expr (OR and_expr)*
+//   and_expr := cmp (AND cmp)*
+//   cmp      := sum (('=' | '!=' | '<>' | '<' | '<=' | '>' | '>=') sum)?
+//   sum      := term (('+' | '-') term)*
+//   term     := factor (('*' | '/') factor)*
+//   factor   := INT | DOUBLE | STRING | ident | func | '(' expr ')' | '-' factor
+//   func     := COUNT '(' '*' ')' | (AVG|SUM|MIN|MAX) '(' expr ')'
+//             | TIMESTAMPDIFF '(' unit ',' expr ',' expr ')'
+//   unit     := SECOND | MILLISECOND | MICROSECOND
+//
+// This covers both Table II statements from the paper verbatim (modulo the
+// paper's quoting of STATUS = '1', which compares against the string form).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hammer::minisql {
+
+enum class ExprKind {
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kColumnRef,
+  kBinary,
+  kUnaryMinus,
+  kCountStar,
+  kAggregate,       // AVG/SUM/MIN/MAX
+  kTimestampDiff,
+};
+
+enum class BinaryOp { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr, kAdd, kSub, kMul, kDiv };
+enum class AggFunc { kAvg, kSum, kMin, kMax };
+enum class TimeUnit { kSecond, kMillisecond, kMicrosecond };
+
+struct Expr {
+  ExprKind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string text;  // string literal or column name
+  BinaryOp op = BinaryOp::kEq;
+  AggFunc agg = AggFunc::kAvg;
+  TimeUnit unit = TimeUnit::kSecond;
+  std::vector<std::unique_ptr<Expr>> children;
+
+  bool contains_aggregate() const;
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null for '*'
+  std::string alias;           // empty when none
+  bool star = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<Expr> where;      // may be null
+  std::unique_ptr<Expr> group_by;   // may be null
+  std::unique_ptr<Expr> order_by;   // may be null
+  bool order_desc = false;
+  std::int64_t limit = -1;          // -1 = no limit
+};
+
+// Throws ParseError with offset context on malformed SQL.
+SelectStatement parse_select(const std::string& sql);
+
+}  // namespace hammer::minisql

@@ -1,0 +1,112 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hammer::report {
+
+namespace {
+constexpr char kMarkers[] = "*o+x#@%&";
+
+std::string format_value(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string line_chart(const std::string& title, const std::vector<Series>& series,
+                       const ChartOptions& options) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  if (series.empty()) return os.str() + "(no data)\n";
+
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  std::size_t longest = 0;
+  for (const Series& s : series) {
+    longest = std::max(longest, s.values.size());
+    for (double v : s.values) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (first || longest == 0) return os.str() + "(no data)\n";
+  if (hi == lo) hi = lo + 1.0;
+
+  std::size_t width = std::min(options.width, longest);
+  width = std::max<std::size_t>(width, 1);
+  std::vector<std::string> grid(options.height, std::string(width, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& values = series[si].values;
+    if (values.empty()) continue;
+    char marker = kMarkers[si % (sizeof(kMarkers) - 1)];
+    for (std::size_t col = 0; col < width; ++col) {
+      // Resample: average the bucket of points mapping to this column.
+      std::size_t begin = col * values.size() / width;
+      std::size_t end = std::max(begin + 1, (col + 1) * values.size() / width);
+      double sum = 0;
+      for (std::size_t i = begin; i < end && i < values.size(); ++i) sum += values[i];
+      double v = sum / static_cast<double>(end - begin);
+      auto row = static_cast<std::size_t>(std::round(
+          (v - lo) / (hi - lo) * static_cast<double>(options.height - 1)));
+      row = std::min(row, options.height - 1);
+      grid[options.height - 1 - row][col] = marker;
+    }
+  }
+
+  std::string hi_label = format_value(hi);
+  std::string lo_label = format_value(lo);
+  std::size_t label_width = std::max(hi_label.size(), lo_label.size());
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = std::string(label_width - hi_label.size(), ' ') + hi_label;
+    if (r == options.height - 1) label = std::string(label_width - lo_label.size(), ' ') + lo_label;
+    os << label << " |" << grid[r] << "\n";
+  }
+  os << std::string(label_width + 1, ' ') << '+' << std::string(width, '-') << "\n";
+  if (!options.x_label.empty()) {
+    os << std::string(label_width + 2, ' ') << options.x_label << "\n";
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kMarkers[si % (sizeof(kMarkers) - 1)] << " = " << series[si].name << "\n";
+  }
+  return os.str();
+}
+
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  if (bars.empty()) return os.str() + "(no data)\n";
+  double hi = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    hi = std::max(hi, value);
+    label_width = std::max(label_width, label.size());
+  }
+  if (hi <= 0) hi = 1.0;
+  for (const auto& [label, value] : bars) {
+    auto fill = static_cast<std::size_t>(std::round(value / hi * static_cast<double>(width)));
+    os << "  " << label << std::string(label_width - label.size(), ' ') << " |"
+       << std::string(fill, '#') << std::string(width - fill, ' ') << "| "
+       << format_value(value) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hammer::report

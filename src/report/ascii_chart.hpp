@@ -1,0 +1,33 @@
+// Terminal-rendered charts: the reproducible stand-in for the paper's
+// Grafana dashboards. Line charts plot one or more series over a shared
+// x-axis; bar charts render labelled magnitudes (used by the bench
+// binaries to print paper-figure shapes directly into logs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hammer::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot columns
+  std::size_t height = 16;  // plot rows
+  std::string x_label;
+  std::string y_label;
+};
+
+// Multi-series ASCII line chart; series are resampled onto `width` columns.
+std::string line_chart(const std::string& title, const std::vector<Series>& series,
+                       const ChartOptions& options = {});
+
+// Horizontal bar chart with value annotations.
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width = 50);
+
+}  // namespace hammer::report

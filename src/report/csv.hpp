@@ -1,0 +1,29 @@
+// CSV artifact writer: every bench emits its figure/table data as CSV next
+// to the ASCII rendering so results can be re-plotted externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hammer::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);  // throws LogicError on arity mismatch
+
+  std::string to_string() const;
+  void save(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int decimals = 2);
+
+}  // namespace hammer::report

@@ -1,0 +1,95 @@
+#include "report/resource_monitor.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace hammer::report {
+
+bool ResourceMonitor::read_proc_self(std::uint64_t& cpu_jiffies, std::int64_t& rss_kb) {
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (!f) return false;
+  char buf[1024];
+  std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  // Field 2 (comm) can contain spaces; skip past the closing paren.
+  const char* p = std::strrchr(buf, ')');
+  if (!p) return false;
+  ++p;
+  // Fields from 3 on: state maj flt ... utime(14) stime(15) ... rss(24).
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  long rss_pages = 0;
+  int scanned = std::sscanf(p,
+                            " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu "
+                            "%*d %*d %*d %*d %*d %*d %*u %*u %ld",
+                            &utime, &stime, &rss_pages);
+  if (scanned != 3) return false;
+  cpu_jiffies = utime + stime;
+  rss_kb = rss_pages * (sysconf(_SC_PAGESIZE) / 1024);
+  return true;
+}
+
+ResourceMonitor::ResourceMonitor(std::chrono::milliseconds interval) : interval_(interval) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+ResourceMonitor::~ResourceMonitor() { stop(); }
+
+void ResourceMonitor::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceMonitor::loop() {
+  const long jiffies_per_second = sysconf(_SC_CLK_TCK);
+  auto start = std::chrono::steady_clock::now();
+  std::uint64_t last_jiffies = 0;
+  std::int64_t rss = 0;
+  read_proc_self(last_jiffies, rss);
+  auto last_time = start;
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(interval_);
+    std::uint64_t jiffies = 0;
+    if (!read_proc_self(jiffies, rss)) continue;
+    auto now = std::chrono::steady_clock::now();
+    double wall_s = std::chrono::duration<double>(now - last_time).count();
+    double cpu_s = static_cast<double>(jiffies - last_jiffies) /
+                   static_cast<double>(jiffies_per_second);
+    ResourceSample sample;
+    sample.at_ms = std::chrono::duration_cast<std::chrono::milliseconds>(now - start).count();
+    sample.cpu_percent = wall_s > 0 ? cpu_s / wall_s * 100.0 : 0.0;
+    sample.rss_kb = rss;
+    {
+      std::scoped_lock lock(mu_);
+      samples_.push_back(sample);
+    }
+    last_jiffies = jiffies;
+    last_time = now;
+  }
+}
+
+std::vector<ResourceSample> ResourceMonitor::samples() const {
+  std::scoped_lock lock(mu_);
+  return samples_;
+}
+
+double ResourceMonitor::peak_cpu_percent() const {
+  std::scoped_lock lock(mu_);
+  double peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.cpu_percent);
+  return peak;
+}
+
+std::int64_t ResourceMonitor::peak_rss_kb() const {
+  std::scoped_lock lock(mu_);
+  std::int64_t peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.rss_kb);
+  return peak;
+}
+
+}  // namespace hammer::report

@@ -1,0 +1,47 @@
+// Resource sampler: the node-exporter/Prometheus stand-in. Samples this
+// process's CPU time and resident memory from /proc at a fixed cadence on
+// a background thread ("Prometheus pulls the internal metrics of each node
+// during or after our evaluation, including CPU, memory...").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace hammer::report {
+
+struct ResourceSample {
+  std::int64_t at_ms = 0;        // since monitor start
+  double cpu_percent = 0.0;      // of one core, since the previous sample
+  std::int64_t rss_kb = 0;       // resident set size
+};
+
+class ResourceMonitor {
+ public:
+  explicit ResourceMonitor(std::chrono::milliseconds interval = std::chrono::milliseconds(200));
+  ~ResourceMonitor();
+
+  void stop();
+  std::vector<ResourceSample> samples() const;
+
+  double peak_cpu_percent() const;
+  std::int64_t peak_rss_kb() const;
+
+  // Reads the current process stats once (utime+stime jiffies, rss pages).
+  static bool read_proc_self(std::uint64_t& cpu_jiffies, std::int64_t& rss_kb);
+
+ private:
+  void loop();
+
+  std::chrono::milliseconds interval_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;
+  std::vector<ResourceSample> samples_;
+  std::thread thread_;
+};
+
+}  // namespace hammer::report

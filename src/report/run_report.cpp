@@ -1,0 +1,58 @@
+#include "report/run_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "report/ascii_chart.hpp"
+#include "util/histogram.hpp"
+
+namespace hammer::report {
+
+RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::string& title) {
+  RunReport report;
+  report.table2_tps = metrics.query_tps();
+
+  // Latency distribution + per-second timeline from the Table II latency
+  // statement (status filter applied on top).
+  minisql::ResultSet latencies = metrics.database()->query(
+      "SELECT start_time, TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency "
+      "FROM Performance WHERE status = '1'");
+  util::Histogram hist;
+  std::int64_t min_start = INT64_MAX;
+  std::vector<std::int64_t> starts;
+  starts.reserve(latencies.rows.size());
+  for (const auto& row : latencies.rows) {
+    std::int64_t start = std::get<std::int64_t>(row[0]);
+    std::int64_t latency_ms = std::get<std::int64_t>(row[1]);
+    hist.record(latency_ms * 1000);
+    starts.push_back(start);
+    min_start = std::min(min_start, start);
+  }
+  if (!starts.empty()) {
+    std::int64_t max_start = *std::max_element(starts.begin(), starts.end());
+    auto seconds = static_cast<std::size_t>((max_start - min_start) / 1000000 + 1);
+    report.tps_timeline.assign(seconds, 0.0);
+    for (std::int64_t s : starts) {
+      report.tps_timeline[static_cast<std::size_t>((s - min_start) / 1000000)] += 1.0;
+    }
+  }
+  report.mean_latency_ms = hist.mean() / 1000.0;
+  report.p99_latency_ms = static_cast<double>(hist.percentile(99)) / 1000.0;
+
+  std::ostringstream os;
+  os << "#### Hammer run report: " << title << " ####\n";
+  os << "Table II TPS (committed, latency <= 1s): " << report.table2_tps << "\n";
+  os << "Committed transactions: " << hist.count() << "\n";
+  os << "Latency: mean=" << report.mean_latency_ms << "ms p50="
+     << static_cast<double>(hist.percentile(50)) / 1000.0
+     << "ms p95=" << static_cast<double>(hist.percentile(95)) / 1000.0
+     << "ms p99=" << report.p99_latency_ms << "ms\n";
+  if (!report.tps_timeline.empty()) {
+    os << line_chart("throughput timeline (tx/s)", {{"tps", report.tps_timeline}},
+                     {.width = 60, .height = 10, .x_label = "seconds", .y_label = "tps"});
+  }
+  report.rendered = os.str();
+  return report;
+}
+
+}  // namespace hammer::report

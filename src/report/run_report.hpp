@@ -1,0 +1,24 @@
+// Run report builder: the visualization-phase endpoint. Pulls the
+// Performance table through the Table II SQL statements and renders a
+// textual dashboard (TPS, latency distribution, per-second throughput
+// timeline) — the reproducible equivalent of the paper's Grafana panels.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/metrics.hpp"
+
+namespace hammer::report {
+
+struct RunReport {
+  std::int64_t table2_tps = 0;         // Table II TPS statement result
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  std::vector<double> tps_timeline;    // committed tx per second-of-run
+  std::string rendered;                // full textual dashboard
+
+  static RunReport build(const core::MetricsPipeline& metrics, const std::string& title);
+};
+
+}  // namespace hammer::report

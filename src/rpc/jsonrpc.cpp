@@ -1,0 +1,124 @@
+#include "rpc/jsonrpc.hpp"
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace hammer::rpc {
+
+void Dispatcher::register_method(const std::string& name, Handler handler) {
+  std::scoped_lock lock(mu_);
+  HAMMER_CHECK_MSG(methods_.emplace(name, std::move(handler)).second,
+                   "duplicate RPC method " + name);
+}
+
+bool Dispatcher::has_method(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  return methods_.count(name) > 0;
+}
+
+json::Value Dispatcher::dispatch(const json::Value& request) const {
+  json::Value id;  // null until we can extract one
+  try {
+    if (!request.is_object()) {
+      return make_error_response(id, kInvalidRequest, "request must be an object");
+    }
+    if (request.contains("id")) id = request.at("id");
+    if (request.get_string("jsonrpc", "") != "2.0") {
+      return make_error_response(id, kInvalidRequest, "missing jsonrpc: \"2.0\"");
+    }
+    if (!request.contains("method") || !request.at("method").is_string()) {
+      return make_error_response(id, kInvalidRequest, "missing method");
+    }
+    const std::string& method = request.at("method").as_string();
+
+    Handler handler;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = methods_.find(method);
+      if (it == methods_.end()) {
+        return make_error_response(id, kMethodNotFound, "unknown method " + method);
+      }
+      handler = it->second;
+    }
+    json::Value params = request.contains("params") ? request.at("params") : json::Value();
+    return make_result_response(id, handler(params));
+  } catch (const RejectedError& e) {
+    return make_error_response(id, kServerError, e.what());
+  } catch (const NotFoundError& e) {
+    return make_error_response(id, kInvalidParams, e.what());
+  } catch (const ParseError& e) {
+    return make_error_response(id, kInvalidParams, e.what());
+  } catch (const std::exception& e) {
+    HLOG_WARN("rpc") << "handler raised: " << e.what();
+    return make_error_response(id, kInternalError, e.what());
+  }
+}
+
+std::string Dispatcher::dispatch_text(const std::string& request_text) const {
+  json::Value request;
+  try {
+    request = json::Value::parse(request_text);
+  } catch (const ParseError& e) {
+    return make_error_response(json::Value(), kParseError, e.what()).dump();
+  }
+  return dispatch(request).dump();
+}
+
+json::Value make_request(std::uint64_t id, const std::string& method, json::Value params) {
+  json::Object obj;
+  obj["jsonrpc"] = "2.0";
+  obj["id"] = static_cast<std::int64_t>(id);
+  obj["method"] = method;
+  obj["params"] = std::move(params);
+  return json::Value(std::move(obj));
+}
+
+json::Value make_result_response(const json::Value& id, json::Value result) {
+  json::Object obj;
+  obj["jsonrpc"] = "2.0";
+  obj["id"] = id;
+  obj["result"] = std::move(result);
+  return json::Value(std::move(obj));
+}
+
+json::Value make_error_response(const json::Value& id, int code, const std::string& message) {
+  json::Object err;
+  err["code"] = code;
+  err["message"] = message;
+  json::Object obj;
+  obj["jsonrpc"] = "2.0";
+  obj["id"] = id;
+  obj["error"] = json::Value(std::move(err));
+  return json::Value(std::move(obj));
+}
+
+json::Value take_result(const json::Value& response) {
+  if (!response.is_object()) throw ParseError("RPC response is not an object");
+  if (response.contains("error")) {
+    const json::Value& err = response.at("error");
+    throw RpcError(static_cast<int>(err.get_int("code", kInternalError)),
+                   err.get_string("message", "unknown error"));
+  }
+  if (!response.contains("result")) throw ParseError("RPC response lacks result and error");
+  return response.at("result");
+}
+
+InProcChannel::InProcChannel(std::shared_ptr<const Dispatcher> dispatcher)
+    : dispatcher_(std::move(dispatcher)) {
+  HAMMER_CHECK(dispatcher_ != nullptr);
+}
+
+json::Value InProcChannel::call(const std::string& method, json::Value params) {
+  std::uint64_t id;
+  {
+    std::scoped_lock lock(mu_);
+    id = next_id_++;
+  }
+  // Round-trip through text so the in-process path exercises exactly the
+  // same (de)serialization as the TCP path.
+  json::Value request = make_request(id, method, std::move(params));
+  std::string response_text = dispatcher_->dispatch_text(request.dump());
+  return take_result(json::Value::parse(response_text));
+}
+
+}  // namespace hammer::rpc

@@ -1,0 +1,95 @@
+// JSON-RPC 2.0 dispatch layer (paper §III-A2: "a generic interface, which
+// integrates SDKs of various blockchain platforms and introduces JSON-RPC").
+//
+// Every SUT — sharded or not, whatever its implementation language would be
+// — exposes the same method set through a Dispatcher; the adapter layer
+// (src/adapters) talks only JSON-RPC, which is what makes Hammer
+// architecture- and language-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace hammer::rpc {
+
+// Standard JSON-RPC 2.0 error codes.
+inline constexpr int kParseError = -32700;
+inline constexpr int kInvalidRequest = -32600;
+inline constexpr int kMethodNotFound = -32601;
+inline constexpr int kInvalidParams = -32602;
+inline constexpr int kInternalError = -32603;
+inline constexpr int kServerError = -32000;  // application-level rejection
+
+// Thrown by Channel::call when the server returned an error response.
+class RpcError : public hammer::Error {
+ public:
+  RpcError(int code, const std::string& message)
+      : Error("rpc error " + std::to_string(code) + ": " + message), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+// Handler receives the `params` value and returns the `result` value.
+// Throwing maps to an error response (RejectedError -> kServerError,
+// NotFoundError/ParseError -> kInvalidParams, anything else -> internal).
+using Handler = std::function<json::Value(const json::Value& params)>;
+
+class Dispatcher {
+ public:
+  void register_method(const std::string& name, Handler handler);
+  bool has_method(const std::string& name) const;
+
+  // Full wire-level entry point: parses a request document, dispatches, and
+  // serializes the response (never throws; errors become error responses).
+  std::string dispatch_text(const std::string& request_text) const;
+
+  // Structured entry point used by the in-process channel.
+  json::Value dispatch(const json::Value& request) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> methods_;
+};
+
+// Client-side transport abstraction. Implementations: InProcChannel (below)
+// and TcpChannel (tcp.hpp).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Performs one call; returns the result value or throws RpcError /
+  // TransportError.
+  virtual json::Value call(const std::string& method, json::Value params) = 0;
+};
+
+// Zero-copy-ish channel for in-process SUTs. Still round-trips through the
+// JSON-RPC envelope so behaviour matches the TCP path.
+class InProcChannel final : public Channel {
+ public:
+  explicit InProcChannel(std::shared_ptr<const Dispatcher> dispatcher);
+
+  json::Value call(const std::string& method, json::Value params) override;
+
+ private:
+  std::shared_ptr<const Dispatcher> dispatcher_;
+  std::uint64_t next_id_ = 1;
+  std::mutex mu_;
+};
+
+// Request/response envelope helpers shared by transports.
+json::Value make_request(std::uint64_t id, const std::string& method, json::Value params);
+json::Value make_result_response(const json::Value& id, json::Value result);
+json::Value make_error_response(const json::Value& id, int code, const std::string& message);
+
+// Extracts the result from a response or throws RpcError/ParseError.
+json::Value take_result(const json::Value& response);
+
+}  // namespace hammer::rpc

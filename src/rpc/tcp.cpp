@@ -1,0 +1,182 @@
+#include "rpc/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace hammer::rpc {
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Returns false on clean EOF at a frame boundary.
+bool read_all(int fd, void* data, std::size_t len, bool eof_ok) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n == 0) {
+      if (eof_ok && got == 0) return false;
+      throw TransportError("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) throw TimeoutError("recv");
+      throw TransportError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_frame(int fd, const std::string& payload) {
+  std::uint32_t len = htonl(static_cast<std::uint32_t>(payload.size()));
+  write_all(fd, &len, sizeof(len));
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::string& payload, bool eof_ok) {
+  std::uint32_t len_be = 0;
+  if (!read_all(fd, &len_be, sizeof(len_be), eof_ok)) return false;
+  std::uint32_t len = ntohl(len_be);
+  if (len > 64u * 1024 * 1024) throw TransportError("frame exceeds 64MiB");
+  payload.resize(len);
+  if (len > 0) read_all(fd, payload.data(), len, false);
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port)
+    : dispatcher_(std::move(dispatcher)) {
+  HAMMER_CHECK(dispatcher_ != nullptr);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw TransportError(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw TransportError(std::string("listen: ") + std::strerror(errno));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::scoped_lock lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) w.join();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      HLOG_WARN("tcp") << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::scoped_lock lock(workers_mu_);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::string request;
+  try {
+    while (!stopping_.load()) {
+      if (!recv_frame(fd, request, /*eof_ok=*/true)) break;
+      send_frame(fd, dispatcher_->dispatch_text(request));
+    }
+  } catch (const TransportError& e) {
+    if (!stopping_.load()) HLOG_DEBUG("tcp") << "connection error: " << e.what();
+  }
+  ::close(fd);
+}
+
+TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw TransportError("invalid host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd_);
+    throw TransportError("connect " + host + ":" + std::to_string(port) + ": " +
+                         std::strerror(err));
+  }
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+json::Value TcpChannel::call(const std::string& method, json::Value params) {
+  std::scoped_lock lock(mu_);
+  json::Value request = make_request(next_id_++, method, std::move(params));
+  send_frame(fd_, request.dump());
+  std::string response_text;
+  recv_frame(fd_, response_text, /*eof_ok=*/false);
+  return take_result(json::Value::parse(response_text));
+}
+
+}  // namespace hammer::rpc

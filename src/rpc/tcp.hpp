@@ -1,0 +1,67 @@
+// TCP transport for JSON-RPC: 4-byte big-endian length prefix followed by
+// the UTF-8 request/response document.
+//
+// The benches default to the in-process channel (this machine is a single
+// box), but the TCP path is what a real multi-node deployment would use and
+// the integration tests exercise it over loopback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/jsonrpc.hpp"
+
+namespace hammer::rpc {
+
+// Serves one Dispatcher on a loopback port; one thread per connection
+// (connection counts in an evaluation run are small and long-lived).
+class TcpServer {
+ public:
+  // port = 0 picks a free port; see port() after construction.
+  TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::shared_ptr<const Dispatcher> dispatcher_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+// Blocking client channel. One outstanding call at a time per channel;
+// drivers that need concurrency open one channel per worker.
+class TcpChannel final : public Channel {
+ public:
+  TcpChannel(const std::string& host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  json::Value call(const std::string& method, json::Value params) override;
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::mutex mu_;
+};
+
+}  // namespace hammer::rpc

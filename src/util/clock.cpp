@@ -1,0 +1,38 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+namespace hammer::util {
+
+TimePoint SteadyClock::now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+void SteadyClock::sleep_until(TimePoint deadline) {
+  std::this_thread::sleep_until(deadline);
+}
+
+const std::shared_ptr<SteadyClock>& SteadyClock::shared() {
+  static const std::shared_ptr<SteadyClock> instance = std::make_shared<SteadyClock>();
+  return instance;
+}
+
+TimePoint ManualClock::now() const {
+  std::scoped_lock lock(mu_);
+  return now_;
+}
+
+void ManualClock::sleep_until(TimePoint deadline) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+void ManualClock::advance(Duration d) {
+  {
+    std::scoped_lock lock(mu_);
+    now_ += d;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace hammer::util

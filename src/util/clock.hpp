@@ -1,0 +1,71 @@
+// Clock abstraction.
+//
+// Everything in Hammer that measures or waits on time goes through a Clock
+// so that unit tests can drive a ManualClock deterministically while benches
+// and examples run on the real steady clock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace hammer::util {
+
+// Monotonic time point expressed as nanoseconds since an arbitrary epoch.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual TimePoint now() const = 0;
+
+  // Blocks the calling thread until `deadline` (or past it).
+  virtual void sleep_until(TimePoint deadline) = 0;
+
+  void sleep_for(Duration d) { sleep_until(now() + d); }
+
+  // Convenience: milliseconds since this clock's epoch.
+  std::int64_t now_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now().time_since_epoch())
+        .count();
+  }
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(now().time_since_epoch())
+        .count();
+  }
+};
+
+// Real wall-time clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override;
+  void sleep_until(TimePoint deadline) override;
+
+  // Process-wide shared instance (stateless, so sharing is safe).
+  static const std::shared_ptr<SteadyClock>& shared();
+};
+
+// Deterministic clock for tests: time only moves when advance() is called.
+// Threads blocked in sleep_until() wake once the manual time passes their
+// deadline.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint now() const override;
+  void sleep_until(TimePoint deadline) override;
+
+  void advance(Duration d);
+  void advance_ms(std::int64_t ms) { advance(std::chrono::milliseconds(ms)); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TimePoint now_;
+};
+
+}  // namespace hammer::util

@@ -1,0 +1,77 @@
+// Exception hierarchy shared by every Hammer module.
+//
+// Per the project error-handling policy, recoverable failures are reported
+// by throwing one of these types; programming errors (broken invariants)
+// use HAMMER_CHECK which throws LogicError with location context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hammer {
+
+// Base class for all errors raised by the framework.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed input: bad JSON, bad SQL, bad config, bad wire frame.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+// A well-formed request that cannot be satisfied (unknown method, missing
+// key, unknown account, ...).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error("not found: " + what) {}
+};
+
+// The peer/SUT rejected the operation (overload, invalid transaction, ...).
+class RejectedError : public Error {
+ public:
+  explicit RejectedError(const std::string& what) : Error("rejected: " + what) {}
+};
+
+// Transport-level failure (socket error, timeout, closed connection).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport: " + what) {}
+};
+
+// Operation exceeded its deadline.
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransportError("timeout: " + what) {}
+};
+
+// Broken internal invariant; thrown by HAMMER_CHECK.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string what = std::string("check failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw LogicError(what);
+}
+}  // namespace detail
+
+}  // namespace hammer
+
+// Invariant check that survives release builds (unlike assert).
+#define HAMMER_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) ::hammer::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define HAMMER_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) ::hammer::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,16 @@
+// Hex encoding/decoding for digests, transaction ids and addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hammer::util {
+
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Throws ParseError on odd length or non-hex characters.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace hammer::util

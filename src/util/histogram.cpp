@@ -1,0 +1,98 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace hammer::util {
+
+// Bucket layout: values < 64 are recorded exactly; above that, each
+// power-of-two range [2^k, 2^{k+1}) is split into 32 linear sub-buckets,
+// bounding relative error by 1/32 (~3%).
+namespace {
+constexpr std::uint64_t kLinearLimit = 64;
+constexpr std::size_t kSubBuckets = 32;
+constexpr std::size_t kMaxExp = 58;  // msb up to 63 -> exp = msb - 5
+constexpr std::size_t kNumBuckets = kLinearLimit + kMaxExp * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(std::int64_t value_us) {
+  std::uint64_t v = value_us < 0 ? 0 : static_cast<std::uint64_t>(value_us);
+  if (v < kLinearLimit) return static_cast<std::size_t>(v);
+  auto msb = static_cast<std::size_t>(63 - std::countl_zero(v));  // >= 6
+  std::size_t exp = msb - 5;                                      // >= 1
+  std::uint64_t sub = (v >> exp) - kSubBuckets;                   // in [0, 32)
+  std::size_t idx = kLinearLimit + (exp - 1) * kSubBuckets + static_cast<std::size_t>(sub);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper_bound(std::size_t bucket) {
+  if (bucket < kLinearLimit) return static_cast<std::int64_t>(bucket);
+  std::size_t adjusted = bucket - kLinearLimit;
+  std::size_t exp = adjusted / kSubBuckets + 1;
+  std::uint64_t sub = adjusted % kSubBuckets;
+  return static_cast<std::int64_t>(((kSubBuckets + sub + 1) << exp) - 1);
+}
+
+void Histogram::record(std::int64_t value_us) {
+  if (value_us < 0) value_us = 0;  // latencies cannot be negative; clamp
+  ++buckets_[bucket_for(value_us)];
+  ++count_;
+  sum_ += value_us;
+  if (count_ == 1) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  HAMMER_CHECK(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  HAMMER_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0;
+  auto target = static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() / 1000.0 << "ms"
+     << " p50=" << static_cast<double>(percentile(50)) / 1000.0 << "ms"
+     << " p95=" << static_cast<double>(percentile(95)) / 1000.0 << "ms"
+     << " p99=" << static_cast<double>(percentile(99)) / 1000.0 << "ms"
+     << " max=" << static_cast<double>(max_) / 1000.0 << "ms";
+  return os.str();
+}
+
+}  // namespace hammer::util

@@ -1,0 +1,42 @@
+// Latency histogram with logarithmic buckets (HdrHistogram-style).
+//
+// Records values in microseconds; supports percentile queries, merging
+// (per-thread histograms are merged at report time) and mean/max tracking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hammer::util {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value_us);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return max_; }
+
+  // p in [0, 100]. Returns an upper bound of the bucket containing the
+  // requested percentile (<= 2% relative error by construction).
+  std::int64_t percentile(double p) const;
+
+  std::string summary() const;  // human-readable one-liner
+
+ private:
+  static std::size_t bucket_for(std::int64_t value_us);
+  static std::int64_t bucket_upper_bound(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace hammer::util

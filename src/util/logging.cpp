@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace hammer::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  using namespace std::chrono;
+  auto us = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  std::fprintf(stderr, "[%10lld.%06lld] %s %-12s %s\n",
+               static_cast<long long>(us / 1000000), static_cast<long long>(us % 1000000),
+               level_name(level), component.c_str(), message.c_str());
+}
+
+}  // namespace hammer::util

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// Hammer is a measurement tool, so logging defaults to kWarn to keep the
+// hot paths quiet; benches and examples raise the level explicitly.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hammer::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Emits one line to stderr; thread-safe (single write() per line).
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hammer::util
+
+#define HAMMER_LOG(level, component)                                       \
+  if (static_cast<int>(level) >= static_cast<int>(::hammer::util::log_level())) \
+  ::hammer::util::detail::LogMessage(level, component).stream()
+
+#define HLOG_DEBUG(component) HAMMER_LOG(::hammer::util::LogLevel::kDebug, component)
+#define HLOG_INFO(component) HAMMER_LOG(::hammer::util::LogLevel::kInfo, component)
+#define HLOG_WARN(component) HAMMER_LOG(::hammer::util::LogLevel::kWarn, component)
+#define HLOG_ERROR(component) HAMMER_LOG(::hammer::util::LogLevel::kError, component)

@@ -1,0 +1,85 @@
+// Bounded multi-producer / multi-consumer blocking queue.
+//
+// Backbone of the pipelined preparation→execution stages (paper §III-D2):
+// the signer pushes ready transactions, sender threads pop them, and the
+// bound provides backpressure so preparation cannot run arbitrarily ahead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/errors.hpp"
+
+namespace hammer::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    HAMMER_CHECK(capacity > 0);
+  }
+
+  // Blocks while full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // After close(), pushes fail and pops drain the remaining items.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hammer::util

@@ -1,0 +1,37 @@
+// Scoped timing helper built on the Clock abstraction.
+#pragma once
+
+#include <memory>
+
+#include "util/clock.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::util {
+
+class Stopwatch {
+ public:
+  explicit Stopwatch(std::shared_ptr<Clock> clock)
+      : clock_(std::move(clock)), start_(clock_->now()) {
+    HAMMER_CHECK(clock_ != nullptr);
+  }
+
+  void reset() { start_ = clock_->now(); }
+
+  Duration elapsed() const { return clock_->now() - start_; }
+
+  std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(elapsed()).count();
+  }
+  std::int64_t elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(elapsed()).count();
+  }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+ private:
+  std::shared_ptr<Clock> clock_;
+  TimePoint start_;
+};
+
+}  // namespace hammer::util

@@ -1,0 +1,19 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hammer::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+bool starts_with_icase(std::string_view text, std::string_view prefix);
+
+// "1234567" -> "1,234,567" for report rendering.
+std::string with_thousands(std::int64_t value);
+
+}  // namespace hammer::util

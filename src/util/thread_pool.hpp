@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a futures-based submit API.
+//
+// Used by the asynchronous signature pipeline (paper §III-D1) and the chain
+// simulators' endorsement stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hammer::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn`; returns a future for its result. Throws LogicError if the
+  // pool is already shutting down.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    auto fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until every task enqueued so far has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hammer::util

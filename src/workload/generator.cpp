@@ -1,0 +1,173 @@
+#include "workload/generator.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::workload {
+
+AccountPicker::AccountPicker(const WorkloadProfile& profile, std::vector<std::string> accounts)
+    : accounts_(std::move(accounts)) {
+  HAMMER_CHECK_MSG(!accounts_.empty(), "generator needs at least one account");
+  if (profile.distribution == Distribution::kZipfian) {
+    zipf_.emplace(accounts_.size(), profile.zipf_theta);
+  }
+}
+
+const std::string& AccountPicker::pick(util::Pcg32& rng) const {
+  std::size_t index = zipf_ ? static_cast<std::size_t>(zipf_->sample(rng))
+                            : static_cast<std::size_t>(rng.uniform(0, accounts_.size() - 1));
+  return accounts_[index];
+}
+
+std::pair<const std::string*, const std::string*> AccountPicker::pick_pair(
+    util::Pcg32& rng) const {
+  if (accounts_.size() == 1) return {&accounts_[0], &accounts_[0]};
+  const std::string* from = &pick(rng);
+  const std::string* to = &pick(rng);
+  // Re-draw 'to' until distinct (cheap: collision odds are ~1/n uniform;
+  // for heavy zipf skew fall back to a neighbouring account).
+  for (int attempt = 0; to == from && attempt < 8; ++attempt) to = &pick(rng);
+  if (to == from) {
+    std::size_t i = static_cast<std::size_t>(from - accounts_.data());
+    to = &accounts_[(i + 1) % accounts_.size()];
+  }
+  return {from, to};
+}
+
+std::unique_ptr<Generator> make_generator(const WorkloadProfile& profile,
+                                          std::vector<std::string> accounts) {
+  if (profile.contract == "smallbank") {
+    return std::make_unique<SmallBankGenerator>(profile, std::move(accounts));
+  }
+  if (profile.contract == "kv") {
+    return std::make_unique<YcsbGenerator>(profile, std::move(accounts));
+  }
+  if (profile.contract == "token") {
+    return std::make_unique<TokenGenerator>(profile, std::move(accounts));
+  }
+  throw ParseError("no generator for contract '" + profile.contract + "'");
+}
+
+// ------------------------------------------------------------- SmallBank
+
+SmallBankGenerator::SmallBankGenerator(WorkloadProfile profile, std::vector<std::string> accounts)
+    : profile_(std::move(profile)),
+      picker_(profile_, std::move(accounts)),
+      rng_(profile_.seed) {
+  for (const auto& [op, weight] : profile_.effective_mix()) {
+    mix_total_ += weight;
+    cumulative_mix_.emplace_back(op, mix_total_);
+  }
+  HAMMER_CHECK_MSG(mix_total_ > 0, "op mix has zero total weight");
+}
+
+chain::Transaction SmallBankGenerator::next() {
+  double roll = rng_.uniform01() * mix_total_;
+  const std::string* op = &cumulative_mix_.back().first;
+  for (const auto& [name, cumulative] : cumulative_mix_) {
+    if (roll < cumulative) {
+      op = &name;
+      break;
+    }
+  }
+
+  chain::Transaction tx;
+  tx.contract = "smallbank";
+  tx.op = *op;
+  tx.client_id = profile_.client_id;
+  tx.nonce = nonce_++;
+  std::int64_t amount =
+      static_cast<std::int64_t>(rng_.uniform(static_cast<std::uint64_t>(profile_.amount_min),
+                                             static_cast<std::uint64_t>(profile_.amount_max)));
+
+  if (*op == "send_payment" || *op == "amalgamate") {
+    auto [from, to] = picker_.pick_pair(rng_);
+    tx.sender = *from;
+    json::Object args;
+    args["from"] = *from;
+    args["to"] = *to;
+    if (*op == "send_payment") args["amount"] = amount;
+    tx.args = json::Value(std::move(args));
+  } else {
+    const std::string& customer = picker_.pick(rng_);
+    tx.sender = customer;
+    json::Object args;
+    args["customer"] = customer;
+    if (*op == "transact_savings") {
+      // "withdraw": negative savings delta.
+      args["amount"] = -amount;
+    } else if (*op != "query") {
+      args["amount"] = amount;
+    }
+    tx.args = json::Value(std::move(args));
+  }
+  return tx;
+}
+
+// ------------------------------------------------------------------ YCSB
+
+YcsbGenerator::YcsbGenerator(WorkloadProfile profile, std::vector<std::string> accounts)
+    : profile_(std::move(profile)),
+      picker_(profile_, std::move(accounts)),
+      rng_(profile_.seed) {}
+
+chain::Transaction YcsbGenerator::next() {
+  chain::Transaction tx;
+  tx.contract = "kv";
+  tx.client_id = profile_.client_id;
+  tx.nonce = nonce_++;
+  const std::string& key = picker_.pick(rng_);
+  tx.sender = key;  // the key's "owner" signs
+  auto mix = profile_.effective_mix();
+  double write_weight = mix.count("put") ? mix.at("put") : 0.0;
+  double total = 0.0;
+  for (const auto& [op, w] : mix) {
+    (void)op;
+    total += w;
+  }
+  if (rng_.uniform01() * total < write_weight) {
+    tx.op = "put";
+    tx.args = json::object({{"key", key}, {"value", rng_.alnum(16)}});
+  } else {
+    tx.op = "get";
+    tx.args = json::object({{"key", key}});
+  }
+  return tx;
+}
+
+// ----------------------------------------------------------------- Token
+
+TokenGenerator::TokenGenerator(WorkloadProfile profile, std::vector<std::string> accounts)
+    : profile_(std::move(profile)),
+      picker_(profile_, std::move(accounts)),
+      rng_(profile_.seed) {}
+
+chain::Transaction TokenGenerator::next() {
+  chain::Transaction tx;
+  tx.contract = "token";
+  tx.client_id = profile_.client_id;
+  tx.nonce = nonce_++;
+  auto mix = profile_.effective_mix();
+  double mint_weight = mix.count("mint") ? mix.at("mint") : 0.0;
+  double total = 0.0;
+  for (const auto& [op, w] : mix) {
+    (void)op;
+    total += w;
+  }
+  std::int64_t amount =
+      static_cast<std::int64_t>(rng_.uniform(static_cast<std::uint64_t>(profile_.amount_min),
+                                             static_cast<std::uint64_t>(profile_.amount_max)));
+  if (rng_.uniform01() * total < mint_weight) {
+    const std::string& to = picker_.pick(rng_);
+    tx.op = "mint";
+    tx.sender = "issuer";
+    tx.args = json::object({{"symbol", "HMR"}, {"to", to}, {"amount", amount}});
+  } else {
+    auto [from, to] = picker_.pick_pair(rng_);
+    tx.op = "transfer";
+    tx.sender = *from;
+    tx.args = json::object({{"symbol", "HMR"}, {"from", *from}, {"to", *to}, {"amount", amount}});
+  }
+  return tx;
+}
+
+}  // namespace hammer::workload

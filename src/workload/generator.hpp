@@ -1,0 +1,86 @@
+// Workload generators: turn a profile + account population into a stream of
+// unsigned transactions ("the payload is generated based on custom
+// application actions" — paper §III-A1). Signing happens later, on the
+// server, through the asynchronous signature pipeline (§III-D1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "util/random.hpp"
+#include "workload/profile.hpp"
+
+namespace hammer::workload {
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  // Produces the next unsigned transaction (deterministic per seed).
+  virtual chain::Transaction next() = 0;
+};
+
+// Weighted op sampling + account-pair selection under the configured
+// access distribution, shared by the concrete generators.
+class AccountPicker {
+ public:
+  AccountPicker(const WorkloadProfile& profile, std::vector<std::string> accounts);
+
+  const std::string& pick(util::Pcg32& rng) const;
+  // Two distinct accounts (from, to).
+  std::pair<const std::string*, const std::string*> pick_pair(util::Pcg32& rng) const;
+
+  const std::vector<std::string>& accounts() const { return accounts_; }
+
+ private:
+  std::vector<std::string> accounts_;
+  std::optional<util::ZipfSampler> zipf_;
+};
+
+// Factory: builds the generator matching profile.contract.
+// Throws ParseError for unknown contracts.
+std::unique_ptr<Generator> make_generator(const WorkloadProfile& profile,
+                                          std::vector<std::string> accounts);
+
+class SmallBankGenerator final : public Generator {
+ public:
+  SmallBankGenerator(WorkloadProfile profile, std::vector<std::string> accounts);
+  chain::Transaction next() override;
+
+ private:
+  WorkloadProfile profile_;
+  AccountPicker picker_;
+  std::vector<std::pair<std::string, double>> cumulative_mix_;
+  double mix_total_ = 0.0;
+  util::Pcg32 rng_;
+  std::uint64_t nonce_ = 0;
+};
+
+class YcsbGenerator final : public Generator {
+ public:
+  YcsbGenerator(WorkloadProfile profile, std::vector<std::string> accounts);
+  chain::Transaction next() override;
+
+ private:
+  WorkloadProfile profile_;
+  AccountPicker picker_;
+  util::Pcg32 rng_;
+  std::uint64_t nonce_ = 0;
+};
+
+class TokenGenerator final : public Generator {
+ public:
+  TokenGenerator(WorkloadProfile profile, std::vector<std::string> accounts);
+  chain::Transaction next() override;
+
+ private:
+  WorkloadProfile profile_;
+  AccountPicker picker_;
+  util::Pcg32 rng_;
+  std::uint64_t nonce_ = 0;
+};
+
+}  // namespace hammer::workload

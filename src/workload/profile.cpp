@@ -1,0 +1,74 @@
+#include "workload/profile.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::workload {
+
+WorkloadProfile WorkloadProfile::from_json(const json::Value& v) {
+  WorkloadProfile p;
+  p.contract = v.get_string("contract", p.contract);
+  p.num_accounts =
+      static_cast<std::size_t>(v.get_int("num_accounts", static_cast<std::int64_t>(p.num_accounts)));
+  std::string dist = v.get_string("distribution", "uniform");
+  if (dist == "uniform") {
+    p.distribution = Distribution::kUniform;
+  } else if (dist == "zipfian") {
+    p.distribution = Distribution::kZipfian;
+  } else {
+    throw ParseError("unknown distribution '" + dist + "'");
+  }
+  p.zipf_theta = v.get_double("zipf_theta", p.zipf_theta);
+  if (v.contains("op_mix")) {
+    for (const auto& [op, weight] : v.at("op_mix").as_object()) {
+      double w = weight.as_double();
+      if (w < 0) throw ParseError("negative op weight for " + op);
+      p.op_mix[op] = w;
+    }
+  }
+  p.amount_min = v.get_int("amount_min", p.amount_min);
+  p.amount_max = v.get_int("amount_max", p.amount_max);
+  if (p.amount_min > p.amount_max) throw ParseError("amount_min > amount_max");
+  p.client_id = v.get_string("client_id", p.client_id);
+  p.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  if (p.num_accounts == 0) throw ParseError("num_accounts must be positive");
+  return p;
+}
+
+json::Value WorkloadProfile::to_json() const {
+  json::Object obj;
+  obj["contract"] = contract;
+  obj["num_accounts"] = num_accounts;
+  obj["distribution"] = distribution == Distribution::kUniform ? "uniform" : "zipfian";
+  obj["zipf_theta"] = zipf_theta;
+  if (!op_mix.empty()) {
+    json::Object mix;
+    for (const auto& [op, w] : op_mix) mix[op] = w;
+    obj["op_mix"] = json::Value(std::move(mix));
+  }
+  obj["amount_min"] = amount_min;
+  obj["amount_max"] = amount_max;
+  obj["client_id"] = client_id;
+  obj["seed"] = seed;
+  return json::Value(std::move(obj));
+}
+
+std::map<std::string, double> WorkloadProfile::effective_mix() const {
+  if (!op_mix.empty()) return op_mix;
+  if (contract == "smallbank") {
+    // Paper §V Workload: deposit, withdraw, transfer, amalgamate — uniform.
+    return {{"deposit_checking", 1.0},
+            {"transact_savings", 1.0},
+            {"send_payment", 1.0},
+            {"amalgamate", 1.0}};
+  }
+  if (contract == "kv") {
+    // YCSB-A-like: 50/50 read/update.
+    return {{"get", 1.0}, {"put", 1.0}};
+  }
+  if (contract == "token") {
+    return {{"transfer", 9.0}, {"mint", 1.0}};
+  }
+  throw ParseError("no default op mix for contract '" + contract + "'");
+}
+
+}  // namespace hammer::workload

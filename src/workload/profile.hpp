@@ -1,0 +1,41 @@
+// Workload profile: the JSON document the client parses in the preparation
+// phase ("the workload profile is parsed to obtain information such as
+// workload read/write ratio, distribution, and so on" — paper §III-A1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace hammer::workload {
+
+enum class Distribution { kUniform, kZipfian };
+
+struct WorkloadProfile {
+  std::string contract = "smallbank";  // smallbank | ycsb | token
+  std::size_t num_accounts = 1000;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.9;             // used when distribution == kZipfian
+
+  // Operation mix: op name -> weight. Empty = the contract's default mix
+  // (SmallBank: the paper's four ops with uniform weights).
+  std::map<std::string, double> op_mix;
+
+  // Payment / deposit amounts drawn uniformly from [amount_min, amount_max].
+  std::int64_t amount_min = 1;
+  std::int64_t amount_max = 100;
+
+  std::string client_id = "client-0";
+  std::uint64_t seed = 1;
+
+  static WorkloadProfile from_json(const json::Value& v);
+  json::Value to_json() const;
+
+  // The default mix for this profile's contract (used when op_mix is empty).
+  std::map<std::string, double> effective_mix() const;
+};
+
+}  // namespace hammer::workload

@@ -1,0 +1,70 @@
+#include "workload/workload_file.hpp"
+
+#include <fstream>
+
+#include "util/errors.hpp"
+#include "workload/generator.hpp"
+
+namespace hammer::workload {
+
+namespace {
+// Transactions in workload files are unsigned; serialize without the
+// signature fields Transaction::to_json would include.
+json::Value unsigned_tx_to_json(const chain::Transaction& tx) {
+  json::Object obj;
+  obj["contract"] = tx.contract;
+  obj["op"] = tx.op;
+  obj["args"] = tx.args;
+  obj["sender"] = tx.sender;
+  obj["client_id"] = tx.client_id;
+  obj["nonce"] = tx.nonce;
+  return json::Value(std::move(obj));
+}
+
+chain::Transaction unsigned_tx_from_json(const json::Value& v) {
+  chain::Transaction tx;
+  tx.contract = v.at("contract").as_string();
+  tx.op = v.at("op").as_string();
+  tx.args = v.contains("args") ? v.at("args") : json::Value();
+  tx.sender = v.get_string("sender", "");
+  tx.client_id = v.get_string("client_id", "");
+  tx.nonce = static_cast<std::uint64_t>(v.get_int("nonce", 0));
+  return tx;
+}
+}  // namespace
+
+void WorkloadFile::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write workload file " + path);
+  out << profile.to_json().dump() << '\n';
+  for (const chain::Transaction& tx : transactions) {
+    out << unsigned_tx_to_json(tx).dump() << '\n';
+  }
+  if (!out) throw Error("short write to workload file " + path);
+}
+
+WorkloadFile WorkloadFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read workload file " + path);
+  WorkloadFile wf;
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("workload file " + path + " is empty");
+  wf.profile = WorkloadProfile::from_json(json::Value::parse(line));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    wf.transactions.push_back(unsigned_tx_from_json(json::Value::parse(line)));
+  }
+  return wf;
+}
+
+WorkloadFile generate_workload(const WorkloadProfile& profile,
+                               std::vector<std::string> accounts, std::size_t count) {
+  WorkloadFile wf;
+  wf.profile = profile;
+  std::unique_ptr<Generator> gen = make_generator(profile, std::move(accounts));
+  wf.transactions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) wf.transactions.push_back(gen->next());
+  return wf;
+}
+
+}  // namespace hammer::workload

@@ -1,0 +1,29 @@
+// Workload file persistence: the client "executes the corresponding
+// commands to generate workload, which are persisted to a file and sent to
+// the server via secure copy" (paper §III-B1). In this single-box
+// reproduction the SCP hop is a local file move; the format is one JSON
+// header line followed by one unsigned transaction per line, which the
+// server streams through its asynchronous signature pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "workload/profile.hpp"
+
+namespace hammer::workload {
+
+struct WorkloadFile {
+  WorkloadProfile profile;
+  std::vector<chain::Transaction> transactions;  // unsigned
+
+  void save(const std::string& path) const;
+  static WorkloadFile load(const std::string& path);
+};
+
+// Convenience: generate `count` transactions from the profile.
+WorkloadFile generate_workload(const WorkloadProfile& profile,
+                               std::vector<std::string> accounts, std::size_t count);
+
+}  // namespace hammer::workload

@@ -1,0 +1,130 @@
+#include "adapters/chain_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/factory.hpp"
+#include "rpc/tcp.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::adapters {
+namespace {
+
+chain::Transaction signed_tx(const std::string& sender, std::uint64_t nonce = 0) {
+  chain::Transaction tx;
+  tx.contract = "smallbank";
+  tx.op = "deposit_checking";
+  tx.args = json::object({{"customer", sender}, {"amount", 5}});
+  tx.sender = sender;
+  tx.client_id = "c0";
+  tx.nonce = nonce;
+  tx.sign_with(crypto::derive_keypair(sender));
+  return tx;
+}
+
+class AdapterTestBase {
+ protected:
+  AdapterTestBase() {
+    chain_ = chain::make_chain(
+        json::object({{"kind", "neuchain"}, {"name", "neu-x"}, {"block_interval_ms", 10}}),
+        util::SteadyClock::shared());
+    accounts_ = chain::genesis_smallbank_accounts(*chain_, 4, 100, 100);
+    dispatcher_ = std::make_shared<rpc::Dispatcher>();
+    chain::bind_chain_rpc(chain_, *dispatcher_);
+    chain_->start();
+  }
+  ~AdapterTestBase() { chain_->stop(); }
+
+  std::shared_ptr<chain::Blockchain> chain_;
+  std::vector<std::string> accounts_;
+  std::shared_ptr<rpc::Dispatcher> dispatcher_;
+};
+
+class InProcAdapterTest : public AdapterTestBase, public ::testing::Test {
+ protected:
+  InProcAdapterTest()
+      : adapter_(std::make_shared<rpc::InProcChannel>(dispatcher_)) {}
+  ChainAdapter adapter_;
+};
+
+TEST_F(InProcAdapterTest, InfoIsCached) {
+  EXPECT_EQ(adapter_.info().name, "neu-x");
+  EXPECT_EQ(adapter_.info().kind, "neuchain");
+  EXPECT_EQ(adapter_.info().shards, 1u);
+}
+
+TEST_F(InProcAdapterTest, SubmitReturnsComputedId) {
+  chain::Transaction tx = signed_tx(accounts_[0]);
+  EXPECT_EQ(adapter_.submit(tx), tx.compute_id());
+}
+
+TEST_F(InProcAdapterTest, SubmitBadSignatureIsRejectedError) {
+  chain::Transaction tx = signed_tx(accounts_[0]);
+  tx.nonce = 12345;
+  EXPECT_THROW(adapter_.submit(tx), RejectedError);
+}
+
+TEST_F(InProcAdapterTest, HeightBlockAndReceiptFlow) {
+  std::string id = adapter_.submit(signed_tx(accounts_[0]));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::optional<ChainAdapter::ReceiptInfo> receipt;
+  while (!receipt && std::chrono::steady_clock::now() < deadline) {
+    receipt = adapter_.tx_receipt(id);
+    if (!receipt) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(receipt->status, chain::TxStatus::kCommitted);
+  EXPECT_GE(adapter_.height(0), receipt->height);
+  chain::Block block = adapter_.block(0, receipt->height);
+  bool found = false;
+  for (const auto& r : block.receipts) found |= r.tx_id == id;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InProcAdapterTest, MissingBlockThrows) {
+  EXPECT_THROW(adapter_.block(0, 99999), rpc::RpcError);
+}
+
+TEST_F(InProcAdapterTest, TxReceiptAbsentReturnsNullopt) {
+  EXPECT_FALSE(adapter_.tx_receipt(std::string(64, 'f')).has_value());
+}
+
+TEST_F(InProcAdapterTest, QueryReadsState) {
+  json::Value balances =
+      adapter_.query(0, "smallbank", "query", json::object({{"customer", accounts_[0]}}));
+  EXPECT_EQ(balances.at("checking").as_int(), 100);
+}
+
+TEST_F(InProcAdapterTest, StatsAndDigestAccessible) {
+  EXPECT_TRUE(adapter_.stats().contains("committed"));
+  EXPECT_EQ(adapter_.state_digest(0).size(), 64u);
+}
+
+// The same surface over real TCP loopback.
+class TcpAdapterTest : public AdapterTestBase, public ::testing::Test {
+ protected:
+  TcpAdapterTest()
+      : server_(dispatcher_, 0),
+        adapter_(std::make_shared<rpc::TcpChannel>("127.0.0.1", server_.port())) {}
+  rpc::TcpServer server_;
+  ChainAdapter adapter_;
+};
+
+TEST_F(TcpAdapterTest, EndToEndSubmitAndCommit) {
+  EXPECT_EQ(adapter_.info().kind, "neuchain");
+  std::string id = adapter_.submit(signed_tx(accounts_[1]));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::optional<ChainAdapter::ReceiptInfo> receipt;
+  while (!receipt && std::chrono::steady_clock::now() < deadline) {
+    receipt = adapter_.tx_receipt(id);
+    if (!receipt) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(receipt->status, chain::TxStatus::kCommitted);
+  EXPECT_EQ(adapter_.query(0, "smallbank", "query", json::object({{"customer", accounts_[1]}}))
+                .at("checking")
+                .as_int(),
+            105);
+}
+
+}  // namespace
+}  // namespace hammer::adapters

@@ -1,0 +1,49 @@
+// Shared helpers for chain simulator tests.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "chain/blockchain.hpp"
+#include "chain/factory.hpp"
+
+namespace hammer::chain::testutil {
+
+inline Transaction signed_tx(const std::string& sender, const std::string& contract,
+                             const std::string& op, json::Value args, std::uint64_t nonce = 0) {
+  Transaction tx;
+  tx.contract = contract;
+  tx.op = op;
+  tx.args = std::move(args);
+  tx.sender = sender;
+  tx.client_id = "test-client";
+  tx.server_id = "test-server";
+  tx.nonce = nonce;
+  tx.sign_with(crypto::derive_keypair(sender));
+  return tx;
+}
+
+// Polls until tx_id appears in a block on any shard (committed or not);
+// returns the receipt. Fails the test on timeout.
+inline TxReceipt wait_for_receipt(Blockchain& chain, const std::string& tx_id,
+                                  std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<std::uint64_t> scanned(chain.num_shards(), 0);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (std::uint32_t s = 0; s < chain.num_shards(); ++s) {
+      std::uint64_t h = chain.height(s);
+      for (std::uint64_t b = scanned[s] + 1; b <= h; ++b) {
+        auto block = chain.block_at(s, b);
+        for (const TxReceipt& r : block->receipts) {
+          if (r.tx_id == tx_id) return r;
+        }
+      }
+      scanned[s] = h;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  throw hammer::TimeoutError("tx " + tx_id + " never appeared in a block");
+}
+
+}  // namespace hammer::chain::testutil

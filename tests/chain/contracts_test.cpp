@@ -1,0 +1,201 @@
+#include "chain/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+namespace {
+
+class SmallBankTest : public ::testing::Test {
+ protected:
+  SmallBankTest() : registry_(ContractRegistry::standard()) {
+    // Seed two accounts directly.
+    state_.put("sb:c:alice", "100");
+    state_.put("sb:s:alice", "500");
+    state_.put("sb:c:bob", "50");
+    state_.put("sb:s:bob", "0");
+  }
+
+  ExecResult run(const std::string& op, json::Value args) {
+    TxContext ctx(state_);
+    ExecResult r = registry_->get("smallbank").execute(op, args, ctx);
+    if (r.ok) state_.apply(ctx.take_rw_set());
+    return r;
+  }
+
+  std::int64_t balance(const std::string& key) {
+    return std::stoll(state_.get(key)->value);
+  }
+
+  StateStore state_;
+  std::shared_ptr<const ContractRegistry> registry_;
+};
+
+TEST_F(SmallBankTest, CreateAccount) {
+  EXPECT_TRUE(run("create_account",
+                  json::object({{"customer", "carol"}, {"checking", 10}, {"savings", 20}}))
+                  .ok);
+  EXPECT_EQ(balance("sb:c:carol"), 10);
+  EXPECT_EQ(balance("sb:s:carol"), 20);
+}
+
+TEST_F(SmallBankTest, DepositChecking) {
+  EXPECT_TRUE(run("deposit_checking", json::object({{"customer", "alice"}, {"amount", 25}})).ok);
+  EXPECT_EQ(balance("sb:c:alice"), 125);
+}
+
+TEST_F(SmallBankTest, DepositNegativeRejected) {
+  EXPECT_FALSE(run("deposit_checking", json::object({{"customer", "alice"}, {"amount", -5}})).ok);
+  EXPECT_EQ(balance("sb:c:alice"), 100);
+}
+
+TEST_F(SmallBankTest, DepositUnknownCustomerFails) {
+  EXPECT_FALSE(run("deposit_checking", json::object({{"customer", "nobody"}, {"amount", 5}})).ok);
+}
+
+TEST_F(SmallBankTest, TransactSavingsWithdraw) {
+  EXPECT_TRUE(run("transact_savings", json::object({{"customer", "alice"}, {"amount", -200}})).ok);
+  EXPECT_EQ(balance("sb:s:alice"), 300);
+}
+
+TEST_F(SmallBankTest, TransactSavingsOverdraftFails) {
+  EXPECT_FALSE(run("transact_savings", json::object({{"customer", "bob"}, {"amount", -1}})).ok);
+  EXPECT_EQ(balance("sb:s:bob"), 0);
+}
+
+TEST_F(SmallBankTest, SendPaymentMovesFunds) {
+  EXPECT_TRUE(
+      run("send_payment", json::object({{"from", "alice"}, {"to", "bob"}, {"amount", 30}})).ok);
+  EXPECT_EQ(balance("sb:c:alice"), 70);
+  EXPECT_EQ(balance("sb:c:bob"), 80);
+}
+
+TEST_F(SmallBankTest, SendPaymentInsufficientFunds) {
+  ExecResult r =
+      run("send_payment", json::object({{"from", "bob"}, {"to", "alice"}, {"amount", 500}}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("insufficient"), std::string::npos);
+  EXPECT_EQ(balance("sb:c:bob"), 50);
+}
+
+TEST_F(SmallBankTest, WriteCheckAppliesPenaltyOnOverdraft) {
+  // bob total = 50; check of 100 overdrafts: checking = 50 - 100 - 1.
+  EXPECT_TRUE(run("write_check", json::object({{"customer", "bob"}, {"amount", 100}})).ok);
+  EXPECT_EQ(balance("sb:c:bob"), -51);
+  // alice total = 600; check of 100 is covered: checking = 100 - 100.
+  EXPECT_TRUE(run("write_check", json::object({{"customer", "alice"}, {"amount", 100}})).ok);
+  EXPECT_EQ(balance("sb:c:alice"), 0);
+}
+
+TEST_F(SmallBankTest, AmalgamateZeroesSourceAndCreditsDest) {
+  EXPECT_TRUE(run("amalgamate", json::object({{"from", "alice"}, {"to", "bob"}})).ok);
+  EXPECT_EQ(balance("sb:c:alice"), 0);
+  EXPECT_EQ(balance("sb:s:alice"), 0);
+  EXPECT_EQ(balance("sb:c:bob"), 650);  // 50 + 100 + 500
+}
+
+TEST_F(SmallBankTest, QueryReturnsBalances) {
+  ExecResult r = run("query", json::object({{"customer", "alice"}}));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value.at("checking").as_int(), 100);
+  EXPECT_EQ(r.return_value.at("savings").as_int(), 500);
+}
+
+TEST_F(SmallBankTest, ConservationUnderPayments) {
+  std::int64_t total_before = balance("sb:c:alice") + balance("sb:c:bob");
+  for (int i = 0; i < 10; ++i) {
+    run("send_payment", json::object({{"from", "alice"}, {"to", "bob"}, {"amount", 7}}));
+    run("send_payment", json::object({{"from", "bob"}, {"to", "alice"}, {"amount", 3}}));
+  }
+  EXPECT_EQ(balance("sb:c:alice") + balance("sb:c:bob"), total_before);
+}
+
+TEST_F(SmallBankTest, UnknownOpFails) {
+  EXPECT_FALSE(run("rob_bank", json::object({})).ok);
+}
+
+TEST_F(SmallBankTest, MissingArgumentThrowsParseError) {
+  TxContext ctx(state_);
+  EXPECT_THROW(registry_->get("smallbank").execute("deposit_checking", json::object({}), ctx),
+               hammer::ParseError);
+}
+
+class KvContractTest : public ::testing::Test {
+ protected:
+  KvContractTest() : registry_(ContractRegistry::standard()) {}
+  ExecResult run(const std::string& op, json::Value args) {
+    TxContext ctx(state_);
+    ExecResult r = registry_->get("kv").execute(op, args, ctx);
+    if (r.ok) state_.apply(ctx.take_rw_set());
+    return r;
+  }
+  StateStore state_;
+  std::shared_ptr<const ContractRegistry> registry_;
+};
+
+TEST_F(KvContractTest, PutThenGet) {
+  EXPECT_TRUE(run("put", json::object({{"key", "k"}, {"value", "v"}})).ok);
+  ExecResult r = run("get", json::object({{"key", "k"}}));
+  EXPECT_EQ(r.return_value.as_string(), "v");
+}
+
+TEST_F(KvContractTest, GetMissingReturnsNull) {
+  EXPECT_TRUE(run("get", json::object({{"key", "nope"}})).return_value.is_null());
+}
+
+TEST_F(KvContractTest, ReadModifyWrite) {
+  run("put", json::object({{"key", "k"}, {"value", "a"}}));
+  EXPECT_TRUE(run("read_modify_write", json::object({{"key", "k"}, {"suffix", "b"}})).ok);
+  EXPECT_EQ(run("get", json::object({{"key", "k"}})).return_value.as_string(), "ab");
+  EXPECT_FALSE(run("read_modify_write", json::object({{"key", "x"}, {"suffix", "b"}})).ok);
+}
+
+class TokenContractTest : public ::testing::Test {
+ protected:
+  TokenContractTest() : registry_(ContractRegistry::standard()) {}
+  ExecResult run(const std::string& op, json::Value args) {
+    TxContext ctx(state_);
+    ExecResult r = registry_->get("token").execute(op, args, ctx);
+    if (r.ok) state_.apply(ctx.take_rw_set());
+    return r;
+  }
+  StateStore state_;
+  std::shared_ptr<const ContractRegistry> registry_;
+};
+
+TEST_F(TokenContractTest, MintTransferBalance) {
+  EXPECT_TRUE(run("mint", json::object({{"symbol", "HMR"}, {"to", "a"}, {"amount", 100}})).ok);
+  EXPECT_TRUE(
+      run("transfer",
+          json::object({{"symbol", "HMR"}, {"from", "a"}, {"to", "b"}, {"amount", 40}}))
+          .ok);
+  EXPECT_EQ(run("balance", json::object({{"symbol", "HMR"}, {"holder", "a"}})).return_value.as_int(),
+            60);
+  EXPECT_EQ(run("balance", json::object({{"symbol", "HMR"}, {"holder", "b"}})).return_value.as_int(),
+            40);
+}
+
+TEST_F(TokenContractTest, TransferInsufficientFails) {
+  run("mint", json::object({{"symbol", "HMR"}, {"to", "a"}, {"amount", 10}}));
+  EXPECT_FALSE(
+      run("transfer",
+          json::object({{"symbol", "HMR"}, {"from", "a"}, {"to", "b"}, {"amount", 11}}))
+          .ok);
+}
+
+TEST_F(TokenContractTest, MintNonPositiveFails) {
+  EXPECT_FALSE(run("mint", json::object({{"symbol", "HMR"}, {"to", "a"}, {"amount", 0}})).ok);
+}
+
+TEST(ContractRegistryTest, StandardHasAllThree) {
+  auto r = ContractRegistry::standard();
+  EXPECT_TRUE(r->has("smallbank"));
+  EXPECT_TRUE(r->has("kv"));
+  EXPECT_TRUE(r->has("token"));
+  EXPECT_FALSE(r->has("nope"));
+  EXPECT_THROW(r->get("nope"), hammer::NotFoundError);
+}
+
+}  // namespace
+}  // namespace hammer::chain

@@ -1,0 +1,116 @@
+#include "chain/ethereum_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+namespace {
+
+using testutil::signed_tx;
+using testutil::wait_for_receipt;
+
+ChainConfig fast_config() {
+  ChainConfig c;
+  c.name = "eth-test";
+  c.block_interval_ms = 30;
+  c.hash_rate = 2000000;  // fast blocks for tests
+  c.max_block_txs = 100;
+  return c;
+}
+
+class EthereumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chain_ = std::make_shared<EthereumSim>(fast_config(), util::SteadyClock::shared());
+    chain_->with_state([](StateStore& s) {
+      s.put("sb:c:alice", "100");
+      s.put("sb:s:alice", "100");
+    });
+    chain_->start();
+  }
+  void TearDown() override { chain_->stop(); }
+
+  std::shared_ptr<EthereumSim> chain_;
+};
+
+TEST_F(EthereumTest, MinesBlocksEvenWhenIdle) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (chain_->height(0) < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(chain_->height(0), 3u);
+}
+
+TEST_F(EthereumTest, CommitsSubmittedTransaction) {
+  Transaction tx = signed_tx("alice", "smallbank", "deposit_checking",
+                             json::object({{"customer", "alice"}, {"amount", 50}}));
+  std::string id = chain_->submit(tx);
+  TxReceipt r = wait_for_receipt(*chain_, id);
+  EXPECT_EQ(r.status, TxStatus::kCommitted);
+  json::Value balances =
+      chain_->query(0, "smallbank", "query", json::object({{"customer", "alice"}}));
+  EXPECT_EQ(balances.at("checking").as_int(), 150);
+}
+
+TEST_F(EthereumTest, InvalidTxGetsInvalidReceipt) {
+  Transaction tx = signed_tx("alice", "smallbank", "deposit_checking",
+                             json::object({{"customer", "ghost"}, {"amount", 1}}));
+  TxReceipt r = wait_for_receipt(*chain_, chain_->submit(tx));
+  EXPECT_EQ(r.status, TxStatus::kInvalid);
+}
+
+TEST_F(EthereumTest, RejectsBadSignature) {
+  Transaction tx = signed_tx("alice", "smallbank", "deposit_checking",
+                             json::object({{"customer", "alice"}, {"amount", 1}}));
+  tx.nonce = 999;  // invalidates signature
+  EXPECT_THROW(chain_->submit(tx), RejectedError);
+}
+
+TEST_F(EthereumTest, ChainLinksParentHashes) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (chain_->height(0) < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(chain_->height(0), 3u);
+  auto b2 = chain_->block_at(0, 2);
+  auto b1 = chain_->block_at(0, 1);
+  EXPECT_EQ(b2->header.parent_hash, b1->header.hash());
+  EXPECT_EQ(b1->header.parent_hash, std::string(64, '0'));
+}
+
+TEST_F(EthereumTest, BlockAtOutOfRangeReturnsNull) {
+  EXPECT_EQ(chain_->block_at(0, 0), nullptr);
+  EXPECT_EQ(chain_->block_at(0, 10000), nullptr);
+}
+
+TEST_F(EthereumTest, StatsCountCommits) {
+  Transaction tx = signed_tx("alice", "smallbank", "deposit_checking",
+                             json::object({{"customer", "alice"}, {"amount", 1}}));
+  wait_for_receipt(*chain_, chain_->submit(tx));
+  json::Value stats = chain_->stats();
+  EXPECT_EQ(stats.at("submitted").as_int(), 1);
+  EXPECT_EQ(stats.at("committed").as_int(), 1);
+  EXPECT_GE(stats.at("blocks").as_int(), 1);
+}
+
+TEST(EthereumConfigTest, RejectsSharding) {
+  ChainConfig c = fast_config();
+  c.num_shards = 2;
+  EXPECT_THROW(EthereumSim(c, util::SteadyClock::shared()), LogicError);
+}
+
+TEST(EthereumPowTest, StopMidMineTerminates) {
+  ChainConfig c = fast_config();
+  c.hash_rate = 100;              // absurdly slow: a block takes ~ forever
+  c.block_interval_ms = 100000;   // high difficulty target
+  EthereumSim chain(c, util::SteadyClock::shared());
+  chain.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  chain.stop();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hammer::chain

@@ -1,0 +1,162 @@
+#include "chain/meepo_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/factory.hpp"
+#include "chain_test_util.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+namespace {
+
+using testutil::signed_tx;
+using testutil::wait_for_receipt;
+
+ChainConfig fast_config() {
+  ChainConfig c;
+  c.name = "meepo-test";
+  c.num_shards = 2;
+  c.block_interval_ms = 10;
+  c.max_block_txs = 500;
+  return c;
+}
+
+class MeepoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chain_ = std::make_shared<MeepoSim>(fast_config(), util::SteadyClock::shared());
+    accounts_ = genesis_smallbank_accounts(*chain_, 5, 1000, 1000);
+    chain_->start();
+  }
+  void TearDown() override { chain_->stop(); }
+
+  // First account found on the given shard.
+  std::string account_on_shard(std::uint32_t shard) {
+    for (const auto& a : accounts_) {
+      if (chain_->shard_for_sender(a) == shard) return a;
+    }
+    throw hammer::LogicError("no account on shard");
+  }
+
+  std::int64_t checking(const std::string& customer) {
+    std::uint32_t shard = chain_->shard_for_sender(customer);
+    return chain_->query(shard, "smallbank", "query", json::object({{"customer", customer}}))
+        .at("checking")
+        .as_int();
+  }
+
+  std::shared_ptr<MeepoSim> chain_;
+  std::vector<std::string> accounts_;
+};
+
+TEST_F(MeepoTest, GenesisPlacesAccountsPerShard) {
+  std::size_t shard0 = 0;
+  std::size_t shard1 = 0;
+  for (const auto& a : accounts_) {
+    (chain_->shard_for_sender(a) == 0 ? shard0 : shard1)++;
+  }
+  EXPECT_EQ(shard0, 5u);
+  EXPECT_EQ(shard1, 5u);
+}
+
+TEST_F(MeepoTest, IntraShardPaymentCommits) {
+  std::string a = account_on_shard(0);
+  std::string b;
+  for (const auto& acct : accounts_) {
+    if (acct != a && chain_->shard_for_sender(acct) == 0) {
+      b = acct;
+      break;
+    }
+  }
+  ASSERT_FALSE(b.empty());
+  Transaction tx = signed_tx(a, "smallbank", "send_payment",
+                             json::object({{"from", a}, {"to", b}, {"amount", 100}}));
+  TxReceipt r = wait_for_receipt(*chain_, chain_->submit(tx));
+  EXPECT_EQ(r.status, TxStatus::kCommitted);
+  EXPECT_NE(r.detail, "cross-shard");
+  EXPECT_EQ(checking(a), 900);
+  EXPECT_EQ(checking(b), 1100);
+  EXPECT_EQ(chain_->cross_shard_count(), 0u);
+}
+
+TEST_F(MeepoTest, CrossShardPaymentDebitsThenRelaysCredit) {
+  std::string a = account_on_shard(0);
+  std::string b = account_on_shard(1);
+  Transaction tx = signed_tx(a, "smallbank", "send_payment",
+                             json::object({{"from", a}, {"to", b}, {"amount", 250}}));
+  TxReceipt r = wait_for_receipt(*chain_, chain_->submit(tx));
+  EXPECT_EQ(r.status, TxStatus::kCommitted);
+  EXPECT_EQ(r.detail, "cross-shard");
+  EXPECT_EQ(chain_->cross_shard_count(), 1u);
+  EXPECT_EQ(checking(a), 750);
+  // The credit lands at the destination shard's next epoch.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (checking(b) != 1250 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(checking(b), 1250);
+}
+
+TEST_F(MeepoTest, CrossShardInsufficientFundsFailsWithoutRelay) {
+  std::string a = account_on_shard(0);
+  std::string b = account_on_shard(1);
+  Transaction tx = signed_tx(a, "smallbank", "send_payment",
+                             json::object({{"from", a}, {"to", b}, {"amount", 10000}}));
+  TxReceipt r = wait_for_receipt(*chain_, chain_->submit(tx));
+  EXPECT_EQ(r.status, TxStatus::kInvalid);
+  EXPECT_EQ(checking(a), 1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(checking(b), 1000);
+}
+
+TEST_F(MeepoTest, MoneyConservedAcrossShards) {
+  util::Pcg32 rng(7);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 60; ++i) {
+    const std::string& from = accounts_[rng.uniform(0, accounts_.size() - 1)];
+    const std::string& to = accounts_[rng.uniform(0, accounts_.size() - 1)];
+    if (from == to) continue;
+    ids.push_back(chain_->submit(
+        signed_tx(from, "smallbank", "send_payment",
+                  json::object({{"from", from}, {"to", to}, {"amount", 10}}),
+                  static_cast<std::uint64_t>(i))));
+  }
+  for (const auto& id : ids) wait_for_receipt(*chain_, id);
+  // Wait for relays to settle, then check global conservation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::int64_t total = 0;
+  for (const auto& a : accounts_) total += checking(a);
+  EXPECT_EQ(total, static_cast<std::int64_t>(accounts_.size()) * 1000);
+}
+
+TEST_F(MeepoTest, ShardsSealIndependentLedgers) {
+  std::string a = account_on_shard(0);
+  std::string b = account_on_shard(1);
+  wait_for_receipt(*chain_, chain_->submit(signed_tx(
+                                a, "smallbank", "deposit_checking",
+                                json::object({{"customer", a}, {"amount", 1}}))));
+  wait_for_receipt(*chain_, chain_->submit(signed_tx(
+                                b, "smallbank", "deposit_checking",
+                                json::object({{"customer", b}, {"amount", 1}}))));
+  EXPECT_GE(chain_->height(0), 1u);
+  EXPECT_GE(chain_->height(1), 1u);
+}
+
+TEST(MeepoConfigTest, RequiresAtLeastTwoShards) {
+  ChainConfig c = fast_config();
+  c.num_shards = 1;
+  EXPECT_THROW(MeepoSim(c, util::SteadyClock::shared()), LogicError);
+}
+
+TEST(ChainFactoryTest, BuildsAllKinds) {
+  auto clock = util::SteadyClock::shared();
+  EXPECT_EQ(make_chain(json::object({{"kind", "ethereum"}}), clock)->kind(), "ethereum");
+  EXPECT_EQ(make_chain(json::object({{"kind", "fabric"}}), clock)->kind(), "fabric");
+  EXPECT_EQ(make_chain(json::object({{"kind", "neuchain"}}), clock)->kind(), "neuchain");
+  EXPECT_EQ(make_chain(json::object({{"kind", "meepo"}, {"num_shards", 2}}), clock)->kind(),
+            "meepo");
+  EXPECT_THROW(make_chain(json::object({{"kind", "dogecoin"}}), clock), ParseError);
+}
+
+}  // namespace
+}  // namespace hammer::chain

@@ -1,0 +1,122 @@
+#include "chain/neuchain_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chain_test_util.hpp"
+
+namespace hammer::chain {
+namespace {
+
+using testutil::signed_tx;
+using testutil::wait_for_receipt;
+
+ChainConfig fast_config() {
+  ChainConfig c;
+  c.name = "neuchain-test";
+  c.block_interval_ms = 10;  // epoch
+  c.max_block_txs = 1000;
+  return c;
+}
+
+class NeuchainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chain_ = std::make_shared<NeuchainSim>(fast_config(), util::SteadyClock::shared());
+    chain_->with_state([](StateStore& s) {
+      for (int i = 0; i < 10; ++i) {
+        s.put("sb:c:user" + std::to_string(i), "100");
+        s.put("sb:s:user" + std::to_string(i), "100");
+      }
+    });
+    chain_->start();
+  }
+  void TearDown() override { chain_->stop(); }
+
+  std::shared_ptr<NeuchainSim> chain_;
+};
+
+TEST_F(NeuchainTest, NoEmptyBlocks) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(chain_->height(0), 0u);  // idle chain seals nothing
+}
+
+TEST_F(NeuchainTest, CommitsTransactionWithinEpoch) {
+  Transaction tx = signed_tx("user1", "smallbank", "deposit_checking",
+                             json::object({{"customer", "user1"}, {"amount", 5}}));
+  TxReceipt r = wait_for_receipt(*chain_, chain_->submit(tx));
+  EXPECT_EQ(r.status, TxStatus::kCommitted);
+}
+
+TEST_F(NeuchainTest, BlockOrderIsDeterministicById) {
+  // Submit a burst; within each block receipts must be sorted by tx id.
+  for (int i = 0; i < 50; ++i) {
+    std::string user = "user" + std::to_string(i % 10);
+    chain_->submit(signed_tx(user, "smallbank", "deposit_checking",
+                             json::object({{"customer", user}, {"amount", 1}}),
+                             static_cast<std::uint64_t>(i)));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::uint64_t committed = 0;
+  while (committed < 50 && std::chrono::steady_clock::now() < deadline) {
+    json::Value stats = chain_->stats();
+    committed = static_cast<std::uint64_t>(stats.at("committed").as_int());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(committed, 50u);
+  for (std::uint64_t h = 1; h <= chain_->height(0); ++h) {
+    auto block = chain_->block_at(0, h);
+    for (std::size_t i = 1; i < block->receipts.size(); ++i) {
+      EXPECT_LT(block->receipts[i - 1].tx_id, block->receipts[i].tx_id)
+          << "block " << h << " not deterministically ordered";
+    }
+  }
+}
+
+TEST_F(NeuchainTest, EveryTransactionAppearsExactlyOnce) {
+  std::set<std::string> submitted;
+  for (int i = 0; i < 30; ++i) {
+    std::string user = "user" + std::to_string(i % 10);
+    submitted.insert(chain_->submit(
+        signed_tx(user, "smallbank", "deposit_checking",
+                  json::object({{"customer", user}, {"amount", 1}}),
+                  static_cast<std::uint64_t>(i))));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::multiset<std::string> seen;
+  while (seen.size() < submitted.size() && std::chrono::steady_clock::now() < deadline) {
+    seen.clear();
+    for (std::uint64_t h = 1; h <= chain_->height(0); ++h) {
+      for (const TxReceipt& r : chain_->block_at(0, h)->receipts) seen.insert(r.tx_id);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(seen.size(), submitted.size());
+  for (const auto& id : submitted) EXPECT_EQ(seen.count(id), 1u) << id;
+}
+
+TEST_F(NeuchainTest, HighVolumeBurstCommits) {
+  constexpr int kTxs = 2000;
+  for (int i = 0; i < kTxs; ++i) {
+    std::string user = "user" + std::to_string(i % 10);
+    chain_->submit(signed_tx(user, "smallbank", "deposit_checking",
+                             json::object({{"customer", user}, {"amount", 1}}),
+                             static_cast<std::uint64_t>(i)));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::int64_t committed = 0;
+  while (committed < kTxs && std::chrono::steady_clock::now() < deadline) {
+    committed = chain_->stats().at("committed").as_int();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(committed, kTxs);
+  // Balance reflects every deposit: 100 + kTxs/10 per user.
+  EXPECT_EQ(chain_->query(0, "smallbank", "query", json::object({{"customer", "user0"}}))
+                .at("checking")
+                .as_int(),
+            100 + kTxs / 10);
+}
+
+}  // namespace
+}  // namespace hammer::chain

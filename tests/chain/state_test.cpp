@@ -1,0 +1,137 @@
+#include "chain/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::chain {
+namespace {
+
+TEST(StateStoreTest, PutGetBumpsVersion) {
+  StateStore s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.put("k", "v1");
+  auto vv = s.get("k");
+  ASSERT_TRUE(vv.has_value());
+  EXPECT_EQ(vv->value, "v1");
+  EXPECT_EQ(vv->version, 1u);
+  s.put("k", "v2");
+  EXPECT_EQ(s.get("k")->version, 2u);
+}
+
+TEST(StateStoreTest, ValidateAndApplyAcceptsMatchingVersions) {
+  StateStore s;
+  s.put("a", "1");
+  ReadWriteSet rw;
+  rw.reads.push_back({"a", 1});
+  rw.writes.push_back({"a", "2"});
+  EXPECT_TRUE(s.validate_and_apply(rw));
+  EXPECT_EQ(s.get("a")->value, "2");
+  EXPECT_EQ(s.get("a")->version, 2u);
+}
+
+TEST(StateStoreTest, ValidateRejectsStaleReads) {
+  StateStore s;
+  s.put("a", "1");
+  ReadWriteSet rw;
+  rw.reads.push_back({"a", 1});
+  rw.writes.push_back({"a", "2"});
+  s.put("a", "concurrent");  // version now 2; rw read version 1 is stale
+  std::string conflict;
+  EXPECT_FALSE(s.validate_and_apply(rw, &conflict));
+  EXPECT_EQ(conflict, "a");
+  EXPECT_EQ(s.get("a")->value, "concurrent");  // nothing applied
+}
+
+TEST(StateStoreTest, ValidateTreatsAbsentKeyAsVersionZero) {
+  StateStore s;
+  ReadWriteSet rw;
+  rw.reads.push_back({"new", 0});
+  rw.writes.push_back({"new", "x"});
+  EXPECT_TRUE(s.validate_and_apply(rw));
+  ReadWriteSet stale;
+  stale.reads.push_back({"new", 0});  // key exists now
+  EXPECT_FALSE(s.validate_and_apply(stale));
+}
+
+TEST(StateStoreTest, ApplyIsUnconditional) {
+  StateStore s;
+  s.put("a", "1");
+  ReadWriteSet rw;
+  rw.reads.push_back({"a", 999});  // wrong version, ignored by apply()
+  rw.writes.push_back({"a", "2"});
+  s.apply(rw);
+  EXPECT_EQ(s.get("a")->value, "2");
+}
+
+TEST(StateStoreTest, DigestIsOrderIndependentAndContentSensitive) {
+  StateStore a;
+  a.put("x", "1");
+  a.put("y", "2");
+  StateStore b;
+  b.put("y", "2");
+  b.put("x", "1");
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  b.put("x", "3");
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(StateStoreTest, KeyCount) {
+  StateStore s;
+  EXPECT_EQ(s.key_count(), 0u);
+  s.put("a", "1");
+  s.put("a", "2");
+  s.put("b", "1");
+  EXPECT_EQ(s.key_count(), 2u);
+}
+
+TEST(TxContextTest, RecordsReadVersions) {
+  StateStore s;
+  s.put("a", "1");
+  TxContext ctx(s);
+  EXPECT_EQ(ctx.get("a").value(), "1");
+  EXPECT_FALSE(ctx.get("missing").has_value());
+  ReadWriteSet rw = ctx.take_rw_set();
+  ASSERT_EQ(rw.reads.size(), 2u);
+  EXPECT_EQ(rw.reads[0].version, 1u);
+  EXPECT_EQ(rw.reads[1].version, 0u);
+}
+
+TEST(TxContextTest, ReadYourOwnWrites) {
+  StateStore s;
+  TxContext ctx(s);
+  ctx.put("k", "local");
+  EXPECT_EQ(ctx.get("k").value(), "local");
+  // The store itself is untouched until the rw-set is applied.
+  EXPECT_FALSE(s.get("k").has_value());
+}
+
+TEST(TxContextTest, RepeatedWritesCollapseInWriteSet) {
+  StateStore s;
+  TxContext ctx(s);
+  ctx.put("k", "1");
+  ctx.put("k", "2");
+  ReadWriteSet rw = ctx.take_rw_set();
+  ASSERT_EQ(rw.writes.size(), 1u);
+  EXPECT_EQ(rw.writes[0].value, "2");
+}
+
+TEST(TxContextTest, IntHelpers) {
+  StateStore s;
+  s.put("n", "41");
+  TxContext ctx(s);
+  EXPECT_EQ(ctx.get_int("n").value(), 41);
+  ctx.put_int("n", 42);
+  EXPECT_EQ(ctx.get_int("n").value(), 42);
+  EXPECT_FALSE(ctx.get_int("missing").has_value());
+}
+
+TEST(TxContextTest, NonIntegerStateThrows) {
+  StateStore s;
+  s.put("n", "abc");
+  TxContext ctx(s);
+  EXPECT_THROW(ctx.get_int("n"), hammer::LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::chain

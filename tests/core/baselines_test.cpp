@@ -1,0 +1,72 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::core {
+namespace {
+
+chain::TxReceipt receipt(const std::string& id,
+                         chain::TxStatus status = chain::TxStatus::kCommitted) {
+  return chain::TxReceipt{id, status, ""};
+}
+
+TEST(BatchQueueTest, MatchesAndRemoves) {
+  BatchQueueProcessor bq;
+  bq.register_tx("a", 10);
+  bq.register_tx("b", 20);
+  std::vector<chain::TxReceipt> receipts = {receipt("a")};
+  EXPECT_EQ(bq.on_block(100, receipts), 1u);
+  EXPECT_EQ(bq.pending_count(), 1u);
+  ASSERT_EQ(bq.completed().size(), 1u);
+  EXPECT_EQ(bq.completed()[0].tx_id, "a");
+  EXPECT_EQ(bq.completed()[0].start_us, 10);
+  EXPECT_EQ(bq.completed()[0].end_us, 100);
+}
+
+TEST(BatchQueueTest, UnknownIdsLeaveQueueUntouched) {
+  BatchQueueProcessor bq;
+  bq.register_tx("a", 10);
+  std::vector<chain::TxReceipt> receipts = {receipt("zzz")};
+  EXPECT_EQ(bq.on_block(100, receipts), 0u);
+  EXPECT_EQ(bq.pending_count(), 1u);
+}
+
+TEST(BatchQueueTest, StatusesCarried) {
+  BatchQueueProcessor bq;
+  bq.register_tx("x", 1);
+  std::vector<chain::TxReceipt> receipts = {receipt("x", chain::TxStatus::kConflict)};
+  bq.on_block(2, receipts);
+  EXPECT_EQ(bq.completed()[0].status, chain::TxStatus::kConflict);
+}
+
+TEST(BatchQueueTest, PendingSnapshotReportsRemainder) {
+  BatchQueueProcessor bq;
+  bq.register_tx("a", 10);
+  bq.register_tx("b", 20);
+  std::vector<chain::TxReceipt> receipts = {receipt("b")};
+  bq.on_block(50, receipts);
+  auto remaining = bq.pending_snapshot();
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].tx_id, "a");
+  EXPECT_EQ(remaining[0].start_us, 10);
+}
+
+TEST(BatchQueueTest, FifoOrderPreservedInQueue) {
+  BatchQueueProcessor bq;
+  for (int i = 0; i < 5; ++i) bq.register_tx("t" + std::to_string(i), i);
+  auto pending = bq.pending_snapshot();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pending[static_cast<std::size_t>(i)].start_us, i);
+}
+
+TEST(BatchQueueTest, LargeBacklogStillCorrect) {
+  BatchQueueProcessor bq;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) bq.register_tx("t" + std::to_string(i), i);
+  std::vector<chain::TxReceipt> receipts;
+  for (int i = kN - 1; i >= 0; --i) receipts.push_back(receipt("t" + std::to_string(i)));
+  EXPECT_EQ(bq.on_block(7, receipts), static_cast<std::size_t>(kN));
+  EXPECT_EQ(bq.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hammer::core

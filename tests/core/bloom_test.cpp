@@ -1,0 +1,71 @@
+#include "core/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) bloom.insert("tx" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.may_contain("tx" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTarget) {
+  BloomFilter bloom(10000, 0.01);
+  for (int i = 0; i < 10000; ++i) bloom.insert("member" + std::to_string(i));
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bloom.may_contain("other" + std::to_string(i))) ++false_positives;
+  }
+  double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous margin
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(100, 0.01);
+  EXPECT_FALSE(bloom.may_contain("anything"));
+}
+
+TEST(BloomTest, SizingScalesWithTargets) {
+  BloomFilter loose(1000, 0.1);
+  BloomFilter tight(1000, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomTest, EstimatedFpRateGrowsWithFill) {
+  BloomFilter bloom(1000, 0.01);
+  double empty_rate = bloom.estimated_fp_rate();
+  for (int i = 0; i < 1000; ++i) bloom.insert("x" + std::to_string(i));
+  EXPECT_GT(bloom.estimated_fp_rate(), empty_rate);
+  EXPECT_EQ(bloom.inserted(), 1000u);
+}
+
+TEST(BloomTest, InvalidParametersThrow) {
+  EXPECT_THROW(BloomFilter(0, 0.01), LogicError);
+  EXPECT_THROW(BloomFilter(100, 0.0), LogicError);
+  EXPECT_THROW(BloomFilter(100, 1.0), LogicError);
+}
+
+TEST(BloomTest, HandlesHexTxIdShapedKeys) {
+  // Real keys are 64-char hex digests; ensure dispersion works on them.
+  BloomFilter bloom(500, 0.01);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 500; ++i) {
+    std::string id(64, '0');
+    std::string suffix = std::to_string(i);
+    id.replace(64 - suffix.size(), suffix.size(), suffix);
+    ids.push_back(id);
+    bloom.insert(id);
+  }
+  for (const auto& id : ids) EXPECT_TRUE(bloom.may_contain(id));
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -1,0 +1,99 @@
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+namespace {
+
+TEST(DeploymentTest, DeploysMultipleChainsFromPlan) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [
+      {"kind": "neuchain", "name": "neu-1", "block_interval_ms": 10,
+       "smallbank_accounts_per_shard": 8},
+      {"kind": "meepo", "name": "meepo-1", "num_shards": 2, "block_interval_ms": 10,
+       "smallbank_accounts_per_shard": 4}
+    ]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  EXPECT_EQ(deployment.names().size(), 2u);
+
+  DeployedChain& neu = deployment.at("neu-1");
+  EXPECT_EQ(neu.chain->kind(), "neuchain");
+  EXPECT_EQ(neu.smallbank_accounts.size(), 8u);
+
+  DeployedChain& meepo = deployment.at("meepo-1");
+  EXPECT_EQ(meepo.chain->num_shards(), 2u);
+  EXPECT_EQ(meepo.smallbank_accounts.size(), 8u);  // 4 per shard x 2
+}
+
+TEST(DeploymentTest, InProcAdaptersWork) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "fabric", "name": "fab", "block_interval_ms": 20,
+                "smallbank_accounts_per_shard": 4}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto adapters = deployment.at("fab").make_adapters(3);
+  ASSERT_EQ(adapters.size(), 3u);
+  for (const auto& adapter : adapters) {
+    EXPECT_EQ(adapter->info().kind, "fabric");
+  }
+  // Genesis balances visible through the adapter.
+  const std::string& acct = deployment.at("fab").smallbank_accounts[0];
+  EXPECT_EQ(adapters[0]
+                ->query(0, "smallbank", "query", json::object({{"customer", acct}}))
+                .at("checking")
+                .as_int(),
+            1000000);
+}
+
+TEST(DeploymentTest, TcpTransportServes) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "neu-tcp", "block_interval_ms": 10,
+                "transport": "tcp", "smallbank_accounts_per_shard": 2}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto adapters = deployment.at("neu-tcp").make_adapters(1);
+  EXPECT_EQ(adapters[0]->info().name, "neu-tcp");
+}
+
+TEST(DeploymentTest, CustomGenesisBalances) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "neu", "block_interval_ms": 10,
+                "smallbank_accounts_per_shard": 2,
+                "initial_checking": 42, "initial_savings": 7}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto adapter = deployment.at("neu").make_adapters(1)[0];
+  const std::string& acct = deployment.at("neu").smallbank_accounts[0];
+  json::Value balances =
+      adapter->query(0, "smallbank", "query", json::object({{"customer", acct}}));
+  EXPECT_EQ(balances.at("checking").as_int(), 42);
+  EXPECT_EQ(balances.at("savings").as_int(), 7);
+}
+
+TEST(DeploymentTest, UnknownNameThrows) {
+  json::Value plan = json::Value::parse(
+      R"({"chains": [{"kind": "neuchain", "name": "x", "block_interval_ms": 10}]})");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  EXPECT_THROW(deployment.at("missing"), NotFoundError);
+}
+
+TEST(DeploymentTest, BadPlansThrow) {
+  auto clock = util::SteadyClock::shared();
+  EXPECT_THROW(Deployment::deploy(json::object({}), clock), NotFoundError);
+  EXPECT_THROW(
+      Deployment::deploy(json::Value::parse(R"({"chains": [{"kind": "nope", "name": "x"}]})"),
+                         clock),
+      ParseError);
+  EXPECT_THROW(
+      Deployment::deploy(
+          json::Value::parse(
+              R"({"chains": [{"kind": "neuchain", "name": "x", "transport": "carrier-pigeon"}]})"),
+          clock),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -1,0 +1,186 @@
+// End-to-end driver tests: deployment + workload + driver against the
+// chain simulators, covering all three tracking modes.
+#include "core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+
+namespace hammer::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Harness {
+  explicit Harness(const std::string& kind, int extra_shards = 0) {
+    json::Object spec;
+    spec["kind"] = kind;
+    spec["name"] = "sut";
+    spec["block_interval_ms"] = kind == "ethereum" ? 40 : 15;
+    if (kind == "ethereum") spec["hash_rate"] = 2000000;
+    if (extra_shards > 0) spec["num_shards"] = extra_shards;
+    spec["smallbank_accounts_per_shard"] = 50;
+    json::Object plan;
+    plan["chains"] = json::Value(json::Array{json::Value(std::move(spec))});
+    deployment = std::make_unique<Deployment>(
+        Deployment::deploy(json::Value(std::move(plan)), util::SteadyClock::shared()));
+  }
+
+  workload::WorkloadFile make_workload(std::size_t count) {
+    workload::WorkloadProfile profile;
+    profile.seed = 11;
+    return workload::generate_workload(profile, deployment->at("sut").smallbank_accounts,
+                                       count);
+  }
+
+  RunResult run(DriverOptions options, std::size_t count,
+                const workload::ControlSequence* rate = nullptr) {
+    auto& sut = deployment->at("sut");
+    HammerDriver driver(sut.make_adapters(options.worker_threads), sut.make_adapters(1)[0],
+                        util::SteadyClock::shared(), std::move(options));
+    return driver.run(make_workload(count), rate);
+  }
+
+  std::unique_ptr<Deployment> deployment;
+};
+
+TEST(DriverTest, HammerModeCommitsClosedLoopWorkload) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.worker_threads = 2;
+  RunResult result = h.run(options, 300);
+  EXPECT_EQ(result.submitted, 300u);
+  EXPECT_EQ(result.unmatched, 0u);
+  // amalgamate zeroes accounts, so later withdrawals legitimately fail;
+  // with 50 accounts and 300 txs roughly 4/5 commit.
+  EXPECT_GT(result.committed, 200u);
+  EXPECT_GT(result.tps, 0.0);
+  EXPECT_GT(result.latency.count(), 0u);
+}
+
+TEST(DriverTest, HammerModeOpenLoopFollowsRatePlan) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.worker_threads = 2;
+  workload::ControlSequence rate =
+      workload::ControlSequence::constant(400.0, 500ms, 100ms);  // 200 tx over 0.5s
+  RunResult result = h.run(options, 200, &rate);
+  EXPECT_EQ(result.submitted, 200u);
+  EXPECT_EQ(result.unmatched, 0u);
+  // Open loop at 400 tx/s: the run should take roughly >= 0.4s.
+  EXPECT_GE(result.duration_s, 0.3);
+}
+
+TEST(DriverTest, BatchQueueModeMatchesHammerCounts) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.mode = TrackingMode::kBatchQueue;
+  options.worker_threads = 2;
+  RunResult result = h.run(options, 200);
+  EXPECT_EQ(result.submitted, 200u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_GT(result.committed, 150u);
+}
+
+TEST(DriverTest, InteractiveModeTracksPerTransaction) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.mode = TrackingMode::kInteractive;
+  options.worker_threads = 2;
+  RunResult result = h.run(options, 60);
+  EXPECT_EQ(result.submitted, 60u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_GT(result.committed, 40u);
+}
+
+TEST(DriverTest, WorksAgainstFabric) {
+  Harness h("fabric");
+  DriverOptions options;
+  options.worker_threads = 2;
+  RunResult result = h.run(options, 150);
+  EXPECT_EQ(result.submitted, 150u);
+  EXPECT_EQ(result.unmatched, 0u);
+  // Fabric produces some MVCC conflicts under concurrent load; they are
+  // counted as failed, and committed + failed covers everything.
+  EXPECT_EQ(result.committed + result.failed, 150u);
+}
+
+TEST(DriverTest, WorksAgainstShardedMeepo) {
+  Harness h("meepo", 2);
+  DriverOptions options;
+  options.worker_threads = 2;
+  RunResult result = h.run(options, 150);
+  EXPECT_EQ(result.submitted, 150u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_GT(result.committed, 100u);
+}
+
+TEST(DriverTest, WorksAgainstEthereumPow) {
+  Harness h("ethereum");
+  DriverOptions options;
+  options.worker_threads = 1;
+  options.drain_timeout = 30s;
+  RunResult result = h.run(options, 40);
+  EXPECT_EQ(result.submitted, 40u);
+  EXPECT_EQ(result.unmatched, 0u);
+}
+
+TEST(DriverTest, MetricsPipelineReceivesRecords) {
+  Harness h("neuchain");
+  auto cache = std::make_shared<kvstore::KvStore>(util::SteadyClock::shared());
+  auto db = std::make_shared<minisql::Database>();
+  DriverOptions options;
+  options.worker_threads = 2;
+  options.metrics = std::make_shared<MetricsPipeline>(cache, db);
+  RunResult result = h.run(options, 100);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_EQ(db->table("Performance").row_count(), 100u);
+  EXPECT_GT(options.metrics->query_tps(), 0);
+}
+
+TEST(DriverTest, SerialSigningModeStillCompletes) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.worker_threads = 2;
+  options.pipelined_signing = false;
+  RunResult result = h.run(options, 100);
+  EXPECT_EQ(result.submitted, 100u);
+  EXPECT_EQ(result.unmatched, 0u);
+}
+
+TEST(DriverTest, OverloadIsCountedAsRejected) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "tiny", "block_interval_ms": 2000,
+                "pool_capacity": 20, "smallbank_accounts_per_shard": 20}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  workload::WorkloadProfile profile;
+  workload::WorkloadFile wf =
+      workload::generate_workload(profile, deployment.at("tiny").smallbank_accounts, 200);
+  DriverOptions options;
+  options.worker_threads = 2;
+  options.drain_timeout = 5s;
+  auto& sut = deployment.at("tiny");
+  HammerDriver driver(sut.make_adapters(2), sut.make_adapters(1)[0],
+                      util::SteadyClock::shared(), options);
+  RunResult result = driver.run(wf, nullptr);
+  // Pool of 20 with a 2s epoch: a 200-tx closed-loop burst must overflow.
+  EXPECT_GT(result.rejected, 0u);
+  EXPECT_EQ(result.submitted, 200u);
+}
+
+TEST(DriverTest, ClientCpuModelLimitsThroughput) {
+  Harness h("neuchain");
+  // 2 modeled vCPUs, 5ms of client work per tx -> ceiling ~400 tps.
+  DriverOptions options;
+  options.worker_threads = 4;
+  options.client_vcpus = 2;
+  options.per_tx_client_us = 5000;
+  options.switch_penalty_us = 500;
+  RunResult result = h.run(options, 100);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_LT(result.tps, 500.0);
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -1,0 +1,98 @@
+#include "core/hash_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+namespace {
+
+TEST(HashIndexTest, InsertAndFind) {
+  HashIndex index;
+  index.insert("a", 1);
+  index.insert("b", 2);
+  EXPECT_EQ(index.find("a").value(), 1u);
+  EXPECT_EQ(index.find("b").value(), 2u);
+  EXPECT_FALSE(index.find("c").has_value());
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(HashIndexTest, DuplicateKeyThrows) {
+  HashIndex index;
+  index.insert("a", 1);
+  EXPECT_THROW(index.insert("a", 2), LogicError);
+}
+
+TEST(HashIndexTest, EmptyKeyRejected) {
+  HashIndex index;
+  EXPECT_THROW(index.insert("", 1), LogicError);
+}
+
+TEST(HashIndexTest, GrowsAndPreservesEntries) {
+  HashIndex index(4, /*growable=*/true);
+  for (int i = 0; i < 1000; ++i) index.insert("key" + std::to_string(i), i);
+  EXPECT_GT(index.expansions(), 0u);
+  EXPECT_GE(index.capacity(), 1024u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(index.find("key" + std::to_string(i)).value(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(HashIndexTest, FixedSizeFillsThenThrows) {
+  HashIndex index(8, /*growable=*/false);
+  // Fill close to capacity; the load-factor guard no longer saves us.
+  int inserted = 0;
+  try {
+    for (int i = 0; i < 8; ++i) {
+      index.insert("k" + std::to_string(i), i);
+      ++inserted;
+    }
+    FAIL() << "expected fixed-size index to fill";
+  } catch (const LogicError&) {
+    EXPECT_GE(inserted, 6);  // capacity-1 usable slots at least
+  }
+}
+
+TEST(HashIndexTest, ExpansionReducesProbeCost) {
+  // Same inserts, growable vs fixed near-full: the growable table ends with
+  // far fewer probe steps per lookup — the paper's rationale for expansion.
+  constexpr int kN = 800;
+  HashIndex growable(16, true);        // ends at 2048 slots, load ~0.39
+  HashIndex fixed(1024, false, 0.999);  // stuck at 1024 slots, load ~0.78
+  for (int i = 0; i < kN; ++i) {
+    growable.insert("key" + std::to_string(i), i);
+    fixed.insert("key" + std::to_string(i), i);
+  }
+  std::uint64_t growable_before = growable.probe_steps();
+  std::uint64_t fixed_before = fixed.probe_steps();
+  for (int i = 0; i < kN; ++i) {
+    growable.find("key" + std::to_string(i));
+    fixed.find("key" + std::to_string(i));
+  }
+  std::uint64_t growable_lookup = growable.probe_steps() - growable_before;
+  std::uint64_t fixed_lookup = fixed.probe_steps() - fixed_before;
+  EXPECT_LT(growable_lookup, fixed_lookup);
+}
+
+TEST(HashIndexTest, ValuesCanExceedUint32) {
+  HashIndex index;
+  index.insert("big", 1ULL << 40);
+  EXPECT_EQ(index.find("big").value(), 1ULL << 40);
+}
+
+TEST(HashIndexTest, ManyHexIdsRoundTrip) {
+  HashIndex index(64);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5000; ++i) {
+    std::string id = "deadbeef" + std::to_string(i * 2654435761u);
+    ids.push_back(id);
+    index.insert(id, static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(index.find(ids[static_cast<std::size_t>(i)]).value(),
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -1,0 +1,123 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::core {
+namespace {
+
+TxRecord record(const std::string& id, std::int64_t start_us, std::int64_t end_us,
+                chain::TxStatus status = chain::TxStatus::kCommitted) {
+  TxRecord r;
+  r.tx_id = id;
+  r.start_us = start_us;
+  r.end_us = end_us;
+  r.status = status;
+  r.completed = end_us >= 0;
+  r.client_id = "c0";
+  r.server_id = "s0";
+  r.chainname = "fabric-1";
+  r.contractname = "smallbank";
+  return r;
+}
+
+class MetricsPipelineTest : public ::testing::Test {
+ protected:
+  MetricsPipelineTest()
+      : cache_(std::make_shared<kvstore::KvStore>(util::SteadyClock::shared())),
+        db_(std::make_shared<minisql::Database>()),
+        pipeline_(cache_, db_) {}
+
+  std::shared_ptr<kvstore::KvStore> cache_;
+  std::shared_ptr<minisql::Database> db_;
+  MetricsPipeline pipeline_;
+};
+
+TEST_F(MetricsPipelineTest, PushWritesHashesToCache) {
+  std::vector<TxRecord> records = {record("t1", 100, 600000)};
+  pipeline_.push_records(records);
+  EXPECT_EQ(cache_->hget("perf:t1", "status").value(), "1");
+  EXPECT_EQ(cache_->hget("perf:t1", "start_time").value(), "100");
+  EXPECT_EQ(cache_->hget("perf:t1", "end_time").value(), "600000");
+  EXPECT_EQ(cache_->hget("perf:t1", "chainname").value(), "fabric-1");
+}
+
+TEST_F(MetricsPipelineTest, PendingRecordsHaveNoEndTime) {
+  std::vector<TxRecord> records = {record("t1", 100, -1)};
+  pipeline_.push_records(records);
+  EXPECT_FALSE(cache_->hget("perf:t1", "end_time").has_value());
+  // Not committed to SQL until completed.
+  EXPECT_EQ(pipeline_.commit_to_sql(), 0u);
+}
+
+TEST_F(MetricsPipelineTest, CommitMovesCompletedRowsAndClearsCache) {
+  std::vector<TxRecord> records = {record("t1", 0, 500000), record("t2", 0, -1)};
+  pipeline_.push_records(records);
+  EXPECT_EQ(pipeline_.commit_to_sql(), 1u);
+  EXPECT_FALSE(cache_->exists("perf:t1"));
+  EXPECT_TRUE(cache_->exists("perf:t2"));
+  EXPECT_EQ(db_->table("Performance").row_count(), 1u);
+  // Second commit is a no-op for already-moved rows.
+  EXPECT_EQ(pipeline_.commit_to_sql(), 0u);
+}
+
+TEST_F(MetricsPipelineTest, Table2TpsQueryCountsSubSecondCommits) {
+  std::vector<TxRecord> records = {
+      record("fast", 0, 300000),                              // 0.3s: counted
+      record("slow", 0, 2500000),                             // 2.5s: excluded
+      record("failed", 0, 100000, chain::TxStatus::kInvalid)  // failed: excluded
+  };
+  pipeline_.push_records(records);
+  pipeline_.commit_to_sql();
+  EXPECT_EQ(pipeline_.query_tps(), 1);
+}
+
+TEST_F(MetricsPipelineTest, LatencyQueryComputesMilliseconds) {
+  std::vector<TxRecord> records = {record("t", 1000000, 1250000)};
+  pipeline_.push_records(records);
+  pipeline_.commit_to_sql();
+  minisql::ResultSet rs = pipeline_.query_latencies();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.column_names[3], "LATENCY");
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][3]), 250);
+}
+
+TEST_F(MetricsPipelineTest, ReusesExistingPerformanceTable) {
+  // A second pipeline over the same database must not recreate the table.
+  MetricsPipeline second(cache_, db_);
+  SUCCEED();
+}
+
+TEST(SummarizeTest, ComputesTpsAndLatency) {
+  std::vector<TxRecord> records = {
+      record("a", 0, 1000000),        // 1s latency
+      record("b", 500000, 1000000),   // 0.5s
+      record("c", 0, 2000000),        // 2s -> run spans 2s
+      record("d", 0, -1),             // unmatched
+      record("e", 0, 100000, chain::TxStatus::kConflict),
+  };
+  RunResult result = summarize(records);
+  EXPECT_EQ(result.submitted, 5u);
+  EXPECT_EQ(result.committed, 3u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.unmatched, 1u);
+  EXPECT_DOUBLE_EQ(result.duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(result.tps, 1.5);
+  EXPECT_EQ(result.latency.count(), 3u);
+}
+
+TEST(SummarizeTest, EmptyRecords) {
+  RunResult result = summarize(std::vector<TxRecord>{});
+  EXPECT_EQ(result.submitted, 0u);
+  EXPECT_DOUBLE_EQ(result.tps, 0.0);
+}
+
+TEST(SummarizeTest, JsonAndSummaryRender) {
+  std::vector<TxRecord> records = {record("a", 0, 500000)};
+  RunResult result = summarize(records);
+  json::Value v = result.to_json();
+  EXPECT_EQ(v.at("committed").as_int(), 1);
+  EXPECT_NE(result.summary().find("committed=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hammer::core

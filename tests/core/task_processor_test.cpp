@@ -1,0 +1,156 @@
+#include "core/task_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hammer::core {
+namespace {
+
+chain::TxReceipt receipt(const std::string& id,
+                         chain::TxStatus status = chain::TxStatus::kCommitted) {
+  return chain::TxReceipt{id, status, ""};
+}
+
+TaskProcessor::Options small_options() {
+  TaskProcessor::Options o;
+  o.expected_txs = 1000;
+  return o;
+}
+
+TEST(TaskProcessorTest, RegisterThenMatchOnBlock) {
+  TaskProcessor tp(small_options());
+  tp.register_tx("tx1", 1000, "c0", "s0", "fabric", "smallbank");
+  tp.register_tx("tx2", 2000, "c0", "s0", "fabric", "smallbank");
+  EXPECT_EQ(tp.pending_count(), 2u);
+
+  std::vector<chain::TxReceipt> receipts = {receipt("tx1")};
+  auto outcome = tp.on_block(5000, receipts);
+  EXPECT_EQ(outcome.matched, 1u);
+  EXPECT_EQ(tp.pending_count(), 1u);
+
+  auto records = tp.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(records[0].end_us, 5000);
+  EXPECT_EQ(records[0].status, chain::TxStatus::kCommitted);
+  EXPECT_FALSE(records[1].completed);
+}
+
+TEST(TaskProcessorTest, BlockTimeIsTheCommitTime) {
+  // Algorithm 1: every tx in a block gets the block's observation time,
+  // not a per-tx time.
+  TaskProcessor tp(small_options());
+  tp.register_tx("a", 100, "c", "s", "ch", "ct");
+  tp.register_tx("b", 200, "c", "s", "ch", "ct");
+  std::vector<chain::TxReceipt> receipts = {receipt("a"), receipt("b")};
+  tp.on_block(99999, receipts);
+  for (const auto& r : tp.snapshot()) EXPECT_EQ(r.end_us, 99999);
+}
+
+TEST(TaskProcessorTest, ForeignIdsAreBloomRejectedOrUnknown) {
+  TaskProcessor tp(small_options());
+  for (int i = 0; i < 200; ++i) {
+    tp.register_tx("mine" + std::to_string(i), i, "c", "s", "ch", "ct");
+  }
+  std::vector<chain::TxReceipt> receipts;
+  for (int i = 0; i < 500; ++i) receipts.push_back(receipt("theirs" + std::to_string(i)));
+  auto outcome = tp.on_block(1, receipts);
+  EXPECT_EQ(outcome.matched, 0u);
+  EXPECT_EQ(outcome.bloom_rejected + outcome.unknown, 500u);
+  // The filter should shortcut the overwhelming majority.
+  EXPECT_GT(outcome.bloom_rejected, 450u);
+  EXPECT_EQ(tp.pending_count(), 200u);
+}
+
+TEST(TaskProcessorTest, DuplicatereceiptCountsOnce) {
+  TaskProcessor tp(small_options());
+  tp.register_tx("x", 0, "c", "s", "ch", "ct");
+  std::vector<chain::TxReceipt> first = {receipt("x")};
+  EXPECT_EQ(tp.on_block(10, first).matched, 1u);
+  auto outcome = tp.on_block(20, first);  // replayed block
+  EXPECT_EQ(outcome.matched, 0u);
+  EXPECT_EQ(outcome.duplicates, 1u);
+  EXPECT_EQ(tp.snapshot()[0].end_us, 10);  // first completion wins
+}
+
+TEST(TaskProcessorTest, FailedStatusesPreserved) {
+  TaskProcessor tp(small_options());
+  tp.register_tx("ok", 0, "c", "s", "ch", "ct");
+  tp.register_tx("bad", 0, "c", "s", "ch", "ct");
+  tp.register_tx("mvcc", 0, "c", "s", "ch", "ct");
+  std::vector<chain::TxReceipt> receipts = {
+      receipt("ok"), receipt("bad", chain::TxStatus::kInvalid),
+      receipt("mvcc", chain::TxStatus::kConflict)};
+  tp.on_block(10, receipts);
+  auto records = tp.snapshot();
+  EXPECT_EQ(records[0].status, chain::TxStatus::kCommitted);
+  EXPECT_EQ(records[1].status, chain::TxStatus::kInvalid);
+  EXPECT_EQ(records[2].status, chain::TxStatus::kConflict);
+}
+
+TEST(TaskProcessorTest, MarkRejectedCompletesRecord) {
+  TaskProcessor tp(small_options());
+  std::size_t pos = tp.register_tx("r", 100, "c", "s", "ch", "ct");
+  tp.mark_rejected(pos, 150);
+  EXPECT_EQ(tp.pending_count(), 0u);
+  auto record = tp.snapshot()[pos];
+  EXPECT_EQ(record.status, chain::TxStatus::kInvalid);
+  EXPECT_EQ(record.end_us, 150);
+  // A later block match must not overwrite the rejection.
+  std::vector<chain::TxReceipt> receipts = {receipt("r")};
+  EXPECT_EQ(tp.on_block(500, receipts).duplicates, 1u);
+}
+
+TEST(TaskProcessorTest, ProvenanceStored) {
+  TaskProcessor tp(small_options());
+  tp.register_tx("p", 1, "client-7", "server-3", "meepo-1", "smallbank");
+  auto record = tp.snapshot()[0];
+  EXPECT_EQ(record.client_id, "client-7");
+  EXPECT_EQ(record.server_id, "server-3");
+  EXPECT_EQ(record.chainname, "meepo-1");
+  EXPECT_EQ(record.contractname, "smallbank");
+}
+
+TEST(TaskProcessorTest, IndexExpandsUnderLoad) {
+  TaskProcessor::Options o = small_options();
+  o.initial_index_capacity = 16;
+  TaskProcessor tp(o);
+  for (int i = 0; i < 2000; ++i) {
+    tp.register_tx("tx" + std::to_string(i), i, "c", "s", "ch", "ct");
+  }
+  EXPECT_GT(tp.index_expansions(), 0u);
+  // Everything still findable through the expanded index.
+  std::vector<chain::TxReceipt> receipts;
+  for (int i = 0; i < 2000; ++i) receipts.push_back(receipt("tx" + std::to_string(i)));
+  EXPECT_EQ(tp.on_block(1, receipts).matched, 2000u);
+}
+
+TEST(TaskProcessorTest, ConcurrentRegistrationAndBlocks) {
+  TaskProcessor tp(small_options());
+  constexpr int kPerThread = 500;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> registrars;
+  for (int t = 0; t < kThreads; ++t) {
+    registrars.emplace_back([&tp, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tp.register_tx("t" + std::to_string(t) + "-" + std::to_string(i), i, "c", "s", "ch",
+                       "ct");
+      }
+    });
+  }
+  for (auto& t : registrars) t.join();
+  EXPECT_EQ(tp.total_registered(), static_cast<std::size_t>(kThreads * kPerThread));
+
+  std::vector<chain::TxReceipt> receipts;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      receipts.push_back(receipt("t" + std::to_string(t) + "-" + std::to_string(i)));
+    }
+  }
+  EXPECT_EQ(tp.on_block(9, receipts).matched, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(tp.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hammer::core

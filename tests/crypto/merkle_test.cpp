@@ -1,0 +1,91 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(sha256("leaf" + std::to_string(i)));
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeRootIsHashOfEmpty) {
+  EXPECT_EQ(merkle_root({}), sha256(std::string_view{}));
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  auto leaves = make_leaves(1);
+  EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(MerkleTest, TwoLeavesRootIsPairHash) {
+  auto leaves = make_leaves(2);
+  Digest expected = Sha256().update(leaves[0]).update(leaves[1]).finish();
+  EXPECT_EQ(merkle_root(leaves), expected);
+}
+
+TEST(MerkleTest, RootChangesWhenLeafChanges) {
+  auto leaves = make_leaves(8);
+  Digest root = merkle_root(leaves);
+  leaves[3] = sha256("tampered");
+  EXPECT_NE(merkle_root(leaves), root);
+}
+
+TEST(MerkleTest, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  Digest root = merkle_root(leaves);
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(merkle_root(leaves), root);
+}
+
+TEST(MerkleTest, ProofOutOfRangeThrows) {
+  auto leaves = make_leaves(3);
+  EXPECT_THROW(merkle_proof(leaves, 3), hammer::LogicError);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, EveryLeafProvesAgainstRoot) {
+  std::size_t n = GetParam();
+  auto leaves = make_leaves(n);
+  Digest root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    MerkleProof proof = merkle_proof(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], proof, root)) << "n=" << n << " i=" << i;
+    // A proof for one leaf must not verify another leaf.
+    if (n > 1) {
+      std::size_t other = (i + 1) % n;
+      if (leaves[other] != leaves[i]) {
+        EXPECT_FALSE(merkle_verify(leaves[other], proof, root)) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// Covers odd sizes (duplicated last node), powers of two, and singletons.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+TEST(MerkleTest, TamperedProofFails) {
+  auto leaves = make_leaves(8);
+  Digest root = merkle_root(leaves);
+  MerkleProof proof = merkle_proof(leaves, 2);
+  proof[1].sibling[0] ^= 0x01;
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, root));
+}
+
+TEST(MerkleTest, FlippedSideFails) {
+  auto leaves = make_leaves(8);
+  Digest root = merkle_root(leaves);
+  MerkleProof proof = merkle_proof(leaves, 2);
+  proof[0].sibling_on_left = !proof[0].sibling_on_left;
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, root));
+}
+
+}  // namespace
+}  // namespace hammer::crypto

@@ -1,0 +1,98 @@
+#include "crypto/schnorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::crypto {
+namespace {
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  KeyPair kp = derive_keypair("alice");
+  Signature sig = sign(kp.priv, "hello world");
+  EXPECT_TRUE(verify(kp.pub, "hello world", sig));
+}
+
+TEST(SchnorrTest, TamperedMessageFails) {
+  KeyPair kp = derive_keypair("alice");
+  Signature sig = sign(kp.priv, "hello world");
+  EXPECT_FALSE(verify(kp.pub, "hello worle", sig));
+  EXPECT_FALSE(verify(kp.pub, "", sig));
+}
+
+TEST(SchnorrTest, WrongKeyFails) {
+  KeyPair alice = derive_keypair("alice");
+  KeyPair bob = derive_keypair("bob");
+  Signature sig = sign(alice.priv, "msg");
+  EXPECT_FALSE(verify(bob.pub, "msg", sig));
+}
+
+TEST(SchnorrTest, TamperedSignatureFails) {
+  KeyPair kp = derive_keypair("alice");
+  Signature sig = sign(kp.priv, "msg");
+  Signature bad_e = sig;
+  bad_e.e.limb[0] ^= 1;
+  EXPECT_FALSE(verify(kp.pub, "msg", bad_e));
+  Signature bad_s = sig;
+  bad_s.s.limb[0] ^= 1;
+  EXPECT_FALSE(verify(kp.pub, "msg", bad_s));
+}
+
+TEST(SchnorrTest, DeterministicKeypairs) {
+  KeyPair a = derive_keypair("seed-x");
+  KeyPair b = derive_keypair("seed-x");
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_EQ(a.priv.x, b.priv.x);
+  KeyPair c = derive_keypair("seed-y");
+  EXPECT_NE(a.pub.y.to_hex(), c.pub.y.to_hex());
+}
+
+TEST(SchnorrTest, DeterministicSignatures) {
+  KeyPair kp = derive_keypair("alice");
+  EXPECT_EQ(sign(kp.priv, "m").to_hex(), sign(kp.priv, "m").to_hex());
+  EXPECT_NE(sign(kp.priv, "m1").to_hex(), sign(kp.priv, "m2").to_hex());
+}
+
+TEST(SchnorrTest, SignatureHexRoundTrip) {
+  KeyPair kp = derive_keypair("alice");
+  Signature sig = sign(kp.priv, "msg");
+  std::string hex = sig.to_hex();
+  EXPECT_EQ(hex.size(), 128u);
+  Signature back = Signature::from_hex(hex);
+  EXPECT_EQ(back, sig);
+  EXPECT_TRUE(verify(kp.pub, "msg", back));
+}
+
+TEST(SchnorrTest, FromHexRejectsBadLength) {
+  EXPECT_THROW(Signature::from_hex("abcd"), hammer::ParseError);
+}
+
+TEST(SchnorrTest, FixedBasePowMatchesGenericPow) {
+  const PseudoMersenne& f = group_field();
+  for (std::uint64_t e : {0ULL, 1ULL, 2ULL, 65537ULL, 0xffffffffffffffffULL}) {
+    EXPECT_EQ(fixed_base_pow(U256::from_u64(e)), f.pow_mod(U256::from_u64(7), U256::from_u64(e)))
+        << e;
+  }
+  // Full-width exponent.
+  U256 big = U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001");
+  U256 reduced = scalar_ring().reduce256(big);
+  EXPECT_EQ(fixed_base_pow(reduced), f.pow_mod(U256::from_u64(7), reduced));
+}
+
+// Property sweep: round trips across many derived identities.
+class SchnorrManyKeysTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrManyKeysTest, RoundTripAndCrossRejection) {
+  int i = GetParam();
+  KeyPair kp = derive_keypair("party-" + std::to_string(i));
+  std::string msg = "payload-" + std::to_string(i * 37);
+  Signature sig = sign(kp.priv, msg);
+  EXPECT_TRUE(verify(kp.pub, msg, sig));
+  KeyPair other = derive_keypair("party-" + std::to_string(i + 1));
+  EXPECT_FALSE(verify(other.pub, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Identities, SchnorrManyKeysTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace hammer::crypto

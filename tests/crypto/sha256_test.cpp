@@ -1,0 +1,94 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+#include <string>
+
+namespace hammer::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(digest_hex(sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  // Feed in awkward chunk sizes that straddle the 64-byte block boundary.
+  for (std::size_t chunk : {1u, 3u, 7u, 63u, 64u, 65u}) {
+    Sha256 h;
+    for (std::size_t i = 0; i < msg.size(); i += chunk) {
+      h.update(std::string_view(msg).substr(i, chunk));
+    }
+    EXPECT_EQ(h.finish(), sha256(msg)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaryLengths) {
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    std::string input(len, 'x');
+    // Consistency between streaming and one-shot is the invariant.
+    Sha256 h;
+    h.update(input);
+    EXPECT_EQ(h.finish(), sha256(input)) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update("x");
+  h.finish();
+  EXPECT_THROW(h.update("y"), hammer::LogicError);
+  EXPECT_THROW(h.finish(), hammer::LogicError);
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  std::string msg = "Hi There";
+  Digest d = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string msg = "what do ya want for nothing?";
+  Digest d = hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  Digest d = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace hammer::crypto

@@ -1,0 +1,135 @@
+#include "crypto/u256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::crypto {
+namespace {
+
+TEST(U256Test, FromU64AndCompare) {
+  U256 a = U256::from_u64(5);
+  U256 b = U256::from_u64(7);
+  EXPECT_EQ(cmp(a, b), -1);
+  EXPECT_EQ(cmp(b, a), 1);
+  EXPECT_EQ(cmp(a, a), 0);
+}
+
+TEST(U256Test, HexRoundTrip) {
+  U256 v = U256::from_hex("00000000000000000000000000000000000000000000000000000000deadbeef");
+  EXPECT_EQ(v.limb[0], 0xdeadbeefULL);
+  EXPECT_EQ(v.to_hex(),
+            "00000000000000000000000000000000000000000000000000000000deadbeef");
+}
+
+TEST(U256Test, BytesRoundTrip) {
+  U256 v{{0x1111111111111111ULL, 0x2222222222222222ULL, 0x3333333333333333ULL,
+          0x4444444444444444ULL}};
+  EXPECT_EQ(U256::from_bytes(v.to_bytes()), v);
+}
+
+TEST(U256Test, ShortBigEndianInputLeftPads) {
+  std::vector<std::uint8_t> bytes = {0x01, 0x02};
+  U256 v = U256::from_bytes(bytes);
+  EXPECT_EQ(v.limb[0], 0x0102u);
+}
+
+TEST(U256Test, AddWithCarryPropagation) {
+  U256 max{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  std::uint64_t carry = 0;
+  U256 r = add(max, U256::from_u64(1), &carry);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(U256Test, SubWithBorrow) {
+  std::uint64_t borrow = 0;
+  U256 r = sub(U256::from_u64(0), U256::from_u64(1), &borrow);
+  EXPECT_EQ(borrow, 1u);
+  U256 max{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  EXPECT_EQ(r, max);
+}
+
+TEST(U256Test, MulWideSmallValues) {
+  U512 p = mul_wide(U256::from_u64(1000000007), U256::from_u64(998244353));
+  EXPECT_EQ(p.limb[0], 1000000007ULL * 998244353ULL);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(p.limb[i], 0u);
+}
+
+TEST(U256Test, MulWideCrossLimb) {
+  // (2^64) * (2^64) = 2^128 -> limb[2] = 1.
+  U256 a{{0, 1, 0, 0}};
+  U512 p = mul_wide(a, a);
+  EXPECT_EQ(p.limb[2], 1u);
+}
+
+TEST(PseudoMersenneTest, ModulusValue) {
+  // p = 2^256 - 189: low limb is 2^64 - 189.
+  const PseudoMersenne& f = group_field();
+  EXPECT_EQ(f.modulus().limb[0], ~0ULL - 188);
+  EXPECT_EQ(f.modulus().limb[3], ~0ULL);
+}
+
+TEST(PseudoMersenneTest, ReduceMatchesSmallModularArithmetic) {
+  const PseudoMersenne& f = group_field();
+  U256 a = U256::from_u64(123456789);
+  U256 b = U256::from_u64(987654321);
+  U256 prod = f.mul_mod(a, b);
+  EXPECT_EQ(prod.limb[0], 123456789ULL * 987654321ULL);
+}
+
+TEST(PseudoMersenneTest, AddModWrapsAroundModulus) {
+  const PseudoMersenne& f = group_field();
+  // (p - 1) + 2 = 1 (mod p)
+  U256 p_minus_1 = sub(f.modulus(), U256::from_u64(1));
+  U256 r = f.add_mod(p_minus_1, U256::from_u64(2));
+  EXPECT_EQ(r, U256::from_u64(1));
+}
+
+TEST(PseudoMersenneTest, SubModWrapsBelowZero) {
+  const PseudoMersenne& f = group_field();
+  // 1 - 2 = p - 1 (mod p)
+  U256 r = f.sub_mod(U256::from_u64(1), U256::from_u64(2));
+  EXPECT_EQ(r, sub(f.modulus(), U256::from_u64(1)));
+}
+
+TEST(PseudoMersenneTest, MulModNearModulus) {
+  const PseudoMersenne& f = group_field();
+  // (p-1)^2 mod p = 1  because p-1 = -1 (mod p).
+  U256 p_minus_1 = sub(f.modulus(), U256::from_u64(1));
+  EXPECT_EQ(f.mul_mod(p_minus_1, p_minus_1), U256::from_u64(1));
+}
+
+TEST(PseudoMersenneTest, PowModBasics) {
+  const PseudoMersenne& f = group_field();
+  EXPECT_EQ(f.pow_mod(U256::from_u64(2), U256::from_u64(10)), U256::from_u64(1024));
+  EXPECT_EQ(f.pow_mod(U256::from_u64(7), U256::from_u64(0)), U256::from_u64(1));
+  EXPECT_EQ(f.pow_mod(U256::from_u64(0), U256::from_u64(5)), U256::from_u64(0));
+}
+
+TEST(PseudoMersenneTest, FermatLittleTheorem) {
+  // p is prime: a^(p-1) = 1 (mod p) for a != 0.
+  const PseudoMersenne& f = group_field();
+  U256 exp = sub(f.modulus(), U256::from_u64(1));
+  for (std::uint64_t a : {2ULL, 3ULL, 65537ULL, 123456789ULL}) {
+    EXPECT_EQ(f.pow_mod(U256::from_u64(a), exp), U256::from_u64(1)) << a;
+  }
+}
+
+TEST(PseudoMersenneTest, PowModExponentAdditionLaw) {
+  const PseudoMersenne& f = group_field();
+  U256 base = U256::from_u64(10007);
+  U256 e1 = U256::from_hex("00000000000000000000000000000000000000000000000000000000000f4240");
+  U256 e2 = U256::from_u64(777);
+  // g^(e1+e2) == g^e1 * g^e2
+  std::uint64_t carry = 0;
+  U256 sum = add(e1, e2, &carry);
+  ASSERT_EQ(carry, 0u);
+  EXPECT_EQ(f.pow_mod(base, sum), f.mul_mod(f.pow_mod(base, e1), f.pow_mod(base, e2)));
+}
+
+TEST(PseudoMersenneTest, ScalarRingIsGroupOrder) {
+  // scalar ring modulus = p - 1.
+  EXPECT_EQ(scalar_ring().modulus(), sub(group_field().modulus(), U256::from_u64(1)));
+}
+
+}  // namespace
+}  // namespace hammer::crypto

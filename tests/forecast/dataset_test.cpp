@@ -1,0 +1,140 @@
+#include "forecast/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double burstiness(const std::vector<double>& v) {
+  // max / mean: a crude peak-to-average ratio.
+  return *std::max_element(v.begin(), v.end()) / mean_of(v);
+}
+
+TEST(TraceTest, DeterministicPerSeed) {
+  EXPECT_EQ(generate_trace(TraceKind::kDeFi, 100, 5), generate_trace(TraceKind::kDeFi, 100, 5));
+  EXPECT_NE(generate_trace(TraceKind::kDeFi, 100, 5), generate_trace(TraceKind::kDeFi, 100, 6));
+}
+
+TEST(TraceTest, NonNegativeAndRightLength) {
+  for (auto kind : {TraceKind::kDeFi, TraceKind::kSandbox, TraceKind::kNfts}) {
+    auto trace = generate_trace(kind, 500);
+    EXPECT_EQ(trace.size(), 500u);
+    for (double v : trace) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(TraceTest, VolumesMatchPaperDatasetScales) {
+  // Paper: DeFi 1,791 / Sandbox 22,674 / NFTs 233,014 txs over ~300 hours.
+  auto defi = generate_trace(TraceKind::kDeFi, 300);
+  auto sandbox = generate_trace(TraceKind::kSandbox, 300);
+  auto nfts = generate_trace(TraceKind::kNfts, 300);
+  EXPECT_NEAR(mean_of(defi), 6.0, 3.0);
+  EXPECT_NEAR(mean_of(sandbox), 75.0, 35.0);
+  EXPECT_NEAR(mean_of(nfts), 777.0, 350.0);
+}
+
+TEST(TraceTest, SandboxIsBurstierThanDeFi) {
+  // Fig. 1: "compared to the distributions of Sandbox Games, DeFi and NFTs
+  // are more stable".
+  auto defi = generate_trace(TraceKind::kDeFi, 600);
+  auto sandbox = generate_trace(TraceKind::kSandbox, 600);
+  EXPECT_GT(burstiness(sandbox), burstiness(defi));
+}
+
+TEST(TraceTest, NamesForAllKinds) {
+  EXPECT_STREQ(trace_name(TraceKind::kDeFi), "DeFi");
+  EXPECT_STREQ(trace_name(TraceKind::kSandbox), "Sandbox");
+  EXPECT_STREQ(trace_name(TraceKind::kNfts), "NFTs");
+}
+
+TEST(NormalizerTest, FitAndRoundTrip) {
+  std::vector<double> values = {2, 4, 6, 8};
+  Normalizer n = Normalizer::fit(values, values.size());
+  EXPECT_DOUBLE_EQ(n.mean, 5.0);
+  EXPECT_NEAR(n.denormalize(n.normalize(7.3)), 7.3, 1e-12);
+  // Normalized training data has ~zero mean.
+  double sum = 0;
+  for (double v : values) sum += n.normalize(v);
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(NormalizerTest, ConstantSeriesDoesNotDivideByZero) {
+  std::vector<double> flat(10, 3.0);
+  Normalizer n = Normalizer::fit(flat, flat.size());
+  EXPECT_DOUBLE_EQ(n.std, 1.0);
+  EXPECT_DOUBLE_EQ(n.normalize(3.0), 0.0);
+}
+
+TEST(NormalizerTest, InvalidCountThrows) {
+  std::vector<double> v = {1, 2};
+  EXPECT_THROW(Normalizer::fit(v, 0), LogicError);
+  EXPECT_THROW(Normalizer::fit(v, 3), LogicError);
+}
+
+TEST(WindowDatasetTest, BuildsSlidingWindows) {
+  std::vector<double> series = {0, 1, 2, 3, 4, 5};
+  Normalizer identity;  // mean 0, std 1
+  WindowDataset ds = WindowDataset::build(series, 3, identity, 0, series.size());
+  ASSERT_EQ(ds.inputs.size(), 3u);  // targets: series[3], [4], [5]
+  EXPECT_EQ(ds.inputs[0], (std::vector<double>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(ds.targets[0], 3.0);
+  EXPECT_EQ(ds.inputs[2], (std::vector<double>{2, 3, 4}));
+  EXPECT_DOUBLE_EQ(ds.targets[2], 5.0);
+}
+
+TEST(WindowDatasetTest, RangeBoundsRespected) {
+  std::vector<double> series(20, 1.0);
+  Normalizer identity;
+  WindowDataset ds = WindowDataset::build(series, 4, identity, 10, 20);
+  EXPECT_EQ(ds.inputs.size(), 6u);  // i in [10, 15]: i+4 < 20
+  EXPECT_THROW(WindowDataset::build(series, 4, identity, 0, 25), LogicError);
+  EXPECT_THROW(WindowDataset::build(series, 10, identity, 5, 15), LogicError);
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  std::vector<double> actual = {1, 2, 3};
+  EvalMetrics m = compute_metrics(actual, actual);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.r2, 1.0);
+}
+
+TEST(MetricsTest, KnownErrors) {
+  std::vector<double> predictions = {1, 2, 3, 4};
+  std::vector<double> actuals = {2, 2, 2, 2};
+  EvalMetrics m = compute_metrics(predictions, actuals);
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);          // |1|,0,|1|,|2| -> 4/4
+  EXPECT_DOUBLE_EQ(m.mse, 1.5);          // 1+0+1+4 -> 6/4
+  EXPECT_DOUBLE_EQ(m.rmse, std::sqrt(1.5));
+}
+
+TEST(MetricsTest, MeanPredictorHasZeroR2) {
+  std::vector<double> actuals = {1, 2, 3, 4, 5};
+  std::vector<double> mean_pred(5, 3.0);
+  EXPECT_NEAR(compute_metrics(mean_pred, actuals).r2, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, WorseThanMeanGivesNegativeR2) {
+  // The paper's Transformer rows show negative R^2; the metric must allow it.
+  std::vector<double> actuals = {1, 2, 3};
+  std::vector<double> bad = {10, -10, 10};
+  EXPECT_LT(compute_metrics(bad, actuals).r2, 0.0);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  EXPECT_THROW(compute_metrics({1.0}, {1.0, 2.0}), LogicError);
+  EXPECT_THROW(compute_metrics({}, {}), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::forecast

@@ -1,0 +1,179 @@
+#include "forecast/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+namespace {
+
+util::Pcg32 rng(123);
+
+Tensor sequence(std::size_t T, std::size_t D, double start = 0.0) {
+  std::vector<double> values(T * D);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = start + 0.1 * static_cast<double>(i);
+  }
+  return Tensor::from_values(T, D, std::move(values));
+}
+
+TEST(LinearLayerTest, ShapeAndParams) {
+  Linear layer(4, 3, rng);
+  Tensor out = layer.forward(sequence(5, 4));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 3u);
+  EXPECT_EQ(layer.parameters().size(), 2u);
+}
+
+TEST(LinearLayerTest, TrainsToFitLine) {
+  // y = 2x + 1, one-feature regression learned in a few hundred steps.
+  util::Pcg32 local_rng(7);
+  Linear layer(1, 1, local_rng);
+  std::vector<Tensor> params = layer.parameters();
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::from_values(4, 1, {0.0, 1.0, 2.0, 3.0});
+    Tensor target = Tensor::from_values(4, 1, {1.0, 3.0, 5.0, 7.0});
+    Tensor loss = mse_loss(layer.forward(x), target);
+    loss.backward();
+    for (Tensor& p : params) {
+      for (std::size_t i = 0; i < p->size(); ++i) p->value[i] -= 0.05 * p->grad[i];
+    }
+  }
+  Tensor out = layer.forward(Tensor::from_values(1, 1, {10.0}));
+  EXPECT_NEAR(out.item(), 21.0, 0.1);
+}
+
+TEST(CausalConvTest, OutputShapeMatchesInputLength) {
+  CausalConv1d conv(1, 8, 2, 4, rng);
+  Tensor out = conv.forward(sequence(20, 1));
+  EXPECT_EQ(out.rows(), 20u);
+  EXPECT_EQ(out.cols(), 8u);
+  EXPECT_EQ(conv.receptive_field(), 5u);  // (2-1)*4 + 1
+}
+
+TEST(CausalConvTest, IsCausal) {
+  // Changing a FUTURE input must not change an earlier output.
+  CausalConv1d conv(1, 4, 2, 2, rng);
+  Tensor a = sequence(10, 1);
+  Tensor out_a = conv.forward(a);
+  Tensor b = sequence(10, 1);
+  b->at(9, 0) = 99.0;  // mutate the last step only
+  Tensor out_b = conv.forward(b);
+  for (std::size_t t = 0; t < 9; ++t) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(out_a->at(t, c), out_b->at(t, c)) << "t=" << t;
+    }
+  }
+}
+
+TEST(CausalConvTest, PastChangesPropagateThroughDilation) {
+  CausalConv1d conv(1, 1, 2, 3, rng);
+  Tensor a = sequence(10, 1);
+  Tensor out_a = conv.forward(a);
+  Tensor b = sequence(10, 1);
+  b->at(2, 0) = 50.0;
+  Tensor out_b = conv.forward(b);
+  // t=5 looks back 3 steps (to t=2): must differ.
+  EXPECT_NE(out_a->at(5, 0), out_b->at(5, 0));
+}
+
+TEST(GruLayerTest, ShapesAndStatefulness) {
+  GruLayer gru(2, 4, rng);
+  Tensor out = gru.forward(sequence(6, 2));
+  EXPECT_EQ(out.rows(), 6u);
+  EXPECT_EQ(out.cols(), 4u);
+  EXPECT_EQ(gru.parameters().size(), 9u);
+  // Hidden state evolves: consecutive outputs differ.
+  bool any_diff = false;
+  for (std::size_t c = 0; c < 4; ++c) any_diff |= out->at(0, c) != out->at(5, c);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GruLayerTest, OutputsBounded) {
+  GruLayer gru(1, 4, rng);
+  Tensor out = gru.forward(sequence(50, 1, -2.0));
+  for (double v : out->value) {
+    EXPECT_GE(v, -1.0001);
+    EXPECT_LE(v, 1.0001);
+  }
+}
+
+TEST(BiGruTest, ConcatenatesBothDirections) {
+  BiGruLayer bigru(2, 3, rng);
+  Tensor out = bigru.forward(sequence(5, 2));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 6u);
+  EXPECT_EQ(bigru.parameters().size(), 18u);
+}
+
+TEST(BiGruTest, BackwardDirectionSeesTheFuture) {
+  // Changing the LAST input changes the backward-direction features at the
+  // FIRST time step (unlike a causal model).
+  BiGruLayer bigru(1, 2, rng);
+  Tensor a = sequence(6, 1);
+  Tensor out_a = bigru.forward(a);
+  Tensor b = sequence(6, 1);
+  b->at(5, 0) = 42.0;
+  Tensor out_b = bigru.forward(b);
+  bool backward_half_changed = false;
+  for (std::size_t c = 2; c < 4; ++c) {
+    backward_half_changed |= out_a->at(0, c) != out_b->at(0, c);
+  }
+  EXPECT_TRUE(backward_half_changed);
+}
+
+TEST(AttentionTest, ShapePreservedAndHeadsRequired) {
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor out = mha.forward(sequence(5, 8));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 8u);
+  EXPECT_EQ(mha.parameters().size(), 4u);
+  EXPECT_THROW(MultiHeadAttention(8, 3, rng), hammer::LogicError);  // 8 % 3 != 0
+}
+
+TEST(AttentionTest, AttendsGlobally) {
+  // Changing any single input position perturbs every output position.
+  MultiHeadAttention mha(4, 2, rng);
+  Tensor a = sequence(4, 4);
+  Tensor out_a = mha.forward(a);
+  Tensor b = sequence(4, 4);
+  b->at(3, 0) += 5.0;
+  Tensor out_b = mha.forward(b);
+  EXPECT_NE(out_a->at(0, 0), out_b->at(0, 0));
+}
+
+TEST(VanillaRnnTest, Shapes) {
+  VanillaRnnLayer rnn(1, 5, rng);
+  Tensor out = rnn.forward(sequence(7, 1));
+  EXPECT_EQ(out.rows(), 7u);
+  EXPECT_EQ(out.cols(), 5u);
+  EXPECT_EQ(rnn.parameters().size(), 3u);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln(4);
+  Tensor x = Tensor::from_values(2, 4, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor out = ln.forward(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mean = 0;
+    for (std::size_t c = 0; c < 4; ++c) mean += out->at(r, c);
+    EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);  // default gain=1, bias=0
+  }
+}
+
+TEST(PositionalEncodingTest, DeterministicAndBounded) {
+  Tensor x = Tensor::zeros(6, 4);
+  Tensor pe = add_positional_encoding(x);
+  for (double v : pe->value) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Position 0, even dims: sin(0) = 0; odd dims: cos(0) = 1.
+  EXPECT_DOUBLE_EQ(pe->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pe->at(0, 1), 1.0);
+  // Distinct positions get distinct codes.
+  EXPECT_NE(pe->at(1, 0), pe->at(2, 0));
+}
+
+}  // namespace
+}  // namespace hammer::forecast

@@ -1,0 +1,187 @@
+#include "forecast/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace hammer::forecast {
+namespace {
+
+// Numerical gradient check: perturb each parameter entry and compare the
+// finite-difference slope with the autodiff gradient.
+void grad_check(const std::function<Tensor(const Tensor&)>& fn, Tensor& param,
+                double tolerance = 1e-5) {
+  Tensor loss = fn(param);
+  loss.backward();
+  std::vector<double> analytic = param->grad;
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < param->size(); ++i) {
+    double original = param->value[i];
+    param->value[i] = original + eps;
+    double up = fn(param).item();
+    param->value[i] = original - eps;
+    double down = fn(param).item();
+    param->value[i] = original;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tolerance) << "entry " << i;
+  }
+}
+
+Tensor make_param(std::size_t rows, std::size_t cols, std::uint64_t seed = 42) {
+  util::Pcg32 rng(seed);
+  return Tensor::param(rows, cols, rng);
+}
+
+TEST(TensorTest, LeafConstruction) {
+  Tensor t = Tensor::from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t->at(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(Tensor::scalar(7.5).item(), 7.5);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor::zeros(2, 2).item(), LogicError);
+}
+
+TEST(TensorTest, AddForward) {
+  Tensor a = Tensor::from_values(1, 3, {1, 2, 3});
+  Tensor b = Tensor::from_values(1, 3, {10, 20, 30});
+  Tensor c = add(a, b);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 22.0);
+}
+
+TEST(TensorTest, MatmulForward) {
+  Tensor a = Tensor::from_values(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::from_values(2, 2, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 50.0);
+}
+
+TEST(TensorTest, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::zeros(2, 3), Tensor::zeros(2, 3)), LogicError);
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::from_values(2, 3, {1, 2, 3, -1, 0, 1});
+  Tensor s = softmax_rows(a);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 3; ++c) sum += s->at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TensorTest, SliceAndConcatRoundTrip) {
+  Tensor a = Tensor::from_values(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor top = slice_rows(a, 0, 1);
+  Tensor rest = slice_rows(a, 1, 2);
+  Tensor back = concat_rows(top, rest);
+  EXPECT_EQ(back->value, a->value);
+  Tensor left = slice_cols(a, 0, 1);
+  Tensor right = slice_cols(a, 1, 1);
+  Tensor back2 = concat_cols(left, right);
+  EXPECT_EQ(back2->value, a->value);
+}
+
+TEST(TensorTest, ReverseRows) {
+  Tensor a = Tensor::from_values(3, 1, {1, 2, 3});
+  Tensor r = reverse_rows(a);
+  EXPECT_DOUBLE_EQ(r->at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r->at(2, 0), 1.0);
+}
+
+TEST(TensorTest, BackwardWithoutParametersThrows) {
+  Tensor a = Tensor::scalar(1.0);  // no requires_grad anywhere
+  EXPECT_THROW(a.backward(), LogicError);
+}
+
+// --- gradient checks over every differentiable op ---
+
+TEST(GradCheckTest, AddMulScale) {
+  Tensor p = make_param(2, 3);
+  grad_check([](const Tensor& x) { return sum_all(scale(mul(add(x, x), x), 0.5)); }, p);
+}
+
+TEST(GradCheckTest, Matmul) {
+  Tensor p = make_param(3, 2);
+  Tensor fixed = Tensor::from_values(2, 3, {0.5, -1, 2, 1, 0.25, -0.75});
+  grad_check([&](const Tensor& x) { return sum_all(matmul(x, fixed)); }, p);
+  grad_check([&](const Tensor& x) { return sum_all(matmul(fixed, x)); }, p);
+}
+
+TEST(GradCheckTest, Transpose) {
+  Tensor p = make_param(2, 4);
+  grad_check([](const Tensor& x) { return sum_all(square(transpose(x))); }, p);
+}
+
+TEST(GradCheckTest, Activations) {
+  Tensor p = make_param(2, 3);
+  grad_check([](const Tensor& x) { return sum_all(sigmoid(x)); }, p);
+  grad_check([](const Tensor& x) { return sum_all(tanh_t(x)); }, p);
+  grad_check([](const Tensor& x) { return sum_all(square(x)); }, p);
+}
+
+TEST(GradCheckTest, Softmax) {
+  Tensor p = make_param(2, 4);
+  Tensor weights = Tensor::from_values(2, 4, {1, -2, 3, 0.5, -1, 2, 0.25, 1});
+  grad_check([&](const Tensor& x) { return sum_all(mul(softmax_rows(x), weights)); }, p);
+}
+
+TEST(GradCheckTest, RowBroadcast) {
+  Tensor p = make_param(1, 3);
+  Tensor base = Tensor::from_values(4, 3, std::vector<double>(12, 0.5));
+  grad_check([&](const Tensor& x) { return sum_all(square(add_row_broadcast(base, x))); }, p);
+}
+
+TEST(GradCheckTest, SliceConcatReverse) {
+  Tensor p = make_param(4, 2);
+  grad_check(
+      [](const Tensor& x) {
+        Tensor joined = concat_rows(slice_rows(x, 2, 2), slice_rows(x, 0, 2));
+        return sum_all(square(concat_cols(reverse_rows(joined), joined)));
+      },
+      p);
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Tensor p = make_param(3, 4);
+  Tensor gain = Tensor::from_values(1, 4, {1.0, 1.1, 0.9, 1.2}, true);
+  Tensor bias = Tensor::from_values(1, 4, {0.1, -0.1, 0.0, 0.2}, true);
+  grad_check(
+      [&](const Tensor& x) { return sum_all(square(layer_norm_rows(x, gain, bias))); }, p,
+      1e-4);
+}
+
+TEST(GradCheckTest, Losses) {
+  Tensor p = make_param(3, 1);
+  Tensor target = Tensor::from_values(3, 1, {0.5, -0.25, 1.0});
+  grad_check([&](const Tensor& x) { return mse_loss(x, target); }, p);
+  grad_check([&](const Tensor& x) { return mae_loss(x, target); }, p, 1e-4);
+}
+
+TEST(GradCheckTest, GradientAccumulatesAcrossSharedUse) {
+  // f(x) = sum(x*x) computed via two paths sharing x.
+  Tensor p = make_param(2, 2);
+  Tensor loss = sum_all(mul(p, p));
+  loss.backward();
+  for (std::size_t i = 0; i < p->size(); ++i) {
+    EXPECT_NEAR(p->grad[i], 2.0 * p->value[i], 1e-9);
+  }
+}
+
+TEST(GradCheckTest, BackwardTwiceGivesSameGradients) {
+  // Grad buffers are re-zeroed each backward pass, not accumulated.
+  Tensor p = make_param(2, 2);
+  Tensor loss = sum_all(square(p));
+  loss.backward();
+  std::vector<double> first = p->grad;
+  loss.backward();
+  EXPECT_EQ(p->grad, first);
+}
+
+}  // namespace
+}  // namespace hammer::forecast

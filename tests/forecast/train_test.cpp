@@ -1,0 +1,115 @@
+#include "forecast/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+#include <cmath>
+
+namespace hammer::forecast {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A clean sine is learnable fast by every model; use it for smoke tests.
+std::vector<double> sine_series(std::size_t n) {
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = 10.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 24.0);
+  }
+  return s;
+}
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.window = 24;
+  cfg.channels = 8;
+  return cfg;
+}
+
+TEST(TrainTest, LossDecreasesOverEpochs) {
+  auto series = sine_series(200);
+  Normalizer n = Normalizer::fit(series, series.size());
+  WindowDataset train = WindowDataset::build(series, 24, n, 0, series.size());
+  auto model = make_tcn_model(tiny_config());
+  std::vector<double> losses;
+  TrainOptions opt;
+  opt.epochs = 10;
+  opt.on_epoch = [&](std::size_t, double loss) { losses.push_back(loss); };
+  train_model(*model, train, opt);
+  ASSERT_EQ(losses.size(), 10u);
+  EXPECT_LT(losses.back(), losses.front() * 0.8);
+}
+
+TEST(TrainTest, SinePredictableByAllModels) {
+  auto series = sine_series(260);
+  for (auto& model : make_all_models(tiny_config())) {
+    TrainOptions opt;
+    opt.epochs = model->name() == "Linear" ? 40 : 15;
+    SeriesEvaluation eval = train_and_evaluate(*model, series, 24, 0.8, opt);
+    EXPECT_GT(eval.metrics.r2, 0.8) << model->name();
+    EXPECT_LT(eval.metrics.mae, 1.5) << model->name();
+  }
+}
+
+TEST(TrainTest, EarlyStoppingStopsBeforeEpochCap) {
+  auto series = sine_series(200);
+  Normalizer n = Normalizer::fit(series, series.size());
+  WindowDataset train = WindowDataset::build(series, 24, n, 0, series.size());
+  auto model = make_linear_model(tiny_config());
+  std::size_t epochs_run = 0;
+  TrainOptions opt;
+  opt.epochs = 500;
+  opt.val_fraction = 0.2;
+  opt.patience = 3;
+  opt.on_epoch = [&](std::size_t, double) { ++epochs_run; };
+  train_model(*model, train, opt);
+  EXPECT_LT(epochs_run, 500u);
+}
+
+TEST(TrainTest, EvaluationShapesConsistent) {
+  auto series = sine_series(200);
+  auto model = make_linear_model(tiny_config());
+  TrainOptions opt;
+  opt.epochs = 5;
+  SeriesEvaluation eval = train_and_evaluate(*model, series, 24, 0.8, opt);
+  EXPECT_EQ(eval.test_actuals.size(), eval.test_predictions.size());
+  EXPECT_EQ(eval.test_actuals.size(), 40u);  // 200 - 160 test targets
+}
+
+TEST(TrainTest, InvalidFractionThrows) {
+  auto series = sine_series(100);
+  auto model = make_linear_model(tiny_config());
+  TrainOptions opt;
+  EXPECT_THROW(train_and_evaluate(*model, series, 24, 0.0, opt), hammer::LogicError);
+  EXPECT_THROW(train_and_evaluate(*model, series, 24, 1.0, opt), hammer::LogicError);
+}
+
+TEST(ExtendTest, ProducesRequestedStepsNonNegative) {
+  auto series = sine_series(120);
+  Normalizer n = Normalizer::fit(series, series.size());
+  auto model = make_linear_model(tiny_config());
+  WindowDataset train = WindowDataset::build(series, 24, n, 0, series.size());
+  TrainOptions opt;
+  opt.epochs = 30;
+  train_model(*model, train, opt);
+  std::vector<double> ext = extend_series(*model, series, 24, n, 48);
+  EXPECT_EQ(ext.size(), 48u);
+  for (double v : ext) EXPECT_GE(v, 0.0);
+  // A sine-trained model should keep oscillating, not saturate flat.
+  double lo = *std::min_element(ext.begin(), ext.end());
+  double hi = *std::max_element(ext.begin(), ext.end());
+  EXPECT_GT(hi - lo, 2.0);
+}
+
+TEST(ControlSequenceBridgeTest, ConvertsHourlyCountsToSequence) {
+  std::vector<double> hourly = {10.0, 20.0, -3.0};  // negatives clamp
+  workload::ControlSequence cs = to_control_sequence(hourly, 1h);
+  EXPECT_EQ(cs.num_slices(), 3u);
+  EXPECT_DOUBLE_EQ(cs.counts()[2], 0.0);
+  EXPECT_DOUBLE_EQ(cs.total(), 30.0);
+  EXPECT_EQ(cs.slice(), 1h);
+}
+
+}  // namespace
+}  // namespace hammer::forecast

@@ -1,0 +1,125 @@
+#include "json/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_EQ(Value::parse("42").as_int(), 42);
+  EXPECT_EQ(Value::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Value::parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(Value::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, IntegersStayIntegral) {
+  EXPECT_TRUE(Value::parse("9007199254740993").is_int());  // > 2^53
+  EXPECT_EQ(Value::parse("9007199254740993").as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  Value v = Value::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  Value v = Value::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeMultibyte) {
+  EXPECT_EQ(Value::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Value::parse(R"("中")").as_string(), "\xe4\xb8\xad");  // 中
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  Value v = Value::parse(" \n\t{ \"a\" :\r 1 } ");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(Value::parse("[]").as_array().empty());
+  EXPECT_TRUE(Value::parse("{}").as_object().empty());
+}
+
+TEST(JsonParseTest, MalformedInputThrows) {
+  EXPECT_THROW(Value::parse(""), ParseError);
+  EXPECT_THROW(Value::parse("{"), ParseError);
+  EXPECT_THROW(Value::parse("[1,]"), ParseError);
+  EXPECT_THROW(Value::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(Value::parse("nul"), ParseError);
+  EXPECT_THROW(Value::parse("1 2"), ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Value::parse("'single'"), ParseError);
+}
+
+TEST(JsonDumpTest, RoundTripPreservesValue) {
+  const char* doc = R"({"arr":[1,2.5,"x",null,true],"num":-7,"obj":{"k":"v"}})";
+  Value v = Value::parse(doc);
+  Value again = Value::parse(v.dump());
+  EXPECT_EQ(v, again);
+}
+
+TEST(JsonDumpTest, DeterministicKeyOrder) {
+  Value v = object({{"zebra", 1}, {"apple", 2}});
+  EXPECT_EQ(v.dump(), R"({"apple":2,"zebra":1})");
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  Value v(std::string("a\x01z"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001z\"");
+}
+
+TEST(JsonDumpTest, PrettyPrintIndents) {
+  Value v = object({{"a", array({1, 2})}});
+  std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": ["), std::string::npos);
+}
+
+TEST(JsonDumpTest, NonFiniteDoublesBecomeNull) {
+  Value v(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonAccessTest, TypeMismatchThrows) {
+  Value v = Value::parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), ParseError);
+  EXPECT_THROW(v.at("a").as_string(), ParseError);
+  EXPECT_THROW(v.at("missing"), NotFoundError);
+}
+
+TEST(JsonAccessTest, IntegralDoubleConvertsToInt) {
+  EXPECT_EQ(Value(4.0).as_int(), 4);
+  EXPECT_THROW(Value(4.5).as_int(), ParseError);
+}
+
+TEST(JsonAccessTest, GetWithDefaults) {
+  Value v = Value::parse(R"({"i": 3, "s": "x", "b": true, "d": 2.5})");
+  EXPECT_EQ(v.get_int("i", 0), 3);
+  EXPECT_EQ(v.get_int("missing", 7), 7);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 2.5);
+}
+
+TEST(JsonAccessTest, SubscriptInsertsIntoNull) {
+  Value v;
+  v["key"] = 5;
+  EXPECT_EQ(v.at("key").as_int(), 5);
+}
+
+TEST(JsonBuilderTest, ObjectAndArrayHelpers) {
+  Value v = object({{"list", array({1, "two", 3.0})}});
+  EXPECT_EQ(v.at("list").as_array().size(), 3u);
+  EXPECT_EQ(v.at("list").as_array()[1].as_string(), "two");
+}
+
+}  // namespace
+}  // namespace hammer::json

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "minisql/database.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::minisql {
+namespace {
+
+// Builds the Performance table exactly as Hammer's committer does:
+// timestamps are microseconds since the run epoch.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.create_table("Performance", {{"tx_id", ColumnType::kText},
+                                     {"status", ColumnType::kText},
+                                     {"start_time", ColumnType::kInt},
+                                     {"end_time", ColumnType::kInt}});
+  }
+
+  void add_tx(const std::string& id, const std::string& status, std::int64_t start_us,
+              std::int64_t end_us) {
+    db_.insert("Performance", {id, status, start_us, end_us});
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, PaperTpsQuery) {
+  // Three committed sub-second transactions, one slow, one failed.
+  add_tx("t1", "1", 0, 500000);
+  add_tx("t2", "1", 0, 999999);
+  add_tx("t3", "1", 1000000, 1700000);
+  add_tx("t4", "1", 0, 2500000);  // 2.5s latency: excluded
+  add_tx("t5", "0", 0, 100000);   // failed: excluded
+  ResultSet rs = db_.query(
+      "SELECT COUNT(*) AS TPS FROM Performance WHERE STATUS = '1' AND "
+      "TIMESTAMPDIFF(SECOND, start_time, end_time) <= 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.column_names[0], "TPS");
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 3);
+}
+
+TEST_F(ExecutorTest, PaperLatencyQuery) {
+  add_tx("t1", "1", 1000000, 1250000);
+  ResultSet rs = db_.query(
+      "SELECT tx_id, start_time, end_time, "
+      "TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "t1");
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][3]), 250);
+}
+
+TEST_F(ExecutorTest, SelectStarExpandsColumns) {
+  add_tx("t1", "1", 1, 2);
+  ResultSet rs = db_.query("SELECT * FROM Performance");
+  ASSERT_EQ(rs.column_names.size(), 4u);
+  EXPECT_EQ(rs.column_names[0], "tx_id");
+  ASSERT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, WhereFiltersRows) {
+  add_tx("a", "1", 0, 1);
+  add_tx("b", "0", 0, 1);
+  ResultSet rs = db_.query("SELECT tx_id FROM Performance WHERE status = '0'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "b");
+}
+
+TEST_F(ExecutorTest, GroupByCountsPerSecondBuckets) {
+  // TPS timeline: bucket transactions by their start second.
+  add_tx("a", "1", 100, 200);
+  add_tx("b", "1", 500000, 500001);
+  add_tx("c", "1", 1200000, 1200001);
+  // Integer second buckets via TIMESTAMPDIFF from the epoch (plain '/' is
+  // MySQL-style fractional division and would split every row apart).
+  ResultSet rs = db_.query(
+      "SELECT TIMESTAMPDIFF(SECOND, 0, start_time) AS sec, COUNT(*) AS n FROM Performance "
+      "GROUP BY TIMESTAMPDIFF(SECOND, 0, start_time) ORDER BY SEC");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][1]), 2);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[1][1]), 1);
+}
+
+TEST_F(ExecutorTest, AggregatesOverEmptySet) {
+  ResultSet rs = db_.query("SELECT COUNT(*), AVG(start_time) FROM Performance");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 0);
+  EXPECT_TRUE(cell_is_null(rs.rows[0][1]));
+}
+
+TEST_F(ExecutorTest, AvgMinMaxSum) {
+  add_tx("a", "1", 10, 0);
+  add_tx("b", "1", 20, 0);
+  add_tx("c", "1", 60, 0);
+  ResultSet rs = db_.query(
+      "SELECT AVG(start_time), MIN(start_time), MAX(start_time), SUM(start_time) "
+      "FROM Performance");
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][0]), 30.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][1]), 10.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][2]), 60.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][3]), 90.0);
+}
+
+TEST_F(ExecutorTest, OrderByDescAndLimit) {
+  add_tx("a", "1", 3, 0);
+  add_tx("b", "1", 1, 0);
+  add_tx("c", "1", 2, 0);
+  ResultSet rs =
+      db_.query("SELECT tx_id, start_time FROM Performance ORDER BY start_time DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "a");
+  EXPECT_EQ(std::get<std::string>(rs.rows[1][0]), "c");
+}
+
+TEST_F(ExecutorTest, DivisionYieldsDouble) {
+  add_tx("a", "1", 3, 0);
+  ResultSet rs = db_.query("SELECT start_time / 2 FROM Performance");
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][0]), 1.5);
+}
+
+TEST_F(ExecutorTest, DivisionByZeroIsNull) {
+  add_tx("a", "1", 3, 0);
+  ResultSet rs = db_.query("SELECT start_time / 0 FROM Performance");
+  EXPECT_TRUE(cell_is_null(rs.rows[0][0]));
+}
+
+TEST_F(ExecutorTest, StringNumberComparisonCoerces) {
+  add_tx("a", "1", 0, 0);
+  // status is TEXT '1'; compare against integer 1.
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance WHERE status = 1");
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 1);
+}
+
+TEST_F(ExecutorTest, UnknownColumnThrows) {
+  add_tx("a", "1", 0, 0);
+  EXPECT_THROW(db_.query("SELECT nope FROM Performance"), NotFoundError);
+}
+
+TEST_F(ExecutorTest, UnknownTableThrows) {
+  EXPECT_THROW(db_.query("SELECT * FROM nope"), NotFoundError);
+}
+
+TEST_F(ExecutorTest, CsvRendering) {
+  add_tx("a", "1", 1, 2);
+  ResultSet rs = db_.query("SELECT tx_id, start_time FROM Performance");
+  EXPECT_EQ(rs.to_csv(), "tx_id,start_time\na,1\n");
+}
+
+TEST(DatabaseTest, InsertValidatesSchema) {
+  Database db;
+  db.create_table("t", {{"i", ColumnType::kInt}, {"s", ColumnType::kText}});
+  EXPECT_THROW(db.insert("t", {std::int64_t{1}}), LogicError);               // arity
+  EXPECT_THROW(db.insert("t", {std::string("x"), std::string("y")}), LogicError);  // type
+  db.insert("t", {std::int64_t{1}, std::string("ok")});
+  EXPECT_EQ(db.table("t").row_count(), 1u);
+}
+
+TEST(DatabaseTest, IntCoercesIntoDoubleColumn) {
+  Database db;
+  db.create_table("t", {{"d", ColumnType::kDouble}});
+  db.insert("t", {std::int64_t{4}});
+  ResultSet rs = db.query("SELECT d FROM t");
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][0]), 4.0);
+}
+
+TEST(DatabaseTest, DuplicateTableThrows) {
+  Database db;
+  db.create_table("t", {{"i", ColumnType::kInt}});
+  EXPECT_THROW(db.create_table("T", {{"i", ColumnType::kInt}}), LogicError);
+}
+
+TEST(DatabaseTest, TruncateClearsRows) {
+  Database db;
+  db.create_table("t", {{"i", ColumnType::kInt}});
+  db.insert("t", {std::int64_t{1}});
+  db.table("t").truncate();
+  EXPECT_EQ(db.table("t").row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hammer::minisql

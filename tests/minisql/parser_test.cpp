@@ -1,0 +1,124 @@
+#include "minisql/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::minisql {
+namespace {
+
+TEST(ParserTest, SimpleSelectStar) {
+  SelectStatement s = parse_select("SELECT * FROM Performance");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].star);
+  EXPECT_EQ(s.table, "PERFORMANCE");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, ColumnsAndAliases) {
+  SelectStatement s = parse_select("SELECT tx_id, start_time AS st FROM t");
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(s.items[0].expr->text, "TX_ID");
+  EXPECT_EQ(s.items[1].alias, "ST");
+}
+
+TEST(ParserTest, PaperTpsStatementParses) {
+  // Table II, first row (verbatim modulo whitespace).
+  SelectStatement s = parse_select(
+      "SELECT COUNT(*) AS TPS FROM Performance WHERE STATUS = '1' AND "
+      "TIMESTAMPDIFF(SECOND, start_time, end_time) <= 1");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kCountStar);
+  EXPECT_EQ(s.items[0].alias, "TPS");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, PaperLatencyStatementParses) {
+  // Table II, second row.
+  SelectStatement s = parse_select(
+      "SELECT tx_id, start_time, end_time, "
+      "TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance");
+  ASSERT_EQ(s.items.size(), 4u);
+  EXPECT_EQ(s.items[3].expr->kind, ExprKind::kTimestampDiff);
+  EXPECT_EQ(s.items[3].expr->unit, TimeUnit::kMillisecond);
+  EXPECT_EQ(s.items[3].alias, "LATENCY");
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  SelectStatement s = parse_select("select count(*) from t where a > 1 group by b");
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kCountStar);
+  ASSERT_NE(s.group_by, nullptr);
+  EXPECT_EQ(s.group_by->text, "B");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  for (auto [sql_op, op] : std::vector<std::pair<std::string, BinaryOp>>{
+           {"=", BinaryOp::kEq}, {"!=", BinaryOp::kNe}, {"<>", BinaryOp::kNe},
+           {"<", BinaryOp::kLt}, {"<=", BinaryOp::kLe}, {">", BinaryOp::kGt},
+           {">=", BinaryOp::kGe}}) {
+    SelectStatement s = parse_select("SELECT * FROM t WHERE a " + sql_op + " 1");
+    EXPECT_EQ(s.where->op, op) << sql_op;
+  }
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  SelectStatement s = parse_select("SELECT a + b * 2 FROM t");
+  const Expr& e = *s.items[0].expr;
+  EXPECT_EQ(e.op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  SelectStatement s = parse_select("SELECT (a + b) * 2 FROM t");
+  EXPECT_EQ(s.items[0].expr->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, AggregateFunctions) {
+  SelectStatement s = parse_select("SELECT AVG(x), SUM(x), MIN(x), MAX(x) FROM t");
+  EXPECT_EQ(s.items[0].expr->agg, AggFunc::kAvg);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::kSum);
+  EXPECT_EQ(s.items[2].expr->agg, AggFunc::kMin);
+  EXPECT_EQ(s.items[3].expr->agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  SelectStatement s = parse_select("SELECT a FROM t ORDER BY a DESC LIMIT 10");
+  ASSERT_NE(s.order_by, nullptr);
+  EXPECT_TRUE(s.order_desc);
+  EXPECT_EQ(s.limit, 10);
+  SelectStatement asc = parse_select("SELECT a FROM t ORDER BY a ASC");
+  EXPECT_FALSE(asc.order_desc);
+}
+
+TEST(ParserTest, StringLiteralsAndNegatives) {
+  SelectStatement s = parse_select("SELECT * FROM t WHERE name = 'bob' OR x = -5");
+  EXPECT_EQ(s.where->op, BinaryOp::kOr);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_NO_THROW(parse_select("SELECT * FROM t;"));
+}
+
+TEST(ParserTest, MalformedStatementsThrow) {
+  EXPECT_THROW(parse_select(""), ParseError);
+  EXPECT_THROW(parse_select("SELEC * FROM t"), ParseError);
+  EXPECT_THROW(parse_select("SELECT FROM t"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(parse_select("SELECT COUNT(x) FROM t"), ParseError);  // only COUNT(*)
+  EXPECT_THROW(parse_select("SELECT * FROM t garbage"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE s = 'unterminated"), ParseError);
+  EXPECT_THROW(parse_select("SELECT TIMESTAMPDIFF(FORTNIGHT, a, b) FROM t"), ParseError);
+}
+
+TEST(ParserTest, ContainsAggregateDetection) {
+  SelectStatement s = parse_select("SELECT COUNT(*) / 10 FROM t");
+  EXPECT_TRUE(s.items[0].expr->contains_aggregate());
+  SelectStatement plain = parse_select("SELECT a + 1 FROM t");
+  EXPECT_FALSE(plain.items[0].expr->contains_aggregate());
+}
+
+}  // namespace
+}  // namespace hammer::minisql

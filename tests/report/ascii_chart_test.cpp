@@ -1,0 +1,60 @@
+#include "report/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::report {
+namespace {
+
+TEST(LineChartTest, RendersTitleAndLegend) {
+  std::string chart = line_chart("test chart", {{"alpha", {1, 2, 3}}, {"beta", {3, 2, 1}}});
+  EXPECT_NE(chart.find("== test chart =="), std::string::npos);
+  EXPECT_NE(chart.find("* = alpha"), std::string::npos);
+  EXPECT_NE(chart.find("o = beta"), std::string::npos);
+}
+
+TEST(LineChartTest, EmptySeriesHandled) {
+  EXPECT_NE(line_chart("empty", {}).find("(no data)"), std::string::npos);
+  EXPECT_NE(line_chart("empty", {{"s", {}}}).find("(no data)"), std::string::npos);
+}
+
+TEST(LineChartTest, ConstantSeriesDoesNotDivideByZero) {
+  std::string chart = line_chart("flat", {{"s", {5, 5, 5, 5}}});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChartTest, ResamplesLongSeriesToWidth) {
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  std::string chart = line_chart("long", {{"s", values}}, {.width = 40, .height = 8});
+  // Each rendered line must fit the requested width (label + separator + 40).
+  std::istringstream is(chart);
+  std::string line;
+  std::getline(is, line);  // title
+  std::getline(is, line);
+  EXPECT_LE(line.size(), 60u);
+}
+
+TEST(LineChartTest, AxisLabelsShown) {
+  std::string chart =
+      line_chart("labeled", {{"s", {0, 10}}}, {.width = 10, .height = 4, .x_label = "hours"});
+  EXPECT_NE(chart.find("hours"), std::string::npos);
+  EXPECT_NE(chart.find("10.00"), std::string::npos);  // max label
+  EXPECT_NE(chart.find("0.00"), std::string::npos);   // min label
+}
+
+TEST(BarChartTest, RendersBarsProportionally) {
+  std::string chart = bar_chart("bars", {{"big", 100.0}, {"half", 50.0}}, 20);
+  EXPECT_NE(chart.find("big"), std::string::npos);
+  // big gets 20 hashes, half gets 10.
+  EXPECT_NE(chart.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(chart.find(std::string(10, '#') + std::string(10, ' ')), std::string::npos);
+}
+
+TEST(BarChartTest, EmptyAndZeroSafe) {
+  EXPECT_NE(bar_chart("none", {}).find("(no data)"), std::string::npos);
+  std::string chart = bar_chart("zeros", {{"z", 0.0}});
+  EXPECT_NE(chart.find("z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hammer::report

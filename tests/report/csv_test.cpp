@@ -1,0 +1,54 @@
+#include "report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/errors.hpp"
+
+namespace hammer::report {
+namespace {
+
+TEST(CsvWriterTest, BasicRendering) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"x", "y"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"v"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  EXPECT_EQ(csv.to_string(), "v\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, ArityMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), LogicError);
+}
+
+TEST(CsvWriterTest, EmptyHeaderRejected) { EXPECT_THROW(CsvWriter({}), LogicError); }
+
+TEST(CsvWriterTest, SaveWritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  std::string path = ::testing::TempDir() + "/csv_test.csv";
+  csv.save(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(1000.0, 1), "1000.0");
+}
+
+}  // namespace
+}  // namespace hammer::report

@@ -1,0 +1,51 @@
+#include "report/resource_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace hammer::report {
+namespace {
+
+TEST(ResourceMonitorTest, ReadProcSelfReturnsPlausibleValues) {
+  std::uint64_t jiffies = 0;
+  std::int64_t rss_kb = 0;
+  ASSERT_TRUE(ResourceMonitor::read_proc_self(jiffies, rss_kb));
+  EXPECT_GT(rss_kb, 100);  // a running test binary holds > 100 KiB resident
+}
+
+TEST(ResourceMonitorTest, CollectsSamplesOverTime) {
+  ResourceMonitor monitor(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  monitor.stop();
+  auto samples = monitor.samples();
+  EXPECT_GE(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.cpu_percent, 0.0);
+    EXPECT_GT(s.rss_kb, 0);
+  }
+  EXPECT_GT(monitor.peak_rss_kb(), 0);
+}
+
+TEST(ResourceMonitorTest, CpuBusyLoopShowsUtilization) {
+  ResourceMonitor monitor(std::chrono::milliseconds(30));
+  // Busy-burn ~150ms of CPU.
+  auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
+  volatile std::uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 1000; ++i) sink += static_cast<std::uint64_t>(i);
+  }
+  monitor.stop();
+  EXPECT_GT(monitor.peak_cpu_percent(), 20.0);
+}
+
+TEST(ResourceMonitorTest, StopIsIdempotent) {
+  ResourceMonitor monitor(std::chrono::milliseconds(10));
+  monitor.stop();
+  monitor.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hammer::report

@@ -1,0 +1,115 @@
+#include "rpc/jsonrpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::rpc {
+namespace {
+
+std::shared_ptr<Dispatcher> make_dispatcher() {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("echo", [](const json::Value& params) { return params; });
+  d->register_method("add", [](const json::Value& params) {
+    return json::Value(params.at("a").as_int() + params.at("b").as_int());
+  });
+  d->register_method("reject", [](const json::Value&) -> json::Value {
+    throw RejectedError("nope");
+  });
+  d->register_method("crash", [](const json::Value&) -> json::Value {
+    throw std::runtime_error("boom");
+  });
+  return d;
+}
+
+TEST(DispatcherTest, DispatchesRegisteredMethod) {
+  auto d = make_dispatcher();
+  json::Value resp = d->dispatch(make_request(1, "add", json::object({{"a", 2}, {"b", 3}})));
+  EXPECT_EQ(take_result(resp).as_int(), 5);
+}
+
+TEST(DispatcherTest, MethodNotFound) {
+  auto d = make_dispatcher();
+  json::Value resp = d->dispatch(make_request(1, "nope", json::Value()));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kMethodNotFound);
+}
+
+TEST(DispatcherTest, RejectedErrorMapsToServerError) {
+  auto d = make_dispatcher();
+  json::Value resp = d->dispatch(make_request(1, "reject", json::Value()));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kServerError);
+}
+
+TEST(DispatcherTest, UnexpectedExceptionMapsToInternalError) {
+  auto d = make_dispatcher();
+  json::Value resp = d->dispatch(make_request(1, "crash", json::Value()));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kInternalError);
+}
+
+TEST(DispatcherTest, ParseErrorOnMalformedText) {
+  auto d = make_dispatcher();
+  json::Value resp = json::Value::parse(d->dispatch_text("{not json"));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kParseError);
+}
+
+TEST(DispatcherTest, MissingJsonrpcVersionRejected) {
+  auto d = make_dispatcher();
+  json::Value resp = json::Value::parse(d->dispatch_text(R"({"id":1,"method":"echo"})"));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kInvalidRequest);
+}
+
+TEST(DispatcherTest, NonObjectRequestRejected) {
+  auto d = make_dispatcher();
+  json::Value resp = json::Value::parse(d->dispatch_text("[1,2,3]"));
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kInvalidRequest);
+}
+
+TEST(DispatcherTest, ResponseEchoesRequestId) {
+  auto d = make_dispatcher();
+  json::Value resp = d->dispatch(make_request(77, "echo", json::Value("x")));
+  EXPECT_EQ(resp.at("id").as_int(), 77);
+}
+
+TEST(DispatcherTest, DuplicateRegistrationThrows) {
+  Dispatcher d;
+  d.register_method("m", [](const json::Value&) { return json::Value(); });
+  EXPECT_THROW(d.register_method("m", [](const json::Value&) { return json::Value(); }),
+               LogicError);
+}
+
+TEST(DispatcherTest, HasMethod) {
+  auto d = make_dispatcher();
+  EXPECT_TRUE(d->has_method("echo"));
+  EXPECT_FALSE(d->has_method("missing"));
+}
+
+TEST(TakeResultTest, ThrowsRpcErrorWithCode) {
+  json::Value err = make_error_response(json::Value(1), kServerError, "busy");
+  try {
+    take_result(err);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), kServerError);
+    EXPECT_NE(std::string(e.what()).find("busy"), std::string::npos);
+  }
+}
+
+TEST(TakeResultTest, MalformedResponsesThrowParseError) {
+  EXPECT_THROW(take_result(json::Value(1)), ParseError);
+  EXPECT_THROW(take_result(json::object({{"jsonrpc", "2.0"}})), ParseError);
+}
+
+TEST(InProcChannelTest, CallRoundTrip) {
+  InProcChannel channel(make_dispatcher());
+  json::Value result = channel.call("add", json::object({{"a", 40}, {"b", 2}}));
+  EXPECT_EQ(result.as_int(), 42);
+}
+
+TEST(InProcChannelTest, ErrorsSurfaceAsRpcError) {
+  InProcChannel channel(make_dispatcher());
+  EXPECT_THROW(channel.call("reject", json::Value()), RpcError);
+  EXPECT_THROW(channel.call("unknown", json::Value()), RpcError);
+}
+
+}  // namespace
+}  // namespace hammer::rpc

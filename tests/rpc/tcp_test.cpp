@@ -1,0 +1,103 @@
+#include "rpc/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/errors.hpp"
+
+namespace hammer::rpc {
+namespace {
+
+std::shared_ptr<Dispatcher> make_dispatcher() {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("ping", [](const json::Value&) { return json::Value("pong"); });
+  d->register_method("double", [](const json::Value& params) {
+    return json::Value(params.as_int() * 2);
+  });
+  d->register_method("fail", [](const json::Value&) -> json::Value {
+    throw RejectedError("nope");
+  });
+  return d;
+}
+
+TEST(TcpTest, PicksFreePort) {
+  TcpServer server(make_dispatcher(), 0);
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(TcpTest, CallOverLoopback) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+  EXPECT_EQ(channel.call("double", json::Value(21)).as_int(), 42);
+}
+
+TEST(TcpTest, ServerErrorPropagatesAsRpcError) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  EXPECT_THROW(channel.call("fail", json::Value()), RpcError);
+  // The connection survives an application error.
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+}
+
+TEST(TcpTest, SequentialCallsReuseConnection) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(channel.call("double", json::Value(i)).as_int(), i * 2);
+  }
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  TcpServer server(make_dispatcher(), 0);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &failures] {
+      try {
+        TcpChannel channel("127.0.0.1", server.port());
+        for (int i = 0; i < 50; ++i) {
+          if (channel.call("double", json::Value(i)).as_int() != i * 2) failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TcpTest, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpServer server(make_dispatcher(), 0);
+    dead_port = server.port();
+  }  // server stopped
+  EXPECT_THROW(TcpChannel("127.0.0.1", dead_port), TransportError);
+}
+
+TEST(TcpTest, InvalidHostThrows) {
+  EXPECT_THROW(TcpChannel("not-an-ip", 1234), TransportError);
+}
+
+TEST(TcpTest, StopIsIdempotent) {
+  TcpServer server(make_dispatcher(), 0);
+  server.stop();
+  server.stop();
+  SUCCEED();
+}
+
+TEST(TcpTest, LargePayloadRoundTrips) {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("echo", [](const json::Value& params) { return params; });
+  TcpServer server(d, 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  std::string big(200000, 'x');
+  EXPECT_EQ(channel.call("echo", json::Value(big)).as_string(), big);
+}
+
+}  // namespace
+}  // namespace hammer::rpc

@@ -1,0 +1,69 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace hammer::util {
+namespace {
+
+TEST(SteadyClockTest, Monotonic) {
+  SteadyClock clock;
+  TimePoint a = clock.now();
+  TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(SteadyClockTest, SleepForAdvances) {
+  SteadyClock clock;
+  TimePoint start = clock.now();
+  clock.sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(clock.now() - start, std::chrono::milliseconds(10));
+}
+
+TEST(SteadyClockTest, SharedInstanceIsSingleton) {
+  EXPECT_EQ(SteadyClock::shared().get(), SteadyClock::shared().get());
+}
+
+TEST(ManualClockTest, StartsAtEpochByDefault) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now().time_since_epoch().count(), 0);
+  EXPECT_EQ(clock.now_ms(), 0);
+}
+
+TEST(ManualClockTest, AdvanceMovesTime) {
+  ManualClock clock;
+  clock.advance_ms(1500);
+  EXPECT_EQ(clock.now_ms(), 1500);
+  clock.advance(std::chrono::microseconds(500));
+  EXPECT_EQ(clock.now_us(), 1500500);
+}
+
+TEST(ManualClockTest, SleepUntilWakesWhenAdvancedPastDeadline) {
+  ManualClock clock;
+  std::atomic<bool> woke{false};
+  // Absolute deadline so the sleeper's target is fixed no matter when the
+  // thread gets scheduled relative to the advances below.
+  TimePoint deadline = TimePoint{} + std::chrono::milliseconds(100);
+  std::thread sleeper([&] {
+    clock.sleep_until(deadline);
+    woke.store(true);
+  });
+  clock.advance_ms(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  clock.advance_ms(60);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ManualClockTest, SleepUntilPastDeadlineReturnsImmediately) {
+  ManualClock clock;
+  clock.advance_ms(10);
+  clock.sleep_until(TimePoint{} + std::chrono::milliseconds(5));  // already past
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hammer::util

@@ -1,0 +1,100 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.percentile(50), 42);
+  EXPECT_EQ(h.percentile(100), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(100), 63);
+  // p50 of 0..63: the 32nd value (1-based) = 31.
+  EXPECT_EQ(h.percentile(50), 31);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeErrorBound) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    auto expected = static_cast<std::int64_t>(p / 100.0 * 100000);
+    std::int64_t got = h.percentile(p);
+    EXPECT_GE(got, expected);  // bucket upper bound never undershoots
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(expected) * 1.04 + 1.0)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(100), 0);  // stored in bucket 0; max tracks min(-5, ...)
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_EQ(a.percentile(25), 10);
+  EXPECT_GE(a.percentile(95), 950);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7);
+  EXPECT_EQ(a.max(), 7);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(INT64_MAX / 2);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(100), 0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hammer::util

@@ -1,0 +1,100 @@
+#include "util/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hammer::util {
+namespace {
+
+TEST(MpmcQueueTest, PushPopSingleThread) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNullopt) {
+  MpmcQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsRemainingItems) {
+  MpmcQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: push refused
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed
+}
+
+TEST(MpmcQueueTest, PopBlocksUntilPush) {
+  MpmcQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(99);
+  });
+  EXPECT_EQ(q.pop().value(), 99);
+  producer.join();
+}
+
+TEST(MpmcQueueTest, PushBlocksWhenFullUntilPop) {
+  MpmcQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // capacity 1: second push is blocked
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  MpmcQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 2000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.push(p * kItemsEach + i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr long long kTotal = static_cast<long long>(kProducers) * kItemsEach;
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(MpmcQueueTest, ZeroCapacityRejected) {
+  EXPECT_THROW(MpmcQueue<int>(0), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::util

@@ -1,0 +1,126 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/errors.hpp"
+
+namespace hammer::util {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32Test, UniformStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Pcg32Test, UniformSingletonRange) {
+  Pcg32 rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Pcg32Test, UniformRejectsInvertedRange) {
+  Pcg32 rng(7);
+  EXPECT_THROW(rng.uniform(10, 5), LogicError);
+}
+
+TEST(Pcg32Test, Uniform01InHalfOpenInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsRoughlyCorrect) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.gaussian(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Pcg32Test, ChanceExtremes) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Pcg32Test, AlnumLengthAndCharset) {
+  Pcg32 rng(17);
+  std::string s = rng.alnum(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  Pcg32 rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  for (const auto& [k, v] : counts) {
+    EXPECT_LT(k, 10u);
+    EXPECT_NEAR(v, 10000, 600);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  Pcg32 rng(23);
+  ZipfSampler zipf(1000, 0.9);
+  std::size_t first_ten = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (zipf.sample(rng) < 10) ++first_ten;
+  }
+  // With theta=0.9 the head is heavily favored (far above the uniform 1%).
+  EXPECT_GT(first_ten, static_cast<std::size_t>(kN / 5));
+}
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+  Pcg32 rng(29);
+  ZipfSampler zipf(50, 0.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 50u);
+}
+
+TEST(ZipfSamplerTest, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfSampler(0, 0.5), LogicError);
+  EXPECT_THROW(ZipfSampler(10, 1.0), LogicError);
+  EXPECT_THROW(ZipfSampler(10, -0.1), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::util

@@ -1,0 +1,76 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+#include "util/hex.hpp"
+
+namespace hammer::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, EmptyFieldsPreserved) {
+  auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(to_lower("HeLLo123"), "hello123");
+  EXPECT_EQ(to_upper("HeLLo123"), "HELLO123");
+}
+
+TEST(StartsWithIcaseTest, Matching) {
+  EXPECT_TRUE(starts_with_icase("SELECT * FROM t", "select"));
+  EXPECT_FALSE(starts_with_icase("SEL", "select"));
+  EXPECT_FALSE(starts_with_icase("INSERT", "select"));
+}
+
+TEST(WithThousandsTest, Formatting) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(HexTest, RoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = to_hex(bytes);
+  EXPECT_EQ(hex, "0001abff");
+  EXPECT_EQ(from_hex(hex), bytes);
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  EXPECT_EQ(from_hex("AB"), std::vector<std::uint8_t>{0xab});
+}
+
+TEST(HexTest, InvalidInputThrows) {
+  EXPECT_THROW(from_hex("abc"), hammer::ParseError);  // odd length
+  EXPECT_THROW(from_hex("zz"), hammer::ParseError);   // non-hex
+}
+
+}  // namespace
+}  // namespace hammer::util

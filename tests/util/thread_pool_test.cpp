@@ -1,0 +1,65 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/errors.hpp"
+
+namespace hammer::util {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) pool.submit([&] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRejected) { EXPECT_THROW(ThreadPool(0), LogicError); }
+
+TEST(ThreadPoolTest, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hammer::util

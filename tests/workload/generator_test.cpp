@@ -1,0 +1,169 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/errors.hpp"
+
+namespace hammer::workload {
+namespace {
+
+std::vector<std::string> accounts(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back("acct" + std::to_string(i));
+  return out;
+}
+
+TEST(SmallBankGeneratorTest, ProducesOnlyConfiguredOps) {
+  WorkloadProfile p;
+  std::set<std::string> expected = {"deposit_checking", "transact_savings", "send_payment",
+                                    "amalgamate"};
+  SmallBankGenerator gen(p, accounts(10));
+  for (int i = 0; i < 500; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.contract, "smallbank");
+    EXPECT_TRUE(expected.count(tx.op)) << tx.op;
+  }
+}
+
+TEST(SmallBankGeneratorTest, UniformMixIsRoughlyBalanced) {
+  WorkloadProfile p;
+  SmallBankGenerator gen(p, accounts(10));
+  std::map<std::string, int> counts;
+  constexpr int kN = 8000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next().op];
+  for (const auto& [op, count] : counts) {
+    EXPECT_NEAR(count, kN / 4, kN / 10) << op;
+  }
+}
+
+TEST(SmallBankGeneratorTest, DeterministicPerSeed) {
+  WorkloadProfile p;
+  p.seed = 5;
+  SmallBankGenerator a(p, accounts(10));
+  SmallBankGenerator b(p, accounts(10));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next().compute_id(), b.next().compute_id());
+  }
+}
+
+TEST(SmallBankGeneratorTest, DifferentSeedsDiffer) {
+  WorkloadProfile pa;
+  pa.seed = 1;
+  WorkloadProfile pb;
+  pb.seed = 2;
+  SmallBankGenerator a(pa, accounts(10));
+  SmallBankGenerator b(pb, accounts(10));
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.next().compute_id() == b.next().compute_id()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SmallBankGeneratorTest, PaymentsNameDistinctParties) {
+  WorkloadProfile p;
+  p.op_mix = {{"send_payment", 1.0}};
+  SmallBankGenerator gen(p, accounts(5));
+  for (int i = 0; i < 200; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_NE(tx.args.at("from").as_string(), tx.args.at("to").as_string());
+    EXPECT_EQ(tx.sender, tx.args.at("from").as_string());
+    std::int64_t amount = tx.args.at("amount").as_int();
+    EXPECT_GE(amount, p.amount_min);
+    EXPECT_LE(amount, p.amount_max);
+  }
+}
+
+TEST(SmallBankGeneratorTest, WithdrawAmountsAreNegative) {
+  WorkloadProfile p;
+  p.op_mix = {{"transact_savings", 1.0}};
+  SmallBankGenerator gen(p, accounts(5));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(gen.next().args.at("amount").as_int(), 0);
+  }
+}
+
+TEST(SmallBankGeneratorTest, NoncesAreUnique) {
+  WorkloadProfile p;
+  SmallBankGenerator gen(p, accounts(3));
+  std::set<std::uint64_t> nonces;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(nonces.insert(gen.next().nonce).second);
+}
+
+TEST(SmallBankGeneratorTest, SingleAccountStillWorks) {
+  WorkloadProfile p;
+  SmallBankGenerator gen(p, accounts(1));
+  for (int i = 0; i < 50; ++i) gen.next();  // must not throw or loop forever
+}
+
+TEST(ZipfianSelectionTest, SkewsTowardHeadAccounts) {
+  WorkloadProfile p;
+  p.distribution = Distribution::kZipfian;
+  p.zipf_theta = 0.9;
+  p.op_mix = {{"deposit_checking", 1.0}};
+  SmallBankGenerator gen(p, accounts(100));
+  std::map<std::string, int> counts;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next().args.at("customer").as_string()];
+  // Top account should be hit far more than the uniform share (50).
+  int max_count = 0;
+  for (const auto& [acct, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 400);
+}
+
+TEST(YcsbGeneratorTest, ReadWriteMixHonored) {
+  WorkloadProfile p;
+  p.contract = "kv";
+  p.op_mix = {{"get", 9.0}, {"put", 1.0}};
+  YcsbGenerator gen(p, accounts(10));
+  int puts = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.contract, "kv");
+    if (tx.op == "put") ++puts;
+  }
+  EXPECT_NEAR(puts, kN / 10, kN / 20);
+}
+
+TEST(TokenGeneratorTest, TransfersDominateAndMintsBySender) {
+  WorkloadProfile p;
+  p.contract = "token";
+  TokenGenerator gen(p, accounts(10));
+  int mints = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.contract, "token");
+    if (tx.op == "mint") {
+      ++mints;
+      EXPECT_EQ(tx.sender, "issuer");
+    } else {
+      EXPECT_EQ(tx.op, "transfer");
+      EXPECT_EQ(tx.sender, tx.args.at("from").as_string());
+    }
+  }
+  EXPECT_NEAR(mints, kN / 10, kN / 20);
+}
+
+TEST(MakeGeneratorTest, DispatchesByContract) {
+  WorkloadProfile p;
+  EXPECT_NE(make_generator(p, accounts(2)), nullptr);
+  p.contract = "kv";
+  EXPECT_NE(make_generator(p, accounts(2)), nullptr);
+  p.contract = "token";
+  EXPECT_NE(make_generator(p, accounts(2)), nullptr);
+  p.contract = "bogus";
+  EXPECT_THROW(make_generator(p, accounts(2)), ParseError);
+}
+
+TEST(MakeGeneratorTest, EmptyAccountsRejected) {
+  WorkloadProfile p;
+  EXPECT_THROW(make_generator(p, {}), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::workload

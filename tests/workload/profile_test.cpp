@@ -1,0 +1,84 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace hammer::workload {
+namespace {
+
+TEST(ProfileTest, DefaultsFromEmptyObject) {
+  WorkloadProfile p = WorkloadProfile::from_json(json::object({}));
+  EXPECT_EQ(p.contract, "smallbank");
+  EXPECT_EQ(p.num_accounts, 1000u);
+  EXPECT_EQ(p.distribution, Distribution::kUniform);
+}
+
+TEST(ProfileTest, ParsesAllFields) {
+  WorkloadProfile p = WorkloadProfile::from_json(json::Value::parse(R"({
+    "contract": "kv", "num_accounts": 50, "distribution": "zipfian",
+    "zipf_theta": 0.5, "op_mix": {"get": 3, "put": 1},
+    "amount_min": 2, "amount_max": 9, "client_id": "c7", "seed": 99
+  })"));
+  EXPECT_EQ(p.contract, "kv");
+  EXPECT_EQ(p.num_accounts, 50u);
+  EXPECT_EQ(p.distribution, Distribution::kZipfian);
+  EXPECT_DOUBLE_EQ(p.zipf_theta, 0.5);
+  EXPECT_DOUBLE_EQ(p.op_mix.at("get"), 3.0);
+  EXPECT_EQ(p.amount_min, 2);
+  EXPECT_EQ(p.amount_max, 9);
+  EXPECT_EQ(p.client_id, "c7");
+  EXPECT_EQ(p.seed, 99u);
+}
+
+TEST(ProfileTest, RoundTripThroughJson) {
+  WorkloadProfile p;
+  p.contract = "token";
+  p.distribution = Distribution::kZipfian;
+  p.op_mix = {{"transfer", 2.0}};
+  WorkloadProfile back = WorkloadProfile::from_json(p.to_json());
+  EXPECT_EQ(back.contract, "token");
+  EXPECT_EQ(back.distribution, Distribution::kZipfian);
+  EXPECT_DOUBLE_EQ(back.op_mix.at("transfer"), 2.0);
+}
+
+TEST(ProfileTest, InvalidInputsThrow) {
+  EXPECT_THROW(WorkloadProfile::from_json(json::object({{"distribution", "pareto"}})),
+               ParseError);
+  EXPECT_THROW(WorkloadProfile::from_json(json::object({{"num_accounts", 0}})), ParseError);
+  EXPECT_THROW(
+      WorkloadProfile::from_json(json::object({{"amount_min", 10}, {"amount_max", 1}})),
+      ParseError);
+  EXPECT_THROW(WorkloadProfile::from_json(
+                   json::Value::parse(R"({"op_mix": {"get": -1}})")),
+               ParseError);
+}
+
+TEST(ProfileTest, DefaultMixIsThePapersFourOps) {
+  WorkloadProfile p;
+  auto mix = p.effective_mix();
+  EXPECT_EQ(mix.size(), 4u);
+  EXPECT_TRUE(mix.count("deposit_checking"));
+  EXPECT_TRUE(mix.count("transact_savings"));
+  EXPECT_TRUE(mix.count("send_payment"));
+  EXPECT_TRUE(mix.count("amalgamate"));
+  for (const auto& [op, w] : mix) {
+    (void)op;
+    EXPECT_DOUBLE_EQ(w, 1.0);  // uniform, per §V Workload
+  }
+}
+
+TEST(ProfileTest, ExplicitMixOverridesDefault) {
+  WorkloadProfile p;
+  p.op_mix = {{"query", 1.0}};
+  EXPECT_EQ(p.effective_mix().size(), 1u);
+}
+
+TEST(ProfileTest, UnknownContractHasNoDefaultMix) {
+  WorkloadProfile p;
+  p.contract = "mystery";
+  EXPECT_THROW(p.effective_mix(), ParseError);
+}
+
+}  // namespace
+}  // namespace hammer::workload

@@ -1,0 +1,82 @@
+#include "workload/workload_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/errors.hpp"
+
+namespace hammer::workload {
+namespace {
+
+std::vector<std::string> accounts(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back("acct" + std::to_string(i));
+  return out;
+}
+
+TEST(WorkloadFileTest, GenerateProducesRequestedCount) {
+  WorkloadProfile p;
+  WorkloadFile wf = generate_workload(p, accounts(10), 250);
+  EXPECT_EQ(wf.transactions.size(), 250u);
+  for (const auto& tx : wf.transactions) {
+    EXPECT_EQ(tx.contract, "smallbank");
+    EXPECT_TRUE(tx.signature.e.is_zero());  // unsigned until the server signs
+  }
+}
+
+TEST(WorkloadFileTest, SaveLoadRoundTrip) {
+  WorkloadProfile p;
+  p.client_id = "client-9";
+  p.seed = 77;
+  WorkloadFile wf = generate_workload(p, accounts(5), 40);
+  std::string path = ::testing::TempDir() + "/wf_test.jsonl";
+  wf.save(path);
+  WorkloadFile back = WorkloadFile::load(path);
+  EXPECT_EQ(back.profile.client_id, "client-9");
+  EXPECT_EQ(back.profile.seed, 77u);
+  ASSERT_EQ(back.transactions.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    // Identity (the signing payload) survives the round trip exactly.
+    EXPECT_EQ(back.transactions[i].signing_payload(), wf.transactions[i].signing_payload());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadFileTest, GenerationIsDeterministic) {
+  WorkloadProfile p;
+  p.seed = 3;
+  WorkloadFile a = generate_workload(p, accounts(5), 20);
+  WorkloadFile b = generate_workload(p, accounts(5), 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.transactions[i].signing_payload(), b.transactions[i].signing_payload());
+  }
+}
+
+TEST(WorkloadFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW(WorkloadFile::load("/nonexistent/wf.jsonl"), Error);
+}
+
+TEST(WorkloadFileTest, EmptyFileThrows) {
+  std::string path = ::testing::TempDir() + "/wf_empty.jsonl";
+  std::ofstream(path).close();
+  EXPECT_THROW(WorkloadFile::load(path), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadFileTest, BlankLinesTolerated) {
+  WorkloadProfile p;
+  WorkloadFile wf = generate_workload(p, accounts(3), 3);
+  std::string path = ::testing::TempDir() + "/wf_blank.jsonl";
+  wf.save(path);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "\n\n";
+  }
+  EXPECT_EQ(WorkloadFile::load(path).transactions.size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hammer::workload
