@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("crypto")
+subdirs("kvstore")
+subdirs("minisql")
+subdirs("rpc")
+subdirs("chain")
+subdirs("adapters")
+subdirs("workload")
+subdirs("forecast")
+subdirs("core")
+subdirs("report")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/json_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_tests[1]_include.cmake")
+include("/root/repo/build/tests/minisql_tests[1]_include.cmake")
+include("/root/repo/build/tests/rpc_tests[1]_include.cmake")
+include("/root/repo/build/tests/chain_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapters_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/report_tests[1]_include.cmake")
+include("/root/repo/build/tests/forecast_tests[1]_include.cmake")
