@@ -1,0 +1,146 @@
+// TCP transport bench — what the pipelined, batch-capable RPC layer buys.
+//
+// Two measurements over a real loopback TcpServer:
+//
+//   1. RPC microbench: N chain.submit round trips issued (a) as blocking
+//      single calls, (b) pipelined via call_async with a bounded in-flight
+//      window, (c) coalesced via call_batch chunks. Same connection, same
+//      transactions — only the submission shape changes.
+//
+//   2. Driver-level peak probe: run_peak_probe over TCP with
+//      DriverOptions::submit_batch_size = 1 vs 16, i.e. the end-to-end
+//      effect of coalescing on measured submit throughput.
+//
+// Expectation: on loopback a round trip is cheap, so gains are modest but
+// measurable; over a real network (paper testbed: client and SUT on
+// separate VMs) the per-call latency dominates and batching multiplies
+// throughput by roughly the batch size until the server saturates.
+//
+// Artifact: bench_results/tcp_pipeline.csv
+#include <deque>
+#include <future>
+
+#include "bench_util.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace hammer;
+
+namespace {
+
+std::vector<chain::Transaction> signed_txs(const core::DeployedChain& sut, std::size_t count,
+                                           std::uint64_t seed) {
+  workload::WorkloadFile wf = bench::smallbank_workload(sut, count, seed);
+  core::KeyCache keys;
+  std::vector<chain::Transaction> txs;
+  txs.reserve(wf.transactions.size());
+  for (chain::Transaction tx : wf.transactions) {
+    tx.sign_with(keys.get(tx.sender));
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+double submit_singles(rpc::Channel& channel, const std::vector<chain::Transaction>& txs) {
+  util::Stopwatch watch(util::SteadyClock::shared());
+  for (const chain::Transaction& tx : txs) {
+    channel.call("chain.submit", json::object({{"tx", tx.to_json()}}));
+  }
+  return txs.size() / watch.elapsed_seconds();
+}
+
+double submit_pipelined(rpc::Channel& channel, const std::vector<chain::Transaction>& txs,
+                        std::size_t window) {
+  util::Stopwatch watch(util::SteadyClock::shared());
+  std::deque<std::future<json::Value>> in_flight;
+  for (const chain::Transaction& tx : txs) {
+    if (in_flight.size() >= window) {
+      in_flight.front().get();
+      in_flight.pop_front();
+    }
+    in_flight.push_back(channel.call_async("chain.submit", json::object({{"tx", tx.to_json()}})));
+  }
+  for (auto& f : in_flight) f.get();
+  return txs.size() / watch.elapsed_seconds();
+}
+
+double submit_batched(rpc::Channel& channel, const std::vector<chain::Transaction>& txs,
+                      std::size_t chunk) {
+  util::Stopwatch watch(util::SteadyClock::shared());
+  for (std::size_t i = 0; i < txs.size(); i += chunk) {
+    std::vector<rpc::BatchCall> calls;
+    for (std::size_t j = i; j < std::min(txs.size(), i + chunk); ++j) {
+      calls.push_back({"chain.submit", json::object({{"tx", txs[j].to_json()}})});
+    }
+    for (const rpc::BatchReply& reply : channel.call_batch(calls)) reply.take();
+  }
+  return txs.size() / watch.elapsed_seconds();
+}
+
+core::Deployment deploy_tcp_neuchain(std::size_t pool_capacity) {
+  json::Object spec;
+  spec["kind"] = "neuchain";
+  spec["name"] = "sut";
+  spec["transport"] = "tcp";
+  spec["block_interval_ms"] = 25;
+  spec["max_block_txs"] = 4000;
+  spec["pool_capacity"] = static_cast<std::int64_t>(pool_capacity);
+  spec["smallbank_accounts_per_shard"] = 1000;
+  spec["initial_checking"] = 1000000;
+  spec["initial_savings"] = 1000000;
+  json::Object plan;
+  plan["chains"] = json::Value(json::Array{json::Value(std::move(spec))});
+  return core::Deployment::deploy(json::Value(std::move(plan)), util::SteadyClock::shared());
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rpc_txs = bench::full_scale() ? 20000 : 4000;
+  const std::size_t probe_txs = bench::full_scale() ? 20000 : 4000;
+  report::CsvWriter csv({"layer", "shape", "param", "tps"});
+
+  {
+    core::Deployment deployment = deploy_tcp_neuchain(/*pool_capacity=*/200000);
+    auto& sut = deployment.at("sut");
+    std::printf("== RPC layer: %zu chain.submit calls over one TCP connection ==\n", rpc_txs);
+    // Distinct seeds so the three shapes submit distinct tx ids (resubmitting
+    // an id is rejected by the pool).
+    double single = submit_singles(*sut.connect(), signed_txs(sut, rpc_txs, 21));
+    std::printf("  blocking singles              %8.0f tps\n", single);
+    csv.add_row({"rpc", "single", "1", std::to_string(single)});
+    for (std::size_t window : {8, 32}) {
+      double tps = submit_pipelined(*sut.connect(), signed_txs(sut, rpc_txs, 100 + window),
+                                    window);
+      std::printf("  pipelined window=%-4zu         %8.0f tps  (%.2fx)\n", window, tps,
+                  tps / single);
+      csv.add_row({"rpc", "pipelined", std::to_string(window), std::to_string(tps)});
+    }
+    for (std::size_t chunk : {8, 32}) {
+      double tps =
+          submit_batched(*sut.connect(), signed_txs(sut, rpc_txs, 200 + chunk), chunk);
+      std::printf("  call_batch chunk=%-4zu         %8.0f tps  (%.2fx)\n", chunk, tps,
+                  tps / single);
+      csv.add_row({"rpc", "batch", std::to_string(chunk), std::to_string(tps)});
+    }
+  }
+
+  std::printf("== Driver layer: peak probe over TCP, submit_batch_size 1 vs 16 ==\n");
+  for (std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+    core::Deployment deployment = deploy_tcp_neuchain(/*pool_capacity=*/200000);
+    auto& sut = deployment.at("sut");
+    core::DriverOptions options;
+    options.worker_threads = 2;
+    options.submit_batch_size = batch;
+    core::RunResult result = core::run_peak_probe(
+        sut.make_adapters(options.worker_threads), sut.make_adapters(1)[0],
+        util::SteadyClock::shared(), options, bench::smallbank_workload(sut, probe_txs));
+    std::printf("  submit_batch_size=%-3zu  %8.0f tps  (committed %llu/%llu, unmatched %llu)\n",
+                batch, result.tps, static_cast<unsigned long long>(result.committed),
+                static_cast<unsigned long long>(result.submitted),
+                static_cast<unsigned long long>(result.unmatched));
+    csv.add_row({"driver", "peak_probe", std::to_string(batch), std::to_string(result.tps)});
+  }
+
+  bench::save_csv(csv, "tcp_pipeline.csv");
+  return 0;
+}

@@ -243,24 +243,23 @@ bench/CMakeFiles/bench_fig7_frameworks.dir/bench_fig7_frameworks.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/chain/blockchain.hpp \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable \
- /root/repo/src/chain/contracts.hpp /root/repo/src/chain/state.hpp \
- /root/repo/src/chain/txpool.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/clock.hpp /usr/include/c++/12/chrono \
- /root/repo/src/util/random.hpp /root/repo/src/rpc/tcp.hpp \
+ /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/chain/blockchain.hpp /root/repo/src/chain/contracts.hpp \
+ /root/repo/src/chain/state.hpp /root/repo/src/chain/txpool.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/clock.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/util/random.hpp \
+ /root/repo/src/rpc/tcp.hpp /root/repo/src/util/mpmc_queue.hpp \
  /root/repo/src/core/driver.hpp /root/repo/src/core/baselines.hpp \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/core/metrics.hpp \
  /root/repo/src/core/task_processor.hpp /root/repo/src/core/bloom.hpp \
  /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
  /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/core/signing.hpp /root/repo/src/util/mpmc_queue.hpp \
- /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/future \
- /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/core/signing.hpp /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp \

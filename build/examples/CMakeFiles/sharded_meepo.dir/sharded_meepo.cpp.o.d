@@ -231,22 +231,21 @@ examples/CMakeFiles/sharded_meepo.dir/sharded_meepo.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/util/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/util/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.hpp \
  /root/repo/src/core/deployment.hpp \
  /root/repo/src/adapters/chain_adapter.hpp /root/repo/src/rpc/tcp.hpp \
- /root/repo/src/core/driver.hpp /root/repo/src/core/baselines.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/task_processor.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
- /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/core/signing.hpp /root/repo/src/util/mpmc_queue.hpp \
- /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/future \
- /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/util/mpmc_queue.hpp /root/repo/src/core/driver.hpp \
+ /root/repo/src/core/baselines.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/task_processor.hpp \
+ /root/repo/src/core/bloom.hpp /root/repo/src/core/hash_index.hpp \
+ /root/repo/src/kvstore/kvstore.hpp /root/repo/src/minisql/database.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/core/signing.hpp \
+ /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp

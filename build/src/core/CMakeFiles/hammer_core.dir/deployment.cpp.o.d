@@ -217,24 +217,25 @@ src/core/CMakeFiles/hammer_core.dir/deployment.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/chain/blockchain.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/chain/contracts.hpp /root/repo/src/chain/state.hpp \
- /root/repo/src/chain/txpool.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/chain/blockchain.hpp /root/repo/src/chain/contracts.hpp \
+ /root/repo/src/chain/state.hpp /root/repo/src/chain/txpool.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.hpp \
  /root/repo/src/rpc/tcp.hpp /usr/include/c++/12/thread \
- /root/repo/src/chain/factory.hpp /root/repo/src/util/logging.hpp
+ /root/repo/src/util/mpmc_queue.hpp /root/repo/src/chain/factory.hpp \
+ /root/repo/src/util/logging.hpp

@@ -207,14 +207,14 @@ tests/CMakeFiles/core_tests.dir/core/driver_test.cpp.o: \
  /usr/include/c++/12/bits/std_thread.h \
  /root/repo/src/adapters/chain_adapter.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/chain/types.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/crypto/schnorr.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/crypto/sha256.hpp \
- /root/repo/src/crypto/u256.hpp /root/repo/src/json/json.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/chain/types.hpp \
+ /root/repo/src/crypto/schnorr.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/u256.hpp \
+ /root/repo/src/json/json.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
@@ -227,21 +227,20 @@ tests/CMakeFiles/core_tests.dir/core/driver_test.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/baselines.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/task_processor.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
- /root/repo/src/util/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable \
- /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
- /root/repo/src/core/signing.hpp /root/repo/src/util/mpmc_queue.hpp \
- /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/future \
  /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/core/baselines.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/task_processor.hpp \
+ /root/repo/src/core/bloom.hpp /root/repo/src/core/hash_index.hpp \
+ /root/repo/src/kvstore/kvstore.hpp /root/repo/src/util/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/minisql/database.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/core/signing.hpp \
+ /root/repo/src/util/mpmc_queue.hpp /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp \

@@ -16,3 +16,5 @@ include("/root/repo/build/tests/workload_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
 include("/root/repo/build/tests/report_tests[1]_include.cmake")
 include("/root/repo/build/tests/forecast_tests[1]_include.cmake")
+add_test(smoke.tcp_peak_probe "/root/repo/build/tests/tcp_peak_probe_smoke")
+set_tests_properties(smoke.tcp_peak_probe PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -17,10 +17,7 @@ json::Value ChainAdapter::call(const std::string& method, json::Value params) {
   try {
     return channel_->call(method, std::move(params));
   } catch (const rpc::RpcError& e) {
-    // Application-level rejections keep their own type so drivers can count
-    // overload separately from transport failures.
-    if (e.code() == rpc::kServerError) throw RejectedError(e.what());
-    throw;
+    rpc::throw_client_error(e);  // kServerError -> RejectedError, rest rethrows
   }
 }
 
@@ -28,6 +25,31 @@ std::string ChainAdapter::submit(const chain::Transaction& tx) {
   json::Object params;
   params["tx"] = tx.to_json();
   return call("chain.submit", json::Value(std::move(params))).at("tx_id").as_string();
+}
+
+std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
+    const std::vector<chain::Transaction>& txs) {
+  std::vector<SubmitResult> out(txs.size());
+  if (txs.empty()) return out;
+  std::vector<rpc::BatchCall> calls;
+  calls.reserve(txs.size());
+  for (const chain::Transaction& tx : txs) {
+    json::Object params;
+    params["tx"] = tx.to_json();
+    calls.push_back(rpc::BatchCall{"chain.submit", json::Value(std::move(params))});
+  }
+  std::vector<rpc::BatchReply> replies = channel_->call_batch(calls);
+  HAMMER_CHECK(replies.size() == txs.size());
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (replies[i].ok()) {
+      out[i].tx_id = replies[i].result.at("tx_id").as_string();
+    } else {
+      out[i].error = replies[i].error_message.empty()
+                         ? "rpc error " + std::to_string(replies[i].error_code)
+                         : replies[i].error_message;
+    }
+  }
+  return out;
 }
 
 std::uint64_t ChainAdapter::height(std::uint32_t shard) {
@@ -55,13 +77,29 @@ json::Value ChainAdapter::query(std::uint32_t shard, const std::string& contract
 
 json::Value ChainAdapter::stats() { return call("chain.stats", json::Value()); }
 
+std::vector<std::optional<ChainAdapter::ReceiptInfo>> ChainAdapter::receipts(
+    const std::vector<std::string>& tx_ids) {
+  std::vector<std::optional<ReceiptInfo>> out(tx_ids.size());
+  if (tx_ids.empty()) return out;
+  json::Array ids;
+  ids.reserve(tx_ids.size());
+  for (const std::string& id : tx_ids) ids.push_back(json::Value(id));
+  json::Value v =
+      call("chain.receipts", json::object({{"tx_ids", json::Value(std::move(ids))}}));
+  const json::Array& entries = v.at("receipts").as_array();
+  HAMMER_CHECK(entries.size() == tx_ids.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!entries[i].get_bool("found", false)) continue;
+    ReceiptInfo info;
+    info.height = static_cast<std::uint64_t>(entries[i].at("height").as_int());
+    info.status = static_cast<chain::TxStatus>(entries[i].at("status").as_int());
+    out[i] = info;
+  }
+  return out;
+}
+
 std::optional<ChainAdapter::ReceiptInfo> ChainAdapter::tx_receipt(const std::string& tx_id) {
-  json::Value v = call("chain.tx_receipt", json::object({{"tx_id", tx_id}}));
-  if (!v.get_bool("found", false)) return std::nullopt;
-  ReceiptInfo info;
-  info.height = static_cast<std::uint64_t>(v.at("height").as_int());
-  info.status = static_cast<chain::TxStatus>(v.at("status").as_int());
-  return info;
+  return receipts({tx_id}).front();
 }
 
 std::string ChainAdapter::state_digest(std::uint32_t shard) {

@@ -1,16 +1,23 @@
 // Client-side view of a System Under Test.
 //
 // ChainAdapter is the only interface Hammer's drivers use, so supporting a
-// new blockchain means implementing the seven-method RPC surface
-// (chain.info/submit/height/block/query/stats/state_digest) — regardless
-// of the SUT's architecture (sharded or not) or implementation language.
-// This is the paper's "set of generic remote procedure call interfaces".
+// new blockchain means implementing the generic RPC surface
+// (chain.info/submit/height/block/query/stats/state_digest/receipts) —
+// regardless of the SUT's architecture (sharded or not) or implementation
+// language. This is the paper's "set of generic remote procedure call
+// interfaces".
+//
+// Submission comes in two shapes: submit() for one transaction per round
+// trip, and submit_batch() which coalesces N transactions into a single
+// JSON-RPC batch frame (one round trip) with per-transaction outcomes —
+// the transport-level lever behind DriverOptions::submit_batch_size.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chain/types.hpp"
 #include "rpc/jsonrpc.hpp"
@@ -32,9 +39,22 @@ class ChainAdapter {
   const ChainInfo& info() const { return info_; }
 
   // Submits a signed transaction; returns its id. Overload and signature
-  // failures surface as RejectedError (mapped from JSON-RPC server errors);
-  // transport problems as TransportError.
+  // failures surface as RejectedError (mapped from JSON-RPC server errors
+  // by rpc::throw_client_error); transport problems as TransportError.
   std::string submit(const chain::Transaction& tx);
+
+  // Outcome of one entry of a batched submission. ok() mirrors what the
+  // single-call path expresses by (not) throwing RejectedError.
+  struct SubmitResult {
+    std::string tx_id;  // set when the SUT accepted the transaction
+    std::string error;  // rejection/protocol reason otherwise
+    bool ok() const { return error.empty(); }
+  };
+
+  // Submits N transactions in one batch round trip; results align with
+  // `txs` by index. Throws TransportError when the connection fails (the
+  // whole batch is then in doubt, exactly like a failed single call).
+  std::vector<SubmitResult> submit_batch(const std::vector<chain::Transaction>& txs);
 
   std::uint64_t height(std::uint32_t shard = 0);
   chain::Block block(std::uint32_t shard, std::uint64_t height);
@@ -43,12 +63,19 @@ class ChainAdapter {
   json::Value stats();
   std::string state_digest(std::uint32_t shard = 0);
 
-  // Per-transaction status poll (interactive-testing style). nullopt while
+  // Transaction status polling (interactive-testing style). nullopt while
   // the transaction has not yet appeared in a block.
   struct ReceiptInfo {
     std::uint64_t height = 0;
     chain::TxStatus status = chain::TxStatus::kCommitted;
   };
+
+  // Polls many transactions with one chain.receipts RPC; the result aligns
+  // with `tx_ids` by index. This is what keeps interactive mode at one RPC
+  // per poll tick instead of one per pending transaction.
+  std::vector<std::optional<ReceiptInfo>> receipts(const std::vector<std::string>& tx_ids);
+
+  // Single-transaction convenience wrapper over receipts().
   std::optional<ReceiptInfo> tx_receipt(const std::string& tx_id);
 
  private:

@@ -220,6 +220,25 @@ void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatch
                          {"status", static_cast<int>(loc->receipt.status)}});
   });
 
+  dispatcher.register_method("chain.receipts", [chain](const json::Value& params) {
+    // Multi-transaction poll: one RPC answers a whole tick of interactive
+    // tracking; entries align with tx_ids by index.
+    json::Array out;
+    const json::Array& ids = params.at("tx_ids").as_array();
+    out.reserve(ids.size());
+    for (const json::Value& idv : ids) {
+      auto loc = chain->tx_receipt(idv.as_string());
+      if (!loc) {
+        out.push_back(json::object({{"found", false}}));
+      } else {
+        out.push_back(json::object({{"found", true},
+                                    {"height", loc->height},
+                                    {"status", static_cast<int>(loc->receipt.status)}}));
+      }
+    }
+    return json::object({{"receipts", json::Value(std::move(out))}});
+  });
+
   dispatcher.register_method("chain.state_digest", [chain](const json::Value& params) {
     auto shard = static_cast<std::uint32_t>(params.get_int("shard", 0));
     return json::object({{"digest", chain->state_digest(shard)}});

@@ -136,6 +136,7 @@ class Blockchain {
 //   chain.block   {shard, height}      -> block JSON (error when absent)
 //   chain.query   {shard, contract, op, args} -> contract return value
 //   chain.stats                        -> counters
+//   chain.receipts {tx_ids: [...]}     -> {receipts: [{found, height, status}...]}
 void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatcher);
 
 }  // namespace hammer::chain

@@ -52,6 +52,12 @@ struct DriverOptions {
   bool pipelined_signing = true;  // false: sign the whole batch up front
   std::size_t sign_queue_capacity = 4096;
 
+  // Transactions coalesced into one JSON-RPC batch round trip per worker
+  // send (1 = the blocking single-call baseline). Raising this is the
+  // client-side lever for driving the SUT faster than one round trip per
+  // transaction allows; see bench_tcp_transport for the measured effect.
+  std::size_t submit_batch_size = 1;
+
   // Client CPU model (0 disables). per_tx_client_us of work serialized over
   // client_vcpus, plus scheduling overhead per tx when threads exceed the
   // core count.

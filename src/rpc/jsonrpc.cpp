@@ -1,9 +1,76 @@
 #include "rpc/jsonrpc.hpp"
 
+#include <unordered_map>
+
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
 namespace hammer::rpc {
+
+void throw_client_error(int code, const std::string& message) {
+  if (code == kServerError) throw RejectedError(message);
+  throw RpcError(code, message);
+}
+
+void throw_client_error(const RpcError& error) {
+  if (error.code() == kServerError) throw RejectedError(error.what());
+  throw error;
+}
+
+const json::Value& BatchReply::take() const {
+  if (!ok()) throw_client_error(error_code, error_message);
+  return result;
+}
+
+BatchReply to_batch_reply(const json::Value& response) {
+  BatchReply reply;
+  if (!response.is_object()) {
+    reply.error_code = kParseError;
+    reply.error_message = "RPC response is not an object";
+    return reply;
+  }
+  if (response.contains("error")) {
+    const json::Value& err = response.at("error");
+    reply.error_code = static_cast<int>(err.get_int("code", kInternalError));
+    if (reply.error_code == 0) reply.error_code = kInternalError;
+    reply.error_message = err.get_string("message", "unknown error");
+    return reply;
+  }
+  if (!response.contains("result")) {
+    reply.error_code = kParseError;
+    reply.error_message = "RPC response lacks result and error";
+    return reply;
+  }
+  reply.result = response.at("result");
+  return reply;
+}
+
+std::vector<BatchReply> match_batch_replies(const json::Value& response,
+                                            const std::vector<std::uint64_t>& ids) {
+  std::vector<BatchReply> out(ids.size());
+  if (!response.is_array()) {
+    // Whole-batch failure (e.g. the server judged the batch invalid): every
+    // entry carries the same error.
+    BatchReply shared = to_batch_reply(response);
+    for (BatchReply& r : out) r = shared;
+    return out;
+  }
+  std::unordered_map<std::uint64_t, const json::Value*> by_id;
+  for (const json::Value& entry : response.as_array()) {
+    if (!entry.is_object() || !entry.contains("id") || !entry.at("id").is_int()) continue;
+    by_id.emplace(static_cast<std::uint64_t>(entry.at("id").as_int()), &entry);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto it = by_id.find(ids[i]);
+    if (it == by_id.end()) {
+      out[i].error_code = kInternalError;
+      out[i].error_message = "no response for batch id " + std::to_string(ids[i]);
+    } else {
+      out[i] = to_batch_reply(*it->second);
+    }
+  }
+  return out;
+}
 
 void Dispatcher::register_method(const std::string& name, Handler handler) {
   std::scoped_lock lock(mu_);
@@ -54,6 +121,22 @@ json::Value Dispatcher::dispatch(const json::Value& request) const {
   }
 }
 
+json::Value Dispatcher::dispatch_batch(const json::Value& batch) const {
+  if (!batch.is_array()) {
+    return make_error_response(json::Value(), kInvalidRequest, "batch must be an array");
+  }
+  const json::Array& entries = batch.as_array();
+  if (entries.empty()) {
+    return make_error_response(json::Value(), kInvalidRequest, "empty batch");
+  }
+  json::Array responses;
+  responses.reserve(entries.size());
+  // Each entry dispatches independently; a malformed or failing entry
+  // yields its own error response without poisoning its siblings.
+  for (const json::Value& entry : entries) responses.push_back(dispatch(entry));
+  return json::Value(std::move(responses));
+}
+
 std::string Dispatcher::dispatch_text(const std::string& request_text) const {
   json::Value request;
   try {
@@ -61,6 +144,7 @@ std::string Dispatcher::dispatch_text(const std::string& request_text) const {
   } catch (const ParseError& e) {
     return make_error_response(json::Value(), kParseError, e.what()).dump();
   }
+  if (request.is_array()) return dispatch_batch(request).dump();
   return dispatch(request).dump();
 }
 
@@ -103,6 +187,32 @@ json::Value take_result(const json::Value& response) {
   return response.at("result");
 }
 
+std::future<json::Value> Channel::call_async(const std::string& method, json::Value params) {
+  std::promise<json::Value> promise;
+  try {
+    promise.set_value(call(method, std::move(params)));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return promise.get_future();
+}
+
+std::vector<BatchReply> Channel::call_batch(const std::vector<BatchCall>& calls) {
+  std::vector<BatchReply> out;
+  out.reserve(calls.size());
+  for (const BatchCall& c : calls) {
+    BatchReply reply;
+    try {
+      reply.result = call(c.method, c.params);
+    } catch (const RpcError& e) {
+      reply.error_code = e.code();
+      reply.error_message = e.what();
+    }
+    out.push_back(std::move(reply));
+  }
+  return out;
+}
+
 InProcChannel::InProcChannel(std::shared_ptr<const Dispatcher> dispatcher)
     : dispatcher_(std::move(dispatcher)) {
   HAMMER_CHECK(dispatcher_ != nullptr);
@@ -119,6 +229,22 @@ json::Value InProcChannel::call(const std::string& method, json::Value params) {
   json::Value request = make_request(id, method, std::move(params));
   std::string response_text = dispatcher_->dispatch_text(request.dump());
   return take_result(json::Value::parse(response_text));
+}
+
+std::vector<BatchReply> InProcChannel::call_batch(const std::vector<BatchCall>& calls) {
+  if (calls.empty()) return {};
+  std::vector<std::uint64_t> ids(calls.size());
+  json::Array entries;
+  entries.reserve(calls.size());
+  {
+    std::scoped_lock lock(mu_);
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      ids[i] = next_id_++;
+      entries.push_back(make_request(ids[i], calls[i].method, calls[i].params));
+    }
+  }
+  std::string response_text = dispatcher_->dispatch_text(json::Value(std::move(entries)).dump());
+  return match_batch_replies(json::Value::parse(response_text), ids);
 }
 
 }  // namespace hammer::rpc

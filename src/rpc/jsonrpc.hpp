@@ -5,14 +5,24 @@
 // — exposes the same method set through a Dispatcher; the adapter layer
 // (src/adapters) talks only JSON-RPC, which is what makes Hammer
 // architecture- and language-agnostic.
+//
+// The client surface supports three call shapes, all id-correlated so they
+// compose over a single multiplexed connection (tcp.hpp):
+//   call()        one blocking request/response round trip;
+//   call_async()  pipelined: the request leaves immediately, the result
+//                 arrives through a future when the response frame lands;
+//   call_batch()  one framed JSON-RPC 2.0 batch array carrying N calls,
+//                 responses matched by id (order-independent).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "json/json.hpp"
 
@@ -37,6 +47,43 @@ class RpcError : public hammer::Error {
   int code_;
 };
 
+// The one place the JSON-RPC error taxonomy maps onto client-side exception
+// types: kServerError (the SUT rejected the operation) becomes
+// RejectedError so drivers can count overload separately from transport and
+// protocol failures; every other code stays RpcError. Single calls
+// (ChainAdapter) and batch entries (BatchReply::take) share this mapping so
+// both paths fail identically.
+[[noreturn]] void throw_client_error(int code, const std::string& message);
+[[noreturn]] void throw_client_error(const RpcError& error);
+
+// One call of a batch request.
+struct BatchCall {
+  std::string method;
+  json::Value params;
+};
+
+// One entry of a batch response. error_code == 0 means success (JSON-RPC
+// error codes are never 0).
+struct BatchReply {
+  json::Value result;
+  int error_code = 0;
+  std::string error_message;
+
+  bool ok() const { return error_code == 0; }
+  // Returns the result, or throws what the equivalent single call() would
+  // have thrown (through throw_client_error).
+  const json::Value& take() const;
+};
+
+// Converts one response envelope into a BatchReply (never throws).
+BatchReply to_batch_reply(const json::Value& response);
+
+// Matches a batch response to the request ids it answers, order-independent.
+// A single error object (the server rejected the whole batch) is fanned out
+// to every entry; ids with no response become kInternalError entries.
+std::vector<BatchReply> match_batch_replies(const json::Value& response,
+                                            const std::vector<std::uint64_t>& ids);
+
 // Handler receives the `params` value and returns the `result` value.
 // Throwing maps to an error response (RejectedError -> kServerError,
 // NotFoundError/ParseError -> kInvalidParams, anything else -> internal).
@@ -49,10 +96,14 @@ class Dispatcher {
 
   // Full wire-level entry point: parses a request document, dispatches, and
   // serializes the response (never throws; errors become error responses).
+  // A JSON array is treated as a JSON-RPC 2.0 batch: each entry dispatches
+  // independently and the response is the array of per-entry responses
+  // (an empty batch is a kInvalidRequest error, per spec).
   std::string dispatch_text(const std::string& request_text) const;
 
-  // Structured entry point used by the in-process channel.
+  // Structured entry points used by the in-process channel.
   json::Value dispatch(const json::Value& request) const;
+  json::Value dispatch_batch(const json::Value& batch) const;
 
  private:
   mutable std::mutex mu_;
@@ -68,6 +119,19 @@ class Channel {
   // Performs one call; returns the result value or throws RpcError /
   // TransportError.
   virtual json::Value call(const std::string& method, json::Value params) = 0;
+
+  // Pipelined call: returns a future that yields the result or rethrows
+  // what call() would have thrown. The default implementation performs the
+  // call synchronously and returns a ready future, so every Channel
+  // supports the API; multiplexing transports override it with a
+  // genuinely non-blocking path.
+  virtual std::future<json::Value> call_async(const std::string& method, json::Value params);
+
+  // Performs N calls as one logical round trip; replies align with `calls`
+  // by index regardless of the order responses arrive in. The default
+  // implementation loops over call() so non-batching transports keep
+  // working; transports with wire-level batch support override it.
+  virtual std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls);
 };
 
 // Zero-copy-ish channel for in-process SUTs. Still round-trips through the
@@ -77,6 +141,7 @@ class InProcChannel final : public Channel {
   explicit InProcChannel(std::shared_ptr<const Dispatcher> dispatcher);
 
   json::Value call(const std::string& method, json::Value params) override;
+  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls) override;
 
  private:
   std::shared_ptr<const Dispatcher> dispatcher_;

@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -59,18 +62,37 @@ bool recv_frame(int fd, std::string& payload, bool eof_ok) {
   std::uint32_t len_be = 0;
   if (!read_all(fd, &len_be, sizeof(len_be), eof_ok)) return false;
   std::uint32_t len = ntohl(len_be);
-  if (len > 64u * 1024 * 1024) throw TransportError("frame exceeds 64MiB");
+  if (len > kMaxFrameBytes) throw TransportError("frame exceeds max size");
   payload.resize(len);
   if (len > 0) read_all(fd, payload.data(), len, false);
   return true;
 }
 
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_send_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
-TcpServer::TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port)
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+TcpServer::Connection::~Connection() { ::close(fd); }
+
+TcpServer::TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port,
+                     std::size_t worker_threads)
     : dispatcher_(std::move(dispatcher)) {
   HAMMER_CHECK(dispatcher_ != nullptr);
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -86,11 +108,35 @@ TcpServer::TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 256) != 0) {
     ::close(listen_fd_);
     throw TransportError(std::string("listen: ") + std::strerror(errno));
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    throw TransportError(std::string("epoll setup: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  if (worker_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    worker_threads = std::clamp<std::size_t>(hw == 0 ? 2 : hw, 2, 8);
+  }
+  workers_.reserve(worker_threads);
+  for (std::size_t i = 0; i < worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  event_thread_ = std::thread([this] { event_loop(); });
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -98,58 +144,161 @@ TcpServer::~TcpServer() { stop(); }
 void TcpServer::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (event_thread_.joinable()) event_thread_.join();
+
+  // Unblock workers stuck writing to stalled peers, then let them drain the
+  // queued requests (their sends fail fast on the shut-down sockets).
   {
-    std::scoped_lock lock(workers_mu_);
-    workers.swap(workers_);
+    std::scoped_lock lock(connections_mu_);
+    for (auto& [fd, conn] : connections_) {
+      conn->dead.store(true);
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    connections_.clear();  // sockets close when the last Work reference drops
   }
-  for (auto& w : workers) w.join();
+  work_queue_.close();
+  for (auto& w : workers_) w.join();
+
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
 }
 
-void TcpServer::accept_loop() {
+void TcpServer::event_loop() {
+  std::vector<epoll_event> events(64);
+  while (!stopping_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      HLOG_WARN("tcp") << "epoll_wait failed: " << std::strerror(errno);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // stop() raised the flag; loop condition exits
+      if (fd == listen_fd_) {
+        accept_new();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::scoped_lock lock(connections_mu_);
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        conn = it->second;
+      }
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        drop_connection(fd);
+        continue;
+      }
+      drain_readable(conn);
+    }
+  }
+}
+
+void TcpServer::accept_new() {
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping_.load()) return;
       if (errno == EINTR) continue;
-      HLOG_WARN("tcp") << "accept failed: " << std::strerror(errno);
+      if (errno != EAGAIN && errno != EWOULDBLOCK && !stopping_.load()) {
+        HLOG_WARN("tcp") << "accept failed: " << std::strerror(errno);
+      }
       return;
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::scoped_lock lock(workers_mu_);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    set_nodelay(fd);
+    set_send_timeout(fd, std::chrono::milliseconds(10000));
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::scoped_lock lock(connections_mu_);
+      connections_.emplace(fd, std::move(conn));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
   }
 }
 
-void TcpServer::serve_connection(int fd) {
-  std::string request;
-  try {
-    while (!stopping_.load()) {
-      if (!recv_frame(fd, request, /*eof_ok=*/true)) break;
-      send_frame(fd, dispatcher_->dispatch_text(request));
+void TcpServer::drain_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      conn->buffer.append(buf, static_cast<std::size_t>(n));
+      continue;
     }
-  } catch (const TransportError& e) {
-    if (!stopping_.load()) HLOG_DEBUG("tcp") << "connection error: " << e.what();
+    if (n == 0) {  // peer closed
+      drop_connection(conn->fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    drop_connection(conn->fd);
+    return;
   }
-  ::close(fd);
+  // Slice complete frames off the buffer; partial tails wait for more bytes.
+  while (conn->buffer.size() >= sizeof(std::uint32_t)) {
+    std::uint32_t len_be;
+    std::memcpy(&len_be, conn->buffer.data(), sizeof(len_be));
+    std::uint32_t len = ntohl(len_be);
+    if (len > kMaxFrameBytes) {
+      HLOG_WARN("tcp") << "dropping connection: frame length " << len << " exceeds max";
+      drop_connection(conn->fd);
+      return;
+    }
+    if (conn->buffer.size() < sizeof(len_be) + len) break;
+    Work work{conn, conn->buffer.substr(sizeof(len_be), len)};
+    conn->buffer.erase(0, sizeof(len_be) + len);
+    if (!work_queue_.push(std::move(work))) return;  // queue closed: stopping
+  }
 }
+
+void TcpServer::drop_connection(int fd) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::scoped_lock lock(connections_mu_);
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    conn = std::move(it->second);
+    connections_.erase(it);
+  }
+  conn->dead.store(true);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  // The fd closes in ~Connection once in-flight workers release their
+  // references; shutdown here so their writes fail instead of blocking.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpServer::worker_loop() {
+  while (auto work = work_queue_.pop()) {
+    std::string response = dispatcher_->dispatch_text(work->request);
+    std::scoped_lock lock(work->conn->write_mu);
+    if (work->conn->dead.load()) continue;
+    try {
+      send_frame(work->conn->fd, response);
+    } catch (const TransportError& e) {
+      work->conn->dead.store(true);
+      if (!stopping_.load()) HLOG_DEBUG("tcp") << "response write failed: " << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpChannel
+// ---------------------------------------------------------------------------
 
 TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
-                       std::chrono::milliseconds timeout) {
+                       std::chrono::milliseconds timeout)
+    : timeout_(timeout) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
-
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Note: no receive timeout — the reader thread blocks until a frame or
+  // shutdown; per-call deadlines are enforced on the futures instead.
+  set_send_timeout(fd_, timeout);
+  set_nodelay(fd_);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -164,19 +313,162 @@ TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
     throw TransportError("connect " + host + ":" + std::to_string(port) + ": " +
                          std::strerror(err));
   }
+  reader_ = std::thread([this] { reader_loop(); });
 }
 
 TcpChannel::~TcpChannel() {
-  if (fd_ >= 0) ::close(fd_);
+  {
+    std::scoped_lock lock(pending_mu_);
+    broken_ = true;
+    if (!break_reason_) {
+      break_reason_ = std::make_exception_ptr(TransportError("channel closed"));
+    }
+  }
+  ::shutdown(fd_, SHUT_RDWR);  // wakes the reader, which fails any pending calls
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+std::future<json::Value> TcpChannel::send_request(const std::string& method, json::Value params,
+                                                  std::uint64_t& id_out) {
+  std::future<json::Value> future;
+  {
+    std::scoped_lock lock(pending_mu_);
+    if (broken_) std::rethrow_exception(break_reason_);
+    id_out = next_id_++;
+    future = pending_[id_out].get_future();
+  }
+  std::string frame = make_request(id_out, method, std::move(params)).dump();
+  try {
+    std::scoped_lock lock(write_mu_);
+    send_frame(fd_, frame);
+  } catch (...) {
+    forget(id_out);
+    throw;
+  }
+  return future;
 }
 
 json::Value TcpChannel::call(const std::string& method, json::Value params) {
-  std::scoped_lock lock(mu_);
-  json::Value request = make_request(next_id_++, method, std::move(params));
-  send_frame(fd_, request.dump());
-  std::string response_text;
-  recv_frame(fd_, response_text, /*eof_ok=*/false);
-  return take_result(json::Value::parse(response_text));
+  std::uint64_t id = 0;
+  std::future<json::Value> future = send_request(method, std::move(params), id);
+  if (future.wait_for(timeout_) == std::future_status::timeout) {
+    forget(id);  // a late response for this id is silently dropped
+    throw TimeoutError("call " + method);
+  }
+  return future.get();
+}
+
+std::future<json::Value> TcpChannel::call_async(const std::string& method, json::Value params) {
+  std::uint64_t id = 0;
+  return send_request(method, std::move(params), id);
+}
+
+std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& calls) {
+  if (calls.empty()) return {};
+  std::vector<std::uint64_t> ids(calls.size());
+  std::vector<std::future<json::Value>> futures(calls.size());
+  json::Array entries;
+  entries.reserve(calls.size());
+  {
+    std::scoped_lock lock(pending_mu_);
+    if (broken_) std::rethrow_exception(break_reason_);
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      ids[i] = next_id_++;
+      futures[i] = pending_[ids[i]].get_future();
+      entries.push_back(make_request(ids[i], calls[i].method, calls[i].params));
+    }
+  }
+  std::string frame = json::Value(std::move(entries)).dump();
+  try {
+    std::scoped_lock lock(write_mu_);
+    send_frame(fd_, frame);
+  } catch (...) {
+    for (std::uint64_t id : ids) forget(id);
+    throw;
+  }
+
+  // One deadline for the whole batch: it is a single logical round trip.
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  std::vector<BatchReply> out(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (futures[i].wait_until(deadline) == std::future_status::timeout) {
+      for (std::size_t j = i; j < calls.size(); ++j) forget(ids[j]);
+      throw TimeoutError("batch of " + std::to_string(calls.size()) + " calls");
+    }
+    try {
+      out[i].result = futures[i].get();
+    } catch (const RpcError& e) {
+      out[i].error_code = e.code();
+      out[i].error_message = e.what();
+    }
+    // TransportError propagates: if the connection died, the whole batch
+    // failed, exactly like a single call.
+  }
+  return out;
+}
+
+void TcpChannel::forget(std::uint64_t id) {
+  std::scoped_lock lock(pending_mu_);
+  pending_.erase(id);
+}
+
+void TcpChannel::complete(const json::Value& response) {
+  if (!response.is_object() || !response.contains("id") || !response.at("id").is_int()) {
+    HLOG_DEBUG("tcp") << "dropping response without a usable id";
+    return;
+  }
+  auto id = static_cast<std::uint64_t>(response.at("id").as_int());
+  std::promise<json::Value> promise;
+  {
+    std::scoped_lock lock(pending_mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // timed out and forgotten, or stray
+    promise = std::move(it->second);
+    pending_.erase(it);
+  }
+  try {
+    promise.set_value(take_result(response));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+}
+
+void TcpChannel::fail_all(std::exception_ptr reason) {
+  std::unordered_map<std::uint64_t, std::promise<json::Value>> orphans;
+  {
+    std::scoped_lock lock(pending_mu_);
+    broken_ = true;
+    if (!break_reason_) break_reason_ = reason;
+    orphans.swap(pending_);
+  }
+  for (auto& [id, promise] : orphans) promise.set_exception(reason);
+}
+
+void TcpChannel::reader_loop() {
+  for (;;) {
+    std::string payload;
+    try {
+      if (!recv_frame(fd_, payload, /*eof_ok=*/true)) {
+        fail_all(std::make_exception_ptr(TransportError("connection closed by server")));
+        return;
+      }
+    } catch (const TransportError&) {
+      fail_all(std::current_exception());
+      return;
+    }
+    try {
+      json::Value response = json::Value::parse(payload);
+      if (response.is_array()) {
+        // Batch response: complete every contained reply independently.
+        for (const json::Value& entry : response.as_array()) complete(entry);
+      } else {
+        complete(response);
+      }
+    } catch (const std::exception& e) {
+      HLOG_WARN("tcp") << "dropping malformed response frame: " << e.what();
+    }
+  }
 }
 
 }  // namespace hammer::rpc

@@ -1,54 +1,97 @@
 // TCP transport for JSON-RPC: 4-byte big-endian length prefix followed by
 // the UTF-8 request/response document.
 //
-// The benches default to the in-process channel (this machine is a single
-// box), but the TCP path is what a real multi-node deployment would use and
-// the integration tests exercise it over loopback.
+// Server: a single epoll event loop owns every connection socket and does
+// the framing; decoded requests fan out to a small worker pool that runs
+// the dispatcher and writes response frames back (per-connection write
+// lock, so frames never interleave). Hundreds of driver connections cost
+// one event thread plus the fixed pool — not hundreds of threads.
+//
+// Client: TcpChannel multiplexes one connection. Writers frame requests
+// back-to-back without waiting (call_async / call_batch); a dedicated
+// reader thread parses response frames and completes the matching
+// promise by request id, so responses may arrive in any order. Blocking
+// call() is just call_async().get() with the per-call timeout applied.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "rpc/jsonrpc.hpp"
+#include "util/mpmc_queue.hpp"
 
 namespace hammer::rpc {
 
-// Serves one Dispatcher on a loopback port; one thread per connection
-// (connection counts in an evaluation run are small and long-lived).
+// Frames above this are a protocol violation; both ends drop the
+// connection with a transport error instead of attempting the allocation.
+inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+// Serves one Dispatcher on a loopback port through an epoll event loop
+// plus a fixed worker pool.
 class TcpServer {
  public:
   // port = 0 picks a free port; see port() after construction.
-  TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port = 0);
+  // worker_threads = 0 sizes the pool from the hardware (clamped to [2,8]).
+  explicit TcpServer(std::shared_ptr<const Dispatcher> dispatcher, std::uint16_t port = 0,
+                     std::size_t worker_threads = 0);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   std::uint16_t port() const { return port_; }
+  std::size_t worker_count() const { return workers_.size(); }
   void stop();
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();  // closes fd once the last reference drops
+
+    const int fd;
+    std::string buffer;       // partial frame bytes; event thread only
+    std::mutex write_mu;      // one response frame at a time
+    std::atomic<bool> dead{false};
+  };
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    std::string request;
+  };
+
+  void event_loop();
+  void accept_new();
+  void drain_readable(const std::shared_ptr<Connection>& conn);
+  void drop_connection(int fd);
+  void worker_loop();
 
   std::shared_ptr<const Dispatcher> dispatcher_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex workers_mu_;
+  util::MpmcQueue<Work> work_queue_{1024};
+  std::mutex connections_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::thread event_thread_;
   std::vector<std::thread> workers_;
 };
 
-// Blocking client channel. One outstanding call at a time per channel;
-// drivers that need concurrency open one channel per worker.
+// Multiplexing client channel: any number of in-flight calls share the one
+// connection, correlated by request id. Thread-safe; drivers may still open
+// one channel per worker to spread socket work across server connections.
 class TcpChannel final : public Channel {
  public:
+  // `timeout` bounds each blocking call() / call_batch() wait; call_async
+  // futures are unbounded (the caller owns the wait policy).
   TcpChannel(const std::string& host, std::uint16_t port,
              std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
   ~TcpChannel() override;
@@ -57,11 +100,28 @@ class TcpChannel final : public Channel {
   TcpChannel& operator=(const TcpChannel&) = delete;
 
   json::Value call(const std::string& method, json::Value params) override;
+  std::future<json::Value> call_async(const std::string& method, json::Value params) override;
+  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls) override;
 
  private:
+  std::future<json::Value> send_request(const std::string& method, json::Value params,
+                                        std::uint64_t& id_out);
+  void reader_loop();
+  void complete(const json::Value& response);
+  void fail_all(std::exception_ptr reason);
+  void forget(std::uint64_t id);
+
   int fd_ = -1;
-  std::uint64_t next_id_ = 1;
-  std::mutex mu_;
+  std::chrono::milliseconds timeout_;
+  std::mutex write_mu_;  // request frames are written atomically, back-to-back
+
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, std::promise<json::Value>> pending_;
+  std::uint64_t next_id_ = 1;        // guarded by pending_mu_
+  bool broken_ = false;              // guarded by pending_mu_
+  std::exception_ptr break_reason_;  // guarded by pending_mu_
+
+  std::thread reader_;
 };
 
 }  // namespace hammer::rpc

@@ -99,6 +99,102 @@ TEST_F(InProcAdapterTest, StatsAndDigestAccessible) {
   EXPECT_EQ(adapter_.state_digest(0).size(), 64u);
 }
 
+TEST_F(InProcAdapterTest, SubmitBatchAlignsOutcomesWithInput) {
+  std::vector<chain::Transaction> txs;
+  txs.push_back(signed_tx(accounts_[0], 0));
+  chain::Transaction bad = signed_tx(accounts_[1], 0);
+  bad.nonce = 999;  // breaks the signature -> per-entry rejection
+  txs.push_back(bad);
+  txs.push_back(signed_tx(accounts_[2], 0));
+  auto results = adapter_.submit_batch(txs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].tx_id, txs[0].compute_id());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("signature"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[2].tx_id, txs[2].compute_id());
+}
+
+TEST_F(InProcAdapterTest, ReceiptsPollsManyTransactionsInOneCall) {
+  std::string id0 = adapter_.submit(signed_tx(accounts_[0], 0));
+  std::string id1 = adapter_.submit(signed_tx(accounts_[1], 0));
+  std::vector<std::string> ids{id0, id1, std::string(64, 'f')};
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::vector<std::optional<ChainAdapter::ReceiptInfo>> rec;
+  while (std::chrono::steady_clock::now() < deadline) {
+    rec = adapter_.receipts(ids);
+    if (rec[0] && rec[1]) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(rec.size(), 3u);
+  ASSERT_TRUE(rec[0].has_value());
+  ASSERT_TRUE(rec[1].has_value());
+  EXPECT_EQ(rec[0]->status, chain::TxStatus::kCommitted);
+  EXPECT_FALSE(rec[2].has_value());  // unknown id stays nullopt
+}
+
+TEST_F(InProcAdapterTest, EmptyBatchAndEmptyReceiptsAreNoOps) {
+  EXPECT_TRUE(adapter_.submit_batch({}).empty());
+  EXPECT_TRUE(adapter_.receipts({}).empty());
+}
+
+// submit_batch must be observationally equivalent to N single submits on
+// every chain simulator: same ids, same acceptance, same committed effects.
+class SubmitBatchEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SubmitBatchEquivalenceTest, BatchMatchesSingles) {
+  const std::string kind = GetParam();
+  json::Object spec;
+  spec["kind"] = kind;
+  spec["name"] = "sut";
+  spec["block_interval_ms"] = kind == "ethereum" ? 40 : 15;
+  if (kind == "ethereum") spec["hash_rate"] = 2000000;
+  if (kind == "meepo") spec["num_shards"] = 2;
+  auto chain = chain::make_chain(json::Value(std::move(spec)), util::SteadyClock::shared());
+  auto accounts = chain::genesis_smallbank_accounts(*chain, 6, 1000, 1000);
+  auto dispatcher = std::make_shared<rpc::Dispatcher>();
+  chain::bind_chain_rpc(chain, *dispatcher);
+  chain->start();
+
+  ChainAdapter adapter(std::make_shared<rpc::InProcChannel>(dispatcher));
+  // Identical deposits through both paths, on disjoint accounts (same-
+  // account pairs would be an MVCC conflict on fabric, not a batch effect).
+  std::vector<chain::Transaction> batched, singles;
+  for (int i = 0; i < 3; ++i) {
+    batched.push_back(signed_tx(accounts[i], 1));
+    singles.push_back(signed_tx(accounts[3 + i], 1));
+  }
+  auto results = adapter.submit_batch(batched);
+  ASSERT_EQ(results.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].tx_id, batched[i].compute_id());
+  }
+  for (const chain::Transaction& tx : singles) {
+    EXPECT_EQ(adapter.submit(tx), tx.compute_id());
+  }
+  // Both paths commit the same effect: checking grows by 5 on all six
+  // accounts, whichever submission shape carried the deposit.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool settled = false;
+  while (!settled && std::chrono::steady_clock::now() < deadline) {
+    settled = true;
+    for (int i = 0; i < 6; ++i) {
+      json::Value balances =
+          adapter.query(chain->shard_for_sender(accounts[i]), "smallbank", "query",
+                        json::object({{"customer", accounts[i]}}));
+      if (balances.at("checking").as_int() != 1005) settled = false;
+    }
+    if (!settled) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(settled) << kind << ": batched+single submits did not all commit";
+  chain->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChains, SubmitBatchEquivalenceTest,
+                         ::testing::Values("ethereum", "fabric", "neuchain", "meepo"));
+
 // The same surface over real TCP loopback.
 class TcpAdapterTest : public AdapterTestBase, public ::testing::Test {
  protected:
@@ -124,6 +220,27 @@ TEST_F(TcpAdapterTest, EndToEndSubmitAndCommit) {
                 .at("checking")
                 .as_int(),
             105);
+}
+
+TEST_F(TcpAdapterTest, SubmitBatchOverTcp) {
+  std::vector<chain::Transaction> txs;
+  for (int i = 0; i < 3; ++i) txs.push_back(signed_tx(accounts_[i], 7));
+  auto results = adapter_.submit_batch(txs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].tx_id, txs[i].compute_id());
+  }
+  std::vector<std::string> ids;
+  for (const auto& r : results) ids.push_back(r.tx_id);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool all_found = false;
+  while (!all_found && std::chrono::steady_clock::now() < deadline) {
+    auto rec = adapter_.receipts(ids);
+    all_found = rec[0] && rec[1] && rec[2];
+    if (!all_found) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(all_found);
 }
 
 }  // namespace

@@ -169,6 +169,43 @@ TEST(DriverTest, OverloadIsCountedAsRejected) {
   EXPECT_EQ(result.submitted, 200u);
 }
 
+TEST(DriverTest, BatchedSubmitOverTcpCompletesWorkload) {
+  // Full stack over real TCP with submit coalescing: workers fill batches of
+  // up to 8 transactions and ship each as one JSON-RPC batch round trip.
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "sut", "block_interval_ms": 15,
+                "transport": "tcp", "smallbank_accounts_per_shard": 50}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto& sut = deployment.at("sut");
+  ASSERT_NE(sut.tcp_server, nullptr);
+  workload::WorkloadProfile profile;
+  profile.seed = 11;
+  workload::WorkloadFile wf =
+      workload::generate_workload(profile, sut.smallbank_accounts, 300);
+  DriverOptions options;
+  options.worker_threads = 2;
+  options.submit_batch_size = 8;
+  HammerDriver driver(sut.make_adapters(2), sut.make_adapters(1)[0],
+                      util::SteadyClock::shared(), options);
+  RunResult result = driver.run(wf, nullptr);
+  EXPECT_EQ(result.submitted, 300u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_GT(result.committed, 200u);
+}
+
+TEST(DriverTest, InteractiveModeBatchedSubmitStillMatchesEveryTx) {
+  Harness h("neuchain");
+  DriverOptions options;
+  options.mode = TrackingMode::kInteractive;
+  options.worker_threads = 2;
+  options.submit_batch_size = 4;
+  RunResult result = h.run(options, 80);
+  EXPECT_EQ(result.submitted, 80u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_GT(result.committed, 50u);
+}
+
 TEST(DriverTest, ClientCpuModelLimitsThroughput) {
   Harness h("neuchain");
   // 2 modeled vCPUs, 5ms of client work per tx -> ceiling ~400 tps.

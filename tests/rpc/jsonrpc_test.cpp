@@ -60,8 +60,98 @@ TEST(DispatcherTest, MissingJsonrpcVersionRejected) {
 
 TEST(DispatcherTest, NonObjectRequestRejected) {
   auto d = make_dispatcher();
-  json::Value resp = json::Value::parse(d->dispatch_text("[1,2,3]"));
+  json::Value resp = json::Value::parse(d->dispatch_text("42"));
   EXPECT_EQ(resp.at("error").at("code").as_int(), kInvalidRequest);
+}
+
+TEST(BatchDispatchTest, EmptyBatchIsInvalidRequest) {
+  auto d = make_dispatcher();
+  json::Value resp = json::Value::parse(d->dispatch_text("[]"));
+  ASSERT_TRUE(resp.is_object());
+  EXPECT_EQ(resp.at("error").at("code").as_int(), kInvalidRequest);
+  EXPECT_TRUE(resp.at("id").is_null());
+}
+
+TEST(BatchDispatchTest, NonObjectEntriesGetPerEntryErrors) {
+  auto d = make_dispatcher();
+  json::Value resp = json::Value::parse(d->dispatch_text("[1,2,3]"));
+  ASSERT_TRUE(resp.is_array());
+  ASSERT_EQ(resp.as_array().size(), 3u);
+  for (const json::Value& entry : resp.as_array()) {
+    EXPECT_EQ(entry.at("error").at("code").as_int(), kInvalidRequest);
+  }
+}
+
+TEST(BatchDispatchTest, MixedSuccessAndErrorEntries) {
+  auto d = make_dispatcher();
+  json::Array batch;
+  batch.push_back(make_request(1, "add", json::object({{"a", 2}, {"b", 3}})));
+  batch.push_back(make_request(2, "reject", json::Value()));
+  batch.push_back(make_request(3, "missing_method", json::Value()));
+  batch.push_back(json::Value("not a request"));
+  json::Value resp = json::Value::parse(d->dispatch_text(json::Value(std::move(batch)).dump()));
+  ASSERT_TRUE(resp.is_array());
+  const json::Array& entries = resp.as_array();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].at("result").as_int(), 5);
+  EXPECT_EQ(entries[0].at("id").as_int(), 1);
+  EXPECT_EQ(entries[1].at("error").at("code").as_int(), kServerError);
+  EXPECT_EQ(entries[1].at("id").as_int(), 2);
+  EXPECT_EQ(entries[2].at("error").at("code").as_int(), kMethodNotFound);
+  EXPECT_EQ(entries[3].at("error").at("code").as_int(), kInvalidRequest);
+}
+
+TEST(ClientErrorTest, ServerErrorMapsToRejected) {
+  EXPECT_THROW(throw_client_error(kServerError, "pool full"), RejectedError);
+  EXPECT_THROW(throw_client_error(kMethodNotFound, "nope"), RpcError);
+  EXPECT_THROW(throw_client_error(RpcError(kServerError, "pool full")), RejectedError);
+  try {
+    throw_client_error(RpcError(kInvalidParams, "bad shard"));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), kInvalidParams);
+  }
+}
+
+TEST(BatchReplyTest, TakeMatchesSingleCallTaxonomy) {
+  BatchReply ok;
+  ok.result = json::Value(7);
+  EXPECT_EQ(ok.take().as_int(), 7);
+
+  BatchReply rejected;
+  rejected.error_code = kServerError;
+  rejected.error_message = "overloaded";
+  EXPECT_THROW(rejected.take(), RejectedError);
+
+  BatchReply protocol;
+  protocol.error_code = kInvalidParams;
+  protocol.error_message = "bad";
+  EXPECT_THROW(protocol.take(), RpcError);
+}
+
+TEST(MatchBatchRepliesTest, MatchesOutOfOrderById) {
+  json::Array responses;
+  responses.push_back(make_result_response(json::Value(12), json::Value("second")));
+  responses.push_back(make_result_response(json::Value(11), json::Value("first")));
+  auto replies = match_batch_replies(json::Value(std::move(responses)), {11, 12});
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].take().as_string(), "first");
+  EXPECT_EQ(replies[1].take().as_string(), "second");
+}
+
+TEST(MatchBatchRepliesTest, WholeBatchErrorFansOut) {
+  json::Value err = make_error_response(json::Value(), kInvalidRequest, "empty batch");
+  auto replies = match_batch_replies(err, {1, 2, 3});
+  ASSERT_EQ(replies.size(), 3u);
+  for (const BatchReply& r : replies) EXPECT_EQ(r.error_code, kInvalidRequest);
+}
+
+TEST(MatchBatchRepliesTest, MissingResponseBecomesInternalError) {
+  json::Array responses;
+  responses.push_back(make_result_response(json::Value(1), json::Value("ok")));
+  auto replies = match_batch_replies(json::Value(std::move(responses)), {1, 2});
+  EXPECT_TRUE(replies[0].ok());
+  EXPECT_EQ(replies[1].error_code, kInternalError);
 }
 
 TEST(DispatcherTest, ResponseEchoesRequestId) {
@@ -109,6 +199,33 @@ TEST(InProcChannelTest, ErrorsSurfaceAsRpcError) {
   InProcChannel channel(make_dispatcher());
   EXPECT_THROW(channel.call("reject", json::Value()), RpcError);
   EXPECT_THROW(channel.call("unknown", json::Value()), RpcError);
+}
+
+TEST(InProcChannelTest, DefaultCallAsyncYieldsResult) {
+  InProcChannel channel(make_dispatcher());
+  std::future<json::Value> fut = channel.call_async("add", json::object({{"a", 1}, {"b", 2}}));
+  EXPECT_EQ(fut.get().as_int(), 3);
+  std::future<json::Value> err = channel.call_async("reject", json::Value());
+  EXPECT_THROW(err.get(), RpcError);
+}
+
+TEST(InProcChannelTest, CallBatchAlignsRepliesWithCalls) {
+  InProcChannel channel(make_dispatcher());
+  std::vector<BatchCall> calls;
+  calls.push_back({"add", json::object({{"a", 1}, {"b", 1}})});
+  calls.push_back({"reject", json::Value()});
+  calls.push_back({"add", json::object({{"a", 2}, {"b", 2}})});
+  std::vector<BatchReply> replies = channel.call_batch(calls);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].take().as_int(), 2);
+  EXPECT_EQ(replies[1].error_code, kServerError);
+  EXPECT_THROW(replies[1].take(), RejectedError);
+  EXPECT_EQ(replies[2].take().as_int(), 4);
+}
+
+TEST(InProcChannelTest, EmptyBatchReturnsEmpty) {
+  InProcChannel channel(make_dispatcher());
+  EXPECT_TRUE(channel.call_batch({}).empty());
 }
 
 }  // namespace

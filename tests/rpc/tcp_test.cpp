@@ -1,13 +1,20 @@
 #include "rpc/tcp.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <thread>
 
 #include "util/errors.hpp"
 
 namespace hammer::rpc {
 namespace {
+
+using namespace std::chrono_literals;
 
 std::shared_ptr<Dispatcher> make_dispatcher() {
   auto d = std::make_shared<Dispatcher>();
@@ -17,6 +24,12 @@ std::shared_ptr<Dispatcher> make_dispatcher() {
   });
   d->register_method("fail", [](const json::Value&) -> json::Value {
     throw RejectedError("nope");
+  });
+  // Sleeps params.ms milliseconds, then echoes params.v — the tool for
+  // observing pipelining and out-of-order completion.
+  d->register_method("sleep_echo", [](const json::Value& params) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(params.get_int("ms", 0)));
+    return params.at("v");
   });
   return d;
 }
@@ -88,6 +101,120 @@ TEST(TcpTest, StopIsIdempotent) {
   server.stop();
   server.stop();
   SUCCEED();
+}
+
+TEST(TcpTest, PipelinedCallsOverlapOnOneConnection) {
+  // Eight in-flight calls on ONE connection against a slow handler: if the
+  // channel serialized them, the total would be >= 8 * 150ms; pipelined
+  // across the server's 8 workers they overlap.
+  TcpServer server(make_dispatcher(), 0, /*worker_threads=*/8);
+  TcpChannel channel("127.0.0.1", server.port());
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<json::Value>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        channel.call_async("sleep_echo", json::object({{"ms", 150}, {"v", i}})));
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(futures[i].get().as_int(), i);
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 140ms);
+  EXPECT_LT(elapsed, 8 * 150ms / 2);  // far below the serialized lower bound
+}
+
+TEST(TcpTest, ResponsesCompleteOutOfOrder) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port());
+  auto slow = channel.call_async("sleep_echo", json::object({{"ms", 300}, {"v", "slow"}}));
+  auto fast = channel.call_async("sleep_echo", json::object({{"ms", 0}, {"v", "fast"}}));
+  // The fast call (sent second) completes while the slow one is in flight.
+  ASSERT_EQ(fast.wait_for(200ms), std::future_status::ready);
+  EXPECT_EQ(fast.get().as_string(), "fast");
+  EXPECT_EQ(slow.wait_for(50ms), std::future_status::timeout);
+  EXPECT_EQ(slow.get().as_string(), "slow");
+}
+
+TEST(TcpTest, BatchRoundTripsMixedResults) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port());
+  std::vector<BatchCall> calls;
+  // Descending sleeps, so responses arrive in roughly reverse send order —
+  // the replies must still align with the calls by index.
+  for (int i = 0; i < 5; ++i) {
+    calls.push_back(
+        {"sleep_echo", json::object({{"ms", (4 - i) * 30}, {"v", i}})});
+  }
+  calls.push_back({"fail", json::Value()});
+  calls.push_back({"no_such_method", json::Value()});
+  std::vector<BatchReply> replies = channel.call_batch(calls);
+  ASSERT_EQ(replies.size(), 7u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(replies[i].take().as_int(), i);
+  EXPECT_EQ(replies[5].error_code, kServerError);
+  EXPECT_THROW(replies[5].take(), RejectedError);
+  EXPECT_EQ(replies[6].error_code, kMethodNotFound);
+}
+
+TEST(TcpTest, EmptyBatchDoesNotTouchTheWire) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  EXPECT_TRUE(channel.call_batch({}).empty());
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+}
+
+TEST(TcpTest, ServerDropMidCallFailsPendingWithTransportError) {
+  auto server = std::make_unique<TcpServer>(make_dispatcher(), 0, 2);
+  TcpChannel channel("127.0.0.1", server->port());
+  auto pending = channel.call_async("sleep_echo", json::object({{"ms", 400}, {"v", 1}}));
+  std::this_thread::sleep_for(50ms);  // let the request reach the server
+  server.reset();                     // connection drops while the call is in flight
+  EXPECT_THROW(pending.get(), TransportError);
+  // The channel is broken from here on; new calls fail fast.
+  EXPECT_THROW(channel.call("ping", json::Value()), TransportError);
+}
+
+TEST(TcpTest, PerCallTimeoutLeavesChannelUsable) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/50ms);
+  EXPECT_THROW(channel.call("sleep_echo", json::object({{"ms", 400}, {"v", 1}})),
+               TimeoutError);
+  // The late response is dropped by id; the connection itself is healthy.
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+}
+
+TEST(TcpTest, OversizedFrameDropsConnection) {
+  TcpServer server(make_dispatcher(), 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::uint32_t huge = htonl(512u * 1024 * 1024);  // claims a 512 MiB frame
+  ASSERT_EQ(::send(fd, &huge, sizeof(huge), 0), static_cast<ssize_t>(sizeof(huge)));
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // server closed instead of allocating
+  ::close(fd);
+}
+
+TEST(TcpTest, ConcurrentBlockingCallsShareOneChannel) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&channel, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        int v = t * 1000 + i;
+        try {
+          if (channel.call("double", json::Value(v)).as_int() != v * 2) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(TcpTest, LargePayloadRoundTrips) {
