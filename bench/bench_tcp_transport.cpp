@@ -19,8 +19,11 @@
 // Artifact: bench_results/tcp_pipeline.csv
 #include <deque>
 #include <future>
+#include <thread>
 
 #include "bench_util.hpp"
+#include "telemetry/endpoint.hpp"
+#include "telemetry/exposition.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace hammer;
@@ -131,9 +134,27 @@ int main() {
     core::DriverOptions options;
     options.worker_threads = 2;
     options.submit_batch_size = batch;
-    core::RunResult result = core::run_peak_probe(
-        sut.make_adapters(options.worker_threads), sut.make_adapters(1)[0],
-        util::SteadyClock::shared(), options, bench::smallbank_workload(sut, probe_txs));
+    core::RunResult result;
+    std::thread probe([&] {
+      result = core::run_peak_probe(
+          sut.make_adapters(options.worker_threads), sut.make_adapters(1)[0],
+          util::SteadyClock::shared(), options, bench::smallbank_workload(sut, probe_txs));
+    });
+    // One live scrape while the probe is in flight — what a Prometheus pull
+    // against the SUT port would see mid-run.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    try {
+      rpc::TcpChannel scrape_channel("127.0.0.1", sut.tcp_server->port());
+      json::Value snap = telemetry::scrape_snapshot(scrape_channel);
+      std::printf("  [scrape @100ms] submitted=%.0f inflight=%.0f rpc_reqs=%.0f blocks=%.0f\n",
+                  snap.at("hammer_driver_submitted_total").as_double(),
+                  snap.at("hammer_driver_inflight").as_double(),
+                  snap.at("hammer_rpc_server_requests_total").as_double(),
+                  snap.at("hammer_chain_blocks_sealed_total").as_double());
+    } catch (const Error& e) {
+      std::printf("  [scrape @100ms] failed: %s\n", e.what());
+    }
+    probe.join();
     std::printf("  submit_batch_size=%-3zu  %8.0f tps  (committed %llu/%llu, unmatched %llu)\n",
                 batch, result.tps, static_cast<unsigned long long>(result.committed),
                 static_cast<unsigned long long>(result.submitted),

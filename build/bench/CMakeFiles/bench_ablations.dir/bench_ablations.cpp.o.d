@@ -241,4 +241,6 @@ bench/CMakeFiles/bench_ablations.dir/bench_ablations.cpp.o: \
  /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/future \
  /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/core/task_processor.hpp /root/repo/src/util/random.hpp
+ /root/repo/src/core/task_processor.hpp \
+ /root/repo/src/telemetry/trace.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/util/random.hpp

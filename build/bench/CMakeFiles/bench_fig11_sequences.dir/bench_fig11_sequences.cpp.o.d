@@ -254,9 +254,9 @@ bench/CMakeFiles/bench_fig11_sequences.dir/bench_fig11_sequences.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/task_processor.hpp \
  /root/repo/src/core/bloom.hpp /root/repo/src/core/hash_index.hpp \
+ /root/repo/src/telemetry/trace.hpp /root/repo/src/util/histogram.hpp \
  /root/repo/src/kvstore/kvstore.hpp /root/repo/src/minisql/database.hpp \
- /root/repo/src/util/histogram.hpp /root/repo/src/core/signing.hpp \
- /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/core/signing.hpp /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp \

@@ -200,9 +200,10 @@ bench/CMakeFiles/bench_tcp_transport.dir/bench_tcp_transport.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/bits/std_function.h /root/repo/bench/bench_util.hpp \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/thread \
+ /root/repo/bench/bench_util.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -250,16 +251,19 @@ bench/CMakeFiles/bench_tcp_transport.dir/bench_tcp_transport.cpp.o: \
  /root/repo/src/chain/state.hpp /root/repo/src/chain/txpool.hpp \
  /root/repo/src/util/clock.hpp /usr/include/c++/12/chrono \
  /root/repo/src/util/random.hpp /root/repo/src/rpc/tcp.hpp \
- /usr/include/c++/12/thread /root/repo/src/util/mpmc_queue.hpp \
- /root/repo/src/core/driver.hpp /root/repo/src/core/baselines.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/task_processor.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
- /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/util/mpmc_queue.hpp /root/repo/src/core/driver.hpp \
+ /root/repo/src/core/baselines.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/task_processor.hpp \
+ /root/repo/src/core/bloom.hpp /root/repo/src/core/hash_index.hpp \
+ /root/repo/src/telemetry/trace.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/kvstore/kvstore.hpp /root/repo/src/minisql/database.hpp \
  /root/repo/src/core/signing.hpp /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp \
  /root/repo/src/report/ascii_chart.hpp /root/repo/src/report/csv.hpp \
+ /root/repo/src/telemetry/endpoint.hpp \
+ /root/repo/src/telemetry/registry.hpp \
+ /root/repo/src/telemetry/exposition.hpp \
  /root/repo/src/util/stopwatch.hpp

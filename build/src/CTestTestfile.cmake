@@ -9,6 +9,7 @@ subdirs("json")
 subdirs("crypto")
 subdirs("kvstore")
 subdirs("minisql")
+subdirs("telemetry")
 subdirs("rpc")
 subdirs("chain")
 subdirs("adapters")

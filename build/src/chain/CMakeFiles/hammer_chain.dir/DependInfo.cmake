@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
   "/root/repo/build/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
   )
 

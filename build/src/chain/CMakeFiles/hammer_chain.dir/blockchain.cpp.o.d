@@ -232,4 +232,5 @@ src/chain/CMakeFiles/hammer_chain.dir/blockchain.cpp.o: \
  /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/util/clock.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.hpp \
+ /root/repo/src/telemetry/registry.hpp

@@ -238,4 +238,5 @@ src/core/CMakeFiles/hammer_core.dir/deployment.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.hpp \
  /root/repo/src/rpc/tcp.hpp /usr/include/c++/12/thread \
  /root/repo/src/util/mpmc_queue.hpp /root/repo/src/chain/factory.hpp \
- /root/repo/src/util/logging.hpp
+ /root/repo/src/telemetry/endpoint.hpp \
+ /root/repo/src/telemetry/registry.hpp /root/repo/src/util/logging.hpp

@@ -235,16 +235,17 @@ src/core/CMakeFiles/hammer_core.dir/driver.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/task_processor.hpp \
  /root/repo/src/core/bloom.hpp /root/repo/src/core/hash_index.hpp \
+ /root/repo/src/telemetry/trace.hpp /root/repo/src/util/histogram.hpp \
  /root/repo/src/kvstore/kvstore.hpp /root/repo/src/util/clock.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/minisql/database.hpp \
- /root/repo/src/util/histogram.hpp /root/repo/src/core/signing.hpp \
- /root/repo/src/util/mpmc_queue.hpp /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/core/signing.hpp /root/repo/src/util/mpmc_queue.hpp \
+ /root/repo/src/util/thread_pool.hpp \
  /root/repo/src/workload/control_sequence.hpp \
  /root/repo/src/workload/workload_file.hpp \
  /root/repo/src/workload/profile.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/util/logging.hpp
+ /root/repo/src/telemetry/registry.hpp /root/repo/src/util/logging.hpp

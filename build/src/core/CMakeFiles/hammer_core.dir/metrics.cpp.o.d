@@ -214,7 +214,8 @@ src/core/CMakeFiles/hammer_core.dir/metrics.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/variant \
  /root/repo/src/util/errors.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
+ /root/repo/src/core/hash_index.hpp /root/repo/src/telemetry/trace.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/kvstore/kvstore.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -234,7 +235,7 @@ src/core/CMakeFiles/hammer_core.dir/metrics.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/minisql/database.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -215,4 +215,14 @@ src/core/CMakeFiles/hammer_core.dir/task_processor.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/variant \
  /root/repo/src/util/errors.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp
+ /root/repo/src/core/hash_index.hpp /root/repo/src/telemetry/trace.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/telemetry/registry.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

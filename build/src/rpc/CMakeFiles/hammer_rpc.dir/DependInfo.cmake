@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
   )
 

@@ -255,4 +255,4 @@ src/rpc/CMakeFiles/hammer_rpc.dir/tcp.cpp.o: /root/repo/src/rpc/tcp.cpp \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/logging.hpp
+ /root/repo/src/telemetry/registry.hpp /root/repo/src/util/logging.hpp

@@ -24,10 +24,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/adapters/CMakeFiles/hammer_adapters.dir/DependInfo.cmake"
   "/root/repo/build/src/kvstore/CMakeFiles/hammer_kvstore.dir/DependInfo.cmake"
   "/root/repo/build/src/minisql/CMakeFiles/hammer_minisql.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hammer_telemetry_endpoint.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/hammer_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/chain/CMakeFiles/hammer_chain.dir/DependInfo.cmake"
   "/root/repo/build/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
   )

@@ -215,7 +215,8 @@ tests/CMakeFiles/core_tests.dir/core/task_processor_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/variant \
  /root/repo/src/util/errors.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/core/hash_index.hpp /root/repo/src/telemetry/trace.hpp \
+ /root/repo/src/util/histogram.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -215,7 +215,8 @@ tests/CMakeFiles/report_tests.dir/report/run_report_test.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/variant \
  /root/repo/src/util/errors.hpp /root/repo/src/core/bloom.hpp \
- /root/repo/src/core/hash_index.hpp /root/repo/src/kvstore/kvstore.hpp \
+ /root/repo/src/core/hash_index.hpp /root/repo/src/telemetry/trace.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/kvstore/kvstore.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -235,7 +236,8 @@ tests/CMakeFiles/report_tests.dir/report/run_report_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/minisql/database.hpp /root/repo/src/util/histogram.hpp \
+ /root/repo/src/minisql/database.hpp \
+ /root/repo/src/report/resource_monitor.hpp /usr/include/c++/12/thread \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -9,6 +9,7 @@ include("/root/repo/build/tests/json_tests[1]_include.cmake")
 include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
 include("/root/repo/build/tests/kvstore_tests[1]_include.cmake")
 include("/root/repo/build/tests/minisql_tests[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_tests[1]_include.cmake")
 include("/root/repo/build/tests/rpc_tests[1]_include.cmake")
 include("/root/repo/build/tests/chain_tests[1]_include.cmake")
 include("/root/repo/build/tests/adapters_tests[1]_include.cmake")
@@ -17,4 +18,6 @@ include("/root/repo/build/tests/core_tests[1]_include.cmake")
 include("/root/repo/build/tests/report_tests[1]_include.cmake")
 include("/root/repo/build/tests/forecast_tests[1]_include.cmake")
 add_test(smoke.tcp_peak_probe "/root/repo/build/tests/tcp_peak_probe_smoke")
-set_tests_properties(smoke.tcp_peak_probe PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke.tcp_peak_probe PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke.telemetry_scrape "/root/repo/build/tests/telemetry_scrape_smoke")
+set_tests_properties(smoke.telemetry_scrape PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;109;add_test;/root/repo/tests/CMakeLists.txt;0;")

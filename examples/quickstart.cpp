@@ -1,4 +1,4 @@
-// Quickstart: evaluate one blockchain with Hammer in ~40 lines.
+// Quickstart: evaluate one blockchain with Hammer in ~60 lines.
 //
 //   1. deploy a SUT (Neuchain simulator) from a JSON plan
 //   2. generate a SmallBank workload
@@ -6,16 +6,39 @@
 //      algorithm) at a fixed offered rate
 //   4. print the run summary and the Table II SQL report
 //
+// With --telemetry <port>, the process additionally serves
+// telemetry.metrics / telemetry.snapshot on that port (0 = pick a free
+// one) and prints one live snapshot line per second while the run is in
+// flight — scrape it mid-run with any JSON-RPC client.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
 
 #include "core/deployment.hpp"
 #include "core/driver.hpp"
+#include "report/resource_monitor.hpp"
 #include "report/run_report.hpp"
+#include "telemetry/endpoint.hpp"
 
 using namespace hammer;
 
-int main() {
+int main(int argc, char** argv) {
+  std::unique_ptr<telemetry::TelemetryEndpoint> endpoint;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
+          static_cast<std::uint16_t>(std::atoi(argv[++i])));
+      std::printf("telemetry endpoint on 127.0.0.1:%u (telemetry.metrics / "
+                  "telemetry.snapshot)\n",
+                  endpoint->port());
+    }
+  }
+
   // 1. Deployment plan (the Ansible-playbook stand-in).
   json::Value plan = json::Value::parse(R"({
     "chains": [{
@@ -34,20 +57,52 @@ int main() {
   workload::WorkloadFile wf =
       workload::generate_workload(profile, sut.smallbank_accounts, 5000);
 
-  // 3. Drive it at 1,000 TPS, tracking completion with Algorithm 1.
+  // 3. Drive it at 1,000 TPS, tracking completion with Algorithm 1. Every
+  // 8th transaction is lifecycle-traced so the summary carries a per-stage
+  // (sign/queue/submit/include/detect) latency breakdown.
   auto cache = std::make_shared<kvstore::KvStore>(util::SteadyClock::shared());
   auto db = std::make_shared<minisql::Database>();
   core::DriverOptions options;
   options.worker_threads = 2;
+  options.trace_every_n = 8;
   options.metrics = std::make_shared<core::MetricsPipeline>(cache, db);
   workload::ControlSequence rate = workload::ControlSequence::constant(
       1000.0, std::chrono::seconds(5), std::chrono::milliseconds(100));
   core::HammerDriver driver(sut.make_adapters(2), sut.make_adapters(1)[0],
                             util::SteadyClock::shared(), options);
-  core::RunResult result = driver.run(wf, &rate);
 
-  // 4. Results: direct summary + the visualization layer's SQL view.
+  // Live view while the run is in flight: one snapshot line per second from
+  // the same registry the telemetry endpoint scrapes.
+  report::ResourceMonitor monitor;
+  std::atomic<bool> running{true};
+  std::thread live([&running] {
+    telemetry::MetricRegistry& reg = telemetry::MetricRegistry::global();
+    telemetry::Counter& submitted = reg.counter("hammer_driver_submitted_total");
+    telemetry::Counter& completed = reg.counter("hammer_driver_completed_total");
+    telemetry::Gauge& inflight = reg.gauge("hammer_driver_inflight");
+    telemetry::Counter& blocks = reg.counter("hammer_chain_blocks_sealed_total");
+    while (running.load()) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      if (!running.load()) break;
+      std::printf("[live] submitted=%llu completed=%llu inflight=%lld blocks=%llu\n",
+                  static_cast<unsigned long long>(submitted.value()),
+                  static_cast<unsigned long long>(completed.value()),
+                  static_cast<long long>(inflight.value()),
+                  static_cast<unsigned long long>(blocks.value()));
+    }
+  });
+  core::RunResult result = driver.run(wf, &rate);
+  running.store(false);
+  live.join();
+  monitor.stop();
+
+  // 4. Results: direct summary + the visualization layer's SQL view, with
+  // the client's resource series folded into the report.
   std::printf("\n%s\n\n", result.summary().c_str());
-  std::printf("%s\n", report::RunReport::build(*options.metrics, "quickstart").rendered.c_str());
+  report::RunReport report = report::RunReport::build(*options.metrics, "quickstart", &monitor);
+  std::printf("%s\n", report.rendered.c_str());
+  if (!result.stages.is_null()) {
+    std::printf("stage breakdown: %s\n", result.stages.dump().c_str());
+  }
   return 0;
 }

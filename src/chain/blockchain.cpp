@@ -1,8 +1,37 @@
 #include "chain/blockchain.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::chain {
+
+namespace {
+// SUT-side series (per process, across shards and instances) — the stand-in
+// for the node exporters the paper's Prometheus pulls from each peer.
+struct ChainMetrics {
+  telemetry::Counter& blocks_sealed;
+  telemetry::Counter& txs_committed;
+  telemetry::Counter& txs_failed;
+  telemetry::StageHistogram& block_txs;
+
+  static ChainMetrics& get() {
+    static ChainMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  ChainMetrics()
+      : blocks_sealed(telemetry::MetricRegistry::global().counter(
+            "hammer_chain_blocks_sealed_total", "Blocks appended across all ledgers")),
+        txs_committed(telemetry::MetricRegistry::global().counter(
+            "hammer_chain_txs_total", "Transactions landed in blocks", "status=\"committed\"")),
+        txs_failed(telemetry::MetricRegistry::global().counter(
+            "hammer_chain_txs_total", "Transactions landed in blocks", "status=\"failed\"")),
+        block_txs(telemetry::MetricRegistry::global().histogram(
+            "hammer_chain_block_txs", "Transactions per sealed block", "",
+            {1, 10, 50, 100, 250, 500, 1000, 2000, 4000})) {}
+};
+}  // namespace
 
 ChainConfig ChainConfig::from_json(const json::Value& v) {
   ChainConfig c;
@@ -55,13 +84,23 @@ std::shared_ptr<const Block> Ledger::latest() const {
 }
 
 void Ledger::append(Block block) {
-  std::scoped_lock lock(mu_);
-  block.header.height = blocks_.size() + 1;
-  for (const TxReceipt& r : block.receipts) {
-    if (r.status == TxStatus::kCommitted) ++committed_;
-    tx_index_.emplace(r.tx_id, TxLocation{block.header.height, r});
+  std::size_t committed_here = 0;
+  {
+    std::scoped_lock lock(mu_);
+    block.header.height = blocks_.size() + 1;
+    for (const TxReceipt& r : block.receipts) {
+      if (r.status == TxStatus::kCommitted) {
+        ++committed_;
+        ++committed_here;
+      }
+      tx_index_.emplace(r.tx_id, TxLocation{block.header.height, r});
+    }
+    ChainMetrics::get().block_txs.record(static_cast<std::int64_t>(block.receipts.size()));
+    ChainMetrics::get().txs_failed.add(block.receipts.size() - committed_here);
+    blocks_.push_back(std::make_shared<const Block>(std::move(block)));
   }
-  blocks_.push_back(std::make_shared<const Block>(std::move(block)));
+  ChainMetrics::get().blocks_sealed.add(1);
+  ChainMetrics::get().txs_committed.add(committed_here);
 }
 
 std::optional<Ledger::TxLocation> Ledger::find_tx(const std::string& tx_id) const {

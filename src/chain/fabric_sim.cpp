@@ -1,5 +1,6 @@
 #include "chain/fabric_sim.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::chain {
@@ -113,6 +114,10 @@ void FabricSim::seal_block(std::vector<EndorsedTx> batch) {
         receipt.status = TxStatus::kConflict;
         receipt.detail = "MVCC_READ_CONFLICT on " + conflict_key;
         mvcc_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        static telemetry::Counter& conflicts = telemetry::MetricRegistry::global().counter(
+            "hammer_chain_mvcc_conflicts_total",
+            "Order-validate MVCC read conflicts (Fabric sim)");
+        conflicts.add(1);
       }
     }
     block.receipts.push_back(std::move(receipt));

@@ -1,6 +1,7 @@
 #include "core/deployment.hpp"
 
 #include "chain/factory.hpp"
+#include "telemetry/endpoint.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
@@ -31,6 +32,9 @@ Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clo
     deployed->chain = chain::make_chain(spec, clock);
     deployed->dispatcher = std::make_shared<rpc::Dispatcher>();
     chain::bind_chain_rpc(deployed->chain, *deployed->dispatcher);
+    // Every SUT endpoint also answers telemetry.metrics / telemetry.snapshot
+    // — the per-node exporter the paper's Prometheus pulls from.
+    telemetry::bind_telemetry_rpc(*deployed->dispatcher);
 
     auto per_shard = static_cast<std::size_t>(spec.get_int("smallbank_accounts_per_shard", 0));
     if (per_shard > 0) {

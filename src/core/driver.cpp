@@ -2,10 +2,51 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
 namespace hammer::core {
+
+namespace {
+// Driver-side series: the live view of the load generator itself. The
+// in-flight gauge is the difference between accepted submissions and
+// completions observed in blocks, so a mid-run scrape shows backpressure.
+struct DriverMetrics {
+  telemetry::Counter& submitted;
+  telemetry::Counter& completed;
+  telemetry::Counter& rejected;
+  telemetry::Gauge& inflight;
+  telemetry::StageHistogram& sign_us;
+  telemetry::StageHistogram& submit_us;
+  telemetry::StageHistogram& batch_txs;
+
+  static DriverMetrics& get() {
+    static DriverMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  DriverMetrics()
+      : submitted(reg().counter("hammer_driver_submitted_total",
+                                "Transactions handed to the chain adapter")),
+        completed(reg().counter("hammer_driver_completed_total",
+                                "Transactions observed complete in blocks or receipts")),
+        rejected(reg().counter("hammer_driver_rejected_total",
+                               "Submissions refused by the SUT (overload)")),
+        inflight(reg().gauge("hammer_driver_inflight",
+                             "Accepted transactions not yet observed in a block")),
+        sign_us(reg().histogram("hammer_driver_sign_us",
+                                "Per-transaction signing latency (pipelined feeder)")),
+        submit_us(reg().histogram("hammer_driver_submit_us",
+                                  "Submission round-trip latency per worker send")),
+        batch_txs(reg().histogram("hammer_driver_batch_txs",
+                                  "Transactions coalesced per worker send", "",
+                                  {1, 2, 4, 8, 16, 32, 64, 128, 256})) {}
+
+  static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
+};
+}  // namespace
 
 HammerDriver::HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
                            std::shared_ptr<adapters::ChainAdapter> poll_adapter,
@@ -41,22 +82,38 @@ void HammerDriver::charge_client_cpu() {
 }
 
 void HammerDriver::worker_loop(std::size_t worker_index,
-                               util::MpmcQueue<chain::Transaction>& queue,
+                               util::MpmcQueue<SendQueueItem>& queue,
                                workload::RateController* rate) {
   adapters::ChainAdapter& adapter = *worker_adapters_[worker_index];
   const std::string& chainname = adapter.info().name;
   const std::size_t batch_limit = std::max<std::size_t>(1, options_.submit_batch_size);
+  DriverMetrics& metrics = DriverMetrics::get();
   std::vector<chain::Transaction> batch;
+  std::vector<std::uint64_t> ordinals;
   batch.reserve(batch_limit);
+  ordinals.reserve(batch_limit);
+
+  // Counts a refusal; in-flight accounting is handled per mode because only
+  // some modes remove a rejected tx from the pending set.
+  auto reject = [this, &metrics](std::uint64_t count) {
+    rejections_.fetch_add(count);
+    metrics.rejected.add(count);
+    HLOG_EVERY_N("driver", 100) << "SUT rejected a submission ("
+                                << rejections_.load() << " total this run)";
+  };
+
   while (auto first = queue.pop()) {
     batch.clear();
-    batch.push_back(std::move(*first));
+    ordinals.clear();
+    batch.push_back(std::move(first->tx));
+    ordinals.push_back(first->ordinal);
     // Coalesce whatever is already signed and waiting, up to the configured
     // batch size — one JSON-RPC batch frame instead of N round trips.
     while (batch.size() < batch_limit) {
       auto more = queue.try_pop();
       if (!more) break;
-      batch.push_back(std::move(*more));
+      batch.push_back(std::move(more->tx));
+      ordinals.push_back(more->ordinal);
     }
     if (rate) {
       // One send deadline per transaction; the batch leaves when its last
@@ -73,6 +130,9 @@ void HammerDriver::worker_loop(std::size_t worker_index,
     std::vector<std::string> tx_ids(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) tx_ids[i] = batch[i].compute_id();
     std::int64_t start_us = clock_->now_us();
+    metrics.submitted.add(batch.size());
+    metrics.inflight.add(batch.size());
+    metrics.batch_txs.record(static_cast<std::int64_t>(batch.size()));
 
     switch (options_.mode) {
       case TrackingMode::kHammer: {
@@ -82,20 +142,22 @@ void HammerDriver::worker_loop(std::size_t worker_index,
         for (std::size_t i = 0; i < batch.size(); ++i) {
           positions[i] = task_processor_->register_tx(tx_ids[i], start_us, batch[i].client_id,
                                                       batch[i].server_id, chainname,
-                                                      batch[i].contract);
+                                                      batch[i].contract, ordinals[i]);
         }
         if (batch.size() == 1) {
           try {
             adapter.submit(batch[0]);
           } catch (const RejectedError&) {
-            rejections_.fetch_add(1);
+            reject(1);
+            metrics.inflight.sub(1);
             task_processor_->mark_rejected(positions[0], clock_->now_us());
           }
         } else {
           auto results = adapter.submit_batch(batch);
           for (std::size_t i = 0; i < results.size(); ++i) {
             if (results[i].ok()) continue;
-            rejections_.fetch_add(1);
+            reject(1);
+            metrics.inflight.sub(1);
             task_processor_->mark_rejected(positions[i], clock_->now_us());
           }
         }
@@ -109,14 +171,14 @@ void HammerDriver::worker_loop(std::size_t worker_index,
           try {
             adapter.submit(batch[0]);
           } catch (const RejectedError&) {
-            rejections_.fetch_add(1);
+            reject(1);
             // The baseline has no O(1) lookup; rejected ids simply rot in the
             // queue (a real Blockbench driver behaves the same way).
           }
         } else {
           auto results = adapter.submit_batch(batch);
           for (const auto& r : results) {
-            if (!r.ok()) rejections_.fetch_add(1);
+            if (!r.ok()) reject(1);
           }
         }
         break;
@@ -140,7 +202,8 @@ void HammerDriver::worker_loop(std::size_t worker_index,
             // monitoring); sending continues without waiting.
             interactive_pending_.push_back(InteractivePending{tx_ids[i], start_us});
           } else {
-            rejections_.fetch_add(1);
+            reject(1);
+            metrics.inflight.sub(1);
             CompletedTx done;
             done.tx_id = tx_ids[i];
             done.start_us = start_us;
@@ -150,6 +213,14 @@ void HammerDriver::worker_loop(std::size_t worker_index,
           }
         }
         break;
+      }
+    }
+    std::int64_t send_done_us = clock_->now_us();
+    metrics.submit_us.record(send_done_us - start_us);
+    if (tracer_) {
+      for (std::uint64_t ordinal : ordinals) {
+        if (!tracer_->sampled(ordinal)) continue;
+        tracer_->record(ordinal, telemetry::Stage::kSubmitted, send_done_us);
       }
     }
   }
@@ -193,6 +264,8 @@ void HammerDriver::listener_loop() {
       done.emplace_back(snapshot[i].tx_id, std::move(completed));
     }
     if (!done.empty()) {
+      DriverMetrics::get().completed.add(done.size());
+      DriverMetrics::get().inflight.sub(done.size());
       std::scoped_lock lock(interactive_mu_);
       for (auto& [id, completed] : done) {
         for (auto it = interactive_pending_.begin(); it != interactive_pending_.end(); ++it) {
@@ -232,10 +305,19 @@ void HammerDriver::poll_loop() {
           HLOG_WARN("driver") << "block fetch failed: " << e.what();
           break;
         }
+        std::size_t matched = 0;
         if (options_.mode == TrackingMode::kHammer) {
-          task_processor_->on_block(block_time_us, block.receipts);
+          // The block's own seal timestamp feeds the included-stage trace so
+          // the breakdown separates consensus latency from polling lag.
+          matched = task_processor_
+                        ->on_block(block_time_us, block.receipts, block.header.timestamp_us)
+                        .matched;
         } else {
-          batch_processor_->on_block(block_time_us, block.receipts);
+          matched = batch_processor_->on_block(block_time_us, block.receipts);
+        }
+        if (matched > 0) {
+          DriverMetrics::get().completed.add(matched);
+          DriverMetrics::get().inflight.sub(matched);
         }
       }
       scanned[s] = h;
@@ -247,9 +329,16 @@ void HammerDriver::poll_loop() {
 RunResult HammerDriver::run(const workload::WorkloadFile& workload,
                             const workload::ControlSequence* rate) {
   const std::size_t total = workload.transactions.size();
+  if (options_.trace_every_n > 0) {
+    tracer_ = std::make_unique<telemetry::TxTracer>(options_.trace_capacity,
+                                                    options_.trace_every_n);
+  } else {
+    tracer_.reset();
+  }
   if (options_.mode == TrackingMode::kHammer) {
     TaskProcessor::Options tp = options_.task_processor;
     tp.expected_txs = std::max(tp.expected_txs, total);
+    tp.tracer = tracer_.get();
     task_processor_ = std::make_unique<TaskProcessor>(tp);
   } else {
     batch_processor_ = std::make_unique<BatchQueueProcessor>();
@@ -260,16 +349,30 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   stop_polling_.store(false);
 
   // --- preparation: signing (serial up-front or pipelined) ---
-  util::MpmcQueue<chain::Transaction> send_queue(options_.sign_queue_capacity);
+  util::MpmcQueue<SendQueueItem> send_queue(options_.sign_queue_capacity);
   std::thread feeder;
   if (options_.pipelined_signing) {
     feeder = std::thread([this, &send_queue, &workload] {
+      DriverMetrics& metrics = DriverMetrics::get();
+      std::uint64_t ordinal = 0;
       for (chain::Transaction tx : workload.transactions) {
         // The sending server stamps its id before signing (Alg. 1 line 3's
         // s_id is part of the signed payload).
+        std::int64_t sign_begin_us = clock_->now_us();
         tx.server_id = options_.server_id;
         tx.sign_with(keys_->get(tx.sender));
-        if (!send_queue.push(std::move(tx))) return;
+        std::int64_t signed_us = clock_->now_us();
+        metrics.sign_us.record(signed_us - sign_begin_us);
+        const bool traced = tracer_ && tracer_->sampled(ordinal);
+        if (traced) {
+          tracer_->record(ordinal, telemetry::Stage::kStart, sign_begin_us);
+          tracer_->record(ordinal, telemetry::Stage::kSigned, signed_us);
+        }
+        if (!send_queue.push(SendQueueItem{std::move(tx), ordinal})) return;
+        if (traced) {
+          tracer_->record(ordinal, telemetry::Stage::kEnqueued, clock_->now_us());
+        }
+        ++ordinal;
       }
       send_queue.close();
     });
@@ -277,9 +380,19 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     std::vector<chain::Transaction> txs = workload.transactions;
     for (chain::Transaction& tx : txs) tx.server_id = options_.server_id;
     sign_serial(txs, *keys_);
-    feeder = std::thread([&send_queue, txs = std::move(txs)]() mutable {
+    feeder = std::thread([this, &send_queue, txs = std::move(txs)]() mutable {
+      // Signing happened up front, so the per-tx sign/queue stages collapse
+      // to the push instant; the submit/include/detect stages stay real.
+      std::uint64_t ordinal = 0;
       for (chain::Transaction& tx : txs) {
-        if (!send_queue.push(std::move(tx))) return;
+        if (tracer_ && tracer_->sampled(ordinal)) {
+          std::int64_t now_us = clock_->now_us();
+          tracer_->record(ordinal, telemetry::Stage::kStart, now_us);
+          tracer_->record(ordinal, telemetry::Stage::kSigned, now_us);
+          tracer_->record(ordinal, telemetry::Stage::kEnqueued, now_us);
+        }
+        if (!send_queue.push(SendQueueItem{std::move(tx), ordinal})) return;
+        ++ordinal;
       }
       send_queue.close();
     });
@@ -323,6 +436,10 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     }
     stop_polling_.store(true);
     poller.join();
+    // Transactions that never landed before the drain deadline are no longer
+    // in flight from the driver's perspective; zero the gauge's residue so
+    // back-to-back runs start clean.
+    DriverMetrics::get().inflight.sub(pending());
   }
 
   // --- summarize ---
@@ -370,6 +487,9 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     result = summarize(records);
   }
   result.rejected = rejections_.load();
+  if (tracer_) {
+    result.stages = tracer_->breakdown().to_json();
+  }
   return result;
 }
 

@@ -33,6 +33,7 @@
 #include "core/metrics.hpp"
 #include "core/signing.hpp"
 #include "core/task_processor.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "workload/control_sequence.hpp"
 #include "workload/workload_file.hpp"
@@ -65,6 +66,12 @@ struct DriverOptions {
   std::int64_t per_tx_client_us = 0;
   std::int64_t switch_penalty_us = 0;
 
+  // Lifecycle tracing: every n-th transaction (by workload ordinal) records
+  // sign/enqueue/submit/include/detect timestamps into a bounded ring
+  // buffer; the per-stage breakdown lands in RunResult::stages. 0 disables.
+  std::uint64_t trace_every_n = 0;
+  std::size_t trace_capacity = 1 << 16;
+
   TaskProcessor::Options task_processor;
 
   // Optional metrics pipeline; when set, records stream into the cache and
@@ -88,13 +95,16 @@ class HammerDriver {
   // Post-run diagnostics.
   const TaskProcessor* task_processor() const { return task_processor_.get(); }
   std::uint64_t send_rejections() const { return rejections_.load(); }
+  // Live during run(); reset on the next run. Null when tracing is off.
+  const telemetry::TxTracer* tracer() const { return tracer_.get(); }
 
  private:
   struct SendQueueItem {
     chain::Transaction tx;
+    std::uint64_t ordinal = 0;  // position in the workload, for tracing
   };
 
-  void worker_loop(std::size_t worker_index, util::MpmcQueue<chain::Transaction>& queue,
+  void worker_loop(std::size_t worker_index, util::MpmcQueue<SendQueueItem>& queue,
                    workload::RateController* rate);
   void poll_loop();
   void listener_loop();  // interactive mode: per-tx receipt polling
@@ -108,6 +118,7 @@ class HammerDriver {
 
   std::unique_ptr<TaskProcessor> task_processor_;
   std::unique_ptr<BatchQueueProcessor> batch_processor_;
+  std::unique_ptr<telemetry::TxTracer> tracer_;
 
   // Interactive mode: submitted transactions awaiting their individual
   // response, and the completions gathered by the listener.

@@ -81,16 +81,19 @@ std::int64_t MetricsPipeline::query_tps() const {
 minisql::ResultSet MetricsPipeline::query_latencies() const { return db_->query(kLatencySql); }
 
 json::Value RunResult::to_json() const {
-  return json::object({{"submitted", submitted},
-                       {"committed", committed},
-                       {"failed", failed},
-                       {"rejected", rejected},
-                       {"unmatched", unmatched},
-                       {"duration_s", duration_s},
-                       {"tps", tps},
-                       {"latency_mean_ms", latency.mean() / 1000.0},
-                       {"latency_p50_ms", static_cast<double>(latency.percentile(50)) / 1000.0},
-                       {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
+  json::Value v =
+      json::object({{"submitted", submitted},
+                    {"committed", committed},
+                    {"failed", failed},
+                    {"rejected", rejected},
+                    {"unmatched", unmatched},
+                    {"duration_s", duration_s},
+                    {"tps", tps},
+                    {"latency_mean_ms", latency.mean() / 1000.0},
+                    {"latency_p50_ms", static_cast<double>(latency.percentile(50)) / 1000.0},
+                    {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
+  if (!stages.is_null()) v.as_object()["stages"] = stages;
+  return v;
 }
 
 std::string RunResult::summary() const {

@@ -58,6 +58,10 @@ struct RunResult {
   double tps = 0.0;               // committed / duration
   util::Histogram latency;        // committed transactions only
 
+  // Per-stage latency breakdown (sign/queue/submit/include/detect) from the
+  // lifecycle tracer; null unless the run was traced (trace_every_n > 0).
+  json::Value stages;
+
   json::Value to_json() const;
   std::string summary() const;
 };

@@ -1,8 +1,45 @@
 #include "core/task_processor.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::core {
+
+namespace {
+// Task-processing (Algorithm 1) health series: how hard the Bloom filter
+// and hash index are working while the run is live.
+struct TaskProcMetrics {
+  telemetry::Counter& registered;
+  telemetry::Counter& matched;
+  telemetry::Counter& bloom_rejected;
+  telemetry::Counter& bloom_false_positives;
+  telemetry::Counter& duplicates;
+  telemetry::Counter& probe_steps;
+
+  static TaskProcMetrics& get() {
+    static TaskProcMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  TaskProcMetrics()
+      : registered(reg().counter("hammer_taskproc_registered_total",
+                                 "Transactions entered into the vector list")),
+        matched(reg().counter("hammer_taskproc_matched_total",
+                              "Receipts matched to pending records")),
+        bloom_rejected(reg().counter("hammer_taskproc_bloom_rejected_total",
+                                     "Receipt ids sifted out by the Bloom filter")),
+        bloom_false_positives(reg().counter(
+            "hammer_taskproc_bloom_false_positives_total",
+            "Ids that passed the filter but were absent from the index")),
+        duplicates(reg().counter("hammer_taskproc_duplicates_total",
+                                 "Receipts for already-completed records")),
+        probe_steps(reg().counter("hammer_taskproc_index_probe_steps_total",
+                                  "Hash-index probe steps (lookup work)")) {}
+
+  static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
+};
+}  // namespace
 
 TaskProcessor::TaskProcessor(Options options)
     : options_(options),
@@ -15,12 +52,15 @@ std::size_t TaskProcessor::register_tx(std::string tx_id, std::int64_t start_us,
                                        const std::string& client_id,
                                        const std::string& server_id,
                                        const std::string& chainname,
-                                       const std::string& contractname) {
+                                       const std::string& contractname,
+                                       std::uint64_t ordinal) {
+  TaskProcMetrics::get().registered.add(1);
   std::scoped_lock lock(mu_);
   std::size_t position = records_.size();
   TxRecord record;
   record.tx_id = std::move(tx_id);
   record.start_us = start_us;
+  record.ordinal = ordinal;
   record.client_id = client_id;
   record.server_id = server_id;
   record.chainname = chainname;
@@ -32,33 +72,50 @@ std::size_t TaskProcessor::register_tx(std::string tx_id, std::int64_t start_us,
 }
 
 TaskProcessor::BlockOutcome TaskProcessor::on_block(
-    std::int64_t block_time_us, std::span<const chain::TxReceipt> receipts) {
-  std::scoped_lock lock(mu_);
+    std::int64_t block_time_us, std::span<const chain::TxReceipt> receipts,
+    std::int64_t include_us) {
   BlockOutcome outcome;
-  for (const chain::TxReceipt& receipt : receipts) {
-    // Line 15: rapid exclusion of transactions not in the index.
-    if (!bloom_.may_contain(receipt.tx_id)) {
-      ++outcome.bloom_rejected;
-      continue;
+  std::uint64_t probe_delta = 0;
+  {
+    std::scoped_lock lock(mu_);
+    const std::uint64_t probes_before = index_.probe_steps();
+    for (const chain::TxReceipt& receipt : receipts) {
+      // Line 15: rapid exclusion of transactions not in the index.
+      if (!bloom_.may_contain(receipt.tx_id)) {
+        ++outcome.bloom_rejected;
+        continue;
+      }
+      // Line 18: locate via the hash index (false positives land here).
+      std::optional<std::uint64_t> position = index_.find(receipt.tx_id);
+      if (!position) {
+        ++outcome.unknown;
+        continue;
+      }
+      TxRecord& record = records_[*position];
+      if (record.completed) {
+        ++outcome.duplicates;
+        continue;
+      }
+      // Line 19: update status and end time.
+      record.end_us = block_time_us;
+      record.status = receipt.status;
+      record.completed = true;
+      ++completed_;
+      ++outcome.matched;
+      if (options_.tracer != nullptr && options_.tracer->sampled(record.ordinal)) {
+        options_.tracer->record(record.ordinal, telemetry::Stage::kIncluded,
+                                include_us >= 0 ? include_us : block_time_us);
+        options_.tracer->record(record.ordinal, telemetry::Stage::kDetected, block_time_us);
+      }
     }
-    // Line 18: locate via the hash index (false positives land here).
-    std::optional<std::uint64_t> position = index_.find(receipt.tx_id);
-    if (!position) {
-      ++outcome.unknown;
-      continue;
-    }
-    TxRecord& record = records_[*position];
-    if (record.completed) {
-      ++outcome.duplicates;
-      continue;
-    }
-    // Line 19: update status and end time.
-    record.end_us = block_time_us;
-    record.status = receipt.status;
-    record.completed = true;
-    ++completed_;
-    ++outcome.matched;
+    probe_delta = index_.probe_steps() - probes_before;
   }
+  TaskProcMetrics& metrics = TaskProcMetrics::get();
+  metrics.matched.add(outcome.matched);
+  metrics.bloom_rejected.add(outcome.bloom_rejected);
+  metrics.bloom_false_positives.add(outcome.unknown);
+  metrics.duplicates.add(outcome.duplicates);
+  metrics.probe_steps.add(probe_delta);
   return outcome;
 }
 

@@ -24,6 +24,7 @@
 #include "chain/types.hpp"
 #include "core/bloom.hpp"
 #include "core/hash_index.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hammer::core {
 
@@ -33,6 +34,8 @@ struct TxRecord {
   std::int64_t end_us = -1;        // -1 = pending
   chain::TxStatus status = chain::TxStatus::kCommitted;
   bool completed = false;
+  // Workload position, threaded through for lifecycle tracing.
+  std::uint64_t ordinal = 0;
   // Algorithm 1 line 5: the record carries provenance for security checks
   // and per-client/server load monitoring.
   std::string client_id;
@@ -48,6 +51,9 @@ class TaskProcessor {
     double bloom_fp_rate = 0.01;
     bool growable_index = true;       // ablation: fixed-size index
     std::size_t initial_index_capacity = 1024;
+    // Optional lifecycle tracer: matched records emit included/detected
+    // events for sampled ordinals. Not owned; must outlive the processor.
+    telemetry::TxTracer* tracer = nullptr;
   };
 
   explicit TaskProcessor(Options options);
@@ -56,7 +62,8 @@ class TaskProcessor {
   // index entry, update the Bloom filter. Returns the record's position.
   std::size_t register_tx(std::string tx_id, std::int64_t start_us,
                           const std::string& client_id, const std::string& server_id,
-                          const std::string& chainname, const std::string& contractname);
+                          const std::string& chainname, const std::string& contractname,
+                          std::uint64_t ordinal = 0);
 
   struct BlockOutcome {
     std::size_t matched = 0;        // records completed by this block
@@ -67,8 +74,12 @@ class TaskProcessor {
 
   // Algorithm 1 lines 10-20: apply one confirmed block. block_time_us is
   // the observation time recorded before the block body was fetched.
+  // include_us, when >= 0, is the block's own seal timestamp; it feeds the
+  // included-stage trace event (detection uses block_time_us) so the
+  // breakdown can separate inclusion latency from polling lag.
   BlockOutcome on_block(std::int64_t block_time_us,
-                        std::span<const chain::TxReceipt> receipts);
+                        std::span<const chain::TxReceipt> receipts,
+                        std::int64_t include_us = -1);
 
   // Marks a record as failed locally (submission rejected by the SUT).
   void mark_rejected(std::size_t position, std::int64_t end_us);

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "telemetry/registry.hpp"
+
 namespace hammer::report {
 
 bool ResourceMonitor::read_proc_self(std::uint64_t& cpu_jiffies, std::int64_t& rss_kb) {
@@ -34,6 +36,20 @@ bool ResourceMonitor::read_proc_self(std::uint64_t& cpu_jiffies, std::int64_t& r
 }
 
 ResourceMonitor::ResourceMonitor(std::chrono::milliseconds interval) : interval_(interval) {
+  source_handle_ = telemetry::MetricRegistry::global().add_source(
+      [this]() -> std::vector<telemetry::MetricRegistry::SourceSample> {
+        ResourceSample latest;
+        {
+          std::scoped_lock lock(mu_);
+          if (samples_.empty()) return {};
+          latest = samples_.back();
+        }
+        return {{"hammer_process_cpu_percent",
+                 "Process CPU use over the last monitor interval (% of one core)", "",
+                 latest.cpu_percent},
+                {"hammer_process_rss_kb", "Process resident set size", "",
+                 static_cast<double>(latest.rss_kb)}};
+      });
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -42,6 +58,9 @@ ResourceMonitor::~ResourceMonitor() { stop(); }
 void ResourceMonitor::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Deregister before joining so no scrape started after stop() returns can
+  // reach into a monitor the caller is about to destroy.
+  telemetry::MetricRegistry::global().remove_source(source_handle_);
   if (thread_.joinable()) thread_.join();
 }
 
@@ -76,6 +95,14 @@ void ResourceMonitor::loop() {
 std::vector<ResourceSample> ResourceMonitor::samples() const {
   std::scoped_lock lock(mu_);
   return samples_;
+}
+
+double ResourceMonitor::avg_cpu_percent() const {
+  std::scoped_lock lock(mu_);
+  if (samples_.empty()) return 0.0;
+  double total = 0;
+  for (const auto& s : samples_) total += s.cpu_percent;
+  return total / static_cast<double>(samples_.size());
 }
 
 double ResourceMonitor::peak_cpu_percent() const {

@@ -20,6 +20,11 @@ struct ResourceSample {
   std::int64_t rss_kb = 0;       // resident set size
 };
 
+// While running, the monitor also registers itself as a pull-time source in
+// the global telemetry registry, exporting hammer_process_cpu_percent and
+// hammer_process_rss_kb from its latest sample — so a /metrics scrape sees
+// resource usage without a second /proc reader. stop() (or destruction)
+// deregisters the source.
 class ResourceMonitor {
  public:
   explicit ResourceMonitor(std::chrono::milliseconds interval = std::chrono::milliseconds(200));
@@ -29,6 +34,7 @@ class ResourceMonitor {
   std::vector<ResourceSample> samples() const;
 
   double peak_cpu_percent() const;
+  double avg_cpu_percent() const;
   std::int64_t peak_rss_kb() const;
 
   // Reads the current process stats once (utime+stime jiffies, rss pages).
@@ -41,6 +47,7 @@ class ResourceMonitor {
   std::atomic<bool> stopping_{false};
   mutable std::mutex mu_;
   std::vector<ResourceSample> samples_;
+  std::uint64_t source_handle_ = 0;
   std::thread thread_;
 };
 

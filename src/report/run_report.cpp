@@ -4,11 +4,13 @@
 #include <sstream>
 
 #include "report/ascii_chart.hpp"
+#include "report/csv.hpp"
 #include "util/histogram.hpp"
 
 namespace hammer::report {
 
-RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::string& title) {
+RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::string& title,
+                           const ResourceMonitor* resources) {
   RunReport report;
   report.table2_tps = metrics.query_tps();
 
@@ -51,8 +53,59 @@ RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::stri
     os << line_chart("throughput timeline (tx/s)", {{"tps", report.tps_timeline}},
                      {.width = 60, .height = 10, .x_label = "seconds", .y_label = "tps"});
   }
+  if (resources != nullptr) {
+    report.has_resources = true;
+    report.resource_samples = resources->samples();
+    report.peak_cpu_percent = resources->peak_cpu_percent();
+    report.avg_cpu_percent = resources->avg_cpu_percent();
+    report.peak_rss_kb = resources->peak_rss_kb();
+    os << "Resources: cpu peak=" << format_double(report.peak_cpu_percent, 1)
+       << "% avg=" << format_double(report.avg_cpu_percent, 1)
+       << "% rss peak=" << report.peak_rss_kb << "kB ("
+       << report.resource_samples.size() << " samples)\n";
+    if (report.resource_samples.size() >= 2) {
+      std::vector<double> cpu;
+      cpu.reserve(report.resource_samples.size());
+      for (const ResourceSample& s : report.resource_samples) cpu.push_back(s.cpu_percent);
+      os << line_chart("client cpu (% of one core)", {{"cpu", cpu}},
+                       {.width = 60, .height = 8, .x_label = "samples", .y_label = "%"});
+    }
+  }
   report.rendered = os.str();
   return report;
+}
+
+json::Value RunReport::to_json() const {
+  json::Object obj;
+  obj["table2_tps"] = table2_tps;
+  obj["mean_latency_ms"] = mean_latency_ms;
+  obj["p99_latency_ms"] = p99_latency_ms;
+  json::Array timeline;
+  timeline.reserve(tps_timeline.size());
+  for (double v : tps_timeline) timeline.push_back(json::Value(v));
+  obj["tps_timeline"] = json::Value(std::move(timeline));
+  if (has_resources) {
+    json::Array series;
+    series.reserve(resource_samples.size());
+    for (const ResourceSample& s : resource_samples) {
+      series.push_back(json::object(
+          {{"at_ms", s.at_ms}, {"cpu_percent", s.cpu_percent}, {"rss_kb", s.rss_kb}}));
+    }
+    obj["resources"] = json::object({{"peak_cpu_percent", peak_cpu_percent},
+                                     {"avg_cpu_percent", avg_cpu_percent},
+                                     {"peak_rss_kb", peak_rss_kb},
+                                     {"samples", json::Value(std::move(series))}});
+  }
+  return json::Value(std::move(obj));
+}
+
+std::string RunReport::resources_csv() const {
+  CsvWriter csv({"at_ms", "cpu_percent", "rss_kb"});
+  for (const ResourceSample& s : resource_samples) {
+    csv.add_row({std::to_string(s.at_ms), format_double(s.cpu_percent, 2),
+                 std::to_string(s.rss_kb)});
+  }
+  return csv.to_string();
 }
 
 }  // namespace hammer::report

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/metrics.hpp"
+#include "report/resource_monitor.hpp"
 
 namespace hammer::report {
 
@@ -18,7 +19,24 @@ struct RunReport {
   std::vector<double> tps_timeline;    // committed tx per second-of-run
   std::string rendered;                // full textual dashboard
 
-  static RunReport build(const core::MetricsPipeline& metrics, const std::string& title);
+  // Client-process resource usage (the paper's node-exporter panels); only
+  // populated when build() is given a monitor.
+  bool has_resources = false;
+  double peak_cpu_percent = 0.0;
+  double avg_cpu_percent = 0.0;
+  std::int64_t peak_rss_kb = 0;
+  std::vector<ResourceSample> resource_samples;
+
+  // When `resources` is non-null its samples become the report's resources
+  // section (peak/avg CPU, peak RSS, sample series). Stop the monitor first
+  // so the series covers exactly the run.
+  static RunReport build(const core::MetricsPipeline& metrics, const std::string& title,
+                         const ResourceMonitor* resources = nullptr);
+
+  // Structured forms of the dashboard for artifacts: JSON mirrors the
+  // rendered sections; the CSV is one row per resource sample.
+  json::Value to_json() const;
+  std::string resources_csv() const;
 };
 
 }  // namespace hammer::report

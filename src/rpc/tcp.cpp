@@ -12,12 +12,73 @@
 #include <cerrno>
 #include <cstring>
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
 namespace hammer::rpc {
 
 namespace {
+
+// Transport telemetry on the process-global registry. References are
+// resolved once; the per-event cost is one relaxed shard-local add.
+struct RpcMetrics {
+  telemetry::Counter& client_frames_sent;
+  telemetry::Counter& client_frames_recv;
+  telemetry::Counter& client_bytes_sent;
+  telemetry::Counter& client_bytes_recv;
+  telemetry::Counter& calls_single;
+  telemetry::Counter& calls_async;
+  telemetry::Counter& calls_batch;
+  telemetry::StageHistogram& batch_size;
+  telemetry::Gauge& inflight;
+  telemetry::Counter& server_conns_total;
+  telemetry::Gauge& server_conns;
+  telemetry::Counter& server_dropped;
+  telemetry::Counter& server_requests;
+  telemetry::Counter& server_bytes_recv;
+  telemetry::Counter& server_bytes_sent;
+
+  static RpcMetrics& get() {
+    static RpcMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  RpcMetrics()
+      : client_frames_sent(reg().counter("hammer_rpc_client_frames_total",
+                                         "Frames on client channels", "dir=\"sent\"")),
+        client_frames_recv(reg().counter("hammer_rpc_client_frames_total",
+                                         "Frames on client channels", "dir=\"recv\"")),
+        client_bytes_sent(reg().counter("hammer_rpc_client_bytes_total",
+                                        "Wire bytes on client channels", "dir=\"sent\"")),
+        client_bytes_recv(reg().counter("hammer_rpc_client_bytes_total",
+                                        "Wire bytes on client channels", "dir=\"recv\"")),
+        calls_single(reg().counter("hammer_rpc_client_calls_total",
+                                   "RPC calls by submission shape", "shape=\"single\"")),
+        calls_async(reg().counter("hammer_rpc_client_calls_total",
+                                  "RPC calls by submission shape", "shape=\"async\"")),
+        calls_batch(reg().counter("hammer_rpc_client_calls_total",
+                                  "RPC calls by submission shape", "shape=\"batch\"")),
+        batch_size(reg().histogram("hammer_rpc_client_batch_size",
+                                   "Calls coalesced per batch frame", "",
+                                   {1, 2, 4, 8, 16, 32, 64, 128, 256})),
+        inflight(reg().gauge("hammer_rpc_client_inflight",
+                             "Requests awaiting a response across all channels")),
+        server_conns_total(reg().counter("hammer_rpc_server_connections_total",
+                                         "Connections ever accepted")),
+        server_conns(reg().gauge("hammer_rpc_server_connections", "Open server connections")),
+        server_dropped(reg().counter("hammer_rpc_server_dropped_total",
+                                     "Connections dropped (EOF, error, oversize frame)")),
+        server_requests(reg().counter("hammer_rpc_server_requests_total",
+                                      "Request frames dispatched to workers")),
+        server_bytes_recv(reg().counter("hammer_rpc_server_bytes_total",
+                                        "Wire bytes on the server", "dir=\"recv\"")),
+        server_bytes_sent(reg().counter("hammer_rpc_server_bytes_total",
+                                        "Wire bytes on the server", "dir=\"sent\"")) {}
+
+  static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
+};
 
 void write_all(int fd, const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
@@ -156,6 +217,7 @@ void TcpServer::stop() {
       conn->dead.store(true);
       ::shutdown(fd, SHUT_RDWR);
     }
+    RpcMetrics::get().server_conns.sub(static_cast<std::int64_t>(connections_.size()));
     connections_.clear();  // sockets close when the last Work reference drops
   }
   work_queue_.close();
@@ -210,6 +272,8 @@ void TcpServer::accept_new() {
     }
     set_nodelay(fd);
     set_send_timeout(fd, std::chrono::milliseconds(10000));
+    RpcMetrics::get().server_conns_total.add(1);
+    RpcMetrics::get().server_conns.add(1);
     auto conn = std::make_shared<Connection>(fd);
     {
       std::scoped_lock lock(connections_mu_);
@@ -227,6 +291,7 @@ void TcpServer::drain_readable(const std::shared_ptr<Connection>& conn) {
   for (;;) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
     if (n > 0) {
+      RpcMetrics::get().server_bytes_recv.add(static_cast<std::uint64_t>(n));
       conn->buffer.append(buf, static_cast<std::size_t>(n));
       continue;
     }
@@ -252,6 +317,7 @@ void TcpServer::drain_readable(const std::shared_ptr<Connection>& conn) {
     if (conn->buffer.size() < sizeof(len_be) + len) break;
     Work work{conn, conn->buffer.substr(sizeof(len_be), len)};
     conn->buffer.erase(0, sizeof(len_be) + len);
+    RpcMetrics::get().server_requests.add(1);
     if (!work_queue_.push(std::move(work))) return;  // queue closed: stopping
   }
 }
@@ -265,6 +331,8 @@ void TcpServer::drop_connection(int fd) {
     conn = std::move(it->second);
     connections_.erase(it);
   }
+  RpcMetrics::get().server_conns.sub(1);
+  RpcMetrics::get().server_dropped.add(1);
   conn->dead.store(true);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   // The fd closes in ~Connection once in-flight workers release their
@@ -279,6 +347,7 @@ void TcpServer::worker_loop() {
     if (work->conn->dead.load()) continue;
     try {
       send_frame(work->conn->fd, response);
+      RpcMetrics::get().server_bytes_sent.add(sizeof(std::uint32_t) + response.size());
     } catch (const TransportError& e) {
       work->conn->dead.store(true);
       if (!stopping_.load()) HLOG_DEBUG("tcp") << "response write failed: " << e.what();
@@ -337,6 +406,8 @@ std::future<json::Value> TcpChannel::send_request(const std::string& method, jso
     if (broken_) std::rethrow_exception(break_reason_);
     id_out = next_id_++;
     future = pending_[id_out].get_future();
+    // Inside the lock so fail_all/complete can never decrement first.
+    RpcMetrics::get().inflight.add(1);
   }
   std::string frame = make_request(id_out, method, std::move(params)).dump();
   try {
@@ -346,10 +417,13 @@ std::future<json::Value> TcpChannel::send_request(const std::string& method, jso
     forget(id_out);
     throw;
   }
+  RpcMetrics::get().client_frames_sent.add(1);
+  RpcMetrics::get().client_bytes_sent.add(sizeof(std::uint32_t) + frame.size());
   return future;
 }
 
 json::Value TcpChannel::call(const std::string& method, json::Value params) {
+  RpcMetrics::get().calls_single.add(1);
   std::uint64_t id = 0;
   std::future<json::Value> future = send_request(method, std::move(params), id);
   if (future.wait_for(timeout_) == std::future_status::timeout) {
@@ -360,12 +434,15 @@ json::Value TcpChannel::call(const std::string& method, json::Value params) {
 }
 
 std::future<json::Value> TcpChannel::call_async(const std::string& method, json::Value params) {
+  RpcMetrics::get().calls_async.add(1);
   std::uint64_t id = 0;
   return send_request(method, std::move(params), id);
 }
 
 std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& calls) {
   if (calls.empty()) return {};
+  RpcMetrics::get().calls_batch.add(calls.size());
+  RpcMetrics::get().batch_size.record(static_cast<std::int64_t>(calls.size()));
   std::vector<std::uint64_t> ids(calls.size());
   std::vector<std::future<json::Value>> futures(calls.size());
   json::Array entries;
@@ -378,6 +455,7 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
       futures[i] = pending_[ids[i]].get_future();
       entries.push_back(make_request(ids[i], calls[i].method, calls[i].params));
     }
+    RpcMetrics::get().inflight.add(static_cast<std::int64_t>(calls.size()));
   }
   std::string frame = json::Value(std::move(entries)).dump();
   try {
@@ -387,6 +465,8 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
     for (std::uint64_t id : ids) forget(id);
     throw;
   }
+  RpcMetrics::get().client_frames_sent.add(1);
+  RpcMetrics::get().client_bytes_sent.add(sizeof(std::uint32_t) + frame.size());
 
   // One deadline for the whole batch: it is a single logical round trip.
   auto deadline = std::chrono::steady_clock::now() + timeout_;
@@ -409,8 +489,12 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
 }
 
 void TcpChannel::forget(std::uint64_t id) {
-  std::scoped_lock lock(pending_mu_);
-  pending_.erase(id);
+  std::size_t erased;
+  {
+    std::scoped_lock lock(pending_mu_);
+    erased = pending_.erase(id);
+  }
+  if (erased) RpcMetrics::get().inflight.sub(1);
 }
 
 void TcpChannel::complete(const json::Value& response) {
@@ -427,6 +511,7 @@ void TcpChannel::complete(const json::Value& response) {
     promise = std::move(it->second);
     pending_.erase(it);
   }
+  RpcMetrics::get().inflight.sub(1);
   try {
     promise.set_value(take_result(response));
   } catch (...) {
@@ -442,6 +527,7 @@ void TcpChannel::fail_all(std::exception_ptr reason) {
     if (!break_reason_) break_reason_ = reason;
     orphans.swap(pending_);
   }
+  RpcMetrics::get().inflight.sub(static_cast<std::int64_t>(orphans.size()));
   for (auto& [id, promise] : orphans) promise.set_exception(reason);
 }
 
@@ -457,6 +543,8 @@ void TcpChannel::reader_loop() {
       fail_all(std::current_exception());
       return;
     }
+    RpcMetrics::get().client_frames_recv.add(1);
+    RpcMetrics::get().client_bytes_recv.add(sizeof(std::uint32_t) + payload.size());
     try {
       json::Value response = json::Value::parse(payload);
       if (response.is_array()) {

@@ -1,0 +1,32 @@
+#include "telemetry/endpoint.hpp"
+
+#include "telemetry/exposition.hpp"
+
+namespace hammer::telemetry {
+
+void bind_telemetry_rpc(rpc::Dispatcher& dispatcher, MetricRegistry* registry) {
+  MetricRegistry* reg = registry ? registry : &MetricRegistry::global();
+  dispatcher.register_method("telemetry.metrics", [reg](const json::Value&) {
+    return json::object({{"content_type", "text/plain; version=0.0.4"},
+                         {"text", render_prometheus(*reg)}});
+  });
+  dispatcher.register_method("telemetry.snapshot",
+                             [reg](const json::Value&) { return reg->snapshot_json(); });
+}
+
+std::string scrape_metrics(rpc::Channel& channel) {
+  return channel.call("telemetry.metrics", json::object({})).at("text").as_string();
+}
+
+json::Value scrape_snapshot(rpc::Channel& channel) {
+  return channel.call("telemetry.snapshot", json::object({}));
+}
+
+TelemetryEndpoint::TelemetryEndpoint(std::uint16_t port, MetricRegistry* registry)
+    : dispatcher_(std::make_shared<rpc::Dispatcher>()) {
+  bind_telemetry_rpc(*dispatcher_, registry);
+  // The telemetry surface is read-only and rarely hit; two workers suffice.
+  server_ = std::make_unique<rpc::TcpServer>(dispatcher_, port, /*worker_threads=*/2);
+}
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,48 @@
+// The scrape surface: telemetry methods on a JSON-RPC dispatcher, and a
+// standalone endpoint for processes that want a dedicated telemetry port.
+//
+// Methods (registered by bind_telemetry_rpc):
+//   telemetry.metrics  {}  -> {"content_type": "text/plain; version=0.0.4",
+//                              "text": "<prometheus exposition>"}
+//   telemetry.snapshot {}  -> flat JSON object of every live series
+//
+// bind_telemetry_rpc is called by core::Deployment for every SUT
+// dispatcher, so the existing epoll TcpServer that already serves
+// chain.* doubles as the /metrics endpoint — one port per node, exactly
+// like the paper's per-node Prometheus exporters. TelemetryEndpoint is the
+// driver-side equivalent: a tiny dedicated TcpServer for the client
+// process (see examples/quickstart.cpp --telemetry).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rpc/tcp.hpp"
+#include "telemetry/registry.hpp"
+
+namespace hammer::telemetry {
+
+// Registers telemetry.metrics / telemetry.snapshot on the dispatcher.
+// registry == nullptr binds the process-global registry.
+void bind_telemetry_rpc(rpc::Dispatcher& dispatcher, MetricRegistry* registry = nullptr);
+
+// One-call scrape helpers over any channel (used by smoke tests, benches
+// and the quickstart's live printer).
+std::string scrape_metrics(rpc::Channel& channel);
+json::Value scrape_snapshot(rpc::Channel& channel);
+
+// Dedicated telemetry port: owns a dispatcher with only the telemetry
+// methods plus the TcpServer exposing it.
+class TelemetryEndpoint {
+ public:
+  // port = 0 picks a free port (see port()).
+  explicit TelemetryEndpoint(std::uint16_t port = 0, MetricRegistry* registry = nullptr);
+
+  std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::shared_ptr<rpc::Dispatcher> dispatcher_;
+  std::unique_ptr<rpc::TcpServer> server_;
+};
+
+}  // namespace hammer::telemetry

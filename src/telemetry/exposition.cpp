@@ -1,0 +1,138 @@
+#include "telemetry/exposition.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace hammer::telemetry {
+
+namespace {
+
+// Prometheus sample values: integers render exactly, doubles compactly.
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_sample(std::string& out, const std::string& name, const std::string& labels,
+                   double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += format_value(value);
+  out += '\n';
+}
+
+const char* kind_name(FamilySnapshot::Kind kind) {
+  switch (kind) {
+    case FamilySnapshot::Kind::kCounter: return "counter";
+    case FamilySnapshot::Kind::kGauge: return "gauge";
+    case FamilySnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' && name[0] != ':') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+  for (const FamilySnapshot& fam : registry.collect()) {
+    if (!fam.help.empty()) out += "# HELP " + fam.name + " " + fam.help + "\n";
+    out += "# TYPE " + fam.name + " " + kind_name(fam.kind) + "\n";
+    for (const SeriesValue& v : fam.values) append_sample(out, fam.name, v.labels, v.value);
+    for (const HistogramSeries& h : fam.series) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.snap.counts.size(); ++i) {
+        cumulative += h.snap.counts[i];
+        std::string le =
+            i < h.snap.bounds.size() ? std::to_string(h.snap.bounds[i]) : std::string("+Inf");
+        std::string labels = "le=\"" + le + "\"";
+        if (!h.labels.empty()) labels = h.labels + "," + labels;
+        append_sample(out, fam.name + "_bucket", labels, static_cast<double>(cumulative));
+      }
+      append_sample(out, fam.name + "_sum", h.labels, static_cast<double>(h.snap.sum));
+      append_sample(out, fam.name + "_count", h.labels, static_cast<double>(h.snap.count));
+    }
+  }
+  return out;
+}
+
+bool parse_prometheus(const std::string& text, std::map<std::string, double>* out,
+                      std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "line " + std::to_string(line_no) + ": " + why + ": " + line;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment/metadata line; only HELP and TYPE are emitted by us but any
+      // comment is legal in the format.
+      continue;
+    }
+    // name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("missing value");
+    std::string name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) return fail("bad metric name");
+    std::string key = name;
+    std::size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos) return fail("unterminated label set");
+      // Label bodies must contain an even number of quotes and no stray
+      // braces; a full grammar check is overkill for a smoke validator.
+      std::string body = line.substr(name_end + 1, close - name_end - 1);
+      if (std::count(body.begin(), body.end(), '"') % 2 != 0) {
+        return fail("unbalanced quotes in labels");
+      }
+      key = name + "{" + body + "}";
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return fail("expected space before value");
+    }
+    std::string value_text = line.substr(value_start + 1);
+    if (value_text.empty()) return fail("missing value");
+    if (value_text == "+Inf" || value_text == "-Inf" || value_text == "NaN") {
+      if (out) (*out)[key] = 0.0;
+      continue;
+    }
+    try {
+      std::size_t used = 0;
+      double value = std::stod(value_text, &used);
+      if (used != value_text.size()) return fail("trailing junk after value");
+      if (out) (*out)[key] = value;
+    } catch (const std::exception&) {
+      return fail("unparsable value");
+    }
+  }
+  return true;
+}
+
+}  // namespace hammer::telemetry

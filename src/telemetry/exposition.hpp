@@ -1,0 +1,24 @@
+// Prometheus text exposition format (version 0.0.4) for MetricRegistry —
+// what a Prometheus server would scrape from the paper's deployment, here
+// rendered on demand so a live run can be inspected mid-flight.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace hammer::telemetry {
+
+// Renders every family as `# HELP` / `# TYPE` plus its series lines.
+// Histograms expand to cumulative `_bucket{le=...}`, `_sum` and `_count`.
+std::string render_prometheus(const MetricRegistry& registry);
+
+// Minimal structural validator/parser for the exposition format, used by
+// tests and the scrape smoke check. On success fills `out` (when non-null)
+// with `name{labels}` -> value for every sample line and returns true; on
+// the first malformed line returns false and sets `error`.
+bool parse_prometheus(const std::string& text, std::map<std::string, double>* out,
+                      std::string* error);
+
+}  // namespace hammer::telemetry

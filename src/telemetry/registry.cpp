@@ -1,0 +1,225 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace hammer::telemetry {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Gauge::value() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// StageHistogram
+// ---------------------------------------------------------------------------
+
+const std::vector<std::int64_t>& StageHistogram::default_bounds_us() {
+  static const std::vector<std::int64_t> bounds = {
+      50,     100,    250,    500,     1000,    2500,    5000,    10000,
+      25000,  50000,  100000, 250000,  500000,  1000000, 2500000, 5000000};
+  return bounds;
+}
+
+StageHistogram::StageHistogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds_us();
+  HAMMER_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void StageHistogram::record(std::int64_t value) {
+  // Branchless-enough: the bounds list is short and cached; upper_bound is
+  // O(log n) over ~16 entries.
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& shard = shards_[this_thread_shard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot StageHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+std::int64_t HistogramSnapshot::percentile(double p) const {
+  HAMMER_CHECK(p >= 0.0 && p <= 100.0);
+  if (count == 0) return 0;
+  auto target =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target) {
+      return i < bounds.size() ? bounds[i] : (bounds.empty() ? 0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed:
+  // instrumented code may log through static-destruction order otherwise.
+  return *registry;
+}
+
+Counter& MetricRegistry::counter(const std::string& name, const std::string& help,
+                                 const std::string& labels) {
+  std::scoped_lock lock(mu_);
+  Family<Counter>& family = counters_[name];
+  if (family.help.empty()) family.help = help;
+  auto& slot = family.series[labels];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const std::string& help,
+                             const std::string& labels) {
+  std::scoped_lock lock(mu_);
+  Family<Gauge>& family = gauges_[name];
+  if (family.help.empty()) family.help = help;
+  auto& slot = family.series[labels];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+StageHistogram& MetricRegistry::histogram(const std::string& name, const std::string& help,
+                                          const std::string& labels,
+                                          std::vector<std::int64_t> bounds) {
+  std::scoped_lock lock(mu_);
+  Family<StageHistogram>& family = histograms_[name];
+  if (family.help.empty()) family.help = help;
+  auto& slot = family.series[labels];
+  if (!slot) slot.reset(new StageHistogram(std::move(bounds)));
+  return *slot;
+}
+
+std::uint64_t MetricRegistry::add_source(SourceFn source) {
+  HAMMER_CHECK(source != nullptr);
+  std::scoped_lock lock(mu_);
+  std::uint64_t handle = next_source_++;
+  sources_.emplace(handle, std::move(source));
+  return handle;
+}
+
+void MetricRegistry::remove_source(std::uint64_t handle) {
+  std::scoped_lock lock(mu_);
+  sources_.erase(handle);
+}
+
+std::vector<FamilySnapshot> MetricRegistry::collect() const {
+  // Copy the source callbacks out so sampling runs without the registry
+  // lock held (a source may itself take locks).
+  std::vector<FamilySnapshot> out;
+  std::vector<SourceFn> sources;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, family] : counters_) {
+      FamilySnapshot fam;
+      fam.name = name;
+      fam.help = family.help;
+      fam.kind = FamilySnapshot::Kind::kCounter;
+      for (const auto& [labels, counter] : family.series) {
+        fam.values.push_back({labels, static_cast<double>(counter->value())});
+      }
+      out.push_back(std::move(fam));
+    }
+    for (const auto& [name, family] : gauges_) {
+      FamilySnapshot fam;
+      fam.name = name;
+      fam.help = family.help;
+      fam.kind = FamilySnapshot::Kind::kGauge;
+      for (const auto& [labels, gauge] : family.series) {
+        fam.values.push_back({labels, static_cast<double>(gauge->value())});
+      }
+      out.push_back(std::move(fam));
+    }
+    for (const auto& [name, family] : histograms_) {
+      FamilySnapshot fam;
+      fam.name = name;
+      fam.help = family.help;
+      fam.kind = FamilySnapshot::Kind::kHistogram;
+      for (const auto& [labels, hist] : family.series) {
+        fam.series.push_back({labels, hist->snapshot()});
+      }
+      out.push_back(std::move(fam));
+    }
+    sources.reserve(sources_.size());
+    for (const auto& [handle, fn] : sources_) sources.push_back(fn);
+  }
+  // Source samples render as gauges, grouped by name so families stay
+  // contiguous in the exposition.
+  std::map<std::string, FamilySnapshot> sourced;
+  for (const SourceFn& fn : sources) {
+    for (SourceSample& sample : fn()) {
+      FamilySnapshot& fam = sourced[sample.name];
+      if (fam.name.empty()) {
+        fam.name = sample.name;
+        fam.help = sample.help;
+        fam.kind = FamilySnapshot::Kind::kGauge;
+      }
+      fam.values.push_back({sample.labels, sample.value});
+    }
+  }
+  for (auto& [name, fam] : sourced) out.push_back(std::move(fam));
+  return out;
+}
+
+json::Value MetricRegistry::snapshot_json() const {
+  json::Object root;
+  for (const FamilySnapshot& fam : collect()) {
+    auto key = [&fam](const std::string& labels) {
+      return labels.empty() ? fam.name : fam.name + "{" + labels + "}";
+    };
+    for (const SeriesValue& v : fam.values) root[key(v.labels)] = v.value;
+    for (const HistogramSeries& h : fam.series) {
+      json::Object hist;
+      hist["count"] = h.snap.count;
+      hist["sum"] = h.snap.sum;
+      hist["p50"] = h.snap.percentile(50);
+      hist["p99"] = h.snap.percentile(99);
+      json::Array buckets;
+      buckets.reserve(h.snap.counts.size());
+      for (std::uint64_t c : h.snap.counts) buckets.push_back(json::Value(c));
+      hist["buckets"] = json::Value(std::move(buckets));
+      root[key(h.labels)] = json::Value(std::move(hist));
+    }
+  }
+  return json::Value(std::move(root));
+}
+
+}  // namespace hammer::telemetry

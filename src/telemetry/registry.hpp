@@ -1,0 +1,206 @@
+// Live metric registry — the in-process stand-in for the paper's
+// Prometheus node exporters ("Prometheus pulls the internal metrics of each
+// node during or after our evaluation").
+//
+// Design constraints, in order:
+//   1. The hot path (driver worker loop, TcpChannel writer, task processor)
+//      must pay one relaxed atomic add per event. Every instrument is
+//      sharded: threads are assigned a cache-line-padded slot round-robin,
+//      so concurrent writers almost never touch the same line. Aggregation
+//      happens at scrape time, which is rare and off the hot path.
+//   2. Instrument references are stable for the life of the registry, so
+//      callers hoist the lookup out of their loops (typically into a
+//      function-local static) and never pay the registry mutex per event.
+//   3. Scrapes are wait-free for writers: readers sum the shards with
+//      relaxed loads; a scrape concurrent with writes sees a value that was
+//      true at some instant between scrape start and end, which is all
+//      Prometheus semantics require.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace hammer::telemetry {
+
+// Shard count for per-thread striping. More threads than shards simply
+// share slots (still correct, slightly more contention).
+inline constexpr std::size_t kMetricShards = 16;
+
+// Stable per-thread shard slot, assigned round-robin on first use.
+std::size_t this_thread_shard();
+
+namespace detail {
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) PaddedSigned {
+  std::atomic<std::int64_t> v{0};
+};
+}  // namespace detail
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::array<detail::PaddedCount, kMetricShards> shards_;
+};
+
+// Signed instantaneous value (in-flight calls, queue depth). add/sub are
+// commutative, so sharding works the same way as for counters.
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t d = 1) {
+    shards_[this_thread_shard()].v.fetch_add(d, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d = 1) { add(-d); }
+  std::int64_t value() const;
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  std::array<detail::PaddedSigned, kMetricShards> shards_;
+};
+
+// Aggregated view of a StageHistogram (shards merged at snapshot time).
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;   // inclusive upper bounds; +Inf implied
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+
+  // Upper bound of the bucket holding percentile p (0 when empty; the last
+  // finite bound when p lands in the +Inf bucket).
+  std::int64_t percentile(double p) const;
+};
+
+// Fixed-bucket duration histogram for stage timings. Unlike util::Histogram
+// (exact post-run analysis), this one is built for concurrent hot-path
+// recording: fixed Prometheus-style cumulative buckets, per-thread shards,
+// one relaxed add per record().
+class StageHistogram {
+ public:
+  StageHistogram(const StageHistogram&) = delete;
+  StageHistogram& operator=(const StageHistogram&) = delete;
+
+  // Default bounds suit microsecond stage timings from 50us to 5s.
+  static const std::vector<std::int64_t>& default_bounds_us();
+
+  void record(std::int64_t value);
+  HistogramSnapshot snapshot() const;
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit StageHistogram(std::vector<std::int64_t> bounds);
+
+  struct alignas(64) Shard {
+    // counts has bounds.size() + 1 slots; the last is the +Inf bucket.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::int64_t> sum{0};
+  };
+
+  std::vector<std::int64_t> bounds_;  // sorted, strictly increasing
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// One exported time series (or source sample) in a structured scrape.
+struct SeriesValue {
+  std::string labels;  // rendered label body, e.g. `dir="sent"` (may be empty)
+  double value = 0.0;
+};
+
+struct HistogramSeries {
+  std::string labels;
+  HistogramSnapshot snap;
+};
+
+// One metric family: every series sharing a name, help text and type.
+struct FamilySnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::vector<SeriesValue> values;       // counters/gauges/source samples
+  std::vector<HistogramSeries> series;   // histograms
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Process-wide registry that instrumented subsystems default to.
+  static MetricRegistry& global();
+
+  // Idempotent: the first call creates the series, later calls (same name +
+  // labels) return the same instrument. References stay valid for the
+  // registry's lifetime. `labels` is a pre-rendered Prometheus label body
+  // without braces, e.g. `dir="sent"`.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const std::string& labels = "");
+  StageHistogram& histogram(const std::string& name, const std::string& help = "",
+                            const std::string& labels = "",
+                            std::vector<std::int64_t> bounds = {});
+
+  // Pull-time sources: sampled on every collect(). This is how components
+  // that already own their sampling loop (ResourceMonitor) join the
+  // registry without double bookkeeping. Returns a handle for remove_source.
+  struct SourceSample {
+    std::string name;
+    std::string help;
+    std::string labels;
+    double value = 0.0;
+  };
+  using SourceFn = std::function<std::vector<SourceSample>()>;
+  std::uint64_t add_source(SourceFn source);
+  void remove_source(std::uint64_t handle);
+
+  // Structured scrape: every family, shards aggregated, sources sampled.
+  std::vector<FamilySnapshot> collect() const;
+
+  // JSON snapshot (the `telemetry.snapshot` RPC payload): flat object keyed
+  // by `name` or `name{labels}`; histograms expand to {count,sum,buckets}.
+  json::Value snapshot_json() const;
+
+ private:
+  template <typename T>
+  struct Family {
+    std::string help;
+    std::map<std::string, std::unique_ptr<T>> series;  // keyed by label body
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<StageHistogram>> histograms_;
+  std::map<std::uint64_t, SourceFn> sources_;
+  std::uint64_t next_source_ = 1;
+};
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,100 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "util/errors.hpp"
+
+namespace hammer::telemetry {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kStart: return "start";
+    case Stage::kSigned: return "signed";
+    case Stage::kEnqueued: return "enqueued";
+    case Stage::kSubmitted: return "submitted";
+    case Stage::kIncluded: return "included";
+    case Stage::kDetected: return "detected";
+  }
+  return "?";
+}
+
+TxTracer::TxTracer(std::size_t capacity, std::uint64_t trace_every_n)
+    : every_n_(trace_every_n), capacity_(capacity) {
+  HAMMER_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void TxTracer::record(std::uint64_t ordinal, Stage stage, std::int64_t t_us) {
+  if (!sampled(ordinal)) return;
+  std::scoped_lock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back({ordinal, stage, t_us});
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = {ordinal, stage, t_us};
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TxTracer::events() const {
+  std::scoped_lock lock(mu_);
+  if (total_ <= capacity_) return ring_;
+  // Ring wrapped: oldest surviving event sits at the write head.
+  std::vector<TraceEvent> out;
+  out.reserve(capacity_);
+  std::size_t head = static_cast<std::size_t>(total_ % capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::uint64_t TxTracer::dropped() const {
+  std::scoped_lock lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+StageBreakdown TxTracer::breakdown() const {
+  constexpr std::size_t kStages = 6;
+  constexpr std::int64_t kUnset = INT64_MIN;
+  std::unordered_map<std::uint64_t, std::array<std::int64_t, kStages>> by_tx;
+  for (const TraceEvent& event : events()) {
+    auto [it, inserted] = by_tx.try_emplace(event.tx_ordinal);
+    if (inserted) it->second.fill(kUnset);
+    // Last event wins; stages are recorded in pipeline order anyway.
+    it->second[static_cast<std::size_t>(event.stage)] = event.t_us;
+  }
+  StageBreakdown breakdown;
+  breakdown.sampled_txs = by_tx.size();
+  auto delta = [](util::Histogram& hist, std::int64_t from, std::int64_t to) {
+    if (from == INT64_MIN || to == INT64_MIN) return;
+    hist.record(to - from);
+  };
+  for (const auto& [ordinal, t] : by_tx) {
+    delta(breakdown.sign, t[0], t[1]);     // start -> signed
+    delta(breakdown.queue, t[1], t[2]);    // signed -> enqueued
+    delta(breakdown.submit, t[2], t[3]);   // enqueued -> submitted
+    delta(breakdown.include, t[3], t[4]);  // submitted -> included
+    delta(breakdown.detect, t[4], t[5]);   // included -> detected
+  }
+  return breakdown;
+}
+
+json::Value StageBreakdown::to_json() const {
+  auto stage = [](const util::Histogram& hist) {
+    return json::object(
+        {{"count", hist.count()},
+         {"mean_ms", hist.mean() / 1000.0},
+         {"p50_ms", static_cast<double>(hist.percentile(50)) / 1000.0},
+         {"p99_ms", static_cast<double>(hist.percentile(99)) / 1000.0},
+         {"max_ms", static_cast<double>(hist.max()) / 1000.0}});
+  };
+  return json::object({{"sampled_txs", sampled_txs},
+                       {"sign", stage(sign)},
+                       {"queue", stage(queue)},
+                       {"submit", stage(submit)},
+                       {"include", stage(include)},
+                       {"detect", stage(detect)}});
+}
+
+}  // namespace hammer::telemetry

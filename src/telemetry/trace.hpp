@@ -1,0 +1,84 @@
+// Transaction lifecycle tracing: a bounded ring buffer of
+// {tx_ordinal, stage, t_us} events covering the client-side pipeline
+//   start -> signed -> enqueued -> submitted -> included -> detected
+// so a run can be decomposed into per-stage latencies (where does time go:
+// signing, queueing, the submit RPC, block inclusion, or detection lag?).
+//
+// Sampling (`trace_every_n`) keeps the hot-path cost at one modulo per
+// transaction for unsampled ordinals; sampled ones take a short mutex to
+// push into the ring. The ring is bounded, so a long run overwrites old
+// events instead of growing without bound (dropped() reports how many).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/histogram.hpp"
+
+namespace hammer::telemetry {
+
+enum class Stage : std::uint8_t {
+  kStart = 0,     // feeder picked the transaction up
+  kSigned,        // signature attached
+  kEnqueued,      // pushed into the send queue
+  kSubmitted,     // submit RPC returned (accepted by the SUT)
+  kIncluded,      // block containing it was sealed (header timestamp)
+  kDetected,      // driver's poller observed that block
+};
+
+const char* stage_name(Stage stage);
+
+struct TraceEvent {
+  std::uint64_t tx_ordinal = 0;
+  Stage stage = Stage::kStart;
+  std::int64_t t_us = 0;
+};
+
+// Per-stage latency breakdown computed by pairing adjacent stage events of
+// each sampled transaction.
+struct StageBreakdown {
+  std::uint64_t sampled_txs = 0;  // ordinals with at least one event
+  util::Histogram sign;     // start    -> signed
+  util::Histogram queue;    // signed   -> enqueued (send-queue backpressure)
+  util::Histogram submit;   // enqueued -> submitted (pacing + RPC)
+  util::Histogram include;  // submitted-> included (consensus/inclusion)
+  util::Histogram detect;   // included -> detected (poll + fetch lag)
+
+  json::Value to_json() const;
+};
+
+class TxTracer {
+ public:
+  // trace_every_n == 1 traces everything; n traces ordinals divisible by n;
+  // 0 disables (record() becomes a no-op; sampled() is false).
+  explicit TxTracer(std::size_t capacity = 1 << 16, std::uint64_t trace_every_n = 1);
+
+  bool sampled(std::uint64_t ordinal) const {
+    return every_n_ != 0 && ordinal % every_n_ == 0;
+  }
+
+  // No-op unless sampled(ordinal).
+  void record(std::uint64_t ordinal, Stage stage, std::int64_t t_us);
+
+  std::uint64_t trace_every_n() const { return every_n_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Events currently retained, oldest first.
+  std::vector<TraceEvent> events() const;
+  // Events overwritten because the ring wrapped.
+  std::uint64_t dropped() const;
+
+  StageBreakdown breakdown() const;
+
+ private:
+  const std::uint64_t every_n_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  // events ever recorded; head = total_ % capacity_
+};
+
+}  // namespace hammer::telemetry

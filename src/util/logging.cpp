@@ -8,6 +8,15 @@ namespace hammer::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Small sequential thread tag: stable within a thread, readable across an
+// interleaved multi-worker run (unlike the 16-hex-digit native id).
+unsigned this_thread_tag() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -27,12 +36,15 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   using namespace std::chrono;
+  // Monotonic timestamp (steady_clock, not wall time) so deltas between
+  // lines are meaningful even if NTP steps the wall clock mid-run.
   auto us = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+  unsigned tid = this_thread_tag();
   static std::mutex mu;
   std::scoped_lock lock(mu);
-  std::fprintf(stderr, "[%10lld.%06lld] %s %-12s %s\n",
+  std::fprintf(stderr, "[%10lld.%06lld] [T%02u] %s %-12s %s\n",
                static_cast<long long>(us / 1000000), static_cast<long long>(us % 1000000),
-               level_name(level), component.c_str(), message.c_str());
+               tid, level_name(level), component.c_str(), message.c_str());
 }
 
 }  // namespace hammer::util

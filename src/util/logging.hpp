@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -42,3 +43,12 @@ class LogMessage {
 #define HLOG_INFO(component) HAMMER_LOG(::hammer::util::LogLevel::kInfo, component)
 #define HLOG_WARN(component) HAMMER_LOG(::hammer::util::LogLevel::kWarn, component)
 #define HLOG_ERROR(component) HAMMER_LOG(::hammer::util::LogLevel::kError, component)
+
+// Rate-limited warning for hot paths: emits occurrences 1, n+1, 2n+1, ... at
+// this call site. The occurrence counter is per call site and shared across
+// threads, so a storm of identical failures logs once per n instead of
+// serializing every worker on the logging mutex.
+#define HLOG_EVERY_N(component, n)                                                    \
+  if (static ::std::atomic<::std::uint64_t> hammer_log_every_n_counter_{0};           \
+      hammer_log_every_n_counter_.fetch_add(1, ::std::memory_order_relaxed) % (n) == 0) \
+  HLOG_WARN(component)

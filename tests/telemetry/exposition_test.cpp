@@ -1,0 +1,96 @@
+#include "telemetry/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpc/jsonrpc.hpp"
+#include "telemetry/endpoint.hpp"
+
+namespace hammer::telemetry {
+namespace {
+
+TEST(ExpositionTest, RendersHelpTypeAndSamples) {
+  MetricRegistry reg;
+  reg.counter("req_total", "requests served").add(3);
+  reg.gauge("depth", "queue depth").add(9);
+
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# HELP req_total requests served\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 9\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, RendersLabeledSeries) {
+  MetricRegistry reg;
+  reg.counter("io_total", "bytes", "dir=\"sent\"").add(10);
+  reg.counter("io_total", "bytes", "dir=\"recv\"").add(4);
+
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("io_total{dir=\"recv\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("io_total{dir=\"sent\"} 10\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, HistogramRendersCumulativeBuckets) {
+  MetricRegistry reg;
+  StageHistogram& h = reg.histogram("lat_us", "latency", "", {10, 100});
+  h.record(5);
+  h.record(50);
+  h.record(5000);
+
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, ParseRoundTripsRenderedText) {
+  MetricRegistry reg;
+  reg.counter("a_total").add(7);
+  reg.counter("b_total", "", "k=\"v\"").add(2);
+  reg.histogram("h_us", "", "", {10}).record(3);
+
+  std::map<std::string, double> values;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(render_prometheus(reg), &values, &error)) << error;
+  EXPECT_DOUBLE_EQ(values.at("a_total"), 7.0);
+  EXPECT_DOUBLE_EQ(values.at("b_total{k=\"v\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(values.at("h_us_bucket{le=\"10\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(values.at("h_us_bucket{le=\"+Inf\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(values.at("h_us_count"), 1.0);
+}
+
+TEST(ExpositionTest, ParseRejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(parse_prometheus("9bad_name 1\n", nullptr, &error));
+  EXPECT_FALSE(parse_prometheus("unterminated{le=\"1\" 2\n", nullptr, &error));
+  EXPECT_FALSE(parse_prometheus("odd_quotes{le=\"1} 2\n", nullptr, &error));
+  EXPECT_FALSE(parse_prometheus("no_value\n", nullptr, &error));
+  EXPECT_FALSE(parse_prometheus("bad_value abc\n", nullptr, &error));
+  EXPECT_FALSE(parse_prometheus("trailing 1x\n", nullptr, &error));
+  EXPECT_TRUE(parse_prometheus("# any comment\nok_value 1.5\n", nullptr, &error)) << error;
+}
+
+TEST(ExpositionTest, TelemetryRpcServesMetricsAndSnapshot) {
+  MetricRegistry reg;
+  reg.counter("served_total", "requests").add(11);
+
+  auto dispatcher = std::make_shared<rpc::Dispatcher>();
+  bind_telemetry_rpc(*dispatcher, &reg);
+  rpc::InProcChannel channel(dispatcher);
+
+  std::string text = scrape_metrics(channel);
+  std::map<std::string, double> values;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(text, &values, &error)) << error;
+  EXPECT_DOUBLE_EQ(values.at("served_total"), 11.0);
+
+  json::Value snap = scrape_snapshot(channel);
+  EXPECT_EQ(snap.at("served_total").as_double(), 11.0);
+}
+
+}  // namespace
+}  // namespace hammer::telemetry

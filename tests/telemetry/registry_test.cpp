@@ -1,0 +1,171 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hammer::telemetry {
+namespace {
+
+TEST(RegistryTest, CounterAccumulatesAndIsIdempotent) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("test_total", "help text");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name + labels resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test_total"), &c);
+}
+
+TEST(RegistryTest, LabelsCreateSeparateSeriesInOneFamily) {
+  MetricRegistry reg;
+  Counter& sent = reg.counter("bytes_total", "io", "dir=\"sent\"");
+  Counter& recv = reg.counter("bytes_total", "io", "dir=\"recv\"");
+  EXPECT_NE(&sent, &recv);
+  sent.add(10);
+  recv.add(3);
+
+  auto families = reg.collect();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].name, "bytes_total");
+  EXPECT_EQ(families[0].help, "io");
+  ASSERT_EQ(families[0].values.size(), 2u);
+}
+
+TEST(RegistryTest, GaugeGoesUpAndDown) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("inflight");
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.sub(7);
+  EXPECT_EQ(g.value(), -4);  // signed: transient negatives are representable
+}
+
+TEST(RegistryTest, HistogramBucketsAndPercentiles) {
+  MetricRegistry reg;
+  StageHistogram& h = reg.histogram("lat_us", "latency", "", {10, 100, 1000});
+  h.record(5);     // bucket 0 (<=10)
+  h.record(10);    // bucket 0 (inclusive upper bound)
+  h.record(50);    // bucket 1
+  h.record(5000);  // +Inf bucket
+
+  HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 5065);
+  EXPECT_EQ(snap.percentile(50), 10);
+  // p100 lands in +Inf; reported as the last finite bound.
+  EXPECT_EQ(snap.percentile(100), 1000);
+}
+
+TEST(RegistryTest, EmptyHistogramSnapshotIsZero) {
+  MetricRegistry reg;
+  HistogramSnapshot snap = reg.histogram("empty_us").snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.percentile(50), 0);
+  EXPECT_EQ(snap.bounds, StageHistogram::default_bounds_us());
+}
+
+TEST(RegistryTest, SourcesAreSampledOnCollectAndRemovable) {
+  MetricRegistry reg;
+  int calls = 0;
+  std::uint64_t handle = reg.add_source([&calls] {
+    ++calls;
+    return std::vector<MetricRegistry::SourceSample>{
+        {"proc_cpu", "cpu", "", 42.5}};
+  });
+
+  auto families = reg.collect();
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].name, "proc_cpu");
+  EXPECT_EQ(families[0].kind, FamilySnapshot::Kind::kGauge);
+  ASSERT_EQ(families[0].values.size(), 1u);
+  EXPECT_DOUBLE_EQ(families[0].values[0].value, 42.5);
+
+  reg.remove_source(handle);
+  EXPECT_TRUE(reg.collect().empty());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RegistryTest, SnapshotJsonKeysByNameAndLabels) {
+  MetricRegistry reg;
+  reg.counter("plain_total").add(7);
+  reg.counter("labeled_total", "", "k=\"v\"").add(3);
+  reg.histogram("h_us", "", "", {100}).record(50);
+
+  json::Value snap = reg.snapshot_json();
+  EXPECT_EQ(snap.at("plain_total").as_double(), 7.0);
+  EXPECT_EQ(snap.at("labeled_total{k=\"v\"}").as_double(), 3.0);
+  EXPECT_EQ(snap.at("h_us").at("count").as_int(), 1);
+  EXPECT_EQ(snap.at("h_us").at("sum").as_int(), 50);
+}
+
+TEST(RegistryTest, CounterIsExactUnderConcurrentWriters) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("contended_total");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(RegistryTest, StageHistogramAggregatesShardsUnderConcurrentWriters) {
+  MetricRegistry reg;
+  StageHistogram& h = reg.histogram("conc_us", "", "", {10, 100, 1000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Each thread lands in one bucket so per-bucket counts are checkable.
+      const std::int64_t value = (t % 2 == 0) ? 5 : 500;
+      for (int i = 0; i < kPerThread; ++i) h.record(value);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.counts[0], 4u * kPerThread);  // the value-5 threads
+  EXPECT_EQ(snap.counts[2], 4u * kPerThread);  // the value-500 threads
+  EXPECT_EQ(snap.sum, 4 * kPerThread * (5 + 500));
+}
+
+// Scrapes running concurrently with writers must never crash or read torn
+// state; the exact value only needs to be <= the final total.
+TEST(RegistryTest, CollectIsSafeDuringWrites) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("racing_total");
+  std::thread writer([&c] {
+    for (int i = 0; i < 50000; ++i) c.add();
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& fam : reg.collect()) {
+      ASSERT_EQ(fam.values.size(), 1u);
+      auto v = static_cast<std::uint64_t>(fam.values[0].value);
+      EXPECT_GE(v, last);  // counters are monotonic
+      last = v;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(c.value(), 50000u);
+}
+
+}  // namespace
+}  // namespace hammer::telemetry

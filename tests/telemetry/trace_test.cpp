@@ -1,0 +1,90 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hammer::telemetry {
+namespace {
+
+TEST(TraceTest, SamplingEveryN) {
+  TxTracer tracer(64, 4);
+  EXPECT_TRUE(tracer.sampled(0));
+  EXPECT_FALSE(tracer.sampled(1));
+  EXPECT_FALSE(tracer.sampled(3));
+  EXPECT_TRUE(tracer.sampled(4));
+  EXPECT_TRUE(tracer.sampled(8));
+
+  tracer.record(1, Stage::kStart, 100);  // unsampled: dropped silently
+  tracer.record(4, Stage::kStart, 100);
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(TraceTest, ZeroDisablesTracing) {
+  TxTracer tracer(64, 0);
+  EXPECT_FALSE(tracer.sampled(0));
+  tracer.record(0, Stage::kStart, 1);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TraceTest, RingWrapKeepsNewestAndCountsDropped) {
+  TxTracer tracer(8, 1);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    tracer.record(i, Stage::kStart, static_cast<std::int64_t>(1000 + i));
+  }
+  EXPECT_EQ(tracer.dropped(), 4u);
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained first: ordinals 4..11.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tx_ordinal, i + 4);
+    EXPECT_EQ(events[i].t_us, static_cast<std::int64_t>(1004 + i));
+  }
+}
+
+TEST(TraceTest, BreakdownPairsAdjacentStages) {
+  TxTracer tracer(64, 1);
+  // Two complete lifecycles with known per-stage gaps.
+  for (std::uint64_t ord : {0u, 1u}) {
+    std::int64_t base = static_cast<std::int64_t>(ord) * 1000000;
+    tracer.record(ord, Stage::kStart, base);
+    tracer.record(ord, Stage::kSigned, base + 10);
+    tracer.record(ord, Stage::kEnqueued, base + 30);
+    tracer.record(ord, Stage::kSubmitted, base + 130);
+    tracer.record(ord, Stage::kIncluded, base + 1130);
+    tracer.record(ord, Stage::kDetected, base + 1630);
+  }
+  // One partial lifecycle: no inclusion, so include/detect get no pair.
+  tracer.record(2, Stage::kStart, 5);
+  tracer.record(2, Stage::kSigned, 25);
+
+  StageBreakdown b = tracer.breakdown();
+  EXPECT_EQ(b.sampled_txs, 3u);
+  EXPECT_EQ(b.sign.count(), 3u);
+  EXPECT_EQ(b.queue.count(), 2u);
+  EXPECT_EQ(b.submit.count(), 2u);
+  EXPECT_EQ(b.include.count(), 2u);
+  EXPECT_EQ(b.detect.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.queue.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(b.submit.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(b.include.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.detect.mean(), 500.0);
+}
+
+TEST(TraceTest, BreakdownToJsonCarriesPerStageStats) {
+  TxTracer tracer(64, 1);
+  tracer.record(0, Stage::kStart, 0);
+  tracer.record(0, Stage::kSigned, 2000);  // 2ms sign
+
+  json::Value v = tracer.breakdown().to_json();
+  EXPECT_EQ(v.at("sampled_txs").as_int(), 1);
+  EXPECT_EQ(v.at("sign").at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("sign").at("mean_ms").as_double(), 2.0);
+  EXPECT_EQ(v.at("include").at("count").as_int(), 0);
+}
+
+TEST(TraceTest, StageNamesAreStable) {
+  EXPECT_STREQ(stage_name(Stage::kStart), "start");
+  EXPECT_STREQ(stage_name(Stage::kDetected), "detected");
+}
+
+}  // namespace
+}  // namespace hammer::telemetry

@@ -96,5 +96,49 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.summary().find("n=1"), std::string::npos);
 }
 
+TEST(HistogramTest, EmptyPercentilesAtBothExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
+  Histogram h;
+  h.record(777);
+  for (double p : {0.0, 1.0, 50.0, 99.9, 100.0}) {
+    std::int64_t got = h.percentile(p);
+    EXPECT_GE(got, 777) << "p" << p;  // bucket upper bound never undershoots
+    EXPECT_LE(static_cast<double>(got), 777 * 1.04 + 1.0) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeEmptyIntoPopulatedIsIdentity) {
+  Histogram a;
+  Histogram empty;
+  a.record(5);
+  a.record(15);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 15);
+  EXPECT_DOUBLE_EQ(a.mean(), 10.0);
+}
+
+TEST(HistogramTest, MergePreservesExactMeanAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.record(100);
+  a.record(300);
+  b.record(2000);
+  b.record(4000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1600.0);  // sums add exactly, unlike buckets
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 4000);
+}
+
 }  // namespace
 }  // namespace hammer::util
