@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_frameworks.dir/bench_fig7_frameworks.cpp.o"
+  "CMakeFiles/bench_fig7_frameworks.dir/bench_fig7_frameworks.cpp.o.d"
+  "bench_fig7_frameworks"
+  "bench_fig7_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_taskproc.dir/bench_fig9_taskproc.cpp.o"
+  "CMakeFiles/bench_fig9_taskproc.dir/bench_fig9_taskproc.cpp.o.d"
+  "bench_fig9_taskproc"
+  "bench_fig9_taskproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_taskproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

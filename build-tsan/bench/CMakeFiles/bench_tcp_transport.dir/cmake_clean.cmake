@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_transport.dir/bench_tcp_transport.cpp.o"
+  "CMakeFiles/bench_tcp_transport.dir/bench_tcp_transport.cpp.o.d"
+  "bench_tcp_transport"
+  "bench_tcp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_workloads.dir/forecast_workloads.cpp.o"
+  "CMakeFiles/forecast_workloads.dir/forecast_workloads.cpp.o.d"
+  "forecast_workloads"
+  "forecast_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

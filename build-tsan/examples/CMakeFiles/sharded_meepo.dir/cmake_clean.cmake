@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_meepo.dir/sharded_meepo.cpp.o"
+  "CMakeFiles/sharded_meepo.dir/sharded_meepo.cpp.o.d"
+  "sharded_meepo"
+  "sharded_meepo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_meepo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

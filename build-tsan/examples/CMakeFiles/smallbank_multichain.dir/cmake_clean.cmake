@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallbank_multichain.dir/smallbank_multichain.cpp.o"
+  "CMakeFiles/smallbank_multichain.dir/smallbank_multichain.cpp.o.d"
+  "smallbank_multichain"
+  "smallbank_multichain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallbank_multichain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

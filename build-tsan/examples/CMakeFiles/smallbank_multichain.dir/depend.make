@@ -1,0 +1,2 @@
+# Empty dependencies file for smallbank_multichain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("crypto")
+subdirs("kvstore")
+subdirs("minisql")
+subdirs("telemetry")
+subdirs("rpc")
+subdirs("chain")
+subdirs("adapters")
+subdirs("workload")
+subdirs("forecast")
+subdirs("core")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_adapters.dir/chain_adapter.cpp.o"
+  "CMakeFiles/hammer_adapters.dir/chain_adapter.cpp.o.d"
+  "libhammer_adapters.a"
+  "libhammer_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/hammer_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/contracts.cpp" "src/chain/CMakeFiles/hammer_chain.dir/contracts.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/contracts.cpp.o.d"
+  "/root/repo/src/chain/ethereum_sim.cpp" "src/chain/CMakeFiles/hammer_chain.dir/ethereum_sim.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/ethereum_sim.cpp.o.d"
+  "/root/repo/src/chain/fabric_sim.cpp" "src/chain/CMakeFiles/hammer_chain.dir/fabric_sim.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/fabric_sim.cpp.o.d"
+  "/root/repo/src/chain/factory.cpp" "src/chain/CMakeFiles/hammer_chain.dir/factory.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/factory.cpp.o.d"
+  "/root/repo/src/chain/meepo_sim.cpp" "src/chain/CMakeFiles/hammer_chain.dir/meepo_sim.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/meepo_sim.cpp.o.d"
+  "/root/repo/src/chain/neuchain_sim.cpp" "src/chain/CMakeFiles/hammer_chain.dir/neuchain_sim.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/neuchain_sim.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/hammer_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/state.cpp.o.d"
+  "/root/repo/src/chain/txpool.cpp" "src/chain/CMakeFiles/hammer_chain.dir/txpool.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/txpool.cpp.o.d"
+  "/root/repo/src/chain/types.cpp" "src/chain/CMakeFiles/hammer_chain.dir/types.cpp.o" "gcc" "src/chain/CMakeFiles/hammer_chain.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

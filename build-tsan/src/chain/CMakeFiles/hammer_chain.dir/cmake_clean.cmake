@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/hammer_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/contracts.cpp.o"
+  "CMakeFiles/hammer_chain.dir/contracts.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/ethereum_sim.cpp.o"
+  "CMakeFiles/hammer_chain.dir/ethereum_sim.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/fabric_sim.cpp.o"
+  "CMakeFiles/hammer_chain.dir/fabric_sim.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/factory.cpp.o"
+  "CMakeFiles/hammer_chain.dir/factory.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/meepo_sim.cpp.o"
+  "CMakeFiles/hammer_chain.dir/meepo_sim.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/neuchain_sim.cpp.o"
+  "CMakeFiles/hammer_chain.dir/neuchain_sim.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/state.cpp.o"
+  "CMakeFiles/hammer_chain.dir/state.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/txpool.cpp.o"
+  "CMakeFiles/hammer_chain.dir/txpool.cpp.o.d"
+  "CMakeFiles/hammer_chain.dir/types.cpp.o"
+  "CMakeFiles/hammer_chain.dir/types.cpp.o.d"
+  "libhammer_chain.a"
+  "libhammer_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

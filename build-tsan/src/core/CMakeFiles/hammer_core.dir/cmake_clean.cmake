@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_core.dir/baselines.cpp.o"
+  "CMakeFiles/hammer_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/bloom.cpp.o"
+  "CMakeFiles/hammer_core.dir/bloom.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/deployment.cpp.o"
+  "CMakeFiles/hammer_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/driver.cpp.o"
+  "CMakeFiles/hammer_core.dir/driver.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/hash_index.cpp.o"
+  "CMakeFiles/hammer_core.dir/hash_index.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/metrics.cpp.o"
+  "CMakeFiles/hammer_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/signing.cpp.o"
+  "CMakeFiles/hammer_core.dir/signing.cpp.o.d"
+  "CMakeFiles/hammer_core.dir/task_processor.cpp.o"
+  "CMakeFiles/hammer_core.dir/task_processor.cpp.o.d"
+  "libhammer_core.a"
+  "libhammer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

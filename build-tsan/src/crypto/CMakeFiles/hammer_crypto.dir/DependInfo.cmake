@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/hammer_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/hammer_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/hammer_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/hammer_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/hammer_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/hammer_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/hammer_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/hammer_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/hammer_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/hammer_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/hammer_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/hammer_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hammer_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/hammer_crypto.dir/u256.cpp.o"
+  "CMakeFiles/hammer_crypto.dir/u256.cpp.o.d"
+  "libhammer_crypto.a"
+  "libhammer_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

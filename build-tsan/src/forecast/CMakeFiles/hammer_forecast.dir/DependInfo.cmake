@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/dataset.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/dataset.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/dataset.cpp.o.d"
+  "/root/repo/src/forecast/layers.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/layers.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/layers.cpp.o.d"
+  "/root/repo/src/forecast/models.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/models.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/models.cpp.o.d"
+  "/root/repo/src/forecast/optim.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/optim.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/optim.cpp.o.d"
+  "/root/repo/src/forecast/tensor.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/tensor.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/tensor.cpp.o.d"
+  "/root/repo/src/forecast/train.cpp" "src/forecast/CMakeFiles/hammer_forecast.dir/train.cpp.o" "gcc" "src/forecast/CMakeFiles/hammer_forecast.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/hammer_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chain/CMakeFiles/hammer_chain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_forecast.dir/dataset.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/dataset.cpp.o.d"
+  "CMakeFiles/hammer_forecast.dir/layers.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/layers.cpp.o.d"
+  "CMakeFiles/hammer_forecast.dir/models.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/models.cpp.o.d"
+  "CMakeFiles/hammer_forecast.dir/optim.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/optim.cpp.o.d"
+  "CMakeFiles/hammer_forecast.dir/tensor.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/tensor.cpp.o.d"
+  "CMakeFiles/hammer_forecast.dir/train.cpp.o"
+  "CMakeFiles/hammer_forecast.dir/train.cpp.o.d"
+  "libhammer_forecast.a"
+  "libhammer_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_json.dir/json.cpp.o"
+  "CMakeFiles/hammer_json.dir/json.cpp.o.d"
+  "libhammer_json.a"
+  "libhammer_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

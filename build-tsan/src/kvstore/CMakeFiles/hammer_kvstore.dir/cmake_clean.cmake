@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/hammer_kvstore.dir/kvstore.cpp.o.d"
+  "libhammer_kvstore.a"
+  "libhammer_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

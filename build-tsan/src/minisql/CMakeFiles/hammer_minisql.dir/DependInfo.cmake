@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minisql/database.cpp" "src/minisql/CMakeFiles/hammer_minisql.dir/database.cpp.o" "gcc" "src/minisql/CMakeFiles/hammer_minisql.dir/database.cpp.o.d"
+  "/root/repo/src/minisql/executor.cpp" "src/minisql/CMakeFiles/hammer_minisql.dir/executor.cpp.o" "gcc" "src/minisql/CMakeFiles/hammer_minisql.dir/executor.cpp.o.d"
+  "/root/repo/src/minisql/parser.cpp" "src/minisql/CMakeFiles/hammer_minisql.dir/parser.cpp.o" "gcc" "src/minisql/CMakeFiles/hammer_minisql.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_minisql.dir/database.cpp.o"
+  "CMakeFiles/hammer_minisql.dir/database.cpp.o.d"
+  "CMakeFiles/hammer_minisql.dir/executor.cpp.o"
+  "CMakeFiles/hammer_minisql.dir/executor.cpp.o.d"
+  "CMakeFiles/hammer_minisql.dir/parser.cpp.o"
+  "CMakeFiles/hammer_minisql.dir/parser.cpp.o.d"
+  "libhammer_minisql.a"
+  "libhammer_minisql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_minisql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/ascii_chart.cpp" "src/report/CMakeFiles/hammer_report.dir/ascii_chart.cpp.o" "gcc" "src/report/CMakeFiles/hammer_report.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/hammer_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/hammer_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/resource_monitor.cpp" "src/report/CMakeFiles/hammer_report.dir/resource_monitor.cpp.o" "gcc" "src/report/CMakeFiles/hammer_report.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/report/run_report.cpp" "src/report/CMakeFiles/hammer_report.dir/run_report.cpp.o" "gcc" "src/report/CMakeFiles/hammer_report.dir/run_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/hammer_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minisql/CMakeFiles/hammer_minisql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/adapters/CMakeFiles/hammer_adapters.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kvstore/CMakeFiles/hammer_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/hammer_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chain/CMakeFiles/hammer_chain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

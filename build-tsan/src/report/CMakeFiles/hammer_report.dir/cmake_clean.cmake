@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_report.dir/ascii_chart.cpp.o"
+  "CMakeFiles/hammer_report.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/hammer_report.dir/csv.cpp.o"
+  "CMakeFiles/hammer_report.dir/csv.cpp.o.d"
+  "CMakeFiles/hammer_report.dir/resource_monitor.cpp.o"
+  "CMakeFiles/hammer_report.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/hammer_report.dir/run_report.cpp.o"
+  "CMakeFiles/hammer_report.dir/run_report.cpp.o.d"
+  "libhammer_report.a"
+  "libhammer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_rpc.dir/jsonrpc.cpp.o"
+  "CMakeFiles/hammer_rpc.dir/jsonrpc.cpp.o.d"
+  "CMakeFiles/hammer_rpc.dir/tcp.cpp.o"
+  "CMakeFiles/hammer_rpc.dir/tcp.cpp.o.d"
+  "libhammer_rpc.a"
+  "libhammer_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

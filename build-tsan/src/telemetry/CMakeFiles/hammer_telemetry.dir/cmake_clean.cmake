@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_telemetry.dir/exposition.cpp.o"
+  "CMakeFiles/hammer_telemetry.dir/exposition.cpp.o.d"
+  "CMakeFiles/hammer_telemetry.dir/registry.cpp.o"
+  "CMakeFiles/hammer_telemetry.dir/registry.cpp.o.d"
+  "CMakeFiles/hammer_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/hammer_telemetry.dir/trace.cpp.o.d"
+  "libhammer_telemetry.a"
+  "libhammer_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

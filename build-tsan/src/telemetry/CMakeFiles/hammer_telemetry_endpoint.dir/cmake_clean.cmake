@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_telemetry_endpoint.dir/endpoint.cpp.o"
+  "CMakeFiles/hammer_telemetry_endpoint.dir/endpoint.cpp.o.d"
+  "libhammer_telemetry_endpoint.a"
+  "libhammer_telemetry_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_telemetry_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhammer_telemetry_endpoint.a"
+)

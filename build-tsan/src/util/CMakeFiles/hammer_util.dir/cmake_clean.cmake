@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_util.dir/clock.cpp.o"
+  "CMakeFiles/hammer_util.dir/clock.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/hex.cpp.o"
+  "CMakeFiles/hammer_util.dir/hex.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/histogram.cpp.o"
+  "CMakeFiles/hammer_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/logging.cpp.o"
+  "CMakeFiles/hammer_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/random.cpp.o"
+  "CMakeFiles/hammer_util.dir/random.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/strings.cpp.o"
+  "CMakeFiles/hammer_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hammer_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hammer_util.dir/thread_pool.cpp.o.d"
+  "libhammer_util.a"
+  "libhammer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

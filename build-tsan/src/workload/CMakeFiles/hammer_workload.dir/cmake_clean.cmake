@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_workload.dir/control_sequence.cpp.o"
+  "CMakeFiles/hammer_workload.dir/control_sequence.cpp.o.d"
+  "CMakeFiles/hammer_workload.dir/generator.cpp.o"
+  "CMakeFiles/hammer_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hammer_workload.dir/profile.cpp.o"
+  "CMakeFiles/hammer_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/hammer_workload.dir/workload_file.cpp.o"
+  "CMakeFiles/hammer_workload.dir/workload_file.cpp.o.d"
+  "libhammer_workload.a"
+  "libhammer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapters_tests.dir/adapters/chain_adapter_test.cpp.o"
+  "CMakeFiles/adapters_tests.dir/adapters/chain_adapter_test.cpp.o.d"
+  "adapters_tests"
+  "adapters_tests.pdb"
+  "adapters_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapters_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

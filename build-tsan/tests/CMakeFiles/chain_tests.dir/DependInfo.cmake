@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chain/contracts_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/contracts_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/contracts_test.cpp.o.d"
+  "/root/repo/tests/chain/ethereum_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/ethereum_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/ethereum_test.cpp.o.d"
+  "/root/repo/tests/chain/fabric_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/fabric_test.cpp.o.d"
+  "/root/repo/tests/chain/meepo_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/meepo_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/meepo_test.cpp.o.d"
+  "/root/repo/tests/chain/neuchain_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/neuchain_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/neuchain_test.cpp.o.d"
+  "/root/repo/tests/chain/state_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/state_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/state_test.cpp.o.d"
+  "/root/repo/tests/chain/txpool_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/txpool_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/txpool_test.cpp.o.d"
+  "/root/repo/tests/chain/types_test.cpp" "tests/CMakeFiles/chain_tests.dir/chain/types_test.cpp.o" "gcc" "tests/CMakeFiles/chain_tests.dir/chain/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/chain/CMakeFiles/hammer_chain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/hammer_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_tests.dir/chain/contracts_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/contracts_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/ethereum_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/ethereum_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/fabric_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/fabric_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/meepo_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/meepo_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/neuchain_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/neuchain_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/state_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/state_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/txpool_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/txpool_test.cpp.o.d"
+  "CMakeFiles/chain_tests.dir/chain/types_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain/types_test.cpp.o.d"
+  "chain_tests"
+  "chain_tests.pdb"
+  "chain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/bloom_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/bloom_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/deployment_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/deployment_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/driver_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/driver_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/hash_index_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/hash_index_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/signing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/signing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/task_processor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/task_processor_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_tests.dir/forecast/dataset_test.cpp.o"
+  "CMakeFiles/forecast_tests.dir/forecast/dataset_test.cpp.o.d"
+  "CMakeFiles/forecast_tests.dir/forecast/layers_test.cpp.o"
+  "CMakeFiles/forecast_tests.dir/forecast/layers_test.cpp.o.d"
+  "CMakeFiles/forecast_tests.dir/forecast/tensor_test.cpp.o"
+  "CMakeFiles/forecast_tests.dir/forecast/tensor_test.cpp.o.d"
+  "CMakeFiles/forecast_tests.dir/forecast/train_test.cpp.o"
+  "CMakeFiles/forecast_tests.dir/forecast/train_test.cpp.o.d"
+  "forecast_tests"
+  "forecast_tests.pdb"
+  "forecast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

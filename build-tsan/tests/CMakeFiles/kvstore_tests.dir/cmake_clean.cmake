@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tests.dir/kvstore/kvstore_test.cpp.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/kvstore_test.cpp.o.d"
+  "kvstore_tests"
+  "kvstore_tests.pdb"
+  "kvstore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

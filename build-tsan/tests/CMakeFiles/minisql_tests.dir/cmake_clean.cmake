@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisql_tests.dir/minisql/executor_test.cpp.o"
+  "CMakeFiles/minisql_tests.dir/minisql/executor_test.cpp.o.d"
+  "CMakeFiles/minisql_tests.dir/minisql/parser_test.cpp.o"
+  "CMakeFiles/minisql_tests.dir/minisql/parser_test.cpp.o.d"
+  "minisql_tests"
+  "minisql_tests.pdb"
+  "minisql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_tests.dir/rpc/jsonrpc_test.cpp.o"
+  "CMakeFiles/rpc_tests.dir/rpc/jsonrpc_test.cpp.o.d"
+  "CMakeFiles/rpc_tests.dir/rpc/tcp_test.cpp.o"
+  "CMakeFiles/rpc_tests.dir/rpc/tcp_test.cpp.o.d"
+  "rpc_tests"
+  "rpc_tests.pdb"
+  "rpc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_peak_probe_smoke.dir/smoke/tcp_peak_probe_smoke.cpp.o"
+  "CMakeFiles/tcp_peak_probe_smoke.dir/smoke/tcp_peak_probe_smoke.cpp.o.d"
+  "tcp_peak_probe_smoke"
+  "tcp_peak_probe_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_peak_probe_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

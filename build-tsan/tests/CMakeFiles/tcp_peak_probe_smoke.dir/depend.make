@@ -1,0 +1,2 @@
+# Empty dependencies file for tcp_peak_probe_smoke.
+# This may be replaced when dependencies are built.

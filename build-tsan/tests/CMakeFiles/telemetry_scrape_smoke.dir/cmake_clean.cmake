@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_scrape_smoke.dir/smoke/telemetry_scrape_smoke.cpp.o"
+  "CMakeFiles/telemetry_scrape_smoke.dir/smoke/telemetry_scrape_smoke.cpp.o.d"
+  "telemetry_scrape_smoke"
+  "telemetry_scrape_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_scrape_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

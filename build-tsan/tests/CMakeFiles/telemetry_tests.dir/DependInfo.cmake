@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/telemetry/exposition_test.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/exposition_test.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/exposition_test.cpp.o.d"
+  "/root/repo/tests/telemetry/registry_test.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/registry_test.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/registry_test.cpp.o.d"
+  "/root/repo/tests/telemetry/trace_test.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/trace_test.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/hammer_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/hammer_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/hammer_json.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/clock_test.cpp" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/mpmc_queue_test.cpp" "tests/CMakeFiles/util_tests.dir/util/mpmc_queue_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/mpmc_queue_test.cpp.o.d"
+  "/root/repo/tests/util/random_test.cpp" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/hammer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

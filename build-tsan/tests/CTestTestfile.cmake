@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/json_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kvstore_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/minisql_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/telemetry_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rpc_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/chain_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/adapters_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/report_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/forecast_tests[1]_include.cmake")
+add_test(smoke.tcp_peak_probe "/root/repo/build-tsan/tests/tcp_peak_probe_smoke")
+set_tests_properties(smoke.tcp_peak_probe PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke.telemetry_scrape "/root/repo/build-tsan/tests/telemetry_scrape_smoke")
+set_tests_properties(smoke.telemetry_scrape PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;109;add_test;/root/repo/tests/CMakeLists.txt;0;")
