@@ -11,6 +11,11 @@
 // one) and prints one live snapshot line per second while the run is in
 // flight — scrape it mid-run with any JSON-RPC client.
 //
+// With --faults, the deployment carries a seeded fault plan (transient
+// chain.submit rejections + block-production stalls) and the adapters run
+// under a retry policy that rides the faults out; the summary then shows
+// the retries spent and the injected-fault counts.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <atomic>
 #include <cstdio>
@@ -29,6 +34,7 @@ using namespace hammer;
 
 int main(int argc, char** argv) {
   std::unique_ptr<telemetry::TelemetryEndpoint> endpoint;
+  bool with_faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
@@ -36,10 +42,14 @@ int main(int argc, char** argv) {
       std::printf("telemetry endpoint on 127.0.0.1:%u (telemetry.metrics / "
                   "telemetry.snapshot)\n",
                   endpoint->port());
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      with_faults = true;
     }
   }
 
-  // 1. Deployment plan (the Ansible-playbook stand-in).
+  // 1. Deployment plan (the Ansible-playbook stand-in). --faults adds a
+  // seeded SUT-side fault plan; the deployment installs the injector on the
+  // chain (and its TcpServer, if the transport were tcp).
   json::Value plan = json::Value::parse(R"({
     "chains": [{
       "kind": "neuchain", "name": "demo-chain",
@@ -47,6 +57,11 @@ int main(int argc, char** argv) {
       "smallbank_accounts_per_shard": 1000
     }]
   })");
+  if (with_faults) {
+    plan.as_object()["chains"].as_array()[0].as_object()["faults"] = json::Value::parse(
+        R"({"seed": 9, "submit_reject_p": 0.02, "block_stall_p": 0.1, "block_stall_ms": 30})");
+    std::printf("fault injection armed: 2%% transient submit rejections, 10%% block stalls\n");
+  }
   core::Deployment deployment = core::Deployment::deploy(plan, util::SteadyClock::shared());
   core::DeployedChain& sut = deployment.at("demo-chain");
   std::printf("deployed %s with %zu SmallBank accounts\n", sut.chain->kind().c_str(),
@@ -68,7 +83,15 @@ int main(int argc, char** argv) {
   options.metrics = std::make_shared<core::MetricsPipeline>(cache, db);
   workload::ControlSequence rate = workload::ControlSequence::constant(
       1000.0, std::chrono::seconds(5), std::chrono::milliseconds(100));
-  core::HammerDriver driver(sut.make_adapters(2), sut.make_adapters(1)[0],
+  // Under --faults the adapters retry transient rejections with seeded
+  // exponential backoff instead of counting them as failures.
+  adapters::AdapterOptions adapter_options;
+  if (with_faults) {
+    adapter_options.retry = rpc::RetryPolicy::standard(4);
+    adapter_options.retry.on_rejected = true;
+    options.fault_injector = sut.fault_injector;
+  }
+  core::HammerDriver driver(sut.make_adapters(2, adapter_options), sut.make_adapters(1)[0],
                             util::SteadyClock::shared(), options);
 
   // Live view while the run is in flight: one snapshot line per second from
@@ -103,6 +126,11 @@ int main(int argc, char** argv) {
   std::printf("%s\n", report.rendered.c_str());
   if (!result.stages.is_null()) {
     std::printf("stage breakdown: %s\n", result.stages.dump().c_str());
+  }
+  if (!result.faults.is_null()) {
+    std::printf("injected faults: %s (retries spent riding them out: %llu)\n",
+                result.faults.dump().c_str(),
+                static_cast<unsigned long long>(result.retries));
   }
   return 0;
 }

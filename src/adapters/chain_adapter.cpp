@@ -1,12 +1,18 @@
 #include "adapters/chain_adapter.hpp"
 
+#include <numeric>
+
+#include "rpc/tcp.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::adapters {
 
-ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel)
-    : channel_(std::move(channel)) {
+ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options)
+    : channel_(std::move(channel)),
+      options_(std::move(options)),
+      retryer_(options_.retry, options_.retry_seed) {
   HAMMER_CHECK(channel_ != nullptr);
+  HAMMER_CHECK(options_.retry.max_attempts >= 1);
   json::Value v = call("chain.info", json::Value());
   info_.name = v.at("name").as_string();
   info_.kind = v.at("kind").as_string();
@@ -14,42 +20,114 @@ ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel)
 }
 
 json::Value ChainAdapter::call(const std::string& method, json::Value params) {
-  try {
-    return channel_->call(method, std::move(params));
-  } catch (const rpc::RpcError& e) {
-    rpc::throw_client_error(e);  // kServerError -> RejectedError, rest rethrows
-  }
+  return retryer_.run([&]() -> json::Value {
+    json::Value attempt_params = params;  // each attempt gets its own copy
+    try {
+      return channel_->call(method, std::move(attempt_params), options_.call);
+    } catch (const rpc::RpcError& e) {
+      rpc::throw_client_error(e);  // kServerError -> RejectedError, rest rethrows
+    }
+  });
 }
 
 std::string ChainAdapter::submit(const chain::Transaction& tx) {
-  json::Object params;
-  params["tx"] = tx.to_json();
-  return call("chain.submit", json::Value(std::move(params))).at("tx_id").as_string();
+  SubmitResult result = submit_batch({tx}).front();
+  if (!result.ok()) {
+    rpc::throw_client_error(result.error_code == 0 ? rpc::kServerError : result.error_code,
+                            result.error);
+  }
+  return result.tx_id;
 }
 
 std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
     const std::vector<chain::Transaction>& txs) {
   std::vector<SubmitResult> out(txs.size());
   if (txs.empty()) return out;
-  std::vector<rpc::BatchCall> calls;
-  calls.reserve(txs.size());
-  for (const chain::Transaction& tx : txs) {
-    json::Object params;
-    params["tx"] = tx.to_json();
-    calls.push_back(rpc::BatchCall{"chain.submit", json::Value(std::move(params))});
+  std::vector<std::string> ids(txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) ids[i] = txs[i].compute_id();
+
+  const rpc::RetryPolicy& policy = options_.retry;
+  std::vector<std::size_t> open(txs.size());
+  std::iota(open.begin(), open.end(), std::size_t{0});
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    std::vector<rpc::BatchCall> calls;
+    calls.reserve(open.size());
+    for (std::size_t idx : open) {
+      json::Object params;
+      params["tx"] = txs[idx].to_json();
+      calls.push_back(rpc::BatchCall{"chain.submit", json::Value(std::move(params))});
+    }
+    std::vector<rpc::BatchReply> replies;
+    try {
+      replies = channel_->call_batch(calls, options_.call);
+    } catch (const TransportError&) {
+      // Timeout or connection break: the frame is IN DOUBT — any subset may
+      // have reached the SUT.
+      rpc::ErrorClass cls = rpc::classify_current_exception();
+      if (attempt >= policy.max_attempts || !policy.retries(cls)) throw;
+      retryer_.before_retry(attempt);
+      // Idempotent-resubmission rule: entries already on chain were
+      // accepted by the failed attempt; report them ok instead of
+      // submitting them twice.
+      open = reconcile_in_doubt(ids, open, out);
+      if (open.empty()) return out;
+      continue;
+    }
+    HAMMER_CHECK(replies.size() == open.size());
+    std::vector<std::size_t> rejected;
+    for (std::size_t j = 0; j < replies.size(); ++j) {
+      std::size_t idx = open[j];
+      if (replies[j].ok()) {
+        out[idx].tx_id = replies[j].result.at("tx_id").as_string();
+        out[idx].error.clear();
+        out[idx].error_code = 0;
+      } else {
+        out[idx].tx_id.clear();
+        out[idx].error_code = replies[j].error_code;
+        out[idx].error = replies[j].error_message.empty()
+                             ? "rpc error " + std::to_string(replies[j].error_code)
+                             : replies[j].error_message;
+        // Only application-level rejections are retry candidates; protocol
+        // errors would fail identically on every attempt.
+        if (replies[j].error_code == rpc::kServerError) rejected.push_back(idx);
+      }
+    }
+    if (policy.on_rejected && !rejected.empty() && attempt < policy.max_attempts) {
+      // A rejected entry was NOT accepted, so resubmitting it is safe.
+      retryer_.before_retry(attempt);
+      open = std::move(rejected);
+      continue;
+    }
+    return out;
   }
-  std::vector<rpc::BatchReply> replies = channel_->call_batch(calls);
-  HAMMER_CHECK(replies.size() == txs.size());
-  for (std::size_t i = 0; i < replies.size(); ++i) {
-    if (replies[i].ok()) {
-      out[i].tx_id = replies[i].result.at("tx_id").as_string();
+}
+
+std::vector<std::size_t> ChainAdapter::reconcile_in_doubt(const std::vector<std::string>& ids,
+                                                          const std::vector<std::size_t>& open,
+                                                          std::vector<SubmitResult>& out) {
+  std::vector<std::string> poll;
+  poll.reserve(open.size());
+  for (std::size_t idx : open) poll.push_back(ids[idx]);
+  std::vector<std::optional<ReceiptInfo>> found;
+  try {
+    found = receipts(poll);  // runs under the same retry policy
+  } catch (const Error&) {
+    // Receipts unreachable too: resend everything. A duplicate of an
+    // accepted-but-unsealed entry lands twice in blocks and is counted once
+    // by the TaskProcessor (duplicate absorption), so correctness holds.
+    return open;
+  }
+  std::vector<std::size_t> still_open;
+  for (std::size_t j = 0; j < open.size(); ++j) {
+    if (found[j]) {
+      out[open[j]].tx_id = ids[open[j]];
+      out[open[j]].error.clear();
+      out[open[j]].error_code = 0;
     } else {
-      out[i].error = replies[i].error_message.empty()
-                         ? "rpc error " + std::to_string(replies[i].error_code)
-                         : replies[i].error_message;
+      still_open.push_back(open[j]);
     }
   }
-  return out;
+  return still_open;
 }
 
 std::uint64_t ChainAdapter::height(std::uint32_t shard) {
@@ -106,6 +184,16 @@ std::string ChainAdapter::state_digest(std::uint32_t shard) {
   return call("chain.state_digest", json::object({{"shard", static_cast<std::int64_t>(shard)}}))
       .at("digest")
       .as_string();
+}
+
+std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
+                                           AdapterOptions options) {
+  return std::make_shared<ChainAdapter>(std::move(channel), std::move(options));
+}
+
+std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
+                                           AdapterOptions options) {
+  return make_adapter(std::make_shared<rpc::TcpChannel>(host, port), std::move(options));
 }
 
 }  // namespace hammer::adapters

@@ -8,9 +8,24 @@
 // interfaces".
 //
 // Submission comes in two shapes: submit() for one transaction per round
-// trip, and submit_batch() which coalesces N transactions into a single
-// JSON-RPC batch frame (one round trip) with per-transaction outcomes —
-// the transport-level lever behind DriverOptions::submit_batch_size.
+// trip (a thin throwing wrapper over a batch of one — server-error mapping
+// lives in the batch path only), and submit_batch() which coalesces N
+// transactions into a single JSON-RPC batch frame (one round trip) with
+// per-transaction outcomes — the transport-level lever behind
+// DriverOptions::submit_batch_size.
+//
+// Every RPC the adapter issues runs under AdapterOptions: a per-call
+// deadline (rpc::CallOptions) and a rpc::RetryPolicy with seeded,
+// exponentially backed-off retries. The default policy is one attempt, so
+// an un-optioned adapter behaves exactly like the pre-retry API.
+// Resubmission is idempotency-aware: after an in-doubt failure (transport
+// break, timeout) submit_batch reconciles through chain.receipts and only
+// resends entries not already on chain — see DESIGN.md §8.
+//
+// Shard parameter convention: every shard-scoped read (height, block,
+// query, state_digest) takes the shard as its FIRST parameter, always
+// explicitly — no defaulted shards — so call sites against sharded SUTs
+// always name the shard they are reading.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +36,7 @@
 
 #include "chain/types.hpp"
 #include "rpc/jsonrpc.hpp"
+#include "rpc/retry.hpp"
 
 namespace hammer::adapters {
 
@@ -30,13 +46,26 @@ struct ChainInfo {
   std::uint32_t shards = 1;
 };
 
+// Call-surface policy for one adapter. Defaults reproduce the legacy
+// behaviour: channel-default deadline, single attempt, no retries.
+struct AdapterOptions {
+  rpc::CallOptions call;    // forwarded to every RPC this adapter issues
+  rpc::RetryPolicy retry;   // default: max_attempts = 1 (no retry)
+  std::uint64_t retry_seed = 0xbacc0ffULL;  // jitter stream for backoff
+};
+
 class ChainAdapter {
  public:
-  explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel);
+  explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options = {});
 
   // Fetched once and cached; sharded SUTs report their shard count here so
   // the driver can poll every shard's chain.
   const ChainInfo& info() const { return info_; }
+  const AdapterOptions& options() const { return options_; }
+
+  // RPC attempts beyond the first, over this adapter's lifetime. The driver
+  // differences this across a run into RunResult::retries.
+  std::uint64_t retries() const { return retryer_.retry_count(); }
 
   // Submits a signed transaction; returns its id. Overload and signature
   // failures surface as RejectedError (mapped from JSON-RPC server errors
@@ -46,22 +75,26 @@ class ChainAdapter {
   // Outcome of one entry of a batched submission. ok() mirrors what the
   // single-call path expresses by (not) throwing RejectedError.
   struct SubmitResult {
-    std::string tx_id;  // set when the SUT accepted the transaction
-    std::string error;  // rejection/protocol reason otherwise
+    std::string tx_id;   // set when the SUT accepted the transaction
+    std::string error;   // rejection/protocol reason otherwise
+    int error_code = 0;  // JSON-RPC error code behind `error` (0 when ok)
     bool ok() const { return error.empty(); }
   };
 
   // Submits N transactions in one batch round trip; results align with
-  // `txs` by index. Throws TransportError when the connection fails (the
-  // whole batch is then in doubt, exactly like a failed single call).
+  // `txs` by index. With retries enabled, in-doubt failures reconcile
+  // through chain.receipts before resending (entries already on chain are
+  // reported accepted, not submitted twice) and — when
+  // RetryPolicy::on_rejected — rejected entries are resubmitted. Throws
+  // TransportError only once the policy is exhausted.
   std::vector<SubmitResult> submit_batch(const std::vector<chain::Transaction>& txs);
 
-  std::uint64_t height(std::uint32_t shard = 0);
+  std::uint64_t height(std::uint32_t shard);
   chain::Block block(std::uint32_t shard, std::uint64_t height);
   json::Value query(std::uint32_t shard, const std::string& contract, const std::string& op,
                     json::Value args);
   json::Value stats();
-  std::string state_digest(std::uint32_t shard = 0);
+  std::string state_digest(std::uint32_t shard);
 
   // Transaction status polling (interactive-testing style). nullopt while
   // the transaction has not yet appeared in a block.
@@ -81,8 +114,25 @@ class ChainAdapter {
  private:
   json::Value call(const std::string& method, json::Value params);
 
+  // Drops entries already on chain from `open` (marking them accepted in
+  // `out`) after an in-doubt submit failure; returns the indices still to
+  // resend. Unreachable receipts mean "resend everything" — duplicates are
+  // absorbed downstream (pool dedup / TaskProcessor duplicate counting).
+  std::vector<std::size_t> reconcile_in_doubt(const std::vector<std::string>& ids,
+                                              const std::vector<std::size_t>& open,
+                                              std::vector<SubmitResult>& out);
+
   std::shared_ptr<rpc::Channel> channel_;
+  AdapterOptions options_;
+  rpc::Retryer retryer_;
   ChainInfo info_;
 };
+
+// Factory used by examples/benches/tests so call sites stop hand-wiring
+// TcpChannel construction against deployed endpoints.
+std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
+                                           AdapterOptions options = {});
+std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
+                                           AdapterOptions options = {});
 
 }  // namespace hammer::adapters

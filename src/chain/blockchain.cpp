@@ -133,6 +133,7 @@ std::uint32_t Blockchain::shard_for_sender(const std::string& sender) const {
 }
 
 std::string Blockchain::submit(Transaction tx) {
+  inject_submit_faults();
   check_signature(tx);
   std::string id = tx.compute_id();
   pools_[shard_for_sender(tx.sender)]->submit(std::move(tx));
@@ -142,6 +143,19 @@ std::string Blockchain::submit(Transaction tx) {
 void Blockchain::check_signature(const Transaction& tx) const {
   if (config_.verify_signatures && !tx.verify_signature()) {
     throw RejectedError("invalid transaction signature");
+  }
+}
+
+void Blockchain::inject_submit_faults() const {
+  if (faults_ && faults_->should(fault::FaultKind::kSubmitReject)) {
+    throw RejectedError("injected transient submit rejection");
+  }
+}
+
+void Blockchain::maybe_stall_block_production() {
+  if (!faults_ || !running_.load()) return;
+  if (faults_->should(fault::FaultKind::kBlockStall)) {
+    clock_->sleep_for(std::chrono::milliseconds(faults_->plan().block_stall_ms));
   }
 }
 

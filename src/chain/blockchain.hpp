@@ -22,6 +22,7 @@
 #include "chain/state.hpp"
 #include "chain/txpool.hpp"
 #include "chain/types.hpp"
+#include "fault/fault.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "util/clock.hpp"
 #include "util/random.hpp"
@@ -93,6 +94,13 @@ class Blockchain {
   // the transaction id. Throws RejectedError on overload or bad signature.
   virtual std::string submit(Transaction tx);
 
+  // SUT-side fault hooks, consulted on the submit path (kSubmitReject,
+  // kEndorseFail in FabricSim) and by the block producers (kBlockStall).
+  // Install before start().
+  void install_fault_injector(std::shared_ptr<fault::FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+
   std::uint32_t shard_for_sender(const std::string& sender) const;
 
   std::uint64_t height(std::uint32_t shard) const;
@@ -120,7 +128,16 @@ class Blockchain {
 
   void check_signature(const Transaction& tx) const;  // throws RejectedError
 
+  // Throws RejectedError when the plan's kSubmitReject fires — a transient
+  // refusal, retryable under RetryPolicy::on_rejected.
+  void inject_submit_faults() const;
+
+  // Sleeps one configured stall when the plan's kBlockStall fires; block
+  // producer loops call this right before sealing.
+  void maybe_stall_block_production();
+
   ChainConfig config_;
+  std::shared_ptr<fault::FaultInjector> faults_;  // set before start()
   std::shared_ptr<util::Clock> clock_;
   std::shared_ptr<const ContractRegistry> registry_;
   std::vector<std::unique_ptr<TxPool>> pools_;     // one per shard

@@ -35,7 +35,11 @@ void FabricSim::with_state(const std::function<void(StateStore&)>& fn) { fn(*sta
 
 std::string FabricSim::submit(Transaction tx) {
   if (!running_.load()) throw RejectedError("chain is not running");
+  inject_submit_faults();
   check_signature(tx);
+  if (faults_ && faults_->should(fault::FaultKind::kEndorseFail)) {
+    throw RejectedError("injected endorsement failure: proposal responses do not match");
+  }
 
   EndorsedTx endorsed;
   endorsed.tx_id = tx.compute_id();
@@ -93,7 +97,10 @@ void FabricSim::orderer_loop() {
       if (!running_.load()) break;
       clock_->sleep_for(std::chrono::milliseconds(1));
     }
-    if (!batch.empty()) seal_block(std::move(batch));
+    if (!batch.empty()) {
+      maybe_stall_block_production();
+      seal_block(std::move(batch));
+    }
   }
 }
 

@@ -139,6 +139,7 @@ void MeepoSim::epoch_loop(std::uint32_t shard) {
 
     std::vector<Transaction> txs = pools_[shard]->drain(config_.max_block_txs);
     if (txs.empty()) continue;
+    maybe_stall_block_production();
 
     Block block;
     block.header.shard = shard;

@@ -7,19 +7,23 @@
 
 namespace hammer::core {
 
-std::shared_ptr<rpc::Channel> DeployedChain::connect() const {
+std::shared_ptr<rpc::Channel> DeployedChain::connect(
+    std::shared_ptr<fault::FaultInjector> client_faults) const {
   if (tcp_server) {
-    return std::make_shared<rpc::TcpChannel>("127.0.0.1", tcp_server->port());
+    auto channel = std::make_shared<rpc::TcpChannel>("127.0.0.1", tcp_server->port());
+    if (client_faults) channel->install_fault_injector(std::move(client_faults));
+    return channel;
   }
   return std::make_shared<rpc::InProcChannel>(dispatcher);
 }
 
 std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
-    std::size_t count) const {
+    std::size_t count, adapters::AdapterOptions options,
+    std::shared_ptr<fault::FaultInjector> client_faults) const {
   std::vector<std::shared_ptr<adapters::ChainAdapter>> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(std::make_shared<adapters::ChainAdapter>(connect()));
+    out.push_back(std::make_shared<adapters::ChainAdapter>(connect(client_faults), options));
   }
   return out;
 }
@@ -48,6 +52,16 @@ Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clo
       deployed->tcp_server = std::make_unique<rpc::TcpServer>(deployed->dispatcher, 0);
     } else if (transport != "inproc") {
       throw ParseError("unknown transport '" + transport + "'");
+    }
+
+    if (spec.contains("faults")) {
+      // One plan, one seeded injector, installed on every SUT-side surface
+      // (before start() so block-production threads never race the install).
+      auto faults =
+          std::make_shared<fault::FaultInjector>(fault::FaultPlan::from_json(spec.at("faults")));
+      deployed->chain->install_fault_injector(faults);
+      if (deployed->tcp_server) deployed->tcp_server->install_fault_injector(faults);
+      deployed->fault_injector = std::move(faults);
     }
 
     deployed->chain->start();

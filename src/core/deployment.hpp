@@ -10,9 +10,15 @@
 //     {"kind": "fabric", "name": "fabric-1", "block_interval_ms": 100,
 //      "transport": "inproc",            // or "tcp"
 //      "smallbank_accounts_per_shard": 1000,
-//      "initial_checking": 10000, "initial_savings": 10000, ...}
+//      "initial_checking": 10000, "initial_savings": 10000, ...,
+//      "faults": {"seed": 7, "submit_reject_p": 0.05, ...}}  // optional
 //   ]
 // }
+//
+// A "faults" key builds a seeded fault::FaultInjector (fault::FaultPlan
+// JSON shape) and installs it on the chain AND its TcpServer, so SUT-side
+// and server-transport faults share one deterministic plan. Client-side
+// faults stay client-owned: pass an injector to connect()/make_adapters().
 #pragma once
 
 #include <map>
@@ -32,12 +38,21 @@ struct DeployedChain {
   std::shared_ptr<rpc::Dispatcher> dispatcher;
   std::unique_ptr<rpc::TcpServer> tcp_server;  // null for in-process transport
   std::vector<std::string> smallbank_accounts;
+  // Set when the plan carried a "faults" key; shared by the chain and the
+  // TCP server, so its counts_json() is the SUT-side fault record.
+  std::shared_ptr<fault::FaultInjector> fault_injector;
 
   // Creates a fresh client channel (in-proc, or a new TCP connection).
-  std::shared_ptr<rpc::Channel> connect() const;
+  // `client_faults` installs a client-side injector on the new TcpChannel
+  // (ignored for in-proc transport, which has no wire to break).
+  std::shared_ptr<rpc::Channel> connect(
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
 
-  // Convenience: `count` independent adapters (one per driver thread).
-  std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(std::size_t count) const;
+  // Convenience: `count` independent adapters (one per driver thread), all
+  // sharing the same call options / retry policy and client-side injector.
+  std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
+      std::size_t count, adapters::AdapterOptions options = {},
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
 };
 
 class Deployment {

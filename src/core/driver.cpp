@@ -16,6 +16,7 @@ struct DriverMetrics {
   telemetry::Counter& submitted;
   telemetry::Counter& completed;
   telemetry::Counter& rejected;
+  telemetry::Counter& send_failures;
   telemetry::Gauge& inflight;
   telemetry::StageHistogram& sign_us;
   telemetry::StageHistogram& submit_us;
@@ -34,6 +35,8 @@ struct DriverMetrics {
                                 "Transactions observed complete in blocks or receipts")),
         rejected(reg().counter("hammer_driver_rejected_total",
                                "Submissions refused by the SUT (overload)")),
+        send_failures(reg().counter("hammer_driver_send_failures_total",
+                                    "Transactions failed after the retry policy was exhausted")),
         inflight(reg().gauge("hammer_driver_inflight",
                              "Accepted transactions not yet observed in a block")),
         sign_us(reg().histogram("hammer_driver_sign_us",
@@ -101,6 +104,15 @@ void HammerDriver::worker_loop(std::size_t worker_index,
     HLOG_EVERY_N("driver", 100) << "SUT rejected a submission ("
                                 << rejections_.load() << " total this run)";
   };
+  // A TransportError here means the adapter's retry policy is exhausted (or
+  // retries are off): the whole send is written off as failed and the run
+  // keeps going — graceful degradation, never an aborted run.
+  auto send_failed = [this, &metrics](std::uint64_t count, const char* what) {
+    send_failures_.fetch_add(count);
+    metrics.send_failures.add(count);
+    HLOG_EVERY_N("driver", 100) << "send failed after retries (" << count
+                                << " txs written off): " << what;
+  };
 
   while (auto first = queue.pop()) {
     batch.clear();
@@ -144,20 +156,30 @@ void HammerDriver::worker_loop(std::size_t worker_index,
                                                       batch[i].server_id, chainname,
                                                       batch[i].contract, ordinals[i]);
         }
-        if (batch.size() == 1) {
-          try {
-            adapter.submit(batch[0]);
-          } catch (const RejectedError&) {
-            reject(1);
-            metrics.inflight.sub(1);
-            task_processor_->mark_rejected(positions[0], clock_->now_us());
+        try {
+          if (batch.size() == 1) {
+            try {
+              adapter.submit(batch[0]);
+            } catch (const RejectedError&) {
+              reject(1);
+              metrics.inflight.sub(1);
+              task_processor_->mark_rejected(positions[0], clock_->now_us());
+            }
+          } else {
+            auto results = adapter.submit_batch(batch);
+            for (std::size_t i = 0; i < results.size(); ++i) {
+              if (results[i].ok()) continue;
+              reject(1);
+              metrics.inflight.sub(1);
+              task_processor_->mark_rejected(positions[i], clock_->now_us());
+            }
           }
-        } else {
-          auto results = adapter.submit_batch(batch);
-          for (std::size_t i = 0; i < results.size(); ++i) {
-            if (results[i].ok()) continue;
-            reject(1);
-            metrics.inflight.sub(1);
+        } catch (const TransportError& e) {
+          send_failed(batch.size(), e.what());
+          metrics.inflight.sub(batch.size());
+          // Mark every registered position failed; if an in-doubt entry did
+          // land, on_block's completed-guard absorbs the duplicate.
+          for (std::size_t i = 0; i < batch.size(); ++i) {
             task_processor_->mark_rejected(positions[i], clock_->now_us());
           }
         }
@@ -167,37 +189,59 @@ void HammerDriver::worker_loop(std::size_t worker_index,
         for (std::size_t i = 0; i < batch.size(); ++i) {
           batch_processor_->register_tx(tx_ids[i], start_us);
         }
-        if (batch.size() == 1) {
-          try {
-            adapter.submit(batch[0]);
-          } catch (const RejectedError&) {
-            reject(1);
-            // The baseline has no O(1) lookup; rejected ids simply rot in the
-            // queue (a real Blockbench driver behaves the same way).
+        try {
+          if (batch.size() == 1) {
+            try {
+              adapter.submit(batch[0]);
+            } catch (const RejectedError&) {
+              reject(1);
+              // The baseline has no O(1) lookup; rejected ids simply rot in the
+              // queue (a real Blockbench driver behaves the same way).
+            }
+          } else {
+            auto results = adapter.submit_batch(batch);
+            for (const auto& r : results) {
+              if (!r.ok()) reject(1);
+            }
           }
-        } else {
-          auto results = adapter.submit_batch(batch);
-          for (const auto& r : results) {
-            if (!r.ok()) reject(1);
-          }
+        } catch (const TransportError& e) {
+          // Same as rejections: the baseline's queue has no removal path, so
+          // the ids rot and surface as unmatched.
+          send_failed(batch.size(), e.what());
         }
         break;
       }
       case TrackingMode::kInteractive: {
         std::vector<bool> accepted(batch.size(), false);
-        if (batch.size() == 1) {
-          try {
-            adapter.submit(batch[0]);
-            accepted[0] = true;
-          } catch (const RejectedError&) {
+        bool transport_failed = false;
+        try {
+          if (batch.size() == 1) {
+            try {
+              adapter.submit(batch[0]);
+              accepted[0] = true;
+            } catch (const RejectedError&) {
+            }
+          } else {
+            auto results = adapter.submit_batch(batch);
+            for (std::size_t i = 0; i < results.size(); ++i) accepted[i] = results[i].ok();
           }
-        } else {
-          auto results = adapter.submit_batch(batch);
-          for (std::size_t i = 0; i < results.size(); ++i) accepted[i] = results[i].ok();
+        } catch (const TransportError& e) {
+          send_failed(batch.size(), e.what());
+          transport_failed = true;
         }
         std::scoped_lock lock(interactive_mu_);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (accepted[i]) {
+          if (transport_failed) {
+            // Written off: completes immediately as invalid so the listener
+            // never waits on a receipt that cannot arrive.
+            metrics.inflight.sub(1);
+            CompletedTx done;
+            done.tx_id = tx_ids[i];
+            done.start_us = start_us;
+            done.end_us = clock_->now_us();
+            done.status = chain::TxStatus::kInvalid;
+            interactive_completed_.push_back(std::move(done));
+          } else if (accepted[i]) {
             // Hand the transaction to the listener (Caliper-style response
             // monitoring); sending continues without waiting.
             interactive_pending_.push_back(InteractivePending{tx_ids[i], start_us});
@@ -346,7 +390,23 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   interactive_completed_.clear();
   interactive_pending_.clear();
   rejections_.store(0);
+  send_failures_.store(0);
   stop_polling_.store(false);
+
+  // Adapters persist across runs, so RunResult::retries is a delta of the
+  // lifetime counters (deduped — the poll adapter may double as a worker).
+  std::vector<const adapters::ChainAdapter*> run_adapters;
+  for (const auto& a : worker_adapters_) {
+    if (std::find(run_adapters.begin(), run_adapters.end(), a.get()) == run_adapters.end()) {
+      run_adapters.push_back(a.get());
+    }
+  }
+  if (std::find(run_adapters.begin(), run_adapters.end(), poll_adapter_.get()) ==
+      run_adapters.end()) {
+    run_adapters.push_back(poll_adapter_.get());
+  }
+  std::uint64_t retries_before = 0;
+  for (const adapters::ChainAdapter* a : run_adapters) retries_before += a->retries();
 
   // --- preparation: signing (serial up-front or pipelined) ---
   util::MpmcQueue<SendQueueItem> send_queue(options_.sign_queue_capacity);
@@ -487,6 +547,13 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     result = summarize(records);
   }
   result.rejected = rejections_.load();
+  result.send_failures = send_failures_.load();
+  std::uint64_t retries_after = 0;
+  for (const adapters::ChainAdapter* a : run_adapters) retries_after += a->retries();
+  result.retries = retries_after - retries_before;
+  if (options_.fault_injector) {
+    result.faults = options_.fault_injector->counts_json();
+  }
   if (tracer_) {
     result.stages = tracer_->breakdown().to_json();
   }

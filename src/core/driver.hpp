@@ -33,6 +33,7 @@
 #include "core/metrics.hpp"
 #include "core/signing.hpp"
 #include "core/task_processor.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "workload/control_sequence.hpp"
@@ -77,6 +78,11 @@ struct DriverOptions {
   // Optional metrics pipeline; when set, records stream into the cache and
   // are committed to SQL at the end of the run.
   std::shared_ptr<MetricsPipeline> metrics;
+
+  // Optional: the injector driving this run's fault plan (client- or
+  // SUT-side). The driver never draws from it — it only snapshots the
+  // injected-fault counts into RunResult::faults.
+  std::shared_ptr<fault::FaultInjector> fault_injector;
 };
 
 class HammerDriver {
@@ -95,6 +101,9 @@ class HammerDriver {
   // Post-run diagnostics.
   const TaskProcessor* task_processor() const { return task_processor_.get(); }
   std::uint64_t send_rejections() const { return rejections_.load(); }
+  // Transactions marked failed because a worker exhausted its retry policy
+  // (the run kept going — graceful degradation, not an abort).
+  std::uint64_t send_failures() const { return send_failures_.load(); }
   // Live during run(); reset on the next run. Null when tracing is off.
   const telemetry::TxTracer* tracer() const { return tracer_.get(); }
 
@@ -132,6 +141,7 @@ class HammerDriver {
 
   std::unique_ptr<std::counting_semaphore<64>> client_cores_;
   std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<bool> sending_done_{false};
   std::atomic<bool> stop_polling_{false};

@@ -87,12 +87,15 @@ json::Value RunResult::to_json() const {
                     {"failed", failed},
                     {"rejected", rejected},
                     {"unmatched", unmatched},
+                    {"retries", retries},
+                    {"send_failures", send_failures},
                     {"duration_s", duration_s},
                     {"tps", tps},
                     {"latency_mean_ms", latency.mean() / 1000.0},
                     {"latency_p50_ms", static_cast<double>(latency.percentile(50)) / 1000.0},
                     {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
   if (!stages.is_null()) v.as_object()["stages"] = stages;
+  if (!faults.is_null()) v.as_object()["faults"] = faults;
   return v;
 }
 
@@ -101,6 +104,9 @@ std::string RunResult::summary() const {
   os << "submitted=" << submitted << " committed=" << committed << " failed=" << failed
      << " rejected=" << rejected << " unmatched=" << unmatched << " tps=" << tps
      << " latency{" << latency.summary() << "}";
+  if (retries > 0 || send_failures > 0) {
+    os << " retries=" << retries << " send_failures=" << send_failures;
+  }
   return os.str();
 }
 

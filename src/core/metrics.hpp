@@ -54,6 +54,8 @@ struct RunResult {
   std::uint64_t failed = 0;       // invalid/conflict receipts
   std::uint64_t rejected = 0;     // refused at submission (overload)
   std::uint64_t unmatched = 0;    // never appeared in a block before drain
+  std::uint64_t retries = 0;        // RPC attempts beyond the first (this run)
+  std::uint64_t send_failures = 0;  // txs written off after retry exhaustion
   double duration_s = 0.0;        // first send -> last commit
   double tps = 0.0;               // committed / duration
   util::Histogram latency;        // committed transactions only
@@ -61,6 +63,10 @@ struct RunResult {
   // Per-stage latency breakdown (sign/queue/submit/include/detect) from the
   // lifecycle tracer; null unless the run was traced (trace_every_n > 0).
   json::Value stages;
+
+  // Injected-fault counts by kind, snapshotted from the run's FaultInjector;
+  // null when the run had no DriverOptions::fault_injector.
+  json::Value faults;
 
   json::Value to_json() const;
   std::string summary() const;

@@ -1,0 +1,137 @@
+#include "fault/fault.hpp"
+
+#include "telemetry/registry.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kConnReset: return "conn_reset";
+    case FaultKind::kClientLatency: return "client_latency";
+    case FaultKind::kDropResponse: return "drop_response";
+    case FaultKind::kSlowLoris: return "slow_loris";
+    case FaultKind::kSubmitReject: return "submit_reject";
+    case FaultKind::kEndorseFail: return "endorse_fail";
+    case FaultKind::kBlockStall: return "block_stall";
+    case FaultKind::kCount: break;
+  }
+  return "unknown";
+}
+
+bool FaultPlan::enabled() const {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (probability(static_cast<FaultKind>(k)) > 0.0) return true;
+  }
+  return false;
+}
+
+double FaultPlan::probability(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kConnReset: return conn_reset_p;
+    case FaultKind::kClientLatency: return client_latency_p;
+    case FaultKind::kDropResponse: return drop_response_p;
+    case FaultKind::kSlowLoris: return slow_loris_p;
+    case FaultKind::kSubmitReject: return submit_reject_p;
+    case FaultKind::kEndorseFail: return endorse_fail_p;
+    case FaultKind::kBlockStall: return block_stall_p;
+    case FaultKind::kCount: break;
+  }
+  return 0.0;
+}
+
+FaultPlan FaultPlan::from_json(const json::Value& v) {
+  FaultPlan p;
+  p.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  p.conn_reset_p = v.get_double("conn_reset_p", p.conn_reset_p);
+  p.client_latency_p = v.get_double("client_latency_p", p.client_latency_p);
+  p.client_latency_us = v.get_int("client_latency_us", p.client_latency_us);
+  p.drop_response_p = v.get_double("drop_response_p", p.drop_response_p);
+  p.slow_loris_p = v.get_double("slow_loris_p", p.slow_loris_p);
+  p.slow_loris_us = v.get_int("slow_loris_us", p.slow_loris_us);
+  p.submit_reject_p = v.get_double("submit_reject_p", p.submit_reject_p);
+  p.endorse_fail_p = v.get_double("endorse_fail_p", p.endorse_fail_p);
+  p.block_stall_p = v.get_double("block_stall_p", p.block_stall_p);
+  p.block_stall_ms = v.get_int("block_stall_ms", p.block_stall_ms);
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    double prob = p.probability(static_cast<FaultKind>(k));
+    if (prob < 0.0 || prob > 1.0) {
+      throw ParseError(std::string("fault probability out of [0,1] for ") +
+                       to_string(static_cast<FaultKind>(k)));
+    }
+  }
+  return p;
+}
+
+json::Value FaultPlan::to_json() const {
+  json::Object obj;
+  obj["seed"] = seed;
+  obj["conn_reset_p"] = conn_reset_p;
+  obj["client_latency_p"] = client_latency_p;
+  obj["client_latency_us"] = client_latency_us;
+  obj["drop_response_p"] = drop_response_p;
+  obj["slow_loris_p"] = slow_loris_p;
+  obj["slow_loris_us"] = slow_loris_us;
+  obj["submit_reject_p"] = submit_reject_p;
+  obj["endorse_fail_p"] = endorse_fail_p;
+  obj["block_stall_p"] = block_stall_p;
+  obj["block_stall_ms"] = block_stall_ms;
+  return json::Value(std::move(obj));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::global();
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    auto kind = static_cast<FaultKind>(k);
+    // Distinct stream per kind so one site's draw count never perturbs
+    // another's sequence.
+    sites_[k].rng = util::Pcg32(plan_.seed, 0x9e3779b97f4a7c15ULL + k);
+    sites_[k].p = plan_.probability(kind);
+    sites_[k].counter = &reg.counter("hammer_fault_injected_total", "Faults injected by kind",
+                                     "kind=\"" + std::string(to_string(kind)) + "\"");
+  }
+}
+
+bool FaultInjector::should(FaultKind kind) {
+  Site& site = sites_[static_cast<std::size_t>(kind)];
+  if (site.p <= 0.0) return false;  // disabled kinds consume no randomness
+  bool fire;
+  {
+    std::scoped_lock lock(site.mu);
+    fire = site.rng.chance(site.p);
+  }
+  site.drawn.fetch_add(1, std::memory_order_relaxed);
+  if (fire) {
+    site.injected.fetch_add(1, std::memory_order_relaxed);
+    site.counter->add(1);
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::drawn(FaultKind kind) const {
+  return sites_[static_cast<std::size_t>(kind)].drawn.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return sites_[static_cast<std::size_t>(kind)].injected.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    total += sites_[k].injected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+json::Value FaultInjector::counts_json() const {
+  json::Object obj;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    auto kind = static_cast<FaultKind>(k);
+    obj[to_string(kind)] = injected(kind);
+  }
+  obj["total"] = total_injected();
+  return json::Value(std::move(obj));
+}
+
+}  // namespace hammer::fault

@@ -1,0 +1,112 @@
+// Deterministic fault injection (DESIGN.md §8).
+//
+// A FaultPlan names the failure modes the run should exhibit — connection
+// resets and latency spikes on the client channel, dropped/stalled
+// responses on the server dispatcher, transient rejections / endorsement
+// failures / block-production stalls inside the SUT — each with a
+// probability and (where applicable) a magnitude, plus one seed.
+//
+// A FaultInjector turns the plan into decisions. Every FaultKind draws
+// from its own seeded PCG stream behind its own lock, so the i-th decision
+// of a kind is a pure function of (seed, kind, i) regardless of thread
+// interleaving: a run whose per-site draw ORDER is deterministic (e.g. one
+// worker channel, SUT submit path) replays the exact same fault trace from
+// the same seed. Sites whose draw count depends on wall-clock timing
+// (server request stream, block producer ticks) are still seeded but their
+// traces are only reproducible when the request/tick sequence is.
+//
+// The injector is passive: installees (TcpChannel, TcpServer, Blockchain)
+// ask `should(kind)` at their injection points and apply the effect
+// themselves. Kinds with probability 0 never draw, so disabled sites cost
+// one branch and consume no randomness.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "json/json.hpp"
+#include "util/random.hpp"
+
+namespace hammer::telemetry {
+class Counter;
+}
+
+namespace hammer::fault {
+
+enum class FaultKind : std::size_t {
+  kConnReset = 0,   // client: shut the socket down before a send
+  kClientLatency,   // client: sleep before a send (network latency spike)
+  kDropResponse,    // server: execute the request, never answer it
+  kSlowLoris,       // server: stall the response write
+  kSubmitReject,    // SUT: transient chain.submit rejection
+  kEndorseFail,     // SUT: Fabric endorsement failure on submit
+  kBlockStall,      // SUT: block producer sleeps one extra stall interval
+  kCount
+};
+
+inline constexpr std::size_t kFaultKindCount = static_cast<std::size_t>(FaultKind::kCount);
+
+// Stable snake_case names, used for telemetry labels and counts_json keys.
+const char* to_string(FaultKind kind);
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double conn_reset_p = 0.0;
+  double client_latency_p = 0.0;
+  std::int64_t client_latency_us = 20000;
+  double drop_response_p = 0.0;
+  double slow_loris_p = 0.0;
+  std::int64_t slow_loris_us = 20000;
+  double submit_reject_p = 0.0;
+  double endorse_fail_p = 0.0;
+  double block_stall_p = 0.0;
+  std::int64_t block_stall_ms = 200;
+
+  bool enabled() const;  // any probability > 0
+  double probability(FaultKind kind) const;
+
+  static FaultPlan from_json(const json::Value& v);
+  json::Value to_json() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Draws the next decision for `kind`; true means inject. Counts both the
+  // draw and (when it fires) the injection, and bumps the process-global
+  // hammer_fault_injected_total{kind=...} counter.
+  bool should(FaultKind kind);
+
+  std::uint64_t drawn(FaultKind kind) const;
+  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t total_injected() const;
+
+  // {"conn_reset": n, ..., "total": m} — every kind, zeros included, so two
+  // traces can be compared with one dump() equality check.
+  json::Value counts_json() const;
+
+ private:
+  struct Site {
+    std::mutex mu;              // serializes rng draws for this kind
+    util::Pcg32 rng;            // stream derived from (plan.seed, kind)
+    double p = 0.0;
+    std::atomic<std::uint64_t> drawn{0};
+    std::atomic<std::uint64_t> injected{0};
+    telemetry::Counter* counter = nullptr;
+  };
+
+  FaultPlan plan_;
+  std::array<Site, kFaultKindCount> sites_;
+};
+
+}  // namespace hammer::fault

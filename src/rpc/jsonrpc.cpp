@@ -187,23 +187,25 @@ json::Value take_result(const json::Value& response) {
   return response.at("result");
 }
 
-std::future<json::Value> Channel::call_async(const std::string& method, json::Value params) {
+std::future<json::Value> Channel::call_async(const std::string& method, json::Value params,
+                                             const CallOptions& opts) {
   std::promise<json::Value> promise;
   try {
-    promise.set_value(call(method, std::move(params)));
+    promise.set_value(call(method, std::move(params), opts));
   } catch (...) {
     promise.set_exception(std::current_exception());
   }
   return promise.get_future();
 }
 
-std::vector<BatchReply> Channel::call_batch(const std::vector<BatchCall>& calls) {
+std::vector<BatchReply> Channel::call_batch(const std::vector<BatchCall>& calls,
+                                            const CallOptions& opts) {
   std::vector<BatchReply> out;
   out.reserve(calls.size());
   for (const BatchCall& c : calls) {
     BatchReply reply;
     try {
-      reply.result = call(c.method, c.params);
+      reply.result = call(c.method, c.params, opts);
     } catch (const RpcError& e) {
       reply.error_code = e.code();
       reply.error_message = e.what();
@@ -218,7 +220,8 @@ InProcChannel::InProcChannel(std::shared_ptr<const Dispatcher> dispatcher)
   HAMMER_CHECK(dispatcher_ != nullptr);
 }
 
-json::Value InProcChannel::call(const std::string& method, json::Value params) {
+json::Value InProcChannel::call(const std::string& method, json::Value params,
+                                const CallOptions&) {
   std::uint64_t id;
   {
     std::scoped_lock lock(mu_);
@@ -231,7 +234,8 @@ json::Value InProcChannel::call(const std::string& method, json::Value params) {
   return take_result(json::Value::parse(response_text));
 }
 
-std::vector<BatchReply> InProcChannel::call_batch(const std::vector<BatchCall>& calls) {
+std::vector<BatchReply> InProcChannel::call_batch(const std::vector<BatchCall>& calls,
+                                                  const CallOptions&) {
   if (calls.empty()) return {};
   std::vector<std::uint64_t> ids(calls.size());
   json::Array entries;

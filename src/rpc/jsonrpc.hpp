@@ -15,6 +15,7 @@
 //                 responses matched by id (order-independent).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -110,6 +111,16 @@ class Dispatcher {
   std::map<std::string, Handler> methods_;
 };
 
+// Per-call knobs threaded through every Channel entry point. Zero values
+// mean "use the channel's defaults", so `{}` keeps legacy behaviour.
+struct CallOptions {
+  // Deadline for the blocking wait of call() / call_batch() (a batch is one
+  // logical round trip, so one deadline covers it). 0 = the channel's
+  // constructor-configured timeout. call_async ignores it: the future's
+  // wait policy belongs to the caller.
+  std::chrono::milliseconds deadline{0};
+};
+
 // Client-side transport abstraction. Implementations: InProcChannel (below)
 // and TcpChannel (tcp.hpp).
 class Channel {
@@ -117,31 +128,38 @@ class Channel {
   virtual ~Channel() = default;
 
   // Performs one call; returns the result value or throws RpcError /
-  // TransportError.
-  virtual json::Value call(const std::string& method, json::Value params) = 0;
+  // TransportError (TimeoutError when opts.deadline passes unanswered).
+  virtual json::Value call(const std::string& method, json::Value params,
+                           const CallOptions& opts = {}) = 0;
 
   // Pipelined call: returns a future that yields the result or rethrows
   // what call() would have thrown. The default implementation performs the
   // call synchronously and returns a ready future, so every Channel
   // supports the API; multiplexing transports override it with a
   // genuinely non-blocking path.
-  virtual std::future<json::Value> call_async(const std::string& method, json::Value params);
+  virtual std::future<json::Value> call_async(const std::string& method, json::Value params,
+                                              const CallOptions& opts = {});
 
   // Performs N calls as one logical round trip; replies align with `calls`
   // by index regardless of the order responses arrive in. The default
   // implementation loops over call() so non-batching transports keep
   // working; transports with wire-level batch support override it.
-  virtual std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls);
+  virtual std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls,
+                                             const CallOptions& opts = {});
 };
 
 // Zero-copy-ish channel for in-process SUTs. Still round-trips through the
-// JSON-RPC envelope so behaviour matches the TCP path.
+// JSON-RPC envelope so behaviour matches the TCP path. Dispatch is
+// synchronous, so CallOptions deadlines have nothing to bound and are
+// ignored.
 class InProcChannel final : public Channel {
  public:
   explicit InProcChannel(std::shared_ptr<const Dispatcher> dispatcher);
 
-  json::Value call(const std::string& method, json::Value params) override;
-  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls) override;
+  json::Value call(const std::string& method, json::Value params,
+                   const CallOptions& opts = {}) override;
+  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls,
+                                     const CallOptions& opts = {}) override;
 
  private:
   std::shared_ptr<const Dispatcher> dispatcher_;

@@ -32,6 +32,7 @@ struct RpcMetrics {
   telemetry::Counter& calls_batch;
   telemetry::StageHistogram& batch_size;
   telemetry::Gauge& inflight;
+  telemetry::Counter& client_reconnects;
   telemetry::Counter& server_conns_total;
   telemetry::Gauge& server_conns;
   telemetry::Counter& server_dropped;
@@ -65,6 +66,9 @@ struct RpcMetrics {
                                    {1, 2, 4, 8, 16, 32, 64, 128, 256})),
         inflight(reg().gauge("hammer_rpc_client_inflight",
                              "Requests awaiting a response across all channels")),
+        client_reconnects(reg().counter("hammer_rpc_client_reconnects_total",
+                                        "Successful channel reconnects after a broken "
+                                        "connection")),
         server_conns_total(reg().counter("hammer_rpc_server_connections_total",
                                          "Connections ever accepted")),
         server_conns(reg().gauge("hammer_rpc_server_connections", "Open server connections")),
@@ -139,6 +143,32 @@ void set_send_timeout(int fd, std::chrono::milliseconds timeout) {
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
   tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Opens a connected client socket or throws TransportError.
+int open_socket(const std::string& host, std::uint16_t port,
+                std::chrono::milliseconds send_timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
+  // Note: no receive timeout — the reader thread blocks until a frame or
+  // shutdown; per-call deadlines are enforced on the futures instead.
+  set_send_timeout(fd, send_timeout);
+  set_nodelay(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("invalid host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw TransportError("connect " + host + ":" + std::to_string(port) + ": " +
+                         std::strerror(err));
+  }
+  return fd;
 }
 
 }  // namespace
@@ -340,9 +370,29 @@ void TcpServer::drop_connection(int fd) {
   ::shutdown(fd, SHUT_RDWR);
 }
 
+void TcpServer::install_fault_injector(std::shared_ptr<fault::FaultInjector> faults) {
+  std::scoped_lock lock(faults_mu_);
+  faults_ = std::move(faults);
+}
+
+std::shared_ptr<fault::FaultInjector> TcpServer::fault_injector() const {
+  std::scoped_lock lock(faults_mu_);
+  return faults_;
+}
+
 void TcpServer::worker_loop() {
   while (auto work = work_queue_.pop()) {
     std::string response = dispatcher_->dispatch_text(work->request);
+    if (std::shared_ptr<fault::FaultInjector> faults = fault_injector()) {
+      // Dropped response: the request DID execute — the client sees a
+      // timeout on an operation the SUT may have applied, the in-doubt case
+      // idempotent resubmission exists for.
+      if (faults->should(fault::FaultKind::kDropResponse)) continue;
+      if (faults->should(fault::FaultKind::kSlowLoris)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(faults->plan().slow_loris_us));
+      }
+    }
     std::scoped_lock lock(work->conn->write_mu);
     if (work->conn->dead.load()) continue;
     try {
@@ -361,28 +411,60 @@ void TcpServer::worker_loop() {
 
 TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
                        std::chrono::milliseconds timeout)
-    : timeout_(timeout) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw TransportError(std::string("socket: ") + std::strerror(errno));
-  // Note: no receive timeout — the reader thread blocks until a frame or
-  // shutdown; per-call deadlines are enforced on the futures instead.
-  set_send_timeout(fd_, timeout);
-  set_nodelay(fd_);
+    : host_(host), port_(port), timeout_(timeout) {
+  fd_ = open_socket(host_, port_, timeout_);
+  reader_ = std::thread([this, fd = fd_] { reader_loop(fd); });
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    throw TransportError("invalid host address " + host);
+void TcpChannel::install_fault_injector(std::shared_ptr<fault::FaultInjector> faults) {
+  faults_ = std::move(faults);
+}
+
+void TcpChannel::ensure_connected() {
+  std::scoped_lock conn_lock(write_mu_);
+  {
+    std::scoped_lock lock(pending_mu_);
+    if (!broken_) return;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int err = errno;
-    ::close(fd_);
-    throw TransportError("connect " + host + ":" + std::to_string(port) + ": " +
-                         std::strerror(err));
+  // The reader exits after fail_all set broken_, so the join is brief; any
+  // calls arriving while we hold write_mu_ wait for the fresh socket.
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+  fd_ = open_socket(host_, port_, timeout_);  // throws if the server stays down
+  {
+    std::scoped_lock lock(pending_mu_);
+    broken_ = false;
+    break_reason_ = nullptr;
   }
-  reader_ = std::thread([this] { reader_loop(); });
+  reader_ = std::thread([this, fd = fd_] { reader_loop(fd); });
+  RpcMetrics::get().client_reconnects.add(1);
+  HLOG_DEBUG("tcp") << "reconnected to " << host_ << ":" << port_;
+}
+
+void TcpChannel::inject_send_faults() {
+  if (!faults_) return;
+  if (faults_->should(fault::FaultKind::kClientLatency)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(faults_->plan().client_latency_us));
+  }
+  if (faults_->should(fault::FaultKind::kConnReset)) {
+    // Kill the real socket so the reader observes the break exactly like a
+    // peer reset, then fail this call before its frame ever leaves. Mark the
+    // channel broken here rather than waiting for the reader to notice EOF:
+    // a retry must always take the reconnect path, never race the reader and
+    // burn a fault draw on a send into the dead socket (that would make the
+    // seeded draw sequence scheduling-dependent).
+    std::scoped_lock lock(write_mu_);
+    ::shutdown(fd_, SHUT_RDWR);
+    {
+      std::scoped_lock plock(pending_mu_);
+      broken_ = true;
+      if (!break_reason_) {
+        break_reason_ = std::make_exception_ptr(TransportError("injected connection reset"));
+      }
+    }
+    throw TransportError("injected connection reset");
+  }
 }
 
 TcpChannel::~TcpChannel() {
@@ -411,6 +493,7 @@ std::future<json::Value> TcpChannel::send_request(const std::string& method, jso
   }
   std::string frame = make_request(id_out, method, std::move(params)).dump();
   try {
+    inject_send_faults();
     std::scoped_lock lock(write_mu_);
     send_frame(fd_, frame);
   } catch (...) {
@@ -422,25 +505,31 @@ std::future<json::Value> TcpChannel::send_request(const std::string& method, jso
   return future;
 }
 
-json::Value TcpChannel::call(const std::string& method, json::Value params) {
+json::Value TcpChannel::call(const std::string& method, json::Value params,
+                             const CallOptions& opts) {
+  ensure_connected();
   RpcMetrics::get().calls_single.add(1);
   std::uint64_t id = 0;
   std::future<json::Value> future = send_request(method, std::move(params), id);
-  if (future.wait_for(timeout_) == std::future_status::timeout) {
+  if (future.wait_for(effective_deadline(opts)) == std::future_status::timeout) {
     forget(id);  // a late response for this id is silently dropped
     throw TimeoutError("call " + method);
   }
   return future.get();
 }
 
-std::future<json::Value> TcpChannel::call_async(const std::string& method, json::Value params) {
+std::future<json::Value> TcpChannel::call_async(const std::string& method, json::Value params,
+                                                const CallOptions&) {
+  ensure_connected();
   RpcMetrics::get().calls_async.add(1);
   std::uint64_t id = 0;
   return send_request(method, std::move(params), id);
 }
 
-std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& calls) {
+std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& calls,
+                                               const CallOptions& opts) {
   if (calls.empty()) return {};
+  ensure_connected();
   RpcMetrics::get().calls_batch.add(calls.size());
   RpcMetrics::get().batch_size.record(static_cast<std::int64_t>(calls.size()));
   std::vector<std::uint64_t> ids(calls.size());
@@ -459,6 +548,7 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
   }
   std::string frame = json::Value(std::move(entries)).dump();
   try {
+    inject_send_faults();
     std::scoped_lock lock(write_mu_);
     send_frame(fd_, frame);
   } catch (...) {
@@ -469,7 +559,7 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
   RpcMetrics::get().client_bytes_sent.add(sizeof(std::uint32_t) + frame.size());
 
   // One deadline for the whole batch: it is a single logical round trip.
-  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  auto deadline = std::chrono::steady_clock::now() + effective_deadline(opts);
   std::vector<BatchReply> out(calls.size());
   for (std::size_t i = 0; i < calls.size(); ++i) {
     if (futures[i].wait_until(deadline) == std::future_status::timeout) {
@@ -531,11 +621,11 @@ void TcpChannel::fail_all(std::exception_ptr reason) {
   for (auto& [id, promise] : orphans) promise.set_exception(reason);
 }
 
-void TcpChannel::reader_loop() {
+void TcpChannel::reader_loop(int fd) {
   for (;;) {
     std::string payload;
     try {
-      if (!recv_frame(fd_, payload, /*eof_ok=*/true)) {
+      if (!recv_frame(fd, payload, /*eof_ok=*/true)) {
         fail_all(std::make_exception_ptr(TransportError("connection closed by server")));
         return;
       }

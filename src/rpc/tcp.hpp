@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "util/mpmc_queue.hpp"
 
@@ -51,6 +52,11 @@ class TcpServer {
   std::size_t worker_count() const { return workers_.size(); }
   void stop();
 
+  // Server-side fault hooks (kDropResponse: the request executes but the
+  // reply never leaves; kSlowLoris: the reply stalls slow_loris_us on a
+  // worker thread). Install before clients generate traffic.
+  void install_fault_injector(std::shared_ptr<fault::FaultInjector> faults);
+
  private:
   struct Connection {
     explicit Connection(int fd) : fd(fd) {}
@@ -72,7 +78,11 @@ class TcpServer {
   void drop_connection(int fd);
   void worker_loop();
 
+  std::shared_ptr<fault::FaultInjector> fault_injector() const;
+
   std::shared_ptr<const Dispatcher> dispatcher_;
+  mutable std::mutex faults_mu_;
+  std::shared_ptr<fault::FaultInjector> faults_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -88,10 +98,17 @@ class TcpServer {
 // Multiplexing client channel: any number of in-flight calls share the one
 // connection, correlated by request id. Thread-safe; drivers may still open
 // one channel per worker to spread socket work across server connections.
+//
+// A broken connection is not terminal: the next call(), call_async() or
+// call_batch() reconnects to the original endpoint (in-flight calls from
+// the broken generation still fail — ids are not replayed). Retry policy
+// lives a layer up (adapters::AdapterOptions); the channel only makes
+// retrying possible.
 class TcpChannel final : public Channel {
  public:
-  // `timeout` bounds each blocking call() / call_batch() wait; call_async
-  // futures are unbounded (the caller owns the wait policy).
+  // `timeout` bounds each blocking call() / call_batch() wait unless the
+  // per-call CallOptions deadline overrides it; call_async futures are
+  // unbounded (the caller owns the wait policy).
   TcpChannel(const std::string& host, std::uint16_t port,
              std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
   ~TcpChannel() override;
@@ -99,20 +116,37 @@ class TcpChannel final : public Channel {
   TcpChannel(const TcpChannel&) = delete;
   TcpChannel& operator=(const TcpChannel&) = delete;
 
-  json::Value call(const std::string& method, json::Value params) override;
-  std::future<json::Value> call_async(const std::string& method, json::Value params) override;
-  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls) override;
+  json::Value call(const std::string& method, json::Value params,
+                   const CallOptions& opts = {}) override;
+  std::future<json::Value> call_async(const std::string& method, json::Value params,
+                                      const CallOptions& opts = {}) override;
+  std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls,
+                                     const CallOptions& opts = {}) override;
+
+  // Client-side fault hooks (kClientLatency sleeps before a send,
+  // kConnReset shuts the socket down and fails the call). Install before
+  // sharing the channel across threads.
+  void install_fault_injector(std::shared_ptr<fault::FaultInjector> faults);
 
  private:
   std::future<json::Value> send_request(const std::string& method, json::Value params,
                                         std::uint64_t& id_out);
-  void reader_loop();
+  // Reopens the socket and restarts the reader if the connection broke.
+  void ensure_connected();
+  void inject_send_faults();  // sleeps or throws per the installed plan
+  std::chrono::milliseconds effective_deadline(const CallOptions& opts) const {
+    return opts.deadline.count() > 0 ? opts.deadline : timeout_;
+  }
+  void reader_loop(int fd);
   void complete(const json::Value& response);
   void fail_all(std::exception_ptr reason);
   void forget(std::uint64_t id);
 
-  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;  // guarded by write_mu_ once the channel is shared
   std::chrono::milliseconds timeout_;
+  std::shared_ptr<fault::FaultInjector> faults_;
   std::mutex write_mu_;  // request frames are written atomically, back-to-back
 
   std::mutex pending_mu_;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <thread>
+
 #include "chain/factory.hpp"
+#include "fault/fault.hpp"
 #include "rpc/tcp.hpp"
 #include "util/errors.hpp"
 
@@ -241,6 +245,200 @@ TEST_F(TcpAdapterTest, SubmitBatchOverTcp) {
     if (!all_found) std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_TRUE(all_found);
+}
+
+// Wraps an InProcChannel and fails the first `failures` calls of a given
+// method with TransportError — the deterministic "flaky network" double.
+class FlakyChannel : public rpc::Channel {
+ public:
+  FlakyChannel(std::shared_ptr<rpc::Dispatcher> dispatcher, std::string flaky_method,
+               int failures)
+      : inner_(std::move(dispatcher)),
+        flaky_method_(std::move(flaky_method)),
+        failures_left_(failures) {}
+
+  json::Value call(const std::string& method, json::Value params,
+                   const rpc::CallOptions& opts) override {
+    maybe_fail(method);
+    return inner_.call(method, std::move(params), opts);
+  }
+  std::future<json::Value> call_async(const std::string& method, json::Value params,
+                                      const rpc::CallOptions& opts) override {
+    maybe_fail(method);
+    return inner_.call_async(method, std::move(params), opts);
+  }
+  std::vector<rpc::BatchReply> call_batch(const std::vector<rpc::BatchCall>& calls,
+                                          const rpc::CallOptions& opts) override {
+    for (const rpc::BatchCall& c : calls) maybe_fail(c.method);
+    return inner_.call_batch(calls, opts);
+  }
+
+  int attempts(const std::string& method) const {
+    std::scoped_lock lock(mu_);
+    auto it = attempts_.find(method);
+    return it == attempts_.end() ? 0 : it->second;
+  }
+
+ private:
+  void maybe_fail(const std::string& method) {
+    std::scoped_lock lock(mu_);
+    ++attempts_[method];
+    if (method == flaky_method_ && failures_left_ > 0) {
+      --failures_left_;
+      throw TransportError("injected flaky failure");
+    }
+  }
+
+  rpc::InProcChannel inner_;
+  std::string flaky_method_;
+  mutable std::mutex mu_;
+  int failures_left_;
+  std::map<std::string, int> attempts_;
+};
+
+class RetryAdapterTest : public AdapterTestBase, public ::testing::Test {};
+
+TEST_F(RetryAdapterTest, RetryPolicyRecoversFromTransientFailures) {
+  auto flaky = std::make_shared<FlakyChannel>(dispatcher_, "chain.height", 2);
+  AdapterOptions options;
+  options.retry = rpc::RetryPolicy::standard(4);
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  ChainAdapter adapter(flaky, options);
+  EXPECT_GE(adapter.height(0), 0u);  // two failures absorbed by the policy
+  EXPECT_EQ(adapter.retries(), 2u);
+  EXPECT_EQ(flaky->attempts("chain.height"), 3);
+}
+
+TEST_F(RetryAdapterTest, ExhaustedPolicySurfacesTransportError) {
+  auto flaky = std::make_shared<FlakyChannel>(dispatcher_, "chain.height", 1000);
+  AdapterOptions options;
+  options.retry = rpc::RetryPolicy::standard(3);
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  ChainAdapter adapter(flaky, options);  // chain.info is not the flaky method
+  EXPECT_THROW(adapter.height(0), TransportError);
+  EXPECT_EQ(flaky->attempts("chain.height"), 3);
+}
+
+TEST_F(RetryAdapterTest, DefaultOptionsNeverRetry) {
+  auto flaky = std::make_shared<FlakyChannel>(dispatcher_, "chain.height", 1);
+  ChainAdapter adapter(flaky);
+  EXPECT_THROW(adapter.height(0), TransportError);
+  EXPECT_EQ(flaky->attempts("chain.height"), 1);
+  EXPECT_EQ(adapter.retries(), 0u);
+}
+
+// Delivers submit batches to the SUT, then reports a transport failure —
+// the lost-response shape of an in-doubt submission. Waits for the batch to
+// seal before failing so chain.receipts can prove delivery.
+class LostResponseChannel : public rpc::Channel {
+ public:
+  explicit LostResponseChannel(std::shared_ptr<rpc::Dispatcher> dispatcher)
+      : inner_(std::move(dispatcher)) {}
+
+  json::Value call(const std::string& method, json::Value params,
+                   const rpc::CallOptions& opts) override {
+    return inner_.call(method, std::move(params), opts);
+  }
+  std::future<json::Value> call_async(const std::string& method, json::Value params,
+                                      const rpc::CallOptions& opts) override {
+    return inner_.call_async(method, std::move(params), opts);
+  }
+  std::vector<rpc::BatchReply> call_batch(const std::vector<rpc::BatchCall>& calls,
+                                          const rpc::CallOptions& opts) override {
+    std::vector<rpc::BatchReply> replies = inner_.call_batch(calls, opts);
+    ++batch_calls_;
+    if (batch_calls_ > 1) return replies;  // only the first response is lost
+    // Wait until every submitted tx is sealed, so the adapter's receipts
+    // reconciliation will find them all.
+    std::vector<std::string> ids;
+    for (const rpc::BatchReply& r : replies) {
+      if (r.ok()) ids.push_back(r.result.at("tx_id").as_string());
+    }
+    json::Array id_array;
+    for (const std::string& id : ids) id_array.push_back(json::Value(id));
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      json::Value v = inner_.call(
+          "chain.receipts", json::object({{"tx_ids", json::Value(id_array)}}), {});
+      bool all = true;
+      for (const json::Value& entry : v.at("receipts").as_array()) {
+        all &= entry.get_bool("found", false);
+      }
+      if (all) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    throw TransportError("injected lost response");
+  }
+
+  int batch_calls() const { return batch_calls_; }
+
+ private:
+  rpc::InProcChannel inner_;
+  int batch_calls_ = 0;
+};
+
+TEST_F(RetryAdapterTest, InDoubtSubmissionReconcilesInsteadOfResubmitting) {
+  auto lossy = std::make_shared<LostResponseChannel>(dispatcher_);
+  AdapterOptions options;
+  options.retry = rpc::RetryPolicy::standard(4);
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  ChainAdapter adapter(lossy, options);
+
+  json::Value before =
+      adapter.query(0, "smallbank", "query", json::object({{"customer", accounts_[0]}}));
+  std::vector<chain::Transaction> txs;
+  for (int i = 0; i < 3; ++i) txs.push_back(signed_tx(accounts_[i], 3));
+  auto results = adapter.submit_batch(txs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].tx_id, txs[i].compute_id());
+  }
+  // The failed attempt delivered; reconciliation proved it through
+  // chain.receipts, so there was no second submit round trip.
+  EXPECT_EQ(lossy->batch_calls(), 1);
+  EXPECT_EQ(adapter.retries(), 1u);
+  // No double-count: the deposit landed exactly once.
+  json::Value after =
+      adapter.query(0, "smallbank", "query", json::object({{"customer", accounts_[0]}}));
+  EXPECT_EQ(after.at("checking").as_int(), before.at("checking").as_int() + 5);
+}
+
+TEST_F(RetryAdapterTest, TransientRejectionsResubmitWhenOptedIn) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.submit_reject_p = 0.4;
+  auto faults = std::make_shared<fault::FaultInjector>(plan);
+  chain_->install_fault_injector(faults);
+  AdapterOptions options;
+  options.retry = rpc::RetryPolicy::standard(6);
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.on_rejected = true;
+  ChainAdapter adapter(std::make_shared<rpc::InProcChannel>(dispatcher_), options);
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto results = adapter.submit_batch({signed_tx(accounts_[i % 4], 50 + i)});
+    if (results[0].ok()) ++accepted;
+  }
+  // With ~6 attempts against p=0.4, effectively everything lands.
+  EXPECT_GE(accepted, 19);
+  EXPECT_GT(faults->injected(fault::FaultKind::kSubmitReject), 0u);
+}
+
+class FactoryTest : public AdapterTestBase, public ::testing::Test {};
+
+TEST_F(FactoryTest, MakeAdapterFromChannelAndFromEndpoint) {
+  auto from_channel = make_adapter(std::make_shared<rpc::InProcChannel>(dispatcher_));
+  EXPECT_EQ(from_channel->info().kind, "neuchain");
+
+  rpc::TcpServer server(dispatcher_, 0);
+  AdapterOptions options;
+  options.retry = rpc::RetryPolicy::standard(2);
+  auto from_endpoint = make_adapter("127.0.0.1", server.port(), options);
+  EXPECT_EQ(from_endpoint->info().name, "neu-x");
+  EXPECT_EQ(from_endpoint->options().retry.max_attempts, 2u);
+  EXPECT_EQ(from_endpoint->submit(signed_tx(accounts_[3], 9)),
+            signed_tx(accounts_[3], 9).compute_id());
 }
 
 }  // namespace

@@ -73,6 +73,37 @@ TEST(DeploymentTest, CustomGenesisBalances) {
   EXPECT_EQ(balances.at("savings").as_int(), 7);
 }
 
+TEST(DeploymentTest, FaultsKeyInstallsASharedInjector) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "shaky", "block_interval_ms": 10,
+                "transport": "tcp", "smallbank_accounts_per_shard": 2,
+                "faults": {"seed": 5, "submit_reject_p": 1.0}}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto& sut = deployment.at("shaky");
+  ASSERT_NE(sut.fault_injector, nullptr);
+  EXPECT_DOUBLE_EQ(sut.fault_injector->plan().submit_reject_p, 1.0);
+
+  // The injector really is wired into the SUT: every submit is rejected.
+  auto adapter = sut.make_adapters(1)[0];
+  chain::Transaction tx;
+  tx.contract = "smallbank";
+  tx.op = "deposit_checking";
+  tx.args = json::object({{"customer", sut.smallbank_accounts[0]}, {"amount", 1}});
+  tx.sender = sut.smallbank_accounts[0];
+  tx.sign_with(crypto::derive_keypair(tx.sender));
+  EXPECT_THROW(adapter->submit(tx), RejectedError);
+  EXPECT_GT(sut.fault_injector->injected(fault::FaultKind::kSubmitReject), 0u);
+}
+
+TEST(DeploymentTest, BadFaultPlanThrows) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "x", "block_interval_ms": 10,
+                "faults": {"conn_reset_p": 2.0}}]
+  })");
+  EXPECT_THROW(Deployment::deploy(plan, util::SteadyClock::shared()), Error);
+}
+
 TEST(DeploymentTest, UnknownNameThrows) {
   json::Value plan = json::Value::parse(
       R"({"chains": [{"kind": "neuchain", "name": "x", "block_interval_ms": 10}]})");

@@ -206,6 +206,90 @@ TEST(DriverTest, InteractiveModeBatchedSubmitStillMatchesEveryTx) {
   EXPECT_GT(result.committed, 50u);
 }
 
+TEST(DriverTest, MidRunConnectionResetsAreRetriedToCompletion) {
+  // Full TCP stack with injected connection resets on every worker channel:
+  // the retry policy absorbs the breaks, the run finishes with every
+  // transaction accounted for, and the fault/retry counters land in the
+  // RunResult.
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "sut", "block_interval_ms": 15,
+                "transport": "tcp", "smallbank_accounts_per_shard": 50}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto& sut = deployment.at("sut");
+  fault::FaultPlan fault_plan;
+  fault_plan.seed = 21;
+  fault_plan.conn_reset_p = 0.25;
+  auto client_faults = std::make_shared<fault::FaultInjector>(fault_plan);
+
+  adapters::AdapterOptions adapter_options;
+  adapter_options.retry = rpc::RetryPolicy::standard(8);
+  adapter_options.retry.initial_backoff = 2ms;
+
+  workload::WorkloadProfile profile;
+  profile.seed = 11;
+  workload::WorkloadFile wf =
+      workload::generate_workload(profile, sut.smallbank_accounts, 300);
+  DriverOptions options;
+  options.worker_threads = 2;
+  options.submit_batch_size = 4;
+  options.fault_injector = client_faults;
+  HammerDriver driver(sut.make_adapters(2, adapter_options, client_faults),
+                      sut.make_adapters(1)[0], util::SteadyClock::shared(), options);
+  RunResult result = driver.run(wf, nullptr);
+
+  EXPECT_EQ(result.submitted, 300u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_EQ(result.committed + result.failed, 300u);
+  EXPECT_GT(result.committed, 200u);
+  EXPECT_GT(client_faults->injected(fault::FaultKind::kConnReset), 0u);
+  EXPECT_GT(result.retries, 0u);
+  // 8 attempts against p = 0.25: the chance of any batch exhausting the
+  // policy is ~1e-5 per send, so effectively every break is absorbed.
+  EXPECT_EQ(result.send_failures, 0u);
+  ASSERT_FALSE(result.faults.is_null());
+  EXPECT_GT(result.faults.at("conn_reset").as_int(), 0);
+  EXPECT_TRUE(result.to_json().contains("faults"));
+}
+
+TEST(DriverTest, ExhaustedRetriesFailTxsButKeepTheRunAlive) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "sut", "block_interval_ms": 15,
+                "transport": "tcp", "smallbank_accounts_per_shard": 50}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto& sut = deployment.at("sut");
+  // Build the adapters FIRST (chain.info must succeed), then make every
+  // send fail: p = 1.0 with no retry budget exhausts instantly.
+  auto worker_channel = sut.connect();
+  auto worker =
+      std::make_shared<adapters::ChainAdapter>(worker_channel, adapters::AdapterOptions{});
+  fault::FaultPlan fault_plan;
+  fault_plan.conn_reset_p = 1.0;
+  auto faults = std::make_shared<fault::FaultInjector>(fault_plan);
+  std::static_pointer_cast<rpc::TcpChannel>(worker_channel)->install_fault_injector(faults);
+
+  workload::WorkloadProfile profile;
+  profile.seed = 11;
+  workload::WorkloadFile wf =
+      workload::generate_workload(profile, sut.smallbank_accounts, 50);
+  DriverOptions options;
+  options.worker_threads = 1;
+  options.submit_batch_size = 4;
+  options.drain_timeout = 2s;
+  options.fault_injector = faults;
+  HammerDriver driver({worker}, sut.make_adapters(1)[0], util::SteadyClock::shared(),
+                      options);
+  RunResult result = driver.run(wf, nullptr);  // must not terminate the process
+
+  EXPECT_EQ(result.submitted, 50u);
+  EXPECT_EQ(result.send_failures, 50u);
+  EXPECT_EQ(result.committed, 0u);
+  // Every tx was written off at send time, so nothing is left unmatched.
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_EQ(result.failed, 50u);
+}
+
 TEST(DriverTest, ClientCpuModelLimitsThroughput) {
   Harness h("neuchain");
   // 2 modeled vCPUs, 5ms of client work per tx -> ceiling ~400 tps.

@@ -217,6 +217,105 @@ TEST(TcpTest, ConcurrentBlockingCallsShareOneChannel) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(TcpTest, PerCallDeadlineOverridesChannelDefault) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/5000ms);
+  CallOptions tight;
+  tight.deadline = 50ms;
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(channel.call("sleep_echo", json::object({{"ms", 2000}, {"v", 1}}), tight),
+               TimeoutError);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1000ms);
+  // Default-deadline calls on the same channel are unaffected.
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+}
+
+TEST(TcpTest, PerCallDeadlineAppliesToBatches) {
+  TcpServer server(make_dispatcher(), 0, 4);
+  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/5000ms);
+  CallOptions tight;
+  tight.deadline = 50ms;
+  std::vector<BatchCall> calls;
+  calls.push_back({"sleep_echo", json::object({{"ms", 2000}, {"v", 0}})});
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(channel.call_batch(calls, tight), TimeoutError);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1000ms);
+}
+
+TEST(TcpTest, ReconnectsAfterServerRestartOnSamePort) {
+  auto dispatcher = make_dispatcher();
+  auto server = std::make_unique<TcpServer>(dispatcher, 0);
+  std::uint16_t port = server->port();
+  TcpChannel channel("127.0.0.1", port);
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+
+  server.reset();  // connection breaks
+  EXPECT_THROW(channel.call("ping", json::Value()), TransportError);
+
+  server = std::make_unique<TcpServer>(dispatcher, port);
+  // The channel heals itself: the next call reconnects instead of staying
+  // permanently broken.
+  json::Value reply;
+  for (int i = 0; i < 50; ++i) {
+    try {
+      reply = channel.call("ping", json::Value());
+      break;
+    } catch (const TransportError&) {
+      std::this_thread::sleep_for(20ms);
+    }
+  }
+  EXPECT_EQ(reply.as_string(), "pong");
+}
+
+TEST(TcpTest, InjectedConnResetsThrowAndHeal) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  plan.conn_reset_p = 0.5;
+  auto faults = std::make_shared<fault::FaultInjector>(plan);
+  channel.install_fault_injector(faults);
+  int ok = 0, reset = 0;
+  for (int i = 0; i < 60; ++i) {
+    try {
+      if (channel.call("double", json::Value(i)).as_int() == i * 2) ++ok;
+    } catch (const TransportError&) {
+      ++reset;
+      // Let the reader observe the shutdown so the next call reconnects
+      // instead of racing the broken-flag.
+      std::this_thread::sleep_for(5ms);
+    }
+  }
+  // Every injected reset throws a TransportError (a straggler send can add
+  // one more), and non-faulted calls succeed because the channel reconnects.
+  EXPECT_EQ(ok + reset, 60);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(faults->injected(fault::FaultKind::kConnReset), 0u);
+  EXPECT_GE(static_cast<std::uint64_t>(reset), faults->injected(fault::FaultKind::kConnReset));
+}
+
+TEST(TcpTest, InjectedClientLatencyDelaysCalls) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  fault::FaultPlan plan;
+  plan.client_latency_p = 1.0;
+  plan.client_latency_us = 30000;
+  channel.install_fault_injector(std::make_shared<fault::FaultInjector>(plan));
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(channel.call("ping", json::Value()).as_string(), "pong");
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+}
+
+TEST(TcpTest, ServerDropResponseFaultTimesOutTheCall) {
+  auto dispatcher = make_dispatcher();
+  TcpServer server(dispatcher, 0);
+  fault::FaultPlan plan;
+  plan.drop_response_p = 1.0;
+  server.install_fault_injector(std::make_shared<fault::FaultInjector>(plan));
+  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/100ms);
+  EXPECT_THROW(channel.call("ping", json::Value()), TimeoutError);
+}
+
 TEST(TcpTest, LargePayloadRoundTrips) {
   auto d = std::make_shared<Dispatcher>();
   d->register_method("echo", [](const json::Value& params) { return params; });

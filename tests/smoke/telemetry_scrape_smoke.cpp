@@ -45,8 +45,7 @@ int main() {
 
   // Scrape mid-run over the SUT's own TCP port (the per-node exporter).
   auto scrape = [&sut](std::map<std::string, double>& values) -> bool {
-    rpc::TcpChannel channel("127.0.0.1", sut.tcp_server->port());
-    std::string text = telemetry::scrape_metrics(channel);
+    std::string text = telemetry::scrape_metrics(*sut.connect());
     std::string error;
     if (!telemetry::parse_prometheus(text, &values, &error)) {
       std::fprintf(stderr, "FAIL: exposition does not parse: %s\n", error.c_str());
