@@ -1,0 +1,116 @@
+// Cluster scale-out bench — what driving a sharded SUT through multiple
+// RPC endpoints buys.
+//
+// SUT: a 4-shard meepo deployed over real TCP loopback with 1, 2 or 4
+// tagged RPC surfaces, each backed by a single server worker thread
+// (rpc_workers = 1) and an admission cost of ingress_cost_us per
+// transaction — the modeled per-endpoint ingress bottleneck (parsing,
+// signature checks, mempool admission) that makes a single RPC surface the
+// throughput ceiling on real sharded systems. The cost is slept, not
+// burned, so endpoints scale even on a one-core bench box.
+//
+// Driver: the same TOTAL worker count in every configuration (the client is
+// not given more resources as the SUT gains endpoints), closed loop,
+// pre-signed workload (pipelined_signing = false keeps signing out of the
+// measured window), swept across every RoutingPolicy.
+//
+// Expectation: throughput scales with endpoint count while the per-endpoint
+// ingress worker is the bottleneck — 4 endpoints ≥ 2x one endpoint at equal
+// client resources (the PR's acceptance bar) — and shard-affine routing
+// keeps misrouted_submits at zero where endpoint-agnostic spray pays the
+// cross-shard forwarding penalty on every misroute.
+//
+// Artifact: bench_results/cluster_scaleout.csv
+#include "bench_util.hpp"
+
+using namespace hammer;
+
+namespace {
+
+core::Deployment deploy_meepo(std::size_t endpoints) {
+  json::Object spec;
+  spec["kind"] = "meepo";
+  spec["name"] = "sut";
+  spec["num_shards"] = 4;
+  spec["transport"] = "tcp";
+  spec["endpoints"] = static_cast<std::int64_t>(endpoints);
+  spec["rpc_workers"] = 1;         // one ingress thread per endpoint
+  spec["ingress_cost_us"] = 600;   // modeled per-tx admission cost
+  spec["verify_signatures"] = false;
+  spec["block_interval_ms"] = 25;
+  spec["max_block_txs"] = 4000;
+  spec["pool_capacity"] = 200000;
+  spec["smallbank_accounts_per_shard"] = 1000;
+  spec["initial_checking"] = 1000000;
+  spec["initial_savings"] = 1000000;
+  json::Object plan;
+  plan["chains"] = json::Value(json::Array{json::Value(std::move(spec))});
+  return core::Deployment::deploy(json::Value(std::move(plan)), util::SteadyClock::shared());
+}
+
+workload::WorkloadFile payment_workload(const core::DeployedChain& sut, std::size_t count) {
+  workload::WorkloadProfile profile;
+  profile.seed = 13;
+  profile.op_mix = {{"send_payment", 1.0}};  // order-independent on rich accounts
+  return workload::generate_workload(profile, sut.smallbank_accounts, count);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t txs = bench::full_scale() ? 20000 : 3000;
+  const std::size_t total_workers = 4;
+  report::CsvWriter csv(
+      {"endpoints", "routing", "workers_total", "tps", "speedup_vs_1", "misrouted"});
+
+  std::printf("== SutCluster scale-out: 4-shard meepo over TCP, %zu txs, %zu total workers ==\n",
+              txs, total_workers);
+  std::printf("   (rpc_workers=1, ingress_cost_us=600 per endpoint: the single-surface ceiling "
+              "is ~1/ingress_cost ≈ 1666 tps)\n");
+
+  double shard_affine_baseline = 0.0;  // 1-endpoint shard-affine tps
+  double shard_affine_peak = 0.0;      // 4-endpoint shard-affine tps
+  for (core::RoutingKind routing :
+       {core::RoutingKind::kRoundRobin, core::RoutingKind::kLeastInFlight,
+        core::RoutingKind::kShardAffine}) {
+    double base_tps = 0.0;
+    for (std::size_t endpoints : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      core::Deployment deployment = deploy_meepo(endpoints);
+      auto& sut = deployment.at("sut");
+      core::DriverOptions options;
+      options.worker_threads = total_workers;
+      options.submit_batch_size = 8;
+      options.pipelined_signing = false;  // pre-sign; measure the driving path only
+      options.routing = routing;
+      options.task_processor.shards = 4;
+      core::RunResult result = core::run_peak_probe(
+          sut.make_cluster(total_workers / endpoints), util::SteadyClock::shared(), options,
+          payment_workload(sut, txs));
+      unsigned long long misrouted =
+          static_cast<unsigned long long>(sut.chain->misrouted_submits());
+      if (endpoints == 1) base_tps = result.tps;
+      double speedup = base_tps > 0 ? result.tps / base_tps : 1.0;
+      std::printf("  routing=%-14s endpoints=%zu  %8.0f tps  (%.2fx vs 1)  misrouted=%llu\n",
+                  core::to_string(routing), endpoints, result.tps, speedup, misrouted);
+      csv.add_row({std::to_string(endpoints), core::to_string(routing),
+                   std::to_string(total_workers), std::to_string(result.tps),
+                   std::to_string(speedup), std::to_string(misrouted)});
+      if (routing == core::RoutingKind::kShardAffine) {
+        if (endpoints == 1) shard_affine_baseline = result.tps;
+        if (endpoints == 4) shard_affine_peak = result.tps;
+      }
+    }
+  }
+
+  bench::save_csv(csv, "cluster_scaleout.csv");
+
+  double speedup =
+      shard_affine_baseline > 0 ? shard_affine_peak / shard_affine_baseline : 0.0;
+  std::printf("shard-affine 4-endpoint speedup vs 1 endpoint: %.2fx (acceptance: >= 2x)\n",
+              speedup);
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: 4-endpoint shard-affine did not reach 2x one endpoint\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,14 @@
 // under a retry policy that rides the faults out; the summary then shows
 // the retries spent and the injected-fault counts.
 //
+// With --endpoints N (N > 1), the demo SUT becomes an N-shard Meepo
+// exposing N tagged RPC surfaces, and the driver runs the cluster driving
+// path (sign -> route -> submit -> detect) across them. --routing picks the
+// RoutingPolicy: round_robin | least_inflight | shard. Try
+//   ./build/examples/quickstart --endpoints 4 --routing shard
+// and watch the per-target split in the summary (shard-affine keeps every
+// submission on the endpoint owning its sender's shard).
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <atomic>
 #include <cstdio>
@@ -35,6 +43,8 @@ using namespace hammer;
 int main(int argc, char** argv) {
   std::unique_ptr<telemetry::TelemetryEndpoint> endpoint;
   bool with_faults = false;
+  std::size_t endpoints = 1;
+  core::RoutingKind routing = core::RoutingKind::kRoundRobin;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
@@ -44,6 +54,11 @@ int main(int argc, char** argv) {
                   endpoint->port());
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       with_faults = true;
+    } else if (std::strcmp(argv[i], "--endpoints") == 0 && i + 1 < argc) {
+      endpoints = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (endpoints == 0) endpoints = 1;
+    } else if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc) {
+      routing = core::routing_kind_from_string(argv[++i]);
     }
   }
 
@@ -57,6 +72,16 @@ int main(int argc, char** argv) {
       "smallbank_accounts_per_shard": 1000
     }]
   })");
+  if (endpoints > 1) {
+    // Multi-endpoint demo: a sharded SUT (one shard per endpoint) so
+    // routing policies have something to be affine TO.
+    json::Object& spec = plan.as_object()["chains"].as_array()[0].as_object();
+    spec["kind"] = "meepo";
+    spec["num_shards"] = static_cast<std::int64_t>(endpoints);
+    spec["endpoints"] = static_cast<std::int64_t>(endpoints);
+    std::printf("cluster mode: %zu-shard meepo behind %zu RPC endpoints, routing=%s\n",
+                endpoints, endpoints, core::to_string(routing));
+  }
   if (with_faults) {
     plan.as_object()["chains"].as_array()[0].as_object()["faults"] = json::Value::parse(
         R"({"seed": 9, "submit_reject_p": 0.02, "block_stall_p": 0.1, "block_stall_ms": 30})");
@@ -91,8 +116,15 @@ int main(int argc, char** argv) {
     adapter_options.retry.on_rejected = true;
     options.fault_injector = sut.fault_injector;
   }
-  core::HammerDriver driver(sut.make_adapters(2, adapter_options), sut.make_adapters(1)[0],
-                            util::SteadyClock::shared(), options);
+  options.routing = routing;
+  if (endpoints > 1) options.worker_threads = endpoints;  // one submit worker per target
+  std::shared_ptr<core::SutCluster> cluster =
+      endpoints > 1
+          ? sut.make_cluster(/*workers_per_target=*/1, /*channels_per_target=*/1,
+                             adapter_options)
+          : core::SutCluster::single(sut.make_adapters(2, adapter_options),
+                                     sut.make_adapters(1)[0]);
+  core::HammerDriver driver(cluster, util::SteadyClock::shared(), options);
 
   // Live view while the run is in flight: one snapshot line per second from
   // the same registry the telemetry endpoint scrapes.
@@ -126,6 +158,9 @@ int main(int argc, char** argv) {
   std::printf("%s\n", report.rendered.c_str());
   if (!result.stages.is_null()) {
     std::printf("stage breakdown: %s\n", result.stages.dump().c_str());
+  }
+  if (endpoints > 1 && !result.targets.is_null()) {
+    std::printf("per-target split: %s\n", result.targets.dump().c_str());
   }
   if (!result.faults.is_null()) {
     std::printf("injected faults: %s (retries spent riding them out: %llu)\n",

@@ -130,6 +130,13 @@ std::vector<std::size_t> ChainAdapter::reconcile_in_doubt(const std::vector<std:
   return still_open;
 }
 
+std::uint32_t ChainAdapter::shard_for(const std::string& sender) {
+  return static_cast<std::uint32_t>(
+      call("chain.shard_for", json::object({{"sender", sender}})).at("shard").as_int());
+}
+
+json::Value ChainAdapter::endpoint_info() { return call("endpoint.info", json::Value()); }
+
 std::uint64_t ChainAdapter::height(std::uint32_t shard) {
   return static_cast<std::uint64_t>(
       call("chain.height", json::object({{"shard", static_cast<std::int64_t>(shard)}}))

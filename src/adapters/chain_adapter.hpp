@@ -52,6 +52,10 @@ struct AdapterOptions {
   rpc::CallOptions call;    // forwarded to every RPC this adapter issues
   rpc::RetryPolicy retry;   // default: max_attempts = 1 (no retry)
   std::uint64_t retry_seed = 0xbacc0ffULL;  // jitter stream for backoff
+  // Which SutCluster target (endpoint) this adapter speaks to. Single-SUT
+  // call sites leave the default; the cluster builder stamps the index so
+  // per-endpoint telemetry and routing diagnostics can label their series.
+  std::size_t target_index = 0;
 };
 
 class ChainAdapter {
@@ -62,6 +66,7 @@ class ChainAdapter {
   // the driver can poll every shard's chain.
   const ChainInfo& info() const { return info_; }
   const AdapterOptions& options() const { return options_; }
+  std::size_t target_index() const { return options_.target_index; }
 
   // RPC attempts beyond the first, over this adapter's lifetime. The driver
   // differences this across a run into RunResult::retries.
@@ -88,6 +93,15 @@ class ChainAdapter {
   // RetryPolicy::on_rejected — rejected entries are resubmitted. Throws
   // TransportError only once the policy is exhausted.
   std::vector<SubmitResult> submit_batch(const std::vector<chain::Transaction>& txs);
+
+  // Shard-ownership query (chain.shard_for): the shard holding `sender`'s
+  // hot state — the SUT's own routing function, exposed so a shard-affine
+  // client can agree with the chain instead of guessing its hash.
+  std::uint32_t shard_for(const std::string& sender);
+
+  // Endpoint identity (endpoint.info): {endpoint, endpoints, shards} — which
+  // RPC surface this adapter speaks to and the shard set that surface owns.
+  json::Value endpoint_info();
 
   std::uint64_t height(std::uint32_t shard);
   chain::Block block(std::uint32_t shard, std::uint64_t height);

@@ -44,6 +44,7 @@ ChainConfig ChainConfig::from_json(const json::Value& v) {
   c.block_interval_ms = v.get_int("block_interval_ms", c.block_interval_ms);
   c.verify_signatures = v.get_bool("verify_signatures", c.verify_signatures);
   c.commit_cost_us = v.get_int("commit_cost_us", c.commit_cost_us);
+  c.ingress_cost_us = v.get_int("ingress_cost_us", c.ingress_cost_us);
   c.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(c.seed)));
   c.hash_rate = v.get_int("hash_rate", c.hash_rate);
   c.endorsers = static_cast<std::uint32_t>(v.get_int("endorsers", c.endorsers));
@@ -61,6 +62,7 @@ json::Value ChainConfig::to_json() const {
   obj["block_interval_ms"] = block_interval_ms;
   obj["verify_signatures"] = verify_signatures;
   obj["commit_cost_us"] = commit_cost_us;
+  obj["ingress_cost_us"] = ingress_cost_us;
   obj["seed"] = seed;
   obj["hash_rate"] = hash_rate;
   obj["endorsers"] = static_cast<std::int64_t>(endorsers);
@@ -140,6 +142,21 @@ std::string Blockchain::submit(Transaction tx) {
   return id;
 }
 
+std::string Blockchain::submit_via(std::uint32_t endpoint, std::uint32_t total_endpoints,
+                                   Transaction tx) {
+  HAMMER_CHECK(total_endpoints >= 1 && endpoint < total_endpoints);
+  // Admission work is paid by the receiving endpoint's serving thread —
+  // slept, not burned, like commit_cost_us — so each endpoint is an
+  // independent admission lane.
+  if (config_.ingress_cost_us > 0) {
+    clock_->sleep_for(std::chrono::microseconds(config_.ingress_cost_us));
+  }
+  if (shard_for_sender(tx.sender) % total_endpoints != endpoint) {
+    misrouted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return submit(std::move(tx));
+}
+
 void Blockchain::check_signature(const Transaction& tx) const {
   if (config_.verify_signatures && !tx.verify_signature()) {
     throw RejectedError("invalid transaction signature");
@@ -212,7 +229,8 @@ json::Value Blockchain::stats() const {
                        {"rejected", rejected},
                        {"committed", committed},
                        {"blocks", blocks},
-                       {"pending", pending}});
+                       {"pending", pending},
+                       {"misrouted", misrouted_.load()}});
 }
 
 std::pair<ReadWriteSet, ExecResult> Blockchain::execute(const StateStore& state,
@@ -228,8 +246,10 @@ void Blockchain::charge_commit_cost(std::size_t tx_count) {
                     static_cast<std::int64_t>(tx_count));
 }
 
-void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatcher) {
+void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatcher,
+                    std::uint32_t endpoint, std::uint32_t total_endpoints) {
   HAMMER_CHECK(chain != nullptr);
+  HAMMER_CHECK(total_endpoints >= 1 && endpoint < total_endpoints);
 
   dispatcher.register_method("chain.info", [chain](const json::Value&) {
     return json::object({{"name", chain->config().name},
@@ -237,11 +257,30 @@ void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatch
                          {"shards", static_cast<std::int64_t>(chain->num_shards())}});
   });
 
-  dispatcher.register_method("chain.submit", [chain](const json::Value& params) {
-    Transaction tx = Transaction::from_json(params.at("tx"));
-    std::string id = chain->submit(std::move(tx));
-    return json::object({{"tx_id", id}});
+  dispatcher.register_method(
+      "chain.submit", [chain, endpoint, total_endpoints](const json::Value& params) {
+        Transaction tx = Transaction::from_json(params.at("tx"));
+        std::string id = chain->submit_via(endpoint, total_endpoints, std::move(tx));
+        return json::object({{"tx_id", id}});
+      });
+
+  dispatcher.register_method("chain.shard_for", [chain](const json::Value& params) {
+    return json::object({{"shard", static_cast<std::int64_t>(chain->shard_for_sender(
+                                       params.at("sender").as_string()))}});
   });
+
+  dispatcher.register_method(
+      "endpoint.info", [chain, endpoint, total_endpoints](const json::Value&) {
+        json::Array shards;
+        for (std::uint32_t s = 0; s < chain->num_shards(); ++s) {
+          if (s % total_endpoints == endpoint) {
+            shards.push_back(json::Value(static_cast<std::int64_t>(s)));
+          }
+        }
+        return json::object({{"endpoint", static_cast<std::int64_t>(endpoint)},
+                             {"endpoints", static_cast<std::int64_t>(total_endpoints)},
+                             {"shards", json::Value(std::move(shards))}});
+      });
 
   dispatcher.register_method("chain.height", [chain](const json::Value& params) {
     auto shard = static_cast<std::uint32_t>(params.get_int("shard", 0));

@@ -40,6 +40,13 @@ struct ChainConfig {
   // 2-vCPU cluster (slept, not burned, so the local core stays free for the
   // evaluation framework under test).
   std::int64_t commit_cost_us = 0;
+  // Per-transaction request-admission cost at ONE RPC endpoint (slept on
+  // the serving worker thread, like commit_cost_us). A node with a fixed
+  // vCPU budget can only admit so many submissions per second; with
+  // `"endpoints": n` each endpoint pays this independently, so driving the
+  // whole cluster scales admission capacity n-fold while funnelling through
+  // one node saturates it — the single-target shape SutCluster removes.
+  std::int64_t ingress_cost_us = 0;
   std::uint64_t seed = 42;
 
   // Ethereum-only: simulated aggregate hash rate (hashes/second).
@@ -94,6 +101,17 @@ class Blockchain {
   // the transaction id. Throws RejectedError on overload or bad signature.
   virtual std::string submit(Transaction tx);
 
+  // Endpoint-tagged submission: the RPC surface of endpoint `endpoint` (of
+  // `total_endpoints`) received this transaction. Charges the endpoint's
+  // ingress cost on the serving thread and counts a misroute when the
+  // receiving endpoint does not own the transaction's shard (shard %
+  // total_endpoints) — the extra hop a shard-affine client avoids.
+  std::string submit_via(std::uint32_t endpoint, std::uint32_t total_endpoints,
+                         Transaction tx);
+
+  // Submissions that arrived at a non-owning endpoint (lifetime count).
+  std::uint64_t misrouted_submits() const { return misrouted_.load(); }
+
   // SUT-side fault hooks, consulted on the submit path (kSubmitReject,
   // kEndorseFail in FabricSim) and by the block producers (kBlockStall).
   // Install before start().
@@ -116,7 +134,9 @@ class Blockchain {
   const StateStore& state(std::uint32_t shard) const;
   std::string state_digest(std::uint32_t shard) const;
 
-  json::Value stats() const;
+  // Overridable so sharded simulators can fold in their own counters
+  // (MeepoSim adds cross-shard relay totals and per-shard backlog).
+  virtual json::Value stats() const;
 
  protected:
   // Shared execution path: runs the contract, returns the rw-set + result.
@@ -144,6 +164,7 @@ class Blockchain {
   std::vector<std::unique_ptr<StateStore>> states_;  // one per shard
   std::vector<std::unique_ptr<Ledger>> ledgers_;   // one per shard
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> misrouted_{0};  // endpoint-tagged submits off-shard
 };
 
 // Exposes a chain over the generic JSON-RPC surface:
@@ -154,6 +175,15 @@ class Blockchain {
 //   chain.query   {shard, contract, op, args} -> contract return value
 //   chain.stats                        -> counters
 //   chain.receipts {tx_ids: [...]}     -> {receipts: [{found, height, status}...]}
-void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatcher);
+//   chain.shard_for {sender}           -> {shard} (the SUT's own routing fn)
+//   endpoint.info                      -> {endpoint, endpoints, shards: [...]}
+//
+// `endpoint`/`total_endpoints` tag this dispatcher as ONE RPC surface of a
+// multi-endpoint deployment: chain.submit runs endpoint-tagged (ingress
+// cost + misroute accounting) and endpoint.info reports the shard set this
+// surface owns (shard % total_endpoints == endpoint). The defaults describe
+// the classic single-endpoint SUT and change nothing.
+void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatcher,
+                    std::uint32_t endpoint = 0, std::uint32_t total_endpoints = 1);
 
 }  // namespace hammer::chain

@@ -49,6 +49,24 @@ void MeepoSim::with_state(std::uint32_t shard, const std::function<void(StateSto
   fn(*states_[shard]);
 }
 
+std::size_t MeepoSim::relay_backlog(std::uint32_t shard) const {
+  HAMMER_CHECK(shard < config_.num_shards);
+  std::scoped_lock lock(*relay_mu_[shard]);
+  return relay_queues_[shard].size();
+}
+
+json::Value MeepoSim::stats() const {
+  json::Value v = Blockchain::stats();
+  json::Array backlog;
+  backlog.reserve(config_.num_shards);
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    backlog.push_back(json::Value(static_cast<std::int64_t>(relay_backlog(s))));
+  }
+  v.as_object()["cross_shard"] = cross_shard_.load();
+  v.as_object()["relay_backlog"] = json::Value(std::move(backlog));
+  return v;
+}
+
 void MeepoSim::enqueue_relay(std::uint32_t shard, RelayCredit credit) {
   std::scoped_lock lock(*relay_mu_[shard]);
   relay_queues_[shard].push_back(std::move(credit));

@@ -30,6 +30,13 @@ class MeepoSim final : public Blockchain {
 
   std::uint64_t cross_shard_count() const { return cross_shard_.load(); }
 
+  // Relay credits parked at `shard` waiting for its next epoch.
+  std::size_t relay_backlog(std::uint32_t shard) const;
+
+  // Base counters plus the sharded view: cross-shard relay total and the
+  // per-shard relay backlog (what a sharding-aware monitor watches).
+  json::Value stats() const override;
+
  private:
   struct RelayCredit {
     std::string key;          // destination state key

@@ -1,20 +1,52 @@
 #include "core/deployment.hpp"
 
+#include <algorithm>
+
 #include "chain/factory.hpp"
+#include "rpc/channel_pool.hpp"
 #include "telemetry/endpoint.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
 namespace hammer::core {
 
+namespace {
+
+// Every key a chain spec may carry. Deploy rejects anything else by name —
+// a misspelled knob must fail loudly, not silently run the default.
+const char* const kKnownSpecKeys[] = {
+    "kind",          "name",          "num_shards",       "pool_capacity",
+    "max_block_txs", "block_interval_ms", "verify_signatures", "commit_cost_us",
+    "ingress_cost_us", "seed",        "hash_rate",        "endorsers",
+    "transport",     "endpoints",     "rpc_workers",      "smallbank_accounts_per_shard",
+    "initial_checking", "initial_savings", "faults"};
+
+void validate_spec_keys(const json::Value& spec) {
+  for (const auto& [key, value] : spec.as_object()) {
+    (void)value;
+    bool known = std::any_of(std::begin(kKnownSpecKeys), std::end(kKnownSpecKeys),
+                             [&](const char* k) { return key == k; });
+    if (!known) {
+      throw ParseError("unknown chain spec key '" + key + "' in chain '" +
+                       spec.get_string("name", "?") + "'");
+    }
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<rpc::Channel> DeployedChain::connect(
-    std::shared_ptr<fault::FaultInjector> client_faults) const {
-  if (tcp_server) {
-    auto channel = std::make_shared<rpc::TcpChannel>("127.0.0.1", tcp_server->port());
+    std::shared_ptr<fault::FaultInjector> client_faults, std::size_t endpoint) const {
+  HAMMER_CHECK_MSG(endpoint < endpoint_count(), "endpoint index out of range");
+  const rpc::TcpServer* server =
+      endpoint == 0 ? tcp_server.get() : extra_endpoints[endpoint - 1].tcp_server.get();
+  if (server != nullptr) {
+    auto channel = std::make_shared<rpc::TcpChannel>("127.0.0.1", server->port());
     if (client_faults) channel->install_fault_injector(std::move(client_faults));
     return channel;
   }
-  return std::make_shared<rpc::InProcChannel>(dispatcher);
+  return std::make_shared<rpc::InProcChannel>(
+      endpoint == 0 ? dispatcher : extra_endpoints[endpoint - 1].dispatcher);
 }
 
 std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
@@ -28,30 +60,85 @@ std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapter
   return out;
 }
 
+std::shared_ptr<SutCluster> DeployedChain::make_cluster(
+    std::size_t workers_per_target, std::size_t channels_per_target,
+    adapters::AdapterOptions options, std::shared_ptr<fault::FaultInjector> client_faults) const {
+  HAMMER_CHECK_MSG(workers_per_target >= 1, "make_cluster needs >= 1 worker per target");
+  const std::size_t n = endpoint_count();
+  const std::uint32_t shards = chain->num_shards();
+  std::vector<std::unique_ptr<SutTarget>> targets;
+  targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Workers share a small channel pool; TcpChannel multiplexes in-flight
+    // calls by id, so P sockets carry M > P workers without head-of-line
+    // blocking on whole calls.
+    rpc::ChannelPool pool([&] { return connect(client_faults, i); },
+                          std::min(std::max<std::size_t>(1, channels_per_target),
+                                   workers_per_target));
+    adapters::AdapterOptions target_options = options;
+    target_options.target_index = i;
+    std::vector<std::shared_ptr<adapters::ChainAdapter>> workers;
+    workers.reserve(workers_per_target);
+    for (std::size_t w = 0; w < workers_per_target; ++w) {
+      workers.push_back(
+          std::make_shared<adapters::ChainAdapter>(pool.next(), target_options));
+    }
+    // The poller never shares a socket with submissions.
+    auto poller = std::make_shared<adapters::ChainAdapter>(connect(client_faults, i),
+                                                           target_options);
+    std::vector<std::uint32_t> owned;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (s % n == i) owned.push_back(s);
+    }
+    targets.push_back(
+        std::make_unique<SutTarget>(i, std::move(workers), std::move(poller), std::move(owned)));
+  }
+  return std::make_shared<SutCluster>(std::move(targets));
+}
+
 Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clock> clock) {
   HAMMER_CHECK(clock != nullptr);
   Deployment deployment;
   for (const json::Value& spec : plan.at("chains").as_array()) {
+    validate_spec_keys(spec);
     auto deployed = std::make_unique<DeployedChain>();
     deployed->chain = chain::make_chain(spec, clock);
-    deployed->dispatcher = std::make_shared<rpc::Dispatcher>();
-    chain::bind_chain_rpc(deployed->chain, *deployed->dispatcher);
-    // Every SUT endpoint also answers telemetry.metrics / telemetry.snapshot
-    // — the per-node exporter the paper's Prometheus pulls from.
-    telemetry::bind_telemetry_rpc(*deployed->dispatcher);
+
+    auto endpoints = static_cast<std::uint32_t>(spec.get_int("endpoints", 1));
+    HAMMER_CHECK_MSG(endpoints >= 1, "chain spec needs endpoints >= 1");
+    auto rpc_workers = static_cast<std::size_t>(spec.get_int("rpc_workers", 0));
+
+    std::string transport = spec.get_string("transport", "inproc");
+    if (transport != "tcp" && transport != "inproc") {
+      throw ParseError("unknown transport '" + transport + "'");
+    }
+
+    // One chain instance, `endpoints` RPC surfaces over it. The i-th surface
+    // is bound endpoint-tagged so chain.submit counts shard-misrouted
+    // arrivals and endpoint.info reports the shards surface i owns.
+    for (std::uint32_t i = 0; i < endpoints; ++i) {
+      auto d = std::make_shared<rpc::Dispatcher>();
+      chain::bind_chain_rpc(deployed->chain, *d, i, endpoints);
+      // Every SUT endpoint also answers telemetry.metrics /
+      // telemetry.snapshot — the per-node exporter Prometheus pulls from.
+      telemetry::bind_telemetry_rpc(*d);
+      std::unique_ptr<rpc::TcpServer> server;
+      if (transport == "tcp") {
+        server = std::make_unique<rpc::TcpServer>(d, 0, rpc_workers);
+      }
+      if (i == 0) {
+        deployed->dispatcher = std::move(d);
+        deployed->tcp_server = std::move(server);
+      } else {
+        deployed->extra_endpoints.push_back({std::move(d), std::move(server)});
+      }
+    }
 
     auto per_shard = static_cast<std::size_t>(spec.get_int("smallbank_accounts_per_shard", 0));
     if (per_shard > 0) {
       deployed->smallbank_accounts = chain::genesis_smallbank_accounts(
           *deployed->chain, per_shard, spec.get_int("initial_checking", 1000000),
           spec.get_int("initial_savings", 1000000));
-    }
-
-    std::string transport = spec.get_string("transport", "inproc");
-    if (transport == "tcp") {
-      deployed->tcp_server = std::make_unique<rpc::TcpServer>(deployed->dispatcher, 0);
-    } else if (transport != "inproc") {
-      throw ParseError("unknown transport '" + transport + "'");
     }
 
     if (spec.contains("faults")) {
@@ -61,6 +148,9 @@ Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clo
           std::make_shared<fault::FaultInjector>(fault::FaultPlan::from_json(spec.at("faults")));
       deployed->chain->install_fault_injector(faults);
       if (deployed->tcp_server) deployed->tcp_server->install_fault_injector(faults);
+      for (auto& extra : deployed->extra_endpoints) {
+        if (extra.tcp_server) extra.tcp_server->install_fault_injector(faults);
+      }
       deployed->fault_injector = std::move(faults);
     }
 
@@ -68,6 +158,7 @@ Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clo
     std::string name = deployed->chain->config().name;
     HLOG_INFO("deploy") << "started " << deployed->chain->kind() << " '" << name << "' ("
                         << deployed->chain->num_shards() << " shard(s), "
+                        << deployed->endpoint_count() << " endpoint(s), "
                         << deployed->smallbank_accounts.size() << " accounts)";
     auto [it, inserted] = deployment.chains_.emplace(name, std::move(deployed));
     (void)it;

@@ -9,14 +9,26 @@
 //   "chains": [
 //     {"kind": "fabric", "name": "fabric-1", "block_interval_ms": 100,
 //      "transport": "inproc",            // or "tcp"
+//      "endpoints": 4,                   // RPC endpoints serving this chain
+//      "rpc_workers": 2,                 // TcpServer threads per endpoint
 //      "smallbank_accounts_per_shard": 1000,
 //      "initial_checking": 10000, "initial_savings": 10000, ...,
 //      "faults": {"seed": 7, "submit_reject_p": 0.05, ...}}  // optional
 //   ]
 // }
 //
+// Unknown keys in a chain spec are an error (named in the exception), so a
+// typo like "block_intervl_ms" fails the deploy instead of silently running
+// the default configuration.
+//
+// "endpoints": n launches n RPC surfaces over the ONE chain instance — n
+// dispatchers (and, for tcp transport, n TcpServers), the i-th bound with
+// endpoint tag i so chain.submit counts shard-misrouted arrivals and
+// endpoint.info reports the shard set endpoint i owns (shard % n == i).
+// This is the multi-endpoint SUT a SutCluster drives.
+//
 // A "faults" key builds a seeded fault::FaultInjector (fault::FaultPlan
-// JSON shape) and installs it on the chain AND its TcpServer, so SUT-side
+// JSON shape) and installs it on the chain AND its TcpServers, so SUT-side
 // and server-transport faults share one deterministic plan. Client-side
 // faults stay client-owned: pass an injector to connect()/make_adapters().
 #pragma once
@@ -28,6 +40,7 @@
 
 #include "adapters/chain_adapter.hpp"
 #include "chain/blockchain.hpp"
+#include "core/sut_cluster.hpp"
 #include "rpc/tcp.hpp"
 #include "util/clock.hpp"
 
@@ -35,23 +48,44 @@ namespace hammer::core {
 
 struct DeployedChain {
   std::shared_ptr<chain::Blockchain> chain;
+  // Endpoint 0 — kept as flat fields because single-endpoint call sites
+  // (tests, examples) address them directly.
   std::shared_ptr<rpc::Dispatcher> dispatcher;
   std::unique_ptr<rpc::TcpServer> tcp_server;  // null for in-process transport
+  // Endpoints 1..N-1 when the spec asked for "endpoints": n > 1.
+  struct ExtraEndpoint {
+    std::shared_ptr<rpc::Dispatcher> dispatcher;
+    std::unique_ptr<rpc::TcpServer> tcp_server;
+  };
+  std::vector<ExtraEndpoint> extra_endpoints;
   std::vector<std::string> smallbank_accounts;
   // Set when the plan carried a "faults" key; shared by the chain and the
-  // TCP server, so its counts_json() is the SUT-side fault record.
+  // TCP servers, so its counts_json() is the SUT-side fault record.
   std::shared_ptr<fault::FaultInjector> fault_injector;
 
-  // Creates a fresh client channel (in-proc, or a new TCP connection).
-  // `client_faults` installs a client-side injector on the new TcpChannel
-  // (ignored for in-proc transport, which has no wire to break).
-  std::shared_ptr<rpc::Channel> connect(
-      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
+  std::size_t endpoint_count() const { return 1 + extra_endpoints.size(); }
 
-  // Convenience: `count` independent adapters (one per driver thread), all
+  // Creates a fresh client channel to `endpoint` (in-proc, or a new TCP
+  // connection). `client_faults` installs a client-side injector on the new
+  // TcpChannel (ignored for in-proc transport, which has no wire to break).
+  std::shared_ptr<rpc::Channel> connect(
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr,
+      std::size_t endpoint = 0) const;
+
+  // Convenience: `count` independent adapters against endpoint 0, all
   // sharing the same call options / retry policy and client-side injector.
   std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
       std::size_t count, adapters::AdapterOptions options = {},
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
+
+  // Builds a SutCluster over every endpoint of this chain: per target,
+  // `workers_per_target` adapters sharing a `channels_per_target`-deep
+  // rpc::ChannelPool (fewer sockets than workers; TcpChannel multiplexes),
+  // plus a dedicated poll-adapter channel. Target i owns the shards with
+  // shard % endpoints == i — the same convention endpoint.info reports.
+  std::shared_ptr<SutCluster> make_cluster(
+      std::size_t workers_per_target, std::size_t channels_per_target = 2,
+      adapters::AdapterOptions options = {},
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
 };
 

@@ -49,18 +49,20 @@ struct DriverMetrics {
 
   static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
 };
+
+// Split `total` workers over `targets`, at least one each.
+std::vector<std::size_t> split_workers(std::size_t total, std::size_t targets) {
+  std::vector<std::size_t> out(targets, total / targets);
+  for (std::size_t i = 0; i < total % targets; ++i) ++out[i];
+  for (std::size_t& n : out) n = std::max<std::size_t>(1, n);
+  return out;
+}
 }  // namespace
 
-HammerDriver::HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
-                           std::shared_ptr<adapters::ChainAdapter> poll_adapter,
+HammerDriver::HammerDriver(std::shared_ptr<SutCluster> cluster,
                            std::shared_ptr<util::Clock> clock, DriverOptions options)
-    : worker_adapters_(std::move(worker_adapters)),
-      poll_adapter_(std::move(poll_adapter)),
-      clock_(std::move(clock)),
-      options_(std::move(options)) {
-  HAMMER_CHECK(!worker_adapters_.empty());
-  HAMMER_CHECK(worker_adapters_.size() >= options_.worker_threads);
-  HAMMER_CHECK(poll_adapter_ != nullptr);
+    : cluster_(std::move(cluster)), clock_(std::move(clock)), options_(std::move(options)) {
+  HAMMER_CHECK(cluster_ != nullptr);
   HAMMER_CHECK(clock_ != nullptr);
   HAMMER_CHECK(options_.worker_threads >= 1);
   if (options_.client_vcpus > 0) {
@@ -68,6 +70,12 @@ HammerDriver::HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> 
     client_cores_ = std::make_unique<std::counting_semaphore<64>>(options_.client_vcpus);
   }
 }
+
+HammerDriver::HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
+                           std::shared_ptr<adapters::ChainAdapter> poll_adapter,
+                           std::shared_ptr<util::Clock> clock, DriverOptions options)
+    : HammerDriver(SutCluster::single(std::move(worker_adapters), std::move(poll_adapter)),
+                   std::move(clock), std::move(options)) {}
 
 void HammerDriver::charge_client_cpu() {
   if (!client_cores_ || options_.per_tx_client_us <= 0) return;
@@ -84,10 +92,22 @@ void HammerDriver::charge_client_cpu() {
   client_cores_->release();
 }
 
-void HammerDriver::worker_loop(std::size_t worker_index,
-                               util::MpmcQueue<SendQueueItem>& queue,
+bool HammerDriver::route_and_push(std::vector<std::unique_ptr<SendQueue>>& queues,
+                                  RoutingPolicy& policy, SendQueueItem item) {
+  std::size_t t = policy.route(item.tx, *cluster_);
+  // Charged at push, not at send: least_inflight must see the queued
+  // backlog, or every decision happens against an empty-looking cluster.
+  cluster_->target(t).add_in_flight(1);
+  if (!queues[t]->push(std::move(item))) {
+    cluster_->target(t).sub_in_flight(1);
+    return false;
+  }
+  return true;
+}
+
+void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& queue,
                                workload::RateController* rate) {
-  adapters::ChainAdapter& adapter = *worker_adapters_[worker_index];
+  adapters::ChainAdapter& adapter = target.worker_adapter(slot);
   const std::string& chainname = adapter.info().name;
   const std::size_t batch_limit = std::max<std::size_t>(1, options_.submit_batch_size);
   DriverMetrics& metrics = DriverMetrics::get();
@@ -259,6 +279,10 @@ void HammerDriver::worker_loop(std::size_t worker_index,
         break;
       }
     }
+    // Submit stage done for this batch: the target's routed backlog shrinks
+    // whether the SUT accepted, rejected, or the send was written off.
+    target.count_submitted(batch.size());
+    target.sub_in_flight(batch.size());
     std::int64_t send_done_us = clock_->now_us();
     metrics.submit_us.record(send_done_us - start_us);
     if (tracer_) {
@@ -274,9 +298,14 @@ void HammerDriver::listener_loop() {
   // Interactive testing (paper §II-C2): every transaction is monitored
   // individually. The per-transaction bookkeeping (the "significant
   // resource wastage" the paper attributes to Caliper-style frameworks)
-  // remains, but the wire cost is one chain.receipts RPC per poll tick
-  // instead of one RPC per pending transaction.
+  // remains; the wire cost is one chain.receipts RPC per poll tick — or,
+  // with interactive_per_tx_poll, one RPC per pending transaction per tick
+  // (the faithful modeled-Caliper baseline). Poll adapters rotate across
+  // cluster targets so a multi-endpoint SUT shares the polling load.
+  std::uint64_t tick = 0;
   while (!stop_polling_.load()) {
+    adapters::ChainAdapter& poll_adapter =
+        *cluster_->target(tick++ % cluster_->size()).poll_adapter();
     std::vector<InteractivePending> snapshot;
     {
       std::scoped_lock lock(interactive_mu_);
@@ -286,16 +315,35 @@ void HammerDriver::listener_loop() {
       clock_->sleep_for(options_.interactive_poll);
       continue;
     }
-    std::vector<std::string> ids;
-    ids.reserve(snapshot.size());
-    for (const InteractivePending& pending : snapshot) ids.push_back(pending.tx_id);
     std::vector<std::optional<adapters::ChainAdapter::ReceiptInfo>> receipts;
-    try {
-      receipts = poll_adapter_->receipts(ids);
-    } catch (const Error& e) {
-      HLOG_WARN("driver") << "receipt poll failed: " << e.what();
-      clock_->sleep_for(options_.interactive_poll);
-      continue;
+    if (options_.interactive_per_tx_poll) {
+      // One chain.receipts round trip PER pending transaction.
+      receipts.reserve(snapshot.size());
+      bool poll_failed = false;
+      for (const InteractivePending& pending : snapshot) {
+        try {
+          receipts.push_back(poll_adapter.tx_receipt(pending.tx_id));
+        } catch (const Error& e) {
+          HLOG_WARN("driver") << "receipt poll failed: " << e.what();
+          poll_failed = true;
+          break;
+        }
+      }
+      if (poll_failed) {
+        clock_->sleep_for(options_.interactive_poll);
+        continue;
+      }
+    } else {
+      std::vector<std::string> ids;
+      ids.reserve(snapshot.size());
+      for (const InteractivePending& pending : snapshot) ids.push_back(pending.tx_id);
+      try {
+        receipts = poll_adapter.receipts(ids);
+      } catch (const Error& e) {
+        HLOG_WARN("driver") << "receipt poll failed: " << e.what();
+        clock_->sleep_for(options_.interactive_poll);
+        continue;
+      }
     }
     std::vector<std::pair<std::string, CompletedTx>> done;
     for (std::size_t i = 0; i < snapshot.size(); ++i) {
@@ -325,30 +373,35 @@ void HammerDriver::listener_loop() {
   }
 }
 
-void HammerDriver::poll_loop() {
-  std::uint32_t shards = poll_adapter_->info().shards;
-  std::vector<std::uint64_t> scanned(shards, 0);
+void HammerDriver::poll_loop(SutTarget& target) {
+  // Detect stage: this target's poller scans ONLY the shards it owns, so N
+  // pollers cover the chain without fetching any block twice.
+  adapters::ChainAdapter& adapter = *target.poll_adapter();
+  const std::vector<std::uint32_t>& shards = target.shards();
+  std::vector<std::uint64_t> scanned(shards.size(), 0);
   while (!stop_polling_.load()) {
-    for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const std::uint32_t s = shards[i];
       std::uint64_t h;
       try {
-        h = poll_adapter_->height(s);
+        h = adapter.height(s);
       } catch (const Error& e) {
         HLOG_WARN("driver") << "height poll failed: " << e.what();
         continue;
       }
-      for (std::uint64_t b = scanned[s] + 1; b <= h; ++b) {
+      for (std::uint64_t b = scanned[i] + 1; b <= h; ++b) {
         // Algorithm 1 line 11: the observation time IS the commit time,
         // recorded before the fetch so block transfer does not inflate
         // measured latency.
         std::int64_t block_time_us = clock_->now_us();
         chain::Block block;
         try {
-          block = poll_adapter_->block(s, b);
+          block = adapter.block(s, b);
         } catch (const Error& e) {
           HLOG_WARN("driver") << "block fetch failed: " << e.what();
           break;
         }
+        target.count_polled_blocks(1);
         std::size_t matched = 0;
         if (options_.mode == TrackingMode::kHammer) {
           // The block's own seal timestamp feeds the included-stage trace so
@@ -360,11 +413,12 @@ void HammerDriver::poll_loop() {
           matched = batch_processor_->on_block(block_time_us, block.receipts);
         }
         if (matched > 0) {
+          target.count_completed(matched);
           DriverMetrics::get().completed.add(matched);
           DriverMetrics::get().inflight.sub(matched);
         }
       }
-      scanned[s] = h;
+      scanned[i] = h;
     }
     clock_->sleep_for(options_.poll_interval);
   }
@@ -373,6 +427,7 @@ void HammerDriver::poll_loop() {
 RunResult HammerDriver::run(const workload::WorkloadFile& workload,
                             const workload::ControlSequence* rate) {
   const std::size_t total = workload.transactions.size();
+  const std::size_t n_targets = cluster_->size();
   if (options_.trace_every_n > 0) {
     tracer_ = std::make_unique<telemetry::TxTracer>(options_.trace_capacity,
                                                     options_.trace_every_n);
@@ -383,7 +438,7 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     TaskProcessor::Options tp = options_.task_processor;
     tp.expected_txs = std::max(tp.expected_txs, total);
     tp.tracer = tracer_.get();
-    task_processor_ = std::make_unique<TaskProcessor>(tp);
+    task_processor_ = std::make_unique<ShardedTaskProcessor>(tp);
   } else {
     batch_processor_ = std::make_unique<BatchQueueProcessor>();
   }
@@ -396,23 +451,43 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   // Adapters persist across runs, so RunResult::retries is a delta of the
   // lifetime counters (deduped — the poll adapter may double as a worker).
   std::vector<const adapters::ChainAdapter*> run_adapters;
-  for (const auto& a : worker_adapters_) {
-    if (std::find(run_adapters.begin(), run_adapters.end(), a.get()) == run_adapters.end()) {
-      run_adapters.push_back(a.get());
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    const SutTarget& target = cluster_->target(t);
+    for (const auto& a : target.worker_adapters()) {
+      if (std::find(run_adapters.begin(), run_adapters.end(), a.get()) == run_adapters.end()) {
+        run_adapters.push_back(a.get());
+      }
     }
-  }
-  if (std::find(run_adapters.begin(), run_adapters.end(), poll_adapter_.get()) ==
-      run_adapters.end()) {
-    run_adapters.push_back(poll_adapter_.get());
+    if (std::find(run_adapters.begin(), run_adapters.end(), target.poll_adapter().get()) ==
+        run_adapters.end()) {
+      run_adapters.push_back(target.poll_adapter().get());
+    }
   }
   std::uint64_t retries_before = 0;
   for (const adapters::ChainAdapter* a : run_adapters) retries_before += a->retries();
+  std::vector<std::uint64_t> submitted_before(n_targets), completed_before(n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    submitted_before[t] = cluster_->target(t).submitted();
+    completed_before[t] = cluster_->target(t).completed();
+  }
 
-  // --- preparation: signing (serial up-front or pipelined) ---
-  util::MpmcQueue<SendQueueItem> send_queue(options_.sign_queue_capacity);
+  // --- sign + route stages: one queue per target; the feeder signs, asks
+  // the routing policy for a target, and pushes onto that target's queue ---
+  std::vector<std::unique_ptr<SendQueue>> queues;
+  queues.reserve(n_targets);
+  const std::size_t per_queue_capacity =
+      std::max<std::size_t>(64, options_.sign_queue_capacity / n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    queues.push_back(std::make_unique<SendQueue>(per_queue_capacity));
+  }
+  auto close_all = [&queues] {
+    for (auto& q : queues) q->close();
+  };
+  std::unique_ptr<RoutingPolicy> policy = make_routing_policy(options_.routing);
+
   std::thread feeder;
   if (options_.pipelined_signing) {
-    feeder = std::thread([this, &send_queue, &workload] {
+    feeder = std::thread([this, &queues, &close_all, &policy, &workload] {
       DriverMetrics& metrics = DriverMetrics::get();
       std::uint64_t ordinal = 0;
       for (chain::Transaction tx : workload.transactions) {
@@ -428,19 +503,19 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
           tracer_->record(ordinal, telemetry::Stage::kStart, sign_begin_us);
           tracer_->record(ordinal, telemetry::Stage::kSigned, signed_us);
         }
-        if (!send_queue.push(SendQueueItem{std::move(tx), ordinal})) return;
+        if (!route_and_push(queues, *policy, SendQueueItem{std::move(tx), ordinal})) return;
         if (traced) {
           tracer_->record(ordinal, telemetry::Stage::kEnqueued, clock_->now_us());
         }
         ++ordinal;
       }
-      send_queue.close();
+      close_all();
     });
   } else {
     std::vector<chain::Transaction> txs = workload.transactions;
     for (chain::Transaction& tx : txs) tx.server_id = options_.server_id;
     sign_serial(txs, *keys_);
-    feeder = std::thread([this, &send_queue, txs = std::move(txs)]() mutable {
+    feeder = std::thread([this, &queues, &close_all, &policy, txs = std::move(txs)]() mutable {
       // Signing happened up front, so the per-tx sign/queue stages collapse
       // to the push instant; the submit/include/detect stages stay real.
       std::uint64_t ordinal = 0;
@@ -451,28 +526,34 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
           tracer_->record(ordinal, telemetry::Stage::kSigned, now_us);
           tracer_->record(ordinal, telemetry::Stage::kEnqueued, now_us);
         }
-        if (!send_queue.push(SendQueueItem{std::move(tx), ordinal})) return;
+        if (!route_and_push(queues, *policy, SendQueueItem{std::move(tx), ordinal})) return;
         ++ordinal;
       }
-      send_queue.close();
+      close_all();
     });
   }
 
-  // --- execution ---
+  // --- submit + detect stages ---
   std::unique_ptr<workload::RateController> controller;
   if (rate) controller = std::make_unique<workload::RateController>(*rate, clock_);
 
-  std::thread poller;
+  std::vector<std::thread> pollers;
   if (options_.mode == TrackingMode::kInteractive) {
-    poller = std::thread([this] { listener_loop(); });
+    pollers.emplace_back([this] { listener_loop(); });
   } else {
-    poller = std::thread([this] { poll_loop(); });
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      pollers.emplace_back([this, t] { poll_loop(cluster_->target(t)); });
+    }
   }
   std::vector<std::thread> workers;
   workers.reserve(options_.worker_threads);
-  for (std::size_t w = 0; w < options_.worker_threads; ++w) {
-    workers.emplace_back(
-        [this, w, &send_queue, &controller] { worker_loop(w, send_queue, controller.get()); });
+  const std::vector<std::size_t> per_target = split_workers(options_.worker_threads, n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    for (std::size_t slot = 0; slot < per_target[t]; ++slot) {
+      workers.emplace_back([this, t, slot, &queues, &controller] {
+        worker_loop(cluster_->target(t), slot, *queues[t], controller.get());
+      });
+    }
   }
   for (auto& t : workers) t.join();
   feeder.join();
@@ -495,7 +576,7 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
       clock_->sleep_for(options_.poll_interval);
     }
     stop_polling_.store(true);
-    poller.join();
+    for (auto& t : pollers) t.join();
     // Transactions that never landed before the drain deadline are no longer
     // in flight from the driver's perspective; zero the gauge's residue so
     // back-to-back runs start clean.
@@ -507,6 +588,7 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   if (options_.mode == TrackingMode::kHammer) {
     std::vector<TxRecord> records = task_processor_->snapshot();
     result = summarize(records);
+    result.processor = task_processor_->stats_json();
     if (options_.metrics) {
       options_.metrics->push_records(records);
       options_.metrics->commit_to_sql();
@@ -551,6 +633,17 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   std::uint64_t retries_after = 0;
   for (const adapters::ChainAdapter* a : run_adapters) retries_after += a->retries();
   result.retries = retries_after - retries_before;
+  json::Array targets_json;
+  targets_json.reserve(n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    const SutTarget& target = cluster_->target(t);
+    targets_json.push_back(
+        json::object({{"target", static_cast<std::int64_t>(t)},
+                      {"submitted", target.submitted() - submitted_before[t]},
+                      {"completed", target.completed() - completed_before[t]},
+                      {"shards", static_cast<std::int64_t>(target.shards().size())}}));
+  }
+  result.targets = json::Value(std::move(targets_json));
   if (options_.fault_injector) {
     result.faults = options_.fault_injector->counts_json();
   }
@@ -567,6 +660,12 @@ RunResult run_peak_probe(std::vector<std::shared_ptr<adapters::ChainAdapter>> wo
   HammerDriver driver(std::move(worker_adapters), std::move(poll_adapter), std::move(clock),
                       std::move(options));
   return driver.run(workload, nullptr);  // closed loop = saturation probe
+}
+
+RunResult run_peak_probe(std::shared_ptr<SutCluster> cluster, std::shared_ptr<util::Clock> clock,
+                         DriverOptions options, const workload::WorkloadFile& workload) {
+  HammerDriver driver(std::move(cluster), std::move(clock), std::move(options));
+  return driver.run(workload, nullptr);
 }
 
 }  // namespace hammer::core

@@ -7,9 +7,25 @@
 //   kBatchQueue  — Blockbench-style batch testing with O(n·m) queue
 //                  matching (Fig. 7 / Fig. 9 baseline).
 //   kInteractive — Caliper-style interactive testing: every transaction is
-//                  monitored individually via per-tx receipt polling
-//                  (Fig. 7 baseline; "requires monitoring and parsing
-//                  responses for each transaction").
+//                  monitored individually via receipt polling (Fig. 7
+//                  baseline; "requires monitoring and parsing responses for
+//                  each transaction").
+//
+// The driving path is staged over a SutCluster:
+//
+//   sign ──▶ route ──▶ submit ──▶ detect
+//
+//   sign    one feeder thread signs the workload (or a serial pre-pass),
+//   route   the feeder consults the RoutingPolicy and pushes each signed
+//           transaction onto its target's MpmcQueue,
+//   submit  per-target worker threads pop, coalesce and submit through the
+//           target's adapter pool,
+//   detect  one poller thread per target scans only the shards that target
+//           owns and feeds the ShardedTaskProcessor (kHammer mode).
+//
+// The legacy constructor (worker adapters + one poll adapter) wraps itself
+// in SutCluster::single — one target, every shard — and behaves exactly as
+// before.
 //
 // Load is either open-loop (a ControlSequence schedules send deadlines —
 // the paper's temporal workload replay) or closed-loop (workers send
@@ -32,10 +48,12 @@
 #include "core/baselines.hpp"
 #include "core/metrics.hpp"
 #include "core/signing.hpp"
+#include "core/sut_cluster.hpp"
 #include "core/task_processor.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/trace.hpp"
 #include "util/clock.hpp"
+#include "util/mpmc_queue.hpp"
 #include "workload/control_sequence.hpp"
 #include "workload/workload_file.hpp"
 
@@ -50,6 +68,16 @@ struct DriverOptions {
   std::chrono::milliseconds interactive_poll{2};
   std::chrono::milliseconds drain_timeout{20000};
   std::string server_id = "server-0";
+
+  // How the route stage picks a cluster target per transaction. Ignored by
+  // single-target (legacy) drivers, where every road leads to target 0.
+  RoutingKind routing = RoutingKind::kRoundRobin;
+
+  // kInteractive only: poll each pending transaction with its own
+  // chain.tx_receipt RPC — the modeled-Caliper per-transaction monitoring
+  // cost the paper criticizes. Default false: one batched chain.receipts
+  // call per tick (same bookkeeping, sane wire cost).
+  bool interactive_per_tx_poll = false;
 
   bool pipelined_signing = true;  // false: sign the whole batch up front
   std::size_t sign_queue_capacity = 4096;
@@ -73,6 +101,9 @@ struct DriverOptions {
   std::uint64_t trace_every_n = 0;
   std::size_t trace_capacity = 1 << 16;
 
+  // task_processor.shards > 1 swaps the flat Algorithm 1 processor for K
+  // independent shards keyed by tx-id hash (identical observable results;
+  // see ShardedTaskProcessor).
   TaskProcessor::Options task_processor;
 
   // Optional metrics pipeline; when set, records stream into the cache and
@@ -87,8 +118,13 @@ struct DriverOptions {
 
 class HammerDriver {
  public:
-  // One adapter per worker thread plus one for the block poller (channels
-  // are serialized per connection, mirroring real SDK clients).
+  // Drives every target of `cluster`; options.worker_threads is the TOTAL
+  // worker count, split across targets (each target gets at least one).
+  HammerDriver(std::shared_ptr<SutCluster> cluster, std::shared_ptr<util::Clock> clock,
+               DriverOptions options);
+
+  // Legacy single-endpoint shape: one adapter per worker thread plus one
+  // for the block poller. Wraps the adapters in SutCluster::single.
   HammerDriver(std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
                std::shared_ptr<adapters::ChainAdapter> poll_adapter,
                std::shared_ptr<util::Clock> clock, DriverOptions options);
@@ -99,7 +135,8 @@ class HammerDriver {
                 const workload::ControlSequence* rate);
 
   // Post-run diagnostics.
-  const TaskProcessor* task_processor() const { return task_processor_.get(); }
+  const ShardedTaskProcessor* task_processor() const { return task_processor_.get(); }
+  const SutCluster& cluster() const { return *cluster_; }
   std::uint64_t send_rejections() const { return rejections_.load(); }
   // Transactions marked failed because a worker exhausted its retry policy
   // (the run kept going — graceful degradation, not an abort).
@@ -112,20 +149,26 @@ class HammerDriver {
     chain::Transaction tx;
     std::uint64_t ordinal = 0;  // position in the workload, for tracing
   };
+  using SendQueue = util::MpmcQueue<SendQueueItem>;
 
-  void worker_loop(std::size_t worker_index, util::MpmcQueue<SendQueueItem>& queue,
+  // Route stage: policy decision + push onto the target's queue (in-flight
+  // is charged at push so least_inflight sees queued backlog, not just
+  // wire backlog). Returns false when the queues are closed.
+  bool route_and_push(std::vector<std::unique_ptr<SendQueue>>& queues, RoutingPolicy& policy,
+                      SendQueueItem item);
+
+  void worker_loop(SutTarget& target, std::size_t slot, SendQueue& queue,
                    workload::RateController* rate);
-  void poll_loop();
-  void listener_loop();  // interactive mode: per-tx receipt polling
+  void poll_loop(SutTarget& target);  // detect stage, one per target
+  void listener_loop();               // interactive mode: receipt polling
   void charge_client_cpu();
 
-  std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters_;
-  std::shared_ptr<adapters::ChainAdapter> poll_adapter_;
+  std::shared_ptr<SutCluster> cluster_;
   std::shared_ptr<util::Clock> clock_;
   DriverOptions options_;
   std::shared_ptr<KeyCache> keys_ = std::make_shared<KeyCache>();
 
-  std::unique_ptr<TaskProcessor> task_processor_;
+  std::unique_ptr<ShardedTaskProcessor> task_processor_;
   std::unique_ptr<BatchQueueProcessor> batch_processor_;
   std::unique_ptr<telemetry::TxTracer> tracer_;
 
@@ -142,8 +185,6 @@ class HammerDriver {
   std::unique_ptr<std::counting_semaphore<64>> client_cores_;
   std::atomic<std::uint64_t> rejections_{0};
   std::atomic<std::uint64_t> send_failures_{0};
-  std::atomic<std::uint64_t> in_flight_{0};
-  std::atomic<bool> sending_done_{false};
   std::atomic<bool> stop_polling_{false};
 };
 
@@ -154,5 +195,9 @@ RunResult run_peak_probe(std::vector<std::shared_ptr<adapters::ChainAdapter>> wo
                          std::shared_ptr<adapters::ChainAdapter> poll_adapter,
                          std::shared_ptr<util::Clock> clock, DriverOptions options,
                          const workload::WorkloadFile& workload);
+
+// Cluster flavour of the same probe.
+RunResult run_peak_probe(std::shared_ptr<SutCluster> cluster, std::shared_ptr<util::Clock> clock,
+                         DriverOptions options, const workload::WorkloadFile& workload);
 
 }  // namespace hammer::core

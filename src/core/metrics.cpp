@@ -96,6 +96,8 @@ json::Value RunResult::to_json() const {
                     {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
   if (!stages.is_null()) v.as_object()["stages"] = stages;
   if (!faults.is_null()) v.as_object()["faults"] = faults;
+  if (!targets.is_null()) v.as_object()["targets"] = targets;
+  if (!processor.is_null()) v.as_object()["processor"] = processor;
   return v;
 }
 

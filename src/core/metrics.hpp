@@ -68,6 +68,15 @@ struct RunResult {
   // null when the run had no DriverOptions::fault_injector.
   json::Value faults;
 
+  // Per-cluster-target deltas for this run (array of {target, submitted,
+  // completed, shards}); a legacy single-endpoint driver gets a one-entry
+  // array.
+  json::Value targets;
+
+  // ShardedTaskProcessor stats (per-shard registered/pending/probe_steps +
+  // merged totals); null for non-Hammer tracking modes.
+  json::Value processor;
+
   json::Value to_json() const;
   std::string summary() const;
 };

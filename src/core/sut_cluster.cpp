@@ -1,0 +1,149 @@
+#include "core/sut_cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "telemetry/registry.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+RoutingKind routing_kind_from_string(const std::string& name) {
+  if (name == "round_robin" || name == "rr") return RoutingKind::kRoundRobin;
+  if (name == "least_inflight" || name == "least") return RoutingKind::kLeastInFlight;
+  if (name == "shard" || name == "shard_affine") return RoutingKind::kShardAffine;
+  throw ParseError("unknown routing policy: " + name +
+                   " (expected round_robin|least_inflight|shard)");
+}
+
+const char* to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kRoundRobin:
+      return "round_robin";
+    case RoutingKind::kLeastInFlight:
+      return "least_inflight";
+    case RoutingKind::kShardAffine:
+      return "shard";
+  }
+  return "round_robin";
+}
+
+SutTarget::SutTarget(std::size_t index,
+                     std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
+                     std::shared_ptr<adapters::ChainAdapter> poll_adapter,
+                     std::vector<std::uint32_t> shards)
+    : index_(index),
+      worker_adapters_(std::move(worker_adapters)),
+      poll_adapter_(std::move(poll_adapter)),
+      shards_(std::move(shards)) {
+  HAMMER_CHECK_MSG(!worker_adapters_.empty(), "SutTarget needs at least one worker adapter");
+  HAMMER_CHECK_MSG(poll_adapter_ != nullptr, "SutTarget needs a poll adapter");
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::global();
+  const std::string label = "target=\"" + std::to_string(index_) + "\"";
+  submitted_metric_ = &reg.counter("hammer_cluster_submitted_total",
+                                   "Transactions submitted through this cluster target", label);
+  completed_metric_ = &reg.counter("hammer_cluster_completed_total",
+                                   "Completions detected via this cluster target's poller", label);
+  polled_metric_ = &reg.counter("hammer_cluster_polled_blocks_total",
+                                "Blocks fetched by this cluster target's poller", label);
+}
+
+void SutTarget::count_submitted(std::uint64_t n) {
+  submitted_.fetch_add(n, std::memory_order_relaxed);
+  submitted_metric_->add(n);
+}
+
+void SutTarget::count_completed(std::uint64_t n) {
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  completed_metric_->add(n);
+}
+
+void SutTarget::count_polled_blocks(std::uint64_t n) { polled_metric_->add(n); }
+
+SutCluster::SutCluster(std::vector<std::unique_ptr<SutTarget>> targets)
+    : targets_(std::move(targets)) {
+  HAMMER_CHECK_MSG(!targets_.empty(), "SutCluster needs at least one target");
+  total_shards_ = std::max<std::uint32_t>(1, targets_[0]->poll_adapter()->info().shards);
+  // Default every shard to target 0, then let each target claim its set —
+  // an unclaimed shard (sparse clusters) still has a poller responsible.
+  shard_owner_.assign(total_shards_, 0);
+  for (const auto& target : targets_) {
+    for (std::uint32_t shard : target->shards()) {
+      HAMMER_CHECK_MSG(shard < total_shards_, "target claims out-of-range shard");
+      shard_owner_[shard] = target->index();
+    }
+  }
+}
+
+std::shared_ptr<SutCluster> SutCluster::single(
+    std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters,
+    std::shared_ptr<adapters::ChainAdapter> poll_adapter) {
+  std::uint32_t shards = std::max<std::uint32_t>(1, poll_adapter->info().shards);
+  std::vector<std::uint32_t> all(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) all[s] = s;
+  std::vector<std::unique_ptr<SutTarget>> targets;
+  targets.push_back(std::make_unique<SutTarget>(0, std::move(worker_adapters),
+                                                std::move(poll_adapter), std::move(all)));
+  return std::make_shared<SutCluster>(std::move(targets));
+}
+
+std::uint32_t SutCluster::shard_for_sender(const std::string& sender) const {
+  // Must agree with chain::Blockchain::shard_for_sender. For in-process SUTs
+  // that is guaranteed (same std::hash); remote SUTs can be cross-checked
+  // via ChainAdapter::shard_for.
+  return static_cast<std::uint32_t>(std::hash<std::string>{}(sender) % total_shards_);
+}
+
+namespace {
+
+class RoundRobinPolicy final : public RoutingPolicy {
+ public:
+  std::size_t route(const chain::Transaction&, const SutCluster& cluster) override {
+    return next_.fetch_add(1, std::memory_order_relaxed) % cluster.size();
+  }
+  RoutingKind kind() const override { return RoutingKind::kRoundRobin; }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+class LeastInFlightPolicy final : public RoutingPolicy {
+ public:
+  std::size_t route(const chain::Transaction&, const SutCluster& cluster) override {
+    std::size_t best = 0;
+    std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      std::uint64_t load = cluster.target(i).in_flight();
+      if (load < best_load) {  // tie -> lowest index, keeps routing stable
+        best_load = load;
+        best = i;
+      }
+    }
+    return best;
+  }
+  RoutingKind kind() const override { return RoutingKind::kLeastInFlight; }
+};
+
+class ShardAffinePolicy final : public RoutingPolicy {
+ public:
+  std::size_t route(const chain::Transaction& tx, const SutCluster& cluster) override {
+    return cluster.owner_of_shard(cluster.shard_for_sender(tx.sender));
+  }
+  RoutingKind kind() const override { return RoutingKind::kShardAffine; }
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case RoutingKind::kLeastInFlight:
+      return std::make_unique<LeastInFlightPolicy>();
+    case RoutingKind::kShardAffine:
+      return std::make_unique<ShardAffinePolicy>();
+  }
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+}  // namespace hammer::core

@@ -51,6 +51,10 @@ class TaskProcessor {
     double bloom_fp_rate = 0.01;
     bool growable_index = true;       // ablation: fixed-size index
     std::size_t initial_index_capacity = 1024;
+    // Shard count for ShardedTaskProcessor (1 = the classic single-mutex
+    // processor, bit-for-bit the paper's Algorithm 1). TaskProcessor itself
+    // ignores this field.
+    std::size_t shards = 1;
     // Optional lifecycle tracer: matched records emit included/detected
     // events for sampled ordinals. Not owned; must outlive the processor.
     telemetry::TxTracer* tracer = nullptr;
@@ -81,6 +85,14 @@ class TaskProcessor {
                         std::span<const chain::TxReceipt> receipts,
                         std::int64_t include_us = -1);
 
+  // Same as on_block, restricted to the receipts at `indices` — the
+  // per-shard application path of ShardedTaskProcessor (the block is
+  // partitioned once, each shard consumes only its slice).
+  BlockOutcome on_block_some(std::int64_t block_time_us,
+                             std::span<const chain::TxReceipt> receipts,
+                             std::span<const std::uint32_t> indices,
+                             std::int64_t include_us = -1);
+
   // Marks a record as failed locally (submission rejected by the SUT).
   void mark_rejected(std::size_t position, std::int64_t end_us);
 
@@ -96,12 +108,65 @@ class TaskProcessor {
   double bloom_fill() const;
 
  private:
+  // Algorithm 1 lines 11-20 for one receipt; caller holds mu_.
+  void apply_receipt_locked(const chain::TxReceipt& receipt, std::int64_t block_time_us,
+                            std::int64_t include_us, BlockOutcome& outcome);
+  void flush_outcome_metrics(const BlockOutcome& outcome, std::uint64_t probe_delta);
+
   Options options_;
   mutable std::mutex mu_;
   std::vector<TxRecord> records_;  // the vector list
   HashIndex index_;
   BloomFilter bloom_;
   std::size_t completed_ = 0;
+};
+
+// K independent TaskProcessor shards keyed by tx-id hash. Registration and
+// block application touch exactly one shard's mutex, so N per-target block
+// pollers and M submit workers stop funnelling through a single lock — the
+// cluster driving path's completion-tracking backend. With shards == 1 the
+// behaviour (sets of completed/failed records, latency samples) is
+// identical to the flat TaskProcessor, which the equivalence tests pin.
+class ShardedTaskProcessor {
+ public:
+  explicit ShardedTaskProcessor(TaskProcessor::Options options);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(const std::string& tx_id) const {
+    return hasher_(tx_id) % shards_.size();
+  }
+
+  // Returns an opaque handle (shard + per-shard position packed) accepted
+  // by mark_rejected.
+  std::size_t register_tx(std::string tx_id, std::int64_t start_us,
+                          const std::string& client_id, const std::string& server_id,
+                          const std::string& chainname, const std::string& contractname,
+                          std::uint64_t ordinal = 0);
+
+  // Partitions the block's receipts by tx-id hash and applies each slice to
+  // its shard; outcomes are merged. Safe to call from many poller threads.
+  TaskProcessor::BlockOutcome on_block(std::int64_t block_time_us,
+                                       std::span<const chain::TxReceipt> receipts,
+                                       std::int64_t include_us = -1);
+
+  void mark_rejected(std::size_t handle, std::int64_t end_us);
+
+  std::size_t total_registered() const;
+  std::size_t pending_count() const;
+  std::vector<TxRecord> snapshot() const;  // all shards, concatenated
+
+  // Merged index-health diagnostics (sums; bloom_fill is the mean).
+  std::uint64_t index_probe_steps() const;
+  std::uint64_t index_expansions() const;
+  double bloom_fill() const;
+
+  // Per-shard stats (registered/pending/probe_steps/expansions/bloom_fill)
+  // plus merged totals — lands in RunResult::processor.
+  json::Value stats_json() const;
+
+ private:
+  std::vector<std::unique_ptr<TaskProcessor>> shards_;
+  std::hash<std::string> hasher_;
 };
 
 }  // namespace hammer::core

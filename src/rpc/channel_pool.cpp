@@ -1,0 +1,22 @@
+#include "rpc/channel_pool.hpp"
+
+#include "util/errors.hpp"
+
+namespace hammer::rpc {
+
+ChannelPool::ChannelPool(const Factory& factory, std::size_t size) {
+  HAMMER_CHECK(factory != nullptr);
+  HAMMER_CHECK(size >= 1);
+  channels_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::shared_ptr<Channel> channel = factory();
+    HAMMER_CHECK(channel != nullptr);
+    channels_.push_back(std::move(channel));
+  }
+}
+
+std::shared_ptr<Channel> ChannelPool::next() {
+  return channels_[cursor_.fetch_add(1, std::memory_order_relaxed) % channels_.size()];
+}
+
+}  // namespace hammer::rpc

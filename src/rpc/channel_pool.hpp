@@ -1,0 +1,40 @@
+// Fixed-size pool of channels to ONE endpoint, handed out round-robin.
+//
+// A TcpChannel multiplexes any number of in-flight calls over its single
+// connection, so M driver workers do not need M sockets: a pool of P
+// channels (P <= M) spreads socket/reader work across a few connections
+// while every worker still submits without head-of-line blocking. This is
+// the per-target channel reuse the SutCluster builds on — N endpoints x P
+// channels instead of N x M.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rpc/jsonrpc.hpp"
+
+namespace hammer::rpc {
+
+class ChannelPool {
+ public:
+  using Factory = std::function<std::shared_ptr<Channel>()>;
+
+  // Eagerly opens `size` channels via `factory` (size >= 1).
+  ChannelPool(const Factory& factory, std::size_t size);
+
+  // Round-robin handout; thread-safe. Channels are shared, never exclusive:
+  // two callers may hold the same channel concurrently (they multiplex).
+  std::shared_ptr<Channel> next();
+
+  std::size_t size() const { return channels_.size(); }
+  const std::shared_ptr<Channel>& at(std::size_t i) const { return channels_.at(i); }
+
+ private:
+  std::vector<std::shared_ptr<Channel>> channels_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace hammer::rpc

@@ -104,6 +104,66 @@ TEST(DeploymentTest, BadFaultPlanThrows) {
   EXPECT_THROW(Deployment::deploy(plan, util::SteadyClock::shared()), Error);
 }
 
+TEST(DeploymentTest, UnknownSpecKeyIsRejectedByName) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "neuchain", "name": "x", "block_intervl_ms": 10}]
+  })");
+  try {
+    Deployment::deploy(plan, util::SteadyClock::shared());
+    FAIL() << "expected ParseError for misspelled key";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("block_intervl_ms"), std::string::npos);
+  }
+}
+
+TEST(DeploymentTest, EndpointsKeySpawnsTaggedRpcSurfaces) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "meepo", "name": "m", "num_shards": 4, "block_interval_ms": 10,
+                "transport": "tcp", "endpoints": 2, "rpc_workers": 1,
+                "smallbank_accounts_per_shard": 2}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto& sut = deployment.at("m");
+  EXPECT_EQ(sut.endpoint_count(), 2u);
+  ASSERT_NE(sut.tcp_server, nullptr);
+  ASSERT_EQ(sut.extra_endpoints.size(), 1u);
+  ASSERT_NE(sut.extra_endpoints[0].tcp_server, nullptr);
+  EXPECT_NE(sut.tcp_server->port(), sut.extra_endpoints[0].tcp_server->port());
+
+  // Each surface reports its own endpoint tag and owned shard set.
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto adapter = std::make_shared<adapters::ChainAdapter>(sut.connect(nullptr, i));
+    json::Value info = adapter->endpoint_info();
+    EXPECT_EQ(info.at("endpoint").as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(info.at("endpoints").as_int(), 2);
+    const json::Array& shards = info.at("shards").as_array();
+    ASSERT_EQ(shards.size(), 2u);  // 4 shards over 2 endpoints
+    for (const json::Value& s : shards) {
+      EXPECT_EQ(static_cast<std::size_t>(s.as_int()) % 2, i);
+    }
+  }
+}
+
+TEST(DeploymentTest, MakeClusterBuildsOneTargetPerEndpoint) {
+  json::Value plan = json::Value::parse(R"({
+    "chains": [{"kind": "meepo", "name": "m", "num_shards": 4, "block_interval_ms": 10,
+                "endpoints": 4, "smallbank_accounts_per_shard": 2}]
+  })");
+  Deployment deployment = Deployment::deploy(plan, util::SteadyClock::shared());
+  auto cluster = deployment.at("m").make_cluster(2);
+  ASSERT_EQ(cluster->size(), 4u);
+  EXPECT_EQ(cluster->total_shards(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const SutTarget& target = cluster->target(i);
+    EXPECT_EQ(target.index(), i);
+    EXPECT_EQ(target.worker_count(), 2u);
+    ASSERT_EQ(target.shards().size(), 1u);
+    EXPECT_EQ(target.shards()[0], i);
+    EXPECT_EQ(cluster->owner_of_shard(static_cast<std::uint32_t>(i)), i);
+    EXPECT_EQ(target.poll_adapter()->target_index(), i);
+  }
+}
+
 TEST(DeploymentTest, UnknownNameThrows) {
   json::Value plan = json::Value::parse(
       R"({"chains": [{"kind": "neuchain", "name": "x", "block_interval_ms": 10}]})");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 namespace hammer::core {
@@ -150,6 +151,135 @@ TEST(TaskProcessorTest, ConcurrentRegistrationAndBlocks) {
   }
   EXPECT_EQ(tp.on_block(9, receipts).matched, static_cast<std::size_t>(kThreads * kPerThread));
   EXPECT_EQ(tp.pending_count(), 0u);
+}
+
+// --- ShardedTaskProcessor: K shards must be observationally identical to
+// the flat processor — same completed/failed sets, same latency samples. ---
+
+struct Outcome {
+  std::string tx_id;
+  bool completed;
+  chain::TxStatus status;
+  std::int64_t start_us;
+  std::int64_t end_us;
+  bool operator<(const Outcome& o) const { return tx_id < o.tx_id; }
+  bool operator==(const Outcome& o) const {
+    return tx_id == o.tx_id && completed == o.completed && status == o.status &&
+           start_us == o.start_us && end_us == o.end_us;
+  }
+};
+
+std::vector<Outcome> sorted_outcomes(const std::vector<TxRecord>& records) {
+  std::vector<Outcome> out;
+  out.reserve(records.size());
+  for (const TxRecord& r : records) {
+    out.push_back(Outcome{r.tx_id, r.completed, r.status, r.start_us, r.end_us});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ShardedTaskProcessorTest, OneShardMatchesFlatProcessorExactly) {
+  TaskProcessor flat(small_options());
+  TaskProcessor::Options sharded_options = small_options();
+  sharded_options.shards = 1;
+  ShardedTaskProcessor sharded(sharded_options);
+  for (int i = 0; i < 300; ++i) {
+    std::string id = "tx" + std::to_string(i);
+    flat.register_tx(id, i, "c", "s", "ch", "ct");
+    sharded.register_tx(id, i, "c", "s", "ch", "ct");
+  }
+  std::vector<chain::TxReceipt> receipts;
+  for (int i = 0; i < 300; i += 2) receipts.push_back(receipt("tx" + std::to_string(i)));
+  auto flat_outcome = flat.on_block(7777, receipts);
+  auto sharded_outcome = sharded.on_block(7777, receipts);
+  EXPECT_EQ(flat_outcome.matched, sharded_outcome.matched);
+  EXPECT_EQ(sorted_outcomes(flat.snapshot()), sorted_outcomes(sharded.snapshot()));
+}
+
+TEST(ShardedTaskProcessorTest, EightShardsProduceIdenticalCompletionSets) {
+  // The equivalence the cluster driving path relies on: sharding the
+  // completion tracker changes lock granularity, never results.
+  TaskProcessor::Options one = small_options();
+  one.shards = 1;
+  TaskProcessor::Options eight = small_options();
+  eight.shards = 8;
+  ShardedTaskProcessor tp1(one);
+  ShardedTaskProcessor tp8(eight);
+  EXPECT_EQ(tp1.shard_count(), 1u);
+  EXPECT_EQ(tp8.shard_count(), 8u);
+
+  std::vector<std::size_t> handles1, handles8;
+  for (int i = 0; i < 500; ++i) {
+    std::string id = "tx" + std::to_string(i);
+    handles1.push_back(tp1.register_tx(id, 10 * i, "c", "s", "ch", "ct"));
+    handles8.push_back(tp8.register_tx(id, 10 * i, "c", "s", "ch", "ct"));
+  }
+  // Mixed outcomes: commits, failures, rejections, foreign ids.
+  std::vector<chain::TxReceipt> block1, block2;
+  for (int i = 0; i < 200; ++i) block1.push_back(receipt("tx" + std::to_string(i)));
+  for (int i = 200; i < 400; ++i) {
+    block2.push_back(receipt("tx" + std::to_string(i), i % 3 == 0
+                                                           ? chain::TxStatus::kConflict
+                                                           : chain::TxStatus::kCommitted));
+  }
+  for (int i = 0; i < 50; ++i) block2.push_back(receipt("foreign" + std::to_string(i)));
+  tp1.on_block(5000, block1);
+  tp8.on_block(5000, block1);
+  auto o1 = tp1.on_block(9000, block2);
+  auto o8 = tp8.on_block(9000, block2);
+  EXPECT_EQ(o1.matched, o8.matched);
+  EXPECT_EQ(o1.bloom_rejected + o1.unknown, o8.bloom_rejected + o8.unknown);
+  tp1.mark_rejected(handles1[450], 9500);
+  tp8.mark_rejected(handles8[450], 9500);
+
+  EXPECT_EQ(tp1.total_registered(), tp8.total_registered());
+  EXPECT_EQ(tp1.pending_count(), tp8.pending_count());
+  // Identical completed/failed sets AND identical latency samples
+  // (start_us/end_us pairs), independent of shard count.
+  EXPECT_EQ(sorted_outcomes(tp1.snapshot()), sorted_outcomes(tp8.snapshot()));
+}
+
+TEST(ShardedTaskProcessorTest, HandlesRoundTripThroughMarkRejected) {
+  TaskProcessor::Options o = small_options();
+  o.shards = 4;
+  ShardedTaskProcessor tp(o);
+  std::vector<std::size_t> handles;
+  for (int i = 0; i < 40; ++i) {
+    handles.push_back(tp.register_tx("tx" + std::to_string(i), i, "c", "s", "ch", "ct"));
+  }
+  for (std::size_t h : handles) tp.mark_rejected(h, 777);
+  EXPECT_EQ(tp.pending_count(), 0u);
+  for (const TxRecord& r : tp.snapshot()) {
+    EXPECT_EQ(r.status, chain::TxStatus::kInvalid);
+    EXPECT_EQ(r.end_us, 777);
+  }
+}
+
+TEST(ShardedTaskProcessorTest, ConcurrentBlocksAcrossShards) {
+  TaskProcessor::Options o = small_options();
+  o.shards = 8;
+  ShardedTaskProcessor tp(o);
+  constexpr int kTotal = 2000;
+  for (int i = 0; i < kTotal; ++i) {
+    tp.register_tx("tx" + std::to_string(i), i, "c", "s", "ch", "ct");
+  }
+  // Four "pollers" apply disjoint blocks concurrently.
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 4; ++p) {
+    pollers.emplace_back([&tp, p] {
+      std::vector<chain::TxReceipt> block;
+      for (int i = p * (kTotal / 4); i < (p + 1) * (kTotal / 4); ++i) {
+        block.push_back(receipt("tx" + std::to_string(i)));
+      }
+      tp.on_block(1000 + p, block);
+    });
+  }
+  for (auto& t : pollers) t.join();
+  EXPECT_EQ(tp.pending_count(), 0u);
+  json::Value stats = tp.stats_json();
+  EXPECT_EQ(stats.at("registered").as_int(), kTotal);
+  EXPECT_EQ(stats.at("per_shard").as_array().size(), 8u);
 }
 
 }  // namespace
