@@ -1,0 +1,156 @@
+// Metrics-pipeline ingestion bench: cache -> write-behind committer -> SQL.
+//
+// Sweeps kvstore shard count x committer batch size while 16 producer
+// threads push completed TxRecords through MetricsPipeline at full tilt.
+// The cache charges a modeled 30us per-command cost, slept while the shard
+// lock is held (the same idiom as the SUT ingress cost in
+// bench_cluster_scaleout: the cost is slept, not burned, so sharding
+// speedups survive a one-core bench box) — the cache behaves like N
+// single-threaded Redis instances and the sweep shows how dirty-set
+// sharding and batched inserts keep the measurement store ahead of the
+// driving path.
+//
+// Acceptance: >= 5x insert throughput at 8 shards vs 1 shard at the
+// largest batch size. Exits non-zero when the bar is missed.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace hammer;
+
+constexpr std::size_t kProducers = 16;
+constexpr std::int64_t kOpCostUs = 30;
+
+struct ConfigResult {
+  std::size_t shards = 0;
+  std::size_t batch = 0;
+  double elapsed_s = 0.0;
+  double rows_per_s = 0.0;
+  std::uint64_t committed = 0;
+  std::uint64_t dropped = 0;
+  std::int64_t table_rows = 0;
+};
+
+std::vector<core::TxRecord> make_records(std::size_t count) {
+  std::vector<core::TxRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::TxRecord r;
+    r.tx_id = "tx-" + std::to_string(i);
+    r.start_us = static_cast<std::int64_t>(i) * 100;
+    r.end_us = r.start_us + 40000 + static_cast<std::int64_t>(i % 7) * 1000;
+    r.status = chain::TxStatus::kCommitted;
+    r.completed = true;
+    r.client_id = "client-" + std::to_string(i % kProducers);
+    r.server_id = "server-0";
+    r.chainname = "bench";
+    r.contractname = "smallbank";
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+ConfigResult run_config(const std::vector<core::TxRecord>& records, std::size_t shards,
+                        std::size_t batch) {
+  kvstore::KvStore::Options cache_options;
+  cache_options.num_shards = shards;
+  cache_options.op_cost_us = kOpCostUs;
+  auto cache = std::make_shared<kvstore::KvStore>(util::SteadyClock::shared(), cache_options);
+  auto db = std::make_shared<minisql::Database>();
+  core::MetricsOptions metrics_options;
+  metrics_options.write_behind = true;
+  metrics_options.commit_batch_size = batch;
+  metrics_options.flush_interval = std::chrono::milliseconds(5);
+  core::MetricsPipeline pipeline(cache, db, metrics_options);
+  pipeline.start_committer();
+
+  // Each producer pushes its slice in poller-sized chunks of 64 records.
+  const std::size_t per_producer = records.size() / kProducers;
+  const std::int64_t begin_us = util::SteadyClock::shared()->now_us();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::size_t begin = p * per_producer;
+      const std::size_t end = p + 1 == kProducers ? records.size() : begin + per_producer;
+      for (std::size_t at = begin; at < end; at += 64) {
+        std::size_t n = std::min<std::size_t>(64, end - at);
+        pipeline.push_records(std::span<const core::TxRecord>(records.data() + at, n));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pipeline.flush_and_stop();
+  const std::int64_t end_us = util::SteadyClock::shared()->now_us();
+
+  ConfigResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.elapsed_s = static_cast<double>(end_us - begin_us) / 1e6;
+  result.rows_per_s = static_cast<double>(records.size()) / result.elapsed_s;
+  result.committed = pipeline.rows_committed();
+  result.dropped = pipeline.rows_dropped();
+  minisql::ResultSet count = db->query("SELECT COUNT(*) FROM Performance");
+  result.table_rows = std::get<std::int64_t>(count.rows[0][0]);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t total = bench::full_scale() ? 100000 : 20000;
+  const std::vector<core::TxRecord> records = make_records(total);
+  const std::size_t shard_sweep[] = {1, 2, 4, 8};
+  const std::size_t batch_sweep[] = {1, 256};
+
+  std::printf("== metrics pipeline ingestion: %zu records, %zu producers, %lldus op cost ==\n",
+              total, kProducers, static_cast<long long>(kOpCostUs));
+  report::CsvWriter csv({"shards", "batch_size", "producers", "records", "op_cost_us",
+                         "elapsed_s", "rows_per_s", "speedup_vs_1shard", "rows_committed",
+                         "rows_dropped", "table_rows"});
+  double baseline_large_batch = 0.0;
+  double speedup_at_8 = 0.0;
+  bool rows_intact = true;
+  for (std::size_t batch : batch_sweep) {
+    double baseline = 0.0;
+    for (std::size_t shards : shard_sweep) {
+      ConfigResult r = run_config(records, shards, batch);
+      if (shards == 1) baseline = r.rows_per_s;
+      double speedup = baseline > 0.0 ? r.rows_per_s / baseline : 0.0;
+      if (batch == 256 && shards == 1) baseline_large_batch = r.rows_per_s;
+      if (batch == 256 && shards == 8) speedup_at_8 = speedup;
+      if (r.table_rows != static_cast<std::int64_t>(total) || r.dropped != 0) {
+        rows_intact = false;
+      }
+      std::printf(
+          "shards=%2zu batch=%3zu  %9.0f rows/s  (%.2fs, %.2fx vs 1 shard, committed=%llu "
+          "dropped=%llu table=%lld)\n",
+          shards, batch, r.rows_per_s, r.elapsed_s, speedup,
+          static_cast<unsigned long long>(r.committed),
+          static_cast<unsigned long long>(r.dropped), static_cast<long long>(r.table_rows));
+      csv.add_row({std::to_string(shards), std::to_string(batch), std::to_string(kProducers),
+                   std::to_string(total), std::to_string(kOpCostUs),
+                   report::format_double(r.elapsed_s, 3), report::format_double(r.rows_per_s, 0),
+                   report::format_double(speedup, 2), std::to_string(r.committed),
+                   std::to_string(r.dropped), std::to_string(r.table_rows)});
+    }
+  }
+  bench::save_csv(csv, "metrics_pipeline.csv");
+
+  std::printf("\nacceptance: 8 shards / batch 256 = %.2fx vs 1 shard (bar: >= 5x); "
+              "1-shard baseline %.0f rows/s\n",
+              speedup_at_8, baseline_large_batch);
+  if (!rows_intact) {
+    std::printf("FAIL: rows were dropped or lost on the way to the table store\n");
+    return 1;
+  }
+  if (speedup_at_8 < 5.0) {
+    std::printf("FAIL: sharding speedup below the 5x acceptance bar\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare fresh bench CSVs against the checked-in baseline.
+
+Each baseline check names a CSV in the results directory, a row (matched by
+the `where` column values) and a metric column, and pins an expected value
+with a relative tolerance (default +/-25%). Benchmarks on shared CI runners
+are noisy, so a miss is reported but NON-FATAL by default; pass --strict to
+turn misses into a non-zero exit (for local perf work).
+
+Usage: check_bench_regression.py [--results-dir DIR] [--baseline FILE] [--strict]
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def find_row(rows, where):
+    for row in rows:
+        if all(row.get(col) == val for col, val in where.items()):
+            return row
+    return None
+
+
+def run_checks(results_dir, baseline):
+    tolerance = float(baseline.get("tolerance", 0.25))
+    misses = 0
+    for check in baseline["checks"]:
+        label = "{}[{}].{}".format(
+            check["csv"],
+            ",".join(f"{k}={v}" for k, v in check["where"].items()),
+            check["metric"],
+        )
+        path = os.path.join(results_dir, check["csv"])
+        if not os.path.exists(path):
+            print(f"WARN  {label}: {path} missing (bench not run?)")
+            misses += 1
+            continue
+        row = find_row(load_rows(path), check["where"])
+        if row is None:
+            print(f"WARN  {label}: no matching row")
+            misses += 1
+            continue
+        fresh = float(row[check["metric"]])
+        expected = float(check["expected"])
+        if check.get("exact"):
+            ok = fresh == expected
+            detail = f"fresh={fresh:g} expected exactly {expected:g}"
+        elif expected == 0.0:
+            ok = fresh == 0.0
+            detail = f"fresh={fresh:g} expected 0"
+        else:
+            rel = (fresh - expected) / expected
+            ok = abs(rel) <= tolerance
+            detail = f"fresh={fresh:g} expected {expected:g} ({rel:+.1%}, tol ±{tolerance:.0%})"
+        print(f"{'ok   ' if ok else 'WARN '} {label}: {detail}")
+        if not ok:
+            misses += 1
+    return misses
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", default="bench_results")
+    parser.add_argument(
+        "--baseline", default=os.path.join(os.path.dirname(__file__), "bench_baseline.json")
+    )
+    parser.add_argument("--strict", action="store_true", help="exit non-zero on any miss")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    misses = run_checks(args.results_dir, baseline)
+    if misses:
+        print(f"{misses} check(s) outside tolerance", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("all bench checks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

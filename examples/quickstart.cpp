@@ -105,7 +105,12 @@ int main(int argc, char** argv) {
   core::DriverOptions options;
   options.worker_threads = 2;
   options.trace_every_n = 8;
-  options.metrics = std::make_shared<core::MetricsPipeline>(cache, db);
+  // Write-behind: completed records stream cache -> SQL on a background
+  // committer during the run instead of a run-end bulk scan.
+  core::MetricsOptions metrics_options;
+  metrics_options.write_behind = true;
+  metrics_options.pending_ttl = std::chrono::minutes(5);
+  options.metrics = std::make_shared<core::MetricsPipeline>(cache, db, metrics_options);
   workload::ControlSequence rate = workload::ControlSequence::constant(
       1000.0, std::chrono::seconds(5), std::chrono::milliseconds(100));
   // Under --faults the adapters retry transient rejections with seeded

@@ -379,6 +379,9 @@ void HammerDriver::poll_loop(SutTarget& target) {
   adapters::ChainAdapter& adapter = *target.poll_adapter();
   const std::vector<std::uint32_t>& shards = target.shards();
   std::vector<std::uint64_t> scanned(shards.size(), 0);
+  const bool live_metrics = options_.mode == TrackingMode::kHammer &&
+                            options_.metrics != nullptr && options_.metrics->write_behind();
+  std::vector<TxRecord> fresh;
   while (!stop_polling_.load()) {
     for (std::size_t i = 0; i < shards.size(); ++i) {
       const std::uint32_t s = shards[i];
@@ -420,6 +423,14 @@ void HammerDriver::poll_loop(SutTarget& target) {
       }
       scanned[i] = h;
     }
+    // Live streaming: hand records completed since the last sweep to the
+    // metrics cache so the write-behind committer lands them in SQL while
+    // the run is still going (each poller's drain is disjoint).
+    if (live_metrics) {
+      fresh.clear();
+      task_processor_->drain_newly_completed(fresh);
+      if (!fresh.empty()) options_.metrics->push_records(fresh);
+    }
     clock_->sleep_for(options_.poll_interval);
   }
 }
@@ -434,11 +445,17 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   } else {
     tracer_.reset();
   }
+  const bool live_metrics = options_.mode == TrackingMode::kHammer &&
+                            options_.metrics != nullptr && options_.metrics->write_behind();
   if (options_.mode == TrackingMode::kHammer) {
     TaskProcessor::Options tp = options_.task_processor;
     tp.expected_txs = std::max(tp.expected_txs, total);
     tp.tracer = tracer_.get();
+    // Write-behind metrics stream completed records out mid-run; the
+    // processor keeps a newly-completed set for the pollers to drain.
+    tp.track_completions = live_metrics;
     task_processor_ = std::make_unique<ShardedTaskProcessor>(tp);
+    if (live_metrics) options_.metrics->start_committer();
   } else {
     batch_processor_ = std::make_unique<BatchQueueProcessor>();
   }
@@ -590,8 +607,22 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
     result = summarize(records);
     result.processor = task_processor_->stats_json();
     if (options_.metrics) {
-      options_.metrics->push_records(records);
-      options_.metrics->commit_to_sql();
+      if (options_.metrics->write_behind()) {
+        // The pollers streamed completed records as they landed; catch any
+        // stragglers completed after the last sweep, cache the still-pending
+        // ones (TTL-armed, parity with the legacy path), then drain the
+        // committer so every buffered row is in SQL before we return.
+        std::vector<TxRecord> fresh;
+        task_processor_->drain_newly_completed(fresh);
+        for (const TxRecord& record : records) {
+          if (!record.completed) fresh.push_back(record);
+        }
+        if (!fresh.empty()) options_.metrics->push_records(fresh);
+        options_.metrics->flush_and_stop();
+      } else {
+        options_.metrics->push_records(records);
+        options_.metrics->commit_to_sql();
+      }
     }
   } else {
     // Build records from the baseline's completion lists.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/registry.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::core {
@@ -18,9 +19,50 @@ const char* const kLatencySql =
     "SELECT tx_id, start_time, end_time, "
     "TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance";
 
+namespace {
+
+// Producer-side hammer_store_* series; the commit-side ones live in
+// store_committer.cpp (registry lookups by name are idempotent).
+struct PushMetrics {
+  telemetry::Counter& rows_buffered;
+  telemetry::Counter& rows_dropped;
+
+  static PushMetrics& get() {
+    static PushMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  PushMetrics()
+      : rows_buffered(telemetry::MetricRegistry::global().counter(
+            "hammer_store_rows_buffered_total",
+            "Completed records marked dirty for the write-behind committer")),
+        rows_dropped(telemetry::MetricRegistry::global().counter(
+            "hammer_store_rows_dropped_total",
+            "Rows lost to dirty-set overflow or unbuildable records")) {}
+};
+
+// Cache hash -> Performance row. Records without an end_time are still
+// pending and have no business in the table (nullopt).
+std::optional<std::vector<minisql::Cell>> build_performance_row(const std::string& key,
+                                                                const kvstore::Hash& fields) {
+  if (key.rfind("perf:", 0) != 0 || fields.count("end_time") == 0) return std::nullopt;
+  auto field = [&fields](const char* name) -> std::string {
+    auto it = fields.find(name);
+    return it == fields.end() ? std::string() : it->second;
+  };
+  return std::vector<minisql::Cell>{
+      key.substr(5),           field("status"),       std::stoll(field("start_time")),
+      std::stoll(field("end_time")), field("client_id"), field("server_id"),
+      field("chainname"),      field("contractname")};
+}
+
+}  // namespace
+
 MetricsPipeline::MetricsPipeline(std::shared_ptr<kvstore::KvStore> cache,
-                                 std::shared_ptr<minisql::Database> db)
-    : cache_(std::move(cache)), db_(std::move(db)) {
+                                 std::shared_ptr<minisql::Database> db,
+                                 MetricsOptions options)
+    : cache_(std::move(cache)), db_(std::move(db)), options_(options) {
   HAMMER_CHECK(cache_ != nullptr);
   HAMMER_CHECK(db_ != nullptr);
   if (!db_->has_table("Performance")) {
@@ -32,20 +74,53 @@ MetricsPipeline::MetricsPipeline(std::shared_ptr<kvstore::KvStore> cache,
                                       {"server_id", minisql::ColumnType::kText},
                                       {"chainname", minisql::ColumnType::kText},
                                       {"contractname", minisql::ColumnType::kText}});
+    // Table II's TPS query filters on STATUS = '1'; give the executor an
+    // index bucket to push that equality into. tx_id serves point lookups.
+    db_->create_index("Performance", "status");
+    db_->create_index("Performance", "tx_id");
+  }
+  if (options_.write_behind) {
+    StoreCommitter::Options committer_options;
+    committer_options.batch_size = options_.commit_batch_size;
+    committer_options.flush_interval = options_.flush_interval;
+    committer_options.table = "Performance";
+    committer_ = std::make_unique<StoreCommitter>(cache_, db_, build_performance_row,
+                                                  committer_options);
   }
 }
 
 void MetricsPipeline::push_records(std::span<const TxRecord> records) {
+  std::vector<std::pair<std::string, std::string>> fields;
   for (const TxRecord& record : records) {
     std::string key = "perf:" + record.tx_id;
-    cache_->hset(key, "status",
-                 record.completed && record.status == chain::TxStatus::kCommitted ? "1" : "0");
-    cache_->hset(key, "start_time", std::to_string(record.start_us));
-    if (record.completed) cache_->hset(key, "end_time", std::to_string(record.end_us));
-    cache_->hset(key, "client_id", record.client_id);
-    cache_->hset(key, "server_id", record.server_id);
-    cache_->hset(key, "chainname", record.chainname);
-    cache_->hset(key, "contractname", record.contractname);
+    fields.clear();
+    fields.emplace_back(
+        "status", record.completed && record.status == chain::TxStatus::kCommitted ? "1" : "0");
+    fields.emplace_back("start_time", std::to_string(record.start_us));
+    if (record.completed) fields.emplace_back("end_time", std::to_string(record.end_us));
+    fields.emplace_back("client_id", record.client_id);
+    fields.emplace_back("server_id", record.server_id);
+    fields.emplace_back("chainname", record.chainname);
+    fields.emplace_back("contractname", record.contractname);
+
+    if (!options_.write_behind) {
+      cache_->hset_many(key, fields);
+      continue;
+    }
+    // Completed records enter the dirty set for the committer; pending ones
+    // age out on the TTL if they never complete.
+    kvstore::KvStore::HsetManyResult result = cache_->hset_many(
+        key, fields, /*mark_dirty=*/record.completed,
+        record.completed ? util::Duration::zero() : options_.pending_ttl);
+    if (result.dirty_marked) PushMetrics::get().rows_buffered.add(1);
+    if (result.dirty_dropped) {
+      rows_dropped_.fetch_add(1, std::memory_order_relaxed);
+      PushMetrics::get().rows_dropped.add(1);
+    }
+  }
+  if (options_.write_behind && committer_ && committer_->running() &&
+      cache_->dirty_count() >= options_.commit_batch_size) {
+    committer_->notify();
   }
 }
 
@@ -58,18 +133,31 @@ std::size_t MetricsPipeline::commit_to_sql() {
       done.emplace_back(key, value);
     }
   });
-  for (const auto& [key, fields] : done) {
-    auto field = [&fields](const char* name) -> std::string {
-      auto it = fields.find(name);
-      return it == fields.end() ? std::string() : it->second;
-    };
-    db_->insert("Performance",
-                {key.substr(5), field("status"), std::stoll(field("start_time")),
-                 std::stoll(field("end_time")), field("client_id"), field("server_id"),
-                 field("chainname"), field("contractname")});
+  for (const auto& [key, hash_fields] : done) {
+    std::optional<std::vector<minisql::Cell>> row = build_performance_row(key, hash_fields);
+    if (row) db_->insert("Performance", std::move(*row));
     cache_->del(key);
   }
   return done.size();
+}
+
+void MetricsPipeline::start_committer() {
+  if (committer_) committer_->start();
+}
+
+std::size_t MetricsPipeline::flush() { return committer_ ? committer_->flush() : 0; }
+
+std::size_t MetricsPipeline::flush_and_stop() {
+  return committer_ ? committer_->flush_and_stop() : 0;
+}
+
+std::uint64_t MetricsPipeline::rows_dropped() const {
+  std::uint64_t dropped = rows_dropped_.load(std::memory_order_relaxed);
+  return committer_ ? dropped + committer_->rows_dropped() : dropped;
+}
+
+std::uint64_t MetricsPipeline::rows_committed() const {
+  return committer_ ? committer_->rows_committed() : 0;
 }
 
 std::int64_t MetricsPipeline::query_tps() const {

@@ -1,9 +1,19 @@
 // Metrics pipeline (paper Fig. 2 right half): the driver's vector-list
 // state is pushed into the Redis-like cache as hashes ("the server pushes
 // the initialized vector list to the Redis cluster ... the driver will
-// regularly update the vector list"), and a committer periodically drains
-// the cache into the MySQL-like Performance table that the visualization
-// layer queries with the Table II SQL.
+// regularly update the vector list"), and a committer drains the cache into
+// the MySQL-like Performance table that the visualization layer queries
+// with the Table II SQL.
+//
+// Two commit modes:
+//   - legacy synchronous (write_behind = false): push_records() caches
+//     everything, commit_to_sql() scans the whole cache once at run end —
+//     the original row-at-a-time path, kept as the equivalence oracle.
+//   - write-behind (write_behind = true): completed records are marked
+//     dirty as they are pushed and a StoreCommitter drains them into
+//     batched inserts on a background thread, so latency samples land in
+//     SQL at cluster rate instead of piling up for a run-end scan. Pending
+//     (incomplete) records carry a TTL and age out of the cache.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/store_committer.hpp"
 #include "core/task_processor.hpp"
 #include "kvstore/kvstore.hpp"
 #include "minisql/database.hpp"
@@ -23,18 +34,44 @@ namespace hammer::core {
 extern const char* const kTpsSql;
 extern const char* const kLatencySql;
 
+struct MetricsOptions {
+  // Enables the write-behind committer path.
+  bool write_behind = false;
+  // Committer flush policy (see StoreCommitter::Options).
+  std::size_t commit_batch_size = 256;
+  util::Duration flush_interval = std::chrono::milliseconds(50);
+  // TTL armed on records cached before completion; a record that never
+  // completes ages out of the cache instead of leaking. zero() = no expiry
+  // (legacy behaviour).
+  util::Duration pending_ttl = util::Duration::zero();
+};
+
 class MetricsPipeline {
  public:
   MetricsPipeline(std::shared_ptr<kvstore::KvStore> cache,
-                  std::shared_ptr<minisql::Database> db);
+                  std::shared_ptr<minisql::Database> db, MetricsOptions options = {});
+
+  bool write_behind() const { return options_.write_behind; }
 
   // Driver -> cache: writes/updates one hash per record ("perf:<tx_id>").
-  // Only completed records carry an end_time.
+  // Only completed records carry an end_time. In write-behind mode completed
+  // records are marked dirty for the committer (dirty-set overflow drops the
+  // row and counts it) and incomplete ones get the pending TTL.
   void push_records(std::span<const TxRecord> records);
 
-  // Cache -> SQL: drains completed records into the Performance table and
-  // removes them from the cache. Returns the number of rows committed.
+  // Cache -> SQL, legacy synchronous path: scans the cache, inserts
+  // completed records row-at-a-time and removes them. Returns rows
+  // committed.
   std::size_t commit_to_sql();
+
+  // Write-behind controls (no-ops when write_behind is off).
+  void start_committer();
+  std::size_t flush();           // synchronous drain of everything dirty
+  std::size_t flush_and_stop();  // graceful end-of-run drain
+
+  // Completed rows dropped because a shard's dirty set was full.
+  std::uint64_t rows_dropped() const;
+  std::uint64_t rows_committed() const;
 
   // Table II queries against the committed table.
   std::int64_t query_tps() const;
@@ -45,6 +82,9 @@ class MetricsPipeline {
  private:
   std::shared_ptr<kvstore::KvStore> cache_;
   std::shared_ptr<minisql::Database> db_;
+  MetricsOptions options_;
+  std::unique_ptr<StoreCommitter> committer_;  // write-behind mode only
+  std::atomic<std::uint64_t> rows_dropped_{0};
 };
 
 // Run-level summary computed from the vector list.

@@ -1,0 +1,139 @@
+#include "core/store_committer.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "telemetry/registry.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+namespace {
+// hammer_store_* family: health of the cache → SQL write-behind path. The
+// producer-side series (rows buffered/dropped at the cache) live in
+// metrics.cpp; registry lookups by name are idempotent, so both TUs share
+// the same instruments.
+struct StoreMetrics {
+  telemetry::Counter& rows_committed;
+  telemetry::Counter& rows_dropped;
+  telemetry::Counter& flushes;
+  telemetry::StageHistogram& flush_us;
+
+  static StoreMetrics& get() {
+    static StoreMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  StoreMetrics()
+      : rows_committed(reg().counter("hammer_store_rows_committed_total",
+                                     "Rows landed in the table store by the committer")),
+        rows_dropped(reg().counter("hammer_store_rows_dropped_total",
+                                   "Rows lost to dirty-set overflow or unbuildable records")),
+        flushes(reg().counter("hammer_store_flushes_total",
+                              "Committer drain rounds that found dirty rows")),
+        flush_us(reg().histogram("hammer_store_flush_duration_us",
+                                 "Wall time of one committer drain round")) {}
+
+  static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
+};
+}  // namespace
+
+StoreCommitter::StoreCommitter(std::shared_ptr<kvstore::KvStore> cache,
+                               std::shared_ptr<minisql::Database> db, RowBuilder builder,
+                               Options options)
+    : cache_(std::move(cache)),
+      db_(std::move(db)),
+      builder_(std::move(builder)),
+      options_(options) {
+  HAMMER_CHECK(cache_ != nullptr);
+  HAMMER_CHECK(db_ != nullptr);
+  HAMMER_CHECK(builder_ != nullptr);
+  HAMMER_CHECK(options_.batch_size > 0);
+}
+
+StoreCommitter::~StoreCommitter() { flush_and_stop(); }
+
+void StoreCommitter::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = false;
+    wakeup_ = false;
+  }
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void StoreCommitter::notify() {
+  {
+    std::scoped_lock lock(mu_);
+    wakeup_ = true;
+  }
+  cv_.notify_one();
+}
+
+std::size_t StoreCommitter::drain_round() {
+  std::scoped_lock drain_lock(drain_mu_);
+  StoreMetrics& metrics = StoreMetrics::get();
+  const std::int64_t begin_us = util::SteadyClock::shared()->now_us();
+
+  // Collect under the shard locks (drain_dirty holds one at a time), ship
+  // after — the SQL writer lock is never taken while a cache shard is held.
+  std::vector<std::vector<minisql::Cell>> rows;
+  std::size_t dropped = 0;
+  cache_->drain_dirty([&](const std::string& key, const kvstore::Hash& fields) {
+    std::optional<std::vector<minisql::Cell>> row = builder_(key, fields);
+    if (!row) {
+      ++dropped;
+      return;
+    }
+    rows.push_back(std::move(*row));
+  });
+  const std::size_t committed = rows.size();
+  for (std::size_t begin = 0; begin < rows.size(); begin += options_.batch_size) {
+    std::size_t end = std::min(rows.size(), begin + options_.batch_size);
+    std::vector<std::vector<minisql::Cell>> batch(
+        std::make_move_iterator(rows.begin() + static_cast<std::ptrdiff_t>(begin)),
+        std::make_move_iterator(rows.begin() + static_cast<std::ptrdiff_t>(end)));
+    db_->insert_batch(options_.table, std::move(batch));
+  }
+  cache_->evict_expired();
+
+  if (committed > 0 || dropped > 0) {
+    rows_committed_.fetch_add(committed, std::memory_order_relaxed);
+    rows_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    metrics.rows_committed.add(committed);
+    metrics.rows_dropped.add(dropped);
+    metrics.flushes.add(1);
+    metrics.flush_us.record(util::SteadyClock::shared()->now_us() - begin_us);
+  }
+  return committed;
+}
+
+void StoreCommitter::run_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_for(lock, options_.flush_interval, [this] { return wakeup_ || stop_; });
+      wakeup_ = false;
+      if (stop_) return;  // flush_and_stop() runs the final drain itself
+    }
+    drain_round();
+  }
+}
+
+std::size_t StoreCommitter::flush() { return drain_round(); }
+
+std::size_t StoreCommitter::flush_and_stop() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  return drain_round();
+}
+
+}  // namespace hammer::core

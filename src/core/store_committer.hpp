@@ -1,0 +1,112 @@
+// Write-behind committer: the background half of the cache → table-store
+// pipeline (paper Fig. 2, Redis → MySQL). Producers write records into the
+// sharded kvstore and mark them dirty; this committer drains the per-shard
+// dirty sets on a background thread and lands them in minisql as batched
+// multi-row inserts.
+//
+// Flush policy:
+//   - flush-on-interval: the thread wakes every `flush_interval` and drains
+//     whatever is dirty
+//   - flush-on-size: producers call notify() once the dirty backlog reaches
+//     `batch_size`, waking the thread early
+//   - every drained row is committed in the same round (chunked into
+//     `batch_size`-row inserts) — nothing sits in a committer-private buffer,
+//     so the only data at risk is what the bounded dirty sets hold, and
+//     flush_and_stop() drains exactly that
+//
+// Backpressure: the dirty sets are bounded per shard. When a producer's mark
+// is refused the row is dropped and counted (hammer_store_rows_dropped_total)
+// rather than blocking the driving path — the run report stays honest about
+// the loss instead of the driver stalling on its own measurement plumbing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.hpp"
+#include "minisql/database.hpp"
+#include "util/clock.hpp"
+
+namespace hammer::core {
+
+class StoreCommitter {
+ public:
+  struct Options {
+    // Rows per multi-row insert; also the backlog level at which producers
+    // should notify() for an early flush.
+    std::size_t batch_size = 256;
+    // Background flush cadence when the backlog stays under batch_size.
+    util::Duration flush_interval = std::chrono::milliseconds(50);
+    std::string table = "Performance";
+  };
+
+  // Builds one table row from a drained cache record. Returning nullopt
+  // skips (and counts as dropped) a record that cannot be represented.
+  using RowBuilder = std::function<std::optional<std::vector<minisql::Cell>>(
+      const std::string& key, const kvstore::Hash& fields)>;
+
+  StoreCommitter(std::shared_ptr<kvstore::KvStore> cache,
+                 std::shared_ptr<minisql::Database> db, RowBuilder builder,
+                 Options options);
+  ~StoreCommitter();  // flush_and_stop()
+
+  StoreCommitter(const StoreCommitter&) = delete;
+  StoreCommitter& operator=(const StoreCommitter&) = delete;
+
+  // Spawns the background thread. Without start() the committer still works
+  // synchronously through flush() — tests drive it deterministically that way.
+  void start();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Producer hint that the dirty backlog reached batch_size: wakes the
+  // background thread without waiting out the interval.
+  void notify();
+
+  // Synchronous drain on the caller's thread: empties every dirty set into
+  // batched inserts and sweeps expired cache entries. Returns rows committed.
+  std::size_t flush();
+
+  // Graceful end-of-run drain: stops the background thread (if any), then
+  // flushes every remaining dirty row. Idempotent; returns the rows
+  // committed by the final flush.
+  std::size_t flush_and_stop();
+
+  std::uint64_t rows_committed() const {
+    return rows_committed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rows_dropped() const {
+    return rows_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  void run_loop();
+  std::size_t drain_round();
+
+  std::shared_ptr<kvstore::KvStore> cache_;
+  std::shared_ptr<minisql::Database> db_;
+  RowBuilder builder_;
+  Options options_;
+
+  std::mutex mu_;  // guards the wake flags only — producers never wait on a drain
+  std::condition_variable cv_;
+  bool wakeup_ = false;  // guarded by mu_
+  bool stop_ = false;    // guarded by mu_
+  std::mutex drain_mu_;  // serializes drain rounds (background thread vs flush())
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::uint64_t> rows_committed_{0};
+  std::atomic<std::uint64_t> rows_dropped_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace hammer::core

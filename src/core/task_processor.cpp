@@ -99,6 +99,7 @@ void TaskProcessor::apply_receipt_locked(const chain::TxReceipt& receipt,
   record.completed = true;
   ++completed_;
   ++outcome.matched;
+  if (options_.track_completions) newly_completed_.push_back(*position);
   if (options_.tracer != nullptr && options_.tracer->sampled(record.ordinal)) {
     options_.tracer->record(record.ordinal, telemetry::Stage::kIncluded,
                             include_us >= 0 ? include_us : block_time_us);
@@ -159,6 +160,7 @@ void TaskProcessor::mark_rejected(std::size_t position, std::int64_t end_us) {
   record.status = chain::TxStatus::kInvalid;
   record.completed = true;
   ++completed_;
+  if (options_.track_completions) newly_completed_.push_back(position);
 }
 
 std::size_t TaskProcessor::total_registered() const {
@@ -174,6 +176,15 @@ std::size_t TaskProcessor::pending_count() const {
 std::vector<TxRecord> TaskProcessor::snapshot() const {
   std::scoped_lock lock(mu_);
   return records_;
+}
+
+std::size_t TaskProcessor::drain_newly_completed(std::vector<TxRecord>& out) {
+  std::scoped_lock lock(mu_);
+  std::size_t count = newly_completed_.size();
+  out.reserve(out.size() + count);
+  for (std::size_t position : newly_completed_) out.push_back(records_[position]);
+  newly_completed_.clear();
+  return count;
 }
 
 std::uint64_t TaskProcessor::index_probe_steps() const {
@@ -263,6 +274,12 @@ std::vector<TxRecord> ShardedTaskProcessor::snapshot() const {
                std::make_move_iterator(records.end()));
   }
   return all;
+}
+
+std::size_t ShardedTaskProcessor::drain_newly_completed(std::vector<TxRecord>& out) {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->drain_newly_completed(out);
+  return total;
 }
 
 std::uint64_t ShardedTaskProcessor::index_probe_steps() const {

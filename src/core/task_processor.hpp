@@ -58,6 +58,11 @@ class TaskProcessor {
     // Optional lifecycle tracer: matched records emit included/detected
     // events for sampled ordinals. Not owned; must outlive the processor.
     telemetry::TxTracer* tracer = nullptr;
+    // Record completion positions as they happen so pollers can stream
+    // finished records out mid-run via drain_newly_completed() — the feed
+    // for the write-behind metrics path. Off by default: non-streaming
+    // runs shouldn't pay the extra bookkeeping.
+    bool track_completions = false;
   };
 
   explicit TaskProcessor(Options options);
@@ -102,6 +107,11 @@ class TaskProcessor {
   // Snapshot of the vector list (copy; call after the run for metrics).
   std::vector<TxRecord> snapshot() const;
 
+  // Appends a copy of every record completed since the last call to `out`
+  // and clears the set. Only populated when Options::track_completions is
+  // set. Returns the number of records appended.
+  std::size_t drain_newly_completed(std::vector<TxRecord>& out);
+
   // Index health metrics for the ablation benches.
   std::uint64_t index_probe_steps() const;
   std::uint64_t index_expansions() const;
@@ -119,6 +129,7 @@ class TaskProcessor {
   HashIndex index_;
   BloomFilter bloom_;
   std::size_t completed_ = 0;
+  std::vector<std::size_t> newly_completed_;  // positions since last drain
 };
 
 // K independent TaskProcessor shards keyed by tx-id hash. Registration and
@@ -154,6 +165,9 @@ class ShardedTaskProcessor {
   std::size_t total_registered() const;
   std::size_t pending_count() const;
   std::vector<TxRecord> snapshot() const;  // all shards, concatenated
+
+  // Drains every shard's newly-completed set (see TaskProcessor).
+  std::size_t drain_newly_completed(std::vector<TxRecord>& out);
 
   // Merged index-health diagnostics (sums; bloom_fill is the mean).
   std::uint64_t index_probe_steps() const;

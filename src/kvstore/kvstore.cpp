@@ -24,13 +24,18 @@ const T& as_type(const std::variant<std::string, Hash, List>& v, const char* op)
 }
 }  // namespace
 
-KvStore::KvStore(std::shared_ptr<util::Clock> clock, std::size_t num_shards)
-    : clock_(std::move(clock)) {
+KvStore::KvStore(std::shared_ptr<util::Clock> clock, Options options)
+    : clock_(std::move(clock)), options_(options) {
   HAMMER_CHECK(clock_ != nullptr);
-  HAMMER_CHECK(num_shards > 0);
-  shards_.reserve(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  HAMMER_CHECK(options_.num_shards > 0);
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
+
+KvStore::KvStore(std::shared_ptr<util::Clock> clock, std::size_t num_shards)
+    : KvStore(std::move(clock), Options{.num_shards = num_shards}) {}
 
 KvStore::Shard& KvStore::shard_for(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
@@ -42,6 +47,12 @@ const KvStore::Shard& KvStore::shard_for(const std::string& key) const {
 
 bool KvStore::expired(const Entry& entry) const {
   return entry.expires_at.has_value() && clock_->now() >= *entry.expires_at;
+}
+
+void KvStore::charge_op_cost() const {
+  if (options_.op_cost_us > 0) {
+    clock_->sleep_for(std::chrono::microseconds(options_.op_cost_us));
+  }
 }
 
 KvStore::Entry* KvStore::find_live(Shard& shard, const std::string& key) const {
@@ -57,7 +68,8 @@ KvStore::Entry* KvStore::find_live(Shard& shard, const std::string& key) const {
 void KvStore::set(const std::string& key, std::string value) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
-  shard.map[key] = Entry{std::move(value), std::nullopt};
+  charge_op_cost();
+  shard.map[key] = Entry{std::move(value), std::nullopt, false};
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) const {
@@ -71,9 +83,10 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
 std::int64_t KvStore::incr_by(const std::string& key, std::int64_t delta) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
+  charge_op_cost();
   Entry* entry = find_live(shard, key);
   if (!entry) {
-    shard.map[key] = Entry{std::to_string(delta), std::nullopt};
+    shard.map[key] = Entry{std::to_string(delta), std::nullopt, false};
     return delta;
   }
   auto& str = as_type<std::string>(entry->value, "INCRBY");
@@ -90,17 +103,57 @@ std::int64_t KvStore::incr_by(const std::string& key, std::int64_t delta) {
 bool KvStore::hset(const std::string& key, const std::string& field, std::string value) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
+  charge_op_cost();
   Entry* entry = find_live(shard, key);
   if (!entry) {
     Hash h;
     h.emplace(field, std::move(value));
-    shard.map[key] = Entry{std::move(h), std::nullopt};
+    shard.map[key] = Entry{std::move(h), std::nullopt, false};
     return true;
   }
   auto& h = as_type<Hash>(entry->value, "HSET");
   auto [it, inserted] = h.insert_or_assign(field, std::move(value));
   (void)it;
   return inserted;
+}
+
+bool KvStore::mark_dirty_locked(Shard& shard, const std::string& key, Entry& entry) {
+  if (entry.dirty) return true;
+  if (shard.dirty.size() >= options_.dirty_capacity_per_shard) return false;
+  shard.dirty.push_back(key);
+  entry.dirty = true;
+  dirty_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+KvStore::HsetManyResult KvStore::hset_many(
+    const std::string& key, std::span<const std::pair<std::string, std::string>> fields,
+    bool mark_dirty, util::Duration ttl) {
+  Shard& shard = shard_for(key);
+  std::scoped_lock lock(shard.mu);
+  charge_op_cost();
+  Entry* entry = find_live(shard, key);
+  if (!entry) {
+    auto [it, inserted] = shard.map.emplace(key, Entry{Hash{}, std::nullopt, false});
+    (void)inserted;
+    entry = &it->second;
+  }
+  auto& h = as_type<Hash>(entry->value, "HSET");
+  HsetManyResult result;
+  for (const auto& [field, value] : fields) {
+    auto [it, inserted] = h.insert_or_assign(field, value);
+    (void)it;
+    if (inserted) ++result.created;
+  }
+  if (ttl > util::Duration::zero()) entry->expires_at = clock_->now() + ttl;
+  if (mark_dirty) {
+    // A record bound for the table store must not age out before the drain
+    // (it may have been cached earlier, incomplete, with a pending TTL).
+    entry->expires_at.reset();
+    result.dirty_marked = mark_dirty_locked(shard, key, *entry);
+    result.dirty_dropped = !result.dirty_marked;
+  }
+  return result;
 }
 
 std::optional<std::string> KvStore::hget(const std::string& key, const std::string& field) const {
@@ -133,11 +186,12 @@ std::size_t KvStore::hlen(const std::string& key) const {
 std::size_t KvStore::rpush(const std::string& key, std::string value) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
+  charge_op_cost();
   Entry* entry = find_live(shard, key);
   if (!entry) {
     List l;
     l.push_back(std::move(value));
-    shard.map[key] = Entry{std::move(l), std::nullopt};
+    shard.map[key] = Entry{std::move(l), std::nullopt, false};
     return 1;
   }
   auto& l = as_type<List>(entry->value, "RPUSH");
@@ -171,6 +225,7 @@ std::size_t KvStore::llen(const std::string& key) const {
 bool KvStore::del(const std::string& key) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
+  charge_op_cost();
   return shard.map.erase(key) > 0;
 }
 
@@ -183,6 +238,7 @@ bool KvStore::exists(const std::string& key) const {
 bool KvStore::expire(const std::string& key, util::Duration ttl) {
   Shard& shard = shard_for(key);
   std::scoped_lock lock(shard.mu);
+  charge_op_cost();
   Entry* entry = find_live(shard, key);
   if (!entry) return false;
   entry->expires_at = clock_->now() + ttl;
@@ -198,6 +254,57 @@ std::size_t KvStore::size() const {
     }
   }
   return total;
+}
+
+bool KvStore::mark_dirty(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::scoped_lock lock(shard.mu);
+  Entry* entry = find_live(shard, key);
+  if (!entry) return false;
+  return mark_dirty_locked(shard, key, *entry);
+}
+
+std::size_t KvStore::drain_dirty(
+    const std::function<void(const std::string& key, const Hash& fields)>& fn) {
+  std::size_t drained = 0;
+  for (const auto& shard : shards_) {
+    std::vector<std::string> batch;
+    {
+      std::scoped_lock lock(shard->mu);
+      if (shard->dirty.empty()) continue;
+      charge_op_cost();  // one pipelined HGETALL+DEL round per shard batch
+      batch.swap(shard->dirty);
+      dirty_count_.fetch_sub(batch.size(), std::memory_order_relaxed);
+      for (const std::string& key : batch) {
+        Entry* entry = find_live(*shard, key);
+        // A dirty key may have been deleted or expired since it was marked;
+        // those rows were evicted, not committed, and are simply skipped.
+        if (!entry || !entry->dirty) continue;
+        if (const auto* h = std::get_if<Hash>(&entry->value)) {
+          fn(key, *h);
+          ++drained;
+        }
+        shard->map.erase(key);
+      }
+    }
+  }
+  return drained;
+}
+
+std::size_t KvStore::evict_expired() {
+  std::size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (expired(it->second)) {
+        it = shard->map.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
 }
 
 std::vector<KvStore::Reply> KvStore::pipeline(const std::vector<Command>& commands) {

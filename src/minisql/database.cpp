@@ -1,5 +1,6 @@
 #include "minisql/database.hpp"
 
+#include <mutex>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -40,7 +41,7 @@ std::size_t Table::column_index(const std::string& name) const {
   return it->second;
 }
 
-void Table::insert(std::vector<Cell> row) {
+void Table::validate(std::vector<Cell>& row) const {
   HAMMER_CHECK_MSG(row.size() == columns_.size(),
                    "row arity " + std::to_string(row.size()) + " != schema arity " +
                        std::to_string(columns_.size()));
@@ -67,12 +68,55 @@ void Table::insert(std::vector<Cell> row) {
         break;
     }
   }
+}
+
+void Table::index_row(std::size_t position) {
+  for (auto& [column, buckets] : indexes_) {
+    buckets[cell_to_string(rows_[position][column])].push_back(position);
+  }
+}
+
+void Table::insert(std::vector<Cell> row) {
+  validate(row);
   rows_.push_back(std::move(row));
+  index_row(rows_.size() - 1);
+}
+
+void Table::insert_batch(std::vector<std::vector<Cell>> rows) {
+  for (auto& row : rows) validate(row);
+  for (auto& row : rows) {
+    rows_.push_back(std::move(row));
+    index_row(rows_.size() - 1);
+  }
+}
+
+void Table::create_index(const std::string& column_name) {
+  std::size_t column = column_index(column_name);
+  if (columns_[column].type == ColumnType::kDouble) {
+    throw LogicError("hash index on DOUBLE column " + columns_[column].name +
+                     " (equality is not exact)");
+  }
+  auto [it, inserted] = indexes_.try_emplace(column);
+  if (!inserted) return;  // already indexed
+  for (std::size_t pos = 0; pos < rows_.size(); ++pos) {
+    it->second[cell_to_string(rows_[pos][column])].push_back(pos);
+  }
+}
+
+const std::vector<std::size_t>* Table::index_lookup(std::size_t column, const Cell& key) const {
+  auto idx = indexes_.find(column);
+  HAMMER_CHECK_MSG(idx != indexes_.end(), "index_lookup on unindexed column");
+  auto it = idx->second.find(cell_to_string(key));
+  if (it == idx->second.end()) return nullptr;
+  return &it->second;
 }
 
 std::size_t Table::row_count() const { return rows_.size(); }
 
-void Table::truncate() { rows_.clear(); }
+void Table::truncate() {
+  rows_.clear();
+  for (auto& [column, buckets] : indexes_) buckets.clear();
+}
 
 std::string ResultSet::to_csv() const {
   std::ostringstream os;
@@ -92,7 +136,7 @@ std::string ResultSet::to_csv() const {
 }
 
 Table& Database::create_table(const std::string& name, std::vector<Column> columns) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   std::string key = util::to_upper(name);
   auto [it, inserted] =
       tables_.emplace(key, std::make_unique<Table>(name, std::move(columns)));
@@ -113,12 +157,25 @@ const Table& Database::table(const std::string& name) const {
 }
 
 bool Database::has_table(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return tables_.count(util::to_upper(name)) > 0;
 }
 
 void Database::insert(const std::string& table_name, std::vector<Cell> row) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   table(table_name).insert(std::move(row));
+}
+
+void Database::insert_batch(const std::string& table_name,
+                            std::vector<std::vector<Cell>> rows) {
+  if (rows.empty()) return;
+  std::unique_lock lock(mu_);
+  table(table_name).insert_batch(std::move(rows));
+}
+
+void Database::create_index(const std::string& table_name, const std::string& column_name) {
+  std::unique_lock lock(mu_);
+  table(table_name).create_index(column_name);
 }
 
 }  // namespace hammer::minisql

@@ -6,13 +6,22 @@
 // Timestamps are stored as INT columns holding microseconds since the run
 // epoch; TIMESTAMPDIFF(unit, a, b) operates on them like MySQL's does on
 // DATETIME columns.
+//
+// Built for cluster-rate ingestion: the write-behind committer appends
+// batched multi-row inserts under a writer lock while report queries run
+// under shared reader locks; tables may declare hash indexes on key
+// columns, and the executor pushes equality predicates down into them so
+// point lookups stop scanning whole tables.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -47,20 +56,36 @@ class Table {
   // schema (ints are accepted into double columns).
   void insert(std::vector<Cell> row);
 
+  // Multi-row insert: every row is validated first, then all are appended —
+  // a bad row rejects the whole batch instead of leaving half of it behind
+  // (the committer's no-partial-flush guarantee).
+  void insert_batch(std::vector<std::vector<Cell>> rows);
+
+  // Declares a hash index on an INT or TEXT column (DOUBLE equality is not
+  // exact, so indexing it is refused with LogicError). Existing rows are
+  // indexed immediately; idempotent for an already-indexed column.
+  void create_index(const std::string& column_name);
+  bool has_index(std::size_t column) const { return indexes_.count(column) > 0; }
+  // Row positions whose `column` equals `key`, nullptr when the index holds
+  // no such key. Only valid for indexed columns.
+  const std::vector<std::size_t>* index_lookup(std::size_t column, const Cell& key) const;
+
   std::size_t row_count() const;
   const std::vector<std::vector<Cell>>& rows() const { return rows_; }
   void truncate();
 
  private:
+  void validate(std::vector<Cell>& row) const;
+  void index_row(std::size_t position);
+
   std::string name_;
   std::vector<Column> columns_;
   std::map<std::string, std::size_t> index_by_name_;  // lower-cased name
   std::vector<std::vector<Cell>> rows_;
+  // column index -> (canonical cell string -> row positions, insert order)
+  std::map<std::size_t, std::unordered_map<std::string, std::vector<std::size_t>>> indexes_;
 };
 
-// A named collection of tables with a query entry point. Thread-safety:
-// the committer inserts while report code queries, so the database holds a
-// coarse mutex (query volume is tiny compared to inserts).
 struct ResultSet {
   std::vector<std::string> column_names;
   std::vector<std::vector<Cell>> rows;
@@ -68,6 +93,19 @@ struct ResultSet {
   std::string to_csv() const;
 };
 
+// Per-query execution diagnostics, filled when the caller passes a stats
+// out-param: how much work the executor actually did. The unit tests pin
+// the index-pushdown and aggregate-short-circuit behaviour through this.
+struct QueryStats {
+  std::uint64_t rows_scanned = 0;       // rows evaluated against WHERE
+  std::uint64_t rows_materialized = 0;  // output rows copied into a ResultSet
+  bool used_index = false;              // equality predicate served by a hash index
+  bool aggregate_short_circuit = false; // aggregates folded without buffering rows
+};
+
+// A named collection of tables with a query entry point. Thread-safety: the
+// write-behind committer batch-inserts while report code queries, so the
+// database holds a reader-writer lock — queries share, inserts exclude.
 class Database {
  public:
   Table& create_table(const std::string& name, std::vector<Column> columns);
@@ -77,14 +115,29 @@ class Database {
 
   void insert(const std::string& table_name, std::vector<Cell> row);
 
-  // Executes one SELECT statement (see parser.hpp for the grammar).
-  ResultSet query(const std::string& sql) const;
+  // One writer-lock acquisition for the whole batch — the committer's
+  // amortized flush path.
+  void insert_batch(const std::string& table_name, std::vector<std::vector<Cell>> rows);
 
-  // Serializes inserts/queries from multiple threads.
-  std::mutex& mutex() const { return mu_; }
+  // Declares a hash index under the writer lock (see Table::create_index).
+  void create_index(const std::string& table_name, const std::string& column_name);
+
+  // Executes one SELECT statement (see parser.hpp for the grammar) under a
+  // shared reader lock. `stats`, when non-null, receives the execution
+  // diagnostics for this query.
+  ResultSet query(const std::string& sql, QueryStats* stats = nullptr) const;
+
+  // Streaming flavour: each output row is handed to `fn` as it is produced
+  // — no ResultSet materialization, so report-building scans do not copy
+  // whole tables. The span is only valid during the call. Aggregate and
+  // ORDER BY statements need the full set anyway and are rejected with
+  // LogicError; LIMIT stops the scan early.
+  void query_stream(const std::string& sql,
+                    const std::function<void(std::span<const Cell> row)>& fn,
+                    QueryStats* stats = nullptr) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-cased name
 };
 

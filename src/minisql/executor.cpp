@@ -6,11 +6,20 @@
 //   - mixed string/number comparisons coerce the string to a number when it
 //     parses (so STATUS = '1' works on either column type)
 //   - with aggregates and no GROUP BY, the whole filtered set is one group
+//
+// Two access-path optimizations keep report queries cheap at cluster rate:
+//   - equality-predicate pushdown: a top-level `col = literal` conjunct over
+//     an indexed column restricts the scan to the index bucket (the full
+//     WHERE still re-runs on each candidate, so NULL/coercion semantics are
+//     untouched)
+//   - aggregate short-circuit: aggregates without GROUP BY fold row by row
+//     and never buffer the filtered set
 #include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 
 #include "minisql/database.hpp"
 #include "minisql/parser.hpp"
@@ -225,6 +234,92 @@ class GroupEvaluator {
   const std::vector<const std::vector<Cell>*>& rows_;
 };
 
+// Streaming replacement for GroupEvaluator in the no-GROUP-BY case: each
+// aggregate leaf carries running state fed one row at a time, and finish()
+// reproduces GroupEvaluator's results without the buffered row set.
+class StreamingAggregator {
+ public:
+  StreamingAggregator(const Table& table, const std::vector<const Expr*>& select_exprs)
+      : table_(table) {
+    for (const Expr* e : select_exprs) collect(*e);
+  }
+
+  void accumulate(const std::vector<Cell>& row) {
+    ++row_count_;
+    if (first_row_.empty() && !row.empty()) first_row_ = row;
+    RowEvaluator re(table_, row);
+    for (auto& [node, state] : states_) {
+      if (node->kind == ExprKind::kCountStar) continue;  // row_count_ covers it
+      Cell v = re.eval(*node->children[0]);
+      auto num = cell_numeric(v);
+      if (!num) continue;  // NULLs are skipped by SQL aggregates
+      ++state.n;
+      state.sum += *num;
+      if (!state.best) {
+        state.best = *num;
+      } else {
+        state.best =
+            node->agg == AggFunc::kMin ? std::min(*state.best, *num) : std::max(*state.best, *num);
+      }
+    }
+  }
+
+  Cell finish(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kCountStar:
+        return static_cast<std::int64_t>(row_count_);
+      case ExprKind::kAggregate: {
+        const AggState& state = states_.at(&e);
+        if (state.n == 0) return Cell{};
+        switch (e.agg) {
+          case AggFunc::kAvg: return state.sum / static_cast<double>(state.n);
+          case AggFunc::kSum: return state.sum;
+          case AggFunc::kMin:
+          case AggFunc::kMax: return *state.best;
+        }
+        return Cell{};
+      }
+      default: {
+        if (e.kind == ExprKind::kBinary && e.contains_aggregate()) {
+          Cell lhs = finish(*e.children[0]);
+          Cell rhs = finish(*e.children[1]);
+          switch (e.op) {
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+            case BinaryOp::kMul:
+            case BinaryOp::kDiv:
+              return arith(e.op, lhs, rhs);
+            default:
+              break;
+          }
+        }
+        if (first_row_.empty()) return Cell{};
+        return RowEvaluator(table_, first_row_).eval(e);
+      }
+    }
+  }
+
+ private:
+  struct AggState {
+    std::size_t n = 0;
+    double sum = 0.0;
+    std::optional<double> best;
+  };
+
+  void collect(const Expr& e) {
+    if (e.kind == ExprKind::kCountStar || e.kind == ExprKind::kAggregate) {
+      states_.emplace(&e, AggState{});
+      return;  // aggregates do not nest
+    }
+    for (const auto& child : e.children) collect(*child);
+  }
+
+  const Table& table_;
+  std::map<const Expr*, AggState> states_;
+  std::size_t row_count_ = 0;
+  std::vector<Cell> first_row_;
+};
+
 std::string item_output_name(const SelectItem& item, std::size_t index) {
   if (!item.alias.empty()) return item.alias;
   if (item.expr && item.expr->kind == ExprKind::kColumnRef) return item.expr->text;
@@ -232,18 +327,12 @@ std::string item_output_name(const SelectItem& item, std::size_t index) {
   return "EXPR" + std::to_string(index + 1);
 }
 
-}  // namespace
-
-ResultSet Database::query(const std::string& sql) const {
-  SelectStatement stmt = parse_select(sql);
-  std::scoped_lock lock(mu_);
-  const Table& tbl = table(stmt.table);
-
-  ResultSet result;
-
-  // Expand the select list (star -> all columns).
-  std::vector<const Expr*> exprs;
-  std::vector<std::unique_ptr<Expr>> owned;
+// Expands the select list (star -> all columns) into expression pointers and
+// output column names. Star expansions are owned by `owned`.
+void expand_select_list(const SelectStatement& stmt, const Table& tbl,
+                        std::vector<const Expr*>& exprs,
+                        std::vector<std::unique_ptr<Expr>>& owned,
+                        std::vector<std::string>& column_names) {
   for (std::size_t i = 0; i < stmt.items.size(); ++i) {
     const SelectItem& item = stmt.items[i];
     if (item.star) {
@@ -251,46 +340,128 @@ ResultSet Database::query(const std::string& sql) const {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kColumnRef;
         e->text = col.name;
-        result.column_names.push_back(col.name);
+        column_names.push_back(col.name);
         exprs.push_back(e.get());
         owned.push_back(std::move(e));
       }
     } else {
       // Unaliased column refs display with the schema's declared case.
       if (item.alias.empty() && item.expr->kind == ExprKind::kColumnRef) {
-        result.column_names.push_back(tbl.columns()[tbl.column_index(item.expr->text)].name);
+        column_names.push_back(tbl.columns()[tbl.column_index(item.expr->text)].name);
       } else {
-        result.column_names.push_back(item_output_name(item, i));
+        column_names.push_back(item_output_name(item, i));
       }
       exprs.push_back(item.expr.get());
     }
   }
+}
 
-  // Filter.
-  std::vector<const std::vector<Cell>*> filtered;
-  filtered.reserve(tbl.rows().size());
-  for (const auto& row : tbl.rows()) {
-    if (!stmt.where || truthy(RowEvaluator(tbl, row).eval(*stmt.where))) {
-      filtered.push_back(&row);
-    }
+// An equality conjunct eligible for index pushdown: `column = literal` (either
+// order) where the literal's type matches the column exactly — TEXT against a
+// string literal, INT against an int literal. Exact-match-only keeps MySQL's
+// numeric-coercion semantics out of the index (e.g. INT col = '1' or
+// DOUBLE comparisons still take the scan path).
+struct IndexProbe {
+  std::size_t column;
+  Cell key;
+};
+
+std::optional<IndexProbe> probe_from_conjunct(const Table& tbl, const Expr& e) {
+  if (e.kind != ExprKind::kBinary || e.op != BinaryOp::kEq) return std::nullopt;
+  const Expr* col = e.children[0].get();
+  const Expr* lit = e.children[1].get();
+  if (col->kind != ExprKind::kColumnRef) std::swap(col, lit);
+  if (col->kind != ExprKind::kColumnRef) return std::nullopt;
+  std::size_t index = tbl.column_index(col->text);
+  if (!tbl.has_index(index)) return std::nullopt;
+  ColumnType type = tbl.columns()[index].type;
+  if (type == ColumnType::kText && lit->kind == ExprKind::kStringLiteral) {
+    return IndexProbe{index, Cell{lit->text}};
   }
+  if (type == ColumnType::kInt && lit->kind == ExprKind::kIntLiteral) {
+    return IndexProbe{index, Cell{lit->int_value}};
+  }
+  return std::nullopt;
+}
+
+// Searches the top-level AND conjuncts of the WHERE clause for an indexable
+// equality predicate.
+std::optional<IndexProbe> find_index_probe(const Table& tbl, const Expr* where) {
+  if (!where) return std::nullopt;
+  if (where->kind == ExprKind::kBinary && where->op == BinaryOp::kAnd) {
+    if (auto probe = find_index_probe(tbl, where->children[0].get())) return probe;
+    return find_index_probe(tbl, where->children[1].get());
+  }
+  return probe_from_conjunct(tbl, *where);
+}
+
+// Drives rows through the WHERE clause — via an index bucket when a probe is
+// available, else a full scan — invoking fn for each passing row until fn
+// returns false. The full WHERE re-runs on index candidates, so pushdown can
+// never change which rows match.
+void for_each_matching(const Table& tbl, const Expr* where, QueryStats& stats,
+                       const std::function<bool(const std::vector<Cell>&)>& fn) {
+  auto matches = [&](const std::vector<Cell>& row) {
+    ++stats.rows_scanned;
+    return !where || truthy(RowEvaluator(tbl, row).eval(*where));
+  };
+  if (auto probe = find_index_probe(tbl, where)) {
+    stats.used_index = true;
+    const auto* positions = tbl.index_lookup(probe->column, probe->key);
+    if (!positions) return;
+    for (std::size_t pos : *positions) {
+      const auto& row = tbl.rows()[pos];
+      if (matches(row) && !fn(row)) return;
+    }
+    return;
+  }
+  for (const auto& row : tbl.rows()) {
+    if (matches(row) && !fn(row)) return;
+  }
+}
+
+}  // namespace
+
+ResultSet Database::query(const std::string& sql, QueryStats* stats) const {
+  SelectStatement stmt = parse_select(sql);
+  std::shared_lock lock(mu_);
+  const Table& tbl = table(stmt.table);
+  QueryStats local;
+
+  ResultSet result;
+  std::vector<const Expr*> exprs;
+  std::vector<std::unique_ptr<Expr>> owned;
+  expand_select_list(stmt, tbl, exprs, owned, result.column_names);
 
   bool aggregate_mode = stmt.group_by != nullptr;
   for (const Expr* e : exprs) {
     if (e->contains_aggregate()) aggregate_mode = true;
   }
 
-  if (aggregate_mode) {
-    // Group rows by the (stringified) GROUP BY key; a missing GROUP BY
-    // makes a single group.
+  if (aggregate_mode && !stmt.group_by) {
+    // One implicit group: fold the aggregates row by row, never buffering
+    // the filtered set.
+    local.aggregate_short_circuit = true;
+    StreamingAggregator agg(tbl, exprs);
+    for_each_matching(tbl, stmt.where.get(), local, [&](const std::vector<Cell>& row) {
+      agg.accumulate(row);
+      return true;
+    });
+    std::vector<Cell> out;
+    out.reserve(exprs.size());
+    for (const Expr* e : exprs) out.push_back(agg.finish(*e));
+    result.rows.push_back(std::move(out));
+  } else if (aggregate_mode) {
+    // Group rows by the (stringified) GROUP BY key.
+    std::vector<const std::vector<Cell>*> filtered;
+    for_each_matching(tbl, stmt.where.get(), local, [&](const std::vector<Cell>& row) {
+      filtered.push_back(&row);
+      return true;
+    });
     std::map<std::string, std::vector<const std::vector<Cell>*>> groups;
-    if (stmt.group_by) {
-      for (const auto* row : filtered) {
-        Cell key = RowEvaluator(tbl, *row).eval(*stmt.group_by);
-        groups[cell_to_string(key)].push_back(row);
-      }
-    } else {
-      groups[""] = filtered;
+    for (const auto* row : filtered) {
+      Cell key = RowEvaluator(tbl, *row).eval(*stmt.group_by);
+      groups[cell_to_string(key)].push_back(row);
     }
     for (const auto& [key, rows] : groups) {
       (void)key;
@@ -301,13 +472,14 @@ ResultSet Database::query(const std::string& sql) const {
       result.rows.push_back(std::move(out));
     }
   } else {
-    for (const auto* row : filtered) {
-      RowEvaluator re(tbl, *row);
+    for_each_matching(tbl, stmt.where.get(), local, [&](const std::vector<Cell>& row) {
+      RowEvaluator re(tbl, row);
       std::vector<Cell> out;
       out.reserve(exprs.size());
       for (const Expr* e : exprs) out.push_back(re.eval(*e));
       result.rows.push_back(std::move(out));
-    }
+      return true;
+    });
   }
 
   if (stmt.order_by) {
@@ -339,7 +511,43 @@ ResultSet Database::query(const std::string& sql) const {
   if (stmt.limit >= 0 && result.rows.size() > static_cast<std::size_t>(stmt.limit)) {
     result.rows.resize(static_cast<std::size_t>(stmt.limit));
   }
+  local.rows_materialized = result.rows.size();
+  if (stats) *stats = local;
   return result;
+}
+
+void Database::query_stream(const std::string& sql,
+                            const std::function<void(std::span<const Cell> row)>& fn,
+                            QueryStats* stats) const {
+  SelectStatement stmt = parse_select(sql);
+  if (stmt.group_by) throw LogicError("query_stream does not support GROUP BY");
+  if (stmt.order_by) throw LogicError("query_stream does not support ORDER BY");
+
+  std::shared_lock lock(mu_);
+  const Table& tbl = table(stmt.table);
+  QueryStats local;
+
+  std::vector<std::string> column_names;
+  std::vector<const Expr*> exprs;
+  std::vector<std::unique_ptr<Expr>> owned;
+  expand_select_list(stmt, tbl, exprs, owned, column_names);
+  for (const Expr* e : exprs) {
+    if (e->contains_aggregate()) {
+      throw LogicError("query_stream does not support aggregates");
+    }
+  }
+
+  std::size_t emitted = 0;
+  std::vector<Cell> out(exprs.size());
+  for_each_matching(tbl, stmt.where.get(), local, [&](const std::vector<Cell>& row) {
+    RowEvaluator re(tbl, row);
+    for (std::size_t i = 0; i < exprs.size(); ++i) out[i] = re.eval(*exprs[i]);
+    fn(std::span<const Cell>(out.data(), out.size()));
+    ++emitted;
+    return stmt.limit < 0 || emitted < static_cast<std::size_t>(stmt.limit);
+  });
+  local.rows_materialized = emitted;
+  if (stats) *stats = local;
 }
 
 }  // namespace hammer::minisql

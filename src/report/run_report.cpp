@@ -15,21 +15,21 @@ RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::stri
   report.table2_tps = metrics.query_tps();
 
   // Latency distribution + per-second timeline from the Table II latency
-  // statement (status filter applied on top).
-  minisql::ResultSet latencies = metrics.database()->query(
-      "SELECT start_time, TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency "
-      "FROM Performance WHERE status = '1'");
+  // statement (status filter applied on top). Streamed: at cluster rate the
+  // Performance table is large, and this scan needs one pass, not a copy.
   util::Histogram hist;
   std::int64_t min_start = INT64_MAX;
   std::vector<std::int64_t> starts;
-  starts.reserve(latencies.rows.size());
-  for (const auto& row : latencies.rows) {
-    std::int64_t start = std::get<std::int64_t>(row[0]);
-    std::int64_t latency_ms = std::get<std::int64_t>(row[1]);
-    hist.record(latency_ms * 1000);
-    starts.push_back(start);
-    min_start = std::min(min_start, start);
-  }
+  metrics.database()->query_stream(
+      "SELECT start_time, TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency "
+      "FROM Performance WHERE status = '1'",
+      [&](std::span<const minisql::Cell> row) {
+        std::int64_t start = std::get<std::int64_t>(row[0]);
+        std::int64_t latency_ms = std::get<std::int64_t>(row[1]);
+        hist.record(latency_ms * 1000);
+        starts.push_back(start);
+        min_start = std::min(min_start, start);
+      });
   if (!starts.empty()) {
     std::int64_t max_start = *std::max_element(starts.begin(), starts.end());
     auto seconds = static_cast<std::size_t>((max_start - min_start) / 1000000 + 1);

@@ -1,0 +1,190 @@
+// Executor access-path pins: aggregate short-circuit (no row
+// materialization for COUNT(*)-style queries), hash-index equality
+// pushdown, batched inserts and streaming scans.
+#include <gtest/gtest.h>
+
+#include "minisql/database.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::minisql {
+namespace {
+
+class QueryPlanTest : public ::testing::Test {
+ protected:
+  QueryPlanTest() {
+    db_.create_table("Performance", {{"tx_id", ColumnType::kText},
+                                     {"status", ColumnType::kText},
+                                     {"start_time", ColumnType::kInt},
+                                     {"end_time", ColumnType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    for (std::int64_t i = 0; i < 100; ++i) {
+      rows.push_back({std::string("tx-") + std::to_string(i),
+                      std::string(i % 4 == 0 ? "0" : "1"), i * 1000, i * 1000 + 500});
+    }
+    db_.insert_batch("Performance", std::move(rows));
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryPlanTest, CountStarShortCircuitsWithoutMaterializing) {
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance", &stats);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 100);
+  EXPECT_TRUE(stats.aggregate_short_circuit);
+  EXPECT_EQ(stats.rows_scanned, 100u);
+  EXPECT_EQ(stats.rows_materialized, 1u);  // only the single output row
+}
+
+TEST_F(QueryPlanTest, AggregatesWithWhereShortCircuitToo) {
+  QueryStats stats;
+  ResultSet rs = db_.query(
+      "SELECT COUNT(*), AVG(end_time - start_time), MIN(start_time), MAX(end_time), "
+      "SUM(start_time) FROM Performance WHERE status = '1'",
+      &stats);
+  EXPECT_TRUE(stats.aggregate_short_circuit);
+  EXPECT_EQ(stats.rows_materialized, 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 75);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][1]), 500.0);
+}
+
+TEST_F(QueryPlanTest, ShortCircuitMatchesMaterializedGroupPath) {
+  // GROUP BY still takes the buffered path; a one-group GROUP BY must agree
+  // with the short-circuit on every aggregate function.
+  db_.create_index("Performance", "status");
+  QueryStats grouped_stats;
+  ResultSet grouped = db_.query(
+      "SELECT status, COUNT(*), AVG(start_time), SUM(end_time) FROM Performance "
+      "WHERE status = '1' GROUP BY status",
+      &grouped_stats);
+  QueryStats flat_stats;
+  ResultSet flat = db_.query(
+      "SELECT status, COUNT(*), AVG(start_time), SUM(end_time) FROM Performance "
+      "WHERE status = '1'",
+      &flat_stats);
+  EXPECT_FALSE(grouped_stats.aggregate_short_circuit);
+  EXPECT_TRUE(flat_stats.aggregate_short_circuit);
+  ASSERT_EQ(grouped.rows.size(), 1u);
+  EXPECT_EQ(grouped.rows[0], flat.rows[0]);
+}
+
+TEST_F(QueryPlanTest, EmptyTableAggregatesMatchMySql) {
+  db_.create_table("Empty", {{"v", ColumnType::kInt}});
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT COUNT(*), SUM(v), AVG(v) FROM Empty", &stats);
+  EXPECT_TRUE(stats.aggregate_short_circuit);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 0);
+  EXPECT_TRUE(cell_is_null(rs.rows[0][1]));  // SUM over no rows is NULL
+  EXPECT_TRUE(cell_is_null(rs.rows[0][2]));
+}
+
+TEST_F(QueryPlanTest, EqualityPushdownUsesTextIndex) {
+  db_.create_index("Performance", "status");
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance WHERE status = '0'", &stats);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 25);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.rows_scanned, 25u);  // only the index bucket, not the table
+}
+
+TEST_F(QueryPlanTest, PushdownAppliesRemainingConjuncts) {
+  db_.create_index("Performance", "status");
+  QueryStats stats;
+  ResultSet rs = db_.query(
+      "SELECT tx_id FROM Performance WHERE status = '0' AND start_time < 10000", &stats);
+  EXPECT_TRUE(stats.used_index);
+  // Index narrows to 25 candidates; the residual predicate filters them.
+  EXPECT_EQ(stats.rows_scanned, 25u);
+  EXPECT_EQ(rs.rows.size(), 3u);  // tx-0, tx-4, tx-8
+}
+
+TEST_F(QueryPlanTest, IndexMissReturnsEmptyWithoutScanning) {
+  db_.create_index("Performance", "status");
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT * FROM Performance WHERE status = 'nope'", &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(QueryPlanTest, CoercedComparisonsDoNotUseTheIndex) {
+  // INT column compared against a string literal must keep MySQL coercion
+  // semantics, so it scans instead of probing the (exact-match) hash index.
+  db_.create_index("Performance", "start_time");
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance WHERE start_time = '1000'", &stats);
+  EXPECT_FALSE(stats.used_index);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 1);
+
+  // Exact INT literal does probe it.
+  rs = db_.query("SELECT COUNT(*) FROM Performance WHERE start_time = 1000", &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 1);
+  EXPECT_EQ(stats.rows_scanned, 1u);
+}
+
+TEST_F(QueryPlanTest, IndexStaysConsistentAcrossInserts) {
+  db_.create_index("Performance", "status");
+  std::vector<std::vector<Cell>> more;
+  for (std::int64_t i = 100; i < 120; ++i) {
+    more.push_back({std::string("tx-") + std::to_string(i), std::string("1"), i * 1000,
+                    i * 1000 + 500});
+  }
+  db_.insert_batch("Performance", std::move(more));
+  db_.insert("Performance", {std::string("tx-120"), std::string("1"), 0, 1});
+  QueryStats stats;
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance WHERE status = '1'", &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 75 + 21);
+}
+
+TEST_F(QueryPlanTest, DoubleColumnIndexRefused) {
+  db_.create_table("D", {{"v", ColumnType::kDouble}});
+  EXPECT_THROW(db_.create_index("D", "v"), LogicError);
+}
+
+TEST_F(QueryPlanTest, BatchInsertValidatesBeforeAppending) {
+  std::vector<std::vector<Cell>> bad;
+  bad.push_back({std::string("tx-x"), std::string("1"), 1, 2});
+  bad.push_back({std::string("tx-y"), std::string("1"), std::string("not-an-int"), 2});
+  EXPECT_THROW(db_.insert_batch("Performance", std::move(bad)), LogicError);
+  // All-or-nothing: the valid first row must not have been appended.
+  ResultSet rs = db_.query("SELECT COUNT(*) FROM Performance");
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 100);
+}
+
+TEST_F(QueryPlanTest, QueryStreamVisitsRowsWithoutResultSet) {
+  QueryStats stats;
+  std::size_t seen = 0;
+  std::int64_t sum = 0;
+  db_.query_stream("SELECT start_time FROM Performance WHERE status = '1'",
+                   [&](std::span<const Cell> row) {
+                     ++seen;
+                     sum += std::get<std::int64_t>(row[0]);
+                   },
+                   &stats);
+  EXPECT_EQ(seen, 75u);
+  EXPECT_EQ(stats.rows_materialized, 75u);
+  EXPECT_GT(sum, 0);
+}
+
+TEST_F(QueryPlanTest, QueryStreamHonorsLimitEarly) {
+  QueryStats stats;
+  std::size_t seen = 0;
+  db_.query_stream("SELECT tx_id FROM Performance LIMIT 7",
+                   [&](std::span<const Cell>) { ++seen; }, &stats);
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(stats.rows_scanned, 7u);  // stopped scanning at the limit
+}
+
+TEST_F(QueryPlanTest, QueryStreamRejectsAggregatesAndOrderBy) {
+  auto noop = [](std::span<const Cell>) {};
+  EXPECT_THROW(db_.query_stream("SELECT COUNT(*) FROM Performance", noop), LogicError);
+  EXPECT_THROW(db_.query_stream("SELECT tx_id FROM Performance ORDER BY tx_id", noop),
+               LogicError);
+  EXPECT_THROW(
+      db_.query_stream("SELECT status FROM Performance GROUP BY status", noop), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::minisql

@@ -34,7 +34,7 @@ TEST(ResourceMonitorTest, CpuBusyLoopShowsUtilization) {
   auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
   volatile std::uint64_t sink = 0;
   while (std::chrono::steady_clock::now() < until) {
-    for (int i = 0; i < 1000; ++i) sink += static_cast<std::uint64_t>(i);
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<std::uint64_t>(i);
   }
   monitor.stop();
   EXPECT_GT(monitor.peak_cpu_percent(), 20.0);
