@@ -16,7 +16,19 @@
 // separate VMs) the per-call latency dominates and batching multiplies
 // throughput by roughly the batch size until the server saturates.
 //
+//   3. Codec microbench: the same echo calls through the same Dispatcher,
+//      once over the JSON-RPC text codec and once over the negotiated
+//      binary codec — with the retry layer armed and a (zero-probability)
+//      fault injector installed on both ends, so the comparison includes
+//      every policy layer a real run pays for. The binary_speedup row is
+//      the codec's calls/sec multiplier and is floor-checked by CI.
+//
 // Artifact: bench_results/tcp_pipeline.csv
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <deque>
 #include <future>
 #include <thread>
@@ -79,6 +91,109 @@ double submit_batched(rpc::Channel& channel, const std::vector<chain::Transactio
   return txs.size() / watch.elapsed_seconds();
 }
 
+// A mid-size parameter tree per call: the shape of a signed smallbank
+// transaction envelope, which is what the driving path actually ships.
+json::Value echo_params(std::uint64_t i) {
+  return json::object(
+      {{"tx", json::object({{"sender", "acct-" + std::to_string(i % 1000)},
+                            {"contract", "smallbank"},
+                            {"op", "send_payment"},
+                            {"args", json::object({{"from", "acct-" + std::to_string(i % 1000)},
+                                                   {"to", "acct-" + std::to_string(i % 997)},
+                                                   {"amount", static_cast<std::int64_t>(i)}})},
+                            {"nonce", static_cast<std::int64_t>(i)},
+                            {"sig", std::string(64, 'f')}})},
+       {"endpoint", static_cast<std::int64_t>(0)}});
+}
+
+struct EchoCost {
+  double wall_seconds = 0;  // loopback ping-pong time
+  double cpu_seconds = 0;   // client-process CPU, the driving cost
+  std::size_t calls = 0;
+
+  void operator+=(const EchoCost& other) {
+    wall_seconds += other.wall_seconds;
+    cpu_seconds += other.cpu_seconds;
+    calls += other.calls;
+  }
+  double wall_tps() const { return calls / std::max(1e-9, wall_seconds); }
+  double per_core_tps() const { return calls / std::max(1e-9, cpu_seconds); }
+};
+
+// Serves the echo method from a forked child until killed, so the parent's
+// getrusage sees ONLY client-side CPU — the driving cost, which is what
+// bounds how hard one evaluation host can push a remote SUT. (The paper's
+// testbed keeps client and SUT on separate VMs for the same reason.)
+pid_t fork_echo_server(std::uint16_t& port_out) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return -1;
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    auto dispatcher = std::make_shared<rpc::Dispatcher>();
+    dispatcher->register_method("echo", [](const json::Value& params) { return params; });
+    rpc::TcpServer server(dispatcher, /*port=*/0, /*workers=*/1);
+    auto zero_faults = std::make_shared<fault::FaultInjector>(fault::FaultPlan{});
+    server.install_fault_injector(zero_faults);
+    std::uint16_t port = server.port();
+    (void)!::write(pipefd[1], &port, sizeof(port));
+    ::close(pipefd[1]);
+    for (;;) ::pause();  // parent SIGKILLs when done
+  }
+  ::close(pipefd[1]);
+  std::uint16_t port = 0;
+  ssize_t got = pid > 0 ? ::read(pipefd[0], &port, sizeof(port)) : 0;
+  ::close(pipefd[0]);
+  if (got != static_cast<ssize_t>(sizeof(port))) return -1;
+  port_out = port;
+  return pid;
+}
+
+// Client-process CPU seconds (user + system, every thread). The echo server
+// lives in a forked child, so the delta across a run is the pure driving
+// cost — the "per core" denominator.
+double cpu_seconds() {
+  struct rusage usage;
+  ::getrusage(RUSAGE_SELF, &usage);
+  auto secs = [](const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return secs(usage.ru_utime) + secs(usage.ru_stime);
+}
+
+// Cost of `total` echo round trips in call_batch chunks of `chunk`,
+// through a Retryer with a full retry budget (never fires: no faults drawn,
+// but every call pays the policy layer's bookkeeping).
+EchoCost echo_throughput(rpc::TcpChannel& channel, std::size_t total, std::size_t chunk) {
+  // Build every batch up front: the timed region is the wire path (encode,
+  // send, dispatch, reply, decode), not workload generation.
+  std::vector<std::vector<rpc::BatchCall>> batches;
+  batches.reserve(total / chunk + 1);
+  for (std::size_t i = 0; i < total; i += chunk) {
+    std::vector<rpc::BatchCall> calls;
+    calls.reserve(chunk);
+    for (std::size_t j = i; j < std::min(total, i + chunk); ++j) {
+      calls.push_back({"echo", echo_params(j)});
+    }
+    batches.push_back(std::move(calls));
+  }
+  rpc::Retryer retryer(rpc::RetryPolicy::standard(4));
+  double cpu_before = cpu_seconds();
+  util::Stopwatch watch(util::SteadyClock::shared());
+  for (const std::vector<rpc::BatchCall>& calls : batches) {
+    // Consume-and-drop per batch, the way a driver worker does: reply trees
+    // are freed inside the window, on the thread that decoded them.
+    std::vector<rpc::BatchReply> replies =
+        retryer.run([&] { return channel.call_batch(calls); });
+    for (const rpc::BatchReply& reply : replies) reply.take();
+  }
+  EchoCost cost;
+  cost.calls = total;
+  cost.wall_seconds = watch.elapsed_seconds();
+  cost.cpu_seconds = cpu_seconds() - cpu_before;
+  return cost;
+}
+
 core::Deployment deploy_tcp_neuchain(std::size_t pool_capacity) {
   json::Object spec;
   spec["kind"] = "neuchain";
@@ -125,6 +240,70 @@ int main() {
                   tps / single);
       csv.add_row({"rpc", "batch", std::to_string(chunk), std::to_string(tps)});
     }
+  }
+
+  // Codec head-to-head: identical echo calls, identical Dispatcher, one
+  // connection each — only the wire encoding differs. Retry armed and a
+  // zero-probability fault injector installed on server and channels, so
+  // the ratio reflects what a policy-laden production path would see.
+  const std::size_t codec_calls = bench::full_scale() ? 200000 : 40000;
+  const char* chunk_env = std::getenv("HAMMER_CODEC_CHUNK");
+  const std::size_t codec_chunk = chunk_env ? std::strtoul(chunk_env, nullptr, 10) : 64;
+  std::printf("== RPC codec: %zu echo calls, chunk=%zu, retry+fault layers armed ==\n",
+              codec_calls, codec_chunk);
+  {
+    std::uint16_t echo_port = 0;
+    pid_t server_pid = fork_echo_server(echo_port);
+    if (server_pid < 0) {
+      std::fprintf(stderr, "failed to fork echo server, skipping codec section\n");
+      return 1;
+    }
+    auto zero_faults = std::make_shared<fault::FaultInjector>(fault::FaultPlan{});
+
+    rpc::ClientConfig json_cfg;
+    json_cfg.codec = rpc::CodecPreference::kJsonOnly;
+    json_cfg.retry = rpc::RetryPolicy::standard(4);
+    rpc::TcpChannel json_chan("127.0.0.1", echo_port, json_cfg);
+    json_chan.install_fault_injector(zero_faults);
+
+    rpc::ClientConfig binary_cfg;  // kBinaryPreferred
+    binary_cfg.retry = rpc::RetryPolicy::standard(4);
+    rpc::TcpChannel binary_chan("127.0.0.1", echo_port, binary_cfg);
+    binary_chan.install_fault_injector(zero_faults);
+
+    // Warm both connections (and fault the run loudly if negotiation chose
+    // the wrong codec — the comparison would be meaningless).
+    HAMMER_CHECK(json_chan.codec() == rpc::wire::WireCodec::kJson);
+    HAMMER_CHECK(binary_chan.codec() == rpc::wire::WireCodec::kBinary);
+    echo_throughput(json_chan, 2000, codec_chunk);
+    echo_throughput(binary_chan, 2000, codec_chunk);
+
+    // Interleave short rounds of each codec: on a shared host the absolute
+    // rate drifts minute to minute, but paired rounds see the same weather,
+    // so the RATIO of accumulated CPU stays stable.
+    const std::size_t kRounds = 8;
+    const std::size_t per_round = codec_calls / kRounds;
+    EchoCost json_cost, binary_cost;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      json_cost += echo_throughput(json_chan, per_round, codec_chunk);
+      binary_cost += echo_throughput(binary_chan, per_round, codec_chunk);
+    }
+    // The per-core ratio is the codec's real multiplier: wall time on
+    // loopback is mostly ping-pong scheduling both codecs pay identically,
+    // while CPU seconds are what bounds a driving host at scale.
+    double speedup = binary_cost.per_core_tps() / json_cost.per_core_tps();
+    std::printf("  json codec                    %8.0f calls/s  (%8.0f per core)\n",
+                json_cost.wall_tps(), json_cost.per_core_tps());
+    std::printf("  binary codec                  %8.0f calls/s  (%8.0f per core, %.2fx)\n",
+                binary_cost.wall_tps(), binary_cost.per_core_tps(), speedup);
+    csv.add_row({"rpc_codec", "json", std::to_string(codec_chunk),
+                 std::to_string(json_cost.per_core_tps())});
+    csv.add_row({"rpc_codec", "binary", std::to_string(codec_chunk),
+                 std::to_string(binary_cost.per_core_tps())});
+    csv.add_row({"rpc_codec", "binary_speedup", std::to_string(codec_chunk),
+                 std::to_string(speedup)});
+    ::kill(server_pid, SIGKILL);
+    ::waitpid(server_pid, nullptr, 0);
   }
 
   std::printf("== Driver layer: peak probe over TCP, submit_batch_size 1 vs 16 ==\n");

@@ -3,9 +3,12 @@
 
 Each baseline check names a CSV in the results directory, a row (matched by
 the `where` column values) and a metric column, and pins an expected value
-with a relative tolerance (default +/-25%). Benchmarks on shared CI runners
-are noisy, so a miss is reported but NON-FATAL by default; pass --strict to
-turn misses into a non-zero exit (for local perf work).
+with a relative tolerance (default +/-25%). A check may instead pin a `min`:
+a one-sided floor the fresh value must meet or beat (for ratios that are a
+stated requirement, not just a regression guard — e.g. the binary codec's
+per-core speedup). Benchmarks on shared CI runners are noisy, so a miss is
+reported but NON-FATAL by default; pass --strict to turn misses into a
+non-zero exit (for local perf work).
 
 Usage: check_bench_regression.py [--results-dir DIR] [--baseline FILE] [--strict]
 """
@@ -49,6 +52,14 @@ def run_checks(results_dir, baseline):
             misses += 1
             continue
         fresh = float(row[check["metric"]])
+        if "min" in check:
+            floor = float(check["min"])
+            ok = fresh >= floor
+            detail = f"fresh={fresh:g} floor {floor:g} (one-sided)"
+            print(f"{'ok   ' if ok else 'WARN '} {label}: {detail}")
+            if not ok:
+                misses += 1
+            continue
         expected = float(check["expected"])
         if check.get("exact"):
             ok = fresh == expected

@@ -7,23 +7,28 @@
 
 namespace hammer::adapters {
 
-ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options)
+ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel,
+                           const rpc::ClientConfig& config)
     : channel_(std::move(channel)),
-      options_(std::move(options)),
-      retryer_(options_.retry, options_.retry_seed) {
+      config_(config),
+      options_(to_adapter_options(config)),
+      retryer_(config_.retry, config_.retry_seed) {
   HAMMER_CHECK(channel_ != nullptr);
-  HAMMER_CHECK(options_.retry.max_attempts >= 1);
+  HAMMER_CHECK(config_.retry.max_attempts >= 1);
   json::Value v = call("chain.info", json::Value());
   info_.name = v.at("name").as_string();
   info_.kind = v.at("kind").as_string();
   info_.shards = static_cast<std::uint32_t>(v.get_int("shards", 1));
 }
 
+ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options)
+    : ChainAdapter(std::move(channel), to_client_config(options)) {}
+
 json::Value ChainAdapter::call(const std::string& method, json::Value params) {
   return retryer_.run([&]() -> json::Value {
     json::Value attempt_params = params;  // each attempt gets its own copy
     try {
-      return channel_->call(method, std::move(attempt_params), options_.call);
+      return channel_->call(method, std::move(attempt_params), config_.call);
     } catch (const rpc::RpcError& e) {
       rpc::throw_client_error(e);  // kServerError -> RejectedError, rest rethrows
     }
@@ -46,7 +51,7 @@ std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
   std::vector<std::string> ids(txs.size());
   for (std::size_t i = 0; i < txs.size(); ++i) ids[i] = txs[i].compute_id();
 
-  const rpc::RetryPolicy& policy = options_.retry;
+  const rpc::RetryPolicy& policy = config_.retry;
   std::vector<std::size_t> open(txs.size());
   std::iota(open.begin(), open.end(), std::size_t{0});
   for (std::uint32_t attempt = 1;; ++attempt) {
@@ -59,7 +64,7 @@ std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
     }
     std::vector<rpc::BatchReply> replies;
     try {
-      replies = channel_->call_batch(calls, options_.call);
+      replies = channel_->call_batch(calls, config_.call);
     } catch (const TransportError&) {
       // Timeout or connection break: the frame is IN DOUBT — any subset may
       // have reached the SUT.
@@ -194,13 +199,25 @@ std::string ChainAdapter::state_digest(std::uint32_t shard) {
 }
 
 std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
+                                           const rpc::ClientConfig& config) {
+  return std::make_shared<ChainAdapter>(std::move(channel), config);
+}
+
+std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
+                                           const rpc::ClientConfig& config) {
+  // The config reaches the transport too: the channel negotiates the wire
+  // codec and uses the blocking-call timeout it carries.
+  return make_adapter(std::make_shared<rpc::TcpChannel>(host, port, config), config);
+}
+
+std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
                                            AdapterOptions options) {
-  return std::make_shared<ChainAdapter>(std::move(channel), std::move(options));
+  return make_adapter(std::move(channel), to_client_config(options));
 }
 
 std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
                                            AdapterOptions options) {
-  return make_adapter(std::make_shared<rpc::TcpChannel>(host, port), std::move(options));
+  return make_adapter(host, port, to_client_config(options));
 }
 
 }  // namespace hammer::adapters

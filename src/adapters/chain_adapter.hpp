@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "chain/types.hpp"
+#include "rpc/client_config.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "rpc/retry.hpp"
 
@@ -46,8 +47,10 @@ struct ChainInfo {
   std::uint32_t shards = 1;
 };
 
-// Call-surface policy for one adapter. Defaults reproduce the legacy
-// behaviour: channel-default deadline, single attempt, no retries.
+// Deprecated: the pre-ClientConfig options shape, kept so existing call
+// sites compile unchanged. It carries exactly the subset of
+// rpc::ClientConfig that predates the wire-codec redesign (no codec
+// preference, no channel timeout); prefer rpc::ClientConfig everywhere new.
 struct AdapterOptions {
   rpc::CallOptions call;    // forwarded to every RPC this adapter issues
   rpc::RetryPolicy retry;   // default: max_attempts = 1 (no retry)
@@ -58,15 +61,43 @@ struct AdapterOptions {
   std::size_t target_index = 0;
 };
 
+// Shim conversions between the legacy options shape and rpc::ClientConfig.
+inline rpc::ClientConfig to_client_config(const AdapterOptions& options) {
+  rpc::ClientConfig config;
+  config.call = options.call;
+  config.retry = options.retry;
+  config.retry_seed = options.retry_seed;
+  config.target_index = options.target_index;
+  return config;
+}
+inline AdapterOptions to_adapter_options(const rpc::ClientConfig& config) {
+  AdapterOptions options;
+  options.call = config.call;
+  options.retry = config.retry;
+  options.retry_seed = config.retry_seed;
+  options.target_index = config.target_index;
+  return options;
+}
+
 class ChainAdapter {
  public:
+  // Primary constructor: one options struct for the whole call surface.
+  ChainAdapter(std::shared_ptr<rpc::Channel> channel, const rpc::ClientConfig& config);
+
+  // Deprecated shim over the ClientConfig constructor.
   explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options = {});
 
   // Fetched once and cached; sharded SUTs report their shard count here so
   // the driver can poll every shard's chain.
   const ChainInfo& info() const { return info_; }
+  const rpc::ClientConfig& config() const { return config_; }
+  // Deprecated: legacy view of config(); prefer config().
   const AdapterOptions& options() const { return options_; }
-  std::size_t target_index() const { return options_.target_index; }
+  std::size_t target_index() const { return config_.target_index; }
+
+  // The channel this adapter issues calls over (e.g. for wire-codec
+  // diagnostics: TcpChannel::codec() after negotiation).
+  const std::shared_ptr<rpc::Channel>& channel() const { return channel_; }
 
   // RPC attempts beyond the first, over this adapter's lifetime. The driver
   // differences this across a run into RunResult::retries.
@@ -137,13 +168,23 @@ class ChainAdapter {
                                               std::vector<SubmitResult>& out);
 
   std::shared_ptr<rpc::Channel> channel_;
-  AdapterOptions options_;
+  rpc::ClientConfig config_;
+  AdapterOptions options_;  // legacy mirror of config_ for options()
   rpc::Retryer retryer_;
   ChainInfo info_;
 };
 
 // Factory used by examples/benches/tests so call sites stop hand-wiring
-// TcpChannel construction against deployed endpoints.
+// TcpChannel construction against deployed endpoints. The ClientConfig
+// overloads are the primary API: the host/port form threads the config into
+// the TcpChannel it opens (codec preference, timeout) as well as into the
+// adapter (deadline, retry policy).
+std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
+                                           const rpc::ClientConfig& config);
+std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
+                                           const rpc::ClientConfig& config);
+
+// Deprecated shims over the ClientConfig overloads.
 std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
                                            AdapterOptions options = {});
 std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,

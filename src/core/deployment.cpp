@@ -36,12 +36,13 @@ void validate_spec_keys(const json::Value& spec) {
 }  // namespace
 
 std::shared_ptr<rpc::Channel> DeployedChain::connect(
-    std::shared_ptr<fault::FaultInjector> client_faults, std::size_t endpoint) const {
+    const rpc::ClientConfig& config, std::shared_ptr<fault::FaultInjector> client_faults,
+    std::size_t endpoint) const {
   HAMMER_CHECK_MSG(endpoint < endpoint_count(), "endpoint index out of range");
   const rpc::TcpServer* server =
       endpoint == 0 ? tcp_server.get() : extra_endpoints[endpoint - 1].tcp_server.get();
   if (server != nullptr) {
-    auto channel = std::make_shared<rpc::TcpChannel>("127.0.0.1", server->port());
+    auto channel = std::make_shared<rpc::TcpChannel>("127.0.0.1", server->port(), config);
     if (client_faults) channel->install_fault_injector(std::move(client_faults));
     return channel;
   }
@@ -49,43 +50,56 @@ std::shared_ptr<rpc::Channel> DeployedChain::connect(
       endpoint == 0 ? dispatcher : extra_endpoints[endpoint - 1].dispatcher);
 }
 
+std::shared_ptr<rpc::Channel> DeployedChain::connect(
+    std::shared_ptr<fault::FaultInjector> client_faults, std::size_t endpoint) const {
+  return connect(rpc::ClientConfig{}, std::move(client_faults), endpoint);
+}
+
 std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
-    std::size_t count, adapters::AdapterOptions options,
+    std::size_t count, const rpc::ClientConfig& config,
     std::shared_ptr<fault::FaultInjector> client_faults) const {
   std::vector<std::shared_ptr<adapters::ChainAdapter>> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(std::make_shared<adapters::ChainAdapter>(connect(client_faults), options));
+    out.push_back(std::make_shared<adapters::ChainAdapter>(connect(config, client_faults),
+                                                           config));
   }
   return out;
 }
 
+std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
+    std::size_t count, adapters::AdapterOptions options,
+    std::shared_ptr<fault::FaultInjector> client_faults) const {
+  return make_adapters(count, adapters::to_client_config(options), std::move(client_faults));
+}
+
 std::shared_ptr<SutCluster> DeployedChain::make_cluster(
     std::size_t workers_per_target, std::size_t channels_per_target,
-    adapters::AdapterOptions options, std::shared_ptr<fault::FaultInjector> client_faults) const {
+    const rpc::ClientConfig& config,
+    std::shared_ptr<fault::FaultInjector> client_faults) const {
   HAMMER_CHECK_MSG(workers_per_target >= 1, "make_cluster needs >= 1 worker per target");
   const std::size_t n = endpoint_count();
   const std::uint32_t shards = chain->num_shards();
   std::vector<std::unique_ptr<SutTarget>> targets;
   targets.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    rpc::ClientConfig target_config = config;
+    target_config.target_index = i;
     // Workers share a small channel pool; TcpChannel multiplexes in-flight
     // calls by id, so P sockets carry M > P workers without head-of-line
     // blocking on whole calls.
-    rpc::ChannelPool pool([&] { return connect(client_faults, i); },
+    rpc::ChannelPool pool([&] { return connect(target_config, client_faults, i); },
                           std::min(std::max<std::size_t>(1, channels_per_target),
                                    workers_per_target));
-    adapters::AdapterOptions target_options = options;
-    target_options.target_index = i;
     std::vector<std::shared_ptr<adapters::ChainAdapter>> workers;
     workers.reserve(workers_per_target);
     for (std::size_t w = 0; w < workers_per_target; ++w) {
       workers.push_back(
-          std::make_shared<adapters::ChainAdapter>(pool.next(), target_options));
+          std::make_shared<adapters::ChainAdapter>(pool.next(), target_config));
     }
     // The poller never shares a socket with submissions.
-    auto poller = std::make_shared<adapters::ChainAdapter>(connect(client_faults, i),
-                                                           target_options);
+    auto poller = std::make_shared<adapters::ChainAdapter>(
+        connect(target_config, client_faults, i), target_config);
     std::vector<std::uint32_t> owned;
     for (std::uint32_t s = 0; s < shards; ++s) {
       if (s % n == i) owned.push_back(s);
@@ -94,6 +108,13 @@ std::shared_ptr<SutCluster> DeployedChain::make_cluster(
         std::make_unique<SutTarget>(i, std::move(workers), std::move(poller), std::move(owned)));
   }
   return std::make_shared<SutCluster>(std::move(targets));
+}
+
+std::shared_ptr<SutCluster> DeployedChain::make_cluster(
+    std::size_t workers_per_target, std::size_t channels_per_target,
+    adapters::AdapterOptions options, std::shared_ptr<fault::FaultInjector> client_faults) const {
+  return make_cluster(workers_per_target, channels_per_target,
+                      adapters::to_client_config(options), std::move(client_faults));
 }
 
 Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clock> clock) {

@@ -66,14 +66,25 @@ struct DeployedChain {
   std::size_t endpoint_count() const { return 1 + extra_endpoints.size(); }
 
   // Creates a fresh client channel to `endpoint` (in-proc, or a new TCP
-  // connection). `client_faults` installs a client-side injector on the new
-  // TcpChannel (ignored for in-proc transport, which has no wire to break).
+  // connection negotiating per `config`). `client_faults` installs a
+  // client-side injector on the new TcpChannel (ignored for in-proc
+  // transport, which has no wire to break).
+  std::shared_ptr<rpc::Channel> connect(
+      const rpc::ClientConfig& config,
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr,
+      std::size_t endpoint = 0) const;
+  // Deprecated shim: default ClientConfig (binary-preferred codec).
   std::shared_ptr<rpc::Channel> connect(
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr,
       std::size_t endpoint = 0) const;
 
   // Convenience: `count` independent adapters against endpoint 0, all
-  // sharing the same call options / retry policy and client-side injector.
+  // sharing the same ClientConfig (codec preference, deadline, retry
+  // policy) and client-side injector.
+  std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
+      std::size_t count, const rpc::ClientConfig& config,
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
+  // Deprecated shim over the ClientConfig overload.
   std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
       std::size_t count, adapters::AdapterOptions options = {},
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
@@ -83,6 +94,13 @@ struct DeployedChain {
   // rpc::ChannelPool (fewer sockets than workers; TcpChannel multiplexes),
   // plus a dedicated poll-adapter channel. Target i owns the shards with
   // shard % endpoints == i — the same convention endpoint.info reports.
+  // The ClientConfig flows unchanged into every channel and adapter the
+  // cluster owns (only target_index is stamped per endpoint).
+  std::shared_ptr<SutCluster> make_cluster(
+      std::size_t workers_per_target, std::size_t channels_per_target,
+      const rpc::ClientConfig& config,
+      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
+  // Deprecated shim over the ClientConfig overload.
   std::shared_ptr<SutCluster> make_cluster(
       std::size_t workers_per_target, std::size_t channels_per_target = 2,
       adapters::AdapterOptions options = {},

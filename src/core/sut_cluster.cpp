@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "rpc/tcp.hpp"
 #include "telemetry/registry.hpp"
 #include "util/errors.hpp"
+#include "util/logging.hpp"
 
 namespace hammer::core {
 
@@ -46,6 +48,16 @@ SutTarget::SutTarget(std::size_t index,
                                    "Completions detected via this cluster target's poller", label);
   polled_metric_ = &reg.counter("hammer_cluster_polled_blocks_total",
                                 "Blocks fetched by this cluster target's poller", label);
+  // Surface which wire codec this endpoint's channels negotiated so mixed
+  // fleets (new binary endpoints beside legacy JSON ones) are visible in
+  // run logs instead of silently skewing throughput comparisons.
+  if (auto* tcp = dynamic_cast<rpc::TcpChannel*>(worker_adapters_.front()->channel().get())) {
+    codec_ = rpc::wire::to_string(tcp->codec());
+  } else {
+    codec_ = "inproc";
+  }
+  HLOG_DEBUG("cluster") << "target " << index_ << " speaks " << codec_ << " ("
+                        << worker_adapters_.size() << " workers)";
 }
 
 void SutTarget::count_submitted(std::uint64_t n) {

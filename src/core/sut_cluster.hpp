@@ -67,6 +67,11 @@ class SutTarget {
   // Shards this endpoint owns (polls, and is the shard-affine home for).
   const std::vector<std::uint32_t>& shards() const { return shards_; }
 
+  // Wire codec the worker channels negotiated with this endpoint ("binary",
+  // "json") or "inproc" when there is no TCP wire — resolved once at
+  // construction for run-log diagnostics and endpoint comparisons.
+  const std::string& codec() const { return codec_; }
+
   // Transactions routed here and not yet acknowledged by the endpoint
   // (queued client-side or on the wire) — the backlog signal least-in-flight
   // routing balances on.
@@ -88,6 +93,7 @@ class SutTarget {
   std::vector<std::shared_ptr<adapters::ChainAdapter>> worker_adapters_;
   std::shared_ptr<adapters::ChainAdapter> poll_adapter_;
   std::vector<std::uint32_t> shards_;
+  std::string codec_;
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -212,6 +212,8 @@ std::string Value::dump(int indent) const {
   return out;
 }
 
+void Value::dump_into(std::string& out, int indent) const { write(out, indent, 0); }
+
 // ---------------------------------------------------------------- parsing
 
 namespace {

@@ -79,6 +79,10 @@ class Value {
   // Serialization. `indent` > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
+  // Appends the serialized document to `out` instead of returning a fresh
+  // string — the allocation-free path for pooled/reused output buffers.
+  void dump_into(std::string& out, int indent = 0) const;
+
   // Parsing; throws ParseError with position info on malformed input.
   static Value parse(std::string_view text);
 

@@ -1,8 +1,13 @@
 #include "rpc/channel_pool.hpp"
 
+#include "rpc/tcp.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::rpc {
+
+ChannelPool::ChannelPool(const std::string& host, std::uint16_t port,
+                         const ClientConfig& config, std::size_t size)
+    : ChannelPool([&] { return std::make_shared<TcpChannel>(host, port, config); }, size) {}
 
 ChannelPool::ChannelPool(const Factory& factory, std::size_t size) {
   HAMMER_CHECK(factory != nullptr);

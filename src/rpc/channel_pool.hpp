@@ -10,10 +10,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "rpc/client_config.hpp"
 #include "rpc/jsonrpc.hpp"
 
 namespace hammer::rpc {
@@ -24,6 +27,11 @@ class ChannelPool {
 
   // Eagerly opens `size` channels via `factory` (size >= 1).
   ChannelPool(const Factory& factory, std::size_t size);
+
+  // Convenience: a pool of TcpChannels to one endpoint, each constructed
+  // from (and negotiating per) the same ClientConfig.
+  ChannelPool(const std::string& host, std::uint16_t port, const ClientConfig& config,
+              std::size_t size);
 
   // Round-robin handout; thread-safe. Channels are shared, never exclusive:
   // two callers may hold the same channel concurrently (they multiplex).

@@ -83,6 +83,38 @@ bool Dispatcher::has_method(const std::string& name) const {
   return methods_.count(name) > 0;
 }
 
+CallOutcome Dispatcher::invoke(std::string_view method, const json::Value& params) const {
+  CallOutcome outcome;
+  try {
+    Handler handler;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = methods_.find(method);
+      if (it == methods_.end()) {
+        outcome.error_code = kMethodNotFound;
+        outcome.error_message = "unknown method " + std::string(method);
+        return outcome;
+      }
+      handler = it->second;
+    }
+    outcome.result = handler(params);
+  } catch (const RejectedError& e) {
+    outcome.error_code = kServerError;
+    outcome.error_message = e.what();
+  } catch (const NotFoundError& e) {
+    outcome.error_code = kInvalidParams;
+    outcome.error_message = e.what();
+  } catch (const ParseError& e) {
+    outcome.error_code = kInvalidParams;
+    outcome.error_message = e.what();
+  } catch (const std::exception& e) {
+    HLOG_WARN("rpc") << "handler raised: " << e.what();
+    outcome.error_code = kInternalError;
+    outcome.error_message = e.what();
+  }
+  return outcome;
+}
+
 json::Value Dispatcher::dispatch(const json::Value& request) const {
   json::Value id;  // null until we can extract one
   try {
@@ -97,26 +129,14 @@ json::Value Dispatcher::dispatch(const json::Value& request) const {
       return make_error_response(id, kInvalidRequest, "missing method");
     }
     const std::string& method = request.at("method").as_string();
-
-    Handler handler;
-    {
-      std::scoped_lock lock(mu_);
-      auto it = methods_.find(method);
-      if (it == methods_.end()) {
-        return make_error_response(id, kMethodNotFound, "unknown method " + method);
-      }
-      handler = it->second;
-    }
     json::Value params = request.contains("params") ? request.at("params") : json::Value();
-    return make_result_response(id, handler(params));
-  } catch (const RejectedError& e) {
-    return make_error_response(id, kServerError, e.what());
-  } catch (const NotFoundError& e) {
-    return make_error_response(id, kInvalidParams, e.what());
-  } catch (const ParseError& e) {
-    return make_error_response(id, kInvalidParams, e.what());
+    CallOutcome outcome = invoke(method, params);
+    if (!outcome.ok()) {
+      return make_error_response(id, outcome.error_code, outcome.error_message);
+    }
+    return make_result_response(id, std::move(outcome.result));
   } catch (const std::exception& e) {
-    HLOG_WARN("rpc") << "handler raised: " << e.what();
+    HLOG_WARN("rpc") << "dispatch raised: " << e.what();
     return make_error_response(id, kInternalError, e.what());
   }
 }
@@ -137,15 +157,25 @@ json::Value Dispatcher::dispatch_batch(const json::Value& batch) const {
   return json::Value(std::move(responses));
 }
 
-std::string Dispatcher::dispatch_text(const std::string& request_text) const {
+std::string Dispatcher::dispatch_text(std::string_view request_text) const {
+  std::string out;
+  dispatch_text_into(request_text, out);
+  return out;
+}
+
+void Dispatcher::dispatch_text_into(std::string_view request_text, std::string& out) const {
   json::Value request;
   try {
     request = json::Value::parse(request_text);
   } catch (const ParseError& e) {
-    return make_error_response(json::Value(), kParseError, e.what()).dump();
+    make_error_response(json::Value(), kParseError, e.what()).dump_into(out);
+    return;
   }
-  if (request.is_array()) return dispatch_batch(request).dump();
-  return dispatch(request).dump();
+  if (request.is_array()) {
+    dispatch_batch(request).dump_into(out);
+  } else {
+    dispatch(request).dump_into(out);
+  }
 }
 
 json::Value make_request(std::uint64_t id, const std::string& method, json::Value params) {

@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "json/json.hpp"
@@ -90,6 +91,15 @@ std::vector<BatchReply> match_batch_replies(const json::Value& response,
 // NotFoundError/ParseError -> kInvalidParams, anything else -> internal).
 using Handler = std::function<json::Value(const json::Value& params)>;
 
+// Outcome of one dispatched call without the JSON-RPC envelope around it.
+// error_code == 0 means success (JSON-RPC error codes are never 0).
+struct CallOutcome {
+  json::Value result;
+  int error_code = 0;
+  std::string error_message;
+  bool ok() const { return error_code == 0; }
+};
+
 class Dispatcher {
  public:
   void register_method(const std::string& name, Handler handler);
@@ -100,7 +110,18 @@ class Dispatcher {
   // A JSON array is treated as a JSON-RPC 2.0 batch: each entry dispatches
   // independently and the response is the array of per-entry responses
   // (an empty batch is a kInvalidRequest error, per spec).
-  std::string dispatch_text(const std::string& request_text) const;
+  std::string dispatch_text(std::string_view request_text) const;
+
+  // Same, serializing the response into `out` (appended) so transport
+  // workers can reuse pooled buffers instead of materializing a fresh
+  // string per response.
+  void dispatch_text_into(std::string_view request_text, std::string& out) const;
+
+  // Envelope-free entry point used by the binary wire codec: looks up
+  // `method` in the same table and maps handler exceptions onto the same
+  // error codes as dispatch(), but touches no JSON-RPC envelope. Never
+  // throws.
+  CallOutcome invoke(std::string_view method, const json::Value& params) const;
 
   // Structured entry points used by the in-process channel.
   json::Value dispatch(const json::Value& request) const;
@@ -108,7 +129,9 @@ class Dispatcher {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, Handler> methods_;
+  // Heterogeneous compare: invoke() looks methods up by string_view with no
+  // temporary std::string on the hot path.
+  std::map<std::string, Handler, std::less<>> methods_;
 };
 
 // Per-call knobs threaded through every Channel entry point. Zero values

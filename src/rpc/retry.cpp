@@ -28,10 +28,13 @@ const char* to_string(ErrorClass c) {
 }
 
 ErrorClass classify_current_exception() {
-  // Order matters: TimeoutError derives from TransportError, RejectedError
-  // is the mapped form of kServerError RpcErrors.
+  // Order matters: FrameTooLargeError and TimeoutError both derive from
+  // TransportError (catch-compatibility) but classify differently, and
+  // RejectedError is the mapped form of kServerError RpcErrors.
   try {
     throw;
+  } catch (const FrameTooLargeError&) {
+    return ErrorClass::kProtocol;  // identical on every attempt; never retry
   } catch (const TimeoutError&) {
     return ErrorClass::kTimeout;
   } catch (const TransportError&) {

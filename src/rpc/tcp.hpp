@@ -1,23 +1,32 @@
-// TCP transport for JSON-RPC: 4-byte big-endian length prefix followed by
-// the UTF-8 request/response document.
+// TCP transport: 4-byte big-endian length prefix followed by either a raw
+// JSON-RPC document (the legacy/fallback codec) or a versioned wire frame
+// (magic + version + kind; see rpc/wire/codec.hpp and DESIGN.md §11).
 //
 // Server: a single epoll event loop owns every connection socket and does
-// the framing; decoded requests fan out to a small worker pool that runs
-// the dispatcher and writes response frames back (per-connection write
-// lock, so frames never interleave). Hundreds of driver connections cost
-// one event thread plus the fixed pool — not hundreds of threads.
+// the framing over pooled arena buffers; complete request frames are sliced
+// out zero-copy (wire::Slice shares the buffer, no substr) and fan out to a
+// small worker pool that runs the dispatcher and writes response frames
+// back with one scatter-gather writev (per-connection write lock, so frames
+// never interleave). Hello/control frames are answered by the event thread
+// itself. The server speaks whichever codec each request frame arrived in,
+// so one server carries JSON and binary clients side by side.
 //
-// Client: TcpChannel multiplexes one connection. Writers frame requests
-// back-to-back without waiting (call_async / call_batch); a dedicated
-// reader thread parses response frames and completes the matching
-// promise by request id, so responses may arrive in any order. Blocking
-// call() is just call_async().get() with the per-call timeout applied.
+// Client: TcpChannel multiplexes one connection. At connect time the
+// channel negotiates the wire codec (ClientConfig::codec — binary
+// preferred, JSON fallback when the server does not answer the hello).
+// Writers frame requests back-to-back without waiting (call_async /
+// call_batch); a dedicated reader thread parses response frames and
+// completes the matching promise by request id, so responses may arrive in
+// any order. Blocking call() is just call_async().get() with the per-call
+// timeout applied.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,13 +35,18 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "rpc/client_config.hpp"
 #include "rpc/jsonrpc.hpp"
+#include "rpc/wire/arena.hpp"
+#include "rpc/wire/codec.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace hammer::rpc {
 
-// Frames above this are a protocol violation; both ends drop the
-// connection with a transport error instead of attempting the allocation.
+// Frames above this are a protocol violation. The sender fails the call
+// with FrameTooLargeError before touching the socket; a receiver announces
+// wire::kErrFrameTooLarge and drops the connection instead of attempting
+// the allocation. Both ends count hammer_wire_oversize_frames_total.
 inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
 
 // Serves one Dispatcher on a loopback port through an epoll event loop
@@ -63,20 +77,32 @@ class TcpServer {
     ~Connection();  // closes fd once the last reference drops
 
     const int fd;
-    std::string buffer;       // partial frame bytes; event thread only
-    std::mutex write_mu;      // one response frame at a time
+    // Read side, event thread only: an arena buffer being filled, and the
+    // parse cursor into it. The buffer is retired (tail copied to a fresh
+    // one) as soon as a frame is sliced out of it, so outstanding Slices
+    // are never invalidated by later appends — see wire/arena.hpp.
+    wire::BufferPtr rdbuf;
+    std::size_t rd_off = 0;
+    std::mutex write_mu;  // one response frame at a time
     std::atomic<bool> dead{false};
   };
   struct Work {
     std::shared_ptr<Connection> conn;
-    std::string request;
+    wire::Slice request;    // payload bytes, zero-copy out of rdbuf
+    wire::WireCodec codec;  // codec the frame arrived in (reply mirrors it)
   };
 
   void event_loop();
   void accept_new();
   void drain_readable(const std::shared_ptr<Connection>& conn);
   void drop_connection(int fd);
+  // Sends a versioned control frame (hello-ok / error) from the event
+  // thread; best-effort, never throws.
+  void send_control(const std::shared_ptr<Connection>& conn, wire::FrameKind kind,
+                    const std::string& body);
   void worker_loop();
+  void reply_json(const Work& work);
+  void reply_binary(const Work& work);
 
   std::shared_ptr<fault::FaultInjector> fault_injector() const;
 
@@ -100,15 +126,20 @@ class TcpServer {
 // one channel per worker to spread socket work across server connections.
 //
 // A broken connection is not terminal: the next call(), call_async() or
-// call_batch() reconnects to the original endpoint (in-flight calls from
-// the broken generation still fail — ids are not replayed). Retry policy
-// lives a layer up (adapters::AdapterOptions); the channel only makes
-// retrying possible.
+// call_batch() reconnects to the original endpoint and re-negotiates the
+// codec (in-flight calls from the broken generation still fail — ids are
+// not replayed). Retry policy lives a layer up (rpc::ClientConfig::retry);
+// the channel only makes retrying possible.
 class TcpChannel final : public Channel {
  public:
-  // `timeout` bounds each blocking call() / call_batch() wait unless the
-  // per-call CallOptions deadline overrides it; call_async futures are
-  // unbounded (the caller owns the wait policy).
+  // Full configuration: codec preference and the blocking-call timeout come
+  // from `config` (per-call CallOptions deadlines still override the
+  // timeout; call_async futures are unbounded — the caller owns the wait
+  // policy).
+  TcpChannel(const std::string& host, std::uint16_t port, const ClientConfig& config);
+
+  // Deprecated shim: binary-preferred with the given timeout. Prefer the
+  // ClientConfig constructor.
   TcpChannel(const std::string& host, std::uint16_t port,
              std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
   ~TcpChannel() override;
@@ -123,6 +154,9 @@ class TcpChannel final : public Channel {
   std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls,
                                      const CallOptions& opts = {}) override;
 
+  // Codec this channel negotiated for the current connection generation.
+  wire::WireCodec codec() const { return codec_.load(std::memory_order_relaxed); }
+
   // Client-side fault hooks (kClientLatency sleeps before a send,
   // kConnReset shuts the socket down and fails the call). Install before
   // sharing the channel across threads.
@@ -133,24 +167,86 @@ class TcpChannel final : public Channel {
                                         std::uint64_t& id_out);
   // Reopens the socket and restarts the reader if the connection broke.
   void ensure_connected();
+  // Offers the binary codec on a fresh socket (blocking, pre-reader) and
+  // records the negotiated outcome in codec_.
+  void negotiate(int fd);
   void inject_send_faults();  // sleeps or throws per the installed plan
   std::chrono::milliseconds effective_deadline(const CallOptions& opts) const {
     return opts.deadline.count() > 0 ? opts.deadline : timeout_;
   }
+  // Shared completion state for one call_batch round trip. Two completion
+  // modes share it:
+  //
+  //  direct frame handoff (binary fast path): the reader recognizes a
+  //    response frame that covers the batch's entire id range and hands the
+  //    raw payload over as a zero-copy Slice; the CALLER decodes it straight
+  //    into its reply vector. Keeping decode on the consuming thread means
+  //    every tree node is malloc'd, read and freed on one core — no
+  //    cross-thread allocator traffic, no reply moves through the group.
+  //
+  //  slot fills (JSON batches, stray/partial frames): the reader writes
+  //    reply slots directly under mu (one mutex + condvar per batch, not N
+  //    futex-backed futures) and wakes the caller when the last slot lands.
+  struct BatchGroup {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;         // guarded by mu; counts unfilled slots
+    std::exception_ptr failure;        // guarded by mu; first transport error
+    std::vector<BatchReply> replies;   // slot per call, guarded by mu
+    std::vector<bool> filled;          // guarded by mu; guards double completion
+    bool abandoned = false;            // guarded by mu; fills are skipped once set
+    wire::Slice frame;                 // guarded by mu; direct-handoff payload
+    bool frame_ready = false;          // guarded by mu
+  };
+  // One in-flight single call (call / call_async). Batches never enter the
+  // per-id table: a batch's consecutive ids register as ONE BatchRange, so a
+  // 64-call batch costs one map node, not 64 hash-table nodes.
+  struct PendingSlot {
+    std::promise<json::Value> promise;
+  };
+  struct BatchRange {  // guarded by pending_mu_, keyed by first_id
+    std::uint32_t count = 0;
+    std::shared_ptr<BatchGroup> group;
+  };
+
   void reader_loop(int fd);
+  // Reader-side half of the direct frame handoff: if the binary response
+  // frame at `body` (a view into `buf`) exactly covers one registered batch
+  // range, parks a zero-copy Slice on that group, wakes the caller and
+  // returns true. False means the frame needs the complete_binary path.
+  bool try_handoff(const wire::BufferPtr& buf, std::string_view body);
   void complete(const json::Value& response);
+  // Completes every entry of one binary response frame: one pass under the
+  // pending-table lock to resolve ids, one lock per batch group (usually a
+  // single group per frame) to fill replies. Results are moved out.
+  void complete_binary(std::vector<wire::ResponseEntry>& entries);
+  // Looks up the batch range covering `id` (pending_mu_ must be held; the
+  // returned pointer is only valid while it is). Writes the slot index and
+  // returns the table's range entry, or null for no match.
+  BatchRange* find_range(std::uint64_t id, std::uint32_t& slot_out);
   void fail_all(std::exception_ptr reason);
   void forget(std::uint64_t id);
+  // Abandons a batch: drops its range entry and reconciles the in-flight
+  // gauge for the slots that never completed.
+  void forget_range(std::uint64_t first_id, const std::shared_ptr<BatchGroup>& group);
+  // Idempotent terminal transition for a group: marks it abandoned (fills
+  // become no-ops), records the first failure if one is given, wakes the
+  // waiter and reconciles the in-flight gauge for the unfilled slots. Must
+  // be called WITHOUT pending_mu_ or the group mutex held.
+  void abandon_group(const std::shared_ptr<BatchGroup>& group, std::exception_ptr reason);
 
   std::string host_;
   std::uint16_t port_ = 0;
   int fd_ = -1;  // guarded by write_mu_ once the channel is shared
   std::chrono::milliseconds timeout_;
+  CodecPreference preference_ = CodecPreference::kBinaryPreferred;
+  std::atomic<wire::WireCodec> codec_{wire::WireCodec::kJson};
   std::shared_ptr<fault::FaultInjector> faults_;
   std::mutex write_mu_;  // request frames are written atomically, back-to-back
 
   std::mutex pending_mu_;
-  std::unordered_map<std::uint64_t, std::promise<json::Value>> pending_;
+  std::unordered_map<std::uint64_t, PendingSlot> pending_;
+  std::map<std::uint64_t, BatchRange> batch_ranges_;  // guarded by pending_mu_
   std::uint64_t next_id_ = 1;        // guarded by pending_mu_
   bool broken_ = false;              // guarded by pending_mu_
   std::exception_ptr break_reason_;  // guarded by pending_mu_

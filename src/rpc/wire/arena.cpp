@@ -1,0 +1,110 @@
+#include "rpc/wire/arena.hpp"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::rpc::wire {
+
+namespace {
+
+struct ArenaMetrics {
+  telemetry::Counter& alloc;
+  telemetry::Counter& reuse;
+
+  static ArenaMetrics& get() {
+    static ArenaMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  ArenaMetrics()
+      : alloc(telemetry::MetricRegistry::global().counter(
+            "hammer_wire_arena_buffers_total", "Arena buffer acquisitions by source",
+            "source=\"alloc\"")),
+        reuse(telemetry::MetricRegistry::global().counter(
+            "hammer_wire_arena_buffers_total", "Arena buffer acquisitions by source",
+            "source=\"reuse\"")) {}
+};
+
+}  // namespace
+
+// Kept alive by every outstanding buffer's deleter, so a buffer released
+// after the arena handle is gone still recycles (and then frees) safely.
+struct BufferArena::State {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Buffer>> free;
+  std::size_t max_pooled;
+  std::size_t max_retained_bytes;
+  std::uint64_t allocated = 0;
+  std::uint64_t reused = 0;
+};
+
+BufferArena::BufferArena(std::size_t max_pooled, std::size_t max_retained_bytes)
+    : state_(std::make_shared<State>()) {
+  HAMMER_CHECK(max_pooled >= 1);
+  state_->max_pooled = max_pooled;
+  state_->max_retained_bytes = max_retained_bytes;
+}
+
+BufferPtr BufferArena::acquire(std::size_t reserve_hint) {
+  std::unique_ptr<Buffer> buf;
+  {
+    std::scoped_lock lock(state_->mu);
+    if (!state_->free.empty()) {
+      buf = std::move(state_->free.back());
+      state_->free.pop_back();
+      ++state_->reused;
+    } else {
+      ++state_->allocated;
+    }
+  }
+  if (buf) {
+    ArenaMetrics::get().reuse.add(1);
+  } else {
+    ArenaMetrics::get().alloc.add(1);
+    buf = std::make_unique<Buffer>();
+  }
+  buf->clear();
+  if (reserve_hint > 0) buf->reserve(reserve_hint);
+  Buffer* raw = buf.release();
+  std::shared_ptr<State> state = state_;
+  return BufferPtr(raw, [state](Buffer* b) {
+    std::unique_ptr<Buffer> owned(b);
+    if (owned->capacity() > state->max_retained_bytes) return;  // drop oversized
+    std::scoped_lock lock(state->mu);
+    if (state->free.size() < state->max_pooled) state->free.push_back(std::move(owned));
+  });
+}
+
+BufferArena& BufferArena::global() {
+  static BufferArena arena(/*max_pooled=*/256, /*max_retained_bytes=*/4u << 20);
+  return arena;
+}
+
+std::uint64_t BufferArena::allocated() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->allocated;
+}
+
+std::uint64_t BufferArena::reused() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->reused;
+}
+
+Slice::Slice(std::shared_ptr<const Buffer> owner, std::size_t offset, std::size_t len)
+    : owner_(std::move(owner)), offset_(offset), len_(len) {
+  HAMMER_CHECK(owner_ != nullptr);
+  HAMMER_CHECK(offset_ + len_ <= owner_->size());
+}
+
+Slice Slice::copy_of(std::string_view bytes) {
+  auto owner = std::make_shared<Buffer>(bytes);
+  std::size_t len = owner->size();
+  return Slice(std::move(owner), 0, len);
+}
+
+}  // namespace hammer::rpc::wire

@@ -1,0 +1,95 @@
+// Pooled buffer arena and byte slices for the RPC wire path.
+//
+// The pre-wire transport re-materialized a std::string at every hop:
+// substr() per request frame on the server, a fresh dump() per response,
+// a heap allocation per send. At cluster rates that is an allocation storm
+// on the hottest path in the process. The arena replaces it with two
+// primitives:
+//
+//   BufferArena  a thread-safe free list of reusable byte buffers. acquire()
+//                hands out a cleared buffer whose *capacity* persists across
+//                uses, so steady-state traffic stops allocating entirely.
+//                Buffers return to the arena automatically when the last
+//                reference drops (shared_ptr deleter), which makes handing a
+//                buffer to another thread safe by construction.
+//
+//   Slice        a non-owning {pointer, length} view that shares ownership
+//                of the buffer holding its bytes. The server's event thread
+//                slices complete request frames out of a connection's read
+//                buffer and hands the slices to worker threads without
+//                copying the payload; the buffer is recycled once the last
+//                slice (and the connection's own reference) is gone.
+//
+// Lifetime rules (DESIGN.md §11): a Slice keeps its backing buffer alive;
+// a buffer handed out by acquire() must not be resized once any Slice into
+// it exists (reallocation would dangle the view) — the TCP server retires a
+// read buffer to its slices and switches to a fresh one the moment a frame
+// is sliced out of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hammer::rpc::wire {
+
+// A pooled byte buffer. Plain std::string storage so existing encode paths
+// (json dump, codec writers) append without adaptation.
+using Buffer = std::string;
+using BufferPtr = std::shared_ptr<Buffer>;
+
+class BufferArena {
+ public:
+  // `max_pooled` bounds the free list; `max_retained_bytes` drops buffers
+  // that grew beyond it instead of pooling them (one oversized burst must
+  // not pin its high-water mark forever).
+  explicit BufferArena(std::size_t max_pooled = 64,
+                       std::size_t max_retained_bytes = 1u << 20);
+  ~BufferArena() = default;
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  // Returns an empty buffer (capacity >= reserve_hint) that recycles into
+  // this arena when its last reference — including every Slice viewing it —
+  // is released. Outlives the arena handle safely: the free list is kept
+  // alive by the deleters themselves.
+  BufferPtr acquire(std::size_t reserve_hint = 0);
+
+  // Process-wide arena shared by every channel and server.
+  static BufferArena& global();
+
+  // Observability (also mirrored to hammer_wire_arena_* telemetry).
+  std::uint64_t allocated() const;  // acquires served by a fresh allocation
+  std::uint64_t reused() const;     // acquires served from the free list
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+// View over bytes owned by a pooled buffer (or any shared string). Copying
+// a Slice is cheap: it bumps the buffer's refcount, never the bytes.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(std::shared_ptr<const Buffer> owner, std::size_t offset, std::size_t len);
+
+  // Wraps a self-contained string (copies once); for call sites that need a
+  // Slice but have no arena buffer in hand.
+  static Slice copy_of(std::string_view bytes);
+
+  const char* data() const { return owner_ ? owner_->data() + offset_ : nullptr; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::string_view view() const { return {data(), len_}; }
+
+ private:
+  std::shared_ptr<const Buffer> owner_;
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+};
+
+}  // namespace hammer::rpc::wire

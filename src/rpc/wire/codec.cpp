@@ -1,0 +1,291 @@
+#include "rpc/wire/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace hammer::rpc::wire {
+
+namespace {
+
+// Value tag bytes. Booleans get their own tags so true/false cost one byte.
+enum : unsigned char {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagArray = 6,
+  kTagObject = 7,
+};
+
+[[noreturn]] void truncated(const char* what) {
+  throw ParseError(std::string("binary frame truncated in ") + what);
+}
+
+void put_bytes(std::string& out, std::string_view bytes) {
+  put_varint(out, bytes.size());
+  out.append(bytes.data(), bytes.size());
+}
+
+std::string_view get_bytes(const char*& p, const char* end, const char* what) {
+  std::uint64_t len = get_varint(p, end);
+  if (len > static_cast<std::uint64_t>(end - p)) truncated(what);
+  std::string_view view(p, static_cast<std::size_t>(len));
+  p += len;
+  return view;
+}
+
+}  // namespace
+
+const char* to_string(WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kJson: return "json";
+    case WireCodec::kBinary: return "binary";
+  }
+  return "?";
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void put_zigzag(std::string& out, std::int64_t v) {
+  put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
+std::uint64_t get_varint(const char*& p, const char* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (p < end) {
+    unsigned char byte = static_cast<unsigned char>(*p++);
+    if (shift == 63 && byte > 1) throw ParseError("varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw ParseError("varint overflows 64 bits");
+  }
+  truncated("varint");
+}
+
+std::int64_t get_zigzag(const char*& p, const char* end) {
+  std::uint64_t raw = get_varint(p, end);
+  return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+// Direct recursive walk rather than the json::Visitor SAX interface: the
+// encoder sits on the per-call hot path, and a type switch inlines where
+// fifteen virtual dispatches per tree do not.
+void encode_value(std::string& out, const json::Value& v) {
+  switch (v.type()) {
+    case json::Value::Type::kNull:
+      out.push_back(static_cast<char>(kTagNull));
+      return;
+    case json::Value::Type::kBool:
+      out.push_back(static_cast<char>(v.as_bool() ? kTagTrue : kTagFalse));
+      return;
+    case json::Value::Type::kInt:
+      out.push_back(static_cast<char>(kTagInt));
+      put_zigzag(out, v.as_int());
+      return;
+    case json::Value::Type::kDouble: {
+      out.push_back(static_cast<char>(kTagDouble));
+      double d = v.as_double();
+      char bytes[sizeof(double)];
+      std::memcpy(bytes, &d, sizeof(double));
+      out.append(bytes, sizeof(double));
+      return;
+    }
+    case json::Value::Type::kString:
+      out.push_back(static_cast<char>(kTagString));
+      put_bytes(out, v.as_string());
+      return;
+    case json::Value::Type::kArray: {
+      const json::Array& arr = v.as_array();
+      out.push_back(static_cast<char>(kTagArray));
+      put_varint(out, arr.size());
+      for (const json::Value& item : arr) encode_value(out, item);
+      return;
+    }
+    case json::Value::Type::kObject: {
+      const json::Object& obj = v.as_object();
+      out.push_back(static_cast<char>(kTagObject));
+      put_varint(out, obj.size());
+      for (const auto& [key, item] : obj) {
+        put_bytes(out, key);
+        encode_value(out, item);
+      }
+      return;
+    }
+  }
+}
+
+json::Value decode_value(const char*& p, const char* end) {
+  if (p >= end) truncated("value tag");
+  unsigned char tag = static_cast<unsigned char>(*p++);
+  switch (tag) {
+    case kTagNull: return json::Value(nullptr);
+    case kTagFalse: return json::Value(false);
+    case kTagTrue: return json::Value(true);
+    case kTagInt: return json::Value(get_zigzag(p, end));
+    case kTagDouble: {
+      if (end - p < static_cast<std::ptrdiff_t>(sizeof(double))) truncated("double");
+      double d;
+      std::memcpy(&d, p, sizeof(double));
+      p += sizeof(double);
+      return json::Value(d);
+    }
+    case kTagString: return json::Value(std::string(get_bytes(p, end, "string")));
+    case kTagArray: {
+      std::uint64_t count = get_varint(p, end);
+      json::Array arr;
+      // Guard reserve with the bytes actually available: a corrupt count
+      // must not pre-allocate gigabytes before the decode loop fails.
+      arr.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(count, static_cast<std::uint64_t>(end - p))));
+      for (std::uint64_t i = 0; i < count; ++i) arr.push_back(decode_value(p, end));
+      return json::Value(std::move(arr));
+    }
+    case kTagObject: {
+      std::uint64_t count = get_varint(p, end);
+      json::Object obj;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string key(get_bytes(p, end, "object key"));
+        // Canonical encoding emits keys in sorted order, so an end() hint
+        // makes each insert amortized O(1); an unsorted (foreign) encoder
+        // still decodes correctly, the hint is just wasted.
+        obj.emplace_hint(obj.end(), std::move(key), decode_value(p, end));
+      }
+      return json::Value(std::move(obj));
+    }
+    default:
+      throw ParseError("unknown binary value tag " + std::to_string(tag));
+  }
+}
+
+void put_header(std::string& out, FrameKind kind) {
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kind));
+}
+
+bool is_versioned(std::string_view payload) {
+  return !payload.empty() && static_cast<unsigned char>(payload[0]) == kMagic;
+}
+
+ParsedFrame parse_versioned(std::string_view payload) {
+  if (payload.size() < kHeaderBytes || !is_versioned(payload)) {
+    throw ParseError("not a versioned wire frame");
+  }
+  if (static_cast<unsigned char>(payload[1]) != kVersion) {
+    throw ParseError("unsupported wire version " +
+                     std::to_string(static_cast<unsigned char>(payload[1])));
+  }
+  ParsedFrame frame;
+  frame.kind = static_cast<FrameKind>(static_cast<unsigned char>(payload[2]));
+  frame.body = payload.substr(kHeaderBytes);
+  return frame;
+}
+
+void encode_call(std::string& out, std::uint64_t id, std::string_view method,
+                 const json::Value& params) {
+  put_varint(out, id);
+  put_bytes(out, method);
+  encode_value(out, params);
+}
+
+std::vector<DecodedCall> decode_request_body(std::string_view body) {
+  const char* p = body.data();
+  const char* end = p + body.size();
+  std::uint64_t count = get_varint(p, end);
+  std::vector<DecodedCall> calls;
+  calls.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, static_cast<std::uint64_t>(end - p) + 1)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecodedCall call;
+    call.id = get_varint(p, end);
+    call.method = std::string(get_bytes(p, end, "method"));
+    call.params = decode_value(p, end);
+    calls.push_back(std::move(call));
+  }
+  if (p != end) throw ParseError("trailing bytes after binary request body");
+  return calls;
+}
+
+void encode_response_entry(std::string& out, const ResponseEntry& entry) {
+  put_varint(out, entry.id);
+  if (entry.ok()) {
+    out.push_back(0);
+    encode_value(out, entry.result);
+  } else {
+    out.push_back(1);
+    put_zigzag(out, entry.error_code);
+    put_bytes(out, entry.error_message);
+  }
+}
+
+std::vector<ResponseEntry> decode_response_body(std::string_view body) {
+  std::vector<ResponseEntry> entries;
+  decode_response_into(body, entries);
+  return entries;
+}
+
+void decode_response_into(std::string_view body, std::vector<ResponseEntry>& out) {
+  out.clear();
+  const char* p = body.data();
+  const char* end = p + body.size();
+  std::uint64_t count = get_varint(p, end);
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, static_cast<std::uint64_t>(end - p) + 1)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ResponseEntry entry;
+    entry.id = get_varint(p, end);
+    if (p >= end) truncated("response status");
+    unsigned char status = static_cast<unsigned char>(*p++);
+    if (status == 0) {
+      entry.result = decode_value(p, end);
+    } else if (status == 1) {
+      entry.error_code = static_cast<int>(get_zigzag(p, end));
+      entry.error_message = std::string(get_bytes(p, end, "error message"));
+    } else {
+      throw ParseError("unknown response status " + std::to_string(status));
+    }
+    out.push_back(std::move(entry));
+  }
+  if (p != end) throw ParseError("trailing bytes after binary response body");
+}
+
+std::string make_hello_body() {
+  return json::object({{"version", static_cast<std::int64_t>(kVersion)},
+                       {"codecs", json::array({"binary", "json"})}})
+      .dump();
+}
+
+std::string make_hello_ok_body() { return make_hello_body(); }
+
+std::string make_error_body(int code, const std::string& message) {
+  return json::object({{"code", code}, {"message", message}}).dump();
+}
+
+bool offers_binary(std::string_view hello_body) {
+  try {
+    json::Value body = json::Value::parse(hello_body);
+    if (body.get_int("version", 0) != kVersion) return false;
+    if (!body.contains("codecs")) return false;
+    for (const json::Value& codec : body.at("codecs").as_array()) {
+      if (codec.is_string() && codec.as_string() == "binary") return true;
+    }
+  } catch (const Error&) {
+    // Malformed hello: negotiate down, never up.
+  }
+  return false;
+}
+
+}  // namespace hammer::rpc::wire

@@ -47,6 +47,18 @@ class TimeoutError : public TransportError {
   explicit TimeoutError(const std::string& what) : TransportError("timeout: " + what) {}
 };
 
+// A wire frame exceeded rpc::kMaxFrameBytes — on send (the encoded request
+// is refused before touching the socket) or on receive (the peer announced
+// an oversize frame; the connection is dropped). Derives from
+// TransportError so legacy catch sites keep working, but the retry
+// taxonomy classifies it kProtocol: the same frame fails the same way on
+// every attempt, so retrying cannot help.
+class FrameTooLargeError : public TransportError {
+ public:
+  explicit FrameTooLargeError(const std::string& what)
+      : TransportError("frame too large: " + what) {}
+};
+
 // Broken internal invariant; thrown by HAMMER_CHECK.
 class LogicError : public std::logic_error {
  public:

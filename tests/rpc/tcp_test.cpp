@@ -191,8 +191,20 @@ TEST(TcpTest, OversizedFrameDropsConnection) {
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
   std::uint32_t huge = htonl(512u * 1024 * 1024);  // claims a 512 MiB frame
   ASSERT_EQ(::send(fd, &huge, sizeof(huge), 0), static_cast<ssize_t>(sizeof(huge)));
+  // The server announces WHY before closing: one kError control frame naming
+  // kErrFrameTooLarge (wire_test checks its body), then EOF — and it never
+  // allocated the claimed 512 MiB.
+  std::uint32_t len_be = 0;
+  ASSERT_EQ(::recv(fd, &len_be, sizeof(len_be), MSG_WAITALL),
+            static_cast<ssize_t>(sizeof(len_be)));
+  std::uint32_t len = ntohl(len_be);
+  ASSERT_GT(len, 0u);
+  ASSERT_LT(len, 4096u);
+  std::string payload(len, '\0');
+  ASSERT_EQ(::recv(fd, payload.data(), len, MSG_WAITALL), static_cast<ssize_t>(len));
+  EXPECT_TRUE(wire::is_versioned(payload));
   char byte;
-  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // server closed instead of allocating
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // ...then the server closed
   ::close(fd);
 }
 
