@@ -163,8 +163,12 @@ double cpu_seconds() {
 
 // Cost of `total` echo round trips in call_batch chunks of `chunk`,
 // through a Retryer with a full retry budget (never fires: no faults drawn,
-// but every call pays the policy layer's bookkeeping).
-EchoCost echo_throughput(rpc::TcpChannel& channel, std::size_t total, std::size_t chunk) {
+// but every call pays the policy layer's bookkeeping). With trace_every > 0
+// every trace_every-th batch carries a trace context (the driver's
+// run-realistic sampling shape), so the frame ships the kTracedRequest
+// prefix and the server records decode/queue/handler spans for it.
+EchoCost echo_throughput(rpc::TcpChannel& channel, std::size_t total, std::size_t chunk,
+                         std::size_t trace_every = 0) {
   // Build every batch up front: the timed region is the wire path (encode,
   // send, dispatch, reply, decode), not workload generation.
   std::vector<std::vector<rpc::BatchCall>> batches;
@@ -178,13 +182,19 @@ EchoCost echo_throughput(rpc::TcpChannel& channel, std::size_t total, std::size_
     batches.push_back(std::move(calls));
   }
   rpc::Retryer retryer(rpc::RetryPolicy::standard(4));
+  static std::uint64_t next_trace_id = 1;
   double cpu_before = cpu_seconds();
   util::Stopwatch watch(util::SteadyClock::shared());
-  for (const std::vector<rpc::BatchCall>& calls : batches) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    rpc::CallOptions opts;
+    if (trace_every != 0 && b % trace_every == 0) {
+      opts.trace.trace_id = next_trace_id++;
+      opts.trace.span_id = opts.trace.trace_id;
+    }
     // Consume-and-drop per batch, the way a driver worker does: reply trees
     // are freed inside the window, on the thread that decoded them.
     std::vector<rpc::BatchReply> replies =
-        retryer.run([&] { return channel.call_batch(calls); });
+        retryer.run([&] { return channel.call_batch(batches[b], opts); });
     for (const rpc::BatchReply& reply : replies) reply.take();
   }
   EchoCost cost;
@@ -302,6 +312,28 @@ int main() {
                  std::to_string(binary_cost.per_core_tps())});
     csv.add_row({"rpc_codec", "binary_speedup", std::to_string(codec_chunk),
                  std::to_string(speedup)});
+
+    // Tracing overhead: the same binary-codec rounds with distributed
+    // tracing armed at the driver's run-realistic sampling (every 8th batch
+    // ships a trace context; unsampled batches pay one branch) vs tracing
+    // off on the same connection. CI floors the per-core ratio at 0.95 —
+    // the observability layer may not cost more than 5%.
+    EchoCost traced_cost, untraced_cost;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      untraced_cost += echo_throughput(binary_chan, per_round, codec_chunk);
+      traced_cost += echo_throughput(binary_chan, per_round, codec_chunk, /*trace_every=*/8);
+    }
+    double trace_ratio = traced_cost.per_core_tps() / untraced_cost.per_core_tps();
+    std::printf("  tracing off                   %8.0f calls/s  (%8.0f per core)\n",
+                untraced_cost.wall_tps(), untraced_cost.per_core_tps());
+    std::printf("  tracing armed (1 in 8)        %8.0f calls/s  (%8.0f per core, %.3fx)\n",
+                traced_cost.wall_tps(), traced_cost.per_core_tps(), trace_ratio);
+    csv.add_row({"rpc_codec", "untraced", std::to_string(codec_chunk),
+                 std::to_string(untraced_cost.per_core_tps())});
+    csv.add_row({"rpc_codec", "traced", std::to_string(codec_chunk),
+                 std::to_string(traced_cost.per_core_tps())});
+    csv.add_row({"rpc_codec", "trace_overhead_ratio", std::to_string(codec_chunk),
+                 std::to_string(trace_ratio)});
     ::kill(server_pid, SIGKILL);
     ::waitpid(server_pid, nullptr, 0);
   }

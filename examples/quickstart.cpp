@@ -24,12 +24,17 @@
 // and watch the per-target split in the summary (shard-affine keeps every
 // submission on the endpoint owning its sender's shard).
 //
+// With --trace-out <path>, the run's distributed trace (driver lifecycle
+// lanes + server-side spans, stitched per sampled transaction) is written
+// as Chrome trace_event JSON — open it at https://ui.perfetto.dev.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "core/deployment.hpp"
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
   bool with_faults = false;
   std::size_t endpoints = 1;
   core::RoutingKind routing = core::RoutingKind::kRoundRobin;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
@@ -59,6 +65,8 @@ int main(int argc, char** argv) {
       if (endpoints == 0) endpoints = 1;
     } else if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc) {
       routing = core::routing_kind_from_string(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     }
   }
 
@@ -105,6 +113,8 @@ int main(int argc, char** argv) {
   core::DriverOptions options;
   options.worker_threads = 2;
   options.trace_every_n = 8;
+  // 1-in-8 sampling keeps the demo's Perfetto export well under 10 MB.
+  options.trace_export_path = trace_out;
   // Write-behind: completed records stream cache -> SQL on a background
   // committer during the run instead of a run-end bulk scan.
   core::MetricsOptions metrics_options;
@@ -159,10 +169,15 @@ int main(int argc, char** argv) {
   // 4. Results: direct summary + the visualization layer's SQL view, with
   // the client's resource series folded into the report.
   std::printf("\n%s\n\n", result.summary().c_str());
-  report::RunReport report = report::RunReport::build(*options.metrics, "quickstart", &monitor);
+  report::RunReport report = report::RunReport::build(*options.metrics, "quickstart", &monitor,
+                                                      &result.stages);
   std::printf("%s\n", report.rendered.c_str());
   if (!result.stages.is_null()) {
     std::printf("stage breakdown: %s\n", result.stages.dump().c_str());
+  }
+  if (!trace_out.empty()) {
+    std::printf("trace timeline written to %s (open at https://ui.perfetto.dev)\n",
+                trace_out.c_str());
   }
   if (endpoints > 1 && !result.targets.is_null()) {
     std::printf("per-target split: %s\n", result.targets.dump().c_str());

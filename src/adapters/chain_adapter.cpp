@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "rpc/tcp.hpp"
+#include "telemetry/endpoint.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::adapters {
@@ -46,12 +47,19 @@ std::string ChainAdapter::submit(const chain::Transaction& tx) {
 
 std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
     const std::vector<chain::Transaction>& txs) {
+  return submit_batch(txs, telemetry::TraceContext{});
+}
+
+std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
+    const std::vector<chain::Transaction>& txs, const telemetry::TraceContext& trace) {
   std::vector<SubmitResult> out(txs.size());
   if (txs.empty()) return out;
   std::vector<std::string> ids(txs.size());
   for (std::size_t i = 0; i < txs.size(); ++i) ids[i] = txs[i].compute_id();
 
   const rpc::RetryPolicy& policy = config_.retry;
+  rpc::CallOptions call_opts = config_.call;
+  call_opts.trace = trace;  // unsampled by default: one branch in the transport
   std::vector<std::size_t> open(txs.size());
   std::iota(open.begin(), open.end(), std::size_t{0});
   for (std::uint32_t attempt = 1;; ++attempt) {
@@ -64,7 +72,7 @@ std::vector<ChainAdapter::SubmitResult> ChainAdapter::submit_batch(
     }
     std::vector<rpc::BatchReply> replies;
     try {
-      replies = channel_->call_batch(calls, config_.call);
+      replies = channel_->call_batch(calls, call_opts);
     } catch (const TransportError&) {
       // Timeout or connection break: the frame is IN DOUBT — any subset may
       // have reached the SUT.
@@ -133,6 +141,10 @@ std::vector<std::size_t> ChainAdapter::reconcile_in_doubt(const std::vector<std:
     }
   }
   return still_open;
+}
+
+std::vector<telemetry::Span> ChainAdapter::fetch_spans() {
+  return telemetry::fetch_spans(*channel_);
 }
 
 std::uint32_t ChainAdapter::shard_for(const std::string& sender) {

@@ -125,6 +125,21 @@ class ChainAdapter {
   // TransportError only once the policy is exhausted.
   std::vector<SubmitResult> submit_batch(const std::vector<chain::Transaction>& txs);
 
+  // Same, carrying a distributed-tracing context: the whole batch frame is
+  // tagged with `trace` (one trace per frame — see telemetry/span.hpp). The
+  // untraced overload forwards here with a default (unsampled) context.
+  std::vector<SubmitResult> submit_batch(const std::vector<chain::Transaction>& txs,
+                                         const telemetry::TraceContext& trace);
+
+  // The peer-clock offset the transport measured at connect (identity for
+  // in-process channels); the trace merger uses it to shift SUT span
+  // timestamps into the driver's clock domain.
+  telemetry::ClockOffset clock_offset() const { return channel_->clock_offset(); }
+
+  // Drains the SUT's recorded spans (telemetry.spans); empty against peers
+  // predating the method.
+  std::vector<telemetry::Span> fetch_spans();
+
   // Shard-ownership query (chain.shard_for): the shard holding `sender`'s
   // hot state — the SUT's own routing function, exposed so a shard-affine
   // client can agree with the chain instead of guessing its hash.

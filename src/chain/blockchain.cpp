@@ -1,6 +1,7 @@
 #include "chain/blockchain.hpp"
 
 #include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::chain {
@@ -87,9 +88,13 @@ std::shared_ptr<const Block> Ledger::latest() const {
 
 void Ledger::append(Block block) {
   std::size_t committed_here = 0;
+  const std::int64_t sealed_us = block.header.timestamp_us;
+  const std::size_t sealed_txs = block.receipts.size();
+  std::uint64_t sealed_height = 0;
   {
     std::scoped_lock lock(mu_);
     block.header.height = blocks_.size() + 1;
+    sealed_height = block.header.height;
     for (const TxReceipt& r : block.receipts) {
       if (r.status == TxStatus::kCommitted) {
         ++committed_;
@@ -103,6 +108,18 @@ void Ledger::append(Block block) {
   }
   ChainMetrics::get().blocks_sealed.add(1);
   ChainMetrics::get().txs_committed.add(committed_here);
+  // Block seals are low-rate, so they are recorded unconditionally as
+  // instant events (t0 == t1 == the header stamp) rather than sampled.
+  // trace_id 0 keeps them off every per-tx critical path; the timeline
+  // export renders them as markers on the sealing thread's track.
+  telemetry::Span seal;
+  seal.span_id = telemetry::SpanRecorder::global().next_span_id();
+  seal.kind = telemetry::SpanKind::kBlockSeal;
+  seal.t0_us = sealed_us;
+  seal.t1_us = sealed_us;
+  seal.thread = telemetry::this_thread_index();
+  seal.detail = "h=" + std::to_string(sealed_height) + " txs=" + std::to_string(sealed_txs);
+  telemetry::SpanRecorder::global().record(seal);
 }
 
 std::optional<Ledger::TxLocation> Ledger::find_tx(const std::string& tx_id) const {
@@ -260,6 +277,10 @@ void bind_chain_rpc(std::shared_ptr<Blockchain> chain, rpc::Dispatcher& dispatch
   dispatcher.register_method(
       "chain.submit", [chain, endpoint, total_endpoints](const json::Value& params) {
         Transaction tx = Transaction::from_json(params.at("tx"));
+        // Nested under the handler span when the call is traced; separates
+        // admission cost (ingress sleep + signature check + pool insert)
+        // from the RPC plumbing around it. No-op for unsampled calls.
+        telemetry::ScopedSpan span(telemetry::SpanKind::kChainSubmit);
         std::string id = chain->submit_via(endpoint, total_endpoints, std::move(tx));
         return json::object({{"tx_id", id}});
       });

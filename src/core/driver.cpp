@@ -1,6 +1,7 @@
 #include "core/driver.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "telemetry/registry.hpp"
 #include "util/errors.hpp"
@@ -161,6 +162,18 @@ void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& q
 
     std::vector<std::string> tx_ids(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) tx_ids[i] = batch[i].compute_id();
+    // One trace per batch frame: if any member is sampled, the whole frame
+    // carries a fresh trace id and every sampled member stitches under it.
+    telemetry::TraceContext trace_ctx;
+    if (merger_) {
+      for (std::uint64_t ordinal : ordinals) {
+        if (tracer_->sampled(ordinal)) {
+          trace_ctx.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+          trace_ctx.span_id = trace_ctx.trace_id;  // synthetic client-root span
+          break;
+        }
+      }
+    }
     std::int64_t start_us = clock_->now_us();
     metrics.submitted.add(batch.size());
     metrics.inflight.add(batch.size());
@@ -177,7 +190,7 @@ void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& q
                                                       batch[i].contract, ordinals[i]);
         }
         try {
-          if (batch.size() == 1) {
+          if (batch.size() == 1 && !trace_ctx.sampled()) {
             try {
               adapter.submit(batch[0]);
             } catch (const RejectedError&) {
@@ -186,7 +199,10 @@ void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& q
               task_processor_->mark_rejected(positions[0], clock_->now_us());
             }
           } else {
-            auto results = adapter.submit_batch(batch);
+            // Traced singles go through the batch path too: submit() is a
+            // batch of one anyway, and this is the overload carrying the
+            // trace context onto the wire.
+            auto results = adapter.submit_batch(batch, trace_ctx);
             for (std::size_t i = 0; i < results.size(); ++i) {
               if (results[i].ok()) continue;
               reject(1);
@@ -289,6 +305,10 @@ void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& q
       for (std::uint64_t ordinal : ordinals) {
         if (!tracer_->sampled(ordinal)) continue;
         tracer_->record(ordinal, telemetry::Stage::kSubmitted, send_done_us);
+        if (merger_ && trace_ctx.sampled()) {
+          merger_->note_submit(telemetry::SubmitTrace{ordinal, trace_ctx.trace_id, start_us,
+                                                      send_done_us, adapter.target_index()});
+        }
       }
     }
   }
@@ -408,10 +428,15 @@ void HammerDriver::poll_loop(SutTarget& target) {
         std::size_t matched = 0;
         if (options_.mode == TrackingMode::kHammer) {
           // The block's own seal timestamp feeds the included-stage trace so
-          // the breakdown separates consensus latency from polling lag.
-          matched = task_processor_
-                        ->on_block(block_time_us, block.receipts, block.header.timestamp_us)
-                        .matched;
+          // the breakdown separates consensus latency from polling lag. The
+          // header stamp is on the SUT's clock: map it onto the driver clock
+          // via the channel's hello-handshake offset, or a skewed SUT clock
+          // silently inflates/deflates the include stage and deflates/
+          // inflates detect (they must sum to the observed window).
+          const std::int64_t included_us =
+              adapter.clock_offset().to_local(block.header.timestamp_us);
+          matched =
+              task_processor_->on_block(block_time_us, block.receipts, included_us).matched;
         } else {
           matched = batch_processor_->on_block(block_time_us, block.receipts);
         }
@@ -442,8 +467,11 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   if (options_.trace_every_n > 0) {
     tracer_ = std::make_unique<telemetry::TxTracer>(options_.trace_capacity,
                                                     options_.trace_every_n);
+    merger_ = std::make_unique<telemetry::TraceMerger>();
+    next_trace_id_.store(1);
   } else {
     tracer_.reset();
+    merger_.reset();
   }
   const bool live_metrics = options_.mode == TrackingMode::kHammer &&
                             options_.metrics != nullptr && options_.metrics->write_behind();
@@ -680,6 +708,34 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   }
   if (tracer_) {
     result.stages = tracer_->breakdown().to_json();
+  }
+  if (merger_) {
+    // Stitch: drain every target's server-side span ring and map it onto
+    // the driver clock. Old SUTs without telemetry.spans contribute nothing
+    // (fetch_spans returns empty); in-process deployments return the same
+    // global ring from every endpoint and the merger dedups by span id.
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      adapters::ChainAdapter& poll = *cluster_->target(t).poll_adapter();
+      try {
+        merger_->add_server_spans(t, poll.fetch_spans(), poll.clock_offset());
+      } catch (const Error& e) {
+        HLOG_WARN("driver") << "span fetch for target " << t << " failed: " << e.what();
+      }
+    }
+    if (merger_->server_span_count() > 0 && result.stages.is_object()) {
+      result.stages["remote"] = merger_->remote_breakdown().to_json();
+    }
+    if (!options_.trace_export_path.empty()) {
+      std::ofstream out(options_.trace_export_path,
+                        std::ios::binary | std::ios::trunc);
+      if (out) {
+        out << merger_->to_trace_json(tracer_->events()).dump();
+        HLOG_INFO("driver") << "wrote trace timeline to " << options_.trace_export_path;
+      } else {
+        HLOG_WARN("driver") << "cannot open trace export path "
+                            << options_.trace_export_path;
+      }
+    }
   }
   return result;
 }

@@ -51,6 +51,7 @@
 #include "core/sut_cluster.hpp"
 #include "core/task_processor.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/timeline.hpp"
 #include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/mpmc_queue.hpp"
@@ -101,6 +102,14 @@ struct DriverOptions {
   std::uint64_t trace_every_n = 0;
   std::size_t trace_capacity = 1 << 16;
 
+  // Distributed tracing (requires trace_every_n > 0): sampled transactions'
+  // batch frames carry a wire-propagated trace context; at run end the
+  // driver fetches each target's server-side spans (telemetry.spans),
+  // aligns clocks, and adds the stitched critical path to
+  // RunResult::stages["remote"]. When non-empty, a Chrome trace_event JSON
+  // document (Perfetto-loadable) of the whole run is written here.
+  std::string trace_export_path;
+
   // task_processor.shards > 1 swaps the flat Algorithm 1 processor for K
   // independent shards keyed by tx-id hash (identical observable results;
   // see ShardedTaskProcessor).
@@ -143,6 +152,8 @@ class HammerDriver {
   std::uint64_t send_failures() const { return send_failures_.load(); }
   // Live during run(); reset on the next run. Null when tracing is off.
   const telemetry::TxTracer* tracer() const { return tracer_.get(); }
+  // Cross-process trace stitching state; null when tracing is off.
+  const telemetry::TraceMerger* merger() const { return merger_.get(); }
 
  private:
   struct SendQueueItem {
@@ -171,6 +182,10 @@ class HammerDriver {
   std::unique_ptr<ShardedTaskProcessor> task_processor_;
   std::unique_ptr<BatchQueueProcessor> batch_processor_;
   std::unique_ptr<telemetry::TxTracer> tracer_;
+  std::unique_ptr<telemetry::TraceMerger> merger_;
+  // Trace ids are allocated per traced batch frame; 0 means unsampled, so
+  // the counter starts at 1 and never wraps to 0 in practice.
+  std::atomic<std::uint64_t> next_trace_id_{1};
 
   // Interactive mode: submitted transactions awaiting their individual
   // response, and the completions gathered by the listener.

@@ -57,7 +57,8 @@ SutTarget::SutTarget(std::size_t index,
     codec_ = "inproc";
   }
   HLOG_DEBUG("cluster") << "target " << index_ << " speaks " << codec_ << " ("
-                        << worker_adapters_.size() << " workers)";
+                        << worker_adapters_.size() << " workers, clock offset "
+                        << clock_offset().remote_minus_local_us << "us)";
 }
 
 void SutTarget::count_submitted(std::uint64_t n) {

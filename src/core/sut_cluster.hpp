@@ -72,6 +72,11 @@ class SutTarget {
   // construction for run-log diagnostics and endpoint comparisons.
   const std::string& codec() const { return codec_; }
 
+  // Offset of this endpoint's steady clock relative to the driver's,
+  // measured by the poll channel's hello handshake (0 for in-process
+  // endpoints). Surfaced beside codec() so run logs show per-endpoint skew.
+  telemetry::ClockOffset clock_offset() const { return poll_adapter_->clock_offset(); }
+
   // Transactions routed here and not yet acknowledged by the endpoint
   // (queued client-side or on the wire) — the backlog signal least-in-flight
   // routing balances on.

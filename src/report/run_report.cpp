@@ -9,8 +9,24 @@
 
 namespace hammer::report {
 
+namespace {
+
+// Renders one stage line of the critical-path section when `stages` carries
+// a summary object under `key` (the StageBreakdown / RemoteBreakdown JSON
+// shape: {count, mean_ms, p50_ms, p99_ms, max_ms}).
+void render_stage_line(std::ostringstream& os, const json::Value& stages,
+                       const char* key, const char* label) {
+  if (!stages.contains(key) || !stages.at(key).is_object()) return;
+  const json::Value& s = stages.at(key);
+  os << "  " << label << ": mean=" << format_double(s.get_double("mean_ms", 0.0), 3)
+     << "ms p99=" << format_double(s.get_double("p99_ms", 0.0), 3)
+     << "ms (n=" << s.get_int("count", 0) << ")\n";
+}
+
+}  // namespace
+
 RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::string& title,
-                           const ResourceMonitor* resources) {
+                           const ResourceMonitor* resources, const json::Value* stages) {
   RunReport report;
   report.table2_tps = metrics.query_tps();
 
@@ -71,6 +87,24 @@ RunReport RunReport::build(const core::MetricsPipeline& metrics, const std::stri
                        {.width = 60, .height = 8, .x_label = "samples", .y_label = "%"});
     }
   }
+  if (stages != nullptr && stages->is_object()) {
+    report.stages = *stages;
+    os << "Critical path (sampled txs):\n";
+    render_stage_line(os, report.stages, "sign", "sign");
+    render_stage_line(os, report.stages, "queue", "queue");
+    render_stage_line(os, report.stages, "submit", "submit");
+    render_stage_line(os, report.stages, "include", "include");
+    render_stage_line(os, report.stages, "detect", "detect");
+    if (report.stages.contains("remote") && report.stages.at("remote").is_object()) {
+      const json::Value& remote = report.stages.at("remote");
+      os << "  remote (stitched from " << remote.get_int("stitched_txs", 0)
+         << " server-side traces):\n";
+      render_stage_line(os, remote, "net_send", "  net_send");
+      render_stage_line(os, remote, "server_queue", "  server_queue");
+      render_stage_line(os, remote, "execute", "  execute");
+      render_stage_line(os, remote, "net_recv", "  net_recv");
+    }
+  }
   report.rendered = os.str();
   return report;
 }
@@ -96,6 +130,7 @@ json::Value RunReport::to_json() const {
                                      {"peak_rss_kb", peak_rss_kb},
                                      {"samples", json::Value(std::move(series))}});
   }
+  if (stages.is_object()) obj["stages"] = stages;
   return json::Value(std::move(obj));
 }
 

@@ -27,11 +27,18 @@ struct RunReport {
   std::int64_t peak_rss_kb = 0;
   std::vector<ResourceSample> resource_samples;
 
+  // Per-stage lifecycle breakdown (RunResult::stages, including the
+  // stitched "remote" critical path when distributed tracing ran); null
+  // when build() was not given one.
+  json::Value stages;
+
   // When `resources` is non-null its samples become the report's resources
   // section (peak/avg CPU, peak RSS, sample series). Stop the monitor first
-  // so the series covers exactly the run.
+  // so the series covers exactly the run. When `stages` is non-null (a
+  // RunResult::stages object) the report gains a critical-path section.
   static RunReport build(const core::MetricsPipeline& metrics, const std::string& title,
-                         const ResourceMonitor* resources = nullptr);
+                         const ResourceMonitor* resources = nullptr,
+                         const json::Value* stages = nullptr);
 
   // Structured forms of the dashboard for artifacts: JSON mirrors the
   // rendered sections; the CSV is one row per resource sample.

@@ -97,7 +97,16 @@ CallOutcome Dispatcher::invoke(std::string_view method, const json::Value& param
       }
       handler = it->second;
     }
-    outcome.result = handler(params);
+    if (telemetry::trace_active()) {
+      // First traced call of the frame flushes the pending queue-wait span;
+      // then the handler runs under its own span so chain-level spans
+      // opened inside it parent correctly.
+      telemetry::emit_queue_wait_span();
+      telemetry::ScopedSpan span(telemetry::SpanKind::kHandler, std::string(method));
+      outcome.result = handler(params);
+    } else {
+      outcome.result = handler(params);
+    }
   } catch (const RejectedError& e) {
     outcome.error_code = kServerError;
     outcome.error_message = e.what();
@@ -130,7 +139,23 @@ json::Value Dispatcher::dispatch(const json::Value& request) const {
     }
     const std::string& method = request.at("method").as_string();
     json::Value params = request.contains("params") ? request.at("params") : json::Value();
-    CallOutcome outcome = invoke(method, params);
+    // JSON-codec trace propagation: a `_trace` params member carries the
+    // context. It is stripped before the handler sees the params, so traced
+    // and untraced calls observe identical arguments.
+    telemetry::TraceContext trace;
+    if (params.is_object() && params.contains("_trace")) {
+      const json::Value& t = params.at("_trace");
+      trace.trace_id = static_cast<std::uint64_t>(t.get_int("t", 0));
+      trace.span_id = static_cast<std::uint64_t>(t.get_int("s", 0));
+      params.as_object().erase("_trace");
+    }
+    CallOutcome outcome;
+    if (trace.sampled()) {
+      telemetry::ScopedTrace scope(trace);
+      outcome = invoke(method, params);
+    } else {
+      outcome = invoke(method, params);
+    }
     if (!outcome.ok()) {
       return make_error_response(id, outcome.error_code, outcome.error_message);
     }
@@ -251,21 +276,29 @@ InProcChannel::InProcChannel(std::shared_ptr<const Dispatcher> dispatcher)
 }
 
 json::Value InProcChannel::call(const std::string& method, json::Value params,
-                                const CallOptions&) {
+                                const CallOptions& opts) {
   std::uint64_t id;
   {
     std::scoped_lock lock(mu_);
     id = next_id_++;
   }
   // Round-trip through text so the in-process path exercises exactly the
-  // same (de)serialization as the TCP path.
+  // same (de)serialization as the TCP path. Tracing installs the context
+  // directly (dispatch runs on the calling thread) instead of rewriting the
+  // request, so traced and untraced wire bytes stay identical.
   json::Value request = make_request(id, method, std::move(params));
-  std::string response_text = dispatcher_->dispatch_text(request.dump());
+  std::string response_text;
+  if (opts.trace.sampled()) {
+    telemetry::ScopedTrace scope(opts.trace);
+    response_text = dispatcher_->dispatch_text(request.dump());
+  } else {
+    response_text = dispatcher_->dispatch_text(request.dump());
+  }
   return take_result(json::Value::parse(response_text));
 }
 
 std::vector<BatchReply> InProcChannel::call_batch(const std::vector<BatchCall>& calls,
-                                                  const CallOptions&) {
+                                                  const CallOptions& opts) {
   if (calls.empty()) return {};
   std::vector<std::uint64_t> ids(calls.size());
   json::Array entries;
@@ -277,7 +310,14 @@ std::vector<BatchReply> InProcChannel::call_batch(const std::vector<BatchCall>& 
       entries.push_back(make_request(ids[i], calls[i].method, calls[i].params));
     }
   }
-  std::string response_text = dispatcher_->dispatch_text(json::Value(std::move(entries)).dump());
+  std::string request_text = json::Value(std::move(entries)).dump();
+  std::string response_text;
+  if (opts.trace.sampled()) {
+    telemetry::ScopedTrace scope(opts.trace);
+    response_text = dispatcher_->dispatch_text(request_text);
+  } else {
+    response_text = dispatcher_->dispatch_text(request_text);
+  }
   return match_batch_replies(json::Value::parse(response_text), ids);
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "json/json.hpp"
+#include "telemetry/span.hpp"
 
 namespace hammer::rpc {
 
@@ -142,6 +143,12 @@ struct CallOptions {
   // constructor-configured timeout. call_async ignores it: the future's
   // wait policy belongs to the caller.
   std::chrono::milliseconds deadline{0};
+
+  // Distributed-tracing context for this call (batch: for the whole frame).
+  // Default-constructed = unsampled, which costs one branch per call.
+  // Transports propagate it only when the peer negotiated the "trace"
+  // feature, so old servers never see it.
+  telemetry::TraceContext trace;
 };
 
 // Client-side transport abstraction. Implementations: InProcChannel (below)
@@ -169,6 +176,12 @@ class Channel {
   // working; transports with wire-level batch support override it.
   virtual std::vector<BatchReply> call_batch(const std::vector<BatchCall>& calls,
                                              const CallOptions& opts = {});
+
+  // Offset of the peer's steady clock relative to ours, measured by the
+  // hello handshake. Identity for in-process channels; a transport that
+  // never negotiated reports 0 too (spans then merge unshifted, which is
+  // the best available guess).
+  virtual telemetry::ClockOffset clock_offset() const { return {}; }
 };
 
 // Zero-copy-ish channel for in-process SUTs. Still round-trips through the

@@ -12,15 +12,22 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+#include "util/clock.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
 namespace hammer::rpc {
 
 namespace {
+
+// Span/handshake timestamps share the process steady-clock base every other
+// subsystem stamps with (driver stages, chain seal times).
+std::int64_t steady_now_us() { return util::SteadyClock::shared()->now_us(); }
 
 // Transport telemetry on the process-global registry. References are
 // resolved once; the per-event cost is one relaxed shard-local add.
@@ -478,14 +485,45 @@ void TcpServer::drain_readable(const std::shared_ptr<Connection>& conn) {
         case wire::FrameKind::kHello:
           // Codec negotiation: the client blocks on this reply before its
           // reader starts, so answering from the event thread is ordered
-          // ahead of any response frame for this connection.
-          send_control(conn, wire::FrameKind::kHelloOk, wire::make_hello_ok_body());
+          // ahead of any response frame for this connection. The reply's
+          // steady-clock stamp is the server half of the clock-offset
+          // handshake.
+          send_control(conn, wire::FrameKind::kHelloOk,
+                       wire::make_hello_ok_body(steady_now_us()));
           break;
         case wire::FrameKind::kBinaryRequest: {
           Work work{conn,
                     wire::Slice(conn->rdbuf, payload_off + wire::kHeaderBytes,
                                 len - wire::kHeaderBytes),
                     wire::WireCodec::kBinary};
+          work.recv_us = steady_now_us();
+          sliced = true;
+          RpcMetrics::get().server_requests.add(1);
+          if (!work_queue_.push(std::move(work))) return;  // queue closed: stopping
+          break;
+        }
+        case wire::FrameKind::kTracedRequest: {
+          // A binary request carrying a trace context prefix. The two
+          // varints decode here on the event thread (cheap, and only traced
+          // frames pay it); the body slice starts past them.
+          std::string_view body = payload.substr(wire::kHeaderBytes);
+          wire::TracePrefix prefix;
+          try {
+            prefix = wire::parse_trace_prefix(body);
+          } catch (const ParseError& e) {
+            HLOG_WARN("tcp") << "dropping connection: bad trace prefix: " << e.what();
+            send_control(conn, wire::FrameKind::kError,
+                         wire::make_error_body(kParseError, e.what()));
+            drop_connection(conn->fd);
+            return;
+          }
+          std::size_t prefix_bytes = body.size() - prefix.rest.size();
+          Work work{conn,
+                    wire::Slice(conn->rdbuf, payload_off + wire::kHeaderBytes + prefix_bytes,
+                                len - wire::kHeaderBytes - prefix_bytes),
+                    wire::WireCodec::kBinary};
+          work.trace = telemetry::TraceContext{prefix.trace_id, prefix.span_id};
+          work.recv_us = steady_now_us();
           sliced = true;
           RpcMetrics::get().server_requests.add(1);
           if (!work_queue_.push(std::move(work))) return;  // queue closed: stopping
@@ -498,6 +536,7 @@ void TcpServer::drain_readable(const std::shared_ptr<Connection>& conn) {
       }
     } else {
       Work work{conn, wire::Slice(conn->rdbuf, payload_off, len), wire::WireCodec::kJson};
+      work.recv_us = steady_now_us();
       sliced = true;
       RpcMetrics::get().server_requests.add(1);
       if (!work_queue_.push(std::move(work))) return;  // queue closed: stopping
@@ -575,10 +614,16 @@ void TcpServer::worker_loop() {
 }
 
 void TcpServer::reply_json(const Work& work) {
+  // JSON frames carry any trace context inside params (`_trace`), so
+  // whether this frame is traced is only known after parsing; publish the
+  // receive/dequeue stamps and let the dispatcher emit the queue-wait span
+  // for the first traced call it meets.
+  telemetry::set_server_rx(work.recv_us, steady_now_us());
   // Pooled response buffer: dispatch serializes straight into it, and its
   // capacity survives for the next response this worker produces.
   wire::BufferPtr out = wire::BufferArena::global().acquire(work.request.size() + 256);
   dispatcher_->dispatch_text_into(work.request.view(), *out);
+  telemetry::clear_server_rx();
   if (std::shared_ptr<fault::FaultInjector> faults = fault_injector()) {
     // Dropped response: the request DID execute — the client sees a timeout
     // on an operation the SUT may have applied, the in-doubt case idempotent
@@ -600,8 +645,17 @@ void TcpServer::reply_json(const Work& work) {
 }
 
 void TcpServer::reply_binary(const Work& work) {
+  // Traced frame: install the context for this worker so the decode span
+  // below, the dispatcher's queue-wait/handler spans and any chain-level
+  // spans all record under it. Untraced frames skip all of it.
+  std::optional<telemetry::ScopedTrace> trace_scope;
+  if (work.trace.sampled()) {
+    telemetry::set_server_rx(work.recv_us, steady_now_us());
+    trace_scope.emplace(work.trace);
+  }
   std::vector<wire::DecodedCall> calls;
   try {
+    telemetry::ScopedSpan decode_span(telemetry::SpanKind::kFrameDecode);
     calls = wire::decode_request_body(work.request.view());
   } catch (const ParseError& e) {
     HLOG_WARN("tcp") << "malformed binary request: " << e.what();
@@ -625,6 +679,7 @@ void TcpServer::reply_binary(const Work& work) {
     entry.result = std::move(outcome.result);
     wire::encode_response_entry(*out, entry);
   }
+  if (trace_scope) telemetry::clear_server_rx();
   if (std::shared_ptr<fault::FaultInjector> faults = fault_injector()) {
     if (faults->should(fault::FaultKind::kDropResponse)) return;
     if (faults->should(fault::FaultKind::kSlowLoris)) {
@@ -667,6 +722,8 @@ void TcpChannel::install_fault_injector(std::shared_ptr<fault::FaultInjector> fa
 }
 
 void TcpChannel::negotiate(int fd) {
+  peer_traces_.store(false, std::memory_order_relaxed);
+  clock_offset_us_.store(0, std::memory_order_relaxed);
   if (preference_ == CodecPreference::kJsonOnly) {
     codec_.store(wire::WireCodec::kJson, std::memory_order_relaxed);
     WireMetrics::get().negotiated_json.add(1);
@@ -679,17 +736,30 @@ void TcpChannel::negotiate(int fd) {
   // depend on reconnect count.
   std::string hello;
   wire::put_header(hello, wire::FrameKind::kHello);
-  hello += wire::make_hello_body();
+  hello += wire::make_hello_body(steady_now_us());
   wire::WireCodec outcome = wire::WireCodec::kJson;
   try {
+    std::int64_t send_us = steady_now_us();
     send_frame(fd, hello);
     set_recv_timeout(fd, timeout_);
     std::string reply;
     recv_frame(fd, reply, /*eof_ok=*/false);
+    std::int64_t recv_us = steady_now_us();
     if (wire::is_versioned(reply)) {
       wire::ParsedFrame frame = wire::parse_versioned(reply);
-      if (frame.kind == wire::FrameKind::kHelloOk && wire::offers_binary(frame.body)) {
-        outcome = wire::WireCodec::kBinary;
+      if (frame.kind == wire::FrameKind::kHelloOk) {
+        if (wire::offers_binary(frame.body)) outcome = wire::WireCodec::kBinary;
+        // Trace feature + clock offset ride the same round trip: the server
+        // stamp is assumed to sit at the RTT midpoint (NTP-style). A peer
+        // predating the handshake simply omits both keys.
+        peer_traces_.store(wire::offers_trace(frame.body), std::memory_order_relaxed);
+        std::int64_t server_now = wire::hello_now_us(frame.body);
+        if (server_now >= 0) {
+          clock_offset_us_.store(
+              telemetry::ClockOffset::estimate(send_us, server_now, recv_us)
+                  .remote_minus_local_us,
+              std::memory_order_relaxed);
+        }
       }
     }
     // A non-versioned reply is a legacy server JSON-parsing our hello and
@@ -779,7 +849,8 @@ TcpChannel::~TcpChannel() {
 }
 
 std::future<json::Value> TcpChannel::send_request(const std::string& method, json::Value params,
-                                                  std::uint64_t& id_out) {
+                                                  std::uint64_t& id_out,
+                                                  const telemetry::TraceContext& trace) {
   std::future<json::Value> future;
   {
     std::scoped_lock lock(pending_mu_);
@@ -789,13 +860,23 @@ std::future<json::Value> TcpChannel::send_request(const std::string& method, jso
     // Inside the lock so fail_all/complete can never decrement first.
     RpcMetrics::get().inflight.add(1);
   }
+  const bool traced = trace.sampled() && peer_traces();
   const wire::WireCodec codec = codec_.load(std::memory_order_relaxed);
   wire::BufferPtr frame = wire::BufferArena::global().acquire(256);
   if (codec == wire::WireCodec::kBinary) {
-    wire::put_header(*frame, wire::FrameKind::kBinaryRequest);
+    if (traced) {
+      wire::put_header(*frame, wire::FrameKind::kTracedRequest);
+      wire::put_trace_prefix(*frame, trace.trace_id, trace.span_id);
+    } else {
+      wire::put_header(*frame, wire::FrameKind::kBinaryRequest);
+    }
     wire::put_varint(*frame, 1);  // a single call is a batch of one
     wire::encode_call(*frame, id_out, method, params);
   } else {
+    if (traced && params.is_object()) {
+      params["_trace"] = json::object({{"t", static_cast<std::int64_t>(trace.trace_id)},
+                                       {"s", static_cast<std::int64_t>(trace.span_id)}});
+    }
     make_request(id_out, method, std::move(params)).dump_into(*frame);
   }
   if (frame->size() > kMaxFrameBytes) {
@@ -823,7 +904,7 @@ json::Value TcpChannel::call(const std::string& method, json::Value params,
   ensure_connected();
   RpcMetrics::get().calls_single.add(1);
   std::uint64_t id = 0;
-  std::future<json::Value> future = send_request(method, std::move(params), id);
+  std::future<json::Value> future = send_request(method, std::move(params), id, opts.trace);
   if (future.wait_for(effective_deadline(opts)) == std::future_status::timeout) {
     forget(id);  // a late response for this id is silently dropped
     throw TimeoutError("call " + method);
@@ -832,11 +913,11 @@ json::Value TcpChannel::call(const std::string& method, json::Value params,
 }
 
 std::future<json::Value> TcpChannel::call_async(const std::string& method, json::Value params,
-                                                const CallOptions&) {
+                                                const CallOptions& opts) {
   ensure_connected();
   RpcMetrics::get().calls_async.add(1);
   std::uint64_t id = 0;
-  return send_request(method, std::move(params), id);
+  return send_request(method, std::move(params), id, opts.trace);
 }
 
 namespace {
@@ -924,12 +1005,19 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
                           BatchRange{static_cast<std::uint32_t>(calls.size()), group});
     RpcMetrics::get().inflight.add(static_cast<std::int64_t>(calls.size()));
   }
+  const bool traced = opts.trace.sampled() && peer_traces();
   const wire::WireCodec codec = codec_.load(std::memory_order_relaxed);
   wire::BufferPtr frame = wire::BufferArena::global().acquire(64 * calls.size());
   if (codec == wire::WireCodec::kBinary) {
     // One frame, one writev: [hdr][varint n][call entries...] — no JSON-RPC
-    // envelope objects materialize at all.
-    wire::put_header(*frame, wire::FrameKind::kBinaryRequest);
+    // envelope objects materialize at all. A traced frame prepends the
+    // context before the call count; the whole batch shares one trace.
+    if (traced) {
+      wire::put_header(*frame, wire::FrameKind::kTracedRequest);
+      wire::put_trace_prefix(*frame, opts.trace.trace_id, opts.trace.span_id);
+    } else {
+      wire::put_header(*frame, wire::FrameKind::kBinaryRequest);
+    }
     wire::put_varint(*frame, calls.size());
     for (std::size_t i = 0; i < calls.size(); ++i) {
       wire::encode_call(*frame, first_id + i, calls[i].method, calls[i].params);
@@ -938,7 +1026,15 @@ std::vector<BatchReply> TcpChannel::call_batch(const std::vector<BatchCall>& cal
     json::Array entries;
     entries.reserve(calls.size());
     for (std::size_t i = 0; i < calls.size(); ++i) {
-      entries.push_back(make_request(first_id + i, calls[i].method, calls[i].params));
+      if (traced && calls[i].params.is_object()) {
+        json::Value params = calls[i].params;
+        params["_trace"] =
+            json::object({{"t", static_cast<std::int64_t>(opts.trace.trace_id)},
+                          {"s", static_cast<std::int64_t>(opts.trace.span_id)}});
+        entries.push_back(make_request(first_id + i, calls[i].method, std::move(params)));
+      } else {
+        entries.push_back(make_request(first_id + i, calls[i].method, calls[i].params));
+      }
     }
     json::Value(std::move(entries)).dump_into(*frame);
   }

@@ -90,6 +90,11 @@ class TcpServer {
     std::shared_ptr<Connection> conn;
     wire::Slice request;    // payload bytes, zero-copy out of rdbuf
     wire::WireCodec codec;  // codec the frame arrived in (reply mirrors it)
+    // Distributed tracing: context from a kTracedRequest prefix (JSON
+    // frames carry theirs in params) and the event-thread arrival stamp
+    // that anchors the dispatch-queue-wait span.
+    telemetry::TraceContext trace;
+    std::int64_t recv_us = 0;
   };
 
   void event_loop();
@@ -157,6 +162,17 @@ class TcpChannel final : public Channel {
   // Codec this channel negotiated for the current connection generation.
   wire::WireCodec codec() const { return codec_.load(std::memory_order_relaxed); }
 
+  // True when the peer's hello-ok advertised the "trace" feature — the gate
+  // for sending trace contexts (kTracedRequest frames / `_trace` params).
+  bool peer_traces() const { return peer_traces_.load(std::memory_order_relaxed); }
+
+  // Peer-steady-clock offset measured during the hello round trip of the
+  // current connection generation ({} when the peer predates the
+  // handshake). See telemetry::ClockOffset.
+  telemetry::ClockOffset clock_offset() const override {
+    return telemetry::ClockOffset{clock_offset_us_.load(std::memory_order_relaxed)};
+  }
+
   // Client-side fault hooks (kClientLatency sleeps before a send,
   // kConnReset shuts the socket down and fails the call). Install before
   // sharing the channel across threads.
@@ -164,7 +180,8 @@ class TcpChannel final : public Channel {
 
  private:
   std::future<json::Value> send_request(const std::string& method, json::Value params,
-                                        std::uint64_t& id_out);
+                                        std::uint64_t& id_out,
+                                        const telemetry::TraceContext& trace = {});
   // Reopens the socket and restarts the reader if the connection broke.
   void ensure_connected();
   // Offers the binary codec on a fresh socket (blocking, pre-reader) and
@@ -241,6 +258,8 @@ class TcpChannel final : public Channel {
   std::chrono::milliseconds timeout_;
   CodecPreference preference_ = CodecPreference::kBinaryPreferred;
   std::atomic<wire::WireCodec> codec_{wire::WireCodec::kJson};
+  std::atomic<bool> peer_traces_{false};
+  std::atomic<std::int64_t> clock_offset_us_{0};
   std::shared_ptr<fault::FaultInjector> faults_;
   std::mutex write_mu_;  // request frames are written atomically, back-to-back
 

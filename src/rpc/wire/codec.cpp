@@ -262,13 +262,15 @@ void decode_response_into(std::string_view body, std::vector<ResponseEntry>& out
   if (p != end) throw ParseError("trailing bytes after binary response body");
 }
 
-std::string make_hello_body() {
-  return json::object({{"version", static_cast<std::int64_t>(kVersion)},
-                       {"codecs", json::array({"binary", "json"})}})
-      .dump();
+std::string make_hello_body(std::int64_t now_us) {
+  json::Value body = json::object({{"version", static_cast<std::int64_t>(kVersion)},
+                                   {"codecs", json::array({"binary", "json"})},
+                                   {"features", json::array({"trace"})}});
+  if (now_us >= 0) body["now_us"] = now_us;
+  return body.dump();
 }
 
-std::string make_hello_ok_body() { return make_hello_body(); }
+std::string make_hello_ok_body(std::int64_t now_us) { return make_hello_body(now_us); }
 
 std::string make_error_body(int code, const std::string& message) {
   return json::object({{"code", code}, {"message", message}}).dump();
@@ -286,6 +288,44 @@ bool offers_binary(std::string_view hello_body) {
     // Malformed hello: negotiate down, never up.
   }
   return false;
+}
+
+bool offers_trace(std::string_view hello_body) {
+  try {
+    json::Value body = json::Value::parse(hello_body);
+    if (body.get_int("version", 0) != kVersion) return false;
+    if (!body.contains("features")) return false;
+    for (const json::Value& feature : body.at("features").as_array()) {
+      if (feature.is_string() && feature.as_string() == "trace") return true;
+    }
+  } catch (const Error&) {
+    // Malformed hello: negotiate down, never up.
+  }
+  return false;
+}
+
+std::int64_t hello_now_us(std::string_view hello_body) {
+  try {
+    json::Value body = json::Value::parse(hello_body);
+    return body.get_int("now_us", -1);
+  } catch (const Error&) {
+    return -1;
+  }
+}
+
+void put_trace_prefix(std::string& out, std::uint64_t trace_id, std::uint64_t span_id) {
+  put_varint(out, trace_id);
+  put_varint(out, span_id);
+}
+
+TracePrefix parse_trace_prefix(std::string_view body) {
+  const char* p = body.data();
+  const char* end = body.data() + body.size();
+  TracePrefix prefix;
+  prefix.trace_id = get_varint(p, end);
+  prefix.span_id = get_varint(p, end);
+  prefix.rest = std::string_view(p, static_cast<std::size_t>(end - p));
+  return prefix;
 }
 
 }  // namespace hammer::rpc::wire

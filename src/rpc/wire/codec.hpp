@@ -54,6 +54,11 @@ enum class FrameKind : unsigned char {
   kError = 0x02,           // server -> client: fatal connection error (JSON body)
   kBinaryRequest = 0x10,   // binary batch of calls
   kBinaryResponse = 0x11,  // binary batch of replies
+  // A kBinaryRequest whose body is prefixed with a trace context:
+  // [varint trace_id][varint span_id][request body]. Sent only after the
+  // peer advertised the "trace" feature in its hello-ok (old servers never
+  // see it); the response is a plain kBinaryResponse.
+  kTracedRequest = 0x12,
 };
 
 // Which codec a channel speaks after negotiation.
@@ -131,13 +136,41 @@ void decode_response_into(std::string_view body, std::vector<ResponseEntry>& out
 // ---------------------------------------------------------------- control
 
 // Hello bodies are JSON (always decodable, whatever the negotiation
-// outcome): {"version": 1, "codecs": ["binary", "json"]}.
-std::string make_hello_body();
-std::string make_hello_ok_body();
+// outcome): {"version": 1, "codecs": ["binary", "json"], "features":
+// ["trace"], "now_us": <steady-clock stamp>}. Peers that predate a key
+// ignore it; absence of a key means the capability is off — negotiate
+// down, never up. `now_us` (omitted when negative) is the sender's steady
+// clock at build time: the hello/hello-ok round trip doubles as the
+// clock-offset handshake that maps SUT span timestamps onto the driver's
+// monotonic base.
+std::string make_hello_body(std::int64_t now_us = -1);
+std::string make_hello_ok_body(std::int64_t now_us = -1);
 std::string make_error_body(int code, const std::string& message);
 
 // True when a hello/hello-ok body advertises the binary codec at a version
 // we speak. Malformed bodies are simply "no".
 bool offers_binary(std::string_view hello_body);
+
+// True when a hello/hello-ok body advertises the "trace" feature at a
+// version we speak (same malformed-means-no rule).
+bool offers_trace(std::string_view hello_body);
+
+// The peer's steady-clock stamp from a hello/hello-ok body, or -1 when the
+// peer predates the handshake (or the body is malformed).
+std::int64_t hello_now_us(std::string_view hello_body);
+
+// ------------------------------------------------------------ trace prefix
+
+// Appends the kTracedRequest context prefix.
+void put_trace_prefix(std::string& out, std::uint64_t trace_id, std::uint64_t span_id);
+
+// Splits a kTracedRequest body into its context and the request body that
+// follows. Throws ParseError on truncated input.
+struct TracePrefix {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::string_view rest;
+};
+TracePrefix parse_trace_prefix(std::string_view body);
 
 }  // namespace hammer::rpc::wire

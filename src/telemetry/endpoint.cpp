@@ -1,6 +1,7 @@
 #include "telemetry/endpoint.hpp"
 
 #include "telemetry/exposition.hpp"
+#include "telemetry/span.hpp"
 
 namespace hammer::telemetry {
 
@@ -12,6 +13,12 @@ void bind_telemetry_rpc(rpc::Dispatcher& dispatcher, MetricRegistry* registry) {
   });
   dispatcher.register_method("telemetry.snapshot",
                              [reg](const json::Value&) { return reg->snapshot_json(); });
+  // Server-side span drain for the driver's trace merger. Reads the
+  // process-global recorder: in-process multi-endpoint deployments answer
+  // identically from every endpoint, so the merger dedups by span_id.
+  dispatcher.register_method("telemetry.spans", [](const json::Value&) {
+    return SpanRecorder::global().export_json();
+  });
 }
 
 std::string scrape_metrics(rpc::Channel& channel) {
@@ -20,6 +27,21 @@ std::string scrape_metrics(rpc::Channel& channel) {
 
 json::Value scrape_snapshot(rpc::Channel& channel) {
   return channel.call("telemetry.snapshot", json::object({}));
+}
+
+std::vector<Span> fetch_spans(rpc::Channel& channel) {
+  std::vector<Span> out;
+  json::Value result;
+  try {
+    result = channel.call("telemetry.spans", json::object({}));
+  } catch (const rpc::RpcError&) {
+    return out;  // old peer without the method: no server-side spans
+  }
+  if (!result.is_object() || !result.contains("spans")) return out;
+  const json::Array& arr = result.at("spans").as_array();
+  out.reserve(arr.size());
+  for (const json::Value& v : arr) out.push_back(Span::from_json(v));
+  return out;
 }
 
 TelemetryEndpoint::TelemetryEndpoint(std::uint16_t port, MetricRegistry* registry)

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "rpc/tcp.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace hammer::telemetry {
 
@@ -30,6 +32,11 @@ void bind_telemetry_rpc(rpc::Dispatcher& dispatcher, MetricRegistry* registry = 
 // and the quickstart's live printer).
 std::string scrape_metrics(rpc::Channel& channel);
 json::Value scrape_snapshot(rpc::Channel& channel);
+
+// Fetches the peer's recorded spans (telemetry.spans). A peer predating the
+// method (kMethodNotFound) yields an empty vector instead of throwing, so
+// the trace merger degrades to driver-only spans against old SUTs.
+std::vector<Span> fetch_spans(rpc::Channel& channel);
 
 // Dedicated telemetry port: owns a dispatcher with only the telemetry
 // methods plus the TcpServer exposing it.

@@ -1,0 +1,169 @@
+#include "telemetry/span.hpp"
+
+#include "util/clock.hpp"
+#include "util/errors.hpp"
+
+namespace hammer::telemetry {
+
+namespace {
+
+std::int64_t now_us() { return util::SteadyClock::shared()->now_us(); }
+
+thread_local ActiveTrace t_active_trace;
+
+struct ServerRx {
+  std::int64_t recv_us = 0;
+  std::int64_t dequeue_us = 0;
+  bool pending = false;
+};
+thread_local ServerRx t_server_rx;
+
+}  // namespace
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClientSubmit: return "client_submit";
+    case SpanKind::kFrameDecode: return "frame_decode";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kHandler: return "handler";
+    case SpanKind::kChainSubmit: return "chain_submit";
+    case SpanKind::kBlockSeal: return "block_seal";
+  }
+  return "?";
+}
+
+json::Value Span::to_json() const {
+  return json::object({{"t", trace_id},
+                       {"s", span_id},
+                       {"p", parent_span_id},
+                       {"k", static_cast<std::int64_t>(kind)},
+                       {"t0", t0_us},
+                       {"t1", t1_us},
+                       {"th", static_cast<std::int64_t>(thread)},
+                       {"d", detail}});
+}
+
+Span Span::from_json(const json::Value& v) {
+  Span span;
+  span.trace_id = static_cast<std::uint64_t>(v.get_int("t", 0));
+  span.span_id = static_cast<std::uint64_t>(v.get_int("s", 0));
+  span.parent_span_id = static_cast<std::uint64_t>(v.get_int("p", 0));
+  span.kind = static_cast<SpanKind>(v.get_int("k", 3));
+  span.t0_us = v.get_int("t0", 0);
+  span.t1_us = v.get_int("t1", 0);
+  span.thread = static_cast<std::uint32_t>(v.get_int("th", 0));
+  span.detail = v.get_string("d", "");
+  return span;
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {
+  HAMMER_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void SpanRecorder::record(Span span) {
+  std::scoped_lock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = std::move(span);
+  }
+  ++total_;
+}
+
+std::vector<Span> SpanRecorder::events() const {
+  std::scoped_lock lock(mu_);
+  if (total_ <= capacity_) return ring_;
+  std::vector<Span> out;
+  out.reserve(capacity_);
+  std::size_t head = static_cast<std::size_t>(total_ % capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::uint64_t SpanRecorder::dropped() const {
+  std::scoped_lock lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void SpanRecorder::clear() {
+  std::scoped_lock lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+json::Value SpanRecorder::export_json() const {
+  json::Array spans;
+  for (const Span& span : events()) spans.push_back(span.to_json());
+  return json::object(
+      {{"spans", json::Value(std::move(spans))}, {"dropped", dropped()}});
+}
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder recorder;
+  return recorder;
+}
+
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+const ActiveTrace& active_trace() { return t_active_trace; }
+
+ScopedTrace::ScopedTrace(const TraceContext& ctx) : saved_(t_active_trace) {
+  t_active_trace.trace_id = ctx.trace_id;
+  t_active_trace.parent_span_id = ctx.span_id;
+}
+
+ScopedTrace::~ScopedTrace() { t_active_trace = saved_; }
+
+ScopedSpan::ScopedSpan(SpanKind kind, std::string detail) {
+  if (t_active_trace.trace_id == 0) return;  // the one-branch unsampled path
+  armed_ = true;
+  SpanRecorder& recorder = SpanRecorder::global();
+  span_.trace_id = t_active_trace.trace_id;
+  span_.span_id = recorder.next_span_id();
+  span_.parent_span_id = t_active_trace.parent_span_id;
+  span_.kind = kind;
+  span_.t0_us = now_us();
+  span_.thread = this_thread_index();
+  span_.detail = std::move(detail);
+  // Children opened inside this scope parent onto this span.
+  saved_parent_ = t_active_trace.parent_span_id;
+  t_active_trace.parent_span_id = span_.span_id;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  t_active_trace.parent_span_id = saved_parent_;
+  span_.t1_us = now_us();
+  SpanRecorder::global().record(std::move(span_));
+}
+
+void set_server_rx(std::int64_t recv_us, std::int64_t dequeue_us) {
+  t_server_rx.recv_us = recv_us;
+  t_server_rx.dequeue_us = dequeue_us;
+  t_server_rx.pending = true;
+}
+
+void clear_server_rx() { t_server_rx.pending = false; }
+
+void emit_queue_wait_span() {
+  if (!t_server_rx.pending || t_active_trace.trace_id == 0) return;
+  t_server_rx.pending = false;  // one queue-wait span per frame
+  SpanRecorder& recorder = SpanRecorder::global();
+  Span span;
+  span.trace_id = t_active_trace.trace_id;
+  span.span_id = recorder.next_span_id();
+  span.parent_span_id = t_active_trace.parent_span_id;
+  span.kind = SpanKind::kQueueWait;
+  span.t0_us = t_server_rx.recv_us;
+  span.t1_us = t_server_rx.dequeue_us;
+  span.thread = this_thread_index();
+  recorder.record(std::move(span));
+}
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,171 @@
+// Cross-process distributed tracing: trace contexts, spans, and the
+// per-process SpanRecorder ring.
+//
+// The driver's TxTracer (PR 2) sees only the client side of a run: the
+// whole enqueued->submitted window is one opaque blob that mixes client
+// queueing, the wire, server dispatch, codec decode, and chain-sim
+// execution. A TraceContext — {trace_id, span_id} with trace_id != 0
+// meaning "sampled" — rides each RPC (a traced binary frame kind, or a
+// `_trace` member in JSON-RPC params; negotiated like the codec, so old
+// peers interop untouched), and the receiving process records its own
+// spans (frame decode, dispatch-queue wait, handler execution, chain
+// submit/seal) into a bounded SpanRecorder ring exported over the
+// `telemetry.spans` RPC. The driver fetches those rings at run end and
+// stitches them with its TxTracer stages (see timeline.hpp).
+//
+// Timestamps are *local* steady-clock microseconds in whichever process
+// recorded the span; ClockOffset — estimated from a steady-clock exchange
+// piggybacked on the hello/hello-ok negotiation round trip — maps one
+// process's timestamps onto another's base. Sampling is decided by the
+// driver (trace_every_n), so the unsampled hot path pays exactly one
+// branch: every scope helper below starts with a thread-local sampled
+// check and does nothing else when no trace is active.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace hammer::telemetry {
+
+// The compact context propagated on a traced RPC. span_id is the caller's
+// span — the parent under which the receiving side opens its own spans.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = unsampled; nothing is recorded
+  std::uint64_t span_id = 0;
+  bool sampled() const { return trace_id != 0; }
+};
+
+// remote_minus_local_us maps the remote process's steady clock onto ours:
+// local = remote - remote_minus_local_us. Estimated NTP-style from one
+// round trip: the remote stamp is assumed to sit at the RTT midpoint.
+struct ClockOffset {
+  std::int64_t remote_minus_local_us = 0;
+
+  static ClockOffset estimate(std::int64_t local_send_us, std::int64_t remote_now_us,
+                              std::int64_t local_recv_us) {
+    std::int64_t midpoint = local_send_us + (local_recv_us - local_send_us) / 2;
+    return ClockOffset{remote_now_us - midpoint};
+  }
+  std::int64_t to_local(std::int64_t remote_us) const {
+    return remote_us - remote_minus_local_us;
+  }
+};
+
+enum class SpanKind : std::uint8_t {
+  kClientSubmit = 0,  // driver-side: one batch send -> reply decoded
+  kFrameDecode = 1,   // server worker: binary request body decode
+  kQueueWait = 2,     // server: frame sliced on event thread -> worker dequeue
+  kHandler = 3,       // server worker: one handler invocation
+  kChainSubmit = 4,   // chain sim: submit_via inside the chain.submit handler
+  kBlockSeal = 5,     // chain sim: a block sealed (not tied to a trace)
+};
+const char* span_kind_name(SpanKind kind);
+
+struct Span {
+  std::uint64_t trace_id = 0;  // 0 = timeline-only (e.g. block seals)
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  SpanKind kind = SpanKind::kHandler;
+  std::int64_t t0_us = 0;
+  std::int64_t t1_us = 0;
+  std::uint32_t thread = 0;  // compact per-process thread index
+  std::string detail;        // method name, seal info, ...
+
+  json::Value to_json() const;
+  static Span from_json(const json::Value& v);
+};
+
+// Bounded ring of spans, same overwrite-oldest discipline as TxTracer.
+// One process-global instance backs the `telemetry.spans` RPC; span ids
+// drawn from it are process-unique and never 0.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t capacity = 1u << 16);
+
+  void record(Span span);
+  std::vector<Span> events() const;  // oldest retained first
+  std::uint64_t dropped() const;
+  void clear();  // drops recorded spans (tests; run-to-run isolation)
+
+  std::uint64_t next_span_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  // {"spans": [...], "dropped": n} — the telemetry.spans response body.
+  json::Value export_json() const;
+
+  static SpanRecorder& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+// Small dense index for the current thread (0, 1, 2, ... in first-use
+// order) — the timeline export keys server tracks on it.
+std::uint32_t this_thread_index();
+
+// ---- thread-local trace scope ------------------------------------------
+//
+// The server side has no per-call context parameter to thread a trace
+// through (handlers are plain json->json functions), so the active trace
+// lives in a thread-local: the transport installs it for the duration of a
+// request and instrumented layers below (dispatcher, chain sims) open
+// spans against it. All helpers are no-ops when no sampled trace is
+// active.
+
+struct ActiveTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+// The calling thread's active trace (trace_id == 0 when none).
+const ActiveTrace& active_trace();
+inline bool trace_active() { return active_trace().trace_id != 0; }
+
+// Installs `ctx` as the calling thread's active trace for the scope.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const TraceContext& ctx);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+// Opens a span under the active trace and records it into the global
+// recorder on destruction. Nested ScopedSpans parent onto each other.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanKind kind, std::string detail = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+  Span span_;
+  std::uint64_t saved_parent_ = 0;
+};
+
+// ---- per-frame receive bookkeeping -------------------------------------
+//
+// The dispatch-queue-wait span covers "frame sliced on the event thread ->
+// worker picked it up". The event thread stamps arrival into the Work
+// item; the worker publishes both timestamps here before dispatching, and
+// the first *traced* call of the frame emits the span (emit_queue_wait_span
+// consumes the pending record, so a batch frame emits it exactly once).
+
+void set_server_rx(std::int64_t recv_us, std::int64_t dequeue_us);
+void clear_server_rx();
+void emit_queue_wait_span();
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,257 @@
+#include "telemetry/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hammer::telemetry {
+
+namespace {
+
+constexpr std::int64_t kUnset = std::numeric_limits<std::int64_t>::min();
+
+// trace_event process/track ids. The driver is pid 1; each SUT target gets
+// its own pid so Perfetto renders it as a separate process group.
+constexpr std::int64_t kDriverPid = 1;
+constexpr std::int64_t kSutPidBase = 10;
+constexpr std::int64_t kLaneTidBase = 1;
+constexpr std::size_t kDriverLanes = 8;
+constexpr std::int64_t kRpcTidBase = 100;
+
+// Per-trace aggregate of the server-side spans, on the local clock.
+struct TraceAgg {
+  std::int64_t queue_t0 = kUnset;
+  std::int64_t queue_t1 = kUnset;
+  std::int64_t first_t0 = kUnset;  // earliest server activity
+  std::int64_t done_t1 = kUnset;   // latest handler/submit completion
+};
+
+json::Value stage_json(const util::Histogram& hist) {
+  return json::object({{"count", hist.count()},
+                       {"mean_ms", hist.mean() / 1000.0},
+                       {"p50_ms", static_cast<double>(hist.percentile(50)) / 1000.0},
+                       {"p99_ms", static_cast<double>(hist.percentile(99)) / 1000.0},
+                       {"max_ms", static_cast<double>(hist.max()) / 1000.0}});
+}
+
+json::Value meta_event(const char* what, std::int64_t pid, std::int64_t tid,
+                       const std::string& name) {
+  return json::object({{"ph", "M"},
+                       {"name", what},
+                       {"pid", pid},
+                       {"tid", tid},
+                       {"args", json::object({{"name", name}})}});
+}
+
+json::Value slice_event(const std::string& name, std::int64_t pid, std::int64_t tid,
+                        std::int64_t ts_us, std::int64_t dur_us, json::Value args) {
+  return json::object({{"ph", "X"},
+                       {"name", name},
+                       {"cat", "hammer"},
+                       {"pid", pid},
+                       {"tid", tid},
+                       {"ts", ts_us},
+                       {"dur", std::max<std::int64_t>(dur_us, 1)},
+                       {"args", std::move(args)}});
+}
+
+}  // namespace
+
+json::Value RemoteBreakdown::to_json() const {
+  return json::object({{"stitched_txs", stitched_txs},
+                       {"net_send", stage_json(net_send)},
+                       {"server_queue", stage_json(server_queue)},
+                       {"execute", stage_json(execute)},
+                       {"net_recv", stage_json(net_recv)}});
+}
+
+void TraceMerger::note_submit(const SubmitTrace& submit) {
+  std::scoped_lock lock(mu_);
+  submits_.push_back(submit);
+}
+
+void TraceMerger::add_server_spans(std::size_t target, const std::vector<Span>& spans,
+                                   ClockOffset offset) {
+  std::scoped_lock lock(mu_);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(spans_.size());
+  for (const TargetSpan& existing : spans_) seen.insert(existing.span.span_id);
+  for (const Span& span : spans) {
+    if (span.span_id != 0 && !seen.insert(span.span_id).second) continue;
+    TargetSpan entry{span, target};
+    entry.span.t0_us = offset.to_local(span.t0_us);
+    entry.span.t1_us = offset.to_local(span.t1_us);
+    spans_.push_back(std::move(entry));
+  }
+}
+
+std::size_t TraceMerger::submit_count() const {
+  std::scoped_lock lock(mu_);
+  return submits_.size();
+}
+
+std::size_t TraceMerger::server_span_count() const {
+  std::scoped_lock lock(mu_);
+  return spans_.size();
+}
+
+RemoteBreakdown TraceMerger::remote_breakdown() const {
+  std::scoped_lock lock(mu_);
+  std::unordered_map<std::uint64_t, TraceAgg> by_trace;
+  for (const TargetSpan& entry : spans_) {
+    const Span& span = entry.span;
+    if (span.trace_id == 0) continue;
+    TraceAgg& agg = by_trace[span.trace_id];
+    if (agg.first_t0 == kUnset || span.t0_us < agg.first_t0) agg.first_t0 = span.t0_us;
+    if (span.kind == SpanKind::kQueueWait) {
+      agg.queue_t0 = span.t0_us;
+      agg.queue_t1 = span.t1_us;
+    } else if (agg.done_t1 == kUnset || span.t1_us > agg.done_t1) {
+      agg.done_t1 = span.t1_us;
+    }
+  }
+  RemoteBreakdown breakdown;
+  for (const SubmitTrace& submit : submits_) {
+    auto it = by_trace.find(submit.trace_id);
+    if (it == by_trace.end()) continue;  // spans rotated out of the SUT ring
+    const TraceAgg& agg = it->second;
+    ++breakdown.stitched_txs;
+    // Histogram::record clamps negatives to 0, so sub-µs clock-offset error
+    // cannot produce negative buckets.
+    if (agg.first_t0 != kUnset) breakdown.net_send.record(agg.first_t0 - submit.begin_us);
+    if (agg.queue_t0 != kUnset) breakdown.server_queue.record(agg.queue_t1 - agg.queue_t0);
+    std::int64_t exec_from = agg.queue_t1 != kUnset ? agg.queue_t1 : agg.first_t0;
+    if (agg.done_t1 != kUnset && exec_from != kUnset) {
+      breakdown.execute.record(agg.done_t1 - exec_from);
+      breakdown.net_recv.record(submit.end_us - agg.done_t1);
+    }
+  }
+  return breakdown;
+}
+
+json::Value TraceMerger::to_trace_json(const std::vector<TraceEvent>& driver_events) const {
+  std::scoped_lock lock(mu_);
+
+  // Per-ordinal lifecycle points, same pairing as TxTracer::breakdown().
+  std::map<std::uint64_t, std::array<std::int64_t, 6>> by_tx;  // ordered: lane stability
+  for (const TraceEvent& event : driver_events) {
+    auto [it, inserted] = by_tx.try_emplace(event.tx_ordinal);
+    if (inserted) it->second.fill(kUnset);
+    it->second[static_cast<std::size_t>(event.stage)] = event.t_us;
+  }
+
+  // Rebase every timestamp so the timeline starts near 0.
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [ordinal, t] : by_tx) {
+    for (std::int64_t v : t) {
+      if (v != kUnset) base = std::min(base, v);
+    }
+  }
+  for (const SubmitTrace& submit : submits_) base = std::min(base, submit.begin_us);
+  for (const TargetSpan& entry : spans_) base = std::min(base, entry.span.t0_us);
+  if (base == std::numeric_limits<std::int64_t>::max()) base = 0;
+
+  json::Array events;
+  events.push_back(meta_event("process_name", kDriverPid, 0, "hammer-driver"));
+  for (std::size_t lane = 0; lane < kDriverLanes; ++lane) {
+    events.push_back(meta_event("thread_name", kDriverPid,
+                                kLaneTidBase + static_cast<std::int64_t>(lane),
+                                "txs lane " + std::to_string(lane)));
+  }
+
+  // Driver lifecycle lanes: one slice per stage pair, sampled txs spread
+  // round-robin over a handful of lanes so concurrent lifecycles stay
+  // readable.
+  static constexpr const char* kPairNames[5] = {"sign", "queue", "submit", "include",
+                                                "detect"};
+  std::size_t lane_counter = 0;
+  for (const auto& [ordinal, t] : by_tx) {
+    std::int64_t tid =
+        kLaneTidBase + static_cast<std::int64_t>(lane_counter++ % kDriverLanes);
+    for (std::size_t pair = 0; pair < 5; ++pair) {
+      if (t[pair] == kUnset || t[pair + 1] == kUnset) continue;
+      events.push_back(slice_event(std::string(kPairNames[pair]) + " tx " +
+                                       std::to_string(ordinal),
+                                   kDriverPid, tid, t[pair] - base, t[pair + 1] - t[pair],
+                                   json::object({{"ordinal", ordinal}})));
+    }
+  }
+
+  // Traces that have server spans — the set flow arrows are emitted for, so
+  // every flow id has both its start and its finish (zero orphans).
+  std::unordered_map<std::uint64_t, const TargetSpan*> flow_anchor;
+  for (const TargetSpan& entry : spans_) {
+    if (entry.span.trace_id == 0) continue;
+    auto [it, inserted] = flow_anchor.try_emplace(entry.span.trace_id, &entry);
+    // Anchor the arrow on the queue-wait span (the first server activity).
+    if (!inserted && entry.span.kind == SpanKind::kQueueWait) it->second = &entry;
+  }
+
+  std::unordered_set<std::int64_t> rpc_tids;
+  std::unordered_set<std::uint64_t> flow_started;
+  for (const SubmitTrace& submit : submits_) {
+    std::int64_t tid = kRpcTidBase + static_cast<std::int64_t>(submit.target);
+    if (rpc_tids.insert(tid).second) {
+      events.push_back(meta_event("thread_name", kDriverPid, tid,
+                                  "rpc target " + std::to_string(submit.target)));
+    }
+    events.push_back(slice_event(
+        "rpc submit tx " + std::to_string(submit.ordinal), kDriverPid, tid,
+        submit.begin_us - base, submit.end_us - submit.begin_us,
+        json::object({{"ordinal", submit.ordinal}, {"trace_id", submit.trace_id}})));
+    if (flow_anchor.count(submit.trace_id) != 0 &&
+        flow_started.insert(submit.trace_id).second) {
+      events.push_back(json::object({{"ph", "s"},
+                                     {"name", "tx flow"},
+                                     {"cat", "tx"},
+                                     {"id", submit.trace_id},
+                                     {"pid", kDriverPid},
+                                     {"tid", tid},
+                                     {"ts", submit.begin_us - base}}));
+    }
+  }
+
+  // SUT tracks: one process per target, one track per recorded thread.
+  std::unordered_set<std::int64_t> sut_pids;
+  std::unordered_set<std::int64_t> sut_tracks;  // pid * 4096 + tid
+  for (const TargetSpan& entry : spans_) {
+    const Span& span = entry.span;
+    std::int64_t pid = kSutPidBase + static_cast<std::int64_t>(entry.target);
+    std::int64_t tid = 1 + static_cast<std::int64_t>(span.thread);
+    if (sut_pids.insert(pid).second) {
+      events.push_back(
+          meta_event("process_name", pid, 0, "sut target " + std::to_string(entry.target)));
+    }
+    if (sut_tracks.insert(pid * 4096 + tid).second) {
+      events.push_back(meta_event("thread_name", pid, tid,
+                                  "server thread " + std::to_string(span.thread)));
+    }
+    std::string name = span_kind_name(span.kind);
+    if (!span.detail.empty()) name += " " + span.detail;
+    events.push_back(slice_event(name, pid, tid, span.t0_us - base,
+                                 span.t1_us - span.t0_us,
+                                 json::object({{"trace_id", span.trace_id},
+                                               {"span_id", span.span_id},
+                                               {"parent", span.parent_span_id}})));
+    auto anchor = flow_anchor.find(span.trace_id);
+    if (span.trace_id != 0 && anchor != flow_anchor.end() && anchor->second == &entry &&
+        flow_started.count(span.trace_id) != 0) {
+      events.push_back(json::object({{"ph", "f"},
+                                     {"bp", "e"},
+                                     {"name", "tx flow"},
+                                     {"cat", "tx"},
+                                     {"id", span.trace_id},
+                                     {"pid", pid},
+                                     {"tid", tid},
+                                     {"ts", span.t0_us - base}}));
+    }
+  }
+
+  return json::object(
+      {{"traceEvents", json::Value(std::move(events))}, {"displayTimeUnit", "ms"}});
+}
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,91 @@
+// Driver-side trace merging and Perfetto timeline export.
+//
+// The TraceMerger is the run-end stitching point: the driver's workers
+// note one SubmitTrace per sampled transaction (which trace id its batch
+// frame carried, and when the send began/completed on the driver clock);
+// at run end the driver fetches each SUT's SpanRecorder ring over the
+// `telemetry.spans` RPC, normalizes the remote timestamps onto the driver
+// clock with the per-channel ClockOffset from the hello handshake, and the
+// merger produces:
+//
+//   remote_breakdown()  the per-tx critical-path split of the opaque
+//                       submitted-window: net_send (driver send -> frame
+//                       sliced on the SUT event thread), server_queue
+//                       (dispatch-queue wait), execute (decode + handler +
+//                       chain submit), net_recv (last handler done ->
+//                       reply decoded on the driver) — RunResult's
+//                       stages.remote section.
+//
+//   to_trace_json()     a Chrome trace_event document of the whole run,
+//                       loadable in Perfetto / chrome://tracing: driver
+//                       lifecycle lanes + one rpc track per target on the
+//                       driver process, one track per worker thread on
+//                       each SUT process, and a flow arrow per sampled tx
+//                       tying its client submit span to the server spans
+//                       that executed it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "json/json.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace.hpp"
+#include "util/histogram.hpp"
+
+namespace hammer::telemetry {
+
+// One sampled transaction's client-side submit window, noted by the driver
+// worker that sent the batch frame carrying it.
+struct SubmitTrace {
+  std::uint64_t ordinal = 0;
+  std::uint64_t trace_id = 0;
+  std::int64_t begin_us = 0;  // driver clock: batch send started
+  std::int64_t end_us = 0;    // driver clock: replies decoded
+  std::size_t target = 0;
+};
+
+// stages.remote — same per-stage summary shape as StageBreakdown.
+struct RemoteBreakdown {
+  std::uint64_t stitched_txs = 0;  // sampled txs matched to server spans
+  util::Histogram net_send;
+  util::Histogram server_queue;
+  util::Histogram execute;
+  util::Histogram net_recv;
+  json::Value to_json() const;
+};
+
+class TraceMerger {
+ public:
+  // Thread-safe; called by driver workers for each sampled tx after its
+  // batch send completes.
+  void note_submit(const SubmitTrace& submit);
+
+  // Spans fetched from `target`'s recorder. Timestamps are mapped onto the
+  // local clock via `offset`. Duplicate span ids are dropped — in-process
+  // deployments share one global recorder across endpoints, so every
+  // target's fetch returns the same ring.
+  void add_server_spans(std::size_t target, const std::vector<Span>& spans,
+                        ClockOffset offset);
+
+  std::size_t submit_count() const;
+  std::size_t server_span_count() const;
+
+  RemoteBreakdown remote_breakdown() const;
+
+  // `driver_events` is TxTracer::events() — the per-stage lifecycle points
+  // rendered as driver-process lanes.
+  json::Value to_trace_json(const std::vector<TraceEvent>& driver_events) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SubmitTrace> submits_;
+  struct TargetSpan {
+    Span span;  // timestamps already on the local clock
+    std::size_t target = 0;
+  };
+  std::vector<TargetSpan> spans_;
+};
+
+}  // namespace hammer::telemetry

@@ -1,0 +1,72 @@
+// Scrape parity across wire codecs: the telemetry surface
+// (telemetry.metrics / telemetry.snapshot / telemetry.spans) must answer
+// byte-identically whether the channel negotiated the binary codec or fell
+// back to JSON-RPC — the codec is transport plumbing, not semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rpc/tcp.hpp"
+#include "telemetry/endpoint.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace hammer::telemetry {
+namespace {
+
+TEST(ScrapeCodec, MetricsIdenticalAcrossCodecs) {
+  MetricRegistry registry;
+  registry.counter("scrape_codec_requests_total", "test series").add(7);
+  registry.gauge("scrape_codec_depth", "test gauge").add(3);
+  registry.histogram("scrape_codec_lat_us", "test histogram").record(250);
+  TelemetryEndpoint endpoint(/*port=*/0, &registry);
+
+  rpc::ClientConfig binary_cfg;  // default: kBinaryPreferred
+  rpc::ClientConfig json_cfg;
+  json_cfg.codec = rpc::CodecPreference::kJsonOnly;
+  auto binary_chan =
+      std::make_shared<rpc::TcpChannel>("127.0.0.1", endpoint.port(), binary_cfg);
+  auto json_chan = std::make_shared<rpc::TcpChannel>("127.0.0.1", endpoint.port(), json_cfg);
+  ASSERT_EQ(binary_chan->codec(), rpc::wire::WireCodec::kBinary);
+  ASSERT_EQ(json_chan->codec(), rpc::wire::WireCodec::kJson);
+
+  // Prometheus exposition text must match byte for byte.
+  EXPECT_EQ(scrape_metrics(*binary_chan), scrape_metrics(*json_chan));
+  // Structured snapshot too (dump() is canonical: sorted object keys).
+  EXPECT_EQ(scrape_snapshot(*binary_chan).dump(), scrape_snapshot(*json_chan).dump());
+}
+
+TEST(ScrapeCodec, SpanDrainWorksOverBinaryCodec) {
+  SpanRecorder::global().clear();
+  Span s;
+  s.trace_id = 3;
+  s.span_id = SpanRecorder::global().next_span_id();
+  s.kind = SpanKind::kHandler;
+  s.t0_us = 10;
+  s.t1_us = 20;
+  s.detail = "scrape_codec_test";
+  SpanRecorder::global().record(s);
+
+  TelemetryEndpoint endpoint(/*port=*/0);
+  rpc::ClientConfig binary_cfg;
+  auto chan = std::make_shared<rpc::TcpChannel>("127.0.0.1", endpoint.port(), binary_cfg);
+  ASSERT_EQ(chan->codec(), rpc::wire::WireCodec::kBinary);
+  // The hello round trip advertises the trace feature both ways.
+  EXPECT_TRUE(chan->peer_traces());
+
+  std::vector<Span> spans = fetch_spans(*chan);
+  bool found = false;
+  for (const Span& span : spans) {
+    if (span.detail == "scrape_codec_test") {
+      found = true;
+      EXPECT_EQ(span.trace_id, 3u);
+      EXPECT_EQ(span.t0_us, 10);
+      EXPECT_EQ(span.t1_us, 20);
+    }
+  }
+  EXPECT_TRUE(found);
+  SpanRecorder::global().clear();
+}
+
+}  // namespace
+}  // namespace hammer::telemetry

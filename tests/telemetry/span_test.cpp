@@ -1,0 +1,258 @@
+// Distributed-tracing unit tests: SpanRecorder ring discipline, scoped
+// span parentage, clock-offset estimation (including the skewed-SUT-clock
+// regression for the kIncluded stage), and TraceMerger stitching/export.
+#include <gtest/gtest.h>
+
+#include "telemetry/span.hpp"
+#include "telemetry/timeline.hpp"
+#include "telemetry/trace.hpp"
+
+namespace hammer::telemetry {
+namespace {
+
+TEST(SpanRecorder, RecordsAndWrapsOverwritingOldest) {
+  SpanRecorder recorder(4);
+  for (int i = 0; i < 6; ++i) {
+    Span s;
+    s.span_id = recorder.next_span_id();
+    s.t0_us = 100 * i;
+    s.t1_us = 100 * i + 10;
+    recorder.record(s);
+  }
+  std::vector<Span> events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  // Oldest retained first: spans 3..6 survive (ids start at 1).
+  EXPECT_EQ(events.front().span_id, 3u);
+  EXPECT_EQ(events.back().span_id, 6u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(SpanRecorder, SpanIdsAreNeverZero) {
+  SpanRecorder recorder(8);
+  for (int i = 0; i < 16; ++i) EXPECT_NE(recorder.next_span_id(), 0u);
+}
+
+TEST(SpanRecorder, ExportJsonRoundTrips) {
+  SpanRecorder recorder(8);
+  Span s;
+  s.trace_id = 7;
+  s.span_id = recorder.next_span_id();
+  s.parent_span_id = 3;
+  s.kind = SpanKind::kHandler;
+  s.t0_us = 1000;
+  s.t1_us = 1500;
+  s.thread = 2;
+  s.detail = "chain.submit";
+  recorder.record(s);
+  json::Value exported = recorder.export_json();
+  ASSERT_TRUE(exported.contains("spans"));
+  ASSERT_EQ(exported.at("spans").as_array().size(), 1u);
+  Span back = Span::from_json(exported.at("spans").as_array()[0]);
+  EXPECT_EQ(back.trace_id, s.trace_id);
+  EXPECT_EQ(back.span_id, s.span_id);
+  EXPECT_EQ(back.parent_span_id, s.parent_span_id);
+  EXPECT_EQ(back.kind, s.kind);
+  EXPECT_EQ(back.t0_us, s.t0_us);
+  EXPECT_EQ(back.t1_us, s.t1_us);
+  EXPECT_EQ(back.thread, s.thread);
+  EXPECT_EQ(back.detail, s.detail);
+}
+
+TEST(ScopedSpan, NoOpWithoutActiveTrace) {
+  SpanRecorder::global().clear();
+  { ScopedSpan span(SpanKind::kHandler, "untraced"); }
+  EXPECT_TRUE(SpanRecorder::global().events().empty());
+}
+
+TEST(ScopedSpan, NestedSpansParentOntoEachOther) {
+  SpanRecorder::global().clear();
+  TraceContext ctx;
+  ctx.trace_id = 42;
+  ctx.span_id = 9;  // the caller's (client-root) span
+  {
+    ScopedTrace trace(ctx);
+    ScopedSpan outer(SpanKind::kHandler, "chain.submit");
+    { ScopedSpan inner(SpanKind::kChainSubmit); }
+  }
+  std::vector<Span> events = SpanRecorder::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order records the inner span first.
+  const Span& inner = events[0];
+  const Span& outer = events[1];
+  EXPECT_EQ(outer.trace_id, 42u);
+  EXPECT_EQ(outer.parent_span_id, 9u);
+  EXPECT_EQ(inner.trace_id, 42u);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_GE(outer.t1_us, outer.t0_us);
+  EXPECT_GE(inner.t1_us, inner.t0_us);
+  // The trace scope is gone: further spans record nothing.
+  { ScopedSpan after(SpanKind::kHandler); }
+  EXPECT_EQ(SpanRecorder::global().events().size(), 2u);
+  SpanRecorder::global().clear();
+}
+
+TEST(ScopedSpan, QueueWaitEmittedOncePerFrame) {
+  SpanRecorder::global().clear();
+  TraceContext ctx;
+  ctx.trace_id = 5;
+  ctx.span_id = 1;
+  set_server_rx(/*recv_us=*/100, /*dequeue_us=*/250);
+  {
+    ScopedTrace trace(ctx);
+    emit_queue_wait_span();
+    emit_queue_wait_span();  // second call of the same frame: no-op
+  }
+  clear_server_rx();
+  std::vector<Span> events = SpanRecorder::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, SpanKind::kQueueWait);
+  EXPECT_EQ(events[0].t0_us, 100);
+  EXPECT_EQ(events[0].t1_us, 250);
+  EXPECT_EQ(events[0].trace_id, 5u);
+  SpanRecorder::global().clear();
+}
+
+TEST(ClockOffset, EstimateUsesRttMidpoint) {
+  // Driver sends at 1000, SUT (whose steady clock reads 501000 at that
+  // moment) answers, reply lands at 1200. Midpoint 1100 -> offset 499900.
+  ClockOffset offset = ClockOffset::estimate(1000, 501000, 1200);
+  EXPECT_EQ(offset.remote_minus_local_us, 499900);
+  // A SUT stamp of 501500 maps to driver time 1600.
+  EXPECT_EQ(offset.to_local(501500), 1600);
+  // Zero skew, zero RTT: identity.
+  EXPECT_EQ(ClockOffset::estimate(500, 500, 500).remote_minus_local_us, 0);
+  // Negative skew (SUT clock behind the driver's).
+  ClockOffset behind = ClockOffset::estimate(2000, 1000, 2000);
+  EXPECT_EQ(behind.remote_minus_local_us, -1000);
+  EXPECT_EQ(behind.to_local(1500), 2500);
+}
+
+// Regression for the kIncluded clock-domain mismatch: block header
+// timestamps come from the SUT's clock. Before the offset fix, a SUT clock
+// running 500ms ahead inflated the include stage by 500ms and drove detect
+// negative (clamped to 0); with the stamp normalized through
+// ClockOffset::to_local the stage split matches the physical timeline.
+TEST(ClockOffset, SkewedSutClockNormalizesIncludedStage) {
+  constexpr std::int64_t kSkew = 500000;  // SUT steady clock is 500ms ahead
+  ClockOffset offset{kSkew};
+
+  TxTracer tracer(64, 1);
+  // Driver clock: submitted at 10ms; the block sealing it stamped 515ms on
+  // the SUT clock = 15ms driver time; the poller saw it at 20ms.
+  tracer.record(0, Stage::kSubmitted, 10000);
+  tracer.record(0, Stage::kIncluded, offset.to_local(515000));
+  tracer.record(0, Stage::kDetected, 20000);
+  StageBreakdown breakdown = tracer.breakdown();
+  ASSERT_EQ(breakdown.include.count(), 1u);
+  ASSERT_EQ(breakdown.detect.count(), 1u);
+  // include = 15ms - 10ms = 5ms; detect = 20ms - 15ms = 5ms. The histogram
+  // buckets are logarithmic (<= 2% relative error), so bound, not equate.
+  EXPECT_GE(breakdown.include.max(), 5000);
+  EXPECT_LE(breakdown.include.max(), 5200);
+  EXPECT_GE(breakdown.detect.max(), 5000);
+  EXPECT_LE(breakdown.detect.max(), 5200);
+
+  // The unfixed path (raw SUT stamp) shows exactly the failure mode: the
+  // include stage absorbs the skew and detect collapses to zero.
+  TxTracer skewed(64, 1);
+  skewed.record(1, Stage::kSubmitted, 10000);
+  skewed.record(1, Stage::kIncluded, 515000);
+  skewed.record(1, Stage::kDetected, 20000);
+  StageBreakdown bad = skewed.breakdown();
+  EXPECT_GE(bad.include.max(), 500000);
+  EXPECT_EQ(bad.detect.max(), 0);
+}
+
+TEST(TraceMerger, StitchesSubmitsWithServerSpans) {
+  TraceMerger merger;
+  merger.note_submit(SubmitTrace{/*ordinal=*/0, /*trace_id=*/1, /*begin_us=*/1000,
+                                 /*end_us=*/5000, /*target=*/0});
+
+  constexpr std::int64_t kOffset = 1000000;  // SUT clock 1s ahead
+  std::vector<Span> spans;
+  Span queue;
+  queue.trace_id = 1;
+  queue.span_id = 11;
+  queue.kind = SpanKind::kQueueWait;
+  queue.t0_us = 1002000;  // local 2000
+  queue.t1_us = 1002500;  // local 2500
+  spans.push_back(queue);
+  Span handler;
+  handler.trace_id = 1;
+  handler.span_id = 12;
+  handler.kind = SpanKind::kHandler;
+  handler.t0_us = 1002500;  // local 2500
+  handler.t1_us = 1004000;  // local 4000
+  spans.push_back(handler);
+  merger.add_server_spans(0, spans, ClockOffset{kOffset});
+
+  ASSERT_EQ(merger.submit_count(), 1u);
+  ASSERT_EQ(merger.server_span_count(), 2u);
+  RemoteBreakdown breakdown = merger.remote_breakdown();
+  EXPECT_EQ(breakdown.stitched_txs, 1u);
+  ASSERT_EQ(breakdown.net_send.count(), 1u);
+  ASSERT_EQ(breakdown.server_queue.count(), 1u);
+  ASSERT_EQ(breakdown.execute.count(), 1u);
+  ASSERT_EQ(breakdown.net_recv.count(), 1u);
+  // net_send = 2000-1000, queue = 500, execute = 4000-2500, recv = 5000-4000
+  // (log buckets: <= 2% upper-bound error).
+  EXPECT_GE(breakdown.net_send.max(), 1000);
+  EXPECT_GE(breakdown.server_queue.max(), 500);
+  EXPECT_GE(breakdown.execute.max(), 1500);
+  EXPECT_GE(breakdown.net_recv.max(), 1000);
+  EXPECT_LE(breakdown.net_recv.max(), 1020);
+
+  // Re-adding the same spans (a second endpoint sharing the process-global
+  // ring) must dedup by span id, not double-count.
+  merger.add_server_spans(1, spans, ClockOffset{kOffset});
+  EXPECT_EQ(merger.server_span_count(), 2u);
+}
+
+TEST(TraceMerger, UnmatchedSubmitsAreNotStitched) {
+  TraceMerger merger;
+  merger.note_submit(SubmitTrace{0, 99, 0, 100, 0});
+  EXPECT_EQ(merger.remote_breakdown().stitched_txs, 0u);
+}
+
+TEST(TraceMerger, TraceJsonFlowsAlwaysPair) {
+  TraceMerger merger;
+  // Trace 1 has server spans; trace 2 does not (its spans rotated out of
+  // the SUT ring). Only trace 1 may emit flow events.
+  merger.note_submit(SubmitTrace{0, 1, 1000, 2000, 0});
+  merger.note_submit(SubmitTrace{8, 2, 1500, 2500, 0});
+  std::vector<Span> spans;
+  Span handler;
+  handler.trace_id = 1;
+  handler.span_id = 21;
+  handler.kind = SpanKind::kHandler;
+  handler.t0_us = 1200;
+  handler.t1_us = 1800;
+  spans.push_back(handler);
+  merger.add_server_spans(0, spans, ClockOffset{0});
+
+  json::Value doc = merger.to_trace_json({});
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  int starts = 0;
+  int finishes = 0;
+  for (const json::Value& event : doc.at("traceEvents").as_array()) {
+    const std::string ph = event.get_string("ph", "");
+    if (ph == "s") {
+      ++starts;
+      EXPECT_EQ(event.at("id").as_int(), 1);
+    } else if (ph == "f") {
+      ++finishes;
+      EXPECT_EQ(event.at("id").as_int(), 1);
+    } else if (ph == "X") {
+      EXPECT_GE(event.at("dur").as_int(), 1);
+      EXPECT_GE(event.at("ts").as_int(), 0);
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
+}  // namespace
+}  // namespace hammer::telemetry

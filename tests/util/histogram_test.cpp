@@ -126,6 +126,44 @@ TEST(HistogramTest, MergeEmptyIntoPopulatedIsIdentity) {
   EXPECT_DOUBLE_EQ(a.mean(), 10.0);
 }
 
+TEST(HistogramTest, MergeDisjointRangesKeepsPopulationSplit) {
+  // Two populations three orders of magnitude apart: after the merge the
+  // percentile walk must cross from the low range to the high range exactly
+  // at the population boundary (p50 here), not smear the two together.
+  Histogram low;
+  Histogram high;
+  for (int i = 0; i < 1000; ++i) low.record(100 + i % 100);        // [100, 199]
+  for (int i = 0; i < 1000; ++i) high.record(100000 + i % 1000);   // [100000, 100999]
+  low.merge(high);
+  EXPECT_EQ(low.count(), 2000u);
+  EXPECT_EQ(low.min(), 100);
+  EXPECT_EQ(low.max(), 100999);
+  EXPECT_LE(low.percentile(25), 210);      // within the low range (+bucket error)
+  EXPECT_LE(low.percentile(50), 210);      // 1000th value = last low sample
+  EXPECT_GE(low.percentile(51), 100000);   // 1020th value = a high sample
+  EXPECT_GE(low.percentile(75), 100000);
+  // Sums add exactly, so the merged mean is the exact population mean.
+  EXPECT_DOUBLE_EQ(low.mean(), (149.5 + 100499.5) / 2.0);
+}
+
+TEST(HistogramTest, EmptySummaryIsWellFormed) {
+  Histogram h;
+  std::string s = h.summary();
+  EXPECT_NE(s.find("n=0"), std::string::npos);
+  EXPECT_NE(s.find("p99=0"), std::string::npos);
+}
+
+TEST(HistogramTest, ZeroIsAValidSample) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(HistogramTest, MergePreservesExactMeanAndExtremes) {
   Histogram a;
   Histogram b;
