@@ -99,9 +99,9 @@ int main() {
     if (scenario.client.enabled()) {
       client_faults = std::make_shared<fault::FaultInjector>(scenario.client);
     }
-    adapters::AdapterOptions adapter_options;
-    adapter_options.retry = scenario.retry;
-    adapter_options.call.deadline = scenario.deadline;
+    rpc::ClientConfig adapter_config;
+    adapter_config.retry = scenario.retry;
+    adapter_config.call.deadline = scenario.deadline;
 
     core::DriverOptions options;
     options.worker_threads = 2;
@@ -111,8 +111,8 @@ int main() {
     // receipts/height reply must not stall the poller for a full default
     // timeout with no second attempt.
     core::HammerDriver driver(
-        sut.make_adapters(options.worker_threads, adapter_options, client_faults),
-        sut.make_adapters(1, adapter_options)[0], util::SteadyClock::shared(), options);
+        sut.make_adapters(options.worker_threads, adapter_config, client_faults),
+        sut.make_adapters(1, adapter_config)[0], util::SteadyClock::shared(), options);
     core::RunResult result = driver.run(bench::smallbank_workload(sut, txs), nullptr);
 
     std::uint64_t injected = 0;

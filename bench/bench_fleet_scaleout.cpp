@@ -1,0 +1,150 @@
+// Fleet scale-out bench — what the coordinator/worker control plane buys
+// when one load-generator box is not enough (ISSUE 8 acceptance: 2 workers
+// >= 1.8x the throughput of 1 worker on the same SUT and the same TOTAL
+// workload).
+//
+// Each hammer worker models one load-generator box with FIXED resources:
+// two driver threads in a closed loop whose submit path carries a modeled
+// client-side RPC latency of 8 ms (injected via the fault plan the
+// coordinator pushes, probability 1.0 — slept, not burned, so the fleet
+// scales even on a one-core bench box). A box therefore tops out near
+// worker_threads * batch / latency regardless of how fast the SUT is; the
+// only way past the ceiling is more boxes. The workload is pre-signed
+// (pipelined_signing = false) to keep crypto off the measured window.
+//
+// The coordinator splits ONE seeded workload across the fleet (disjoint
+// account shards, derived seeds), so workers=1 and workers=2 submit the
+// exact same transaction population. Fleet TPS comes from the merged
+// report's clock-normalized envelope.
+//
+// Worker processes are this binary re-exec'd with --worker, same as
+// smoke.fleet_2workers.
+//
+// Artifact: bench_results/fleet_scaleout.csv (gated in ci/bench_baseline.json:
+// speedup_vs_1 at workers=2 must stay >= 1.8).
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "core/coordinator.hpp"
+#include "core/worker_process.hpp"
+#include "core/worker_session.hpp"
+#include "fault/fault.hpp"
+
+using namespace hammer;
+
+namespace {
+
+constexpr std::size_t kEndpoints = 2;
+
+int worker_main() {
+  core::WorkerSession session;
+  std::printf("HAMMER_WORKER_PORT=%u\n", session.port());
+  std::fflush(stdout);
+  session.serve();
+  return 0;
+}
+
+core::Deployment deploy_sut() {
+  json::Object spec;
+  spec["kind"] = "meepo";
+  spec["name"] = "sut";
+  spec["num_shards"] = 4;
+  spec["transport"] = "tcp";
+  spec["endpoints"] = static_cast<std::int64_t>(kEndpoints);
+  spec["rpc_workers"] = 2;
+  spec["verify_signatures"] = false;  // SUT headroom: the client is the ceiling
+  spec["commit_cost_us"] = 0;
+  spec["block_interval_ms"] = 10;
+  spec["max_block_txs"] = 4000;
+  spec["pool_capacity"] = 200000;
+  spec["smallbank_accounts_per_shard"] = 1000;
+  spec["initial_checking"] = 1000000;
+  spec["initial_savings"] = 1000000;
+  json::Object plan;
+  plan["chains"] = json::Value(json::Array{json::Value(std::move(spec))});
+  return core::Deployment::deploy(json::Value(std::move(plan)), util::SteadyClock::shared());
+}
+
+// One complete fleet run at `fleet_size` workers over a fresh SUT; returns
+// merged fleet TPS.
+double run_fleet(std::size_t fleet_size, std::size_t total_txs) {
+  core::Deployment deployment = deploy_sut();
+  core::DeployedChain& sut = deployment.at("sut");
+
+  std::vector<core::WorkerProcess> processes;
+  std::vector<core::FleetWorker> fleet;
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    processes.push_back(core::WorkerProcess::spawn("/proc/self/exe", {"--worker"}));
+    fleet.push_back({"127.0.0.1", processes.back().port()});
+  }
+
+  core::FleetPlan plan;
+  for (std::uint16_t port : sut.tcp_ports()) {
+    plan.sut_endpoints.emplace_back("127.0.0.1", port);
+  }
+  plan.accounts = sut.smallbank_accounts;
+  workload::WorkloadProfile profile;
+  profile.seed = 13;
+  profile.op_mix = {{"send_payment", 1.0}};  // order-independent on rich accounts
+  plan.workload = profile.to_json();
+  plan.total_txs = total_txs;
+  plan.driver = json::object({{"worker_threads", 2},
+                              {"submit_batch_size", 8},
+                              {"routing", "shard"},
+                              {"task_shards", 2},
+                              {"pipelined_signing", false}});
+  // The modeled per-box bottleneck: every submit RPC sleeps 8 ms client
+  // side. A 2-thread box cannot exceed ~2 * 8 / 8ms = 2000 tps.
+  fault::FaultPlan faults;
+  faults.seed = 17;
+  faults.client_latency_p = 1.0;
+  faults.client_latency_us = 8000;
+  plan.faults = faults.to_json();
+
+  core::Coordinator coordinator(fleet);
+  core::FleetResult result = coordinator.run(plan);
+  coordinator.stop();
+  for (auto& process : processes) process.wait();
+
+  if (result.merged.submitted != total_txs || result.merged.unmatched != 0) {
+    std::fprintf(stderr, "FAIL: fleet of %zu lost transactions (submitted=%llu unmatched=%llu)\n",
+                 fleet_size, static_cast<unsigned long long>(result.merged.submitted),
+                 static_cast<unsigned long long>(result.merged.unmatched));
+    std::exit(1);
+  }
+  return result.merged.tps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) return worker_main();
+
+  const std::size_t txs = bench::full_scale() ? 32000 : 8000;
+  report::CsvWriter csv({"workers", "endpoints", "total_txs", "tps", "speedup_vs_1"});
+
+  std::printf("== Fleet scale-out: coordinator + N worker processes, %zu total txs ==\n", txs);
+  std::printf("   (each worker: 2 driver threads, 8 ms modeled submit latency -> ~2000 tps/box; "
+              "the SUT has headroom, so boxes should add)\n");
+
+  double base_tps = 0.0;
+  double speedup_at_2 = 0.0;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    double tps = run_fleet(workers, txs);
+    if (workers == 1) base_tps = tps;
+    double speedup = base_tps > 0 ? tps / base_tps : 1.0;
+    if (workers == 2) speedup_at_2 = speedup;
+    std::printf("  workers=%zu  %8.0f tps  (%.2fx vs 1 worker)\n", workers, tps, speedup);
+    csv.add_row({std::to_string(workers), std::to_string(kEndpoints), std::to_string(txs),
+                 std::to_string(tps), std::to_string(speedup)});
+  }
+
+  bench::save_csv(csv, "fleet_scaleout.csv");
+
+  std::printf("2-worker fleet speedup vs 1 worker: %.2fx (acceptance: >= 1.8x)\n", speedup_at_2);
+  if (speedup_at_2 < 1.8) {
+    std::fprintf(stderr, "FAIL: 2-worker fleet did not reach 1.8x one worker\n");
+    return 1;
+  }
+  return 0;
+}

@@ -379,12 +379,12 @@ int main() {
   {
     core::Deployment deployment = deploy_tcp_neuchain(/*pool_capacity=*/200000);
     auto& sut = deployment.at("sut");
-    adapters::AdapterOptions adapter_options;
-    adapter_options.retry = rpc::RetryPolicy::standard(4);
+    rpc::ClientConfig adapter_config;
+    adapter_config.retry = rpc::RetryPolicy::standard(4);
     core::DriverOptions options;
     options.worker_threads = 2;
     options.submit_batch_size = 16;
-    core::HammerDriver driver(sut.make_adapters(2, adapter_options), sut.make_adapters(1)[0],
+    core::HammerDriver driver(sut.make_adapters(2, adapter_config), sut.make_adapters(1)[0],
                               util::SteadyClock::shared(), options);
     core::RunResult result = driver.run(bench::smallbank_workload(sut, probe_txs), nullptr);
     std::printf("  retries-armed batch=16 %8.0f tps  p50=%.2fms  (retries taken: %llu)\n",

@@ -1,0 +1,114 @@
+// hammer-coordinator: drive a SUT with a distributed fleet of worker
+// processes (DESIGN.md §13 — the "Distributed quickstart" in README.md).
+//
+//   1. deploy a TCP-transport sharded Meepo SUT in this process
+//   2. spawn N hammer_worker siblings (or dial --workers p1,p2,... you
+//      started yourself)
+//   3. push each worker its shard of one seeded SmallBank workload
+//      (disjoint accounts, derived seeds) over the control-plane API
+//   4. start barrier, poll control.stats while the fleet runs
+//   5. merge the per-worker RunResults into one fleet report and print it
+//
+// Flags: --fleet N (default 2), --txs N total transactions (default
+// 10000), --shards N SUT shards/endpoints (default 4), --workers p1,p2
+// to reuse externally-started workers instead of spawning.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.hpp"
+#include "core/deployment.hpp"
+#include "core/worker_process.hpp"
+#include "report/merge.hpp"
+#include "workload/profile.hpp"
+
+using namespace hammer;
+
+int main(int argc, char** argv) {
+  std::size_t fleet_size = 2;
+  std::size_t total_txs = 10000;
+  std::size_t shards = 4;
+  std::vector<std::uint16_t> worker_ports;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet_size = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
+      total_txs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        worker_ports.push_back(
+            static_cast<std::uint16_t>(std::atoi(list.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    }
+  }
+  if (fleet_size == 0) fleet_size = 1;
+
+  // 1. The SUT: one sharded Meepo behind `shards` TCP endpoints, genesis
+  // accounts ready for SmallBank.
+  json::Value plan = json::Value::parse(R"({"chains": [{
+    "kind": "meepo", "name": "fleet-sut", "transport": "tcp",
+    "block_interval_ms": 30, "rpc_workers": 2,
+    "smallbank_accounts_per_shard": 500
+  }]})");
+  json::Object& spec = plan.as_object()["chains"].as_array()[0].as_object();
+  spec["num_shards"] = static_cast<std::int64_t>(shards);
+  spec["endpoints"] = static_cast<std::int64_t>(shards);
+  core::Deployment deployment = core::Deployment::deploy(plan, util::SteadyClock::shared());
+  core::DeployedChain& sut = deployment.at("fleet-sut");
+  std::printf("SUT up: %zu-shard meepo, %zu TCP endpoint(s), %zu accounts\n", shards,
+              sut.endpoint_count(), sut.smallbank_accounts.size());
+
+  // 2. The fleet: spawn hammer_worker siblings next to this binary, unless
+  // the user pointed us at running ones.
+  std::vector<core::WorkerProcess> spawned;
+  if (worker_ports.empty()) {
+    std::string self = argv[0];
+    std::size_t slash = self.rfind('/');
+    std::string worker_bin =
+        (slash == std::string::npos ? std::string(".") : self.substr(0, slash)) +
+        "/hammer_worker";
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+      spawned.push_back(core::WorkerProcess::spawn(worker_bin, {}));
+      worker_ports.push_back(spawned.back().port());
+      std::printf("spawned worker %zu: pid %d, control port %u\n", i,
+                  static_cast<int>(spawned.back().pid()), spawned.back().port());
+    }
+  }
+  std::vector<core::FleetWorker> fleet;
+  for (std::uint16_t port : worker_ports) fleet.push_back({"127.0.0.1", port});
+
+  // 3.-5. One seeded workload for the whole fleet; each worker derives its
+  // shard (accounts, seed, fault stream) from its index.
+  core::FleetPlan fleet_plan;
+  for (std::uint16_t port : sut.tcp_ports()) {
+    fleet_plan.sut_endpoints.emplace_back("127.0.0.1", port);
+  }
+  fleet_plan.accounts = sut.smallbank_accounts;
+  workload::WorkloadProfile profile;
+  profile.seed = 42;
+  fleet_plan.workload = profile.to_json();
+  fleet_plan.total_txs = total_txs;
+  fleet_plan.driver = json::object({{"worker_threads", static_cast<std::int64_t>(shards)},
+                                    {"submit_batch_size", 32},
+                                    {"routing", "shard"}});
+
+  core::Coordinator coordinator(fleet);
+  core::FleetResult result = coordinator.run(fleet_plan);
+  coordinator.stop();
+  for (auto& process : spawned) process.wait();
+
+  report::FleetReport report = report::FleetReport::build(result.workers, "fleet run");
+  std::printf("\n%s\n", report.rendered.c_str());
+  std::printf("fleet wall time: %.2fs, aggregate tps: %.1f\n", result.wall_s,
+              result.merged.tps);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// hammer-worker: one member of a distributed driver fleet.
+//
+// Serves the control-plane API (control.* / telemetry.* / rpc.api) on
+// --port (default: pick a free one) and prints the handshake line
+//
+//   HAMMER_WORKER_PORT=<port>
+//
+// to stdout so a spawning coordinator (core::WorkerProcess) can find it.
+// Then it follows orders: a coordinator deploys this worker's workload
+// shard, starts the run, polls progress, collects the report, and finally
+// control.stop lets the process exit.
+//
+// Run two by hand and drive them with hammer_coordinator:
+//   ./build/examples/hammer_worker --port 9101 &
+//   ./build/examples/hammer_worker --port 9102 &
+//   ./build/examples/hammer_coordinator --workers 9101,9102
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/worker_session.hpp"
+
+using namespace hammer;
+
+int main(int argc, char** argv) {
+  core::WorkerSessionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rpc-workers") == 0 && i + 1 < argc) {
+      options.rpc_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+  core::WorkerSession session(options);
+  // The handshake goes to stdout (and ONLY this — logs go to stderr), so a
+  // parent process reading the pipe finds the port without races.
+  std::printf("HAMMER_WORKER_PORT=%u\n", session.port());
+  std::fflush(stdout);
+  session.serve();
+  return 0;
+}

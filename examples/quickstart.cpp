@@ -125,10 +125,10 @@ int main(int argc, char** argv) {
       1000.0, std::chrono::seconds(5), std::chrono::milliseconds(100));
   // Under --faults the adapters retry transient rejections with seeded
   // exponential backoff instead of counting them as failures.
-  adapters::AdapterOptions adapter_options;
+  rpc::ClientConfig adapter_config;
   if (with_faults) {
-    adapter_options.retry = rpc::RetryPolicy::standard(4);
-    adapter_options.retry.on_rejected = true;
+    adapter_config.retry = rpc::RetryPolicy::standard(4);
+    adapter_config.retry.on_rejected = true;
     options.fault_injector = sut.fault_injector;
   }
   options.routing = routing;
@@ -136,8 +136,8 @@ int main(int argc, char** argv) {
   std::shared_ptr<core::SutCluster> cluster =
       endpoints > 1
           ? sut.make_cluster(/*workers_per_target=*/1, /*channels_per_target=*/1,
-                             adapter_options)
-          : core::SutCluster::single(sut.make_adapters(2, adapter_options),
+                             adapter_config)
+          : core::SutCluster::single(sut.make_adapters(2, adapter_config),
                                      sut.make_adapters(1)[0]);
   core::HammerDriver driver(cluster, util::SteadyClock::shared(), options);
 

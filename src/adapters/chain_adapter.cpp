@@ -12,7 +12,6 @@ ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel,
                            const rpc::ClientConfig& config)
     : channel_(std::move(channel)),
       config_(config),
-      options_(to_adapter_options(config)),
       retryer_(config_.retry, config_.retry_seed) {
   HAMMER_CHECK(channel_ != nullptr);
   HAMMER_CHECK(config_.retry.max_attempts >= 1);
@@ -21,9 +20,6 @@ ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel,
   info_.kind = v.at("kind").as_string();
   info_.shards = static_cast<std::uint32_t>(v.get_int("shards", 1));
 }
-
-ChainAdapter::ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options)
-    : ChainAdapter(std::move(channel), to_client_config(options)) {}
 
 json::Value ChainAdapter::call(const std::string& method, json::Value params) {
   return retryer_.run([&]() -> json::Value {
@@ -220,16 +216,6 @@ std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_
   // The config reaches the transport too: the channel negotiates the wire
   // codec and uses the blocking-call timeout it carries.
   return make_adapter(std::make_shared<rpc::TcpChannel>(host, port, config), config);
-}
-
-std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
-                                           AdapterOptions options) {
-  return make_adapter(std::move(channel), to_client_config(options));
-}
-
-std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
-                                           AdapterOptions options) {
-  return make_adapter(host, port, to_client_config(options));
 }
 
 }  // namespace hammer::adapters

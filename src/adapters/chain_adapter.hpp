@@ -14,10 +14,10 @@
 // per-transaction outcomes — the transport-level lever behind
 // DriverOptions::submit_batch_size.
 //
-// Every RPC the adapter issues runs under AdapterOptions: a per-call
+// Every RPC the adapter issues runs under one rpc::ClientConfig: a per-call
 // deadline (rpc::CallOptions) and a rpc::RetryPolicy with seeded,
-// exponentially backed-off retries. The default policy is one attempt, so
-// an un-optioned adapter behaves exactly like the pre-retry API.
+// exponentially backed-off retries. The default config is one attempt, so
+// an un-configured adapter behaves exactly like the pre-retry API.
 // Resubmission is idempotency-aware: after an in-doubt failure (transport
 // break, timeout) submit_batch reconciles through chain.receipts and only
 // resends entries not already on chain — see DESIGN.md §8.
@@ -47,52 +47,18 @@ struct ChainInfo {
   std::uint32_t shards = 1;
 };
 
-// Deprecated: the pre-ClientConfig options shape, kept so existing call
-// sites compile unchanged. It carries exactly the subset of
-// rpc::ClientConfig that predates the wire-codec redesign (no codec
-// preference, no channel timeout); prefer rpc::ClientConfig everywhere new.
-struct AdapterOptions {
-  rpc::CallOptions call;    // forwarded to every RPC this adapter issues
-  rpc::RetryPolicy retry;   // default: max_attempts = 1 (no retry)
-  std::uint64_t retry_seed = 0xbacc0ffULL;  // jitter stream for backoff
-  // Which SutCluster target (endpoint) this adapter speaks to. Single-SUT
-  // call sites leave the default; the cluster builder stamps the index so
-  // per-endpoint telemetry and routing diagnostics can label their series.
-  std::size_t target_index = 0;
-};
-
-// Shim conversions between the legacy options shape and rpc::ClientConfig.
-inline rpc::ClientConfig to_client_config(const AdapterOptions& options) {
-  rpc::ClientConfig config;
-  config.call = options.call;
-  config.retry = options.retry;
-  config.retry_seed = options.retry_seed;
-  config.target_index = options.target_index;
-  return config;
-}
-inline AdapterOptions to_adapter_options(const rpc::ClientConfig& config) {
-  AdapterOptions options;
-  options.call = config.call;
-  options.retry = config.retry;
-  options.retry_seed = config.retry_seed;
-  options.target_index = config.target_index;
-  return options;
-}
-
 class ChainAdapter {
  public:
-  // Primary constructor: one options struct for the whole call surface.
-  ChainAdapter(std::shared_ptr<rpc::Channel> channel, const rpc::ClientConfig& config);
-
-  // Deprecated shim over the ClientConfig constructor.
-  explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel, AdapterOptions options = {});
+  // One config for the whole call surface (deadline, retry policy, target
+  // index; the codec/timeout members were already consumed by whoever built
+  // `channel`).
+  explicit ChainAdapter(std::shared_ptr<rpc::Channel> channel,
+                        const rpc::ClientConfig& config = {});
 
   // Fetched once and cached; sharded SUTs report their shard count here so
   // the driver can poll every shard's chain.
   const ChainInfo& info() const { return info_; }
   const rpc::ClientConfig& config() const { return config_; }
-  // Deprecated: legacy view of config(); prefer config().
-  const AdapterOptions& options() const { return options_; }
   std::size_t target_index() const { return config_.target_index; }
 
   // The channel this adapter issues calls over (e.g. for wire-codec
@@ -184,25 +150,17 @@ class ChainAdapter {
 
   std::shared_ptr<rpc::Channel> channel_;
   rpc::ClientConfig config_;
-  AdapterOptions options_;  // legacy mirror of config_ for options()
   rpc::Retryer retryer_;
   ChainInfo info_;
 };
 
 // Factory used by examples/benches/tests so call sites stop hand-wiring
-// TcpChannel construction against deployed endpoints. The ClientConfig
-// overloads are the primary API: the host/port form threads the config into
-// the TcpChannel it opens (codec preference, timeout) as well as into the
-// adapter (deadline, retry policy).
+// TcpChannel construction against deployed endpoints. The host/port form
+// threads the config into the TcpChannel it opens (codec preference,
+// timeout) as well as into the adapter (deadline, retry policy).
 std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
-                                           const rpc::ClientConfig& config);
+                                           const rpc::ClientConfig& config = {});
 std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
-                                           const rpc::ClientConfig& config);
-
-// Deprecated shims over the ClientConfig overloads.
-std::shared_ptr<ChainAdapter> make_adapter(std::shared_ptr<rpc::Channel> channel,
-                                           AdapterOptions options = {});
-std::shared_ptr<ChainAdapter> make_adapter(const std::string& host, std::uint16_t port,
-                                           AdapterOptions options = {});
+                                           const rpc::ClientConfig& config = {});
 
 }  // namespace hammer::adapters

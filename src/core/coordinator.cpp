@@ -1,0 +1,168 @@
+#include "core/coordinator.hpp"
+
+#include <future>
+
+#include "rpc/api.hpp"
+#include "util/clock.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace hammer::core {
+
+json::Value FleetPlan::to_worker_json(std::size_t index, std::size_t count) const {
+  HAMMER_CHECK_MSG(count >= 1 && index < count, "fleet worker index out of range");
+  json::Array endpoints;
+  endpoints.reserve(sut_endpoints.size());
+  for (const auto& [host, port] : sut_endpoints) {
+    endpoints.push_back(
+        json::object({{"host", host}, {"port", static_cast<std::int64_t>(port)}}));
+  }
+  json::Array account_list;
+  account_list.reserve(accounts.size());
+  for (const std::string& account : accounts) account_list.push_back(json::Value(account));
+  json::Value plan = json::object({{"worker_index", static_cast<std::int64_t>(index)},
+                                   {"worker_count", static_cast<std::int64_t>(count)},
+                                   {"endpoints", json::Value(std::move(endpoints))},
+                                   {"accounts", json::Value(std::move(account_list))},
+                                   {"workload", workload},
+                                   {"total_txs", static_cast<std::int64_t>(total_txs)}});
+  if (!driver.is_null()) plan.as_object()["driver"] = driver;
+  if (!client.is_null()) plan.as_object()["client"] = client;
+  if (!faults.is_null()) plan.as_object()["faults"] = faults;
+  return plan;
+}
+
+Coordinator::Coordinator(std::vector<FleetWorker> workers, FleetOptions options)
+    : workers_(std::move(workers)), options_(options) {
+  HAMMER_CHECK_MSG(!workers_.empty(), "a fleet needs >= 1 worker");
+}
+
+rpc::TcpChannel& Coordinator::channel(std::size_t i) {
+  if (channels_.empty()) hello();
+  return *channels_[i];
+}
+
+void Coordinator::hello() {
+  if (!channels_.empty()) return;
+  channels_.reserve(workers_.size());
+  for (const FleetWorker& worker : workers_) {
+    channels_.push_back(
+        std::make_shared<rpc::TcpChannel>(worker.host, worker.port, options_.control));
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    json::Value reply = channels_[i]->call("control.hello", json::Value());
+    std::string role = reply.get_string("role", "?");
+    auto api = static_cast<int>(reply.get_int("api", -1));
+    if (role != "worker" || api != rpc::kApiVersion) {
+      channels_.clear();
+      throw ParseError("fleet worker " + std::to_string(i) + " speaks role '" + role +
+                       "' api " + std::to_string(api) + ", need role 'worker' api " +
+                       std::to_string(rpc::kApiVersion));
+    }
+  }
+}
+
+void Coordinator::deploy(const FleetPlan& plan) {
+  hello();
+  std::vector<std::future<json::Value>> acks;
+  acks.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    acks.push_back(
+        channels_[i]->call_async("control.deploy", plan.to_worker_json(i, channels_.size())));
+  }
+  for (std::size_t i = 0; i < acks.size(); ++i) {
+    json::Value ack = acks[i].get();
+    HLOG_INFO("fleet") << "worker " << i << " deployed: " << ack.get_int("txs", 0)
+                       << " txs, " << ack.get_int("accounts", 0) << " accounts";
+  }
+}
+
+void Coordinator::start() {
+  HAMMER_CHECK_MSG(!channels_.empty(), "start() before deploy()");
+  std::vector<std::future<json::Value>> acks;
+  acks.reserve(channels_.size());
+  for (auto& ch : channels_) {
+    acks.push_back(ch->call_async("control.start", json::Value()));
+  }
+  for (auto& ack : acks) ack.get();
+}
+
+FleetResult Coordinator::collect() {
+  HAMMER_CHECK_MSG(!channels_.empty(), "collect() before deploy()");
+  const util::Clock& clock = *util::SteadyClock::shared();
+  const std::int64_t t0_us = clock.now_us();
+  const std::int64_t deadline_us =
+      t0_us + std::chrono::duration_cast<std::chrono::microseconds>(options_.collect_timeout)
+                  .count();
+
+  FleetResult fleet;
+  fleet.workers.resize(channels_.size());
+  std::vector<bool> done(channels_.size(), false);
+  json::Array timeline;
+  std::size_t remaining = channels_.size();
+  while (remaining > 0) {
+    if (clock.now_us() > deadline_us) {
+      throw TimeoutError("fleet collect timed out with " + std::to_string(remaining) +
+                         " worker(s) still running");
+    }
+    // One stats sweep per tick feeds the progress timeline...
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      json::Value stats = channels_[i]->call("control.stats", json::Value());
+      submitted += static_cast<std::uint64_t>(stats.get_int("submitted", 0));
+      completed += static_cast<std::uint64_t>(stats.get_int("completed", 0));
+    }
+    timeline.push_back(json::object({{"t_ms", (clock.now_us() - t0_us) / 1000},
+                                     {"submitted", submitted},
+                                     {"completed", completed}}));
+    // ...then a report sweep harvests finished workers (control.report never
+    // blocks worker-side; the coordinator owns the waiting).
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (done[i]) continue;
+      json::Value report = channels_[i]->call("control.report", json::Value());
+      if (!report.get_bool("done", false)) continue;
+      RunResult result = RunResult::from_wire_json(report.at("result"));
+      // The worker stamped its envelope with ITS steady clock; shift it into
+      // the coordinator's domain so the merged duration spans real fleet time.
+      telemetry::ClockOffset offset = channels_[i]->clock_offset();
+      if (result.first_start_us != 0 || result.last_end_us != 0) {
+        result.first_start_us = offset.to_local(result.first_start_us);
+        result.last_end_us = offset.to_local(result.last_end_us);
+      }
+      fleet.workers[i] = std::move(result);
+      done[i] = true;
+      --remaining;
+    }
+    if (remaining > 0) {
+      util::SteadyClock::shared()->sleep_for(
+          std::chrono::duration_cast<util::Duration>(options_.stats_interval));
+    }
+  }
+  fleet.merged = merge_run_results(fleet.workers);
+  fleet.stats_timeline = json::Value(std::move(timeline));
+  fleet.wall_s = static_cast<double>(clock.now_us() - t0_us) / 1e6;
+  return fleet;
+}
+
+FleetResult Coordinator::run(const FleetPlan& plan) {
+  hello();
+  deploy(plan);
+  start();
+  return collect();
+}
+
+void Coordinator::stop() {
+  if (channels_.empty()) hello();
+  for (auto& ch : channels_) {
+    // A worker may tear its server down the instant stop_requested_ is
+    // set, racing the ack write against the close. A dropped connection
+    // here IS a successful stop.
+    try {
+      ch->call("control.stop", json::Value());
+    } catch (const TransportError&) {
+    }
+  }
+}
+
+}  // namespace hammer::core

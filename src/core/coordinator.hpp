@@ -1,0 +1,102 @@
+// Coordinator: the fleet-control half of the distributed driver
+// (DESIGN.md §13). Speaks the control-plane API to N WorkerSession
+// processes: hello (API-version handshake), deploy (push each worker its
+// plan + workload shard), start (the run barrier — every deploy must have
+// acknowledged first), then polls control.stats into a progress timeline
+// and control.report until every worker is done, normalizes each worker's
+// clock envelope through the control channel's measured ClockOffset, and
+// merges the per-worker RunResults into the single-process-equivalent
+// result (core::merge_run_results).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "rpc/tcp.hpp"
+
+namespace hammer::core {
+
+// One dialable worker process.
+struct FleetWorker {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FleetOptions {
+  // Control-channel config (codec, timeout) for coordinator -> worker RPCs.
+  // The timeout bounds every control call EXCEPT the run itself, which is
+  // polled, never awaited.
+  rpc::ClientConfig control;
+
+  // control.stats sampling period while the fleet runs.
+  std::chrono::milliseconds stats_interval{200};
+
+  // Give up collecting if the fleet has not finished after this long.
+  std::chrono::milliseconds collect_timeout{120000};
+};
+
+// What the coordinator pushes to each worker. One FleetPlan describes the
+// WHOLE workload; to_worker_json(i, n) is worker i's slice of it (the
+// worker derives its seeds and accounts from the index itself).
+struct FleetPlan {
+  std::vector<std::pair<std::string, std::uint16_t>> sut_endpoints;  // host, port
+  std::vector<std::string> accounts;    // full population; workers stride it
+  json::Value workload;                 // WorkloadProfile JSON (master seed inside)
+  std::size_t total_txs = 0;            // summed across the fleet
+  json::Value driver;                   // driver sub-object, null = defaults
+  json::Value client;                   // client sub-object, null = defaults
+  json::Value faults;                   // master client-side FaultPlan, null = none
+
+  json::Value to_worker_json(std::size_t index, std::size_t count) const;
+};
+
+struct FleetResult {
+  RunResult merged;                     // single-process-equivalent result
+  std::vector<RunResult> workers;       // per-worker, clock-normalized
+  json::Value stats_timeline;           // array of {t_ms, submitted, completed}
+  double wall_s = 0.0;                  // start barrier -> last report
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(std::vector<FleetWorker> workers, FleetOptions options = {});
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Dials every worker and checks control.hello: role must be "worker" and
+  // the API version must match rpc::kApiVersion exactly. Throws ParseError
+  // on a version/role mismatch (a fleet must be homogeneous).
+  void hello();
+
+  // Pushes plan shard i to worker i, in parallel; returns once every worker
+  // acknowledged (deploy barrier).
+  void deploy(const FleetPlan& plan);
+
+  // Fires control.start on every worker, in parallel (start barrier).
+  void start();
+
+  // Polls stats + reports until every worker is done (or collect_timeout),
+  // then merges. Worker clock envelopes are shifted into the coordinator's
+  // domain via each control channel's negotiated ClockOffset before merging.
+  FleetResult collect();
+
+  // hello + deploy + start + collect.
+  FleetResult run(const FleetPlan& plan);
+
+  // control.stop on every worker (lets their serve() loops return). Safe to
+  // call on a fleet that never deployed.
+  void stop();
+
+ private:
+  rpc::TcpChannel& channel(std::size_t i);
+
+  std::vector<FleetWorker> workers_;
+  FleetOptions options_;
+  std::vector<std::shared_ptr<rpc::TcpChannel>> channels_;
+};
+
+}  // namespace hammer::core

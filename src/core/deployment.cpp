@@ -50,11 +50,6 @@ std::shared_ptr<rpc::Channel> DeployedChain::connect(
       endpoint == 0 ? dispatcher : extra_endpoints[endpoint - 1].dispatcher);
 }
 
-std::shared_ptr<rpc::Channel> DeployedChain::connect(
-    std::shared_ptr<fault::FaultInjector> client_faults, std::size_t endpoint) const {
-  return connect(rpc::ClientConfig{}, std::move(client_faults), endpoint);
-}
-
 std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
     std::size_t count, const rpc::ClientConfig& config,
     std::shared_ptr<fault::FaultInjector> client_faults) const {
@@ -65,12 +60,6 @@ std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapter
                                                            config));
   }
   return out;
-}
-
-std::vector<std::shared_ptr<adapters::ChainAdapter>> DeployedChain::make_adapters(
-    std::size_t count, adapters::AdapterOptions options,
-    std::shared_ptr<fault::FaultInjector> client_faults) const {
-  return make_adapters(count, adapters::to_client_config(options), std::move(client_faults));
 }
 
 std::shared_ptr<SutCluster> DeployedChain::make_cluster(
@@ -110,11 +99,57 @@ std::shared_ptr<SutCluster> DeployedChain::make_cluster(
   return std::make_shared<SutCluster>(std::move(targets));
 }
 
-std::shared_ptr<SutCluster> DeployedChain::make_cluster(
-    std::size_t workers_per_target, std::size_t channels_per_target,
-    adapters::AdapterOptions options, std::shared_ptr<fault::FaultInjector> client_faults) const {
-  return make_cluster(workers_per_target, channels_per_target,
-                      adapters::to_client_config(options), std::move(client_faults));
+std::vector<std::uint16_t> DeployedChain::tcp_ports() const {
+  HAMMER_CHECK_MSG(tcp_server != nullptr,
+                   "tcp_ports() needs transport \"tcp\" — in-process endpoints are not dialable");
+  std::vector<std::uint16_t> ports;
+  ports.reserve(endpoint_count());
+  ports.push_back(tcp_server->port());
+  for (const ExtraEndpoint& extra : extra_endpoints) {
+    HAMMER_CHECK(extra.tcp_server != nullptr);
+    ports.push_back(extra.tcp_server->port());
+  }
+  return ports;
+}
+
+std::shared_ptr<SutCluster> make_remote_cluster(
+    const std::vector<RemoteEndpoint>& endpoints, std::size_t workers_per_target,
+    std::size_t channels_per_target, const rpc::ClientConfig& config,
+    std::shared_ptr<fault::FaultInjector> client_faults) {
+  HAMMER_CHECK_MSG(!endpoints.empty(), "make_remote_cluster needs >= 1 endpoint");
+  HAMMER_CHECK_MSG(workers_per_target >= 1, "make_remote_cluster needs >= 1 worker per target");
+  const std::size_t n = endpoints.size();
+  std::uint32_t shards = 1;
+  std::vector<std::unique_ptr<SutTarget>> targets;
+  targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rpc::ClientConfig target_config = config;
+    target_config.target_index = i;
+    auto dial = [&](bool with_faults) {
+      auto channel = std::make_shared<rpc::TcpChannel>(endpoints[i].host, endpoints[i].port,
+                                                       target_config);
+      if (with_faults && client_faults) channel->install_fault_injector(client_faults);
+      return channel;
+    };
+    rpc::ChannelPool pool([&] { return dial(/*with_faults=*/true); },
+                          std::min(std::max<std::size_t>(1, channels_per_target),
+                                   workers_per_target));
+    std::vector<std::shared_ptr<adapters::ChainAdapter>> workers;
+    workers.reserve(workers_per_target);
+    for (std::size_t w = 0; w < workers_per_target; ++w) {
+      workers.push_back(std::make_shared<adapters::ChainAdapter>(pool.next(), target_config));
+    }
+    auto poller =
+        std::make_shared<adapters::ChainAdapter>(dial(/*with_faults=*/false), target_config);
+    if (i == 0) shards = poller->info().shards;
+    std::vector<std::uint32_t> owned;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (s % n == i) owned.push_back(s);
+    }
+    targets.push_back(
+        std::make_unique<SutTarget>(i, std::move(workers), std::move(poller), std::move(owned)));
+  }
+  return std::make_shared<SutCluster>(std::move(targets));
 }
 
 Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clock> clock) {

@@ -70,11 +70,7 @@ struct DeployedChain {
   // client-side injector on the new TcpChannel (ignored for in-proc
   // transport, which has no wire to break).
   std::shared_ptr<rpc::Channel> connect(
-      const rpc::ClientConfig& config,
-      std::shared_ptr<fault::FaultInjector> client_faults = nullptr,
-      std::size_t endpoint = 0) const;
-  // Deprecated shim: default ClientConfig (binary-preferred codec).
-  std::shared_ptr<rpc::Channel> connect(
+      const rpc::ClientConfig& config = {},
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr,
       std::size_t endpoint = 0) const;
 
@@ -82,11 +78,7 @@ struct DeployedChain {
   // sharing the same ClientConfig (codec preference, deadline, retry
   // policy) and client-side injector.
   std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
-      std::size_t count, const rpc::ClientConfig& config,
-      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
-  // Deprecated shim over the ClientConfig overload.
-  std::vector<std::shared_ptr<adapters::ChainAdapter>> make_adapters(
-      std::size_t count, adapters::AdapterOptions options = {},
+      std::size_t count, const rpc::ClientConfig& config = {},
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
 
   // Builds a SutCluster over every endpoint of this chain: per target,
@@ -97,15 +89,36 @@ struct DeployedChain {
   // The ClientConfig flows unchanged into every channel and adapter the
   // cluster owns (only target_index is stamped per endpoint).
   std::shared_ptr<SutCluster> make_cluster(
-      std::size_t workers_per_target, std::size_t channels_per_target,
-      const rpc::ClientConfig& config,
-      std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
-  // Deprecated shim over the ClientConfig overload.
-  std::shared_ptr<SutCluster> make_cluster(
       std::size_t workers_per_target, std::size_t channels_per_target = 2,
-      adapters::AdapterOptions options = {},
+      const rpc::ClientConfig& config = {},
       std::shared_ptr<fault::FaultInjector> client_faults = nullptr) const;
+
+  // TCP listen ports, one per endpoint, in endpoint order — the addresses a
+  // coordinator hands to remote worker processes (control.deploy). Throws
+  // for in-process transport, which has no wire a second process could dial.
+  std::vector<std::uint16_t> tcp_ports() const;
 };
+
+// One dialable RPC surface of a remotely-deployed SUT.
+struct RemoteEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+// The worker-process flavour of DeployedChain::make_cluster: builds a
+// SutCluster over remote TCP endpoints instead of a locally-deployed chain.
+// Per target, `workers_per_target` adapters share a `channels_per_target`-
+// deep ChannelPool plus a dedicated poll channel; target i owns the shards
+// with shard % endpoints == i (the convention endpoint.info reports), and
+// the shard count comes from the live chain.info of the first endpoint.
+// `client_faults` is installed on the WORKER channels only — the poll
+// channel's send count is timing-dependent, and burning seeded draws on it
+// would destroy the per-worker fault-trace determinism the control plane
+// guarantees.
+std::shared_ptr<SutCluster> make_remote_cluster(
+    const std::vector<RemoteEndpoint>& endpoints, std::size_t workers_per_target,
+    std::size_t channels_per_target, const rpc::ClientConfig& config,
+    std::shared_ptr<fault::FaultInjector> client_faults = nullptr);
 
 class Deployment {
  public:

@@ -219,11 +219,143 @@ RunResult summarize(std::span<const TxRecord> records) {
       ++result.failed;
     }
   }
+  if (first_start != INT64_MAX) result.first_start_us = first_start;
+  if (last_end != INT64_MIN) result.last_end_us = last_end;
   if (result.committed > 0 && last_end > first_start) {
     result.duration_s = static_cast<double>(last_end - first_start) / 1e6;
     result.tps = static_cast<double>(result.committed) / result.duration_s;
   }
   return result;
+}
+
+namespace {
+
+// Sparse histogram encoding: only non-zero buckets cross the wire, as
+// [index, count] pairs — a run's latencies cluster in a few dozen of the
+// ~2000 buckets, so this stays small at any workload size.
+json::Value histogram_to_json(const util::Histogram& h) {
+  json::Array buckets;
+  const std::vector<std::uint64_t>& counts = h.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    json::Array pair;
+    pair.push_back(json::Value(static_cast<std::int64_t>(i)));
+    pair.push_back(json::Value(static_cast<std::int64_t>(counts[i])));
+    buckets.push_back(json::Value(std::move(pair)));
+  }
+  return json::object({{"buckets", json::Value(std::move(buckets))},
+                       {"sum", h.sum()},
+                       {"min", h.min()},
+                       {"max", h.max()}});
+}
+
+util::Histogram histogram_from_json(const json::Value& v, std::size_t num_buckets) {
+  std::vector<std::uint64_t> counts(num_buckets, 0);
+  for (const json::Value& pair : v.at("buckets").as_array()) {
+    const json::Array& entry = pair.as_array();
+    HAMMER_CHECK_MSG(entry.size() == 2, "histogram bucket pair must be [index, count]");
+    auto index = static_cast<std::size_t>(entry[0].as_int());
+    HAMMER_CHECK_MSG(index < counts.size(), "histogram bucket index out of layout");
+    counts[index] = static_cast<std::uint64_t>(entry[1].as_int());
+  }
+  return util::Histogram::from_parts(counts, v.at("sum").as_int(), v.at("min").as_int(),
+                                     v.at("max").as_int());
+}
+
+}  // namespace
+
+json::Value RunResult::to_wire_json() const {
+  json::Value v = json::object({{"submitted", submitted},
+                                {"committed", committed},
+                                {"failed", failed},
+                                {"rejected", rejected},
+                                {"unmatched", unmatched},
+                                {"retries", retries},
+                                {"send_failures", send_failures},
+                                {"duration_s", duration_s},
+                                {"tps", tps},
+                                {"first_start_us", first_start_us},
+                                {"last_end_us", last_end_us},
+                                {"latency", histogram_to_json(latency)}});
+  if (!stages.is_null()) v.as_object()["stages"] = stages;
+  if (!faults.is_null()) v.as_object()["faults"] = faults;
+  if (!targets.is_null()) v.as_object()["targets"] = targets;
+  if (!processor.is_null()) v.as_object()["processor"] = processor;
+  return v;
+}
+
+RunResult RunResult::from_wire_json(const json::Value& v) {
+  RunResult r;
+  r.submitted = static_cast<std::uint64_t>(v.at("submitted").as_int());
+  r.committed = static_cast<std::uint64_t>(v.at("committed").as_int());
+  r.failed = static_cast<std::uint64_t>(v.at("failed").as_int());
+  r.rejected = static_cast<std::uint64_t>(v.at("rejected").as_int());
+  r.unmatched = static_cast<std::uint64_t>(v.at("unmatched").as_int());
+  r.retries = static_cast<std::uint64_t>(v.at("retries").as_int());
+  r.send_failures = static_cast<std::uint64_t>(v.at("send_failures").as_int());
+  r.duration_s = v.at("duration_s").as_double();
+  r.tps = v.at("tps").as_double();
+  r.first_start_us = v.at("first_start_us").as_int();
+  r.last_end_us = v.at("last_end_us").as_int();
+  r.latency = histogram_from_json(v.at("latency"), r.latency.bucket_counts().size());
+  if (v.contains("stages")) r.stages = v.at("stages");
+  if (v.contains("faults")) r.faults = v.at("faults");
+  if (v.contains("targets")) r.targets = v.at("targets");
+  if (v.contains("processor")) r.processor = v.at("processor");
+  return r;
+}
+
+RunResult merge_run_results(std::span<const RunResult> parts) {
+  RunResult merged;
+  if (parts.empty()) return merged;
+  std::int64_t first_start = INT64_MAX;
+  std::int64_t last_end = INT64_MIN;
+  json::Object fault_sums;
+  json::Array all_targets;
+  bool any_faults = false;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const RunResult& part = parts[i];
+    merged.submitted += part.submitted;
+    merged.committed += part.committed;
+    merged.failed += part.failed;
+    merged.rejected += part.rejected;
+    merged.unmatched += part.unmatched;
+    merged.retries += part.retries;
+    merged.send_failures += part.send_failures;
+    merged.latency.merge(part.latency);
+    // A part with no records keeps the zero envelope; it must not drag the
+    // merged first_start to 0.
+    if (part.first_start_us != 0 || part.last_end_us != 0) {
+      first_start = std::min(first_start, part.first_start_us);
+      last_end = std::max(last_end, part.last_end_us);
+    }
+    if (!part.faults.is_null()) {
+      any_faults = true;
+      for (const auto& [kind, n] : part.faults.as_object()) {
+        auto it = fault_sums.find(kind);
+        std::int64_t prior = it == fault_sums.end() ? 0 : it->second.as_int();
+        fault_sums[kind] = prior + n.as_int();
+      }
+    }
+    if (!part.targets.is_null()) {
+      for (const json::Value& target : part.targets.as_array()) {
+        json::Value tagged = target;
+        tagged.as_object()["worker"] = static_cast<std::int64_t>(i);
+        all_targets.push_back(std::move(tagged));
+      }
+    }
+  }
+  if (first_start != INT64_MAX) {
+    merged.first_start_us = first_start;
+    merged.last_end_us = last_end;
+  }
+  if (merged.committed > 0 && last_end > first_start) {
+    merged.duration_s = static_cast<double>(last_end - first_start) / 1e6;
+    merged.tps = static_cast<double>(merged.committed) / merged.duration_s;
+  }
+  if (any_faults) merged.faults = json::Value(std::move(fault_sums));
+  if (!all_targets.empty()) merged.targets = json::Value(std::move(all_targets));
+  return merged;
 }
 
 }  // namespace hammer::core

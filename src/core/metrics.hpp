@@ -100,6 +100,14 @@ struct RunResult {
   double tps = 0.0;               // committed / duration
   util::Histogram latency;        // committed transactions only
 
+  // Run wall-clock envelope in the producing process's microsecond clock:
+  // earliest send and latest commit observed. Zero when the run had no
+  // records. merge_run_results() spans the merged duration from these, so a
+  // coordinator must shift them into its own clock domain (ClockOffset)
+  // before merging results from remote workers.
+  std::int64_t first_start_us = 0;
+  std::int64_t last_end_us = 0;
+
   // Per-stage latency breakdown (sign/queue/submit/include/detect) from the
   // lifecycle tracer; null unless the run was traced (trace_every_n > 0).
   json::Value stages;
@@ -119,8 +127,24 @@ struct RunResult {
 
   json::Value to_json() const;
   std::string summary() const;
+
+  // Lossless wire round-trip for the control plane (control.report): unlike
+  // the display-oriented to_json(), this carries the full latency histogram
+  // (sparse non-zero buckets) and the clock envelope, so a coordinator can
+  // rebuild the exact RunResult and merge it bin-wise.
+  json::Value to_wire_json() const;
+  static RunResult from_wire_json(const json::Value& v);
 };
 
 RunResult summarize(std::span<const TxRecord> records);
+
+// Merges per-shard RunResults into the result the single process driving
+// the whole workload would have produced: counts sum exactly, latency
+// histograms merge bin-wise, the duration spans min(first_start_us) to
+// max(last_end_us) and tps is recomputed from it. Fault counts (by kind)
+// sum; `targets` concatenates with a "worker" tag per entry; stages and
+// processor stay null (per-worker detail lives in the per-worker reports).
+// Parts must share one clock domain — normalize remote timestamps first.
+RunResult merge_run_results(std::span<const RunResult> parts);
 
 }  // namespace hammer::core

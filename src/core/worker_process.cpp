@@ -1,0 +1,117 @@
+#include "core/worker_process.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace hammer::core {
+
+WorkerProcess WorkerProcess::spawn(const std::string& binary,
+                                   const std::vector<std::string>& args) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw TransportError(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  // argv built BEFORE fork: the child must not allocate between fork and
+  // exec (another thread may hold a heap lock at fork time).
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    throw TransportError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec. Only async-signal-safe calls here.
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed
+  }
+
+  ::close(pipe_fds[1]);
+  WorkerProcess process;
+  process.pid_ = pid;
+  process.stdout_fd_ = pipe_fds[0];
+
+  // Read the handshake line byte-wise: one line, then we stop touching the
+  // pipe (the worker writes nothing further to stdout).
+  std::string line;
+  char c = 0;
+  while (true) {
+    ssize_t n = ::read(pipe_fds[0], &c, 1);
+    if (n <= 0) {
+      throw TransportError("worker process exited before announcing its port: " + binary);
+    }
+    if (c == '\n') {
+      constexpr const char* kPrefix = "HAMMER_WORKER_PORT=";
+      if (line.rfind(kPrefix, 0) == 0) {
+        process.port_ = static_cast<std::uint16_t>(std::stoi(line.substr(19)));
+        return process;
+      }
+      line.clear();  // tolerate stray stdout lines before the handshake
+      continue;
+    }
+    line.push_back(c);
+  }
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_), port_(other.port_), stdout_fd_(other.stdout_fd_),
+      waited_(other.waited_) {
+  other.pid_ = -1;
+  other.stdout_fd_ = -1;
+  other.waited_ = true;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !waited_) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+    pid_ = other.pid_;
+    port_ = other.port_;
+    stdout_fd_ = other.stdout_fd_;
+    waited_ = other.waited_;
+    other.pid_ = -1;
+    other.stdout_fd_ = -1;
+    other.waited_ = true;
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (pid_ > 0 && !waited_) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+  }
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+int WorkerProcess::wait() {
+  if (waited_ || pid_ <= 0) return 0;
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  waited_ = true;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void WorkerProcess::terminate() {
+  if (pid_ > 0 && !waited_) ::kill(pid_, SIGTERM);
+}
+
+}  // namespace hammer::core

@@ -1,0 +1,58 @@
+// WorkerProcess: spawn helper for fleet worker processes.
+//
+// Forks + execs a worker binary (hammer_worker, or any binary whose worker
+// mode prints its control port) and parses the one-line handshake the child
+// writes to stdout before serving:
+//
+//   HAMMER_WORKER_PORT=<port>\n
+//
+// Everything else the child logs goes to stderr (util/logging writes
+// there), so the stdout pipe never fills. The parent side is fork+exec
+// only — no allocation between fork and exec beyond what execv needs — so
+// the helper is safe under TSAN, which cannot tolerate forked threads.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hammer::core {
+
+class WorkerProcess {
+ public:
+  // Spawns `binary args...` and blocks until the child prints its
+  // HAMMER_WORKER_PORT line (throws TransportError if the child exits
+  // first). argv[0] is `binary` itself.
+  static WorkerProcess spawn(const std::string& binary,
+                             const std::vector<std::string>& args);
+
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  // SIGKILLs the child if it is still running.
+  ~WorkerProcess();
+
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  // Blocks until the child exits; returns its exit status (-1 if it died to
+  // a signal). Idempotent.
+  int wait();
+
+  // Asks the child to exit (SIGTERM). Pair with wait().
+  void terminate();
+
+ private:
+  WorkerProcess() = default;
+
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  int stdout_fd_ = -1;
+  bool waited_ = false;
+};
+
+}  // namespace hammer::core

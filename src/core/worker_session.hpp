@@ -1,0 +1,106 @@
+// WorkerSession: the worker half of the distributed driver fleet
+// (DESIGN.md §13).
+//
+// One WorkerSession is one `hammer-worker` process: a TcpServer exposing
+// the versioned control-plane API (control.hello / control.deploy /
+// control.start / control.stats / control.report / control.stop) alongside
+// the telemetry.* methods and rpc.api — one registry, one API version —
+// through which a Coordinator pushes a deployment plan plus this worker's
+// workload shard, fires the start barrier, samples progress, and collects
+// the finished RunResult.
+//
+// Lifecycle state machine (control.hello reports it; control.start and
+// control.report enforce it):
+//
+//   idle ──deploy──▶ deployed ──start──▶ running ──(run ends)──▶ done
+//                        ▲                                        │
+//                        └──────────────── deploy ────────────────┘
+//
+// deploy is rejected while running; start is rejected unless deployed; a
+// done worker can be re-deployed for the next run (reruns reuse the fleet).
+//
+// Determinism contract: everything the worker does is a pure function of
+// the deploy plan. The workload shard draws from
+// util::derive_seed(profile.seed, worker_index), the client-side fault plan
+// from FaultPlan::derived_for_worker(worker_index), and the fault injector
+// is installed on the submit (worker) channels only — never the poll
+// channel, whose call count is timing-dependent — so the injected-fault
+// trace replays exactly from (master seed, worker index).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/driver.hpp"
+#include "rpc/tcp.hpp"
+#include "workload/shard.hpp"
+
+namespace hammer::core {
+
+struct WorkerSessionOptions {
+  std::uint16_t port = 0;       // 0 picks a free port (see port())
+  std::size_t rpc_workers = 2;  // control-server threads
+};
+
+class WorkerSession {
+ public:
+  enum class State { kIdle, kDeployed, kRunning, kDone };
+
+  using Options = WorkerSessionOptions;
+
+  explicit WorkerSession(Options options = {});
+  ~WorkerSession();
+
+  WorkerSession(const WorkerSession&) = delete;
+  WorkerSession& operator=(const WorkerSession&) = delete;
+
+  std::uint16_t port() const { return server_->port(); }
+  State state() const;
+
+  // The control registry (control.* + telemetry.* + rpc.api), exposed so
+  // in-process tests can drive the session over an InProcChannel.
+  const std::shared_ptr<rpc::Dispatcher>& dispatcher() const { return dispatcher_; }
+
+  // Blocks until control.stop arrives AND no run is in flight, then shuts
+  // the control server down. The hammer-worker main() is serve() plus
+  // argument parsing.
+  void serve();
+
+ private:
+  json::Value handle_hello(const json::Value& params);
+  json::Value handle_deploy(const json::Value& params);
+  json::Value handle_start(const json::Value& params);
+  json::Value handle_stats(const json::Value& params);
+  json::Value handle_report(const json::Value& params);
+  json::Value handle_stop(const json::Value& params);
+
+  const char* state_name(State s) const;
+  void join_run_thread();
+
+  Options options_;
+  std::shared_ptr<rpc::Dispatcher> dispatcher_;
+  std::unique_ptr<rpc::TcpServer> server_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  bool stop_requested_ = false;
+  std::size_t worker_index_ = 0;
+
+  // Built by control.deploy, consumed by the run thread.
+  std::shared_ptr<SutCluster> cluster_;
+  DriverOptions driver_options_;
+  workload::WorkloadFile workload_;
+  std::optional<RunResult> result_;
+  std::thread run_thread_;
+
+  // control.stats delta tracking (cumulative counters sampled last call).
+  std::uint64_t last_submitted_ = 0;
+  std::uint64_t last_completed_ = 0;
+};
+
+}  // namespace hammer::core

@@ -79,6 +79,12 @@ json::Value FaultPlan::to_json() const {
   return json::Value(std::move(obj));
 }
 
+FaultPlan FaultPlan::derived_for_worker(std::uint64_t worker_index) const {
+  FaultPlan derived = *this;
+  derived.seed = util::derive_seed(seed, worker_index);
+  return derived;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
   telemetry::MetricRegistry& reg = telemetry::MetricRegistry::global();
   for (std::size_t k = 0; k < kFaultKindCount; ++k) {

@@ -71,6 +71,13 @@ struct FaultPlan {
 
   static FaultPlan from_json(const json::Value& v);
   json::Value to_json() const;
+
+  // The per-worker flavour of this plan for a distributed fleet: identical
+  // probabilities/magnitudes, seed replaced by
+  // util::derive_seed(seed, worker_index) — so N workers sharing one master
+  // plan draw from N decorrelated streams, yet every worker's trace is a
+  // pure function of (master seed, worker index).
+  FaultPlan derived_for_worker(std::uint64_t worker_index) const;
 };
 
 class FaultInjector {

@@ -1,0 +1,44 @@
+#include "report/merge.hpp"
+
+#include <sstream>
+
+#include "report/csv.hpp"
+
+namespace hammer::report {
+
+FleetReport FleetReport::build(std::span<const core::RunResult> worker_results,
+                               const std::string& title) {
+  FleetReport report;
+  report.workers.assign(worker_results.begin(), worker_results.end());
+  report.merged = core::merge_run_results(worker_results);
+
+  std::ostringstream os;
+  os << "=== " << title << " ===\n";
+  os << "workers: " << report.workers.size() << "\n";
+  os << "worker  submitted  committed  failed  rejected  unmatched  tps\n";
+  for (std::size_t i = 0; i < report.workers.size(); ++i) {
+    const core::RunResult& w = report.workers[i];
+    os << "  w" << i << "    " << w.submitted << "  " << w.committed << "  " << w.failed
+       << "  " << w.rejected << "  " << w.unmatched << "  " << format_double(w.tps, 1)
+       << "\n";
+  }
+  const core::RunResult& m = report.merged;
+  os << "merged: " << m.summary() << "\n";
+  os << "aggregate tps: " << format_double(m.tps, 1) << " over "
+     << format_double(m.duration_s, 2) << "s\n";
+  if (!m.faults.is_null()) {
+    os << "faults: " << m.faults.dump() << "\n";
+  }
+  report.rendered = os.str();
+  return report;
+}
+
+json::Value FleetReport::to_json() const {
+  json::Array parts;
+  parts.reserve(workers.size());
+  for (const core::RunResult& w : workers) parts.push_back(w.to_wire_json());
+  return json::object({{"merged", merged.to_wire_json()},
+                       {"workers", json::Value(std::move(parts))}});
+}
+
+}  // namespace hammer::report

@@ -1,0 +1,31 @@
+// Fleet report rendering: the coordinator-side view of a distributed run.
+//
+// The arithmetic of combining per-worker RunResults lives in
+// core::merge_run_results (core cannot depend on report); this layer turns
+// the merged result plus the per-worker parts into the textual dashboard
+// the coordinator prints — a per-worker table and the merged summary —
+// and a structured JSON artifact mirroring it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace hammer::report {
+
+struct FleetReport {
+  core::RunResult merged;                 // core::merge_run_results of `workers`
+  std::vector<core::RunResult> workers;   // per-worker parts, fleet order
+  std::string rendered;                   // per-worker table + merged summary
+
+  // Builds the report from per-worker results (already normalized into one
+  // clock domain). `title` heads the rendered dashboard.
+  static FleetReport build(std::span<const core::RunResult> worker_results,
+                           const std::string& title);
+
+  json::Value to_json() const;
+};
+
+}  // namespace hammer::report

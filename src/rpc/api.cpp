@@ -1,0 +1,34 @@
+#include "rpc/api.hpp"
+
+#include <algorithm>
+
+#include "rpc/jsonrpc.hpp"
+
+namespace hammer::rpc {
+
+std::string_view method_namespace(std::string_view method) {
+  std::size_t dot = method.find('.');
+  return dot == std::string_view::npos ? method : method.substr(0, dot);
+}
+
+void bind_api_info(Dispatcher& dispatcher) {
+  dispatcher.register_method("rpc.api", [&dispatcher](const json::Value&) {
+    std::vector<std::string> methods = dispatcher.method_names();
+    json::Array method_list;
+    json::Array namespace_list;
+    std::string last_namespace;
+    for (const std::string& name : methods) {  // method_names() is sorted
+      method_list.emplace_back(name);
+      std::string ns{method_namespace(name)};
+      if (ns != last_namespace) {
+        namespace_list.emplace_back(ns);
+        last_namespace = std::move(ns);
+      }
+    }
+    return json::object({{"api", static_cast<std::int64_t>(kApiVersion)},
+                         {"methods", json::Value(std::move(method_list))},
+                         {"namespaces", json::Value(std::move(namespace_list))}});
+  });
+}
+
+}  // namespace hammer::rpc

@@ -1,0 +1,39 @@
+// The versioned public RPC API surface.
+//
+// Every method Hammer exposes lives in a namespaced registry on one
+// rpc::Dispatcher per endpoint: `chain.*` / `endpoint.*` (the SUT surface),
+// `telemetry.*` (metrics/snapshot/spans), `control.*` (the coordinator ->
+// worker control plane) and `rpc.*` (introspection). kApiVersion names the
+// shape of that whole surface — method names, parameter and result schemas
+// — and is distinct from wire::kVersion, which only versions the framing
+// underneath. It is advertised in every hello/hello-ok body ("api") and in
+// control.hello replies; a Coordinator refuses workers that report a
+// different version instead of mis-parsing their replies.
+//
+// Calling a method whose namespace is not registered at all is reported by
+// name ("unknown method namespace 'x' in method 'x.y'"), the same loud
+// by-name rejection deployment uses for unknown chain-spec keys — a typo'd
+// namespace must fail obviously, not look like one missing method.
+#pragma once
+
+#include <string_view>
+
+namespace hammer::rpc {
+
+class Dispatcher;
+
+// Version of the public method surface. Bump when a method's name, params
+// or result shape changes incompatibly.
+inline constexpr int kApiVersion = 1;
+
+// Namespace prefix of a method name ("chain.submit" -> "chain"); the whole
+// name when it carries no dot.
+std::string_view method_namespace(std::string_view method);
+
+// Registers `rpc.api` on the dispatcher: {"api": kApiVersion, "methods":
+// [...], "namespaces": [...]} — the introspection method clients use to
+// enumerate the registry. The dispatcher must outlive its own handlers,
+// which it does by construction (handlers die with it).
+void bind_api_info(Dispatcher& dispatcher);
+
+}  // namespace hammer::rpc

@@ -2,15 +2,16 @@
 //
 // Before this existed, configuring a client meant threading three separate
 // ad-hoc pieces through every layer: rpc::CallOptions (per-call deadline),
-// rpc::RetryPolicy + seed (adapters::AdapterOptions), and transport knobs
-// hard-coded at each TcpChannel construction site. ClientConfig collapses
+// rpc::RetryPolicy + seed, and transport knobs hard-coded at each
+// TcpChannel construction site. ClientConfig collapses
 // them into one value that flows unchanged through make_adapter,
 // ChannelPool, DeployedChain::make_adapters/make_cluster and the SutCluster
 // builders — and adds the codec preference the wire redesign introduces.
 //
-// The legacy shapes (AdapterOptions, the host/port make_adapter overloads,
-// the bare TcpChannel timeout constructor) remain as thin deprecated shims
-// that convert to a ClientConfig, so existing call sites compile untouched.
+// ClientConfig is the ONLY way to configure the client surface: the legacy
+// shapes that predated it (adapters::AdapterOptions, the bare TcpChannel
+// timeout constructor) are gone, and every entry point takes a ClientConfig
+// with a default of `{}` — binary-preferred codec, 5 s timeout, one attempt.
 #pragma once
 
 #include <chrono>

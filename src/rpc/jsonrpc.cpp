@@ -1,7 +1,9 @@
 #include "rpc/jsonrpc.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "rpc/api.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
 
@@ -83,6 +85,17 @@ bool Dispatcher::has_method(const std::string& name) const {
   return methods_.count(name) > 0;
 }
 
+std::vector<std::string> Dispatcher::method_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, handler] : methods_) {
+    (void)handler;
+    out.push_back(name);
+  }
+  return out;
+}
+
 CallOutcome Dispatcher::invoke(std::string_view method, const json::Value& params) const {
   CallOutcome outcome;
   try {
@@ -92,7 +105,19 @@ CallOutcome Dispatcher::invoke(std::string_view method, const json::Value& param
       auto it = methods_.find(method);
       if (it == methods_.end()) {
         outcome.error_code = kMethodNotFound;
-        outcome.error_message = "unknown method " + std::string(method);
+        // A method from a namespace with no registered methods at all is
+        // almost certainly a typo'd (or version-skewed) namespace; report
+        // it by name, the same shape deployment uses for unknown spec keys.
+        std::string_view ns = method_namespace(method);
+        bool namespace_known =
+            std::any_of(methods_.begin(), methods_.end(), [ns](const auto& entry) {
+              return method_namespace(entry.first) == ns;
+            });
+        outcome.error_message =
+            namespace_known
+                ? "unknown method " + std::string(method)
+                : "unknown method namespace '" + std::string(ns) + "' in method '" +
+                      std::string(method) + "'";
         return outcome;
       }
       handler = it->second;

@@ -106,6 +106,10 @@ class Dispatcher {
   void register_method(const std::string& name, Handler handler);
   bool has_method(const std::string& name) const;
 
+  // Every registered method name, sorted — the registry view rpc.api (see
+  // rpc/api.hpp) serves to clients.
+  std::vector<std::string> method_names() const;
+
   // Full wire-level entry point: parses a request document, dispatches, and
   // serializes the response (never throws; errors become error responses).
   // A JSON array is treated as a JSON-RPC 2.0 batch: each entry dispatches

@@ -264,12 +264,6 @@ int open_socket(const std::string& host, std::uint16_t port,
   return fd;
 }
 
-ClientConfig config_with_timeout(std::chrono::milliseconds timeout) {
-  ClientConfig config;
-  config.timeout = timeout;
-  return config;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -713,16 +707,13 @@ TcpChannel::TcpChannel(const std::string& host, std::uint16_t port, const Client
   reader_ = std::thread([this, fd = fd_] { reader_loop(fd); });
 }
 
-TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
-                       std::chrono::milliseconds timeout)
-    : TcpChannel(host, port, config_with_timeout(timeout)) {}
-
 void TcpChannel::install_fault_injector(std::shared_ptr<fault::FaultInjector> faults) {
   faults_ = std::move(faults);
 }
 
 void TcpChannel::negotiate(int fd) {
   peer_traces_.store(false, std::memory_order_relaxed);
+  peer_api_.store(-1, std::memory_order_relaxed);
   clock_offset_us_.store(0, std::memory_order_relaxed);
   if (preference_ == CodecPreference::kJsonOnly) {
     codec_.store(wire::WireCodec::kJson, std::memory_order_relaxed);
@@ -753,6 +744,7 @@ void TcpChannel::negotiate(int fd) {
         // stamp is assumed to sit at the RTT midpoint (NTP-style). A peer
         // predating the handshake simply omits both keys.
         peer_traces_.store(wire::offers_trace(frame.body), std::memory_order_relaxed);
+        peer_api_.store(wire::hello_api_version(frame.body), std::memory_order_relaxed);
         std::int64_t server_now = wire::hello_now_us(frame.body);
         if (server_now >= 0) {
           clock_offset_us_.store(

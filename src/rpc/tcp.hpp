@@ -140,13 +140,9 @@ class TcpChannel final : public Channel {
   // Full configuration: codec preference and the blocking-call timeout come
   // from `config` (per-call CallOptions deadlines still override the
   // timeout; call_async futures are unbounded — the caller owns the wait
-  // policy).
-  TcpChannel(const std::string& host, std::uint16_t port, const ClientConfig& config);
-
-  // Deprecated shim: binary-preferred with the given timeout. Prefer the
-  // ClientConfig constructor.
-  TcpChannel(const std::string& host, std::uint16_t port,
-             std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+  // policy). The default config negotiates binary-preferred with a 5 s
+  // timeout.
+  TcpChannel(const std::string& host, std::uint16_t port, const ClientConfig& config = {});
   ~TcpChannel() override;
 
   TcpChannel(const TcpChannel&) = delete;
@@ -165,6 +161,11 @@ class TcpChannel final : public Channel {
   // True when the peer's hello-ok advertised the "trace" feature — the gate
   // for sending trace contexts (kTracedRequest frames / `_trace` params).
   bool peer_traces() const { return peer_traces_.load(std::memory_order_relaxed); }
+
+  // Method-surface version the peer's hello-ok advertised ("api"), or -1
+  // when unknown — the peer predates API versioning, or this channel is
+  // kJsonOnly and never exchanged hellos. See rpc::kApiVersion.
+  int peer_api() const { return peer_api_.load(std::memory_order_relaxed); }
 
   // Peer-steady-clock offset measured during the hello round trip of the
   // current connection generation ({} when the peer predates the
@@ -259,6 +260,7 @@ class TcpChannel final : public Channel {
   CodecPreference preference_ = CodecPreference::kBinaryPreferred;
   std::atomic<wire::WireCodec> codec_{wire::WireCodec::kJson};
   std::atomic<bool> peer_traces_{false};
+  std::atomic<int> peer_api_{-1};
   std::atomic<std::int64_t> clock_offset_us_{0};
   std::shared_ptr<fault::FaultInjector> faults_;
   std::mutex write_mu_;  // request frames are written atomically, back-to-back

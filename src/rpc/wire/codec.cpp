@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "rpc/api.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::rpc::wire {
@@ -264,6 +265,7 @@ void decode_response_into(std::string_view body, std::vector<ResponseEntry>& out
 
 std::string make_hello_body(std::int64_t now_us) {
   json::Value body = json::object({{"version", static_cast<std::int64_t>(kVersion)},
+                                   {"api", static_cast<std::int64_t>(kApiVersion)},
                                    {"codecs", json::array({"binary", "json"})},
                                    {"features", json::array({"trace"})}});
   if (now_us >= 0) body["now_us"] = now_us;
@@ -308,6 +310,15 @@ std::int64_t hello_now_us(std::string_view hello_body) {
   try {
     json::Value body = json::Value::parse(hello_body);
     return body.get_int("now_us", -1);
+  } catch (const Error&) {
+    return -1;
+  }
+}
+
+int hello_api_version(std::string_view hello_body) {
+  try {
+    json::Value body = json::Value::parse(hello_body);
+    return static_cast<int>(body.get_int("api", -1));
   } catch (const Error&) {
     return -1;
   }

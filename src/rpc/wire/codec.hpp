@@ -136,13 +136,14 @@ void decode_response_into(std::string_view body, std::vector<ResponseEntry>& out
 // ---------------------------------------------------------------- control
 
 // Hello bodies are JSON (always decodable, whatever the negotiation
-// outcome): {"version": 1, "codecs": ["binary", "json"], "features":
-// ["trace"], "now_us": <steady-clock stamp>}. Peers that predate a key
-// ignore it; absence of a key means the capability is off — negotiate
-// down, never up. `now_us` (omitted when negative) is the sender's steady
-// clock at build time: the hello/hello-ok round trip doubles as the
-// clock-offset handshake that maps SUT span timestamps onto the driver's
-// monotonic base.
+// outcome): {"version": 1, "api": rpc::kApiVersion, "codecs": ["binary",
+// "json"], "features": ["trace"], "now_us": <steady-clock stamp>}. Peers
+// that predate a key ignore it; absence of a key means the capability is
+// off — negotiate down, never up. `now_us` (omitted when negative) is the
+// sender's steady clock at build time: the hello/hello-ok round trip
+// doubles as the clock-offset handshake that maps SUT span timestamps onto
+// the driver's monotonic base. "api" is the version of the method surface
+// (rpc/api.hpp), distinct from "version" which names the framing.
 std::string make_hello_body(std::int64_t now_us = -1);
 std::string make_hello_ok_body(std::int64_t now_us = -1);
 std::string make_error_body(int code, const std::string& message);
@@ -158,6 +159,10 @@ bool offers_trace(std::string_view hello_body);
 // The peer's steady-clock stamp from a hello/hello-ok body, or -1 when the
 // peer predates the handshake (or the body is malformed).
 std::int64_t hello_now_us(std::string_view hello_body);
+
+// The peer's method-surface version ("api") from a hello/hello-ok body, or
+// -1 when the peer predates API versioning (or the body is malformed).
+int hello_api_version(std::string_view hello_body);
 
 // ------------------------------------------------------------ trace prefix
 

@@ -68,6 +68,20 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::from_parts(const std::vector<std::uint64_t>& buckets, std::int64_t sum,
+                                std::int64_t min, std::int64_t max) {
+  HAMMER_CHECK_MSG(buckets.size() == kNumBuckets, "histogram bucket layout mismatch");
+  Histogram h;
+  h.buckets_ = buckets;
+  for (std::uint64_t n : buckets) h.count_ += n;
+  h.sum_ = sum;
+  if (h.count_ > 0) {
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
 double Histogram::mean() const {
   return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
 }

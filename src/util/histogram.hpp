@@ -28,6 +28,22 @@ class Histogram {
 
   std::string summary() const;  // human-readable one-liner
 
+  // Serialization surface: the raw bucket counts (fixed layout, same in
+  // every process built from this header) plus the tracked aggregates, so a
+  // histogram can cross a process boundary and be rebuilt bin-exactly
+  // (RunResult wire JSON; report merging across worker processes).
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  std::int64_t sum() const { return sum_; }
+
+  // Rebuilds a histogram from bucket_counts()/sum()/min()/max(). The count
+  // is recomputed from the buckets. Throws if `buckets` does not match this
+  // build's bucket layout.
+  static Histogram from_parts(const std::vector<std::uint64_t>& buckets, std::int64_t sum,
+                              std::int64_t min, std::int64_t max);
+
+  // Bin-wise equality (same buckets AND same tracked aggregates).
+  bool operator==(const Histogram& other) const = default;
+
  private:
   static std::size_t bucket_for(std::int64_t value_us);
   static std::int64_t bucket_upper_bound(std::size_t bucket);

@@ -67,6 +67,14 @@ std::string Pcg32::alnum(std::size_t n) {
   return out;
 }
 
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  // splitmix64 finalizer (Steele et al.) over the offset master state.
+  std::uint64_t z = master + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 namespace {
 double zeta(std::uint64_t n, double theta) {
   double sum = 0.0;

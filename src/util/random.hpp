@@ -47,6 +47,13 @@ class Pcg32 {
   double spare_gauss_ = 0.0;
 };
 
+// Derives a decorrelated child seed from (master, index): splitmix64 over
+// the master offset by a golden-ratio multiple of (index + 1). Child i is a
+// pure function of the master seed and i — this is how a distributed run
+// hands each worker process its own reproducible workload and fault
+// streams (disjoint in practice, deterministic always).
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index);
+
 // Zipf-distributed sampler over {0, 1, ..., n-1} with parameter theta
 // (theta = 0 degenerates to uniform). Uses the YCSB constant-time method.
 class ZipfSampler {

@@ -1,0 +1,48 @@
+#include "workload/shard.hpp"
+
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace hammer::workload {
+
+std::vector<std::string> shard_accounts(const std::vector<std::string>& accounts,
+                                        const ShardSpec& spec) {
+  HAMMER_CHECK_MSG(spec.count >= 1, "shard count must be >= 1");
+  HAMMER_CHECK_MSG(spec.index < spec.count, "shard index out of range");
+  std::vector<std::string> out;
+  out.reserve(accounts.size() / spec.count + 1);
+  for (std::size_t j = spec.index; j < accounts.size(); j += spec.count) {
+    out.push_back(accounts[j]);
+  }
+  return out;
+}
+
+std::size_t shard_tx_count(std::size_t total, const ShardSpec& spec) {
+  HAMMER_CHECK_MSG(spec.count >= 1, "shard count must be >= 1");
+  HAMMER_CHECK_MSG(spec.index < spec.count, "shard index out of range");
+  return total / spec.count + (spec.index < total % spec.count ? 1 : 0);
+}
+
+WorkloadProfile shard_profile(const WorkloadProfile& profile, const ShardSpec& spec) {
+  HAMMER_CHECK_MSG(spec.count >= 1, "shard count must be >= 1");
+  HAMMER_CHECK_MSG(spec.index < spec.count, "shard index out of range");
+  if (spec.identity()) return profile;
+  WorkloadProfile out = profile;
+  out.seed = util::derive_seed(profile.seed, spec.index);
+  out.client_id = profile.client_id + "-w" + std::to_string(spec.index);
+  out.num_accounts = profile.num_accounts / spec.count +
+                     (spec.index < profile.num_accounts % spec.count ? 1 : 0);
+  if (out.num_accounts == 0) out.num_accounts = 1;  // profile invariant
+  return out;
+}
+
+WorkloadFile generate_workload_shard(const WorkloadProfile& profile,
+                                     const std::vector<std::string>& accounts,
+                                     std::size_t total, const ShardSpec& spec) {
+  std::vector<std::string> owned = shard_accounts(accounts, spec);
+  HAMMER_CHECK_MSG(!owned.empty(), "shard owns no accounts — fewer accounts than workers");
+  return generate_workload(shard_profile(profile, spec), std::move(owned),
+                           shard_tx_count(total, spec));
+}
+
+}  // namespace hammer::workload

@@ -1,0 +1,55 @@
+// Workload sharding for the distributed driver fleet (DESIGN.md §13).
+//
+// A coordinator splits ONE logical workload across N worker processes so
+// that the union of the shards stresses the SUT exactly like the
+// single-process run would, while no two workers ever contend on the same
+// sender: shard `index` of `count` owns the accounts at positions
+// j % count == index (strided, so each shard keeps the same chain-shard
+// balance as the full population), draws from its own derived seed
+// (util::derive_seed(profile.seed, index)), and generates
+// total/count (+1 for the first total%count shards) transactions.
+//
+// Shard (0, 1) is the identity: same accounts, same seed, same client_id,
+// same transaction stream as the unsharded profile — the property the
+// merge test pins down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/workload_file.hpp"
+
+namespace hammer::workload {
+
+// Which slice of the fleet this worker is: `index` in [0, count).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool identity() const { return count == 1; }
+};
+
+// The accounts shard `spec` owns: accounts[j] for j % count == index.
+// Disjoint across shards (no cross-worker nonce conflicts) and strided so
+// every shard covers the chain's account space evenly.
+std::vector<std::string> shard_accounts(const std::vector<std::string>& accounts,
+                                        const ShardSpec& spec);
+
+// How many of `total` transactions shard `spec` generates. Shards sum to
+// exactly `total`; the first total % count shards carry one extra.
+std::size_t shard_tx_count(std::size_t total, const ShardSpec& spec);
+
+// The per-worker profile: seed derived from (profile.seed, index), client_id
+// suffixed "-w<index>", num_accounts scaled to the shard's slice. Identity
+// for count == 1.
+WorkloadProfile shard_profile(const WorkloadProfile& profile, const ShardSpec& spec);
+
+// Composes the three: shard `spec`'s slice of a `total`-transaction workload
+// over `accounts`. generate_workload_shard(p, a, n, {0, 1}) ==
+// generate_workload(p, a, n).
+WorkloadFile generate_workload_shard(const WorkloadProfile& profile,
+                                     const std::vector<std::string>& accounts,
+                                     std::size_t total, const ShardSpec& spec);
+
+}  // namespace hammer::workload

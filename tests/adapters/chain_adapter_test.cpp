@@ -300,7 +300,7 @@ class RetryAdapterTest : public AdapterTestBase, public ::testing::Test {};
 
 TEST_F(RetryAdapterTest, RetryPolicyRecoversFromTransientFailures) {
   auto flaky = std::make_shared<FlakyChannel>(dispatcher_, "chain.height", 2);
-  AdapterOptions options;
+  rpc::ClientConfig options;
   options.retry = rpc::RetryPolicy::standard(4);
   options.retry.initial_backoff = std::chrono::milliseconds(1);
   ChainAdapter adapter(flaky, options);
@@ -311,7 +311,7 @@ TEST_F(RetryAdapterTest, RetryPolicyRecoversFromTransientFailures) {
 
 TEST_F(RetryAdapterTest, ExhaustedPolicySurfacesTransportError) {
   auto flaky = std::make_shared<FlakyChannel>(dispatcher_, "chain.height", 1000);
-  AdapterOptions options;
+  rpc::ClientConfig options;
   options.retry = rpc::RetryPolicy::standard(3);
   options.retry.initial_backoff = std::chrono::milliseconds(1);
   ChainAdapter adapter(flaky, options);  // chain.info is not the flaky method
@@ -379,7 +379,7 @@ class LostResponseChannel : public rpc::Channel {
 
 TEST_F(RetryAdapterTest, InDoubtSubmissionReconcilesInsteadOfResubmitting) {
   auto lossy = std::make_shared<LostResponseChannel>(dispatcher_);
-  AdapterOptions options;
+  rpc::ClientConfig options;
   options.retry = rpc::RetryPolicy::standard(4);
   options.retry.initial_backoff = std::chrono::milliseconds(1);
   ChainAdapter adapter(lossy, options);
@@ -410,7 +410,7 @@ TEST_F(RetryAdapterTest, TransientRejectionsResubmitWhenOptedIn) {
   plan.submit_reject_p = 0.4;
   auto faults = std::make_shared<fault::FaultInjector>(plan);
   chain_->install_fault_injector(faults);
-  AdapterOptions options;
+  rpc::ClientConfig options;
   options.retry = rpc::RetryPolicy::standard(6);
   options.retry.initial_backoff = std::chrono::milliseconds(1);
   options.retry.on_rejected = true;
@@ -432,11 +432,11 @@ TEST_F(FactoryTest, MakeAdapterFromChannelAndFromEndpoint) {
   EXPECT_EQ(from_channel->info().kind, "neuchain");
 
   rpc::TcpServer server(dispatcher_, 0);
-  AdapterOptions options;
+  rpc::ClientConfig options;
   options.retry = rpc::RetryPolicy::standard(2);
   auto from_endpoint = make_adapter("127.0.0.1", server.port(), options);
   EXPECT_EQ(from_endpoint->info().name, "neu-x");
-  EXPECT_EQ(from_endpoint->options().retry.max_attempts, 2u);
+  EXPECT_EQ(from_endpoint->config().retry.max_attempts, 2u);
   EXPECT_EQ(from_endpoint->submit(signed_tx(accounts_[3], 9)),
             signed_tx(accounts_[3], 9).compute_id());
 }

@@ -1,0 +1,158 @@
+#include "core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/worker_session.hpp"
+#include "rpc/api.hpp"
+#include "workload/profile.hpp"
+
+namespace hammer::core {
+namespace {
+
+json::Value small_sut_plan() {
+  return json::Value::parse(R"({"chains": [{
+    "kind": "meepo", "name": "ctest-sut", "transport": "tcp",
+    "num_shards": 2, "endpoints": 2, "block_interval_ms": 10,
+    "rpc_workers": 2, "smallbank_accounts_per_shard": 50,
+    "initial_checking": 1000000, "initial_savings": 1000000
+  }]})");
+}
+
+FleetPlan make_fleet_plan(const DeployedChain& sut, std::size_t total_txs) {
+  FleetPlan plan;
+  for (std::uint16_t port : sut.tcp_ports()) {
+    plan.sut_endpoints.emplace_back("127.0.0.1", port);
+  }
+  plan.accounts = sut.smallbank_accounts;
+  workload::WorkloadProfile profile;
+  profile.seed = 21;
+  // Payments between well-funded accounts: order-independent, so shard
+  // interleaving cannot change outcomes.
+  profile.op_mix = {{"send_payment", 1.0}};
+  plan.workload = profile.to_json();
+  plan.total_txs = total_txs;
+  plan.driver = json::object({{"worker_threads", 2}, {"submit_batch_size", 8}});
+  return plan;
+}
+
+TEST(CoordinatorTest, HelloReportsRoleStateAndApiVersion) {
+  WorkerSession session;
+  rpc::TcpChannel control("127.0.0.1", session.port());
+  json::Value hello = control.call("control.hello", json::Value());
+  EXPECT_EQ(hello.get_string("role", "?"), "worker");
+  EXPECT_EQ(hello.get_int("api", -1), rpc::kApiVersion);
+  EXPECT_EQ(hello.get_string("state", "?"), "idle");
+  EXPECT_GT(hello.get_int("pid", 0), 0);
+}
+
+TEST(CoordinatorTest, ControlMethodsShareOneRegistryWithTelemetryAndRpcApi) {
+  WorkerSession session;
+  rpc::TcpChannel control("127.0.0.1", session.port());
+  json::Value api = control.call("rpc.api", json::Value());
+  std::vector<std::string> methods;
+  for (const json::Value& m : api.at("methods").as_array()) methods.push_back(m.as_string());
+  auto has = [&](const char* name) {
+    return std::find(methods.begin(), methods.end(), name) != methods.end();
+  };
+  EXPECT_TRUE(has("control.hello"));
+  EXPECT_TRUE(has("control.deploy"));
+  EXPECT_TRUE(has("control.start"));
+  EXPECT_TRUE(has("control.stats"));
+  EXPECT_TRUE(has("control.report"));
+  EXPECT_TRUE(has("control.stop"));
+  EXPECT_TRUE(has("telemetry.metrics"));
+  EXPECT_TRUE(has("rpc.api"));
+  // Unknown namespace on the control registry fails by name too.
+  try {
+    control.call("fleet.go", json::Value());
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown method namespace 'fleet'"),
+              std::string::npos);
+  }
+}
+
+TEST(CoordinatorTest, DeployRejectsUnknownPlanKeyByName) {
+  WorkerSession session;
+  rpc::TcpChannel control("127.0.0.1", session.port());
+  json::Value plan = json::object({{"worker_index", 0},
+                                   {"worker_count", 1},
+                                   {"bogus_knob", 1}});
+  try {
+    control.call("control.deploy", plan);
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown deploy plan key 'bogus_knob'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CoordinatorTest, StartBeforeDeployIsRejected) {
+  WorkerSession session;
+  rpc::TcpChannel control("127.0.0.1", session.port());
+  try {
+    control.call("control.start", json::Value());
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("not deployed"), std::string::npos) << e.what();
+  }
+  // Report before any run: non-blocking, not done.
+  json::Value report = control.call("control.report", json::Value());
+  EXPECT_FALSE(report.get_bool("done", true));
+  EXPECT_EQ(report.get_string("state", "?"), "idle");
+  // Stats before any deploy: zeros, not an error.
+  json::Value stats = control.call("control.stats", json::Value());
+  EXPECT_EQ(stats.get_int("submitted", -1), 0);
+}
+
+TEST(CoordinatorTest, HelloRejectsApiMismatch) {
+  // A fake "worker" speaking a future API version.
+  auto d = std::make_shared<rpc::Dispatcher>();
+  d->register_method("control.hello", [](const json::Value&) {
+    return json::object({{"api", 999}, {"role", "worker"}});
+  });
+  rpc::TcpServer impostor(d, 0);
+  Coordinator coordinator({{"127.0.0.1", impostor.port()}});
+  try {
+    coordinator.hello();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("api 999"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CoordinatorTest, TwoWorkerFleetMatchesTotalsAndTagsTargets) {
+  Deployment deployment = Deployment::deploy(small_sut_plan(), util::SteadyClock::shared());
+  DeployedChain& sut = deployment.at("ctest-sut");
+  WorkerSession w0;
+  WorkerSession w1;
+  Coordinator coordinator({{"127.0.0.1", w0.port()}, {"127.0.0.1", w1.port()}});
+  FleetPlan plan = make_fleet_plan(sut, 600);
+
+  FleetResult result = coordinator.run(plan);
+  EXPECT_EQ(result.merged.submitted, 600u);
+  EXPECT_EQ(result.merged.committed + result.merged.failed + result.merged.unmatched, 600u);
+  EXPECT_EQ(result.merged.unmatched, 0u);
+  ASSERT_EQ(result.workers.size(), 2u);
+  EXPECT_EQ(result.workers[0].submitted + result.workers[1].submitted, 600u);
+  EXPECT_EQ(result.merged.latency.count(), result.merged.committed);
+  // Merged targets carry per-worker provenance.
+  ASSERT_FALSE(result.merged.targets.is_null());
+  bool saw_w1 = false;
+  for (const json::Value& t : result.merged.targets.as_array()) {
+    if (t.get_int("worker", -1) == 1) saw_w1 = true;
+  }
+  EXPECT_TRUE(saw_w1);
+  EXPECT_FALSE(result.stats_timeline.is_null());
+
+  // The fleet is reusable: a second deploy+run on the same workers works
+  // (state machine allows done -> deployed).
+  FleetResult again = coordinator.run(plan);
+  EXPECT_EQ(again.merged.submitted, 600u);
+  coordinator.stop();
+}
+
+}  // namespace
+}  // namespace hammer::core

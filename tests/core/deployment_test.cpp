@@ -132,7 +132,7 @@ TEST(DeploymentTest, EndpointsKeySpawnsTaggedRpcSurfaces) {
 
   // Each surface reports its own endpoint tag and owned shard set.
   for (std::size_t i = 0; i < 2; ++i) {
-    auto adapter = std::make_shared<adapters::ChainAdapter>(sut.connect(nullptr, i));
+    auto adapter = std::make_shared<adapters::ChainAdapter>(sut.connect({}, nullptr, i));
     json::Value info = adapter->endpoint_info();
     EXPECT_EQ(info.at("endpoint").as_int(), static_cast<std::int64_t>(i));
     EXPECT_EQ(info.at("endpoints").as_int(), 2);

@@ -222,9 +222,9 @@ TEST(DriverTest, MidRunConnectionResetsAreRetriedToCompletion) {
   fault_plan.conn_reset_p = 0.25;
   auto client_faults = std::make_shared<fault::FaultInjector>(fault_plan);
 
-  adapters::AdapterOptions adapter_options;
-  adapter_options.retry = rpc::RetryPolicy::standard(8);
-  adapter_options.retry.initial_backoff = 2ms;
+  rpc::ClientConfig adapter_config;
+  adapter_config.retry = rpc::RetryPolicy::standard(8);
+  adapter_config.retry.initial_backoff = 2ms;
 
   workload::WorkloadProfile profile;
   profile.seed = 11;
@@ -234,7 +234,7 @@ TEST(DriverTest, MidRunConnectionResetsAreRetriedToCompletion) {
   options.worker_threads = 2;
   options.submit_batch_size = 4;
   options.fault_injector = client_faults;
-  HammerDriver driver(sut.make_adapters(2, adapter_options, client_faults),
+  HammerDriver driver(sut.make_adapters(2, adapter_config, client_faults),
                       sut.make_adapters(1)[0], util::SteadyClock::shared(), options);
   RunResult result = driver.run(wf, nullptr);
 
@@ -263,7 +263,7 @@ TEST(DriverTest, ExhaustedRetriesFailTxsButKeepTheRunAlive) {
   // send fail: p = 1.0 with no retry budget exhausts instantly.
   auto worker_channel = sut.connect();
   auto worker =
-      std::make_shared<adapters::ChainAdapter>(worker_channel, adapters::AdapterOptions{});
+      std::make_shared<adapters::ChainAdapter>(worker_channel, rpc::ClientConfig{});
   fault::FaultPlan fault_plan;
   fault_plan.conn_reset_p = 1.0;
   auto faults = std::make_shared<fault::FaultInjector>(fault_plan);

@@ -1,0 +1,128 @@
+#include "report/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hammer::core {
+namespace {
+
+// Synthetic completed/failed/pending records with latencies spanning many
+// histogram buckets (sub-ms to multi-second).
+std::vector<TxRecord> make_records(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<TxRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TxRecord record;
+    record.tx_id = "tx-" + std::to_string(seed) + "-" + std::to_string(i);
+    record.start_us = static_cast<std::int64_t>(1000000 + rng.uniform(0, 4999999));
+    std::uint32_t outcome = rng.uniform(0, 99);
+    if (outcome < 80) {
+      record.completed = true;
+      record.status = chain::TxStatus::kCommitted;
+      record.end_us = record.start_us + 500 + rng.uniform(0, 3999999);
+    } else if (outcome < 90) {
+      record.completed = true;
+      record.status = chain::TxStatus::kInvalid;
+      record.end_us = record.start_us + 500 + rng.uniform(0, 99999);
+    }  // else: never completed (unmatched)
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+// The property the fleet merge rests on: summarizing K disjoint slices and
+// merging the K results equals summarizing the whole span — counts exactly,
+// the latency histogram bin-for-bin, and the duration envelope.
+TEST(MergeTest, MergingShardSummariesEqualsWholeSummary) {
+  for (std::size_t k : {2u, 3u, 5u}) {
+    std::vector<TxRecord> all = make_records(997, /*seed=*/k);
+    RunResult whole = summarize(all);
+
+    std::vector<RunResult> parts;
+    std::size_t chunk = all.size() / k;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t begin = i * chunk;
+      std::size_t end = i + 1 == k ? all.size() : begin + chunk;
+      parts.push_back(summarize(std::span<const TxRecord>(all).subspan(begin, end - begin)));
+    }
+    RunResult merged = merge_run_results(parts);
+
+    EXPECT_EQ(merged.submitted, whole.submitted);
+    EXPECT_EQ(merged.committed, whole.committed);
+    EXPECT_EQ(merged.failed, whole.failed);
+    EXPECT_EQ(merged.unmatched, whole.unmatched);
+    EXPECT_EQ(merged.first_start_us, whole.first_start_us);
+    EXPECT_EQ(merged.last_end_us, whole.last_end_us);
+    EXPECT_DOUBLE_EQ(merged.duration_s, whole.duration_s);
+    EXPECT_DOUBLE_EQ(merged.tps, whole.tps);
+    // Histograms merge bin-wise: full equality, not just percentiles.
+    EXPECT_TRUE(merged.latency == whole.latency) << "k=" << k;
+  }
+}
+
+TEST(MergeTest, WireJsonRoundTripIsLossless) {
+  std::vector<TxRecord> records = make_records(500, 7);
+  RunResult original = summarize(records);
+  original.retries = 3;
+  original.send_failures = 1;
+  original.rejected = 2;
+  original.faults = json::object({{"client_latency", 12}, {"total", 12}});
+  original.targets = json::Value(json::Array{
+      json::object({{"target", 0}, {"submitted", 500}, {"completed", 430}})});
+
+  RunResult restored = RunResult::from_wire_json(original.to_wire_json());
+  EXPECT_EQ(restored.submitted, original.submitted);
+  EXPECT_EQ(restored.committed, original.committed);
+  EXPECT_EQ(restored.failed, original.failed);
+  EXPECT_EQ(restored.rejected, original.rejected);
+  EXPECT_EQ(restored.unmatched, original.unmatched);
+  EXPECT_EQ(restored.retries, original.retries);
+  EXPECT_EQ(restored.send_failures, original.send_failures);
+  EXPECT_EQ(restored.first_start_us, original.first_start_us);
+  EXPECT_EQ(restored.last_end_us, original.last_end_us);
+  EXPECT_TRUE(restored.latency == original.latency);
+  EXPECT_EQ(restored.faults.dump(), original.faults.dump());
+  EXPECT_EQ(restored.targets.dump(), original.targets.dump());
+  // And the round trip composes with merging.
+  RunResult restored2 = RunResult::from_wire_json(restored.to_wire_json());
+  EXPECT_TRUE(restored2.latency == original.latency);
+}
+
+TEST(MergeTest, MergeSumsFaultCountsByKind) {
+  RunResult a = summarize(make_records(100, 1));
+  RunResult b = summarize(make_records(100, 2));
+  a.faults = json::object({{"client_latency", 5}, {"conn_reset", 1}, {"total", 6}});
+  b.faults = json::object({{"client_latency", 7}, {"conn_reset", 0}, {"total", 7}});
+  RunResult merged = merge_run_results(std::vector<RunResult>{a, b});
+  EXPECT_EQ(merged.faults.get_int("client_latency", -1), 12);
+  EXPECT_EQ(merged.faults.get_int("conn_reset", -1), 1);
+  EXPECT_EQ(merged.faults.get_int("total", -1), 13);
+}
+
+TEST(MergeTest, EmptyPartsDoNotPoisonTheEnvelope) {
+  RunResult real = summarize(make_records(100, 3));
+  RunResult empty;  // a worker that generated nothing
+  RunResult merged = merge_run_results(std::vector<RunResult>{empty, real});
+  EXPECT_EQ(merged.first_start_us, real.first_start_us);
+  EXPECT_EQ(merged.last_end_us, real.last_end_us);
+  EXPECT_EQ(merged.submitted, real.submitted);
+}
+
+TEST(MergeTest, FleetReportRendersPerWorkerTable) {
+  std::vector<RunResult> parts = {summarize(make_records(200, 4)),
+                                  summarize(make_records(200, 5))};
+  report::FleetReport fleet = report::FleetReport::build(parts, "merge test");
+  EXPECT_EQ(fleet.workers.size(), 2u);
+  EXPECT_EQ(fleet.merged.submitted, 400u);
+  EXPECT_NE(fleet.rendered.find("merge test"), std::string::npos);
+  EXPECT_NE(fleet.rendered.find("w0"), std::string::npos);
+  EXPECT_NE(fleet.rendered.find("w1"), std::string::npos);
+  json::Value artifact = fleet.to_json();
+  EXPECT_EQ(artifact.at("workers").as_array().size(), 2u);
+  EXPECT_EQ(artifact.at("merged").get_int("submitted", 0), 400);
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -1,0 +1,87 @@
+#include "rpc/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rpc/jsonrpc.hpp"
+#include "rpc/tcp.hpp"
+#include "rpc/wire/codec.hpp"
+
+namespace hammer::rpc {
+namespace {
+
+std::shared_ptr<Dispatcher> make_dispatcher() {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("chain.info", [](const json::Value&) {
+    return json::object({{"name", "t"}, {"kind", "t"}, {"shards", 1}});
+  });
+  d->register_method("chain.height", [](const json::Value&) {
+    return json::object({{"height", 0}});
+  });
+  d->register_method("control.hello", [](const json::Value&) {
+    return json::object({{"api", static_cast<std::int64_t>(kApiVersion)}});
+  });
+  bind_api_info(*d);
+  return d;
+}
+
+TEST(ApiTest, MethodNamespaceSplitsOnFirstDot) {
+  EXPECT_EQ(method_namespace("chain.submit"), "chain");
+  EXPECT_EQ(method_namespace("control.deploy"), "control");
+  EXPECT_EQ(method_namespace("telemetry.spans.drain"), "telemetry");
+  EXPECT_EQ(method_namespace("ping"), "ping");
+}
+
+TEST(ApiTest, RpcApiListsMethodsAndVersion) {
+  auto d = make_dispatcher();
+  CallOutcome outcome = d->invoke("rpc.api", json::Value());
+  ASSERT_EQ(outcome.error_code, 0) << outcome.error_message;
+  EXPECT_EQ(outcome.result.get_int("api", -1), kApiVersion);
+  const json::Array& methods = outcome.result.at("methods").as_array();
+  ASSERT_GE(methods.size(), 4u);
+  // Sorted, and includes rpc.api itself.
+  for (std::size_t i = 1; i < methods.size(); ++i) {
+    EXPECT_LT(methods[i - 1].as_string(), methods[i].as_string());
+  }
+  bool has_self = false;
+  for (const json::Value& m : methods) {
+    if (m.as_string() == "rpc.api") has_self = true;
+  }
+  EXPECT_TRUE(has_self);
+  const json::Array& namespaces = outcome.result.at("namespaces").as_array();
+  std::vector<std::string> names;
+  for (const json::Value& ns : namespaces) names.push_back(ns.as_string());
+  EXPECT_EQ(names, (std::vector<std::string>{"chain", "control", "rpc"}));
+}
+
+// The API-consolidation contract: a method in an UNKNOWN namespace fails by
+// naming the namespace — the same by-name error shape deployment uses for
+// unknown chain spec keys — while a bad method in a KNOWN namespace keeps
+// the classic unknown-method message.
+TEST(ApiTest, UnknownNamespaceErrorNamesTheNamespace) {
+  auto d = make_dispatcher();
+  CallOutcome outcome = d->invoke("bogus.thing", json::Value());
+  EXPECT_EQ(outcome.error_code, kMethodNotFound);
+  EXPECT_EQ(outcome.error_message, "unknown method namespace 'bogus' in method 'bogus.thing'");
+
+  outcome = d->invoke("chain.no_such", json::Value());
+  EXPECT_EQ(outcome.error_code, kMethodNotFound);
+  EXPECT_EQ(outcome.error_message, "unknown method chain.no_such");
+}
+
+TEST(ApiTest, HelloCarriesApiVersionOverTheWire) {
+  std::string hello = wire::make_hello_body(123456);
+  EXPECT_EQ(wire::hello_api_version(hello), kApiVersion);
+  EXPECT_EQ(wire::hello_api_version("{}"), -1);
+  EXPECT_EQ(wire::hello_api_version("not json"), -1);
+}
+
+TEST(ApiTest, TcpChannelLearnsPeerApiAtNegotiation) {
+  TcpServer server(make_dispatcher(), 0);
+  TcpChannel channel("127.0.0.1", server.port());
+  // Negotiation happened at connect; the peer is this build, so versions
+  // match by construction.
+  EXPECT_EQ(channel.peer_api(), kApiVersion);
+}
+
+}  // namespace
+}  // namespace hammer::rpc

@@ -16,6 +16,12 @@ namespace {
 
 using namespace std::chrono_literals;
 
+ClientConfig with_timeout(std::chrono::milliseconds timeout) {
+  ClientConfig config;
+  config.timeout = timeout;
+  return config;
+}
+
 std::shared_ptr<Dispatcher> make_dispatcher() {
   auto d = std::make_shared<Dispatcher>();
   d->register_method("ping", [](const json::Value&) { return json::Value("pong"); });
@@ -173,7 +179,7 @@ TEST(TcpTest, ServerDropMidCallFailsPendingWithTransportError) {
 
 TEST(TcpTest, PerCallTimeoutLeavesChannelUsable) {
   TcpServer server(make_dispatcher(), 0, 4);
-  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/50ms);
+  TcpChannel channel("127.0.0.1", server.port(), with_timeout(50ms));
   EXPECT_THROW(channel.call("sleep_echo", json::object({{"ms", 400}, {"v", 1}})),
                TimeoutError);
   // The late response is dropped by id; the connection itself is healthy.
@@ -231,7 +237,7 @@ TEST(TcpTest, ConcurrentBlockingCallsShareOneChannel) {
 
 TEST(TcpTest, PerCallDeadlineOverridesChannelDefault) {
   TcpServer server(make_dispatcher(), 0, 4);
-  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/5000ms);
+  TcpChannel channel("127.0.0.1", server.port(), with_timeout(5000ms));
   CallOptions tight;
   tight.deadline = 50ms;
   auto t0 = std::chrono::steady_clock::now();
@@ -244,7 +250,7 @@ TEST(TcpTest, PerCallDeadlineOverridesChannelDefault) {
 
 TEST(TcpTest, PerCallDeadlineAppliesToBatches) {
   TcpServer server(make_dispatcher(), 0, 4);
-  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/5000ms);
+  TcpChannel channel("127.0.0.1", server.port(), with_timeout(5000ms));
   CallOptions tight;
   tight.deadline = 50ms;
   std::vector<BatchCall> calls;
@@ -324,7 +330,7 @@ TEST(TcpTest, ServerDropResponseFaultTimesOutTheCall) {
   fault::FaultPlan plan;
   plan.drop_response_p = 1.0;
   server.install_fault_injector(std::make_shared<fault::FaultInjector>(plan));
-  TcpChannel channel("127.0.0.1", server.port(), /*timeout=*/100ms);
+  TcpChannel channel("127.0.0.1", server.port(), with_timeout(100ms));
   EXPECT_THROW(channel.call("ping", json::Value()), TimeoutError);
 }
 

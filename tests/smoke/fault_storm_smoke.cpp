@@ -52,10 +52,10 @@ StormOutcome run_storm() {
   client_plan.client_latency_us = 2000;
   auto client_faults = std::make_shared<fault::FaultInjector>(client_plan);
 
-  adapters::AdapterOptions adapter_options;
-  adapter_options.retry = rpc::RetryPolicy::standard(8);
-  adapter_options.retry.initial_backoff = std::chrono::milliseconds(1);
-  adapter_options.retry.on_rejected = true;  // ride out injected rejections
+  rpc::ClientConfig adapter_config;
+  adapter_config.retry = rpc::RetryPolicy::standard(8);
+  adapter_config.retry.initial_backoff = std::chrono::milliseconds(1);
+  adapter_config.retry.on_rejected = true;  // ride out injected rejections
 
   workload::WorkloadProfile profile;
   profile.seed = 7;
@@ -71,7 +71,7 @@ StormOutcome run_storm() {
   options.submit_batch_size = 4;
   options.fault_injector = client_faults;
   core::RunResult result = core::run_peak_probe(
-      sut.make_adapters(1, adapter_options, client_faults), sut.make_adapters(1)[0],
+      sut.make_adapters(1, adapter_config, client_faults), sut.make_adapters(1)[0],
       util::SteadyClock::shared(), options, wf);
 
   StormOutcome outcome;

@@ -1,0 +1,176 @@
+// Fleet smoke: the distributed control plane end to end, across REAL
+// process boundaries. The test binary re-execs itself (`--worker`) to get
+// two genuine hammer worker processes, deploys a sharded TCP meepo SUT,
+// and drives it through core::Coordinator: control.hello negotiation,
+// per-worker deploy (disjoint account shards, derived seeds, derived
+// client-fault streams), the start barrier, stats polling, report
+// collection and the RunResult merge.
+//
+// The whole fleet run happens TWICE from scratch at the same master seed;
+// the canonical projection of the merged report — every counter, the
+// per-worker counters, and the per-worker injected-fault counts — must be
+// byte-identical. That is ISSUE 8's seeded-determinism contract: worker i
+// of N always draws workload seed derive_seed(workload.seed, i) and fault
+// seed derive_seed(faults.seed, i), so a fleet is as reproducible as a
+// single process.
+//
+// Determinism preconditions (same recipe as fault_storm_smoke): accounts
+// too rich to overdraft, a send_payment-only mix (order-independent),
+// client_latency as the only fault (count-per-kind depends only on the
+// number of submits), submit_batch_size=1.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.hpp"
+#include "core/deployment.hpp"
+#include "core/worker_process.hpp"
+#include "core/worker_session.hpp"
+#include "fault/fault.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+constexpr std::size_t kTotalTxs = 1200;
+
+int worker_main() {
+  hammer::core::WorkerSession session;
+  std::printf("HAMMER_WORKER_PORT=%u\n", session.port());
+  std::fflush(stdout);
+  session.serve();
+  return 0;
+}
+
+// One complete fleet run: fresh SUT, two freshly spawned worker processes,
+// one coordinator. Returns the canonical deterministic projection of the
+// merged report (counts + fault traces; latency magnitudes are wall-clock
+// and excluded).
+std::string run_fleet() {
+  using namespace hammer;
+
+  json::Value sut_plan = json::Value::parse(R"({"chains": [{
+    "kind": "meepo", "name": "fleet-sut", "transport": "tcp",
+    "num_shards": 2, "endpoints": 2, "block_interval_ms": 10,
+    "rpc_workers": 2, "smallbank_accounts_per_shard": 100,
+    "initial_checking": 10000000, "initial_savings": 10000000
+  }]})");
+  core::Deployment deployment =
+      core::Deployment::deploy(sut_plan, util::SteadyClock::shared());
+  core::DeployedChain& sut = deployment.at("fleet-sut");
+
+  std::vector<core::WorkerProcess> workers;
+  std::vector<core::FleetWorker> fleet;
+  for (int i = 0; i < 2; ++i) {
+    workers.push_back(core::WorkerProcess::spawn("/proc/self/exe", {"--worker"}));
+    fleet.push_back({"127.0.0.1", workers.back().port()});
+  }
+
+  core::FleetPlan plan;
+  for (std::uint16_t port : sut.tcp_ports()) {
+    plan.sut_endpoints.emplace_back("127.0.0.1", port);
+  }
+  plan.accounts = sut.smallbank_accounts;
+  workload::WorkloadProfile profile;
+  profile.seed = 4242;
+  profile.op_mix = {{"send_payment", 1.0}};
+  plan.workload = profile.to_json();
+  plan.total_txs = kTotalTxs;
+  plan.driver = json::object({{"worker_threads", 2},
+                              {"submit_batch_size", 1},
+                              {"routing", "shard"}});
+  fault::FaultPlan faults;
+  faults.seed = 99;
+  faults.client_latency_p = 0.3;
+  faults.client_latency_us = 200;
+  plan.faults = faults.to_json();
+
+  core::Coordinator coordinator(fleet);
+  core::FleetResult result = coordinator.run(plan);
+  coordinator.stop();
+  for (auto& process : workers) {
+    if (process.wait() != 0) {
+      std::fprintf(stderr, "FAIL: worker pid %d exited non-zero\n",
+                   static_cast<int>(process.pid()));
+      std::exit(1);
+    }
+  }
+
+  // Cross-check the merge against the per-worker parts before projecting.
+  unsigned long long worker_submitted = 0;
+  unsigned long long worker_committed = 0;
+  for (const core::RunResult& w : result.workers) {
+    worker_submitted += w.submitted;
+    worker_committed += w.committed;
+  }
+  if (result.merged.submitted != kTotalTxs || worker_submitted != kTotalTxs) {
+    std::fprintf(stderr, "FAIL: fleet lost transactions (merged=%llu workers=%llu)\n",
+                 static_cast<unsigned long long>(result.merged.submitted),
+                 worker_submitted);
+    std::exit(1);
+  }
+  if (result.merged.unmatched != 0) {
+    std::fprintf(stderr, "FAIL: merged unmatched=%llu\n",
+                 static_cast<unsigned long long>(result.merged.unmatched));
+    std::exit(1);
+  }
+  if (result.merged.committed != worker_committed ||
+      result.merged.committed + result.merged.failed != kTotalTxs) {
+    std::fprintf(stderr, "FAIL: merged counts inconsistent with workers\n");
+    std::exit(1);
+  }
+  if (result.merged.faults.get_int("client_latency", 0) == 0) {
+    std::fprintf(stderr, "FAIL: fault plan was pushed but nothing injected\n");
+    std::exit(1);
+  }
+  if (result.merged.latency.count() != result.merged.committed) {
+    std::fprintf(stderr, "FAIL: merged latency histogram count != committed\n");
+    std::exit(1);
+  }
+
+  std::string projection;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "merged submitted=%llu committed=%llu failed=%llu rejected=%llu "
+                "unmatched=%llu send_failures=%llu latency_count=%llu\n",
+                static_cast<unsigned long long>(result.merged.submitted),
+                static_cast<unsigned long long>(result.merged.committed),
+                static_cast<unsigned long long>(result.merged.failed),
+                static_cast<unsigned long long>(result.merged.rejected),
+                static_cast<unsigned long long>(result.merged.unmatched),
+                static_cast<unsigned long long>(result.merged.send_failures),
+                static_cast<unsigned long long>(result.merged.latency.count()));
+  projection += line;
+  projection += "merged faults=" + result.merged.faults.dump() + "\n";
+  for (std::size_t i = 0; i < result.workers.size(); ++i) {
+    const core::RunResult& w = result.workers[i];
+    std::snprintf(line, sizeof(line),
+                  "w%zu submitted=%llu committed=%llu failed=%llu faults=", i,
+                  static_cast<unsigned long long>(w.submitted),
+                  static_cast<unsigned long long>(w.committed),
+                  static_cast<unsigned long long>(w.failed));
+    projection += line;
+    projection += w.faults.dump() + "\n";
+  }
+  return projection;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) return worker_main();
+
+  std::string first = run_fleet();
+  std::printf("fleet run 1 projection:\n%s", first.c_str());
+
+  std::string second = run_fleet();
+  if (first != second) {
+    std::fprintf(stderr,
+                 "FAIL: same master seed, different fleet reports\n"
+                 "run 2 projection:\n%s",
+                 second.c_str());
+    return 1;
+  }
+  std::printf("fleet: two seeded 2-worker runs produced byte-identical reports\n");
+  return 0;
+}

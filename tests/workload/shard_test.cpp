@@ -1,0 +1,110 @@
+#include "workload/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace hammer::workload {
+namespace {
+
+std::vector<std::string> make_accounts(std::size_t n) {
+  std::vector<std::string> accounts;
+  for (std::size_t i = 0; i < n; ++i) accounts.push_back("acct-" + std::to_string(i));
+  return accounts;
+}
+
+TEST(ShardTest, AccountsAreDisjointAndCoverEverything) {
+  std::vector<std::string> accounts = make_accounts(103);  // not divisible by 4
+  std::set<std::string> seen;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<std::string> owned = shard_accounts(accounts, {i, 4});
+    total += owned.size();
+    for (const std::string& a : owned) {
+      EXPECT_TRUE(seen.insert(a).second) << a << " owned by two shards";
+    }
+  }
+  EXPECT_EQ(total, accounts.size());
+  EXPECT_EQ(seen.size(), accounts.size());
+}
+
+TEST(ShardTest, TxCountsSumToTotal) {
+  for (std::size_t count : {1u, 2u, 3u, 7u}) {
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < count; ++i) sum += shard_tx_count(10001, {i, count});
+    EXPECT_EQ(sum, 10001u) << "count=" << count;
+  }
+  // The first total % count shards carry the remainder.
+  EXPECT_EQ(shard_tx_count(10, {0, 3}), 4u);
+  EXPECT_EQ(shard_tx_count(10, {1, 3}), 3u);
+  EXPECT_EQ(shard_tx_count(10, {2, 3}), 3u);
+}
+
+TEST(ShardTest, ProfileSeedsAreDerivedAndDistinct) {
+  WorkloadProfile profile;
+  profile.seed = 42;
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 8; ++i) {
+    WorkloadProfile p = shard_profile(profile, {i, 8});
+    EXPECT_EQ(p.seed, util::derive_seed(42, i));
+    EXPECT_TRUE(seeds.insert(p.seed).second) << "seed collision at shard " << i;
+    EXPECT_NE(p.seed, profile.seed);
+    EXPECT_EQ(p.client_id, "client-0-w" + std::to_string(i));
+  }
+}
+
+TEST(ShardTest, SingleShardIsIdentity) {
+  WorkloadProfile profile;
+  profile.seed = 7;
+  std::vector<std::string> accounts = make_accounts(50);
+  EXPECT_EQ(shard_profile(profile, {0, 1}).seed, profile.seed);
+  EXPECT_EQ(shard_profile(profile, {0, 1}).client_id, profile.client_id);
+  EXPECT_EQ(shard_accounts(accounts, {0, 1}), accounts);
+
+  WorkloadFile whole = generate_workload(profile, accounts, 200);
+  WorkloadFile shard = generate_workload_shard(profile, accounts, 200, {0, 1});
+  ASSERT_EQ(shard.transactions.size(), whole.transactions.size());
+  for (std::size_t i = 0; i < whole.transactions.size(); ++i) {
+    EXPECT_EQ(shard.transactions[i].compute_id(), whole.transactions[i].compute_id());
+  }
+}
+
+TEST(ShardTest, GenerationIsDeterministicPerShard) {
+  WorkloadProfile profile;
+  profile.seed = 11;
+  std::vector<std::string> accounts = make_accounts(64);
+  WorkloadFile a = generate_workload_shard(profile, accounts, 100, {1, 3});
+  WorkloadFile b = generate_workload_shard(profile, accounts, 100, {1, 3});
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (std::size_t i = 0; i < a.transactions.size(); ++i) {
+    EXPECT_EQ(a.transactions[i].compute_id(), b.transactions[i].compute_id());
+  }
+  // A different shard of the same master seed draws a different stream.
+  WorkloadFile other = generate_workload_shard(profile, accounts, 100, {2, 3});
+  EXPECT_NE(a.transactions[0].compute_id(), other.transactions[0].compute_id());
+}
+
+TEST(ShardTest, ShardSendersStayInsideOwnedAccounts) {
+  WorkloadProfile profile;
+  profile.seed = 5;
+  std::vector<std::string> accounts = make_accounts(40);
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::vector<std::string> owned = shard_accounts(accounts, {i, 2});
+    std::set<std::string> owned_set(owned.begin(), owned.end());
+    WorkloadFile wf = generate_workload_shard(profile, accounts, 100, {i, 2});
+    for (const chain::Transaction& tx : wf.transactions) {
+      EXPECT_TRUE(owned_set.count(tx.sender)) << tx.sender << " not owned by shard " << i;
+    }
+  }
+}
+
+TEST(ShardTest, RejectsOutOfRangeSpec) {
+  EXPECT_THROW(shard_tx_count(10, {2, 2}), LogicError);
+  EXPECT_THROW(shard_accounts(make_accounts(4), {0, 0}), LogicError);
+}
+
+}  // namespace
+}  // namespace hammer::workload
