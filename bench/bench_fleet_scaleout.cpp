@@ -13,7 +13,7 @@
 // (pipelined_signing = false) to keep crypto off the measured window.
 //
 // The coordinator splits ONE seeded workload across the fleet (disjoint
-// account shards, derived seeds), so workers=1 and workers=2 submit the
+// account shards, derived seeds), so every fleet size (1, 2, 4) submits the
 // exact same transaction population. Fleet TPS comes from the merged
 // report's clock-normalized envelope.
 //
@@ -21,7 +21,8 @@
 // smoke.fleet_2workers.
 //
 // Artifact: bench_results/fleet_scaleout.csv (gated in ci/bench_baseline.json:
-// speedup_vs_1 at workers=2 must stay >= 1.8).
+// speedup_vs_1 must stay >= 1.8 at workers=2 and >= 3.2 at workers=4, both
+// one-sided floors).
 #include <cstring>
 
 #include "bench_util.hpp"
@@ -129,11 +130,13 @@ int main(int argc, char** argv) {
 
   double base_tps = 0.0;
   double speedup_at_2 = 0.0;
-  for (std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+  double speedup_at_4 = 0.0;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     double tps = run_fleet(workers, txs);
     if (workers == 1) base_tps = tps;
     double speedup = base_tps > 0 ? tps / base_tps : 1.0;
     if (workers == 2) speedup_at_2 = speedup;
+    if (workers == 4) speedup_at_4 = speedup;
     std::printf("  workers=%zu  %8.0f tps  (%.2fx vs 1 worker)\n", workers, tps, speedup);
     csv.add_row({std::to_string(workers), std::to_string(kEndpoints), std::to_string(txs),
                  std::to_string(tps), std::to_string(speedup)});
@@ -141,9 +144,15 @@ int main(int argc, char** argv) {
 
   bench::save_csv(csv, "fleet_scaleout.csv");
 
-  std::printf("2-worker fleet speedup vs 1 worker: %.2fx (acceptance: >= 1.8x)\n", speedup_at_2);
+  std::printf("fleet speedup vs 1 worker: 2 workers %.2fx (>= 1.8x), 4 workers %.2fx "
+              "(>= 3.2x; one-sided — scheduler noise on a small box eats some of the 4x)\n",
+              speedup_at_2, speedup_at_4);
   if (speedup_at_2 < 1.8) {
     std::fprintf(stderr, "FAIL: 2-worker fleet did not reach 1.8x one worker\n");
+    return 1;
+  }
+  if (speedup_at_4 < 3.2) {
+    std::fprintf(stderr, "FAIL: 4-worker fleet did not reach 3.2x one worker\n");
     return 1;
   }
   return 0;

@@ -28,6 +28,16 @@
 // lanes + server-side spans, stitched per sampled transaction) is written
 // as Chrome trace_event JSON — open it at https://ui.perfetto.dev.
 //
+// With --rate R, the run is paced by the closed-loop LoadController
+// instead of the open-loop replay schedule: submit workers acquire a
+// token per transaction from a bucket refilled at R tx/s, and the summary
+// reports target vs offered vs achieved rate (DESIGN.md §14).
+//
+// With --saturate, the demo skips the fixed run and instead ramps a
+// rate-paced driver with core::SaturationSearch until the latency knee,
+// printing max sustainable TPS and the probe trail — the capacity-planning
+// answer for the demo SUT. Combine with --faults to watch the knee drop.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <atomic>
 #include <cstdio>
@@ -39,6 +49,7 @@
 
 #include "core/deployment.hpp"
 #include "core/driver.hpp"
+#include "core/saturation.hpp"
 #include "report/resource_monitor.hpp"
 #include "report/run_report.hpp"
 #include "telemetry/endpoint.hpp"
@@ -51,6 +62,8 @@ int main(int argc, char** argv) {
   std::size_t endpoints = 1;
   core::RoutingKind routing = core::RoutingKind::kRoundRobin;
   std::string trace_out;
+  double paced_rate = 0.0;
+  bool saturate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
@@ -67,6 +80,10 @@ int main(int argc, char** argv) {
       routing = core::routing_kind_from_string(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      paced_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--saturate") == 0) {
+      saturate = true;
     }
   }
 
@@ -100,6 +117,54 @@ int main(int argc, char** argv) {
   std::printf("deployed %s with %zu SmallBank accounts\n", sut.chain->kind().c_str(),
               sut.smallbank_accounts.size());
 
+  // --saturate: skip the fixed run; ramp a rate-paced driver until the
+  // latency knee and print the capacity-planning answer.
+  if (saturate) {
+    core::SaturationOptions sat;
+    sat.start_rate = 250.0;
+    sat.growth = 2.0;
+    sat.max_rate = 8000.0;
+    // Short probes leave the commit+detection tail visible in the achieved
+    // rate; 0.75 tolerates it while still catching a genuine collapse. The
+    // absolute deliver floor backstops the case where offered and achieved
+    // sag together.
+    sat.sustain_fraction = 0.75;
+    sat.deliver_fraction = 0.7;
+    sat.seed = 42;
+    core::SaturationSearch search(sat);
+    core::SaturationResult found = search.run([&](double rate, std::uint64_t seed) {
+      workload::WorkloadProfile profile;
+      profile.seed = seed;
+      profile.op_mix = {{"send_payment", 1.0}};
+      auto txs = static_cast<std::size_t>(2.0 * rate < 4000.0 ? 2.0 * rate : 4000.0);
+      workload::WorkloadFile wf =
+          workload::generate_workload(profile, sut.smallbank_accounts, txs);
+      core::DriverOptions probe_options;
+      probe_options.worker_threads = 2;
+      probe_options.target_rate = rate;
+      // Small burst: a big instant prefix would inflate the offered-rate
+      // window on these short probes.
+      probe_options.rate_burst = 8.0;
+      probe_options.load_seed = seed;
+      core::HammerDriver probe_driver(sut.make_adapters(2), sut.make_adapters(1)[0],
+                                      util::SteadyClock::shared(), probe_options);
+      return probe_driver.run(wf, nullptr);
+    });
+    for (const core::SaturationProbe& probe : found.probes) {
+      std::printf("  probe %7.0f tx/s: offered %7.0f achieved %7.0f p99 %7.2f ms%s\n",
+                  probe.target, probe.offered, probe.achieved, probe.p99_ms,
+                  probe.saturated ? "  <- saturated" : "");
+    }
+    if (found.found_knee) {
+      std::printf("max sustainable: %.0f tx/s (degrades to %.0f committed tx/s past the "
+                  "knee; base p99 %.2f ms)\n",
+                  found.max_sustainable_tps, found.achieved_at_knee, found.base_p99_ms);
+    } else {
+      std::printf("no knee up to %.0f tx/s — the demo SUT outruns this grid\n", sat.max_rate);
+    }
+    return 0;
+  }
+
   // 2. Workload: 5,000 SmallBank transactions (paper §V mix).
   workload::WorkloadProfile profile;
   workload::WorkloadFile wf =
@@ -123,6 +188,15 @@ int main(int argc, char** argv) {
   options.metrics = std::make_shared<core::MetricsPipeline>(cache, db, metrics_options);
   workload::ControlSequence rate = workload::ControlSequence::constant(
       1000.0, std::chrono::seconds(5), std::chrono::milliseconds(100));
+  // --rate: closed-loop pacing through the LoadController instead of the
+  // open-loop replay schedule (both paths share the same accounting).
+  const workload::ControlSequence* rate_plan = &rate;
+  if (paced_rate > 0.0) {
+    options.target_rate = paced_rate;
+    rate_plan = nullptr;
+    std::printf("closed-loop pacing at %.0f tx/s (token bucket, burst %.0f)\n", paced_rate,
+                options.rate_burst);
+  }
   // Under --faults the adapters retry transient rejections with seeded
   // exponential backoff instead of counting them as failures.
   rpc::ClientConfig adapter_config;
@@ -161,7 +235,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(blocks.value()));
     }
   });
-  core::RunResult result = driver.run(wf, &rate);
+  core::RunResult result = driver.run(wf, rate_plan);
   running.store(false);
   live.join();
   monitor.stop();

@@ -181,7 +181,13 @@ void Blockchain::check_signature(const Transaction& tx) const {
 }
 
 void Blockchain::inject_submit_faults() const {
-  if (faults_ && faults_->should(fault::FaultKind::kSubmitReject)) {
+  if (!faults_) return;
+  // Scheduler-delay injection: the submitting thread loses its slice for
+  // sched_delay_us before the chain even looks at the transaction.
+  if (faults_->should(fault::FaultKind::kSchedDelay)) {
+    clock_->sleep_for(std::chrono::microseconds(faults_->plan().sched_delay_us));
+  }
+  if (faults_->should(fault::FaultKind::kSubmitReject)) {
     throw RejectedError("injected transient submit rejection");
   }
 }

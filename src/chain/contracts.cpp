@@ -1,5 +1,7 @@
 #include "chain/contracts.hpp"
 
+#include <algorithm>
+
 #include "util/errors.hpp"
 
 namespace hammer::chain {
@@ -173,6 +175,67 @@ ExecResult TokenContract::execute(const std::string& op, const json::Value& args
   return fail("unknown token op " + op);
 }
 
+// ---------------------------------------------------- BLOCKBENCH micro set
+
+ExecResult DoNothingContract::execute(const std::string& op, const json::Value& args,
+                                      TxContext& ctx) const {
+  // Pure consensus/ordering cost: any op is accepted, nothing is executed.
+  (void)op;
+  (void)args;
+  (void)ctx;
+  return {};
+}
+
+ExecResult CpuHeavyContract::execute(const std::string& op, const json::Value& args,
+                                     TxContext& ctx) const {
+  (void)ctx;
+  if (op != "sort") return fail("unknown cpuheavy op " + op);
+  std::int64_t size = require_int(args, "size");
+  if (size <= 0 || size > 1 << 20) return fail("cpuheavy size out of (0, 2^20]");
+  // Deterministic splitmix-style fill seeded by the caller, so identical
+  // args burn identical work and the checksum is reproducible.
+  std::uint64_t seed = static_cast<std::uint64_t>(require_int(args, "seed"));
+  std::vector<std::uint32_t> data(static_cast<std::size_t>(size));
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  for (auto& v : data) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    v = static_cast<std::uint32_t>(z ^ (z >> 31));
+  }
+  std::sort(data.begin(), data.end());
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) checksum += data[i] * (i + 1);
+  ExecResult r;
+  r.return_value = json::Value(static_cast<std::int64_t>(checksum & 0x7fffffffffffffffULL));
+  return r;
+}
+
+ExecResult IoHeavyContract::execute(const std::string& op, const json::Value& args,
+                                    TxContext& ctx) const {
+  std::string key = require_string(args, "key");
+  std::int64_t count = require_int(args, "count");
+  if (count <= 0 || count > 4096) return fail("ioheavy count out of (0, 4096]");
+  auto state_key = [&key](std::int64_t i) { return "io:" + key + ":" + std::to_string(i); };
+  if (op == "write" || op == "mixed") {
+    for (std::int64_t i = 0; i < count; ++i) {
+      ctx.put(state_key(i), key + ":" + std::to_string(i));
+    }
+  }
+  if (op == "scan" || op == "mixed") {
+    std::int64_t present = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (ctx.get(state_key(i))) ++present;
+    }
+    ExecResult r;
+    r.return_value = json::Value(present);
+    return r;
+  }
+  if (op != "write") return fail("unknown ioheavy op " + op);
+  return {};
+}
+
 // -------------------------------------------------------------- registry
 
 std::shared_ptr<const ContractRegistry> ContractRegistry::standard() {
@@ -180,6 +243,9 @@ std::shared_ptr<const ContractRegistry> ContractRegistry::standard() {
   registry->add(std::make_unique<SmallBankContract>());
   registry->add(std::make_unique<KvContract>());
   registry->add(std::make_unique<TokenContract>());
+  registry->add(std::make_unique<DoNothingContract>());
+  registry->add(std::make_unique<CpuHeavyContract>());
+  registry->add(std::make_unique<IoHeavyContract>());
   return registry;
 }
 

@@ -5,6 +5,11 @@
 //  - kv: YCSB-style put/get/readmodifywrite over opaque values.
 //  - token: Blockbench-v3-style token exchange (mint/transfer/balance),
 //    used by the workload module's token-exchange generator.
+//  - donothing / cpuheavy / ioheavy: the BLOCKBENCH micro-benchmark set.
+//    donothing isolates consensus+ordering cost (the contract is a no-op),
+//    cpuheavy burns execution-layer CPU (iterative quicksort of a
+//    pseudo-random array sized by the op), ioheavy stresses the state layer
+//    (k sequential writes then reads against distinct keys).
 #pragma once
 
 #include <memory>
@@ -57,10 +62,36 @@ class TokenContract final : public Contract {
                      TxContext& ctx) const override;
 };
 
+// BLOCKBENCH micro set. DoNothing accepts any op and touches nothing.
+class DoNothingContract final : public Contract {
+ public:
+  std::string name() const override { return "donothing"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
+// CpuHeavy: "sort" quicksorts `size` pseudo-random ints (seeded by the
+// args, no state reads) and returns a checksum so the work can't be elided.
+class CpuHeavyContract final : public Contract {
+ public:
+  std::string name() const override { return "cpuheavy"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
+// IoHeavy state layout: "io:<key>:<i>" for i in [0, count). "write" puts
+// count values, "scan" reads them back, "mixed" does both.
+class IoHeavyContract final : public Contract {
+ public:
+  std::string name() const override { return "ioheavy"; }
+  ExecResult execute(const std::string& op, const json::Value& args,
+                     TxContext& ctx) const override;
+};
+
 // Immutable registry shared by chain nodes.
 class ContractRegistry {
  public:
-  // Registers the three built-in contracts.
+  // Registers the built-in contracts (smallbank/kv/token + the micro set).
   static std::shared_ptr<const ContractRegistry> standard();
 
   void add(std::unique_ptr<Contract> contract);

@@ -87,6 +87,21 @@ void Coordinator::start() {
   for (auto& ack : acks) ack.get();
 }
 
+double Coordinator::set_rate(double aggregate_rate) {
+  HAMMER_CHECK_MSG(!channels_.empty(), "set_rate() before deploy()");
+  HAMMER_CHECK_MSG(aggregate_rate >= 0.0, "aggregate rate must be >= 0");
+  const double per_worker = aggregate_rate / static_cast<double>(channels_.size());
+  std::vector<std::future<json::Value>> acks;
+  acks.reserve(channels_.size());
+  for (auto& ch : channels_) {
+    acks.push_back(ch->call_async("control.set_rate", json::object({{"rate", per_worker}})));
+  }
+  for (auto& ack : acks) ack.get();
+  HLOG_INFO("fleet") << "set_rate " << aggregate_rate << " tx/s aggregate (" << per_worker
+                     << " per worker)";
+  return per_worker;
+}
+
 FleetResult Coordinator::collect() {
   HAMMER_CHECK_MSG(!channels_.empty(), "collect() before deploy()");
   const util::Clock& clock = *util::SteadyClock::shared();

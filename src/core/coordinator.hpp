@@ -79,6 +79,14 @@ class Coordinator {
   // Fires control.start on every worker, in parallel (start barrier).
   void start();
 
+  // Retargets the fleet's AGGREGATE offered rate, split evenly across the
+  // workers (the same convention deploy uses for workload shards): each
+  // worker's LoadController gets aggregate_rate / N. 0 switches the fleet
+  // to open loop. Valid any time after deploy — including mid-run, which is
+  // the point: a saturation controller ramps a live fleet without
+  // redeploying. Returns the per-worker rate actually sent.
+  double set_rate(double aggregate_rate);
+
   // Polls stats + reports until every worker is done (or collect_timeout),
   // then merges. Worker clock envelopes are shifted into the coordinator's
   // domain via each control channel's negotiated ClockOffset before merging.

@@ -200,14 +200,31 @@ Deployment Deployment::deploy(const json::Value& plan, std::shared_ptr<util::Clo
     if (spec.contains("faults")) {
       // One plan, one seeded injector, installed on every SUT-side surface
       // (before start() so block-production threads never race the install).
-      auto faults =
-          std::make_shared<fault::FaultInjector>(fault::FaultPlan::from_json(spec.at("faults")));
+      fault::FaultPlan fault_plan = fault::FaultPlan::from_json(spec.at("faults"));
+      auto faults = std::make_shared<fault::FaultInjector>(fault_plan);
       deployed->chain->install_fault_injector(faults);
       if (deployed->tcp_server) deployed->tcp_server->install_fault_injector(faults);
       for (auto& extra : deployed->extra_endpoints) {
         if (extra.tcp_server) extra.tcp_server->install_fault_injector(faults);
       }
       deployed->fault_injector = std::move(faults);
+      // Resource faults from the same plan: CPU burn / ballast start now and
+      // run for the deployment's lifetime; the ingress throttle (per-target
+      // token bucket) gates every TCP endpoint's dispatch path.
+      if (fault_plan.has_resource_faults()) {
+        if (fault_plan.cpu_burn_threads > 0 || fault_plan.mem_ballast_mb > 0) {
+          deployed->resource_faults = std::make_shared<fault::ResourceFaults>(fault_plan);
+        }
+        if (fault_plan.ingress_rps > 0.0) {
+          auto install = [&](rpc::TcpServer* server) {
+            if (!server) return;
+            server->install_ingress_throttle(std::make_shared<fault::IngressThrottle>(
+                fault_plan.ingress_rps, fault_plan.ingress_burst, clock));
+          };
+          install(deployed->tcp_server.get());
+          for (auto& extra : deployed->extra_endpoints) install(extra.tcp_server.get());
+        }
+      }
     }
 
     deployed->chain->start();

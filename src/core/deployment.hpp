@@ -41,6 +41,7 @@
 #include "adapters/chain_adapter.hpp"
 #include "chain/blockchain.hpp"
 #include "core/sut_cluster.hpp"
+#include "fault/resource.hpp"
 #include "rpc/tcp.hpp"
 #include "util/clock.hpp"
 
@@ -62,6 +63,9 @@ struct DeployedChain {
   // Set when the plan carried a "faults" key; shared by the chain and the
   // TCP servers, so its counts_json() is the SUT-side fault record.
   std::shared_ptr<fault::FaultInjector> fault_injector;
+  // Continuous contention (cpu_burn / mem_ballast) from the same plan; runs
+  // until the deployment tears down. Null when the plan has none.
+  std::shared_ptr<fault::ResourceFaults> resource_faults;
 
   std::size_t endpoint_count() const { return 1 + extra_endpoints.size(); }
 

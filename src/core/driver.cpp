@@ -19,6 +19,8 @@ struct DriverMetrics {
   telemetry::Counter& rejected;
   telemetry::Counter& send_failures;
   telemetry::Gauge& inflight;
+  telemetry::Gauge& offered_rate;
+  telemetry::Gauge& achieved_rate;
   telemetry::StageHistogram& sign_us;
   telemetry::StageHistogram& submit_us;
   telemetry::StageHistogram& batch_txs;
@@ -40,6 +42,10 @@ struct DriverMetrics {
                                     "Transactions failed after the retry policy was exhausted")),
         inflight(reg().gauge("hammer_driver_inflight",
                              "Accepted transactions not yet observed in a block")),
+        offered_rate(reg().gauge("hammer_driver_offered_rate",
+                                 "Send rate the load controller released, tx/s")),
+        achieved_rate(reg().gauge("hammer_driver_achieved_rate",
+                                  "Commit rate observed over the run window, tx/s")),
         sign_us(reg().histogram("hammer_driver_sign_us",
                                 "Per-transaction signing latency (pipelined feeder)")),
         submit_us(reg().histogram("hammer_driver_submit_us",
@@ -50,6 +56,12 @@ struct DriverMetrics {
 
   static telemetry::MetricRegistry& reg() { return telemetry::MetricRegistry::global(); }
 };
+
+// Gauges only expose add/sub; rate gauges are set by delta so the sharded
+// scrape sums land on the new value.
+void set_gauge(telemetry::Gauge& gauge, std::int64_t value) {
+  gauge.add(value - gauge.value());
+}
 
 // Split `total` workers over `targets`, at least one each.
 std::vector<std::size_t> split_workers(std::size_t total, std::size_t targets) {
@@ -66,6 +78,14 @@ HammerDriver::HammerDriver(std::shared_ptr<SutCluster> cluster,
   HAMMER_CHECK(cluster_ != nullptr);
   HAMMER_CHECK(clock_ != nullptr);
   HAMMER_CHECK(options_.worker_threads >= 1);
+  load_ = options_.load;
+  if (!load_) {
+    LoadOptions load_options;
+    load_options.rate = options_.target_rate;
+    load_options.burst = options_.rate_burst;
+    load_options.seed = options_.load_seed;
+    load_ = std::make_shared<LoadController>(load_options, clock_);
+  }
   if (options_.client_vcpus > 0) {
     HAMMER_CHECK(options_.client_vcpus <= 64);
     client_cores_ = std::make_unique<std::counting_semaphore<64>>(options_.client_vcpus);
@@ -158,6 +178,10 @@ void HammerDriver::worker_loop(SutTarget& target, std::size_t slot, SendQueue& q
         if (deadline) clock_->sleep_until(*deadline);
       }
     }
+    // Closed-loop pacing gate: one token per transaction before the send
+    // leaves. Open-loop controllers return immediately, but still stamp the
+    // release window so offered_rate is measured on every run.
+    load_->acquire(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) charge_client_cpu();
 
     std::vector<std::string> tx_ids(batch.size());
@@ -456,6 +480,12 @@ void HammerDriver::poll_loop(SutTarget& target) {
       task_processor_->drain_newly_completed(fresh);
       if (!fresh.empty()) options_.metrics->push_records(fresh);
     }
+    // One poller (target 0's) refreshes the live offered-rate gauge so a
+    // mid-run scrape shows the pacing the controller is actually granting.
+    if (target.index() == 0) {
+      set_gauge(DriverMetrics::get().offered_rate,
+                static_cast<std::int64_t>(load_->offered_rate()));
+    }
     clock_->sleep_for(options_.poll_interval);
   }
 }
@@ -492,6 +522,9 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   rejections_.store(0);
   send_failures_.store(0);
   stop_polling_.store(false);
+  // Fresh bucket and offered-rate window; the target rate (possibly
+  // retargeted mid-flight last run) carries over.
+  load_->reset();
 
   // Adapters persist across runs, so RunResult::retries is a delta of the
   // lifetime counters (deduped — the poll adapter may double as a worker).
@@ -689,6 +722,13 @@ RunResult HammerDriver::run(const workload::WorkloadFile& workload,
   }
   result.rejected = rejections_.load();
   result.send_failures = send_failures_.load();
+  result.target_rate = load_->target_rate();
+  result.offered_rate = load_->offered_rate();
+  result.achieved_rate = result.tps;
+  set_gauge(DriverMetrics::get().offered_rate,
+            static_cast<std::int64_t>(result.offered_rate));
+  set_gauge(DriverMetrics::get().achieved_rate,
+            static_cast<std::int64_t>(result.achieved_rate));
   std::uint64_t retries_after = 0;
   for (const adapters::ChainAdapter* a : run_adapters) retries_after += a->retries();
   result.retries = retries_after - retries_before;

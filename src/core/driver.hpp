@@ -46,6 +46,7 @@
 
 #include "adapters/chain_adapter.hpp"
 #include "core/baselines.hpp"
+#include "core/load_controller.hpp"
 #include "core/metrics.hpp"
 #include "core/signing.hpp"
 #include "core/sut_cluster.hpp"
@@ -82,6 +83,19 @@ struct DriverOptions {
 
   bool pipelined_signing = true;  // false: sign the whole batch up front
   std::size_t sign_queue_capacity = 4096;
+
+  // Closed-loop pacing (DESIGN.md §14): workers acquire tokens from a
+  // LoadController before every send. target_rate = 0 keeps the open-loop
+  // degenerate case (acquire never waits) — fixed-count and paced runs
+  // share one code path either way, and RunResult carries the
+  // target/offered/achieved rates for both.
+  double target_rate = 0.0;
+  double rate_burst = 64.0;
+  std::uint64_t load_seed = 1;
+  // Externally-owned controller (e.g. a WorkerSession retargeted live via
+  // control.set_rate). Null: the driver builds its own from the three knobs
+  // above.
+  std::shared_ptr<LoadController> load;
 
   // Transactions coalesced into one JSON-RPC batch round trip per worker
   // send (1 = the blocking single-call baseline). Raising this is the
@@ -150,6 +164,9 @@ class HammerDriver {
   // Transactions marked failed because a worker exhausted its retry policy
   // (the run kept going — graceful degradation, not an abort).
   std::uint64_t send_failures() const { return send_failures_.load(); }
+  // The pacing controller this driver sends through (its own open-loop one
+  // unless DriverOptions::load was set). Never null after construction.
+  const std::shared_ptr<LoadController>& load_controller() const { return load_; }
   // Live during run(); reset on the next run. Null when tracing is off.
   const telemetry::TxTracer* tracer() const { return tracer_.get(); }
   // Cross-process trace stitching state; null when tracing is off.
@@ -177,6 +194,7 @@ class HammerDriver {
   std::shared_ptr<SutCluster> cluster_;
   std::shared_ptr<util::Clock> clock_;
   DriverOptions options_;
+  std::shared_ptr<LoadController> load_;
   std::shared_ptr<KeyCache> keys_ = std::make_shared<KeyCache>();
 
   std::unique_ptr<ShardedTaskProcessor> task_processor_;

@@ -179,6 +179,9 @@ json::Value RunResult::to_json() const {
                     {"send_failures", send_failures},
                     {"duration_s", duration_s},
                     {"tps", tps},
+                    {"target_rate", target_rate},
+                    {"offered_rate", offered_rate},
+                    {"achieved_rate", achieved_rate},
                     {"latency_mean_ms", latency.mean() / 1000.0},
                     {"latency_p50_ms", static_cast<double>(latency.percentile(50)) / 1000.0},
                     {"latency_p99_ms", static_cast<double>(latency.percentile(99)) / 1000.0}});
@@ -196,6 +199,9 @@ std::string RunResult::summary() const {
      << " latency{" << latency.summary() << "}";
   if (retries > 0 || send_failures > 0) {
     os << " retries=" << retries << " send_failures=" << send_failures;
+  }
+  if (target_rate > 0.0) {
+    os << " target_rate=" << target_rate << " offered_rate=" << offered_rate;
   }
   return os.str();
 }
@@ -274,6 +280,9 @@ json::Value RunResult::to_wire_json() const {
                                 {"send_failures", send_failures},
                                 {"duration_s", duration_s},
                                 {"tps", tps},
+                                {"target_rate", target_rate},
+                                {"offered_rate", offered_rate},
+                                {"achieved_rate", achieved_rate},
                                 {"first_start_us", first_start_us},
                                 {"last_end_us", last_end_us},
                                 {"latency", histogram_to_json(latency)}});
@@ -295,6 +304,10 @@ RunResult RunResult::from_wire_json(const json::Value& v) {
   r.send_failures = static_cast<std::uint64_t>(v.at("send_failures").as_int());
   r.duration_s = v.at("duration_s").as_double();
   r.tps = v.at("tps").as_double();
+  // Rate fields default to 0 so pre-rate-control reports still parse.
+  r.target_rate = v.get_double("target_rate", 0.0);
+  r.offered_rate = v.get_double("offered_rate", 0.0);
+  r.achieved_rate = v.get_double("achieved_rate", 0.0);
   r.first_start_us = v.at("first_start_us").as_int();
   r.last_end_us = v.at("last_end_us").as_int();
   r.latency = histogram_from_json(v.at("latency"), r.latency.bucket_counts().size());
@@ -322,6 +335,10 @@ RunResult merge_run_results(std::span<const RunResult> parts) {
     merged.unmatched += part.unmatched;
     merged.retries += part.retries;
     merged.send_failures += part.send_failures;
+    // Workers offer concurrently, so fleet-aggregate rates are sums (the
+    // same split control.set_rate applies in reverse).
+    merged.target_rate += part.target_rate;
+    merged.offered_rate += part.offered_rate;
     merged.latency.merge(part.latency);
     // A part with no records keeps the zero envelope; it must not drag the
     // merged first_start to 0.
@@ -353,6 +370,7 @@ RunResult merge_run_results(std::span<const RunResult> parts) {
     merged.duration_s = static_cast<double>(last_end - first_start) / 1e6;
     merged.tps = static_cast<double>(merged.committed) / merged.duration_s;
   }
+  merged.achieved_rate = merged.tps;
   if (any_faults) merged.faults = json::Value(std::move(fault_sums));
   if (!all_targets.empty()) merged.targets = json::Value(std::move(all_targets));
   return merged;

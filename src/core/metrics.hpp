@@ -100,6 +100,16 @@ struct RunResult {
   double tps = 0.0;               // committed / duration
   util::Histogram latency;        // committed transactions only
 
+  // Closed-loop rate accounting (DESIGN.md §14). target_rate is the
+  // controller's setting at run end (0 = open loop); offered_rate is what
+  // the pacing gate actually released per second of the send window;
+  // achieved_rate mirrors tps (committed per second of the run envelope).
+  // The offered/achieved gap is the saturation signal SaturationSearch
+  // ramps against.
+  double target_rate = 0.0;
+  double offered_rate = 0.0;
+  double achieved_rate = 0.0;
+
   // Run wall-clock envelope in the producing process's microsecond clock:
   // earliest send and latest commit observed. Zero when the run had no
   // records. merge_run_results() spans the merged duration from these, so a

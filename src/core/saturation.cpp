@@ -1,0 +1,138 @@
+#include "core/saturation.hpp"
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace hammer::core {
+
+namespace {
+
+double p99_ms(const RunResult& result) {
+  return static_cast<double>(result.latency.percentile(99)) / 1000.0;
+}
+
+}  // namespace
+
+json::Value SaturationProbe::to_json() const {
+  return json::object({{"target", target},
+                       {"offered", offered},
+                       {"achieved", achieved},
+                       {"p99_ms", p99_ms},
+                       {"saturated", saturated}});
+}
+
+json::Value SaturationResult::to_json() const {
+  json::Array probe_array;
+  probe_array.reserve(probes.size());
+  for (const SaturationProbe& probe : probes) probe_array.push_back(probe.to_json());
+  return json::object({{"max_sustainable_tps", max_sustainable_tps},
+                       {"achieved_at_knee", achieved_at_knee},
+                       {"base_p99_ms", base_p99_ms},
+                       {"found_knee", found_knee},
+                       {"probes", json::Value(std::move(probe_array))}});
+}
+
+SaturationSearch::SaturationSearch(SaturationOptions options) : options_(options) {
+  HAMMER_CHECK_MSG(options_.start_rate > 0.0, "saturation start_rate must be > 0");
+  HAMMER_CHECK_MSG(options_.growth > 1.0, "saturation growth must be > 1");
+  HAMMER_CHECK_MSG(options_.max_rate >= options_.start_rate,
+                   "saturation max_rate must be >= start_rate");
+  HAMMER_CHECK_MSG(options_.knee_factor > 1.0, "saturation knee_factor must be > 1");
+  HAMMER_CHECK_MSG(options_.sustain_fraction > 0.0 && options_.sustain_fraction < 1.0,
+                   "saturation sustain_fraction must be in (0,1)");
+  HAMMER_CHECK_MSG(options_.deliver_fraction >= 0.0 && options_.deliver_fraction < 1.0,
+                   "saturation deliver_fraction must be in [0,1)");
+}
+
+SaturationResult SaturationSearch::run(const ProbeFn& probe) const {
+  HAMMER_CHECK(probe != nullptr);
+  SaturationResult result;
+  std::uint64_t probe_index = 0;
+
+  auto measure = [&](double target) {
+    RunResult run = probe(target, util::derive_seed(options_.seed, probe_index));
+    ++probe_index;
+    SaturationProbe point;
+    point.target = target;
+    point.offered = run.offered_rate;
+    point.achieved = run.achieved_rate;
+    point.p99_ms = p99_ms(run);
+    return point;
+  };
+
+  auto saturated = [&](const SaturationProbe& point) {
+    if (result.base_p99_ms > 0.0 && point.p99_ms > options_.knee_factor * result.base_p99_ms) {
+      return true;  // latency knee
+    }
+    if (point.achieved < options_.sustain_fraction * point.offered) {
+      return true;  // throughput ceiling: the SUT drops what it is offered
+    }
+    if (point.offered < options_.sustain_fraction * point.target) {
+      return true;  // driver-side collapse: pacing could not even offer it
+    }
+    if (options_.deliver_fraction > 0.0 &&
+        point.achieved < options_.deliver_fraction * point.target) {
+      return true;  // absolute shortfall vs the target, wherever it was lost
+    }
+    return false;
+  };
+
+  // Base probe establishes the p99 baseline; a base that saturates on the
+  // throughput criteria means the floor rate is already past the knee.
+  SaturationProbe base = measure(options_.start_rate);
+  result.base_p99_ms = base.p99_ms;
+  base.saturated = saturated(base);
+  result.probes.push_back(base);
+  HLOG_INFO("saturation") << "base " << base.target << " tx/s: achieved " << base.achieved
+                          << ", p99 " << base.p99_ms << "ms"
+                          << (base.saturated ? " (saturated)" : "");
+  if (base.saturated) {
+    result.found_knee = true;
+    result.achieved_at_knee = base.achieved;
+    return result;  // max_sustainable_tps stays 0: nothing sustained
+  }
+
+  // Geometric ramp until a probe saturates or the grid runs out.
+  double good = options_.start_rate;  // highest rate known to sustain
+  double bad = 0.0;                   // first rate known to saturate
+  double target = options_.start_rate * options_.growth;
+  while (target <= options_.max_rate) {
+    SaturationProbe point = measure(target);
+    point.saturated = saturated(point);
+    result.probes.push_back(point);
+    HLOG_INFO("saturation") << "probe " << point.target << " tx/s: achieved "
+                            << point.achieved << ", p99 " << point.p99_ms << "ms"
+                            << (point.saturated ? " (saturated)" : "");
+    if (point.saturated) {
+      result.found_knee = true;
+      result.achieved_at_knee = point.achieved;
+      bad = target;
+      break;
+    }
+    good = target;
+    target *= options_.growth;
+  }
+
+  // Optional bisection sharpens the bracket; the midpoint sequence is a
+  // pure function of the probe outcomes, so reruns stay reproducible.
+  if (result.found_knee) {
+    for (std::size_t step = 0; step < options_.bisect_steps; ++step) {
+      double mid = (good + bad) / 2.0;
+      SaturationProbe point = measure(mid);
+      point.saturated = saturated(point);
+      result.probes.push_back(point);
+      if (point.saturated) {
+        result.achieved_at_knee = point.achieved;
+        bad = mid;
+      } else {
+        good = mid;
+      }
+    }
+  }
+
+  result.max_sustainable_tps = good;
+  return result;
+}
+
+}  // namespace hammer::core

@@ -1,0 +1,97 @@
+// Saturation search (DESIGN.md §14): finds the knee of the offered-load /
+// latency curve — the max sustainable TPS — by ramping a paced driver.
+//
+// The search probes a caller-supplied ProbeFn at geometrically-growing
+// offered rates (start_rate × growth^k). A probe saturates when any of:
+//
+//   1. its p99 latency exceeds knee_factor × the base probe's p99 (the
+//      classic latency knee: queues form, service time explodes),
+//   2. the SUT commits less than sustain_fraction of what was offered
+//      (throughput ceiling without a visible latency knee), or
+//   3. the driver could not even OFFER sustain_fraction of the target
+//      (the driving side itself is resource-starved — e.g. cpu_burn eating
+//      the client's cores — which is a capacity collapse all the same), or
+//   4. (when deliver_fraction > 0) the committed rate fell under
+//      deliver_fraction × target — an absolute floor that catches contention
+//      dragging offered and achieved down together, which keeps the relative
+//      ratios of 2./3. looking healthy while capacity is in fact gone.
+//
+// max_sustainable_tps is the TARGET rate of the last non-saturated probe —
+// a grid value, so two searches over the same seeded SUT converge to the
+// same knee (asserted by smoke.saturation). bisect_steps > 0 refines
+// between the last good and first saturated rates, halving the bracket
+// each step (still deterministic: the bracket sequence is a pure function
+// of the probe outcomes).
+//
+// Probe k drives with util::derive_seed(seed, k), so every probe's workload
+// and fault stream is decorrelated but reproducible; re-running the search
+// replays the exact probe sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "json/json.hpp"
+
+namespace hammer::core {
+
+struct SaturationOptions {
+  double start_rate = 100.0;      // first (base) probe; also the p99 baseline
+  double growth = 2.0;            // grid multiplier, must be > 1
+  double max_rate = 1e6;          // give up ramping past this
+  double knee_factor = 5.0;       // p99 knee: p99 > knee_factor * base_p99
+  double sustain_fraction = 0.9;  // throughput knee: achieved/offered floor
+  // Optional absolute floor: achieved < deliver_fraction * target reads as
+  // saturated even when achieved/offered still looks healthy (the case where
+  // contention drags the offered rate down with the achieved rate, hiding
+  // the collapse from the relative criteria). 0 disables it.
+  double deliver_fraction = 0.0;
+  std::size_t bisect_steps = 0;   // refinement probes inside the knee bracket
+  std::uint64_t seed = 1;         // master seed; probe k uses derive_seed(seed, k)
+};
+
+// One measured point of the search. `target` is what the search asked for;
+// offered/achieved/p99 come from the probe's RunResult.
+struct SaturationProbe {
+  double target = 0.0;
+  double offered = 0.0;
+  double achieved = 0.0;
+  double p99_ms = 0.0;
+  bool saturated = false;
+
+  json::Value to_json() const;
+};
+
+struct SaturationResult {
+  // Target rate of the last probe that sustained its load (grid value, or a
+  // bisection refinement when bisect_steps > 0). 0 when even the base probe
+  // saturated.
+  double max_sustainable_tps = 0.0;
+  // Committed TPS measured at the first saturated probe (what the SUT
+  // degrades to past the knee); 0 when the ramp hit max_rate unsaturated.
+  double achieved_at_knee = 0.0;
+  double base_p99_ms = 0.0;
+  bool found_knee = false;  // false: max_rate reached without saturating
+  std::vector<SaturationProbe> probes;
+
+  json::Value to_json() const;
+};
+
+class SaturationSearch {
+ public:
+  // Runs one paced burst at `rate` seeded with `seed` and returns its
+  // RunResult (offered_rate and the latency histogram are what the search
+  // reads). Probes run sequentially, never concurrently.
+  using ProbeFn = std::function<RunResult(double rate, std::uint64_t seed)>;
+
+  explicit SaturationSearch(SaturationOptions options);
+
+  SaturationResult run(const ProbeFn& probe) const;
+
+ private:
+  SaturationOptions options_;
+};
+
+}  // namespace hammer::core

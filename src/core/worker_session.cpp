@@ -60,6 +60,13 @@ DriverOptions parse_driver_options(const json::Value& v, std::size_t& channels_p
   options.pipelined_signing = v.get_bool("pipelined_signing", true);
   options.trace_every_n = static_cast<std::uint64_t>(v.get_int("trace_every_n", 0));
   channels_per_target = static_cast<std::size_t>(v.get_int("channels_per_target", 2));
+  options.target_rate = v.get_double("target_rate", 0.0);
+  options.rate_burst = v.get_double("rate_burst", options.rate_burst);
+  options.load_seed = static_cast<std::uint64_t>(
+      v.get_int("load_seed", static_cast<std::int64_t>(options.load_seed)));
+  if (options.target_rate < 0.0) {
+    throw ParseError("driver.target_rate must be >= 0 in control.deploy");
+  }
   return options;
 }
 
@@ -85,6 +92,8 @@ WorkerSession::WorkerSession(Options options) : options_(options) {
                                [this](const json::Value& p) { return handle_deploy(p); });
   dispatcher_->register_method("control.start",
                                [this](const json::Value& p) { return handle_start(p); });
+  dispatcher_->register_method("control.set_rate",
+                               [this](const json::Value& p) { return handle_set_rate(p); });
   dispatcher_->register_method("control.stats",
                                [this](const json::Value& p) { return handle_stats(p); });
   dispatcher_->register_method("control.report",
@@ -182,9 +191,19 @@ json::Value WorkerSession::handle_deploy(const json::Value& params) {
   std::shared_ptr<SutCluster> cluster = make_remote_cluster(
       endpoints, workers_per_target, channels_per_target, client_config, client_faults);
 
+  // Session-owned pacing controller: the driver borrows it, so a later
+  // control.set_rate reaches the workers already blocked in acquire().
+  LoadOptions load_options;
+  load_options.rate = options.target_rate;
+  load_options.burst = options.rate_burst;
+  load_options.seed = options.load_seed;
+  auto load = std::make_shared<LoadController>(load_options, util::SteadyClock::shared());
+  options.load = load;
+
   std::lock_guard<std::mutex> lock(mu_);
   worker_index_ = worker_index;
   cluster_ = std::move(cluster);
+  load_ = std::move(load);
   driver_options_ = std::move(options);
   workload_ = std::move(wf);
   result_.reset();
@@ -217,6 +236,19 @@ json::Value WorkerSession::handle_start(const json::Value&) {
     cv_.notify_all();
   });
   return json::object({{"started", true}});
+}
+
+json::Value WorkerSession::handle_set_rate(const json::Value& params) {
+  double rate = params.at("rate").as_double();
+  if (rate < 0.0) throw ParseError("control.set_rate needs rate >= 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!load_ || state_ == State::kIdle) {
+    throw RejectedError("control.set_rate rejected: worker has no deployment");
+  }
+  double previous = load_->target_rate();
+  load_->set_rate(rate);
+  HLOG_INFO("worker") << "set_rate " << previous << " -> " << rate << " tx/s";
+  return json::object({{"rate", rate}, {"previous", previous}, {"state", state_name(state_)}});
 }
 
 json::Value WorkerSession::handle_stats(const json::Value&) {

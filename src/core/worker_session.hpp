@@ -74,6 +74,7 @@ class WorkerSession {
   json::Value handle_hello(const json::Value& params);
   json::Value handle_deploy(const json::Value& params);
   json::Value handle_start(const json::Value& params);
+  json::Value handle_set_rate(const json::Value& params);
   json::Value handle_stats(const json::Value& params);
   json::Value handle_report(const json::Value& params);
   json::Value handle_stop(const json::Value& params);
@@ -91,8 +92,12 @@ class WorkerSession {
   bool stop_requested_ = false;
   std::size_t worker_index_ = 0;
 
-  // Built by control.deploy, consumed by the run thread.
+  // Built by control.deploy, consumed by the run thread. The session (not
+  // the driver) owns the LoadController so control.set_rate can retarget a
+  // run already in flight — the driver only borrows it via
+  // DriverOptions::load.
   std::shared_ptr<SutCluster> cluster_;
+  std::shared_ptr<LoadController> load_;
   DriverOptions driver_options_;
   workload::WorkloadFile workload_;
   std::optional<RunResult> result_;

@@ -14,6 +14,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSubmitReject: return "submit_reject";
     case FaultKind::kEndorseFail: return "endorse_fail";
     case FaultKind::kBlockStall: return "block_stall";
+    case FaultKind::kSchedDelay: return "sched_delay";
     case FaultKind::kCount: break;
   }
   return "unknown";
@@ -35,9 +36,14 @@ double FaultPlan::probability(FaultKind kind) const {
     case FaultKind::kSubmitReject: return submit_reject_p;
     case FaultKind::kEndorseFail: return endorse_fail_p;
     case FaultKind::kBlockStall: return block_stall_p;
+    case FaultKind::kSchedDelay: return sched_delay_p;
     case FaultKind::kCount: break;
   }
   return 0.0;
+}
+
+bool FaultPlan::has_resource_faults() const {
+  return cpu_burn_threads > 0 || mem_ballast_mb > 0 || ingress_rps > 0.0;
 }
 
 FaultPlan FaultPlan::from_json(const json::Value& v) {
@@ -53,6 +59,19 @@ FaultPlan FaultPlan::from_json(const json::Value& v) {
   p.endorse_fail_p = v.get_double("endorse_fail_p", p.endorse_fail_p);
   p.block_stall_p = v.get_double("block_stall_p", p.block_stall_p);
   p.block_stall_ms = v.get_int("block_stall_ms", p.block_stall_ms);
+  p.sched_delay_p = v.get_double("sched_delay_p", p.sched_delay_p);
+  p.sched_delay_us = v.get_int("sched_delay_us", p.sched_delay_us);
+  p.cpu_burn_threads =
+      static_cast<std::uint32_t>(v.get_int("cpu_burn_threads", p.cpu_burn_threads));
+  p.cpu_burn_duty = v.get_double("cpu_burn_duty", p.cpu_burn_duty);
+  p.mem_ballast_mb = static_cast<std::uint64_t>(
+      v.get_int("mem_ballast_mb", static_cast<std::int64_t>(p.mem_ballast_mb)));
+  p.ingress_rps = v.get_double("ingress_rps", p.ingress_rps);
+  p.ingress_burst = v.get_double("ingress_burst", p.ingress_burst);
+  if (p.cpu_burn_duty < 0.0 || p.cpu_burn_duty > 1.0) {
+    throw ParseError("cpu_burn_duty out of [0,1]");
+  }
+  if (p.ingress_rps < 0.0) throw ParseError("ingress_rps must be >= 0");
   for (std::size_t k = 0; k < kFaultKindCount; ++k) {
     double prob = p.probability(static_cast<FaultKind>(k));
     if (prob < 0.0 || prob > 1.0) {
@@ -76,6 +95,13 @@ json::Value FaultPlan::to_json() const {
   obj["endorse_fail_p"] = endorse_fail_p;
   obj["block_stall_p"] = block_stall_p;
   obj["block_stall_ms"] = block_stall_ms;
+  obj["sched_delay_p"] = sched_delay_p;
+  obj["sched_delay_us"] = sched_delay_us;
+  obj["cpu_burn_threads"] = static_cast<std::int64_t>(cpu_burn_threads);
+  obj["cpu_burn_duty"] = cpu_burn_duty;
+  obj["mem_ballast_mb"] = static_cast<std::int64_t>(mem_ballast_mb);
+  obj["ingress_rps"] = ingress_rps;
+  obj["ingress_burst"] = ingress_burst;
   return json::Value(std::move(obj));
 }
 

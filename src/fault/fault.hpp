@@ -44,6 +44,7 @@ enum class FaultKind : std::size_t {
   kSubmitReject,    // SUT: transient chain.submit rejection
   kEndorseFail,     // SUT: Fabric endorsement failure on submit
   kBlockStall,      // SUT: block producer sleeps one extra stall interval
+  kSchedDelay,      // SUT: scheduler-delay injection on the submit path
   kCount
 };
 
@@ -65,8 +66,23 @@ struct FaultPlan {
   double endorse_fail_p = 0.0;
   double block_stall_p = 0.0;
   std::int64_t block_stall_ms = 200;
+  double sched_delay_p = 0.0;
+  std::int64_t sched_delay_us = 2000;
+
+  // Resource faults (ROADMAP item 3): continuous background contention
+  // rather than per-draw decisions, driven by the same seed. Run by
+  // fault::ResourceFaults (CPU burn, memory ballast) and
+  // fault::IngressThrottle (per-target admission throttling on TcpServer);
+  // correlate the effect with the ResourceMonitor stream in RunReport.
+  std::uint32_t cpu_burn_threads = 0;   // 0 = off
+  double cpu_burn_duty = 1.0;           // fraction of each period spent spinning
+  std::uint64_t mem_ballast_mb = 0;     // touched resident allocation, 0 = off
+  double ingress_rps = 0.0;             // per-endpoint admission rate, 0 = off
+  double ingress_burst = 64.0;
 
   bool enabled() const;  // any probability > 0
+  // Any continuous contention configured (CPU burn, ballast, throttle).
+  bool has_resource_faults() const;
   double probability(FaultKind kind) const;
 
   static FaultPlan from_json(const json::Value& v);

@@ -1,0 +1,108 @@
+#include "fault/resource.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/registry.hpp"
+
+namespace hammer::fault {
+
+namespace {
+// Duty-cycle period: long enough that the scheduler actually grants the
+// spin its slice, short enough that contention looks continuous to the
+// ResourceMonitor's sampling interval.
+constexpr auto kBurnPeriod = std::chrono::milliseconds(10);
+constexpr auto kThrottleSleepSlice = std::chrono::milliseconds(10);
+constexpr std::size_t kPageSize = 4096;
+}  // namespace
+
+ResourceFaults::ResourceFaults(const FaultPlan& plan) {
+  if (plan.mem_ballast_mb > 0) {
+    ballast_.resize(plan.mem_ballast_mb * 1024 * 1024);
+    // Touch every page so the allocation is resident, not just reserved —
+    // otherwise the ballast never shows up as memory pressure.
+    for (std::size_t i = 0; i < ballast_.size(); i += kPageSize) {
+      ballast_[i] = static_cast<char>(i);
+    }
+  }
+  const double duty = std::clamp(plan.cpu_burn_duty, 0.0, 1.0);
+  if (plan.cpu_burn_threads > 0 && duty > 0.0) {
+    burners_.reserve(plan.cpu_burn_threads);
+    for (std::uint32_t i = 0; i < plan.cpu_burn_threads; ++i) {
+      burners_.emplace_back([this, duty] { burn_loop(duty); });
+    }
+  }
+}
+
+ResourceFaults::~ResourceFaults() { stop(); }
+
+void ResourceFaults::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : burners_) {
+    if (t.joinable()) t.join();
+  }
+  burners_.clear();
+  ballast_.clear();
+  ballast_.shrink_to_fit();
+}
+
+void ResourceFaults::burn_loop(double duty) {
+  // Spin for duty × period, then sleep the remainder. volatile sink keeps
+  // the loop from being optimized away.
+  volatile std::uint64_t sink = 0;
+  const auto period = std::chrono::duration_cast<std::chrono::steady_clock::duration>(kBurnPeriod);
+  const auto spin_span = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::chrono::duration<double>(kBurnPeriod).count() * duty));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto spin_until = start + spin_span;
+    while (std::chrono::steady_clock::now() < spin_until) {
+      for (int i = 0; i < 1024; ++i) sink = sink + 1;
+      if (stop_.load(std::memory_order_relaxed)) return;
+    }
+    if (duty < 1.0) std::this_thread::sleep_until(start + period);
+  }
+}
+
+IngressThrottle::IngressThrottle(double rps, double burst, std::shared_ptr<util::Clock> clock)
+    : rps_(rps > 0.0 ? rps : 0.0),
+      burst_(std::max(1.0, burst)),
+      clock_(std::move(clock)),
+      counter_(&telemetry::MetricRegistry::global().counter(
+          "hammer_fault_ingress_throttled_total",
+          "Requests that waited on the ingress throttle")),
+      tokens_(burst_),
+      last_refill_(clock_->now()) {}
+
+std::int64_t IngressThrottle::admit() {
+  if (rps_ <= 0.0) return 0;
+  const std::int64_t wait_start_us = clock_->now_us();
+  bool waited = false;
+  for (;;) {
+    {
+      std::scoped_lock lock(mu_);
+      const util::TimePoint now = clock_->now();
+      const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+      if (elapsed > 0.0) {
+        tokens_ = std::min(burst_, tokens_ + elapsed * rps_);
+        last_refill_ = now;
+      }
+      if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return waited ? clock_->now_us() - wait_start_us : 0;
+      }
+    }
+    if (!waited) {
+      waited = true;
+      throttled_.fetch_add(1, std::memory_order_relaxed);
+      counter_->add(1);
+    }
+    // Bounded slice so server teardown isn't held hostage by a deep queue.
+    const auto deficit = std::chrono::duration<double>(1.0 / rps_);
+    clock_->sleep_for(std::min<util::Duration>(
+        std::chrono::duration_cast<util::Duration>(deficit),
+        std::chrono::duration_cast<util::Duration>(kThrottleSleepSlice)));
+  }
+}
+
+}  // namespace hammer::fault

@@ -1,0 +1,64 @@
+#include "report/saturation_grid.hpp"
+
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace hammer::report {
+
+void SaturationGrid::add(SaturationCell cell) { cells_.push_back(std::move(cell)); }
+
+double SaturationGrid::knee(const std::string& chain, const std::string& scenario,
+                            const std::string& fault) const {
+  for (const SaturationCell& cell : cells_) {
+    if (cell.chain == chain && cell.scenario == scenario && cell.fault == fault) {
+      return cell.result.max_sustainable_tps;
+    }
+  }
+  throw NotFoundError("saturation cell " + chain + "/" + scenario + "/" + fault);
+}
+
+CsvWriter SaturationGrid::to_csv() const {
+  CsvWriter csv({"chain", "scenario", "fault", "max_sustainable_tps", "achieved_at_knee",
+                 "base_p99_ms", "found_knee", "probes"});
+  for (const SaturationCell& cell : cells_) {
+    csv.add_row({cell.chain, cell.scenario, cell.fault,
+                 format_double(cell.result.max_sustainable_tps, 1),
+                 format_double(cell.result.achieved_at_knee, 1),
+                 format_double(cell.result.base_p99_ms, 2),
+                 cell.result.found_knee ? "1" : "0",
+                 std::to_string(cell.result.probes.size())});
+  }
+  return csv;
+}
+
+json::Value SaturationGrid::to_json() const {
+  json::Array rows;
+  rows.reserve(cells_.size());
+  for (const SaturationCell& cell : cells_) {
+    rows.push_back(json::object({{"chain", cell.chain},
+                                 {"scenario", cell.scenario},
+                                 {"fault", cell.fault},
+                                 {"result", cell.result.to_json()}}));
+  }
+  return json::object({{"cells", json::Value(std::move(rows))}});
+}
+
+std::string SaturationGrid::rendered() const {
+  std::ostringstream os;
+  os << "== Saturation grid: max sustainable TPS per (chain, scenario, fault) ==\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-10s %-10s %-12s %12s %12s %10s\n", "chain", "scenario",
+                "fault", "knee_tps", "at_knee", "base_p99");
+  os << line;
+  for (const SaturationCell& cell : cells_) {
+    std::snprintf(line, sizeof(line), "  %-10s %-10s %-12s %12.1f %12.1f %8.2fms\n",
+                  cell.chain.c_str(), cell.scenario.c_str(), cell.fault.c_str(),
+                  cell.result.max_sustainable_tps, cell.result.achieved_at_knee,
+                  cell.result.base_p99_ms);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace hammer::report

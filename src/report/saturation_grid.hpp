@@ -1,0 +1,44 @@
+// Saturation grid: the capacity-planning report (DESIGN.md §14). Collects
+// one core::SaturationResult per (chain, scenario, fault) cell and renders
+// the max-sustainable-TPS table — the artifact a deployment sizing decision
+// reads off — plus its CSV and JSON forms for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "report/csv.hpp"
+
+namespace hammer::report {
+
+struct SaturationCell {
+  std::string chain;
+  std::string scenario;  // workload name ("smallbank", "donothing", ...)
+  std::string fault;     // "none", "cpu_burn", "sched_delay", ...
+  core::SaturationResult result;
+};
+
+class SaturationGrid {
+ public:
+  void add(SaturationCell cell);
+
+  const std::vector<SaturationCell>& cells() const { return cells_; }
+
+  // max_sustainable_tps of the named cell; throws NotFoundError when the
+  // grid has no such cell.
+  double knee(const std::string& chain, const std::string& scenario,
+              const std::string& fault) const;
+
+  // One row per cell: chain, scenario, fault, max_sustainable_tps,
+  // achieved_at_knee, base_p99_ms, found_knee, probes.
+  CsvWriter to_csv() const;
+  json::Value to_json() const;
+  // Fixed-width table for the bench log.
+  std::string rendered() const;
+
+ private:
+  std::vector<SaturationCell> cells_;
+};
+
+}  // namespace hammer::report

@@ -24,7 +24,10 @@ class Dispatcher;
 
 // Version of the public method surface. Bump when a method's name, params
 // or result shape changes incompatibly.
-inline constexpr int kApiVersion = 1;
+//   v1: initial control/chain/telemetry surface.
+//   v2: control.set_rate (live fleet retargeting) + rate fields in
+//       control.report results.
+inline constexpr int kApiVersion = 2;
 
 // Namespace prefix of a method name ("chain.submit" -> "chain"); the whole
 // name when it carries no dot.

@@ -597,8 +597,26 @@ std::shared_ptr<fault::FaultInjector> TcpServer::fault_injector() const {
   return faults_;
 }
 
+void TcpServer::install_ingress_throttle(std::shared_ptr<fault::IngressThrottle> throttle) {
+  std::scoped_lock lock(faults_mu_);
+  throttle_ = std::move(throttle);
+}
+
+std::shared_ptr<fault::IngressThrottle> TcpServer::ingress_throttle() const {
+  std::scoped_lock lock(faults_mu_);
+  return throttle_;
+}
+
 void TcpServer::worker_loop() {
   while (auto work = work_queue_.pop()) {
+    // Admission gate: under an ingress throttle every request frame —
+    // whatever its codec — waits for a token before dispatch, like
+    // slow_loris blocking a worker thread (the event loop keeps draining
+    // sockets; only dispatch capacity collapses).
+    if (std::shared_ptr<fault::IngressThrottle> throttle = ingress_throttle()) {
+      if (stopping_.load()) continue;
+      throttle->admit();
+    }
     if (work->codec == wire::WireCodec::kBinary) {
       reply_binary(*work);
     } else {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/resource.hpp"
 #include "rpc/client_config.hpp"
 #include "rpc/jsonrpc.hpp"
 #include "rpc/wire/arena.hpp"
@@ -70,6 +71,11 @@ class TcpServer {
   // reply never leaves; kSlowLoris: the reply stalls slow_loris_us on a
   // worker thread). Install before clients generate traffic.
   void install_fault_injector(std::shared_ptr<fault::FaultInjector> faults);
+
+  // Ingress throttling (resource fault): workers block on the throttle's
+  // token bucket before dispatching each request, so this target's
+  // admission rate collapses to the throttle's rps. Null uninstalls.
+  void install_ingress_throttle(std::shared_ptr<fault::IngressThrottle> throttle);
 
  private:
   struct Connection {
@@ -110,10 +116,12 @@ class TcpServer {
   void reply_binary(const Work& work);
 
   std::shared_ptr<fault::FaultInjector> fault_injector() const;
+  std::shared_ptr<fault::IngressThrottle> ingress_throttle() const;
 
   std::shared_ptr<const Dispatcher> dispatcher_;
   mutable std::mutex faults_mu_;
   std::shared_ptr<fault::FaultInjector> faults_;
+  std::shared_ptr<fault::IngressThrottle> throttle_;  // guarded by faults_mu_
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;

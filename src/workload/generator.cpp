@@ -44,6 +44,10 @@ std::unique_ptr<Generator> make_generator(const WorkloadProfile& profile,
   if (profile.contract == "token") {
     return std::make_unique<TokenGenerator>(profile, std::move(accounts));
   }
+  if (profile.contract == "donothing" || profile.contract == "cpuheavy" ||
+      profile.contract == "ioheavy") {
+    return std::make_unique<MicroGenerator>(profile, std::move(accounts));
+  }
   throw ParseError("no generator for contract '" + profile.contract + "'");
 }
 
@@ -166,6 +170,50 @@ chain::Transaction TokenGenerator::next() {
     tx.op = "transfer";
     tx.sender = *from;
     tx.args = json::object({{"symbol", "HMR"}, {"from", *from}, {"to", *to}, {"amount", amount}});
+  }
+  return tx;
+}
+
+// ------------------------------------------------------------- micro set
+
+MicroGenerator::MicroGenerator(WorkloadProfile profile, std::vector<std::string> accounts)
+    : profile_(std::move(profile)),
+      picker_(profile_, std::move(accounts)),
+      rng_(profile_.seed) {
+  for (const auto& [op, weight] : profile_.effective_mix()) {
+    mix_total_ += weight;
+    cumulative_mix_.emplace_back(op, mix_total_);
+  }
+  HAMMER_CHECK_MSG(mix_total_ > 0, "op mix has zero total weight");
+}
+
+chain::Transaction MicroGenerator::next() {
+  double roll = rng_.uniform01() * mix_total_;
+  const std::string* op = &cumulative_mix_.back().first;
+  for (const auto& [name, cumulative] : cumulative_mix_) {
+    if (roll < cumulative) {
+      op = &name;
+      break;
+    }
+  }
+
+  chain::Transaction tx;
+  tx.contract = profile_.contract;
+  tx.op = *op;
+  tx.client_id = profile_.client_id;
+  tx.nonce = nonce_++;
+  const std::string& account = picker_.pick(rng_);
+  tx.sender = account;
+  if (profile_.contract == "donothing") {
+    tx.args = json::object({});
+  } else if (profile_.contract == "cpuheavy") {
+    // The per-tx sort seed is drawn (not the nonce) so shards decorrelate
+    // the same way every other generated field does.
+    tx.args = json::object({{"size", profile_.micro_size},
+                            {"seed", static_cast<std::int64_t>(
+                                         rng_.uniform(0, 0x7fffffff))}});
+  } else {  // ioheavy
+    tx.args = json::object({{"key", account}, {"count", profile_.micro_size}});
   }
   return tx;
 }

@@ -83,4 +83,22 @@ class TokenGenerator final : public Generator {
   std::uint64_t nonce_ = 0;
 };
 
+// One generator covers the whole BLOCKBENCH micro set (donothing /
+// cpuheavy / ioheavy): ops come from the profile's effective mix, work
+// sizes from profile.micro_size, and the accessed account (ioheavy key,
+// tx sender) from the configured distribution.
+class MicroGenerator final : public Generator {
+ public:
+  MicroGenerator(WorkloadProfile profile, std::vector<std::string> accounts);
+  chain::Transaction next() override;
+
+ private:
+  WorkloadProfile profile_;
+  AccountPicker picker_;
+  std::vector<std::pair<std::string, double>> cumulative_mix_;
+  double mix_total_ = 0.0;
+  util::Pcg32 rng_;
+  std::uint64_t nonce_ = 0;
+};
+
 }  // namespace hammer::workload

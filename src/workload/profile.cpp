@@ -28,6 +28,8 @@ WorkloadProfile WorkloadProfile::from_json(const json::Value& v) {
   p.amount_min = v.get_int("amount_min", p.amount_min);
   p.amount_max = v.get_int("amount_max", p.amount_max);
   if (p.amount_min > p.amount_max) throw ParseError("amount_min > amount_max");
+  p.micro_size = v.get_int("micro_size", p.micro_size);
+  if (p.micro_size <= 0) throw ParseError("micro_size must be positive");
   p.client_id = v.get_string("client_id", p.client_id);
   p.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(p.seed)));
   if (p.num_accounts == 0) throw ParseError("num_accounts must be positive");
@@ -47,6 +49,7 @@ json::Value WorkloadProfile::to_json() const {
   }
   obj["amount_min"] = amount_min;
   obj["amount_max"] = amount_max;
+  obj["micro_size"] = micro_size;
   obj["client_id"] = client_id;
   obj["seed"] = seed;
   return json::Value(std::move(obj));
@@ -67,6 +70,17 @@ std::map<std::string, double> WorkloadProfile::effective_mix() const {
   }
   if (contract == "token") {
     return {{"transfer", 9.0}, {"mint", 1.0}};
+  }
+  // BLOCKBENCH micro set defaults.
+  if (contract == "donothing") {
+    return {{"noop", 1.0}};
+  }
+  if (contract == "cpuheavy") {
+    return {{"sort", 1.0}};
+  }
+  if (contract == "ioheavy") {
+    // Write-leaning, like the original IOHeavy benchmark's write/scan split.
+    return {{"write", 2.0}, {"scan", 1.0}};
   }
   throw ParseError("no default op mix for contract '" + contract + "'");
 }

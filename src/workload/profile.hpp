@@ -28,6 +28,10 @@ struct WorkloadProfile {
   std::int64_t amount_min = 1;
   std::int64_t amount_max = 100;
 
+  // BLOCKBENCH micro set sizing: cpuheavy sorts micro_size elements per
+  // transaction, ioheavy writes/scans micro_size state keys.
+  std::int64_t micro_size = 64;
+
   std::string client_id = "client-0";
   std::uint64_t seed = 1;
 

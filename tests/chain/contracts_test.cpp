@@ -188,11 +188,76 @@ TEST_F(TokenContractTest, MintNonPositiveFails) {
   EXPECT_FALSE(run("mint", json::object({{"symbol", "HMR"}, {"to", "a"}, {"amount", 0}})).ok);
 }
 
-TEST(ContractRegistryTest, StandardHasAllThree) {
+// BLOCKBENCH-style micro set: donothing isolates consensus/ordering cost,
+// cpuheavy isolates execution CPU, ioheavy isolates state-store I/O.
+class MicroContractTest : public ::testing::Test {
+ protected:
+  MicroContractTest() : registry_(ContractRegistry::standard()) {}
+  ExecResult run(const std::string& contract, const std::string& op, json::Value args) {
+    TxContext ctx(state_);
+    ExecResult r = registry_->get(contract).execute(op, args, ctx);
+    if (r.ok) state_.apply(ctx.take_rw_set());
+    return r;
+  }
+  StateStore state_;
+  std::shared_ptr<const ContractRegistry> registry_;
+};
+
+TEST_F(MicroContractTest, DoNothingAcceptsAnythingAndWritesNothing) {
+  EXPECT_TRUE(run("donothing", "noop", json::object({})).ok);
+  EXPECT_TRUE(run("donothing", "whatever", json::object({{"x", 1}})).ok);
+  EXPECT_EQ(state_.key_count(), 0u);
+}
+
+TEST_F(MicroContractTest, CpuHeavyChecksumIsDeterministicPerArgs) {
+  ExecResult a = run("cpuheavy", "sort", json::object({{"size", 256}, {"seed", 5}}));
+  ExecResult b = run("cpuheavy", "sort", json::object({{"size", 256}, {"seed", 5}}));
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.return_value.as_int(), b.return_value.as_int());
+  ExecResult c = run("cpuheavy", "sort", json::object({{"size", 256}, {"seed", 6}}));
+  EXPECT_NE(a.return_value.as_int(), c.return_value.as_int());
+  // Pure compute: no state is touched.
+  EXPECT_EQ(state_.key_count(), 0u);
+}
+
+TEST_F(MicroContractTest, CpuHeavyRejectsBadSizeAndOp) {
+  EXPECT_FALSE(run("cpuheavy", "sort", json::object({{"size", 0}, {"seed", 1}})).ok);
+  EXPECT_FALSE(
+      run("cpuheavy", "sort", json::object({{"size", (1 << 20) + 1}, {"seed", 1}})).ok);
+  EXPECT_FALSE(run("cpuheavy", "hash", json::object({{"size", 8}, {"seed", 1}})).ok);
+}
+
+TEST_F(MicroContractTest, IoHeavyWriteThenScanSeesEveryKey) {
+  EXPECT_TRUE(run("ioheavy", "write", json::object({{"key", "a"}, {"count", 32}})).ok);
+  ExecResult scan = run("ioheavy", "scan", json::object({{"key", "a"}, {"count", 32}}));
+  ASSERT_TRUE(scan.ok);
+  EXPECT_EQ(scan.return_value.as_int(), 32);
+  // A disjoint key prefix sees none of them.
+  EXPECT_EQ(run("ioheavy", "scan", json::object({{"key", "b"}, {"count", 32}}))
+                .return_value.as_int(),
+            0);
+}
+
+TEST_F(MicroContractTest, IoHeavyMixedWritesAndScansInOneTx) {
+  ExecResult r = run("ioheavy", "mixed", json::object({{"key", "m"}, {"count", 16}}));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value.as_int(), 16);  // scan sees its own writes
+}
+
+TEST_F(MicroContractTest, IoHeavyRejectsBadCountAndOp) {
+  EXPECT_FALSE(run("ioheavy", "write", json::object({{"key", "k"}, {"count", 0}})).ok);
+  EXPECT_FALSE(run("ioheavy", "write", json::object({{"key", "k"}, {"count", 4097}})).ok);
+  EXPECT_FALSE(run("ioheavy", "erase", json::object({{"key", "k"}, {"count", 4}})).ok);
+}
+
+TEST(ContractRegistryTest, StandardHasAllSix) {
   auto r = ContractRegistry::standard();
   EXPECT_TRUE(r->has("smallbank"));
   EXPECT_TRUE(r->has("kv"));
   EXPECT_TRUE(r->has("token"));
+  EXPECT_TRUE(r->has("donothing"));
+  EXPECT_TRUE(r->has("cpuheavy"));
+  EXPECT_TRUE(r->has("ioheavy"));
   EXPECT_FALSE(r->has("nope"));
   EXPECT_THROW(r->get("nope"), hammer::NotFoundError);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/deployment.hpp"
 #include "core/worker_session.hpp"
 #include "rpc/api.hpp"
@@ -152,6 +155,76 @@ TEST(CoordinatorTest, TwoWorkerFleetMatchesTotalsAndTagsTargets) {
   FleetResult again = coordinator.run(plan);
   EXPECT_EQ(again.merged.submitted, 600u);
   coordinator.stop();
+}
+
+TEST(CoordinatorTest, SetRateBeforeDeployIsRejected) {
+  WorkerSession session;
+  rpc::TcpChannel control("127.0.0.1", session.port());
+  try {
+    control.call("control.set_rate", json::object({{"rate", 100.0}}));
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("no deployment"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CoordinatorTest, PacedFleetCarriesRatesIntoTheMergedReport) {
+  Deployment deployment = Deployment::deploy(small_sut_plan(), util::SteadyClock::shared());
+  DeployedChain& sut = deployment.at("ctest-sut");
+  WorkerSession w0;
+  WorkerSession w1;
+  Coordinator coordinator({{"127.0.0.1", w0.port()}, {"127.0.0.1", w1.port()}});
+  FleetPlan plan = make_fleet_plan(sut, 400);
+  // Each worker paces its 200-tx share at 400 tps: ~0.5 s per worker.
+  plan.driver.as_object()["target_rate"] = 400.0;
+  plan.driver.as_object()["rate_burst"] = 8.0;
+
+  FleetResult result = coordinator.run(plan);
+  coordinator.stop();
+  EXPECT_EQ(result.merged.submitted, 400u);
+  EXPECT_EQ(result.merged.unmatched, 0u);
+  // The fleet aggregate is the sum of the per-worker targets, and the
+  // offered rate survived the wire merge.
+  EXPECT_DOUBLE_EQ(result.merged.target_rate, 800.0);
+  EXPECT_GT(result.merged.offered_rate, 0.0);
+  EXPECT_DOUBLE_EQ(result.merged.achieved_rate, result.merged.tps);
+}
+
+TEST(CoordinatorTest, SetRateRetargetsARunningFleet) {
+  Deployment deployment = Deployment::deploy(small_sut_plan(), util::SteadyClock::shared());
+  DeployedChain& sut = deployment.at("ctest-sut");
+  WorkerSession w0;
+  WorkerSession w1;
+  Coordinator coordinator({{"127.0.0.1", w0.port()}, {"127.0.0.1", w1.port()}});
+  FleetPlan plan = make_fleet_plan(sut, 600);
+  // A crawl: 20 tps per worker would need ~15 s for each 300-tx share.
+  plan.driver.as_object()["target_rate"] = 20.0;
+
+  auto start = std::chrono::steady_clock::now();
+  FleetResult result;
+  std::thread runner([&] { result = coordinator.run(plan); });
+  // Retarget after the fleet has started. First a direct worker RPC (the
+  // ack carries the previous rate), then the coordinator fan-out, which
+  // splits the aggregate across both workers (channels are thread-safe, so
+  // this coexists with the run's own stats polling).
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  {
+    rpc::TcpChannel control("127.0.0.1", w0.port());
+    json::Value ack = control.call("control.set_rate", json::object({{"rate", 50.0}}));
+    EXPECT_DOUBLE_EQ(ack.at("rate").as_double(), 50.0);
+    EXPECT_DOUBLE_EQ(ack.at("previous").as_double(), 20.0);
+  }
+  EXPECT_DOUBLE_EQ(coordinator.set_rate(200000.0), 100000.0);
+  runner.join();
+  coordinator.stop();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(result.merged.submitted, 600u);
+  EXPECT_EQ(result.merged.unmatched, 0u);
+  // ~12 paced sends leave in the slow prefix; the rest fly after the
+  // retarget. Far under the ~15 s the original rate would have needed.
+  EXPECT_LT(elapsed, std::chrono::seconds(12));
+  EXPECT_DOUBLE_EQ(result.merged.target_rate, 200000.0);
 }
 
 }  // namespace

@@ -119,5 +119,41 @@ TEST(SummarizeTest, JsonAndSummaryRender) {
   EXPECT_NE(result.summary().find("committed=1"), std::string::npos);
 }
 
+TEST(RunResultRateTest, RateFieldsSurviveTheWireRoundTrip) {
+  std::vector<TxRecord> records = {record("a", 0, 500000), record("b", 0, 900000)};
+  RunResult result = summarize(records);
+  result.target_rate = 500.0;
+  result.offered_rate = 488.5;
+  result.achieved_rate = result.tps;
+  RunResult back = RunResult::from_wire_json(result.to_wire_json());
+  EXPECT_DOUBLE_EQ(back.target_rate, 500.0);
+  EXPECT_DOUBLE_EQ(back.offered_rate, 488.5);
+  EXPECT_DOUBLE_EQ(back.achieved_rate, result.tps);
+  // Display JSON carries them too (the capacity-planning surface).
+  json::Value v = result.to_json();
+  EXPECT_DOUBLE_EQ(v.at("target_rate").as_double(), 500.0);
+  EXPECT_DOUBLE_EQ(v.at("offered_rate").as_double(), 488.5);
+}
+
+TEST(RunResultRateTest, MergeSumsTargetsAndRecomputesAchieved) {
+  // Two workers each paced at 300 tps over the same 2-second envelope: the
+  // fleet's aggregate target/offered are the sums, and achieved_rate is the
+  // merged committed-per-second (not a sum of per-worker rates).
+  std::vector<TxRecord> part1_records = {record("a", 0, 1000000), record("b", 0, 2000000)};
+  std::vector<TxRecord> part2_records = {record("c", 0, 1500000), record("d", 0, 2000000)};
+  RunResult part1 = summarize(part1_records);
+  RunResult part2 = summarize(part2_records);
+  part1.target_rate = 300.0;
+  part1.offered_rate = 295.0;
+  part2.target_rate = 300.0;
+  part2.offered_rate = 290.0;
+  std::vector<RunResult> parts = {part1, part2};
+  RunResult merged = merge_run_results(parts);
+  EXPECT_DOUBLE_EQ(merged.target_rate, 600.0);
+  EXPECT_DOUBLE_EQ(merged.offered_rate, 585.0);
+  EXPECT_DOUBLE_EQ(merged.achieved_rate, merged.tps);
+  EXPECT_DOUBLE_EQ(merged.tps, 2.0);  // 4 commits over the 2s envelope
+}
+
 }  // namespace
 }  // namespace hammer::core

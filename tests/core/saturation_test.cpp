@@ -1,0 +1,197 @@
+// SaturationSearch unit tests against synthetic probe functions: each test
+// models a SUT shape (hard ceiling, latency knee, starved driver) in plain
+// code so the knee logic is exercised without a deployment.
+#include "core/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace hammer::core {
+namespace {
+
+// A probe result for an ideal run: offered exactly what was asked, achieved
+// `achieved`, every commit at `latency_us`.
+RunResult synthetic_run(double offered, double achieved, std::int64_t latency_us) {
+  RunResult run;
+  run.offered_rate = offered;
+  run.achieved_rate = achieved;
+  run.tps = achieved;
+  for (int i = 0; i < 100; ++i) run.latency.record(latency_us);
+  return run;
+}
+
+TEST(SaturationSearchTest, FindsThroughputCeilingOnTheGrid) {
+  // SUT with a hard 1000-tps ceiling and flat latency: probes 100, 200, 400,
+  // 800 sustain; 1600 achieves 1000 < 0.9 * 1600 -> knee at the 800 grid
+  // point.
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.max_rate = 100000.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, std::min(rate, 1000.0), 5000);
+  });
+  EXPECT_TRUE(result.found_knee);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 800.0);
+  EXPECT_DOUBLE_EQ(result.achieved_at_knee, 1000.0);
+  EXPECT_EQ(result.probes.size(), 5u);
+  EXPECT_FALSE(result.probes[3].saturated);
+  EXPECT_TRUE(result.probes[4].saturated);
+}
+
+TEST(SaturationSearchTest, FindsLatencyKneeBeforeThroughputDrops) {
+  // Queueing blow-up: above 500 tps the p99 jumps 10x while throughput still
+  // keeps pace — the latency criterion must fire first.
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.knee_factor = 5.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, rate, rate > 500.0 ? 50000 : 5000);
+  });
+  EXPECT_TRUE(result.found_knee);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 400.0);
+  EXPECT_GT(result.base_p99_ms, 0.0);
+}
+
+TEST(SaturationSearchTest, StarvedDriverCountsAsSaturation) {
+  // The driving side itself cannot offer past 600 tps (cpu_burn shape):
+  // offered plateaus below target, achieved tracks offered perfectly.
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    double offered = std::min(rate, 600.0);
+    return synthetic_run(offered, offered, 5000);
+  });
+  EXPECT_TRUE(result.found_knee);
+  // 800 offered only 600 < 0.9 * 800 -> knee at the 400 grid point.
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 400.0);
+}
+
+TEST(SaturationSearchTest, SaturatedBaseProbeReportsZeroSustainable) {
+  SaturationOptions options;
+  options.start_rate = 1000.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, rate * 0.5, 5000);  // never sustains
+  });
+  EXPECT_TRUE(result.found_knee);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 0.0);
+  EXPECT_EQ(result.probes.size(), 1u);
+}
+
+TEST(SaturationSearchTest, UnsaturatedRampStopsAtMaxRate) {
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.max_rate = 800.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, rate, 5000);  // infinite SUT
+  });
+  EXPECT_FALSE(result.found_knee);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 800.0);
+  EXPECT_DOUBLE_EQ(result.achieved_at_knee, 0.0);
+}
+
+TEST(SaturationSearchTest, BisectionSharpensTheBracket) {
+  // Ceiling at 1000: grid knee is 800 (bracket [800, 1600]); three bisection
+  // steps probe 1200 (bad), 1000 (good), 1100 (bad) -> 1000 exactly.
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.sustain_fraction = 0.95;  // tight floor so 1100 reads as saturated
+  options.bisect_steps = 3;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, std::min(rate, 1000.0), 5000);
+  });
+  EXPECT_TRUE(result.found_knee);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_tps, 1000.0);
+  EXPECT_EQ(result.probes.size(), 8u);  // 5 grid + 3 bisection
+}
+
+TEST(SaturationSearchTest, ProbeSeedsDeriveFromTheMasterSeed) {
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.seed = 77;
+  SaturationSearch search(options);
+  std::vector<std::uint64_t> seeds;
+  search.run([&](double rate, std::uint64_t seed) {
+    seeds.push_back(seed);
+    return synthetic_run(rate, std::min(rate, 300.0), 5000);
+  });
+  ASSERT_GE(seeds.size(), 2u);
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    EXPECT_EQ(seeds[k], util::derive_seed(77, k)) << "probe " << k;
+  }
+}
+
+TEST(SaturationSearchTest, DeliverFloorCatchesAProportionalCollapse) {
+  // Contention shape: past 100 tps, offered and achieved shrink TOGETHER
+  // (the driver is starved along with the SUT), so achieved/offered stays a
+  // healthy 0.94 and offered/target never crosses a loose 0.5 floor. Only
+  // the absolute deliver floor (achieved vs target) sees the collapse.
+  auto contended = [](double rate, std::uint64_t) {
+    double offered = rate <= 100.0 ? rate : 100.0 + 0.6 * (rate - 100.0);
+    return synthetic_run(offered, 0.94 * offered, 5000);
+  };
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  options.growth = 2.0;
+  options.max_rate = 400.0;
+  options.sustain_fraction = 0.5;
+
+  SaturationSearch relative_only(options);
+  SaturationResult blind = relative_only.run(contended);
+  EXPECT_FALSE(blind.found_knee);  // both relative criteria stay green
+  EXPECT_DOUBLE_EQ(blind.max_sustainable_tps, 400.0);
+
+  options.deliver_fraction = 0.7;
+  SaturationSearch with_floor(options);
+  SaturationResult seen = with_floor.run(contended);
+  // 200 tps delivers 0.94 * 160 = 150.4 >= 140; 400 tps delivers
+  // 0.94 * 280 = 263.2 < 280 -> saturated by the floor alone.
+  EXPECT_TRUE(seen.found_knee);
+  EXPECT_DOUBLE_EQ(seen.max_sustainable_tps, 200.0);
+}
+
+TEST(SaturationSearchTest, RejectsInvalidOptions) {
+  auto with = [](auto mutate) {
+    SaturationOptions options;
+    mutate(options);
+    return options;
+  };
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.start_rate = 0.0; })), LogicError);
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.growth = 1.0; })), LogicError);
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.max_rate = 1.0; })), LogicError);
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.knee_factor = 1.0; })), LogicError);
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.sustain_fraction = 1.0; })), LogicError);
+  EXPECT_THROW(SaturationSearch(with([](auto& o) { o.deliver_fraction = 1.0; })), LogicError);
+}
+
+TEST(SaturationSearchTest, ResultJsonCarriesTheProbeTrail) {
+  SaturationOptions options;
+  options.start_rate = 100.0;
+  SaturationSearch search(options);
+  SaturationResult result = search.run([](double rate, std::uint64_t) {
+    return synthetic_run(rate, std::min(rate, 150.0), 5000);
+  });
+  json::Value v = result.to_json();
+  EXPECT_TRUE(v.at("found_knee").as_bool());
+  EXPECT_EQ(v.at("probes").as_array().size(), result.probes.size());
+  EXPECT_DOUBLE_EQ(v.at("max_sustainable_tps").as_double(), result.max_sustainable_tps);
+}
+
+}  // namespace
+}  // namespace hammer::core

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/resource.hpp"
 #include "util/errors.hpp"
 
 namespace hammer::fault {
@@ -46,6 +47,52 @@ TEST(FaultPlanTest, JsonRoundTrip) {
 TEST(FaultPlanTest, FromJsonRejectsOutOfRangeProbability) {
   EXPECT_THROW(FaultPlan::from_json(json::object({{"conn_reset_p", 1.5}})), Error);
   EXPECT_THROW(FaultPlan::from_json(json::object({{"submit_reject_p", -0.1}})), Error);
+}
+
+TEST(FaultPlanTest, SchedDelayAndResourceFieldsRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.sched_delay_p = 0.4;
+  plan.sched_delay_us = 3500;
+  plan.cpu_burn_threads = 6;
+  plan.cpu_burn_duty = 0.75;
+  plan.mem_ballast_mb = 32;
+  plan.ingress_rps = 1500.0;
+  plan.ingress_burst = 128.0;
+  FaultPlan back = FaultPlan::from_json(plan.to_json());
+  EXPECT_DOUBLE_EQ(back.sched_delay_p, 0.4);
+  EXPECT_EQ(back.sched_delay_us, 3500);
+  EXPECT_EQ(back.cpu_burn_threads, 6u);
+  EXPECT_DOUBLE_EQ(back.cpu_burn_duty, 0.75);
+  EXPECT_EQ(back.mem_ballast_mb, 32u);
+  EXPECT_DOUBLE_EQ(back.ingress_rps, 1500.0);
+  EXPECT_DOUBLE_EQ(back.ingress_burst, 128.0);
+  EXPECT_EQ(back.probability(FaultKind::kSchedDelay), 0.4);
+}
+
+TEST(FaultPlanTest, HasResourceFaultsSeparatesContentionFromInjection) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.has_resource_faults());
+  plan.sched_delay_p = 0.5;  // probabilistic injection, not contention
+  EXPECT_FALSE(plan.has_resource_faults());
+  EXPECT_TRUE(plan.enabled());
+
+  FaultPlan burn;
+  burn.cpu_burn_threads = 2;
+  EXPECT_TRUE(burn.has_resource_faults());
+  FaultPlan ballast;
+  ballast.mem_ballast_mb = 16;
+  EXPECT_TRUE(ballast.has_resource_faults());
+  FaultPlan throttle;
+  throttle.ingress_rps = 100.0;
+  EXPECT_TRUE(throttle.has_resource_faults());
+}
+
+TEST(FaultPlanTest, ResourceFieldValidation) {
+  EXPECT_THROW(FaultPlan::from_json(json::object({{"cpu_burn_duty", 1.5}})), Error);
+  EXPECT_THROW(FaultPlan::from_json(json::object({{"cpu_burn_duty", -0.1}})), Error);
+  EXPECT_THROW(FaultPlan::from_json(json::object({{"ingress_rps", -1.0}})), Error);
+  EXPECT_THROW(FaultPlan::from_json(json::object({{"sched_delay_p", 2.0}})), Error);
 }
 
 TEST(FaultPlanTest, PartialJsonKeepsDefaults) {
@@ -162,6 +209,33 @@ TEST(FaultInjectorTest, ConcurrentDrawsPreserveInjectionTotal) {
   EXPECT_GT(first, 0u);
   FaultInjector probe(storm_plan(5));
   EXPECT_EQ(probe.drawn(FaultKind::kConnReset), 0u);
+}
+
+TEST(ResourceFaultsTest, StartsAndStopsContentionIdempotently) {
+  FaultPlan plan;
+  plan.cpu_burn_threads = 2;
+  plan.cpu_burn_duty = 0.1;  // mostly sleeping: cheap enough for a unit test
+  plan.mem_ballast_mb = 1;
+  ResourceFaults faults(plan);
+  EXPECT_EQ(faults.burn_threads(), 2u);
+  EXPECT_EQ(faults.ballast_bytes(), 1u << 20);
+  faults.stop();
+  faults.stop();  // second stop is a no-op
+  EXPECT_EQ(faults.burn_threads(), 0u);
+  EXPECT_EQ(faults.ballast_bytes(), 0u);
+}
+
+TEST(IngressThrottleTest, AdmitsBurstThenPaces) {
+  auto clock = util::SteadyClock::shared();
+  IngressThrottle throttle(1000.0, 8.0, clock);
+  EXPECT_DOUBLE_EQ(throttle.rps(), 1000.0);
+  // The first burst-full admits immediately...
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(throttle.admit(), 0);
+  // ...then the bucket is empty and admission must wait ~1ms per request.
+  std::int64_t waited_us = 0;
+  for (int i = 0; i < 8; ++i) waited_us += throttle.admit();
+  EXPECT_GT(waited_us, 0);
+  EXPECT_GT(throttle.throttled(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "util/errors.hpp"
 
@@ -116,10 +118,69 @@ TEST(ZipfSamplerTest, SamplesStayInRange) {
   for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 50u);
 }
 
+TEST(ZipfSamplerTest, FrequenciesDecreaseWithRankAtLiteratureTheta) {
+  // At theta = 0.9 (the YCSB/paper setting) the empirical frequency must be
+  // monotonically non-increasing in rank across the head of the keyspace —
+  // the property workload skew claims actually rest on.
+  Pcg32 rng(31);
+  ZipfSampler zipf(100, 0.9);
+  std::vector<int> counts(100, 0);
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t rank = 1; rank < 16; ++rank) {
+    // Allow a small sampling-noise slack; the head gaps are large enough
+    // (power law) that a real ordering violation still trips this.
+    EXPECT_GE(counts[rank - 1] + kN / 1000, counts[rank])
+        << "rank " << rank - 1 << " vs " << rank;
+  }
+  // And the head must dominate the tail outright.
+  EXPECT_GT(counts[0], 4 * counts[50]);
+}
+
+TEST(ZipfSamplerTest, FixedSeedReplaysTheExactSampleStream) {
+  ZipfSampler zipf(1000, 0.9);
+  Pcg32 a(47);
+  Pcg32 b(47);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b)) << "draw " << i;
+  }
+}
+
 TEST(ZipfSamplerTest, RejectsInvalidParameters) {
   EXPECT_THROW(ZipfSampler(0, 0.5), LogicError);
   EXPECT_THROW(ZipfSampler(10, 1.0), LogicError);
   EXPECT_THROW(ZipfSampler(10, -0.1), LogicError);
+}
+
+TEST(DeriveSeedTest, PureFunctionOfMasterAndIndex) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+TEST(DeriveSeedTest, SiblingSeedsDriveDecorrelatedStreams) {
+  // The distributed-run contract: worker k's stream (seeded by
+  // derive_seed(master, k)) must not track worker k+1's. Compare the
+  // bit-level agreement of the two generators — independent streams agree
+  // on ~50% of bits, correlated ones on far more.
+  Pcg32 a(derive_seed(1234, 0));
+  Pcg32 b(derive_seed(1234, 1));
+  int agreeing_bits = 0;
+  constexpr int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint32_t same = ~(a.next_u32() ^ b.next_u32());
+    for (int bit = 0; bit < 32; ++bit) agreeing_bits += (same >> bit) & 1;
+  }
+  double agreement = static_cast<double>(agreeing_bits) / (32.0 * kDraws);
+  EXPECT_NEAR(agreement, 0.5, 0.02);
+}
+
+TEST(DeriveSeedTest, ChildrenOfOneMasterAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(derive_seed(9, i)).second) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -149,6 +149,61 @@ TEST(TokenGeneratorTest, TransfersDominateAndMintsBySender) {
   EXPECT_NEAR(mints, kN / 10, kN / 20);
 }
 
+TEST(MicroGeneratorTest, DoNothingEmitsBareNoops) {
+  WorkloadProfile p;
+  p.contract = "donothing";
+  MicroGenerator gen(p, accounts(5));
+  for (int i = 0; i < 100; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.contract, "donothing");
+    EXPECT_EQ(tx.op, "noop");
+  }
+}
+
+TEST(MicroGeneratorTest, CpuHeavyCarriesProfileSizeAndSeededWorkSeed) {
+  WorkloadProfile p;
+  p.contract = "cpuheavy";
+  p.micro_size = 128;
+  MicroGenerator gen(p, accounts(5));
+  for (int i = 0; i < 50; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.op, "sort");
+    EXPECT_EQ(tx.args.at("size").as_int(), 128);
+    EXPECT_GE(tx.args.at("seed").as_int(), 0);
+  }
+}
+
+TEST(MicroGeneratorTest, IoHeavyMixesWritesAndScansTwoToOne) {
+  WorkloadProfile p;
+  p.contract = "ioheavy";
+  p.micro_size = 8;
+  MicroGenerator gen(p, accounts(5));
+  int writes = 0;
+  constexpr int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    chain::Transaction tx = gen.next();
+    EXPECT_EQ(tx.args.at("count").as_int(), 8);
+    EXPECT_FALSE(tx.args.at("key").as_string().empty());
+    if (tx.op == "write") {
+      ++writes;
+    } else {
+      EXPECT_EQ(tx.op, "scan");
+    }
+  }
+  EXPECT_NEAR(writes, 2 * kN / 3, kN / 10);
+}
+
+TEST(MicroGeneratorTest, DeterministicPerSeed) {
+  WorkloadProfile p;
+  p.contract = "cpuheavy";
+  p.seed = 3;
+  MicroGenerator a(p, accounts(5));
+  MicroGenerator b(p, accounts(5));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next().compute_id(), b.next().compute_id());
+  }
+}
+
 TEST(MakeGeneratorTest, DispatchesByContract) {
   WorkloadProfile p;
   EXPECT_NE(make_generator(p, accounts(2)), nullptr);
@@ -156,6 +211,10 @@ TEST(MakeGeneratorTest, DispatchesByContract) {
   EXPECT_NE(make_generator(p, accounts(2)), nullptr);
   p.contract = "token";
   EXPECT_NE(make_generator(p, accounts(2)), nullptr);
+  for (const char* micro : {"donothing", "cpuheavy", "ioheavy"}) {
+    p.contract = micro;
+    EXPECT_NE(make_generator(p, accounts(2)), nullptr) << micro;
+  }
   p.contract = "bogus";
   EXPECT_THROW(make_generator(p, accounts(2)), ParseError);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "util/errors.hpp"
 
 namespace hammer::workload {
@@ -78,6 +80,30 @@ TEST(ProfileTest, UnknownContractHasNoDefaultMix) {
   WorkloadProfile p;
   p.contract = "mystery";
   EXPECT_THROW(p.effective_mix(), ParseError);
+}
+
+TEST(ProfileTest, MicroContractsHaveDefaultMixes) {
+  WorkloadProfile p;
+  p.contract = "donothing";
+  EXPECT_EQ(p.effective_mix(), (std::map<std::string, double>{{"noop", 1.0}}));
+  p.contract = "cpuheavy";
+  EXPECT_EQ(p.effective_mix(), (std::map<std::string, double>{{"sort", 1.0}}));
+  p.contract = "ioheavy";
+  auto mix = p.effective_mix();
+  EXPECT_EQ(mix.size(), 2u);
+  EXPECT_DOUBLE_EQ(mix.at("write"), 2.0);
+  EXPECT_DOUBLE_EQ(mix.at("scan"), 1.0);
+}
+
+TEST(ProfileTest, MicroSizeRoundTripsAndValidates) {
+  WorkloadProfile p;
+  EXPECT_EQ(p.micro_size, 64);  // default
+  p.contract = "cpuheavy";
+  p.micro_size = 512;
+  WorkloadProfile back = WorkloadProfile::from_json(p.to_json());
+  EXPECT_EQ(back.micro_size, 512);
+  EXPECT_THROW(WorkloadProfile::from_json(json::object({{"micro_size", 0}})), ParseError);
+  EXPECT_THROW(WorkloadProfile::from_json(json::object({{"micro_size", -4}})), ParseError);
 }
 
 }  // namespace
