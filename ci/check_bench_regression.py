@@ -2,13 +2,23 @@
 """Compare fresh bench CSVs against the checked-in baseline.
 
 Each baseline check names a CSV in the results directory, a row (matched by
-the `where` column values) and a metric column, and pins an expected value
-with a relative tolerance (default +/-25%). A check may instead pin a `min`:
-a one-sided floor the fresh value must meet or beat (for ratios that are a
-stated requirement, not just a regression guard — e.g. the binary codec's
-per-core speedup). Benchmarks on shared CI runners are noisy, so a miss is
-reported but NON-FATAL by default; pass --strict to turn misses into a
-non-zero exit (for local perf work).
+the `where` column values) and a metric column, and pins either:
+
+  - an `expected` value with a relative tolerance (default +/-25%): a
+    regression band around a noisy mean. Shared CI runners are too noisy to
+    gate on these, so a miss is reported but non-fatal.
+  - a `min`: a one-sided floor the fresh value must meet or beat — a stated
+    requirement (the binary codec's speedup, the fleet's scaling factor,
+    fabric's nonzero MVCC conflicts), not a statistical band. Floor
+    violations are FATAL, and so is a missing CSV/row for a floor check
+    (a floor that silently stopped being measured is not a pass).
+
+Exit codes (ci/run_ci.sh gates on them):
+  0  every check passed
+  1  drift-only: some `expected` check(s) outside tolerance, all floors held
+  2  fatal: a `min` floor was violated or could not be evaluated
+
+--strict promotes drift to the fatal exit (for local perf work).
 
 Usage: check_bench_regression.py [--results-dir DIR] [--baseline FILE] [--strict]
 """
@@ -18,6 +28,10 @@ import csv
 import json
 import os
 import sys
+
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_FATAL = 2
 
 
 def load_rows(path):
@@ -33,32 +47,43 @@ def find_row(rows, where):
 
 
 def run_checks(results_dir, baseline):
+    """Returns (drift_misses, floor_violations)."""
     tolerance = float(baseline.get("tolerance", 0.25))
-    misses = 0
+    drift = 0
+    fatal = 0
     for check in baseline["checks"]:
         label = "{}[{}].{}".format(
             check["csv"],
             ",".join(f"{k}={v}" for k, v in check["where"].items()),
             check["metric"],
         )
+        is_floor = "min" in check
         path = os.path.join(results_dir, check["csv"])
         if not os.path.exists(path):
-            print(f"WARN  {label}: {path} missing (bench not run?)")
-            misses += 1
+            if is_floor:
+                print(f"FAIL  {label}: {path} missing (floor check cannot pass unmeasured)")
+                fatal += 1
+            else:
+                print(f"WARN  {label}: {path} missing (bench not run?)")
+                drift += 1
             continue
         row = find_row(load_rows(path), check["where"])
         if row is None:
-            print(f"WARN  {label}: no matching row")
-            misses += 1
+            if is_floor:
+                print(f"FAIL  {label}: no matching row (floor check cannot pass unmeasured)")
+                fatal += 1
+            else:
+                print(f"WARN  {label}: no matching row")
+                drift += 1
             continue
         fresh = float(row[check["metric"]])
-        if "min" in check:
+        if is_floor:
             floor = float(check["min"])
             ok = fresh >= floor
             detail = f"fresh={fresh:g} floor {floor:g} (one-sided)"
-            print(f"{'ok   ' if ok else 'WARN '} {label}: {detail}")
+            print(f"{'ok   ' if ok else 'FAIL '} {label}: {detail}")
             if not ok:
-                misses += 1
+                fatal += 1
             continue
         expected = float(check["expected"])
         if check.get("exact"):
@@ -73,8 +98,8 @@ def run_checks(results_dir, baseline):
             detail = f"fresh={fresh:g} expected {expected:g} ({rel:+.1%}, tol ±{tolerance:.0%})"
         print(f"{'ok   ' if ok else 'WARN '} {label}: {detail}")
         if not ok:
-            misses += 1
-    return misses
+            drift += 1
+    return drift, fatal
 
 
 def main():
@@ -83,17 +108,20 @@ def main():
     parser.add_argument(
         "--baseline", default=os.path.join(os.path.dirname(__file__), "bench_baseline.json")
     )
-    parser.add_argument("--strict", action="store_true", help="exit non-zero on any miss")
+    parser.add_argument("--strict", action="store_true", help="treat drift misses as fatal")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    misses = run_checks(args.results_dir, baseline)
-    if misses:
-        print(f"{misses} check(s) outside tolerance", file=sys.stderr)
-        return 1 if args.strict else 0
+    drift, fatal = run_checks(args.results_dir, baseline)
+    if fatal:
+        print(f"{fatal} floor violation(s)", file=sys.stderr)
+        return EXIT_FATAL
+    if drift:
+        print(f"{drift} check(s) outside tolerance", file=sys.stderr)
+        return EXIT_FATAL if args.strict else EXIT_DRIFT
     print("all bench checks within tolerance")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

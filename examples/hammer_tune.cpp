@@ -1,0 +1,171 @@
+// hammer-tune: self-tuning deployment plans (DESIGN.md §15).
+//
+// Declares a knob grid over the chain spec and the driver options, then
+// searches it for the plan with the highest TPS whose p99 stays under the
+// latency SLO. The default spec tunes the demo meepo SUT's block interval,
+// batching and worker count with successive halving; pass --spec for your
+// own document:
+//
+//   {
+//     "chain":    { "kind": "meepo", "num_shards": 2, ... },
+//     "workload": { "contract": "smallbank", "seed": 1, ... },
+//     "tune": {
+//       "strategy": "halving",          // or "random"
+//       "width": 8, "eta": 2, "max_rungs": 3,
+//       "seed": 42, "base_txs": 400, "slo_p99_ms": 250,
+//       "knobs": {
+//         "chain.max_block_txs":       {"values": [128, 512]},
+//         "driver.worker_threads":     {"values": [1, 2, 4]},
+//         "driver.submit_batch_size":  {"range": [1, 64], "steps": 4, "scale": "log"}
+//       }
+//     }
+//   }
+//
+// Knobs are validated against the deployment's own spec-key surface — a
+// knob the deployment would reject fails the parse by name, before any
+// trial runs. Trial k runs at seed derive_seed(master, k), so one master
+// seed replays the whole search.
+//
+// Flags:
+//   --spec <file>       tune document (default: built-in demo spec)
+//   --emit-plan <file>  write the winning deployment plan JSON here
+//   --trials-csv <file> full trials record (default bench_results/tune_trials.csv)
+//   --canonical-csv <f> deterministic projection (decision record, no wall-clock)
+//   --fleet N           evaluate trials on N spawned worker processes
+//   --worker-bin <path> worker binary for --fleet (default: hammer_worker
+//                       beside this binary)
+//   --seed S            override the master seed
+//
+// Build & run:  cmake --build build && ./build/examples/hammer_tune
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "report/tune_report.hpp"
+#include "tune/search.hpp"
+#include "util/errors.hpp"
+
+using namespace hammer;
+
+namespace {
+
+const char* kDefaultSpec = R"({
+  "chain": {
+    "kind": "meepo", "name": "tune-sut",
+    "num_shards": 2,
+    "block_interval_ms": 20,
+    "smallbank_accounts_per_shard": 500
+  },
+  "workload": {"contract": "smallbank", "seed": 1},
+  "tune": {
+    "strategy": "halving",
+    "width": 6, "eta": 2, "max_rungs": 3,
+    "seed": 42, "base_txs": 300, "slo_p99_ms": 500,
+    "knobs": {
+      "chain.max_block_txs":      {"values": [128, 1024]},
+      "driver.worker_threads":    {"values": [1, 2, 4]},
+      "driver.submit_batch_size": {"values": [1, 8]}
+    }
+  }
+})";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw hammer::Error("cannot read tune spec '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string sibling_binary(const char* argv0, const std::string& name) {
+  std::string self(argv0);
+  std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return name;
+  return self.substr(0, slash + 1) + name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, emit_plan, canonical_csv;
+  std::string trials_csv = "bench_results/tune_trials.csv";
+  std::string worker_bin = sibling_binary(argv[0], "hammer_worker");
+  std::size_t fleet = 0;
+  std::int64_t seed_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit-plan") == 0 && i + 1 < argc) {
+      emit_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--trials-csv") == 0 && i + 1 < argc) {
+      trials_csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--canonical-csv") == 0 && i + 1 < argc) {
+      canonical_csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--worker-bin") == 0 && i + 1 < argc) {
+      worker_bin = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed_override = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  json::Value doc =
+      json::Value::parse(spec_path.empty() ? std::string(kDefaultSpec) : read_file(spec_path));
+  const json::Value& tune_obj = doc.at("tune");
+
+  double slo_p99_ms = 1e9;
+  tune::SearchOptions options = tune::SearchOptions::from_json(tune_obj, &slo_p99_ms);
+  if (seed_override >= 0) options.seed = static_cast<std::uint64_t>(seed_override);
+  tune::ParamSpace space = tune::ParamSpace::from_json(tune_obj.at("knobs"));
+
+  tune::TrialConfig config;
+  config.base_chain = doc.at("chain");
+  config.profile = workload::WorkloadProfile::from_json(doc.at("workload"));
+  config.slo_p99_ms = slo_p99_ms;
+
+  std::printf("tuning %zu-knob space (%zu plans) with %s search, master seed %llu%s\n",
+              space.axes().size(), space.size(), tune::strategy_name(options.strategy).c_str(),
+              static_cast<unsigned long long>(options.seed),
+              fleet > 0 ? (", fleet of " + std::to_string(fleet) + " workers").c_str() : "");
+
+  std::unique_ptr<tune::TrialRunner> runner;
+  if (fleet > 0) {
+    runner = std::make_unique<tune::FleetTrialRunner>(config, worker_bin, fleet);
+  } else {
+    runner = std::make_unique<tune::LocalTrialRunner>(config);
+  }
+  tune::Search search(options);
+  tune::TuneResult result = search.run(*runner, space);
+
+  report::TuneReport report(options, result, slo_p99_ms);
+  std::printf("\n%s\n", report.rendered().c_str());
+
+  if (trials_csv.find('/') != std::string::npos) {
+    std::filesystem::create_directories(
+        std::filesystem::path(trials_csv).parent_path());
+  }
+  report.to_csv().save(trials_csv);
+  std::printf("trials written to %s\n", trials_csv.c_str());
+  if (!canonical_csv.empty()) {
+    report.canonical_csv().save(canonical_csv);
+    std::printf("canonical projection written to %s\n", canonical_csv.c_str());
+  }
+
+  json::Value best_plan = tune::plan_json(config.base_chain, result.best.assignment);
+  if (!emit_plan.empty()) {
+    std::ofstream out(emit_plan);
+    out << best_plan.dump(2) << "\n";
+    std::printf("best plan written to %s\n", emit_plan.c_str());
+  } else {
+    std::printf("best plan:\n%s\n", best_plan.dump(2).c_str());
+  }
+  return result.best.feasible ? 0 : 1;
+}

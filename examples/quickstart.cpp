@@ -38,6 +38,12 @@
 // printing max sustainable TPS and the probe trail — the capacity-planning
 // answer for the demo SUT. Combine with --faults to watch the knee drop.
 //
+// With --tune, the demo instead searches a small deployment knob grid
+// (block interval x driver batching) with hammer-tune and prints the
+// trials table plus the winning plan — the self-tuning answer to "how
+// should I configure this SUT?". See examples/hammer_tune for the full
+// tool (custom specs, SLOs, fleet-parallel trials).
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <atomic>
 #include <cstdio>
@@ -52,6 +58,7 @@
 #include "core/saturation.hpp"
 #include "report/resource_monitor.hpp"
 #include "report/run_report.hpp"
+#include "report/tune_report.hpp"
 #include "telemetry/endpoint.hpp"
 
 using namespace hammer;
@@ -64,6 +71,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   double paced_rate = 0.0;
   bool saturate = false;
+  bool tune_demo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       endpoint = std::make_unique<telemetry::TelemetryEndpoint>(
@@ -84,7 +92,44 @@ int main(int argc, char** argv) {
       paced_rate = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--saturate") == 0) {
       saturate = true;
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      tune_demo = true;
     }
+  }
+
+  // --tune: search a small knob grid for the best demo-SUT plan. Runs
+  // before the main deployment — each trial deploys its own candidate SUT.
+  if (tune_demo) {
+    json::Value doc = json::Value::parse(R"({
+      "chain": {
+        "kind": "neuchain", "name": "demo-chain",
+        "block_interval_ms": 50,
+        "smallbank_accounts_per_shard": 1000
+      },
+      "workload": {"contract": "smallbank", "seed": 1},
+      "tune": {
+        "strategy": "halving", "width": 4, "eta": 2, "max_rungs": 2,
+        "seed": 42, "base_txs": 400, "slo_p99_ms": 400,
+        "knobs": {
+          "chain.block_interval_ms":  {"values": [20, 80]},
+          "driver.worker_threads":    {"values": [1, 4]}
+        }
+      }
+    })");
+    double slo_p99_ms = 0.0;
+    tune::SearchOptions search_options =
+        tune::SearchOptions::from_json(doc.at("tune"), &slo_p99_ms);
+    tune::ParamSpace space = tune::ParamSpace::from_json(doc.at("tune").at("knobs"));
+    tune::TrialConfig config;
+    config.base_chain = doc.at("chain");
+    config.profile = workload::WorkloadProfile::from_json(doc.at("workload"));
+    config.slo_p99_ms = slo_p99_ms;
+    tune::LocalTrialRunner runner(config);
+    tune::TuneResult tuned = tune::Search(search_options).run(runner, space);
+    report::TuneReport tune_report(search_options, tuned, slo_p99_ms);
+    std::printf("%s\nwinning plan:\n%s\n", tune_report.rendered().c_str(),
+                tune::plan_json(config.base_chain, tuned.best.assignment).dump(2).c_str());
+    return 0;
   }
 
   // 1. Deployment plan (the Ansible-playbook stand-in). --faults adds a

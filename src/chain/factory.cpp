@@ -52,4 +52,20 @@ std::vector<std::string> genesis_smallbank_accounts(Blockchain& chain, std::size
   return accounts;
 }
 
+void genesis_kv_keys(Blockchain& chain, const std::vector<std::string>& accounts,
+                     const std::string& value) {
+  auto* eth = dynamic_cast<EthereumSim*>(&chain);
+  auto* fab = dynamic_cast<FabricSim*>(&chain);
+  auto* neu = dynamic_cast<NeuchainSim*>(&chain);
+  auto* meepo = dynamic_cast<MeepoSim*>(&chain);
+  for (const std::string& name : accounts) {
+    auto init = [&](StateStore& state) { state.put("kv:" + name, value); };
+    if (eth) eth->with_state(init);
+    else if (fab) fab->with_state(init);
+    else if (neu) neu->with_state(init);
+    else if (meepo) meepo->with_state(chain.shard_for_sender(name), init);
+    else throw LogicError("genesis_kv_keys: unknown chain type");
+  }
+}
+
 }  // namespace hammer::chain

@@ -20,4 +20,11 @@ std::vector<std::string> genesis_smallbank_accounts(Blockchain& chain, std::size
                                                     std::int64_t initial_checking,
                                                     std::int64_t initial_savings);
 
+// Pre-populates the YCSB KV contract's keys ("kv:<account>") with an
+// initial value, genesis-style like the SmallBank allocation above. Without
+// this, a skewed read_modify_write workload starts with a burst of
+// missing-key application failures that pollute the abort-rate column.
+void genesis_kv_keys(Blockchain& chain, const std::vector<std::string>& accounts,
+                     const std::string& value = "genesis");
+
 }  // namespace hammer::chain

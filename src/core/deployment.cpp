@@ -24,9 +24,7 @@ const char* const kKnownSpecKeys[] = {
 void validate_spec_keys(const json::Value& spec) {
   for (const auto& [key, value] : spec.as_object()) {
     (void)value;
-    bool known = std::any_of(std::begin(kKnownSpecKeys), std::end(kKnownSpecKeys),
-                             [&](const char* k) { return key == k; });
-    if (!known) {
+    if (!is_known_chain_spec_key(key)) {
       throw ParseError("unknown chain spec key '" + key + "' in chain '" +
                        spec.get_string("name", "?") + "'");
     }
@@ -34,6 +32,11 @@ void validate_spec_keys(const json::Value& spec) {
 }
 
 }  // namespace
+
+bool is_known_chain_spec_key(const std::string& key) {
+  return std::any_of(std::begin(kKnownSpecKeys), std::end(kKnownSpecKeys),
+                     [&](const char* k) { return key == k; });
+}
 
 std::shared_ptr<rpc::Channel> DeployedChain::connect(
     const rpc::ClientConfig& config, std::shared_ptr<fault::FaultInjector> client_faults,

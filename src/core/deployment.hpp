@@ -124,6 +124,12 @@ std::shared_ptr<SutCluster> make_remote_cluster(
     std::size_t channels_per_target, const rpc::ClientConfig& config,
     std::shared_ptr<fault::FaultInjector> client_faults = nullptr);
 
+// True when `key` is a chain spec key Deployment::deploy accepts. The tune
+// subsystem validates "chain.<key>" knobs against this — the same rejection
+// surface deploy itself enforces — so a tuner cannot search a knob the
+// deployment would refuse.
+bool is_known_chain_spec_key(const std::string& key);
+
 class Deployment {
  public:
   // Builds and STARTS every chain in the plan. Chains stop on destruction.

@@ -72,6 +72,52 @@ std::vector<std::size_t> split_workers(std::size_t total, std::size_t targets) {
 }
 }  // namespace
 
+namespace {
+
+const char* const kKnownDriverOptionKeys[] = {
+    "worker_threads", "submit_batch_size", "routing",       "drain_timeout_ms",
+    "poll_interval_ms", "task_shards",     "pipelined_signing", "trace_every_n",
+    "channels_per_target", "target_rate",  "rate_burst",    "load_seed"};
+
+}  // namespace
+
+bool is_known_driver_option_key(const std::string& key) {
+  return std::any_of(std::begin(kKnownDriverOptionKeys), std::end(kKnownDriverOptionKeys),
+                     [&](const char* k) { return key == k; });
+}
+
+DriverOptions driver_options_from_json(const json::Value& v,
+                                       std::size_t* channels_per_target) {
+  DriverOptions options;
+  std::size_t channels = 2;
+  if (!v.is_null()) {
+    for (const auto& [key, value] : v.as_object()) {
+      (void)value;
+      if (!is_known_driver_option_key(key)) {
+        throw ParseError("unknown driver option key '" + key + "'");
+      }
+    }
+    options.worker_threads = static_cast<std::size_t>(v.get_int("worker_threads", 2));
+    options.submit_batch_size = static_cast<std::size_t>(v.get_int("submit_batch_size", 1));
+    options.routing = routing_kind_from_string(v.get_string("routing", "round_robin"));
+    options.drain_timeout = std::chrono::milliseconds(v.get_int("drain_timeout_ms", 20000));
+    options.poll_interval = std::chrono::milliseconds(v.get_int("poll_interval_ms", 25));
+    options.task_processor.shards = static_cast<std::size_t>(v.get_int("task_shards", 1));
+    options.pipelined_signing = v.get_bool("pipelined_signing", true);
+    options.trace_every_n = static_cast<std::uint64_t>(v.get_int("trace_every_n", 0));
+    channels = static_cast<std::size_t>(v.get_int("channels_per_target", 2));
+    options.target_rate = v.get_double("target_rate", 0.0);
+    options.rate_burst = v.get_double("rate_burst", options.rate_burst);
+    options.load_seed = static_cast<std::uint64_t>(
+        v.get_int("load_seed", static_cast<std::int64_t>(options.load_seed)));
+    if (options.worker_threads < 1) throw ParseError("driver.worker_threads must be >= 1");
+    if (options.submit_batch_size < 1) throw ParseError("driver.submit_batch_size must be >= 1");
+    if (options.target_rate < 0.0) throw ParseError("driver.target_rate must be >= 0");
+  }
+  if (channels_per_target != nullptr) *channels_per_target = channels;
+  return options;
+}
+
 HammerDriver::HammerDriver(std::shared_ptr<SutCluster> cluster,
                            std::shared_ptr<util::Clock> clock, DriverOptions options)
     : cluster_(std::move(cluster)), clock_(std::move(clock)), options_(std::move(options)) {

@@ -139,6 +139,22 @@ struct DriverOptions {
   std::shared_ptr<fault::FaultInjector> fault_injector;
 };
 
+// Parses the "driver" sub-object of a control.deploy plan (or a tune trial)
+// into DriverOptions. Accepted keys: worker_threads, submit_batch_size,
+// routing, drain_timeout_ms, poll_interval_ms, task_shards,
+// pipelined_signing, trace_every_n, channels_per_target, target_rate,
+// rate_burst, load_seed. Unknown keys are rejected by name — the same
+// contract Deployment enforces for chain specs, so a tuner or coordinator
+// cannot silently search/push a misspelled knob. `channels_per_target`
+// (when non-null) receives the cluster fan-in knob, which lives beside the
+// DriverOptions because it shapes the SutCluster, not the driver.
+DriverOptions driver_options_from_json(const json::Value& v,
+                                       std::size_t* channels_per_target = nullptr);
+
+// True when `key` is one driver_options_from_json accepts ("driver.<key>"
+// knobs in a tune spec validate against this).
+bool is_known_driver_option_key(const std::string& key);
+
 class HammerDriver {
  public:
   // Drives every target of `cluster`; options.worker_threads is the TOTAL

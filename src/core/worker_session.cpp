@@ -47,29 +47,6 @@ rpc::ClientConfig parse_client_config(const json::Value& v) {
   return config;
 }
 
-DriverOptions parse_driver_options(const json::Value& v, std::size_t& channels_per_target) {
-  DriverOptions options;
-  channels_per_target = 2;
-  if (v.is_null()) return options;
-  options.worker_threads = static_cast<std::size_t>(v.get_int("worker_threads", 2));
-  options.submit_batch_size = static_cast<std::size_t>(v.get_int("submit_batch_size", 1));
-  options.routing = routing_kind_from_string(v.get_string("routing", "round_robin"));
-  options.drain_timeout = std::chrono::milliseconds(v.get_int("drain_timeout_ms", 20000));
-  options.poll_interval = std::chrono::milliseconds(v.get_int("poll_interval_ms", 25));
-  options.task_processor.shards = static_cast<std::size_t>(v.get_int("task_shards", 1));
-  options.pipelined_signing = v.get_bool("pipelined_signing", true);
-  options.trace_every_n = static_cast<std::uint64_t>(v.get_int("trace_every_n", 0));
-  channels_per_target = static_cast<std::size_t>(v.get_int("channels_per_target", 2));
-  options.target_rate = v.get_double("target_rate", 0.0);
-  options.rate_burst = v.get_double("rate_burst", options.rate_burst);
-  options.load_seed = static_cast<std::uint64_t>(
-      v.get_int("load_seed", static_cast<std::int64_t>(options.load_seed)));
-  if (options.target_rate < 0.0) {
-    throw ParseError("driver.target_rate must be >= 0 in control.deploy");
-  }
-  return options;
-}
-
 std::vector<RemoteEndpoint> parse_endpoints(const json::Value& v) {
   std::vector<RemoteEndpoint> endpoints;
   for (const json::Value& e : v.as_array()) {
@@ -164,10 +141,11 @@ json::Value WorkerSession::handle_deploy(const json::Value& params) {
   workload::WorkloadProfile profile = workload::WorkloadProfile::from_json(params.at("workload"));
   auto total_txs = static_cast<std::size_t>(params.at("total_txs").as_int());
 
+  // Shared parser (driver_options_from_json) so the coordinator, the tuner
+  // and hand-written plans all hit the same unknown-key rejection.
   std::size_t channels_per_target = 2;
-  DriverOptions options =
-      parse_driver_options(params.contains("driver") ? params.at("driver") : json::Value(),
-                           channels_per_target);
+  DriverOptions options = driver_options_from_json(
+      params.contains("driver") ? params.at("driver") : json::Value(), &channels_per_target);
   options.server_id = "worker-" + std::to_string(worker_index);
   rpc::ClientConfig client_config =
       parse_client_config(params.contains("client") ? params.at("client") : json::Value());

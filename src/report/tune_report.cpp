@@ -1,0 +1,56 @@
+#include "report/tune_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hammer::report {
+
+TuneReport::TuneReport(tune::SearchOptions options, tune::TuneResult result, double slo_p99_ms)
+    : options_(options), result_(std::move(result)), slo_p99_ms_(slo_p99_ms) {}
+
+CsvWriter TuneReport::to_csv() const {
+  CsvWriter csv({"trial", "stage", "plan", "seed", "txs", "committed", "failed", "tps",
+                 "p50_ms", "p99_ms", "feasible", "promoted"});
+  for (const tune::TrialOutcome& t : result_.trials) {
+    csv.add_row({std::to_string(t.index), t.stage, tune::assignment_key(t.assignment),
+                 std::to_string(t.seed), std::to_string(t.txs), std::to_string(t.committed),
+                 std::to_string(t.failed), format_double(t.tps, 1), format_double(t.p50_ms, 2),
+                 format_double(t.p99_ms, 2), t.feasible ? "1" : "0", t.promoted ? "1" : "0"});
+  }
+  return csv;
+}
+
+CsvWriter TuneReport::canonical_csv() const {
+  CsvWriter csv({"trial", "stage", "plan", "seed", "txs", "feasible", "promoted"});
+  for (const tune::TrialOutcome& t : result_.trials) {
+    csv.add_row({std::to_string(t.index), t.stage, tune::assignment_key(t.assignment),
+                 std::to_string(t.seed), std::to_string(t.txs), t.feasible ? "1" : "0",
+                 t.promoted ? "1" : "0"});
+  }
+  return csv;
+}
+
+std::string TuneReport::rendered() const {
+  std::ostringstream os;
+  os << "== Tune: " << tune::strategy_name(options_.strategy) << " search, "
+     << result_.trials.size() << " trials over " << result_.rungs << " rung(s), "
+     << result_.feasible << " feasible (SLO p99 <= " << format_double(slo_p99_ms_, 1)
+     << " ms) ==\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %5s %-7s %-44s %8s %10s %9s %9s %4s %4s\n", "trial",
+                "stage", "plan", "txs", "tps", "p50_ms", "p99_ms", "ok", "win");
+  os << line;
+  for (const tune::TrialOutcome& t : result_.trials) {
+    std::snprintf(line, sizeof(line), "  %5zu %-7s %-44s %8zu %10.1f %9.2f %9.2f %4s %4s\n",
+                  t.index, t.stage.c_str(), tune::assignment_key(t.assignment).c_str(), t.txs,
+                  t.tps, t.p50_ms, t.p99_ms, t.feasible ? "yes" : "no",
+                  t.promoted ? "*" : "");
+    os << line;
+  }
+  os << "  best: " << tune::assignment_key(result_.best.assignment) << "  (tps "
+     << format_double(result_.best.tps, 1) << ", p99 " << format_double(result_.best.p99_ms, 2)
+     << " ms, " << (result_.best.feasible ? "feasible" : "INFEASIBLE") << ")\n";
+  return os.str();
+}
+
+}  // namespace hammer::report

@@ -1,0 +1,42 @@
+// Tune report (DESIGN.md §15): renders a tune::TuneResult as the trials
+// table plus two CSV artifacts:
+//
+//   to_csv()        — the full record, one row per trial, measured values
+//                     included (tps, latency). Saved by the tools as
+//                     bench_results/tune_trials.csv.
+//   canonical_csv() — the deterministic projection: trial, stage, plan,
+//                     seed, txs, feasible, promoted. This is the search's
+//                     DECISION record — which plans ran at which budget and
+//                     who survived — with the wall-clock magnitudes dropped,
+//                     so two searches at one master seed produce
+//                     byte-identical documents (the property smoke.tune
+//                     asserts; same canonicalization idea as the fleet
+//                     smoke's projection).
+#pragma once
+
+#include <string>
+
+#include "report/csv.hpp"
+#include "tune/search.hpp"
+
+namespace hammer::report {
+
+class TuneReport {
+ public:
+  TuneReport(tune::SearchOptions options, tune::TuneResult result, double slo_p99_ms);
+
+  const tune::TuneResult& result() const { return result_; }
+
+  CsvWriter to_csv() const;
+  CsvWriter canonical_csv() const;
+
+  // Fixed-width trials table + the winning plan's one-line summary.
+  std::string rendered() const;
+
+ private:
+  tune::SearchOptions options_;
+  tune::TuneResult result_;
+  double slo_p99_ms_;
+};
+
+}  // namespace hammer::report

@@ -1,0 +1,168 @@
+#include "tune/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/deployment.hpp"
+#include "core/driver.hpp"
+#include "util/errors.hpp"
+#include "util/random.hpp"
+
+namespace hammer::tune {
+
+namespace {
+
+std::string value_key(const json::Value& v) {
+  // Scalars only; dump() is canonical for ints/strings/bools.
+  return v.dump();
+}
+
+std::vector<json::Value> materialize_range(const std::string& name, const json::Value& spec) {
+  const json::Value& range = spec.at("range");
+  if (range.as_array().size() != 2) {
+    throw ParseError("knob '" + name + "': \"range\" must be [lo, hi]");
+  }
+  std::int64_t lo = range.as_array()[0].as_int();
+  std::int64_t hi = range.as_array()[1].as_int();
+  if (lo > hi) throw ParseError("knob '" + name + "': range lo > hi");
+  auto steps = static_cast<std::size_t>(spec.get_int("steps", 2));
+  if (steps < 2) throw ParseError("knob '" + name + "': range needs steps >= 2");
+  std::string scale = spec.get_string("scale", "linear");
+  if (scale != "linear" && scale != "log") {
+    throw ParseError("knob '" + name + "': scale must be \"linear\" or \"log\"");
+  }
+  if (scale == "log" && lo <= 0) {
+    throw ParseError("knob '" + name + "': log scale needs lo > 0");
+  }
+  std::vector<json::Value> out;
+  for (std::size_t i = 0; i < steps; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    double x = scale == "log"
+                   ? std::exp(std::log(static_cast<double>(lo)) +
+                              t * (std::log(static_cast<double>(hi)) -
+                                   std::log(static_cast<double>(lo))))
+                   : static_cast<double>(lo) + t * static_cast<double>(hi - lo);
+    auto v = static_cast<std::int64_t>(std::llround(x));
+    v = std::clamp(v, lo, hi);
+    // Endpoint rounding can collide neighbouring steps; keep the grid a set.
+    if (out.empty() || out.back().as_int() != v) out.push_back(json::Value(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string assignment_key(const Assignment& assignment) {
+  std::string out;
+  for (const auto& [name, value] : assignment) {
+    if (!out.empty()) out += ' ';
+    out += name + '=' + value.dump();
+  }
+  return out;
+}
+
+KnobLayer knob_layer(const std::string& name, std::string* key_out) {
+  const std::string chain_prefix = "chain.";
+  const std::string driver_prefix = "driver.";
+  if (name.rfind(chain_prefix, 0) == 0) {
+    std::string key = name.substr(chain_prefix.size());
+    if (!core::is_known_chain_spec_key(key)) {
+      throw ParseError("tune knob '" + name + "' names a chain spec key the deployment rejects");
+    }
+    if (key == "kind" || key == "name" || key == "faults") {
+      throw ParseError("tune knob '" + name + "' is structural, not tunable");
+    }
+    if (key_out != nullptr) *key_out = std::move(key);
+    return KnobLayer::kChain;
+  }
+  if (name.rfind(driver_prefix, 0) == 0) {
+    std::string key = name.substr(driver_prefix.size());
+    if (!core::is_known_driver_option_key(key)) {
+      throw ParseError("tune knob '" + name + "' names a driver option the driver rejects");
+    }
+    if (key_out != nullptr) *key_out = std::move(key);
+    return KnobLayer::kDriver;
+  }
+  throw ParseError("tune knob '" + name + "' must be namespaced chain.<key> or driver.<key>");
+}
+
+ParamSpace ParamSpace::from_json(const json::Value& knobs) {
+  ParamSpace space;
+  for (const auto& [name, spec] : knobs.as_object()) {
+    knob_layer(name);  // validation only; throws by name
+    ParamAxis axis;
+    axis.name = name;
+    if (spec.contains("values")) {
+      for (const json::Value& v : spec.at("values").as_array()) axis.values.push_back(v);
+    } else if (spec.contains("range")) {
+      axis.values = materialize_range(name, spec);
+    } else {
+      throw ParseError("tune knob '" + name + "' needs \"values\" or \"range\"");
+    }
+    if (axis.values.empty()) throw ParseError("tune knob '" + name + "' has no values");
+    // Duplicate candidates would double-weight a point under random search.
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      for (std::size_t j = i + 1; j < axis.values.size(); ++j) {
+        if (value_key(axis.values[i]) == value_key(axis.values[j])) {
+          throw ParseError("tune knob '" + name + "' lists duplicate value " +
+                           axis.values[i].dump());
+        }
+      }
+    }
+    space.axes_.push_back(std::move(axis));
+  }
+  if (space.axes_.empty()) throw ParseError("tune spec declares no knobs");
+  return space;
+}
+
+std::size_t ParamSpace::size() const {
+  std::size_t n = 1;
+  for (const ParamAxis& axis : axes_) n *= axis.values.size();
+  return n;
+}
+
+Assignment ParamSpace::at(std::size_t flat_index) const {
+  HAMMER_CHECK_MSG(flat_index < size(), "ParamSpace index out of range");
+  Assignment out;
+  // Row-major: the LAST axis varies fastest.
+  std::size_t rest = flat_index;
+  for (auto it = axes_.rbegin(); it != axes_.rend(); ++it) {
+    out[it->name] = it->values[rest % it->values.size()];
+    rest /= it->values.size();
+  }
+  return out;
+}
+
+std::vector<Assignment> ParamSpace::sample(std::size_t n, std::uint64_t seed) const {
+  const std::size_t total = size();
+  n = std::min(n, total);
+  util::Pcg32 rng(seed);
+  std::vector<Assignment> out;
+  out.reserve(n);
+  if (total <= 4096) {
+    // Small grid: partial Fisher-Yates over all flat indices.
+    std::vector<std::size_t> indices(total);
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(rng.uniform(0, total - 1 - i));
+      std::swap(indices[i], indices[j]);
+      out.push_back(at(indices[i]));
+    }
+    return out;
+  }
+  // Large grid: rejection-sample distinct flat indices (collision odds are
+  // negligible at n << total; the attempt cap keeps this total-proof).
+  std::vector<std::size_t> seen;
+  std::size_t attempts = 0;
+  while (out.size() < n && attempts < 64 * n) {
+    ++attempts;
+    auto flat = static_cast<std::size_t>(rng.uniform(0, total - 1));
+    if (std::find(seen.begin(), seen.end(), flat) != seen.end()) continue;
+    seen.push_back(flat);
+    out.push_back(at(flat));
+  }
+  return out;
+}
+
+}  // namespace hammer::tune

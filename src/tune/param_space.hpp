@@ -1,0 +1,72 @@
+// Parameter space for hammer-tune (DESIGN.md §15): the declared knob grid a
+// Search explores. Parsed from the "knobs" object of a tune spec:
+//
+//   "knobs": {
+//     "driver.worker_threads":    {"values": [1, 2, 4]},
+//     "driver.submit_batch_size": {"range": [1, 64], "steps": 4, "scale": "log"},
+//     "driver.routing":           {"values": ["round_robin", "shard"]},
+//     "chain.endpoints":          {"values": [1, 2]}
+//   }
+//
+// Every knob is namespaced: "chain.<key>" overrides the deployment's chain
+// spec and must name a key core::Deployment itself accepts
+// (core::is_known_chain_spec_key); "driver.<key>" overrides DriverOptions
+// and must name a key core::driver_options_from_json accepts. A knob the
+// deployment would reject fails ParamSpace::from_json by name — the tuner
+// cannot search a space the deployment cannot execute.
+//
+// An axis is either an explicit discrete set ("values", kept in declared
+// order) or an integer range ("range": [lo, hi] inclusive, "steps" points,
+// "scale" "linear" or "log"), materialized to a discrete set at parse time
+// so the whole space is a finite grid with a well-defined flat indexing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace hammer::tune {
+
+// One candidate deployment plan: knob name -> chosen value.
+using Assignment = std::map<std::string, json::Value>;
+
+// Canonical one-line rendering ("a=1 b=shard"), used for deterministic
+// tie-breaks, dedup and the trials CSV.
+std::string assignment_key(const Assignment& assignment);
+
+struct ParamAxis {
+  std::string name;                 // "chain.<key>" or "driver.<key>"
+  std::vector<json::Value> values;  // candidate values, declared order
+};
+
+class ParamSpace {
+ public:
+  // Parses the "knobs" object; throws ParseError for unknown knob names,
+  // empty axes, or malformed range specs.
+  static ParamSpace from_json(const json::Value& knobs);
+
+  const std::vector<ParamAxis>& axes() const { return axes_; }
+
+  // Grid cardinality: the product of axis widths.
+  std::size_t size() const;
+
+  // Mixed-radix decode of a flat grid index (row-major over axes()).
+  Assignment at(std::size_t flat_index) const;
+
+  // The first min(n, size()) assignments of a seeded Fisher-Yates shuffle
+  // of the whole grid — distinct by construction, reproducible per seed.
+  std::vector<Assignment> sample(std::size_t n, std::uint64_t seed) const;
+
+ private:
+  std::vector<ParamAxis> axes_;
+};
+
+// Splits a "chain."/"driver." knob name; throws ParseError when the prefix
+// or the suffix key is not one the respective layer accepts.
+enum class KnobLayer { kChain, kDriver };
+KnobLayer knob_layer(const std::string& name, std::string* key_out = nullptr);
+
+}  // namespace hammer::tune

@@ -1,0 +1,166 @@
+#include "tune/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace hammer::tune {
+
+namespace {
+
+const char* const kKnownSearchKeys[] = {"strategy", "width",    "eta",       "max_rungs",
+                                        "seed",     "base_txs", "slo_p99_ms"};
+
+// Total order over outcomes: score desc, assignment_key asc. The string
+// tie-break makes rung promotion (and thus the whole search trajectory)
+// deterministic even when two plans measure identically.
+bool better(const TrialOutcome& a, const TrialOutcome& b) {
+  if (a.score() != b.score()) return a.score() > b.score();
+  return assignment_key(a.assignment) < assignment_key(b.assignment);
+}
+
+}  // namespace
+
+Strategy strategy_from_string(const std::string& s) {
+  if (s == "random") return Strategy::kRandom;
+  if (s == "halving") return Strategy::kHalving;
+  throw ParseError("unknown tune strategy '" + s + "' (want \"random\" or \"halving\")");
+}
+
+std::string strategy_name(Strategy s) {
+  return s == Strategy::kRandom ? "random" : "halving";
+}
+
+SearchOptions SearchOptions::from_json(const json::Value& v, double* slo_out) {
+  SearchOptions options;
+  if (v.is_null()) return options;
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (key == "knobs") continue;  // ParamSpace::from_json owns this one
+    bool known = std::any_of(std::begin(kKnownSearchKeys), std::end(kKnownSearchKeys),
+                             [&](const char* k) { return key == k; });
+    if (!known) throw ParseError("unknown tune option '" + key + "'");
+  }
+  options.strategy = strategy_from_string(v.get_string("strategy", "halving"));
+  options.width = static_cast<std::size_t>(v.get_int("width", 8));
+  options.eta = v.get_double("eta", 2.0);
+  options.max_rungs = static_cast<std::size_t>(v.get_int("max_rungs", 3));
+  options.seed = static_cast<std::uint64_t>(v.get_int("seed", 1));
+  options.base_txs = static_cast<std::size_t>(v.get_int("base_txs", 400));
+  if (options.width < 1) throw ParseError("tune width must be >= 1");
+  if (options.eta <= 1.0) throw ParseError("tune eta must be > 1");
+  if (options.max_rungs < 1) throw ParseError("tune max_rungs must be >= 1");
+  if (options.base_txs < 1) throw ParseError("tune base_txs must be >= 1");
+  if (slo_out != nullptr) *slo_out = v.get_double("slo_p99_ms", 1e9);
+  return options;
+}
+
+std::size_t rung_budget(std::size_t base_txs, double eta, std::size_t rung) {
+  double scaled = static_cast<double>(base_txs) * std::pow(eta, static_cast<double>(rung));
+  auto txs = static_cast<std::size_t>(std::llround(scaled));
+  return std::max(base_txs, txs);
+}
+
+std::size_t rung_survivors(std::size_t n, double eta) {
+  auto kept = static_cast<std::size_t>(static_cast<double>(n) / eta);
+  return std::max<std::size_t>(1, kept);
+}
+
+Search::Search(SearchOptions options) : options_(options) {}
+
+TuneResult Search::run(TrialRunner& runner, const ParamSpace& space) const {
+  TuneResult result = options_.strategy == Strategy::kRandom ? run_random(runner, space)
+                                                             : run_halving(runner, space);
+  for (const TrialOutcome& trial : result.trials) {
+    if (trial.feasible) ++result.feasible;
+  }
+  return result;
+}
+
+TuneResult Search::run_random(TrialRunner& runner, const ParamSpace& space) const {
+  std::vector<Assignment> candidates = space.sample(options_.width, options_.seed);
+  std::vector<TrialPoint> points;
+  points.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    TrialPoint point;
+    point.index = i;
+    point.seed = util::derive_seed(options_.seed, i);
+    point.txs = options_.base_txs;
+    point.assignment = candidates[i];
+    points.push_back(std::move(point));
+  }
+  HLOG_INFO("tune") << "random search: " << points.size() << " trials of "
+                    << options_.base_txs << " txs";
+  TuneResult result;
+  result.rungs = 1;
+  result.trials = runner.run_batch(points);
+  for (TrialOutcome& trial : result.trials) trial.stage = "random";
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < result.trials.size(); ++i) {
+    if (better(result.trials[i], result.trials[best])) best = i;
+  }
+  result.trials[best].promoted = true;
+  result.best = result.trials[best];
+  return result;
+}
+
+TuneResult Search::run_halving(TrialRunner& runner, const ParamSpace& space) const {
+  TuneResult result;
+  std::vector<Assignment> survivors = space.sample(options_.width, options_.seed);
+  std::size_t next_index = 0;
+  // Indices into result.trials of the previous rung's winners, so the final
+  // promotion flags land on the stored outcomes.
+  std::vector<std::size_t> last_rung;
+  for (std::size_t rung = 0; rung < options_.max_rungs; ++rung) {
+    std::size_t txs = rung_budget(options_.base_txs, options_.eta, rung);
+    std::vector<TrialPoint> points;
+    points.reserve(survivors.size());
+    for (const Assignment& assignment : survivors) {
+      TrialPoint point;
+      point.index = next_index;
+      point.seed = util::derive_seed(options_.seed, next_index);
+      point.txs = txs;
+      point.assignment = assignment;
+      points.push_back(std::move(point));
+      ++next_index;
+    }
+    HLOG_INFO("tune") << "halving rung " << rung << ": " << points.size() << " configs x "
+                      << txs << " txs";
+    std::vector<TrialOutcome> outcomes = runner.run_batch(points);
+    std::vector<std::size_t> rung_indices;
+    for (TrialOutcome& outcome : outcomes) {
+      outcome.stage = "rung" + std::to_string(rung);
+      rung_indices.push_back(result.trials.size());
+      result.trials.push_back(std::move(outcome));
+    }
+    ++result.rungs;
+    // Rank this rung and promote the top 1/eta into the next one.
+    std::sort(rung_indices.begin(), rung_indices.end(), [&](std::size_t a, std::size_t b) {
+      return better(result.trials[a], result.trials[b]);
+    });
+    std::size_t keep = rung_survivors(rung_indices.size(), options_.eta);
+    bool final_rung = rung + 1 == options_.max_rungs || keep == rung_indices.size();
+    if (final_rung) {
+      last_rung = {rung_indices.front()};
+      break;
+    }
+    rung_indices.resize(keep);
+    survivors.clear();
+    for (std::size_t idx : rung_indices) {
+      result.trials[idx].promoted = true;
+      survivors.push_back(result.trials[idx].assignment);
+    }
+    // A single survivor still gets its next-rung run: the winner's reported
+    // numbers then come from the largest budget it earned.
+    last_rung = rung_indices;
+  }
+  std::size_t winner = last_rung.front();
+  result.trials[winner].promoted = true;
+  result.best = result.trials[winner];
+  return result;
+}
+
+}  // namespace hammer::tune

@@ -1,0 +1,81 @@
+// Search strategies for hammer-tune (DESIGN.md §15): given a ParamSpace and
+// a TrialRunner, find the deployment plan maximizing TPS under the latency
+// SLO. Two strategies:
+//
+//   kRandom  — `width` seeded samples from the grid, each run once at
+//              base_txs. The simple baseline; optimal in expectation for a
+//              fixed trial budget when nothing is known about the surface.
+//   kHalving — successive halving: rung r runs its surviving configs at
+//              budget base_txs * eta^r, keeps the top 1/eta (at least one),
+//              and stops when one survivor remains or max_rungs rungs ran.
+//              Spends most measurement time on the most promising plans, so
+//              a wide grid fits a small wall-clock budget.
+//
+// Determinism: trial k — in either strategy — runs at workload seed
+// util::derive_seed(options.seed, k), and the candidate order is fixed by
+// the seeded grid sample plus a total tie-break (score desc, then
+// assignment_key asc). Two searches at one master seed schedule identical
+// trials, so the canonical trials projection replays byte-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tune/trial_runner.hpp"
+
+namespace hammer::tune {
+
+enum class Strategy { kRandom, kHalving };
+
+// "random" | "halving"; throws ParseError otherwise.
+Strategy strategy_from_string(const std::string& s);
+std::string strategy_name(Strategy s);
+
+struct SearchOptions {
+  Strategy strategy = Strategy::kHalving;
+  std::size_t width = 8;       // configs sampled from the grid
+  double eta = 2.0;            // halving rate (keep 1/eta per rung)
+  std::size_t max_rungs = 3;   // halving rung cap
+  std::uint64_t seed = 1;      // master seed; trial k runs derive_seed(seed, k)
+  std::size_t base_txs = 400;  // rung-0 / random-trial workload size
+
+  // Parses the "tune" sub-object (minus "knobs", which ParamSpace owns):
+  // strategy, width, eta, max_rungs, seed, base_txs, slo_p99_ms. Unknown
+  // keys are rejected by name, like chain specs and driver options.
+  // slo_p99_ms is returned through `slo_out` because it configures the
+  // TrialRunner, not the search.
+  static SearchOptions from_json(const json::Value& v, double* slo_out = nullptr);
+};
+
+struct TuneResult {
+  std::vector<TrialOutcome> trials;  // execution order == trial index order
+  TrialOutcome best;                 // highest score, promoted=true
+  std::size_t feasible = 0;          // trials meeting the SLO
+  std::size_t rungs = 0;             // halving rungs run (1 for random)
+};
+
+class Search {
+ public:
+  explicit Search(SearchOptions options);
+
+  const SearchOptions& options() const { return options_; }
+
+  // Runs the configured strategy over `space` through `runner`. Whole rungs
+  // go through TrialRunner::run_batch, so a FleetTrialRunner overlaps the
+  // rung's trials across its workers.
+  TuneResult run(TrialRunner& runner, const ParamSpace& space) const;
+
+ private:
+  TuneResult run_random(TrialRunner& runner, const ParamSpace& space) const;
+  TuneResult run_halving(TrialRunner& runner, const ParamSpace& space) const;
+
+  SearchOptions options_;
+};
+
+// Per-rung budget: base_txs * eta^rung (llround, never below base_txs).
+std::size_t rung_budget(std::size_t base_txs, double eta, std::size_t rung);
+
+// Survivor count after halving a rung of n configs: max(1, floor(n / eta)).
+std::size_t rung_survivors(std::size_t n, double eta);
+
+}  // namespace hammer::tune

@@ -1,0 +1,131 @@
+// Trial evaluation for hammer-tune (DESIGN.md §15). One trial = one short
+// seeded in-process run of the bench/driver harness against a freshly
+// deployed SUT, under one candidate Assignment:
+//
+//   - "chain.<key>" knobs override the base chain spec before deploy,
+//   - "driver.<key>" knobs override DriverOptions (via the same
+//     driver_options_from_json parser the control plane uses),
+//   - trial k drives workload seed util::derive_seed(master, k), so the
+//     whole search replays exactly at a fixed master seed.
+//
+// Objective: achieved TPS subject to the latency SLO. An infeasible trial
+// (p99 above the SLO, or nothing committed) scores strictly below every
+// feasible one — see TrialOutcome::score().
+//
+// Two runners share the interface:
+//   LocalTrialRunner — deploys and drives in-process, trials sequential.
+//   FleetTrialRunner — fans a batch of trials across core::Coordinator
+//     worker processes, one trial per worker: each trial gets its own
+//     locally deployed TCP SUT and a single-worker fleet (control.deploy /
+//     start / report over the existing control plane), so N workers
+//     evaluate N plans concurrently.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/worker_process.hpp"
+#include "json/json.hpp"
+#include "tune/param_space.hpp"
+#include "workload/profile.hpp"
+
+namespace hammer::tune {
+
+// One scheduled trial: the Search fixes index/seed/txs so every runner —
+// local or fleet — evaluates an identical, reproducible plan.
+struct TrialPoint {
+  std::size_t index = 0;      // global trial ordinal within the search
+  std::uint64_t seed = 0;     // util::derive_seed(master_seed, index)
+  std::size_t txs = 0;        // workload size (the trial's budget)
+  Assignment assignment;
+};
+
+struct TrialOutcome {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::size_t txs = 0;
+  std::string stage;          // search phase label ("rung0", "random", ...)
+  Assignment assignment;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  double tps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool feasible = false;      // committed > 0 and p99_ms <= SLO
+  bool promoted = false;      // search decision: survived its rung / won
+
+  // Ranking objective: feasible trials by TPS (higher better); infeasible
+  // trials by how badly they miss (lower p99 less bad), always below every
+  // feasible trial.
+  double score() const { return feasible ? tps : -p99_ms - 1.0; }
+
+  json::Value to_json() const;
+};
+
+// The fixed (untuned) half of every trial.
+struct TrialConfig {
+  // Chain spec WITHOUT the tuned keys; "kind" required, "name" defaulted to
+  // "tune-sut". Needs smallbank_accounts_per_shard > 0 — trials generate
+  // their workloads over the deployed account population.
+  json::Value base_chain;
+  // Workload shape (contract, distribution, mix); profile.seed is replaced
+  // by the per-trial derived seed.
+  workload::WorkloadProfile profile;
+  double slo_p99_ms = 1e9;
+};
+
+class TrialRunner {
+ public:
+  virtual ~TrialRunner() = default;
+
+  virtual TrialOutcome run_trial(const TrialPoint& point) = 0;
+
+  // Default: sequential run_trial calls, outcome order == points order.
+  // Fleet runners override to overlap trials; the order contract holds.
+  virtual std::vector<TrialOutcome> run_batch(const std::vector<TrialPoint>& points);
+};
+
+class LocalTrialRunner final : public TrialRunner {
+ public:
+  explicit LocalTrialRunner(TrialConfig config);
+
+  const TrialConfig& config() const { return config_; }
+
+  TrialOutcome run_trial(const TrialPoint& point) override;
+
+ private:
+  TrialConfig config_;
+};
+
+// Fans trials across worker processes. The runner OWNS the workers (spawned
+// from `worker_binary --worker`, the hammer_worker handshake) and reuses
+// them across batches — a done worker is re-deployable, so a whole search
+// runs on one fleet.
+class FleetTrialRunner final : public TrialRunner {
+ public:
+  FleetTrialRunner(TrialConfig config, const std::string& worker_binary,
+                   std::size_t workers);
+  ~FleetTrialRunner() override;
+
+  TrialOutcome run_trial(const TrialPoint& point) override;
+  std::vector<TrialOutcome> run_batch(const std::vector<TrialPoint>& points) override;
+
+ private:
+  TrialOutcome run_on_worker(const TrialPoint& point, std::size_t worker);
+
+  TrialConfig config_;
+  std::vector<core::WorkerProcess> workers_;
+};
+
+// Shared by both runners and TuneResult: the deployment-plan JSON a winning
+// assignment denotes — base chain spec with "chain." overrides applied
+// (name defaulted), plus a "driver" object of the "driver." overrides.
+json::Value plan_json(const json::Value& base_chain, const Assignment& assignment);
+
+// Builds outcome metrics (tps/p50/p99/feasible) from a finished run.
+TrialOutcome outcome_from_run(const TrialPoint& point, double slo_p99_ms,
+                              std::uint64_t committed, std::uint64_t failed, double tps,
+                              std::int64_t p50_us, std::int64_t p99_us);
+
+}  // namespace hammer::tune

@@ -123,14 +123,22 @@ chain::Transaction YcsbGenerator::next() {
   tx.sender = key;  // the key's "owner" signs
   auto mix = profile_.effective_mix();
   double write_weight = mix.count("put") ? mix.at("put") : 0.0;
+  // YCSB-F flavour: a read-modify-write touches the key's current value, so
+  // under MVCC (Fabric) two skewed rmw's on one hot key in flight together
+  // produce a read-set conflict — the abort mode bench_blockbench measures.
+  double rmw_weight = mix.count("read_modify_write") ? mix.at("read_modify_write") : 0.0;
   double total = 0.0;
   for (const auto& [op, w] : mix) {
     (void)op;
     total += w;
   }
-  if (rng_.uniform01() * total < write_weight) {
+  double roll = rng_.uniform01() * total;
+  if (roll < write_weight) {
     tx.op = "put";
     tx.args = json::object({{"key", key}, {"value", rng_.alnum(16)}});
+  } else if (roll < write_weight + rmw_weight) {
+    tx.op = "read_modify_write";
+    tx.args = json::object({{"key", key}, {"suffix", rng_.alnum(4)}});
   } else {
     tx.op = "get";
     tx.args = json::object({{"key", key}});

@@ -1,0 +1,140 @@
+#include "tune/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/errors.hpp"
+
+namespace hammer::tune {
+namespace {
+
+json::Value parse(const char* text) { return json::Value::parse(text); }
+
+TEST(ParamSpaceTest, ParsesValuesAxesInDeclaredOrder) {
+  ParamSpace space = ParamSpace::from_json(parse(R"({
+    "driver.worker_threads": {"values": [4, 1, 2]},
+    "driver.routing": {"values": ["round_robin", "shard"]}
+  })"));
+  ASSERT_EQ(space.axes().size(), 2u);
+  // Axes come back in map order (knob name asc); values keep declared order.
+  EXPECT_EQ(space.axes()[0].name, "driver.routing");
+  EXPECT_EQ(space.axes()[1].name, "driver.worker_threads");
+  ASSERT_EQ(space.axes()[1].values.size(), 3u);
+  EXPECT_EQ(space.axes()[1].values[0].as_int(), 4);
+  EXPECT_EQ(space.axes()[1].values[1].as_int(), 1);
+  EXPECT_EQ(space.axes()[1].values[2].as_int(), 2);
+  EXPECT_EQ(space.size(), 6u);
+}
+
+TEST(ParamSpaceTest, RejectsUnknownKnobNames) {
+  // No layer prefix at all.
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"worker_threads": {"values": [1]}})")),
+               ParseError);
+  // Unknown driver option.
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"driver.bogus": {"values": [1]}})")),
+               ParseError);
+  // Unknown chain spec key.
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"chain.bogus": {"values": [1]}})")),
+               ParseError);
+  // Structural chain keys are not tunable.
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"chain.kind": {"values": ["meepo"]}})")),
+               ParseError);
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"chain.name": {"values": ["x"]}})")),
+               ParseError);
+}
+
+TEST(ParamSpaceTest, RejectsEmptyAxes) {
+  EXPECT_THROW(ParamSpace::from_json(parse(R"({"driver.worker_threads": {"values": []}})")),
+               ParseError);
+}
+
+TEST(ParamSpaceTest, MaterializesLinearRange) {
+  ParamSpace space = ParamSpace::from_json(
+      parse(R"({"chain.block_interval_ms": {"range": [10, 40], "steps": 4}})"));
+  ASSERT_EQ(space.axes().size(), 1u);
+  const auto& vals = space.axes()[0].values;
+  ASSERT_EQ(vals.size(), 4u);
+  EXPECT_EQ(vals.front().as_int(), 10);
+  EXPECT_EQ(vals.back().as_int(), 40);
+  // Linear scale: evenly spaced, strictly increasing.
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_GT(vals[i].as_int(), vals[i - 1].as_int());
+  }
+}
+
+TEST(ParamSpaceTest, MaterializesLogRangeWithEndpoints) {
+  ParamSpace space = ParamSpace::from_json(parse(
+      R"({"driver.submit_batch_size": {"range": [1, 64], "steps": 4, "scale": "log"}})"));
+  const auto& vals = space.axes()[0].values;
+  ASSERT_GE(vals.size(), 2u);
+  EXPECT_EQ(vals.front().as_int(), 1);
+  EXPECT_EQ(vals.back().as_int(), 64);
+  // Log scale grows multiplicatively: the last gap dwarfs the first.
+  EXPECT_GT(vals[vals.size() - 1].as_int() - vals[vals.size() - 2].as_int(),
+            vals[1].as_int() - vals[0].as_int());
+}
+
+TEST(ParamSpaceTest, FlatIndexDecodesRowMajorLastAxisFastest) {
+  ParamSpace space = ParamSpace::from_json(parse(R"({
+    "driver.submit_batch_size": {"values": [1, 8]},
+    "driver.worker_threads": {"values": [1, 2, 4]}
+  })"));
+  ASSERT_EQ(space.size(), 6u);
+  // Axis order: submit_batch_size (outer), worker_threads (inner/fastest).
+  EXPECT_EQ(space.at(0).at("driver.submit_batch_size").as_int(), 1);
+  EXPECT_EQ(space.at(0).at("driver.worker_threads").as_int(), 1);
+  EXPECT_EQ(space.at(1).at("driver.submit_batch_size").as_int(), 1);
+  EXPECT_EQ(space.at(1).at("driver.worker_threads").as_int(), 2);
+  EXPECT_EQ(space.at(3).at("driver.submit_batch_size").as_int(), 8);
+  EXPECT_EQ(space.at(3).at("driver.worker_threads").as_int(), 1);
+  EXPECT_EQ(space.at(5).at("driver.submit_batch_size").as_int(), 8);
+  EXPECT_EQ(space.at(5).at("driver.worker_threads").as_int(), 4);
+}
+
+TEST(ParamSpaceTest, SampleIsSeededDistinctAndCapped) {
+  ParamSpace space = ParamSpace::from_json(parse(R"({
+    "driver.submit_batch_size": {"values": [1, 4, 8, 16]},
+    "driver.worker_threads": {"values": [1, 2, 4]}
+  })"));
+  auto a = space.sample(5, 42);
+  auto b = space.sample(5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(assignment_key(a[i]), assignment_key(b[i])) << "sample not reproducible";
+  }
+  std::set<std::string> keys;
+  for (const auto& assignment : a) keys.insert(assignment_key(assignment));
+  EXPECT_EQ(keys.size(), a.size()) << "sampled assignments must be distinct";
+  // Asking for more than the grid holds returns the whole grid.
+  EXPECT_EQ(space.sample(100, 7).size(), space.size());
+  // A different seed reorders (overwhelmingly likely on a 12-point grid).
+  auto c = space.sample(12, 43);
+  auto d = space.sample(12, 42);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (assignment_key(c[i]) != assignment_key(d[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ParamSpaceTest, AssignmentKeyIsCanonical) {
+  Assignment a;
+  a["driver.worker_threads"] = json::Value(4);
+  a["driver.routing"] = json::Value(std::string("shard"));
+  // std::map keeps knob names sorted, so the key is order-independent;
+  // values render as JSON (strings keep their quotes).
+  EXPECT_EQ(assignment_key(a), "driver.routing=\"shard\" driver.worker_threads=4");
+}
+
+TEST(KnobLayerTest, SplitsPrefixAndValidatesKey) {
+  std::string key;
+  EXPECT_EQ(knob_layer("chain.block_interval_ms", &key), KnobLayer::kChain);
+  EXPECT_EQ(key, "block_interval_ms");
+  EXPECT_EQ(knob_layer("driver.worker_threads", &key), KnobLayer::kDriver);
+  EXPECT_EQ(key, "worker_threads");
+  EXPECT_THROW(knob_layer("other.worker_threads"), ParseError);
+}
+
+}  // namespace
+}  // namespace hammer::tune

@@ -1,0 +1,248 @@
+#include "tune/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace hammer::tune {
+namespace {
+
+// Deterministic stand-in for the real harness: TPS is a pure function of the
+// assignment (more worker_threads = faster), and selected assignments can be
+// forced over the latency SLO. Lets the search-logic tests run in
+// microseconds with exactly reproducible scores.
+class FakeRunner final : public TrialRunner {
+ public:
+  explicit FakeRunner(double slo_p99_ms = 100.0) : slo_p99_ms_(slo_p99_ms) {}
+
+  // Assignments whose key contains this fragment report p99 above the SLO.
+  void set_infeasible_fragment(std::string fragment) {
+    infeasible_fragment_ = std::move(fragment);
+  }
+
+  TrialOutcome run_trial(const TrialPoint& point) override {
+    double tps = 10.0;
+    auto threads = point.assignment.find("driver.worker_threads");
+    if (threads != point.assignment.end()) {
+      tps += 100.0 * static_cast<double>(threads->second.as_int());
+    }
+    auto batch = point.assignment.find("driver.submit_batch_size");
+    if (batch != point.assignment.end()) {
+      tps += static_cast<double>(batch->second.as_int());
+    }
+    std::int64_t p99_us = 5000;  // 5 ms, comfortably under the default SLO
+    if (!infeasible_fragment_.empty() &&
+        assignment_key(point.assignment).find(infeasible_fragment_) != std::string::npos) {
+      p99_us = static_cast<std::int64_t>(slo_p99_ms_ * 1000.0) * 10;
+    }
+    ++trials_run_;
+    return outcome_from_run(point, slo_p99_ms_, point.txs, 0, tps, 2000, p99_us);
+  }
+
+  std::size_t trials_run() const { return trials_run_; }
+
+ private:
+  double slo_p99_ms_;
+  std::string infeasible_fragment_;
+  std::size_t trials_run_ = 0;
+};
+
+ParamSpace two_knob_space() {
+  return ParamSpace::from_json(json::Value::parse(R"({
+    "driver.worker_threads": {"values": [1, 2, 4]},
+    "driver.submit_batch_size": {"values": [1, 8]}
+  })"));
+}
+
+TEST(SearchMathTest, RungBudgetGrowsGeometrically) {
+  EXPECT_EQ(rung_budget(400, 2.0, 0), 400u);
+  EXPECT_EQ(rung_budget(400, 2.0, 1), 800u);
+  EXPECT_EQ(rung_budget(400, 2.0, 2), 1600u);
+  EXPECT_EQ(rung_budget(100, 3.0, 2), 900u);
+  // Fractional eta rounds, never below base.
+  EXPECT_EQ(rung_budget(100, 1.5, 1), 150u);
+  EXPECT_EQ(rung_budget(100, 1.5, 0), 100u);
+}
+
+TEST(SearchMathTest, RungSurvivorsIsFloorOverEtaAtLeastOne) {
+  EXPECT_EQ(rung_survivors(8, 2.0), 4u);
+  EXPECT_EQ(rung_survivors(5, 2.0), 2u);
+  EXPECT_EQ(rung_survivors(3, 2.0), 1u);
+  EXPECT_EQ(rung_survivors(1, 2.0), 1u);
+  EXPECT_EQ(rung_survivors(9, 3.0), 3u);
+  EXPECT_EQ(rung_survivors(2, 4.0), 1u);
+}
+
+TEST(SearchMathTest, ScoreRanksEveryInfeasibleBelowEveryFeasible) {
+  TrialOutcome slow_but_feasible;
+  slow_but_feasible.feasible = true;
+  slow_but_feasible.tps = 0.5;  // barely moving, but inside the SLO
+  TrialOutcome fast_but_infeasible;
+  fast_but_infeasible.feasible = false;
+  fast_but_infeasible.tps = 1e6;
+  fast_but_infeasible.p99_ms = 0.0;  // even a zero-latency infeasible loses
+  EXPECT_GT(slow_but_feasible.score(), fast_but_infeasible.score());
+  // Among infeasible trials, the smaller SLO miss ranks higher.
+  TrialOutcome near_miss;
+  near_miss.p99_ms = 101.0;
+  TrialOutcome far_miss;
+  far_miss.p99_ms = 900.0;
+  EXPECT_GT(near_miss.score(), far_miss.score());
+}
+
+TEST(SearchMathTest, OutcomeFromRunConvertsAndGates) {
+  TrialPoint point;
+  point.index = 3;
+  point.seed = 99;
+  point.txs = 500;
+  TrialOutcome ok = outcome_from_run(point, 50.0, 480, 20, 1234.5, 2000, 30000);
+  EXPECT_EQ(ok.index, 3u);
+  EXPECT_EQ(ok.seed, 99u);
+  EXPECT_DOUBLE_EQ(ok.p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(ok.p99_ms, 30.0);
+  EXPECT_TRUE(ok.feasible);
+  // p99 above the SLO: infeasible.
+  EXPECT_FALSE(outcome_from_run(point, 50.0, 480, 20, 1234.5, 2000, 60000).feasible);
+  // Nothing committed: infeasible no matter the latency.
+  EXPECT_FALSE(outcome_from_run(point, 50.0, 0, 500, 0.0, 0, 0).feasible);
+}
+
+TEST(SearchOptionsTest, FromJsonRejectsUnknownKeysAndReturnsSlo) {
+  double slo = 0.0;
+  SearchOptions options = SearchOptions::from_json(
+      json::Value::parse(
+          R"({"strategy": "random", "width": 4, "seed": 7, "slo_p99_ms": 250.0,
+              "knobs": {"driver.worker_threads": {"values": [1]}}})"),
+      &slo);
+  EXPECT_EQ(options.strategy, Strategy::kRandom);
+  EXPECT_EQ(options.width, 4u);
+  EXPECT_EQ(options.seed, 7u);
+  EXPECT_DOUBLE_EQ(slo, 250.0);
+  EXPECT_THROW(SearchOptions::from_json(json::Value::parse(R"({"widht": 4})")), ParseError);
+  EXPECT_THROW(SearchOptions::from_json(json::Value::parse(R"({"eta": 1.0})")), ParseError);
+  EXPECT_THROW(SearchOptions::from_json(json::Value::parse(R"({"strategy": "grid"})")),
+               ParseError);
+}
+
+TEST(SearchTest, HalvingPromotesTheFastestPlanThroughEveryRung) {
+  SearchOptions options;
+  options.strategy = Strategy::kHalving;
+  options.width = 6;
+  options.eta = 2.0;
+  options.max_rungs = 3;
+  options.seed = 42;
+  options.base_txs = 100;
+  FakeRunner runner;
+  TuneResult result = Search(options).run(runner, two_knob_space());
+
+  // 6 at rung0 + 3 at rung1 + 1 confirmation at rung2.
+  EXPECT_EQ(result.rungs, 3u);
+  EXPECT_EQ(result.trials.size(), 10u);
+  EXPECT_EQ(runner.trials_run(), 10u);
+  // The fake's surface is maximized at threads=4, batch=8 — the search must
+  // find it, and report it from the largest budget it earned.
+  EXPECT_EQ(result.best.assignment.at("driver.worker_threads").as_int(), 4);
+  EXPECT_EQ(result.best.assignment.at("driver.submit_batch_size").as_int(), 8);
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_TRUE(result.best.promoted);
+  EXPECT_EQ(result.best.txs, rung_budget(options.base_txs, options.eta, 2));
+  EXPECT_EQ(result.best.stage, "rung2");
+  EXPECT_EQ(result.feasible, result.trials.size());
+  // Budgets per stage follow the rung schedule, indices are globally unique
+  // and seeds are the derived sequence.
+  for (std::size_t i = 0; i < result.trials.size(); ++i) {
+    const TrialOutcome& t = result.trials[i];
+    EXPECT_EQ(t.index, i);
+    std::size_t rung = static_cast<std::size_t>(t.stage.back() - '0');
+    EXPECT_EQ(t.txs, rung_budget(options.base_txs, options.eta, rung));
+  }
+}
+
+TEST(SearchTest, HalvingNeverCrownsAnInfeasiblePlan) {
+  SearchOptions options;
+  options.width = 6;
+  options.seed = 42;
+  options.base_txs = 100;
+  FakeRunner runner(100.0);
+  // The raw-TPS winner (threads=4) always blows the SLO.
+  runner.set_infeasible_fragment("driver.worker_threads=4");
+  TuneResult result = Search(options).run(runner, two_knob_space());
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_EQ(result.best.assignment.at("driver.worker_threads").as_int(), 2);
+  EXPECT_LT(result.feasible, result.trials.size());
+}
+
+TEST(SearchTest, RandomRunsWidthTrialsAtBaseBudget) {
+  SearchOptions options;
+  options.strategy = Strategy::kRandom;
+  options.width = 5;
+  options.seed = 9;
+  options.base_txs = 250;
+  FakeRunner runner;
+  TuneResult result = Search(options).run(runner, two_knob_space());
+  EXPECT_EQ(result.rungs, 1u);
+  EXPECT_EQ(result.trials.size(), 5u);
+  std::size_t promoted = 0;
+  for (const TrialOutcome& t : result.trials) {
+    EXPECT_EQ(t.stage, "random");
+    EXPECT_EQ(t.txs, 250u);
+    if (t.promoted) ++promoted;
+    EXPECT_LE(t.score(), result.best.score());
+  }
+  EXPECT_EQ(promoted, 1u);
+}
+
+TEST(SearchTest, SameMasterSeedSchedulesIdenticalTrials) {
+  SearchOptions options;
+  options.width = 6;
+  options.seed = 1234;
+  options.base_txs = 100;
+  FakeRunner r1;
+  FakeRunner r2;
+  TuneResult a = Search(options).run(r1, two_knob_space());
+  TuneResult b = Search(options).run(r2, two_knob_space());
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].index, b.trials[i].index);
+    EXPECT_EQ(a.trials[i].seed, b.trials[i].seed);
+    EXPECT_EQ(a.trials[i].txs, b.trials[i].txs);
+    EXPECT_EQ(a.trials[i].stage, b.trials[i].stage);
+    EXPECT_EQ(a.trials[i].promoted, b.trials[i].promoted);
+    EXPECT_EQ(assignment_key(a.trials[i].assignment), assignment_key(b.trials[i].assignment));
+  }
+  EXPECT_EQ(assignment_key(a.best.assignment), assignment_key(b.best.assignment));
+  // A different master seed draws a different candidate order.
+  options.seed = 4321;
+  FakeRunner r3;
+  TuneResult c = Search(options).run(r3, two_knob_space());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.trials.size(), c.trials.size()); ++i) {
+    if (assignment_key(a.trials[i].assignment) != assignment_key(c.trials[i].assignment)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff || a.trials.size() != c.trials.size());
+}
+
+TEST(PlanJsonTest, SplitsChainOverridesFromDriverOverrides) {
+  json::Value base = json::Value::parse(
+      R"({"kind": "meepo", "shards": 2, "block_interval_ms": 50})");
+  Assignment assignment;
+  assignment["chain.block_interval_ms"] = json::Value(20);
+  assignment["driver.worker_threads"] = json::Value(4);
+  json::Value plan = plan_json(base, assignment);
+  const json::Value& spec = plan.at("chains").as_array()[0];
+  EXPECT_EQ(spec.get_string("kind", ""), "meepo");
+  EXPECT_EQ(spec.get_int("shards", 0), 2);
+  EXPECT_EQ(spec.get_int("block_interval_ms", 0), 20) << "chain knob must override base";
+  EXPECT_EQ(spec.get_string("name", ""), "tune-sut");
+  EXPECT_EQ(plan.at("driver").get_int("worker_threads", 0), 4);
+  // The base spec itself is untouched.
+  EXPECT_EQ(base.get_int("block_interval_ms", 0), 50);
+}
+
+}  // namespace
+}  // namespace hammer::tune
